@@ -1,0 +1,27 @@
+"""Helpers shared by the benchmark modules (result recording, single-run timing)."""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+#: Per-ILP-solve time limit in seconds (the paper allowed 24 CPU hours).
+TIME_LIMIT = float(os.environ.get("REPRO_BENCH_TIME_LIMIT", "45"))
+
+#: The six circuits of the paper's evaluation, in Table 2/3 order.
+PAPER_CIRCUITS = ["tseng", "paulin", "fir6", "iir3", "dct4", "wavelet6"]
+
+RESULTS_PATH = Path(__file__).with_name("results.txt")
+
+
+def record(section: str, text: str) -> None:
+    """Print a result block and append it to benchmarks/results.txt."""
+    block = f"\n===== {section} =====\n{text}\n"
+    print(block)
+    with RESULTS_PATH.open("a", encoding="utf-8") as handle:
+        handle.write(block)
+
+
+def run_once(benchmark, func):
+    """Run a callable exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

@@ -1,0 +1,49 @@
+"""Figure 1 — the running example's DFG and minimal data path.
+
+Rebuilds the Fig. 1(a) DFG, checks that the structural quantities quoted in
+section 2 hold (8 variables, 4 operations, 3 registers, 2 modules, the
+R0/R1/R2 grouping being conflict-free), and synthesizes its optimal reference
+data path, which is the Fig. 1(b) structure.
+"""
+
+from repro.circuits import fig1
+from repro.core import ReferenceFormulation
+from repro.dfg import check_register_assignment, minimum_register_count
+from repro.reporting import format_table
+
+from _bench_utils import record, run_once
+
+
+def test_fig1_example(benchmark, time_limit):
+    def synthesize():
+        graph = fig1.build()
+        reference = ReferenceFormulation(graph).solve(time_limit=time_limit)
+        return graph, reference
+
+    graph, reference = run_once(benchmark, synthesize)
+
+    # Section 2 quantities.
+    assert len(graph.variable_ids) == 8
+    assert len(graph.operation_ids) == 4
+    assert len(graph.module_ids) == 2
+    assert minimum_register_count(graph) == 3
+    # The paper's example register grouping is a feasible assignment.
+    paper_grouping = {0: 0, 4: 0, 1: 1, 3: 1, 6: 1, 2: 2, 5: 2, 7: 2}
+    assert check_register_assignment(graph, paper_grouping) == []
+
+    design = reference.design
+    assert design is not None and reference.solution.proven_optimal
+    assert design.area().register_count == 3
+
+    rows = [{
+        "quantity": "operations", "value": len(graph.operation_ids),
+    }, {
+        "quantity": "variables", "value": len(graph.variable_ids),
+    }, {
+        "quantity": "registers (min)", "value": minimum_register_count(graph),
+    }, {
+        "quantity": "modules", "value": len(graph.module_ids),
+    }, {
+        "quantity": "reference area [transistors]", "value": design.area().total,
+    }]
+    record("Figure 1 (running example)", format_table(rows, ["quantity", "value"]))

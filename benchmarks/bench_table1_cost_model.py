@@ -1,0 +1,39 @@
+"""Table 1 — transistor counts of test registers and multiplexers.
+
+The cost model *is* the table, so this bench renders it, checks the exact
+published numbers, and times the (cheap) cost queries the ILP objective makes.
+"""
+
+from repro.cost import PAPER_COST_MODEL
+from repro.datapath import TestRegisterKind
+from repro.reporting import render_table1
+
+from _bench_utils import record, run_once
+
+PAPER_REGISTER_COSTS = {
+    TestRegisterKind.NONE: 208,
+    TestRegisterKind.TPG: 256,
+    TestRegisterKind.SR: 304,
+    TestRegisterKind.BILBO: 388,
+    TestRegisterKind.CBILBO: 596,
+}
+PAPER_MUX_COSTS = {2: 80, 3: 176, 4: 208, 5: 300, 6: 320, 7: 350}
+
+
+def test_table1_cost_model(benchmark):
+    def query_full_table():
+        registers = {kind: PAPER_COST_MODEL.register_cost(kind) for kind in TestRegisterKind}
+        muxes = {n: PAPER_COST_MODEL.mux_cost(n) for n in range(0, 12)}
+        return registers, muxes
+
+    registers, muxes = run_once(benchmark, query_full_table)
+
+    for kind, cost in PAPER_REGISTER_COSTS.items():
+        assert registers[kind] == cost
+    for size, cost in PAPER_MUX_COSTS.items():
+        assert muxes[size] == cost
+    # weights of the ILP objective derived from the same table
+    increments = PAPER_COST_MODEL.incremental_weights()
+    assert all(value > 0 for value in increments.values())
+
+    record("Table 1 (cost model)", render_table1())

@@ -1,0 +1,42 @@
+"""Table 3 — ADVBIST versus ADVAN, RALLOC and BITS at the maximal k.
+
+One bench per circuit: the reference ILP, the ADVBIST ILP at the maximal
+number of test sessions, and the three heuristic baselines.  The printed
+block has the same columns as the paper's Table 3 (R, T, S, B, C, M, Area,
+OH%).
+
+Shape checks (the claims the paper draws from its Table 3):
+
+* every method produces a verified BIST design,
+* ADVBIST's area overhead is the lowest (or tied) on every circuit,
+* ADVBIST and ADVAN never add registers beyond the reference count.
+"""
+
+import pytest
+
+from repro.circuits import get_circuit
+from repro.reporting import compare_methods, render_table3
+
+from _bench_utils import PAPER_CIRCUITS, record, run_once
+
+
+@pytest.mark.parametrize("circuit", PAPER_CIRCUITS)
+def test_table3_comparison(benchmark, circuit, time_limit):
+    def compare():
+        graph = get_circuit(circuit)
+        return compare_methods(graph, time_limit=time_limit)
+
+    result = run_once(benchmark, compare)
+
+    for design in result.designs.values():
+        assert design.verify().ok
+
+    overheads = result.overheads()
+    assert overheads["ADVBIST"] <= min(overheads.values()) + 1e-9
+
+    reference_registers = result.reference.area().register_count
+    assert result.designs["ADVBIST"].area().register_count == reference_registers
+    assert result.designs["ADVAN"].area().register_count == reference_registers
+
+    record(f"Table 3 — {circuit} ({result.k} test sessions)",
+           render_table3(result.rows(), circuit=circuit))

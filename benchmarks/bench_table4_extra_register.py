@@ -1,0 +1,37 @@
+""""Table 4" — the area penalty of adding a register.
+
+The paper's text points at a Table 4 ("the addition of registers incurs large
+area overhead as can be seen in Table 4") that is not printed in the
+proceedings version.  This bench reproduces the study it refers to: for every
+circuit, the optimal reference data path is re-synthesized with one extra
+register, and the resulting area penalty is reported.  RALLOC and BITS pay at
+least this penalty on the circuits where they need an extra register.
+"""
+
+import pytest
+
+from repro.circuits import get_circuit
+from repro.cost import PAPER_COST_MODEL
+from repro.reporting import extra_register_penalty, format_table
+
+from _bench_utils import PAPER_CIRCUITS, record, run_once
+
+
+@pytest.mark.parametrize("circuit", PAPER_CIRCUITS)
+def test_table4_extra_register_penalty(benchmark, circuit, time_limit):
+    def study():
+        graph = get_circuit(circuit)
+        return extra_register_penalty(graph, time_limit=time_limit)
+
+    result = run_once(benchmark, study)
+
+    # An added register costs its own transistors minus whatever mux area it
+    # can save; it must never be free and never cost more than a CBILBO swap.
+    assert result["penalty"] > 0
+    assert result["penalty"] >= PAPER_COST_MODEL.w_reg - PAPER_COST_MODEL.mux_cost(7)
+    assert result["enlarged_area"] == result["base_area"] + result["penalty"]
+
+    record(f"Table 4 (extra-register study) — {circuit}",
+           format_table([result],
+                        ["circuit", "base_registers", "base_area", "extra_registers",
+                         "enlarged_area", "penalty", "penalty_percent"]))

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Reproduce one block of Table 3: ADVBIST versus ADVAN, RALLOC and BITS.
+
+Runs the reference ILP, the ADVBIST ILP and the three heuristic baselines on
+one circuit at its maximal test-session count and prints the comparison table
+with register counts, test-register kinds, multiplexer inputs, area and
+overhead — the same columns as the paper's Table 3.
+
+::
+
+    python examples/compare_methods.py             # tseng
+    python examples/compare_methods.py wavelet6    # any circuit from list_circuits()
+"""
+
+import sys
+
+from repro import compare_methods, get_circuit, list_circuits, render_table3
+
+TIME_LIMIT = 120.0
+
+
+def main() -> None:
+    circuit = sys.argv[1] if len(sys.argv) > 1 else "tseng"
+    if circuit not in list_circuits():
+        raise SystemExit(f"unknown circuit {circuit!r}; choose from {list_circuits()}")
+
+    graph = get_circuit(circuit)
+    result = compare_methods(graph, time_limit=TIME_LIMIT)
+
+    print(render_table3(result.rows(), circuit=f"{circuit} ({result.k} test sessions)"))
+    print()
+    overheads = result.overheads()
+    winner = result.winner()
+    print(f"Lowest area overhead: {winner} ({overheads[winner]:.1f} %)")
+    for method, overhead in sorted(overheads.items(), key=lambda item: item[1]):
+        marker = " <- optimal ILP" if method == "ADVBIST" else ""
+        print(f"  {method:8s} {overhead:6.1f} %{marker}")
+
+
+if __name__ == "__main__":
+    main()

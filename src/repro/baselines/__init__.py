@@ -1,0 +1,36 @@
+"""Heuristic baseline BIST synthesis systems compared against ADVBIST.
+
+* :func:`run_advan` — the authors' earlier test-session-oriented method [6];
+* :func:`run_ralloc` — Avra's register-conflict-graph allocation [3];
+* :func:`run_bits` — Parulkar et al.'s test-register-sharing method [4].
+
+Each returns the same :class:`repro.core.result.BistDesign` type as ADVBIST so
+that the Table 3 comparison handles all four systems uniformly.
+"""
+
+from .common import (
+    BaselineError,
+    TestAssignmentPolicy,
+    assign_sessions,
+    greedy_test_assignment,
+    kind_histogram,
+)
+from .advan import ADVAN_POLICY, advan_register_binding, run_advan
+from .ralloc import RALLOC_POLICY, ralloc_register_binding, run_ralloc
+from .bits import BITS_POLICY, run_bits
+
+__all__ = [
+    "BaselineError",
+    "TestAssignmentPolicy",
+    "assign_sessions",
+    "greedy_test_assignment",
+    "kind_histogram",
+    "ADVAN_POLICY",
+    "advan_register_binding",
+    "run_advan",
+    "RALLOC_POLICY",
+    "ralloc_register_binding",
+    "run_ralloc",
+    "BITS_POLICY",
+    "run_bits",
+]

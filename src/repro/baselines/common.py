@@ -1,0 +1,202 @@
+"""Shared machinery of the heuristic baseline BIST synthesis systems.
+
+The three baselines the paper compares against (ADVAN, RALLOC, BITS) all
+follow the same two-phase recipe — first bind registers conventionally, then
+pick test registers greedily — and differ in the register binding they start
+from and in the *preferences* their greedy test-register selection applies.
+:func:`greedy_test_assignment` implements that greedy selection once, driven
+by a :class:`TestAssignmentPolicy`, so each baseline module only encodes its
+published decision rules.
+
+All baselines obey the same hard rules as ADVBIST (checked afterwards by
+:func:`repro.datapath.verify.verify_bist_plan`): test registers are
+reconfigured system registers, no test-only paths are added, every module
+gets one SR, every port one TPG, and sharing restrictions per sub-test
+session hold.  What they lack is ADVBIST's *concurrent* optimisation — their
+register assignment is frozen before any test decision is made — which is
+exactly why the ILP beats them on area overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cost.transistors import CostModel, PAPER_COST_MODEL
+from ..datapath.bist import TestPlan
+from ..datapath.components import TestRegisterKind
+from ..datapath.datapath import Datapath
+from ..dfg.graph import DataFlowGraph
+from ..core.constants import analyse_constant_ports
+from ..core.result import BistDesign
+
+
+class BaselineError(RuntimeError):
+    """Raised when a heuristic baseline cannot complete a test plan."""
+
+
+@dataclass(frozen=True)
+class TestAssignmentPolicy:
+    """Scoring weights of the greedy test-register selection.
+
+    Lower scores are preferred.  All weights are additive penalties:
+
+    Attributes
+    ----------
+    reuse_bonus:
+        Subtracted when the candidate register is already a test register
+        (sharing-oriented methods like BITS/RALLOC set this high; ADVAN sets
+        it to zero to keep TPG and SR sets small and disjoint).
+    bilbo_penalty:
+        Added when picking the candidate would turn it into a BILBO
+        (TPG in one session, SR in another).
+    cbilbo_penalty:
+        Added when picking the candidate would turn it into a CBILBO
+        (TPG and SR in the same sub-test session).
+    fanout_penalty:
+        Per existing connection of the candidate register, discouraging
+        loading heavily used registers (a mild proxy for mux growth).
+    """
+
+    reuse_bonus: float = 0.0
+    bilbo_penalty: float = 10.0
+    cbilbo_penalty: float = 100.0
+    fanout_penalty: float = 0.1
+
+
+def assign_sessions(modules: list[int], k: int) -> dict[int, int]:
+    """Partition modules into k sub-test sessions (round robin, 1-based)."""
+    if k < 1:
+        raise BaselineError(f"cannot schedule tests into {k} sessions")
+    return {module: (index % k) + 1 for index, module in enumerate(sorted(modules))}
+
+
+def greedy_test_assignment(
+    datapath: Datapath,
+    module_session: dict[int, int],
+    policy: TestAssignmentPolicy,
+    constant_tpg_ports: list[tuple[int, int]] | None = None,
+) -> TestPlan:
+    """Greedily pick SRs and TPGs for a fixed data path and session partition.
+
+    Signature registers are chosen first (module by module), then TPGs
+    (port by port), mirroring the SR-first order of the ADVAN method that the
+    other baselines also follow in spirit.  Candidate registers are scored by
+    the policy and the cheapest is taken.
+    """
+    constant_ports = set(constant_tpg_ports or [])
+    num_sessions = max(module_session.values(), default=1)
+    plan = TestPlan(
+        num_sessions=num_sessions,
+        module_session=dict(module_session),
+        constant_tpg_ports=sorted(constant_ports),
+    )
+
+    # --- helper state ----------------------------------------------------
+    def roles_of(reg: int) -> tuple[set[int], set[int]]:
+        return plan.tpg_sessions_of_register(reg), plan.sr_sessions_of_register(reg)
+
+    def connection_count(reg: int) -> int:
+        incoming = len(datapath.modules_driving_register(reg))
+        outgoing = sum(
+            1 for wire in datapath.register_wires if wire.register == reg
+        )
+        return incoming + outgoing
+
+    def score(reg: int, session: int, as_sr: bool) -> float:
+        tpg_sessions, sr_sessions = roles_of(reg)
+        is_test_register = bool(tpg_sessions or sr_sessions)
+        value = policy.fanout_penalty * connection_count(reg)
+        if is_test_register:
+            value -= policy.reuse_bonus
+        if as_sr:
+            would_cbilbo = session in tpg_sessions
+            would_bilbo = bool(tpg_sessions) and not would_cbilbo
+        else:
+            would_cbilbo = session in sr_sessions
+            would_bilbo = bool(sr_sessions) and not would_cbilbo
+        if would_cbilbo:
+            value += policy.cbilbo_penalty
+        elif would_bilbo:
+            value += policy.bilbo_penalty
+        return value
+
+    # --- signature registers ---------------------------------------------
+    for module in sorted(module_session):
+        session = module_session[module]
+        taken = {
+            plan.sr_of_module[other]
+            for other, other_session in module_session.items()
+            if other_session == session and other in plan.sr_of_module
+        }
+        candidates = [
+            reg for reg in datapath.register_ids
+            if datapath.has_module_to_register_wire(module, reg) and reg not in taken
+        ]
+        if not candidates:
+            raise BaselineError(
+                f"module {module} has no available signature register in session {session}"
+            )
+        best = min(candidates, key=lambda reg: (score(reg, session, as_sr=True), reg))
+        plan.sr_of_module[module] = best
+
+    # --- test pattern generators ------------------------------------------
+    for module_obj in datapath.modules:
+        module = module_obj.module_id
+        session = module_session[module]
+        used_for_this_module: set[int] = set()
+        for port in module_obj.input_ports:
+            if (module, port) in constant_ports:
+                continue
+            candidates = [
+                reg for reg in datapath.registers_driving_port(module, port)
+                if reg not in used_for_this_module
+            ]
+            if not candidates:
+                raise BaselineError(
+                    f"module {module} port {port} has no reachable TPG register"
+                )
+            best = min(candidates, key=lambda reg: (score(reg, session, as_sr=False), reg))
+            plan.tpg_of_port[(module, port)] = best
+            used_for_this_module.add(best)
+
+    return plan
+
+
+def finish_design(
+    method: str,
+    graph: DataFlowGraph,
+    datapath: Datapath,
+    plan: TestPlan,
+    cost_model: CostModel = PAPER_COST_MODEL,
+    solve_seconds: float = 0.0,
+    notes: dict | None = None,
+) -> BistDesign:
+    """Wrap a heuristic result into a verified :class:`BistDesign`."""
+    design = BistDesign(
+        method=method,
+        circuit=graph.name,
+        k=plan.num_sessions,
+        datapath=datapath,
+        plan=plan,
+        cost_model=cost_model,
+        optimal=False,
+        solve_seconds=solve_seconds,
+        notes=notes or {},
+    )
+    report = design.verify()
+    if not report.ok:
+        raise BaselineError(
+            f"{method} produced an invalid BIST plan: " + "; ".join(report.problems)
+        )
+    return design
+
+
+def constant_ports_of(graph: DataFlowGraph) -> list[tuple[int, int]]:
+    """Constant-only module ports (shared with the core's analysis)."""
+    return list(analyse_constant_ports(graph).constant_only_ports)
+
+
+def kind_histogram(design: BistDesign) -> dict[str, int]:
+    """Readable register-kind histogram of a design (for reports and tests)."""
+    counts = design.kind_counts()
+    return {kind.name: counts.get(kind, 0) for kind in TestRegisterKind}

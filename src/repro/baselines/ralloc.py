@@ -1,0 +1,86 @@
+"""RALLOC — Avra's register-conflict-graph allocation for self-testable
+data paths (ITC 1991).
+
+Avra's method augments the ordinary lifetime conflict graph with *test
+conflicts*: the input and output variables of an operation are declared in
+conflict so that no register becomes self-adjacent (which would require a
+CBILBO).  The augmented graph is then coloured; because the extra edges can
+push the chromatic number above the maximal horizontal crossing, RALLOC
+sometimes needs **one more register** than the minimum — exactly what the
+paper observes for fir6, iir3 and wavelet6 in Table 3.
+
+For the test-register selection RALLOC concentrates the test function in a
+small number of registers reconfigured as BILBOs (Table 3 shows mostly one
+TPG plus two or three BILBOs), which this reimplementation reproduces with a
+strongly reuse-oriented greedy policy.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..cost.transistors import CostModel, PAPER_COST_MODEL
+from ..datapath.datapath import Datapath
+from ..dfg.graph import DataFlowGraph
+from ..dfg.analysis import self_adjacency_candidates
+from ..hls.register_binding import coloring_binding
+from ..core.result import BistDesign
+from .common import (
+    TestAssignmentPolicy,
+    assign_sessions,
+    constant_ports_of,
+    finish_design,
+    greedy_test_assignment,
+)
+
+#: RALLOC's selection preferences: strong reuse of already-chosen test
+#: registers (which is what creates BILBOs), CBILBO still avoided because the
+#: conflict-graph colouring has already removed self-adjacency.
+RALLOC_POLICY = TestAssignmentPolicy(
+    reuse_bonus=25.0,
+    bilbo_penalty=5.0,
+    cbilbo_penalty=500.0,
+    fanout_penalty=0.05,
+)
+
+
+def ralloc_register_binding(graph: DataFlowGraph,
+                            primary_input_policy: str = "at_first_use") -> dict[int, int]:
+    """Colour the lifetime conflict graph augmented with self-adjacency edges."""
+    extra_conflicts = self_adjacency_candidates(graph)
+    binding = coloring_binding(
+        graph,
+        extra_conflicts=extra_conflicts,
+        primary_input_policy=primary_input_policy,
+    )
+    return binding.assignment
+
+
+def run_ralloc(
+    graph: DataFlowGraph,
+    k: int | None = None,
+    cost_model: CostModel = PAPER_COST_MODEL,
+) -> BistDesign:
+    """Synthesize a BIST data path with the RALLOC (Avra) heuristic."""
+    start = time.perf_counter()
+    modules = graph.module_ids
+    sessions = assign_sessions(modules, k if k is not None else len(modules))
+
+    assignment = ralloc_register_binding(graph)
+    datapath = Datapath.from_bindings(graph, assignment, name=f"{graph.name}_ralloc")
+
+    plan = greedy_test_assignment(
+        datapath,
+        sessions,
+        RALLOC_POLICY,
+        constant_tpg_ports=constant_ports_of(graph),
+    )
+    extra_registers = len(datapath.register_ids)
+    return finish_design(
+        "RALLOC", graph, datapath, plan, cost_model,
+        solve_seconds=time.perf_counter() - start,
+        notes={
+            "register_binding": "conflict-graph colouring with self-adjacency edges",
+            "registers_used": extra_registers,
+        },
+    )

@@ -1,0 +1,18 @@
+"""Benchmark circuits of the paper's evaluation (plus the Fig. 1 example)."""
+
+from . import dct4, fig1, fir6, iir3, paulin, tseng, wavelet6
+from .registry import CircuitSpec, get_circuit, get_spec, list_circuits
+
+__all__ = [
+    "CircuitSpec",
+    "get_circuit",
+    "get_spec",
+    "list_circuits",
+    "dct4",
+    "fig1",
+    "fir6",
+    "iir3",
+    "paulin",
+    "tseng",
+    "wavelet6",
+]

@@ -1,0 +1,69 @@
+"""The ``dct4`` benchmark: a 4-point discrete cosine transform.
+
+The fast (butterfly) 4-point DCT factorisation is used::
+
+    s0 = x0 + x3        d0 = x0 - x3
+    s1 = x1 + x2        d1 = x1 - x2
+    y0 = (s0 + s1) * c4
+    y2 = (s0 - s1) * c4
+    y1 = d0*c2 + d1*c6
+    y3 = d0*c6 - d1*c2
+
+The cosine coefficients enter as primary inputs.  Two multipliers, one adder
+and one subtractor give four functional modules ("dct4 (4)" in Table 3); it
+is the largest ILP instance of the suite, which is why the paper's Table 2
+marks its entries as hitting the CPU-time limit.
+"""
+
+from __future__ import annotations
+
+from ..dfg.builder import DFGBuilder
+from ..dfg.graph import DataFlowGraph
+from ..hls.module_binding import bind_modules
+from ..hls.scheduling import list_schedule
+
+#: Two multipliers, one adder, one subtractor: four modules, as in Table 3.
+RESOURCE_LIMITS = {"mult": 2, "alu": 1, "subtract": 1}
+
+
+def build_behavioral() -> DataFlowGraph:
+    """The unscheduled 4-point DCT DFG."""
+    builder = DFGBuilder("dct4")
+    x0 = builder.input("x0")
+    x1 = builder.input("x1")
+    x2 = builder.input("x2")
+    x3 = builder.input("x3")
+    c4 = builder.input("c4")
+    c2 = builder.input("c2")
+    c6 = builder.input("c6")
+
+    s0 = builder.op("add", x0, x3, name="s0")
+    s1 = builder.op("add", x1, x2, name="s1")
+    d0 = builder.op("subtract", x0, x3, name="d0")
+    d1 = builder.op("subtract", x1, x2, name="d1")
+
+    e0 = builder.op("add", s0, s1, name="e0")
+    e1 = builder.op("subtract", s0, s1, name="e1")
+    y0 = builder.op("mul", e0, c4, name="y0")
+    y2 = builder.op("mul", e1, c4, name="y2")
+
+    m0 = builder.op("mul", d0, c2, name="d0c2")
+    m1 = builder.op("mul", d1, c6, name="d1c6")
+    m2 = builder.op("mul", d0, c6, name="d0c6")
+    m3 = builder.op("mul", d1, c2, name="d1c2")
+    y1 = builder.op("add", m0, m1, name="y1")
+    y3 = builder.op("subtract", m2, m3, name="y3")
+
+    builder.output(y0)
+    builder.output(y1)
+    builder.output(y2)
+    builder.output(y3)
+    return builder.build()
+
+
+def build() -> DataFlowGraph:
+    """The scheduled, module-bound ``dct4`` DFG."""
+    graph = build_behavioral()
+    graph = list_schedule(graph, RESOURCE_LIMITS).apply(graph)
+    graph = bind_modules(graph).apply(graph)
+    return graph

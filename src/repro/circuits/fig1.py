@@ -1,0 +1,42 @@
+"""The running example of the paper (Fig. 1).
+
+A four-operation DFG (two additions, two multiplications) over eight
+variables, scheduled into the control steps T = {0, 1, 2, 3} and bound to one
+adder and one multiplier.  Its minimal data path has three registers — the
+structure shown in Fig. 1(b) — and it is the circuit used by Figs. 2 and 3 to
+illustrate the SR and TPG assignment constraints.
+"""
+
+from __future__ import annotations
+
+from ..dfg.builder import DFGBuilder
+from ..dfg.graph import DataFlowGraph
+from ..hls.module_binding import bind_modules
+from ..hls.scheduling import list_schedule
+
+#: Functional-unit budget used to schedule the example (one adder, one
+#: multiplier, exactly as in Fig. 1(b)).
+RESOURCE_LIMITS = {"alu": 1, "mult": 1}
+
+
+def build_behavioral() -> DataFlowGraph:
+    """The unscheduled DFG of Fig. 1(a)."""
+    builder = DFGBuilder("fig1")
+    v0 = builder.input("v0")
+    v1 = builder.input("v1")
+    v2 = builder.input("v2")
+    v3 = builder.input("v3")
+    v4 = builder.op("add", v0, v1, name="v4")    # operation 8 in the paper
+    v5 = builder.op("add", v3, v4, name="v5")    # operation 9
+    v6 = builder.op("mul", v4, v2, name="v6")    # operation 10
+    v7 = builder.op("mul", v5, v6, name="v7")    # operation 11
+    builder.output(v7)
+    return builder.build()
+
+
+def build() -> DataFlowGraph:
+    """The scheduled, module-bound DFG (the input the ILP formulations take)."""
+    graph = build_behavioral()
+    graph = list_schedule(graph, RESOURCE_LIMITS).apply(graph)
+    graph = bind_modules(graph).apply(graph)
+    return graph

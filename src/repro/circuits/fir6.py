@@ -1,0 +1,51 @@
+"""The ``fir6`` benchmark: a 6th-order (6-tap) FIR filter.
+
+``y[n] = sum_{i=0..5} c_i * x[n-i]``.  The paper synthesized this data flow
+with HYPER; here the filter is written directly as a multiply/accumulate tree
+(six products reduced by five additions).  The tap coefficients enter as
+primary inputs (coefficient registers), not constants, so every multiplier
+port can be driven from a register during test — the same assumption the
+paper's low overhead numbers imply.  A budget of two multipliers and one
+adder gives three functional modules, matching "fir6 (3)" in Table 3.
+"""
+
+from __future__ import annotations
+
+from ..dfg.builder import DFGBuilder
+from ..dfg.graph import DataFlowGraph
+from ..hls.module_binding import bind_modules
+from ..hls.scheduling import list_schedule
+
+#: Two multipliers and one adder: three modules, as in Table 3.
+RESOURCE_LIMITS = {"mult": 2, "alu": 1}
+
+#: Number of filter taps.
+NUM_TAPS = 6
+
+
+def build_behavioral() -> DataFlowGraph:
+    """The unscheduled 6-tap FIR DFG."""
+    builder = DFGBuilder("fir6")
+    samples = [builder.input(f"x{i}") for i in range(NUM_TAPS)]
+    coefficients = [builder.input(f"c{i}") for i in range(NUM_TAPS)]
+
+    products = [
+        builder.op("mul", samples[i], coefficients[i], name=f"p{i}")
+        for i in range(NUM_TAPS)
+    ]
+    # Balanced adder tree: (p0+p1) + (p2+p3), then + (p4+p5).
+    s01 = builder.op("add", products[0], products[1], name="s01")
+    s23 = builder.op("add", products[2], products[3], name="s23")
+    s45 = builder.op("add", products[4], products[5], name="s45")
+    s0123 = builder.op("add", s01, s23, name="s0123")
+    y = builder.op("add", s0123, s45, name="y")
+    builder.output(y)
+    return builder.build()
+
+
+def build() -> DataFlowGraph:
+    """The scheduled, module-bound ``fir6`` DFG."""
+    graph = build_behavioral()
+    graph = list_schedule(graph, RESOURCE_LIMITS).apply(graph)
+    graph = bind_modules(graph).apply(graph)
+    return graph

@@ -1,0 +1,66 @@
+"""The ``iir3`` benchmark: a 3rd-order IIR filter (direct form II).
+
+The recurrence is::
+
+    w[n] = x[n] - a1*w[n-1] - a2*w[n-2] - a3*w[n-3]
+    y[n] = b0*w[n] + b1*w[n-1] + b2*w[n-2] + b3*w[n-3]
+
+The delayed state values ``w[n-1..3]`` and the filter coefficients enter as
+primary inputs.  One multiplier pair and a single ALU handling the adds and
+subtracts give three functional modules ("iir3 (3)" in Table 3); additions and
+subtractions share the ALU class as they would share an add/sub unit.
+"""
+
+from __future__ import annotations
+
+from ..dfg.builder import DFGBuilder
+from ..dfg.graph import DataFlowGraph
+from ..hls.module_binding import bind_modules
+from ..hls.scheduling import list_schedule
+
+#: Two multipliers and one add/sub ALU: three modules, as in Table 3.
+RESOURCE_LIMITS = {"mult": 2, "alu": 1}
+
+
+def build_behavioral() -> DataFlowGraph:
+    """The unscheduled 3rd-order IIR DFG."""
+    builder = DFGBuilder("iir3")
+    x = builder.input("x")
+    w1 = builder.input("w1")
+    w2 = builder.input("w2")
+    w3 = builder.input("w3")
+    a1 = builder.input("a1")
+    a2 = builder.input("a2")
+    a3 = builder.input("a3")
+    b0 = builder.input("b0")
+    b1 = builder.input("b1")
+    b2 = builder.input("b2")
+    b3 = builder.input("b3")
+
+    # feedback path: w[n]
+    fb1 = builder.op("mul", a1, w1, name="a1w1")
+    fb2 = builder.op("mul", a2, w2, name="a2w2")
+    fb3 = builder.op("mul", a3, w3, name="a3w3")
+    d1 = builder.op("sub", x, fb1, name="d1")
+    d2 = builder.op("sub", d1, fb2, name="d2")
+    w0 = builder.op("sub", d2, fb3, name="w0")
+
+    # feedforward path: y[n]
+    ff0 = builder.op("mul", b0, w0, name="b0w0")
+    ff1 = builder.op("mul", b1, w1, name="b1w1")
+    ff2 = builder.op("mul", b2, w2, name="b2w2")
+    ff3 = builder.op("mul", b3, w3, name="b3w3")
+    s1 = builder.op("add", ff0, ff1, name="s1")
+    s2 = builder.op("add", ff2, ff3, name="s2")
+    y = builder.op("add", s1, s2, name="y")
+    builder.output(w0)
+    builder.output(y)
+    return builder.build()
+
+
+def build() -> DataFlowGraph:
+    """The scheduled, module-bound ``iir3`` DFG."""
+    graph = build_behavioral()
+    graph = list_schedule(graph, RESOURCE_LIMITS).apply(graph)
+    graph = bind_modules(graph).apply(graph)
+    return graph

@@ -1,0 +1,57 @@
+"""The ``paulin`` benchmark (Paulin & Knight differential-equation solver).
+
+The HAL "diffeq" example computes one Euler integration step of
+``y'' + 3xy' + 3y = 0``::
+
+    x1 = x + dx
+    u1 = u - 3*x*(u*dx) - 3*y*dx
+    y1 = y + u*dx
+
+It is the second classic benchmark the paper uses.  Multiplications are bound
+to two multipliers; the additions and subtractions are kept on separate adder
+and subtractor units so the data path has four functional modules, matching
+the "paulin (4)" maximal-session count of Table 3.
+"""
+
+from __future__ import annotations
+
+from ..dfg.builder import DFGBuilder
+from ..dfg.graph import DataFlowGraph
+from ..hls.module_binding import bind_modules
+from ..hls.scheduling import list_schedule
+
+#: Two multipliers, one adder, one subtractor: four modules, as in Table 3.
+#: (``subtract`` is deliberately not mapped to the shared ALU class.)
+RESOURCE_LIMITS = {"mult": 2, "alu": 1, "subtract": 1}
+
+
+def build_behavioral() -> DataFlowGraph:
+    """The unscheduled diffeq DFG."""
+    builder = DFGBuilder("paulin")
+    x = builder.input("x")
+    y = builder.input("y")
+    u = builder.input("u")
+    dx = builder.input("dx")
+    three = builder.input("three")   # the literal 3, supplied as a port
+
+    m1 = builder.op("mul", three, x, name="3x")
+    m2 = builder.op("mul", u, dx, name="u_dx")
+    m3 = builder.op("mul", three, y, name="3y")
+    m4 = builder.op("mul", m1, m2, name="3x_u_dx")
+    m5 = builder.op("mul", dx, m3, name="3y_dx")
+    s1 = builder.op("subtract", u, m4, name="u_minus")
+    s2 = builder.op("subtract", s1, m5, name="u1")
+    a1 = builder.op("add", x, dx, name="x1")
+    a2 = builder.op("add", y, m2, name="y1")
+    builder.output(s2)
+    builder.output(a1)
+    builder.output(a2)
+    return builder.build()
+
+
+def build() -> DataFlowGraph:
+    """The scheduled, module-bound ``paulin`` DFG."""
+    graph = build_behavioral()
+    graph = list_schedule(graph, RESOURCE_LIMITS).apply(graph)
+    graph = bind_modules(graph).apply(graph)
+    return graph

@@ -1,0 +1,125 @@
+"""Registry of the benchmark circuits used in the paper's evaluation.
+
+Every entry produces a scheduled, module-bound :class:`DataFlowGraph` ready
+for the ADVBIST / baseline synthesizers.  The registry also records, for each
+circuit, the maximal number of test sessions (its module count as listed in
+parentheses in Table 3) so the benchmark harness can sweep the same k range
+as the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..dfg.graph import DataFlowGraph
+from . import dct4, fig1, fir6, iir3, paulin, tseng, wavelet6
+
+
+@dataclass(frozen=True)
+class CircuitSpec:
+    """Metadata of one benchmark circuit."""
+
+    name: str
+    description: str
+    builder: Callable[[], DataFlowGraph]
+    behavioral_builder: Callable[[], DataFlowGraph]
+    resource_limits: dict
+    paper_max_sessions: int | None
+    in_paper_table: bool
+
+    def build(self) -> DataFlowGraph:
+        """Build the scheduled, module-bound DFG."""
+        return self.builder()
+
+    def build_behavioral(self) -> DataFlowGraph:
+        """Build the unscheduled behavioural DFG."""
+        return self.behavioral_builder()
+
+
+_REGISTRY: dict[str, CircuitSpec] = {
+    "fig1": CircuitSpec(
+        name="fig1",
+        description="Running example of the paper (Fig. 1): 4 operations, 3 registers",
+        builder=fig1.build,
+        behavioral_builder=fig1.build_behavioral,
+        resource_limits=dict(fig1.RESOURCE_LIMITS),
+        paper_max_sessions=2,
+        in_paper_table=False,
+    ),
+    "tseng": CircuitSpec(
+        name="tseng",
+        description="Tseng/facet benchmark (Table 3 row 'tseng (3)')",
+        builder=tseng.build,
+        behavioral_builder=tseng.build_behavioral,
+        resource_limits=dict(tseng.RESOURCE_LIMITS),
+        paper_max_sessions=3,
+        in_paper_table=True,
+    ),
+    "paulin": CircuitSpec(
+        name="paulin",
+        description="Paulin/diffeq benchmark (Table 3 row 'paulin (4)')",
+        builder=paulin.build,
+        behavioral_builder=paulin.build_behavioral,
+        resource_limits=dict(paulin.RESOURCE_LIMITS),
+        paper_max_sessions=4,
+        in_paper_table=True,
+    ),
+    "fir6": CircuitSpec(
+        name="fir6",
+        description="6th-order FIR filter (Table 3 row 'fir6 (3)')",
+        builder=fir6.build,
+        behavioral_builder=fir6.build_behavioral,
+        resource_limits=dict(fir6.RESOURCE_LIMITS),
+        paper_max_sessions=3,
+        in_paper_table=True,
+    ),
+    "iir3": CircuitSpec(
+        name="iir3",
+        description="3rd-order IIR filter (Table 3 row 'iir3 (3)')",
+        builder=iir3.build,
+        behavioral_builder=iir3.build_behavioral,
+        resource_limits=dict(iir3.RESOURCE_LIMITS),
+        paper_max_sessions=3,
+        in_paper_table=True,
+    ),
+    "dct4": CircuitSpec(
+        name="dct4",
+        description="4-point DCT (Table 3 row 'dct4 (4)')",
+        builder=dct4.build,
+        behavioral_builder=dct4.build_behavioral,
+        resource_limits=dict(dct4.RESOURCE_LIMITS),
+        paper_max_sessions=4,
+        in_paper_table=True,
+    ),
+    "wavelet6": CircuitSpec(
+        name="wavelet6",
+        description="6-tap wavelet filter (Table 3 row 'wavelet6 (3)')",
+        builder=wavelet6.build,
+        behavioral_builder=wavelet6.build_behavioral,
+        resource_limits=dict(wavelet6.RESOURCE_LIMITS),
+        paper_max_sessions=3,
+        in_paper_table=True,
+    ),
+}
+
+
+def list_circuits(paper_only: bool = False) -> list[str]:
+    """Names of the available benchmark circuits."""
+    return [name for name, spec in _REGISTRY.items()
+            if spec.in_paper_table or not paper_only]
+
+
+def get_spec(name: str) -> CircuitSpec:
+    """Full metadata of a benchmark circuit."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown circuit {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def get_circuit(name: str) -> DataFlowGraph:
+    """Build the scheduled, module-bound DFG of a benchmark circuit."""
+    return get_spec(name).build()

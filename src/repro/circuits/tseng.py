@@ -1,0 +1,51 @@
+"""The ``tseng`` benchmark (Tseng / Siewiorek "facet" example).
+
+``tseng`` is one of the two classic high-level-synthesis benchmarks the paper
+uses ("widely adopted for benchmarking high-level BIST synthesis").  The
+exact scheduled DFG the authors obtained is not published, so this module
+reconstructs the well-known facet structure — a small mixed arithmetic/logic
+graph using an ALU, a multiplier and a logic unit — and schedules it with the
+package's own list scheduler under a one-unit-per-class budget, which yields
+three functional modules (and therefore up to three test sessions, matching
+the "tseng (3)" entry of Table 3).
+"""
+
+from __future__ import annotations
+
+from ..dfg.builder import DFGBuilder
+from ..dfg.graph import DataFlowGraph
+from ..hls.module_binding import bind_modules
+from ..hls.scheduling import list_schedule
+
+#: One ALU, one multiplier and one logic unit: three modules, as in Table 3.
+RESOURCE_LIMITS = {"alu": 1, "mult": 1, "logic": 1}
+
+
+def build_behavioral() -> DataFlowGraph:
+    """The unscheduled facet-style DFG."""
+    builder = DFGBuilder("tseng")
+    a = builder.input("a")
+    b = builder.input("b")
+    c = builder.input("c")
+    d = builder.input("d")
+    e = builder.input("e")
+    f = builder.input("f")
+
+    t1 = builder.op("add", a, b, name="t1")
+    t2 = builder.op("mul", c, d, name="t2")
+    t3 = builder.op("and", e, f, name="t3")
+    t4 = builder.op("sub", t1, e, name="t4")
+    t5 = builder.op("mul", t2, t1, name="t5")
+    t6 = builder.op("or", t3, t2, name="t6")
+    t7 = builder.op("add", t4, t6, name="t7")
+    t8 = builder.op("mul", t5, t7, name="t8")
+    builder.output(t8)
+    return builder.build()
+
+
+def build() -> DataFlowGraph:
+    """The scheduled, module-bound ``tseng`` DFG."""
+    graph = build_behavioral()
+    graph = list_schedule(graph, RESOURCE_LIMITS).apply(graph)
+    graph = bind_modules(graph).apply(graph)
+    return graph

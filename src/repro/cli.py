@@ -1,0 +1,141 @@
+"""Command-line interface: synthesize, sweep and compare from a terminal.
+
+The CLI mirrors the benchmark harness so results can be regenerated without
+writing any Python::
+
+    python -m repro list                         # available circuits
+    python -m repro table1                       # the cost model (Table 1)
+    python -m repro synthesize tseng --k 3       # one ADVBIST design
+    python -m repro sweep paulin                 # Table 2 block for one circuit
+    python -m repro compare fir6                 # Table 3 block for one circuit
+    python -m repro baseline ralloc iir3         # run a single heuristic baseline
+
+Every command prints plain text; ``--time-limit`` caps each ILP solve.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .baselines import run_advan, run_bits, run_ralloc
+from .circuits import get_circuit, get_spec, list_circuits
+from .core import AdvBistSynthesizer
+from .reporting import compare_methods, render_table1, render_table2, render_table3
+
+_BASELINES = {"advan": run_advan, "ralloc": run_ralloc, "bits": run_bits}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Create the argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ILP-based built-in self-testable data path synthesis "
+                    "(reproduction of Kim/Ha/Takahashi, DAC 1999).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the available benchmark circuits")
+    subparsers.add_parser("table1", help="print the transistor cost model (Table 1)")
+
+    synth = subparsers.add_parser("synthesize", help="synthesize one ADVBIST design")
+    synth.add_argument("circuit", help="circuit name (see 'repro list')")
+    synth.add_argument("--k", type=int, default=None,
+                       help="number of test sessions (default: number of modules)")
+    synth.add_argument("--time-limit", type=float, default=120.0,
+                       help="per-solve wall clock limit in seconds")
+
+    sweep = subparsers.add_parser("sweep", help="Table 2 sweep (k = 1..N) for a circuit")
+    sweep.add_argument("circuit")
+    sweep.add_argument("--time-limit", type=float, default=120.0)
+
+    compare = subparsers.add_parser("compare",
+                                    help="Table 3 comparison (ADVBIST vs baselines)")
+    compare.add_argument("circuit")
+    compare.add_argument("--k", type=int, default=None)
+    compare.add_argument("--time-limit", type=float, default=120.0)
+
+    baseline = subparsers.add_parser("baseline", help="run one heuristic baseline")
+    baseline.add_argument("method", choices=sorted(_BASELINES))
+    baseline.add_argument("circuit")
+    baseline.add_argument("--k", type=int, default=None)
+
+    return parser
+
+
+def _cmd_list(_args) -> int:
+    for name in list_circuits():
+        spec = get_spec(name)
+        print(f"{name:10s} {spec.description}")
+    return 0
+
+
+def _cmd_table1(_args) -> int:
+    print(render_table1())
+    return 0
+
+
+def _cmd_synthesize(args) -> int:
+    graph = get_circuit(args.circuit)
+    k = args.k if args.k is not None else len(graph.module_ids)
+    synthesizer = AdvBistSynthesizer(graph, time_limit=args.time_limit)
+    reference = synthesizer.synthesize_reference()
+    design = synthesizer.synthesize(k)
+    reference_area = reference.area().total
+    print(render_table3([reference.table3_row(), design.table3_row(reference_area)],
+                        circuit=f"{args.circuit} (k={k})"))
+    print(f"\nregister kinds: "
+          f"{ {r: kind.name for r, kind in design.plan.register_kinds(design.datapath).items()} }")
+    print(f"module sessions: {design.plan.module_session}")
+    print(f"optimal: {design.optimal}   verified: {design.verify().ok}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    graph = get_circuit(args.circuit)
+    sweep = AdvBistSynthesizer(graph, time_limit=args.time_limit).sweep()
+    print(f"Reference area: {sweep.reference.area().total} transistors")
+    print(render_table2(sweep.table2_rows()))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    graph = get_circuit(args.circuit)
+    result = compare_methods(graph, k=args.k, time_limit=args.time_limit)
+    print(render_table3(result.rows(), circuit=f"{args.circuit} ({result.k} sessions)"))
+    print(f"\nlowest overhead: {result.winner()}")
+    return 0
+
+
+def _cmd_baseline(args) -> int:
+    graph = get_circuit(args.circuit)
+    design = _BASELINES[args.method](graph, args.k)
+    print(render_table3([design.table3_row()], circuit=args.circuit))
+    print(f"verified: {design.verify().ok}")
+    return 0
+
+
+_HANDLERS = {
+    "list": _cmd_list,
+    "table1": _cmd_table1,
+    "synthesize": _cmd_synthesize,
+    "sweep": _cmd_sweep,
+    "compare": _cmd_compare,
+    "baseline": _cmd_baseline,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _HANDLERS[args.command](args)
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    raise SystemExit(main())

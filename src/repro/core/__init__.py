@@ -1,0 +1,35 @@
+"""The paper's core contribution: the ADVBIST ILP and its drivers."""
+
+from .constants import ConstantPortAnalysis, analyse_constant_ports
+from .formulation import (
+    AdvBistFormulation,
+    AdvBistSolveResult,
+    FormulationError,
+    FormulationOptions,
+)
+from .reference import ReferenceFormulation, ReferenceSolveResult
+from .result import BistDesign, ReferenceDesign, SweepEntry
+from .synthesizer import (
+    AdvBistSynthesizer,
+    SweepResult,
+    synthesize_bist,
+    synthesize_reference,
+)
+
+__all__ = [
+    "ConstantPortAnalysis",
+    "analyse_constant_ports",
+    "AdvBistFormulation",
+    "AdvBistSolveResult",
+    "FormulationError",
+    "FormulationOptions",
+    "ReferenceFormulation",
+    "ReferenceSolveResult",
+    "BistDesign",
+    "ReferenceDesign",
+    "SweepEntry",
+    "AdvBistSynthesizer",
+    "SweepResult",
+    "synthesize_bist",
+    "synthesize_reference",
+]

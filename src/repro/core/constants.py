@@ -1,0 +1,69 @@
+"""Handling of constant operands (section 3.3.4 of the paper).
+
+An operation input port that is fed only by constants has no register behind
+it, so no existing register can be reconfigured into its TPG; testing such a
+port needs a *dedicated* constant pattern generator, which the objective
+penalises with a weight larger than any register weight.
+
+With the module binding fixed (as in the paper's experiments) the set of
+constant-only ports is purely structural, so this module computes it once and
+the formulation adds the corresponding penalty as a constant term while
+skipping equation (10) for those ports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dfg.graph import DataFlowGraph, DFGError
+
+
+@dataclass(frozen=True)
+class ConstantPortAnalysis:
+    """Which module input ports can never be driven from a register.
+
+    Attributes
+    ----------
+    constant_only_ports:
+        ``(module, port)`` pairs fed exclusively by constants across every
+        operation bound to the module.  These need dedicated constant TPGs.
+    mixed_ports:
+        ``(module, port)`` pairs fed by constants for some operations and by
+        variables for others.  They still get a register TPG via eq. (10).
+    """
+
+    constant_only_ports: tuple[tuple[int, int], ...]
+    mixed_ports: tuple[tuple[int, int], ...]
+
+    @property
+    def num_constant_tpgs(self) -> int:
+        """The paper's ``N_tc`` term."""
+        return len(self.constant_only_ports)
+
+
+def analyse_constant_ports(graph: DataFlowGraph) -> ConstantPortAnalysis:
+    """Classify every module input port by the operands that reach it."""
+    if not graph.is_module_bound:
+        raise DFGError("constant-port analysis requires a module-bound DFG")
+
+    constant_only: list[tuple[int, int]] = []
+    mixed: list[tuple[int, int]] = []
+    for module in graph.module_ids:
+        ops = graph.module_operations()[module]
+        for port in graph.module_input_ports(module):
+            feeds_variable = False
+            feeds_constant = False
+            for op_id in ops:
+                op = graph.operations[op_id]
+                if port >= len(op.inputs):
+                    continue
+                operand = op.inputs[port]
+                if isinstance(operand, int):
+                    feeds_variable = True
+                else:
+                    feeds_constant = True
+            if feeds_constant and not feeds_variable:
+                constant_only.append((module, port))
+            elif feeds_constant and feeds_variable:
+                mixed.append((module, port))
+    return ConstantPortAnalysis(tuple(sorted(constant_only)), tuple(sorted(mixed)))

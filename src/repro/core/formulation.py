@@ -1,0 +1,613 @@
+"""The ADVBIST integer linear program (sections 3.1-3.5 of the paper).
+
+:class:`AdvBistFormulation` turns a scheduled, module-bound DFG and a target
+number of test sessions ``k`` into an ILP that *concurrently* decides
+
+* the system register assignment (``x_vr``),
+* the register↔module interconnect and the multiplexers it implies
+  (``z_rml``, ``z_mr``, equations (1)–(5)),
+* the input-port permutation of commutative operations (``s_{l*,l,o}``,
+  equation (3)), and
+* the BIST register assignment: signature registers (``s_mrp``, equations
+  (6)–(8)), test pattern generators (``t_rmlp``, equations (9)–(13)) and the
+  BILBO/CBILBO reconfiguration each register needs (equations (14)–(23)),
+
+minimising the transistor-count objective of section 3.4.  Solving the model
+for each ``k`` from 1 to the number of modules reproduces the paper's range
+of designs trading test time against area.
+
+The formulation keeps the paper's equation structure (including the auxiliary
+``z_vroml`` variables of equations (1)–(3)) so that each constraint family in
+the code can be read against the corresponding equation.  The operation→module
+assignment is taken from the DFG's module binding, as in the paper's
+experiments where all four compared systems share one module assignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..cost.transistors import CostModel, PAPER_COST_MODEL
+from ..datapath.bist import TestPlan
+from ..datapath.datapath import Datapath
+from ..dfg.analysis import (
+    PrimaryInputPolicy,
+    incompatible_variable_clique,
+    minimum_register_count,
+    variable_lifetimes,
+)
+from ..dfg.graph import DataFlowGraph, DFGError
+from ..ilp.expr import LinExpr, Variable
+from ..ilp.model import Model
+from ..ilp.solution import Solution
+from .constants import ConstantPortAnalysis, analyse_constant_ports
+from .result import BistDesign
+
+
+class FormulationError(ValueError):
+    """Raised when the formulation cannot be built or a solution decoded."""
+
+
+@dataclass(frozen=True)
+class FormulationOptions:
+    """Knobs of the ADVBIST formulation.
+
+    Attributes
+    ----------
+    num_registers:
+        Number of registers of the data path.  Defaults to the minimum
+        (the maximal horizontal crossing), matching the paper's assumption
+        that the register count is known a priori and never increased.
+    allow_commutative_swap:
+        Whether commutative operations may swap their operands (equation (3)).
+        Disabled, every operation uses the identity port mapping.
+    symmetry_reduction:
+        Whether to pin a maximum clique of incompatible variables to fixed
+        registers (section 3.5).
+    adverse_path_constraints:
+        Whether to emit the auxiliary-variable constraints of equations
+        (1)–(3).  They are required for correctness of the BIST assignment
+        (without them the solver could invent test-only wires); the switch
+        exists for the ablation benchmark quantifying their effect.
+    fixed_register_assignment:
+        When given, the system register assignment is frozen to this mapping
+        and only the BIST/interconnect decisions remain — the non-concurrent
+        ablation of the paper's key idea.
+    primary_input_policy:
+        Lifetime convention for primary inputs (see :mod:`repro.dfg.analysis`).
+    """
+
+    num_registers: int | None = None
+    allow_commutative_swap: bool = True
+    symmetry_reduction: bool = True
+    adverse_path_constraints: bool = True
+    fixed_register_assignment: Mapping[int, int] | None = None
+    primary_input_policy: PrimaryInputPolicy = "at_first_use"
+
+
+@dataclass
+class AdvBistSolveResult:
+    """Raw solver outcome plus the decoded design (when feasible)."""
+
+    solution: Solution
+    design: BistDesign | None
+    model_stats: dict = field(default_factory=dict)
+
+    @property
+    def feasible(self) -> bool:
+        return self.design is not None
+
+
+class AdvBistFormulation:
+    """Builder and decoder of the ADVBIST ILP for one k-test session."""
+
+    def __init__(
+        self,
+        graph: DataFlowGraph,
+        k: int,
+        cost_model: CostModel = PAPER_COST_MODEL,
+        options: FormulationOptions | None = None,
+    ):
+        if not graph.is_scheduled or not graph.is_module_bound:
+            raise FormulationError(
+                "ADVBIST needs a scheduled and module-bound DFG "
+                f"(got scheduled={graph.is_scheduled}, bound={graph.is_module_bound})"
+            )
+        if k < 1:
+            raise FormulationError(f"the number of test sessions k must be >= 1, got {k}")
+        self.graph = graph
+        self.k = k
+        self.cost_model = cost_model
+        self.options = options or FormulationOptions()
+
+        self.sessions = list(range(1, k + 1))
+        self.modules = graph.module_ids
+        self.module_ports = {m: list(graph.module_input_ports(m)) for m in self.modules}
+        self.num_registers = (
+            self.options.num_registers
+            if self.options.num_registers is not None
+            else minimum_register_count(graph, self.options.primary_input_policy)
+        )
+        if self.num_registers < minimum_register_count(graph, self.options.primary_input_policy):
+            raise FormulationError(
+                f"{self.num_registers} registers are fewer than the minimal "
+                f"horizontal crossing of {minimum_register_count(graph)}"
+            )
+        self.registers = list(range(self.num_registers))
+        self.constant_ports: ConstantPortAnalysis = analyse_constant_ports(graph)
+
+        self.model = Model(name=f"advbist_{graph.name}_k{k}")
+        # variable families, keyed as in the paper
+        self.x: dict[tuple[int, int], Variable] = {}
+        self.s_perm: dict[tuple[int, int, int], Variable] = {}
+        self.z_in: dict[tuple[int, int, int], Variable] = {}
+        self.z_out: dict[tuple[int, int], Variable] = {}
+        self.z_aux: dict[tuple[int, int, int, int, int], Variable] = {}
+        self.s_mrp: dict[tuple[int, int, int], Variable] = {}
+        self.t_rmlp: dict[tuple[int, int, int, int], Variable] = {}
+        self.t_reg: dict[int, Variable] = {}
+        self.s_reg: dict[int, Variable] = {}
+        self.b_reg: dict[int, Variable] = {}
+        self.c_reg: dict[int, Variable] = {}
+        self.t_reg_p: dict[tuple[int, int], Variable] = {}
+        self.s_reg_p: dict[tuple[int, int], Variable] = {}
+        self.c_reg_p: dict[tuple[int, int], Variable] = {}
+        self.mux_reg_size: dict[tuple[int, int], Variable] = {}
+        self.mux_port_size: dict[tuple[int, int, int], Variable] = {}
+
+        self._build()
+
+    # ==================================================================
+    # model construction
+    # ==================================================================
+    def _build(self) -> None:
+        self._add_register_assignment()
+        self._add_commutative_permutations()
+        self._add_interconnect()
+        self._add_mux_sizing()
+        self._add_sr_assignment()
+        self._add_tpg_assignment()
+        self._add_bilbo_classification()
+        self._add_objective()
+        if self.options.symmetry_reduction and self.options.fixed_register_assignment is None:
+            self._add_symmetry_reduction()
+
+    # -- system register assignment (x_vr) ------------------------------
+    def _add_register_assignment(self) -> None:
+        graph = self.graph
+        lifetimes = variable_lifetimes(graph, self.options.primary_input_policy)
+
+        for v in graph.variable_ids:
+            for r in self.registers:
+                self.x[(v, r)] = self.model.add_binary(f"x_v{v}_r{r}")
+            self.model.add_constr(
+                LinExpr.sum(self.x[(v, r)] for r in self.registers) == 1.0,
+                f"assign_v{v}",
+            )
+
+        # Incompatibility: at every clock boundary a register holds at most
+        # one live variable (clique form of the pairwise constraints).
+        last_boundary = max(lt.death for lt in lifetimes.values())
+        for boundary in range(0, last_boundary + 1):
+            live = [v for v, lt in lifetimes.items() if lt.birth <= boundary <= lt.death]
+            if len(live) < 2:
+                continue
+            for r in self.registers:
+                self.model.add_constr(
+                    LinExpr.sum(self.x[(v, r)] for v in live) <= 1.0,
+                    f"conflict_b{boundary}_r{r}",
+                )
+
+        fixed = self.options.fixed_register_assignment
+        if fixed is not None:
+            for v, r in fixed.items():
+                if (v, r) not in self.x:
+                    raise FormulationError(
+                        f"fixed assignment maps variable {v} to register {r} "
+                        f"outside 0..{self.num_registers - 1}"
+                    )
+                self.model.add_constr(self.x[(v, r)] + 0.0 == 1.0, f"fixed_v{v}_r{r}")
+
+    # -- commutative input-port permutations (equation (3)) -------------
+    def _swappable(self, op) -> bool:
+        """Whether the ILP may permute this operation's input ports."""
+        if not self.options.allow_commutative_swap:
+            return False
+        if not op.commutative or len(op.inputs) != 2:
+            return False
+        # Operations with constant operands keep the identity mapping so the
+        # constant-port analysis of section 3.3.4 stays structural.
+        return all(isinstance(operand, int) for operand in op.inputs)
+
+    def _add_commutative_permutations(self) -> None:
+        for op in self.graph.operations.values():
+            if not self._swappable(op):
+                continue
+            ports = list(range(len(op.inputs)))
+            for pseudo in ports:
+                for phys in ports:
+                    self.s_perm[(op.op_id, pseudo, phys)] = self.model.add_binary(
+                        f"s_o{op.op_id}_p{pseudo}_l{phys}"
+                    )
+            for pseudo in ports:
+                self.model.add_constr(
+                    LinExpr.sum(self.s_perm[(op.op_id, pseudo, phys)] for phys in ports) == 1.0,
+                    f"perm_row_o{op.op_id}_p{pseudo}",
+                )
+            for phys in ports:
+                self.model.add_constr(
+                    LinExpr.sum(self.s_perm[(op.op_id, pseudo, phys)] for pseudo in ports) == 1.0,
+                    f"perm_col_o{op.op_id}_l{phys}",
+                )
+
+    # -- interconnect (equations (1)-(3) plus the functional requirement) -
+    def _routing_cases(self) -> list[tuple[int, int, int, int, Variable | None]]:
+        """Enumerate (v, o, pseudo_port, physical_port, permutation_var).
+
+        Each case states that variable ``v`` on pseudo input port
+        ``pseudo_port`` of operation ``o`` may arrive on physical port
+        ``physical_port``; ``permutation_var`` is the ``s`` binary selecting
+        that routing (``None`` when the routing is unconditional).
+        """
+        cases = []
+        for op in self.graph.operations.values():
+            for pseudo, operand in enumerate(op.inputs):
+                if not isinstance(operand, int):
+                    continue
+                if self._swappable(op):
+                    for phys in range(len(op.inputs)):
+                        cases.append(
+                            (operand, op.op_id, pseudo, phys,
+                             self.s_perm[(op.op_id, pseudo, phys)])
+                        )
+                else:
+                    cases.append((operand, op.op_id, pseudo, pseudo, None))
+        return cases
+
+    def _add_interconnect(self) -> None:
+        graph = self.graph
+
+        for m in self.modules:
+            for l in self.module_ports[m]:
+                for r in self.registers:
+                    self.z_in[(r, m, l)] = self.model.add_binary(f"z_r{r}_m{m}_l{l}")
+            for r in self.registers:
+                self.z_out[(m, r)] = self.model.add_binary(f"z_m{m}_r{r}")
+
+        cases = self._routing_cases()
+        cases_by_port: dict[tuple[int, int], list] = {}
+        for (v, o, pseudo, phys, perm_var) in cases:
+            module = graph.operations[o].module
+            cases_by_port.setdefault((module, phys), []).append((v, o, pseudo, phys, perm_var))
+
+        # Functional requirement: the wire must exist when the routing is used.
+        for (v, o, pseudo, phys, perm_var) in cases:
+            module = graph.operations[o].module
+            for r in self.registers:
+                z = self.z_in[(r, module, phys)]
+                if perm_var is None:
+                    # z >= x_vr
+                    self.model.add_constr(self.x[(v, r)] - z <= 0.0,
+                                          f"need_r{r}_m{module}_l{phys}_v{v}_o{o}")
+                else:
+                    # z >= x_vr + s - 1
+                    self.model.add_constr(self.x[(v, r)] + perm_var - z <= 1.0,
+                                          f"need_r{r}_m{module}_l{phys}_v{v}_o{o}")
+
+        # Adverse-path prevention, equations (1)-(3).
+        if self.options.adverse_path_constraints:
+            for m in self.modules:
+                for l in self.module_ports[m]:
+                    port_cases = cases_by_port.get((m, l), [])
+                    for r in self.registers:
+                        z = self.z_in[(r, m, l)]
+                        if not port_cases:
+                            self.model.add_constr(z + 0.0 == 0.0, f"nowire_r{r}_m{m}_l{l}")
+                            continue
+                        aux_vars = []
+                        for (v, o, pseudo, phys, perm_var) in port_cases:
+                            aux = self.model.add_binary(f"zaux_v{v}_r{r}_o{o}_l{phys}_p{pseudo}")
+                            self.z_aux[(v, r, o, phys, pseudo)] = aux
+                            # Equation (2)/(3) with x_om = 1 substituted.
+                            self.model.add_constr(aux - self.x[(v, r)] <= 0.0,
+                                                  f"aux_x_v{v}_r{r}_o{o}_l{phys}")
+                            if perm_var is not None:
+                                self.model.add_constr(aux - perm_var <= 0.0,
+                                                      f"aux_s_v{v}_r{r}_o{o}_l{phys}")
+                            aux_vars.append(aux)
+                        # Equation (1): z = 1 requires at least one justifying aux.
+                        self.model.add_constr(
+                            LinExpr.sum(aux_vars) - z >= 0.0, f"justify_r{r}_m{m}_l{l}"
+                        )
+
+        # Module output wires: required by the output variable's register,
+        # forbidden elsewhere ("in a similar manner", section 3.1).
+        outputs_by_module: dict[int, list[int]] = {}
+        for op in graph.operations.values():
+            outputs_by_module.setdefault(op.module, []).append(op.output)
+        for m in self.modules:
+            outputs = outputs_by_module.get(m, [])
+            for r in self.registers:
+                z = self.z_out[(m, r)]
+                for v in outputs:
+                    self.model.add_constr(self.x[(v, r)] - z <= 0.0,
+                                          f"need_out_m{m}_r{r}_v{v}")
+                if self.options.adverse_path_constraints:
+                    if outputs:
+                        self.model.add_constr(
+                            z - LinExpr.sum(self.x[(v, r)] for v in outputs) <= 0.0,
+                            f"justify_out_m{m}_r{r}",
+                        )
+                    else:
+                        self.model.add_constr(z + 0.0 == 0.0, f"noout_m{m}_r{r}")
+
+    # -- multiplexer sizing (equations (4)-(5) plus the cost table) ------
+    def _add_mux_sizing(self) -> None:
+        # Register-input multiplexers: one source per module wired to it.
+        for r in self.registers:
+            sizes = range(0, len(self.modules) + 1)
+            for size in sizes:
+                self.mux_reg_size[(r, size)] = self.model.add_binary(f"muxr_r{r}_n{size}")
+            self.model.add_constr(
+                LinExpr.sum(self.mux_reg_size[(r, size)] for size in sizes) == 1.0,
+                f"muxr_onehot_r{r}",
+            )
+            self.model.add_constr(
+                LinExpr.sum(float(size) * self.mux_reg_size[(r, size)] for size in sizes)
+                - LinExpr.sum(self.z_out[(m, r)] for m in self.modules) == 0.0,
+                f"muxr_count_r{r}",
+            )
+
+        # Module-port multiplexers: one source per register wired to the port.
+        for m in self.modules:
+            for l in self.module_ports[m]:
+                sizes = range(0, len(self.registers) + 1)
+                for size in sizes:
+                    self.mux_port_size[(m, l, size)] = self.model.add_binary(
+                        f"muxp_m{m}_l{l}_n{size}"
+                    )
+                self.model.add_constr(
+                    LinExpr.sum(self.mux_port_size[(m, l, size)] for size in sizes) == 1.0,
+                    f"muxp_onehot_m{m}_l{l}",
+                )
+                self.model.add_constr(
+                    LinExpr.sum(float(size) * self.mux_port_size[(m, l, size)] for size in sizes)
+                    - LinExpr.sum(self.z_in[(r, m, l)] for r in self.registers) == 0.0,
+                    f"muxp_count_m{m}_l{l}",
+                )
+
+    # -- signature register assignment (equations (6)-(8)) ---------------
+    def _add_sr_assignment(self) -> None:
+        for m in self.modules:
+            for r in self.registers:
+                for p in self.sessions:
+                    self.s_mrp[(m, r, p)] = self.model.add_binary(f"sr_m{m}_r{r}_p{p}")
+                # Equation (6): an SR needs a wire from the module.
+                self.model.add_constr(
+                    self.z_out[(m, r)]
+                    - LinExpr.sum(self.s_mrp[(m, r, p)] for p in self.sessions) >= 0.0,
+                    f"eq6_m{m}_r{r}",
+                )
+            # Equation (7): each module tested exactly once.
+            self.model.add_constr(
+                LinExpr.sum(self.s_mrp[(m, r, p)]
+                            for r in self.registers for p in self.sessions) == 1.0,
+                f"eq7_m{m}",
+            )
+        # Equation (8): an SR serves at most one module per sub-test session.
+        for r in self.registers:
+            for p in self.sessions:
+                self.model.add_constr(
+                    LinExpr.sum(self.s_mrp[(m, r, p)] for m in self.modules) <= 1.0,
+                    f"eq8_r{r}_p{p}",
+                )
+
+    # -- TPG assignment (equations (9)-(13)) ------------------------------
+    def _testable_ports(self, m: int) -> list[int]:
+        """Module input ports that need a register TPG (non constant-only)."""
+        constant_only = set(self.constant_ports.constant_only_ports)
+        return [l for l in self.module_ports[m] if (m, l) not in constant_only]
+
+    def _add_tpg_assignment(self) -> None:
+        for m in self.modules:
+            ports = self._testable_ports(m)
+            for l in ports:
+                for r in self.registers:
+                    for p in self.sessions:
+                        self.t_rmlp[(r, m, l, p)] = self.model.add_binary(
+                            f"tpg_r{r}_m{m}_l{l}_p{p}"
+                        )
+                    # Equation (9): a TPG needs a wire to the port.
+                    self.model.add_constr(
+                        self.z_in[(r, m, l)]
+                        - LinExpr.sum(self.t_rmlp[(r, m, l, p)] for p in self.sessions) >= 0.0,
+                        f"eq9_r{r}_m{m}_l{l}",
+                    )
+                # Equation (10): exactly one TPG per port over the k-test session.
+                self.model.add_constr(
+                    LinExpr.sum(self.t_rmlp[(r, m, l, p)]
+                                for r in self.registers for p in self.sessions) == 1.0,
+                    f"eq10_m{m}_l{l}",
+                )
+
+            if not ports:
+                continue
+            anchor = ports[0]
+            for p in self.sessions:
+                anchor_sum = LinExpr.sum(
+                    self.t_rmlp[(r, m, anchor, p)] for r in self.registers
+                )
+                # Equation (11): all ports of a module are driven in the same session.
+                for l in ports[1:]:
+                    self.model.add_constr(
+                        anchor_sum
+                        - LinExpr.sum(self.t_rmlp[(r, m, l, p)] for r in self.registers)
+                        == 0.0,
+                        f"eq11_m{m}_l{l}_p{p}",
+                    )
+                # Equation (12): the SR of the module works in that same session.
+                self.model.add_constr(
+                    LinExpr.sum(self.s_mrp[(m, r, p)] for r in self.registers)
+                    - anchor_sum == 0.0,
+                    f"eq12_m{m}_p{p}",
+                )
+                # Equation (13): one register may not feed two ports of one module.
+                for r in self.registers:
+                    if len(ports) >= 2:
+                        self.model.add_constr(
+                            LinExpr.sum(self.t_rmlp[(r, m, l, p)] for l in ports) <= 1.0,
+                            f"eq13_r{r}_m{m}_p{p}",
+                        )
+
+    # -- BILBO / CBILBO classification (equations (14)-(23)) --------------
+    def _add_bilbo_classification(self) -> None:
+        for r in self.registers:
+            tpg_uses = [var for (rr, _m, _l, _p), var in self.t_rmlp.items() if rr == r]
+            sr_uses = [var for (_m, rr, _p), var in self.s_mrp.items() if rr == r]
+
+            self.t_reg[r] = self.model.add_binary(f"treg_r{r}")
+            self.s_reg[r] = self.model.add_binary(f"sreg_r{r}")
+            self.b_reg[r] = self.model.add_binary(f"breg_r{r}")
+            self.c_reg[r] = self.model.add_binary(f"creg_r{r}")
+
+            # Equations (15)/(16): is the register ever a TPG / an SR?
+            self.model.add_or_indicator(self.t_reg[r], tpg_uses, f"eq15_r{r}")
+            self.model.add_or_indicator(self.s_reg[r], sr_uses, f"eq16_r{r}")
+            # Equations (17)/(18): both roles => BILBO or CBILBO.
+            self.model.add_and_indicator(self.b_reg[r], self.t_reg[r], self.s_reg[r],
+                                         f"eq17_18_r{r}")
+
+            session_conflicts = []
+            for p in self.sessions:
+                tpg_in_p = [var for (rr, _m, _l, pp), var in self.t_rmlp.items()
+                            if rr == r and pp == p]
+                sr_in_p = [var for (_m, rr, pp), var in self.s_mrp.items()
+                           if rr == r and pp == p]
+                self.t_reg_p[(r, p)] = self.model.add_binary(f"tregp_r{r}_p{p}")
+                self.s_reg_p[(r, p)] = self.model.add_binary(f"sregp_r{r}_p{p}")
+                self.c_reg_p[(r, p)] = self.model.add_binary(f"cregp_r{r}_p{p}")
+                # Equations (19)/(20).
+                self.model.add_or_indicator(self.t_reg_p[(r, p)], tpg_in_p, f"eq19_r{r}_p{p}")
+                self.model.add_or_indicator(self.s_reg_p[(r, p)], sr_in_p, f"eq20_r{r}_p{p}")
+                # Equations (21)/(22): both roles in the same session => CBILBO.
+                self.model.add_and_indicator(self.c_reg_p[(r, p)], self.t_reg_p[(r, p)],
+                                             self.s_reg_p[(r, p)], f"eq21_22_r{r}_p{p}")
+                session_conflicts.append(self.c_reg_p[(r, p)])
+            # Equation (23).
+            self.model.add_or_indicator(self.c_reg[r], session_conflicts, f"eq23_r{r}")
+
+    # -- objective (section 3.4) ------------------------------------------
+    def _add_objective(self) -> None:
+        cost = self.cost_model
+        increments = cost.incremental_weights()
+
+        objective = LinExpr({}, float(len(self.registers) * cost.w_reg))
+        for r in self.registers:
+            objective = objective + increments["tpg"] * self.t_reg[r]
+            objective = objective + increments["sr"] * self.s_reg[r]
+            objective = objective + increments["bilbo"] * self.b_reg[r]
+            objective = objective + increments["cbilbo"] * self.c_reg[r]
+
+        for (r, size), var in self.mux_reg_size.items():
+            weight = cost.mux_cost(size)
+            if weight:
+                objective = objective + weight * var
+        for (m, l, size), var in self.mux_port_size.items():
+            weight = cost.mux_cost(size)
+            if weight:
+                objective = objective + weight * var
+
+        # Section 3.3.4: constant-only ports need dedicated constant TPGs.
+        objective = objective + float(
+            cost.constant_tpg_weight * self.constant_ports.num_constant_tpgs
+        )
+        self.model.set_objective(objective)
+
+    # -- symmetry reduction (section 3.5) -----------------------------------
+    def _add_symmetry_reduction(self) -> None:
+        clique = incompatible_variable_clique(self.graph, self.options.primary_input_policy)
+        for register, variable in enumerate(clique[: len(self.registers)]):
+            self.model.add_constr(
+                self.x[(variable, register)] + 0.0 == 1.0,
+                f"pin_v{variable}_r{register}",
+            )
+
+    # ==================================================================
+    # solving and decoding
+    # ==================================================================
+    def solve(self, backend: str | object = "auto", time_limit: float | None = None,
+              mip_gap: float = 1e-6) -> AdvBistSolveResult:
+        """Solve the ILP and decode the resulting BIST design."""
+        solution = self.model.solve(backend=backend, time_limit=time_limit, mip_gap=mip_gap)
+        design = self.extract_design(solution) if solution.status.has_solution else None
+        return AdvBistSolveResult(solution=solution, design=design,
+                                  model_stats=self.model.stats())
+
+    def extract_design(self, solution: Solution) -> BistDesign:
+        """Decode a solver solution into a verified :class:`BistDesign`."""
+        if not solution.status.has_solution:
+            raise FormulationError("cannot extract a design from an infeasible solution")
+
+        register_assignment = {}
+        for v in self.graph.variable_ids:
+            chosen = [r for r in self.registers if solution.is_one(self.x[(v, r)])]
+            if len(chosen) != 1:
+                raise FormulationError(
+                    f"variable {v} assigned to {len(chosen)} registers in the solution"
+                )
+            register_assignment[v] = chosen[0]
+
+        port_permutations: dict[int, dict[int, int]] = {}
+        for (op_id, pseudo, phys), var in self.s_perm.items():
+            if solution.is_one(var):
+                port_permutations.setdefault(op_id, {})[pseudo] = phys
+
+        datapath = Datapath.from_bindings(
+            self.graph, register_assignment, port_permutations,
+            name=f"{self.graph.name}_advbist_k{self.k}",
+        )
+
+        module_session: dict[int, int] = {}
+        sr_of_module: dict[int, int] = {}
+        for (m, r, p), var in self.s_mrp.items():
+            if solution.is_one(var):
+                if m in sr_of_module:
+                    raise FormulationError(f"module {m} received two signature registers")
+                sr_of_module[m] = r
+                module_session[m] = p
+
+        tpg_of_port: dict[tuple[int, int], int] = {}
+        for (r, m, l, p), var in self.t_rmlp.items():
+            if solution.is_one(var):
+                key = (m, l)
+                if key in tpg_of_port:
+                    raise FormulationError(f"module {m} port {l} received two TPGs")
+                tpg_of_port[key] = r
+
+        plan = TestPlan(
+            num_sessions=self.k,
+            module_session=module_session,
+            sr_of_module=sr_of_module,
+            tpg_of_port=tpg_of_port,
+            constant_tpg_ports=list(self.constant_ports.constant_only_ports),
+        )
+
+        design = BistDesign(
+            method="ADVBIST",
+            circuit=self.graph.name,
+            k=self.k,
+            datapath=datapath,
+            plan=plan,
+            cost_model=self.cost_model,
+            optimal=solution.proven_optimal,
+            solve_seconds=solution.solve_seconds,
+            objective=solution.objective,
+        )
+
+        report = design.verify()
+        if not report.ok:
+            raise FormulationError(
+                "decoded ADVBIST design violates the BIST rules: " + "; ".join(report.problems)
+            )
+        return design

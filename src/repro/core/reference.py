@@ -1,0 +1,245 @@
+"""The reference (non-BIST) optimal data path ILP.
+
+Section 4.1: *"The reference circuits, which were used to measure the area
+overhead of BIST designs, were obtained through an ILP for data path
+synthesis.  The reference circuits are optimal in area."*
+
+This formulation is the ADVBIST model stripped of every BIST constraint: it
+assigns variables to the minimum number of registers and chooses commutative
+port permutations so that the register + multiplexer transistor count is
+minimal.  Its optimum is the denominator of every area-overhead figure in
+Tables 2 and 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cost.transistors import CostModel, PAPER_COST_MODEL
+from ..datapath.datapath import Datapath
+from ..dfg.analysis import (
+    incompatible_variable_clique,
+    minimum_register_count,
+    variable_lifetimes,
+)
+from ..dfg.graph import DataFlowGraph
+from ..ilp.expr import LinExpr, Variable
+from ..ilp.model import Model
+from ..ilp.solution import Solution
+from .formulation import FormulationError, FormulationOptions
+from .result import ReferenceDesign
+
+
+@dataclass
+class ReferenceSolveResult:
+    """Raw solver outcome plus the decoded reference design."""
+
+    solution: Solution
+    design: ReferenceDesign | None
+    model_stats: dict = field(default_factory=dict)
+
+
+class ReferenceFormulation:
+    """Optimal register + interconnect assignment without BIST."""
+
+    def __init__(
+        self,
+        graph: DataFlowGraph,
+        cost_model: CostModel = PAPER_COST_MODEL,
+        options: FormulationOptions | None = None,
+    ):
+        if not graph.is_scheduled or not graph.is_module_bound:
+            raise FormulationError("the reference ILP needs a scheduled, module-bound DFG")
+        self.graph = graph
+        self.cost_model = cost_model
+        self.options = options or FormulationOptions()
+
+        self.modules = graph.module_ids
+        self.module_ports = {m: list(graph.module_input_ports(m)) for m in self.modules}
+        self.num_registers = (
+            self.options.num_registers
+            if self.options.num_registers is not None
+            else minimum_register_count(graph, self.options.primary_input_policy)
+        )
+        self.registers = list(range(self.num_registers))
+
+        self.model = Model(name=f"reference_{graph.name}")
+        self.x: dict[tuple[int, int], Variable] = {}
+        self.s_perm: dict[tuple[int, int, int], Variable] = {}
+        self.z_in: dict[tuple[int, int, int], Variable] = {}
+        self.z_out: dict[tuple[int, int], Variable] = {}
+        self.mux_reg_size: dict[tuple[int, int], Variable] = {}
+        self.mux_port_size: dict[tuple[int, int, int], Variable] = {}
+        self._build()
+
+    # ------------------------------------------------------------------
+    def _swappable(self, op) -> bool:
+        if not self.options.allow_commutative_swap:
+            return False
+        if not op.commutative or len(op.inputs) != 2:
+            return False
+        return all(isinstance(operand, int) for operand in op.inputs)
+
+    def _build(self) -> None:
+        graph = self.graph
+        lifetimes = variable_lifetimes(graph, self.options.primary_input_policy)
+
+        for v in graph.variable_ids:
+            for r in self.registers:
+                self.x[(v, r)] = self.model.add_binary(f"x_v{v}_r{r}")
+            self.model.add_constr(
+                LinExpr.sum(self.x[(v, r)] for r in self.registers) == 1.0, f"assign_v{v}"
+            )
+        last_boundary = max(lt.death for lt in lifetimes.values())
+        for boundary in range(0, last_boundary + 1):
+            live = [v for v, lt in lifetimes.items() if lt.birth <= boundary <= lt.death]
+            if len(live) < 2:
+                continue
+            for r in self.registers:
+                self.model.add_constr(
+                    LinExpr.sum(self.x[(v, r)] for v in live) <= 1.0,
+                    f"conflict_b{boundary}_r{r}",
+                )
+
+        for op in graph.operations.values():
+            if not self._swappable(op):
+                continue
+            ports = list(range(len(op.inputs)))
+            for pseudo in ports:
+                for phys in ports:
+                    self.s_perm[(op.op_id, pseudo, phys)] = self.model.add_binary(
+                        f"s_o{op.op_id}_p{pseudo}_l{phys}"
+                    )
+            for pseudo in ports:
+                self.model.add_constr(
+                    LinExpr.sum(self.s_perm[(op.op_id, pseudo, phys)] for phys in ports) == 1.0,
+                    f"perm_row_o{op.op_id}_p{pseudo}",
+                )
+            for phys in ports:
+                self.model.add_constr(
+                    LinExpr.sum(self.s_perm[(op.op_id, pseudo, phys)] for pseudo in ports) == 1.0,
+                    f"perm_col_o{op.op_id}_l{phys}",
+                )
+
+        for m in self.modules:
+            for l in self.module_ports[m]:
+                for r in self.registers:
+                    self.z_in[(r, m, l)] = self.model.add_binary(f"z_r{r}_m{m}_l{l}")
+            for r in self.registers:
+                self.z_out[(m, r)] = self.model.add_binary(f"z_m{m}_r{r}")
+
+        for op in graph.operations.values():
+            module = op.module
+            for pseudo, operand in enumerate(op.inputs):
+                if not isinstance(operand, int):
+                    continue
+                if self._swappable(op):
+                    for phys in range(len(op.inputs)):
+                        perm = self.s_perm[(op.op_id, pseudo, phys)]
+                        for r in self.registers:
+                            self.model.add_constr(
+                                self.x[(operand, r)] + perm - self.z_in[(r, module, phys)] <= 1.0,
+                                f"need_r{r}_m{module}_l{phys}_o{op.op_id}_p{pseudo}",
+                            )
+                else:
+                    for r in self.registers:
+                        self.model.add_constr(
+                            self.x[(operand, r)] - self.z_in[(r, module, pseudo)] <= 0.0,
+                            f"need_r{r}_m{module}_l{pseudo}_o{op.op_id}",
+                        )
+            for r in self.registers:
+                self.model.add_constr(
+                    self.x[(op.output, r)] - self.z_out[(module, r)] <= 0.0,
+                    f"need_out_m{module}_r{r}_o{op.op_id}",
+                )
+
+        # Mux sizing (the reference minimises mux area, not just wire count).
+        for r in self.registers:
+            sizes = range(0, len(self.modules) + 1)
+            for size in sizes:
+                self.mux_reg_size[(r, size)] = self.model.add_binary(f"muxr_r{r}_n{size}")
+            self.model.add_constr(
+                LinExpr.sum(self.mux_reg_size[(r, size)] for size in sizes) == 1.0,
+                f"muxr_onehot_r{r}",
+            )
+            self.model.add_constr(
+                LinExpr.sum(float(size) * self.mux_reg_size[(r, size)] for size in sizes)
+                - LinExpr.sum(self.z_out[(m, r)] for m in self.modules) == 0.0,
+                f"muxr_count_r{r}",
+            )
+        for m in self.modules:
+            for l in self.module_ports[m]:
+                sizes = range(0, len(self.registers) + 1)
+                for size in sizes:
+                    self.mux_port_size[(m, l, size)] = self.model.add_binary(
+                        f"muxp_m{m}_l{l}_n{size}"
+                    )
+                self.model.add_constr(
+                    LinExpr.sum(self.mux_port_size[(m, l, size)] for size in sizes) == 1.0,
+                    f"muxp_onehot_m{m}_l{l}",
+                )
+                self.model.add_constr(
+                    LinExpr.sum(float(size) * self.mux_port_size[(m, l, size)]
+                                for size in sizes)
+                    - LinExpr.sum(self.z_in[(r, m, l)] for r in self.registers) == 0.0,
+                    f"muxp_count_m{m}_l{l}",
+                )
+
+        objective = LinExpr({}, float(len(self.registers) * self.cost_model.w_reg))
+        for (r, size), var in self.mux_reg_size.items():
+            weight = self.cost_model.mux_cost(size)
+            if weight:
+                objective = objective + weight * var
+        for (m, l, size), var in self.mux_port_size.items():
+            weight = self.cost_model.mux_cost(size)
+            if weight:
+                objective = objective + weight * var
+        self.model.set_objective(objective)
+
+        # Interconnect minimisation already pushes every unjustified wire to 0,
+        # so no adverse-path constraints are needed here; symmetry is broken
+        # exactly as in section 3.5.
+        if self.options.symmetry_reduction:
+            clique = incompatible_variable_clique(graph, self.options.primary_input_policy)
+            for register, variable in enumerate(clique[: len(self.registers)]):
+                self.model.add_constr(
+                    self.x[(variable, register)] + 0.0 == 1.0, f"pin_v{variable}_r{register}"
+                )
+
+    # ------------------------------------------------------------------
+    def solve(self, backend: str | object = "auto", time_limit: float | None = None,
+              mip_gap: float = 1e-6) -> ReferenceSolveResult:
+        """Solve the reference ILP and decode the data path."""
+        solution = self.model.solve(backend=backend, time_limit=time_limit, mip_gap=mip_gap)
+        design = None
+        if solution.status.has_solution:
+            design = self.extract_design(solution)
+        return ReferenceSolveResult(solution=solution, design=design,
+                                    model_stats=self.model.stats())
+
+    def extract_design(self, solution: Solution) -> ReferenceDesign:
+        register_assignment = {}
+        for v in self.graph.variable_ids:
+            chosen = [r for r in self.registers if solution.is_one(self.x[(v, r)])]
+            if len(chosen) != 1:
+                raise FormulationError(
+                    f"variable {v} assigned to {len(chosen)} registers in the solution"
+                )
+            register_assignment[v] = chosen[0]
+        port_permutations: dict[int, dict[int, int]] = {}
+        for (op_id, pseudo, phys), var in self.s_perm.items():
+            if solution.is_one(var):
+                port_permutations.setdefault(op_id, {})[pseudo] = phys
+        datapath = Datapath.from_bindings(
+            self.graph, register_assignment, port_permutations,
+            name=f"{self.graph.name}_reference",
+        )
+        datapath.validate()
+        return ReferenceDesign(
+            circuit=self.graph.name,
+            datapath=datapath,
+            cost_model=self.cost_model,
+            optimal=solution.proven_optimal,
+            solve_seconds=solution.solve_seconds,
+            objective=solution.objective,
+        )

@@ -1,0 +1,117 @@
+"""Result objects produced by the synthesizers and baselines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cost.area import AreaBreakdown, area_overhead, datapath_area
+from ..cost.transistors import CostModel, PAPER_COST_MODEL
+from ..datapath.bist import TestPlan
+from ..datapath.components import TestRegisterKind
+from ..datapath.datapath import Datapath
+from ..datapath.verify import VerificationReport, verify_bist_plan
+
+
+@dataclass
+class BistDesign:
+    """A synthesized BIST data path for one k-test session.
+
+    This is the common result type of ADVBIST and of every baseline method,
+    so that the Table 3 comparison treats them uniformly.
+    """
+
+    method: str
+    circuit: str
+    k: int
+    datapath: Datapath
+    plan: TestPlan
+    cost_model: CostModel = PAPER_COST_MODEL
+    optimal: bool = False
+    solve_seconds: float = 0.0
+    objective: float | None = None
+    notes: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def area(self) -> AreaBreakdown:
+        """Register + multiplexer area of the BIST design."""
+        return datapath_area(self.datapath, self.plan, self.cost_model)
+
+    def overhead_vs(self, reference_area: float) -> float:
+        """Area overhead (%) against a reference (non-BIST) design area."""
+        return area_overhead(self.area().total, reference_area)
+
+    def verify(self) -> VerificationReport:
+        """Re-check the design against the parallel-BIST rules."""
+        return verify_bist_plan(self.datapath, self.plan)
+
+    def kind_counts(self) -> dict[TestRegisterKind, int]:
+        return self.plan.kind_counts(self.datapath)
+
+    def table3_row(self, reference_area: float | None = None) -> dict:
+        """One row of the Table 3 comparison."""
+        row = {"Method": self.method, **self.area().counts_row()}
+        if reference_area is not None:
+            row["OH(%)"] = round(self.overhead_vs(reference_area), 1)
+        return row
+
+    def summary(self) -> dict:
+        breakdown = self.area()
+        return {
+            "method": self.method,
+            "circuit": self.circuit,
+            "k": self.k,
+            "area": breakdown.total,
+            "mux_inputs": breakdown.mux_inputs,
+            "registers": breakdown.register_count,
+            "optimal": self.optimal,
+            "solve_seconds": round(self.solve_seconds, 3),
+        }
+
+
+@dataclass
+class ReferenceDesign:
+    """The optimal non-BIST data path used as the area-overhead baseline."""
+
+    circuit: str
+    datapath: Datapath
+    cost_model: CostModel = PAPER_COST_MODEL
+    optimal: bool = False
+    solve_seconds: float = 0.0
+    objective: float | None = None
+
+    def area(self) -> AreaBreakdown:
+        return datapath_area(self.datapath, None, self.cost_model)
+
+    def table3_row(self) -> dict:
+        breakdown = self.area()
+        return {
+            "Method": "Ref.",
+            "R": breakdown.register_count,
+            "T": 0, "S": 0, "B": 0, "C": 0,
+            "M": breakdown.mux_inputs,
+            "Area": breakdown.total,
+        }
+
+
+@dataclass
+class SweepEntry:
+    """One (circuit, k) entry of the Table 2 sweep."""
+
+    circuit: str
+    k: int
+    design: BistDesign
+    reference_area: float
+
+    @property
+    def overhead_percent(self) -> float:
+        return self.design.overhead_vs(self.reference_area)
+
+    def table2_row(self) -> dict:
+        return {
+            "circuit": self.circuit,
+            "k": self.k,
+            "overhead_percent": round(self.overhead_percent, 1),
+            "area": self.design.area().total,
+            "optimal": self.design.optimal,
+            "solve_seconds": round(self.design.solve_seconds, 3),
+        }

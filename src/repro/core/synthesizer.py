@@ -1,0 +1,131 @@
+"""High-level synthesis drivers: the k-test-session sweep of ADVBIST.
+
+:class:`AdvBistSynthesizer` wraps the formulation and the reference ILP into
+the workflow of the paper's evaluation:
+
+* ``synthesize_reference()`` — the optimal non-BIST data path (the overhead
+  denominator),
+* ``synthesize(k)`` — the optimal BIST data path for one k-test session,
+* ``sweep()`` — Table 2: one design per k from 1 to the module count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cost.transistors import CostModel, PAPER_COST_MODEL
+from ..dfg.graph import DataFlowGraph
+from .formulation import AdvBistFormulation, FormulationError, FormulationOptions
+from .reference import ReferenceFormulation
+from .result import BistDesign, ReferenceDesign, SweepEntry
+
+
+@dataclass
+class SweepResult:
+    """Outcome of a full k = 1..N sweep for one circuit (one Table 2 block)."""
+
+    circuit: str
+    reference: ReferenceDesign
+    entries: list[SweepEntry] = field(default_factory=list)
+
+    def table2_rows(self) -> list[dict]:
+        return [entry.table2_row() for entry in self.entries]
+
+    def best_entry(self) -> SweepEntry:
+        """The entry with the lowest area overhead (usually the largest k)."""
+        return min(self.entries, key=lambda entry: entry.overhead_percent)
+
+    def overheads(self) -> dict[int, float]:
+        return {entry.k: entry.overhead_percent for entry in self.entries}
+
+
+class AdvBistSynthesizer:
+    """Drive the ADVBIST and reference ILPs over a scheduled, bound DFG."""
+
+    def __init__(
+        self,
+        graph: DataFlowGraph,
+        cost_model: CostModel = PAPER_COST_MODEL,
+        options: FormulationOptions | None = None,
+        backend: str | object = "auto",
+        time_limit: float | None = None,
+    ):
+        self.graph = graph
+        self.cost_model = cost_model
+        self.options = options or FormulationOptions()
+        self.backend = backend
+        self.time_limit = time_limit
+        self._reference: ReferenceDesign | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def num_modules(self) -> int:
+        return len(self.graph.module_ids)
+
+    def synthesize_reference(self) -> ReferenceDesign:
+        """Solve (and cache) the optimal non-BIST reference data path."""
+        if self._reference is None:
+            formulation = ReferenceFormulation(self.graph, self.cost_model, self.options)
+            result = formulation.solve(backend=self.backend, time_limit=self.time_limit)
+            if result.design is None:
+                raise FormulationError(
+                    f"reference synthesis of {self.graph.name!r} failed: "
+                    f"{result.solution.status.value}"
+                )
+            self._reference = result.design
+        return self._reference
+
+    def synthesize(self, k: int) -> BistDesign:
+        """Solve the ADVBIST ILP for a k-test session."""
+        formulation = AdvBistFormulation(self.graph, k, self.cost_model, self.options)
+        result = formulation.solve(backend=self.backend, time_limit=self.time_limit)
+        if result.design is None:
+            raise FormulationError(
+                f"ADVBIST synthesis of {self.graph.name!r} for k={k} failed: "
+                f"{result.solution.status.value}"
+            )
+        return result.design
+
+    def sweep(self, max_k: int | None = None) -> SweepResult:
+        """Synthesize one BIST design per k-test session (Table 2)."""
+        reference = self.synthesize_reference()
+        reference_area = reference.area().total
+        upper = max_k if max_k is not None else self.num_modules
+        upper = max(1, min(upper, self.num_modules))
+
+        entries = []
+        for k in range(1, upper + 1):
+            design = self.synthesize(k)
+            entries.append(
+                SweepEntry(circuit=self.graph.name, k=k, design=design,
+                           reference_area=reference_area)
+            )
+        return SweepResult(circuit=self.graph.name, reference=reference, entries=entries)
+
+
+# ----------------------------------------------------------------------
+# convenience functions (the one-call public API)
+# ----------------------------------------------------------------------
+def synthesize_bist(
+    graph: DataFlowGraph,
+    k: int,
+    cost_model: CostModel = PAPER_COST_MODEL,
+    options: FormulationOptions | None = None,
+    backend: str | object = "auto",
+    time_limit: float | None = None,
+) -> BistDesign:
+    """Synthesize the area-optimal k-test-session BIST data path of a DFG."""
+    synthesizer = AdvBistSynthesizer(graph, cost_model, options, backend, time_limit)
+    return synthesizer.synthesize(k)
+
+
+def synthesize_reference(
+    graph: DataFlowGraph,
+    cost_model: CostModel = PAPER_COST_MODEL,
+    options: FormulationOptions | None = None,
+    backend: str | object = "auto",
+    time_limit: float | None = None,
+) -> ReferenceDesign:
+    """Synthesize the area-optimal non-BIST reference data path of a DFG."""
+    synthesizer = AdvBistSynthesizer(graph, cost_model, options, backend, time_limit)
+    return synthesizer.synthesize_reference()

@@ -1,0 +1,25 @@
+"""Transistor-count cost model (Table 1) and area accounting."""
+
+from .transistors import (
+    CostModel,
+    CostModelError,
+    DEFAULT_CONSTANT_TPG_WEIGHT,
+    MUX_EXTRAPOLATION_STEP,
+    PAPER_COST_MODEL,
+    TABLE1_MUXES_8BIT,
+    TABLE1_REGISTERS_8BIT,
+)
+from .area import AreaBreakdown, area_overhead, datapath_area
+
+__all__ = [
+    "CostModel",
+    "CostModelError",
+    "DEFAULT_CONSTANT_TPG_WEIGHT",
+    "MUX_EXTRAPOLATION_STEP",
+    "PAPER_COST_MODEL",
+    "TABLE1_MUXES_8BIT",
+    "TABLE1_REGISTERS_8BIT",
+    "AreaBreakdown",
+    "area_overhead",
+    "datapath_area",
+]

@@ -1,0 +1,94 @@
+"""Area accounting: transistors of registers and multiplexers.
+
+Following section 4.1 of the paper, the area of a circuit is the transistor
+count of its registers (in whatever test-register configuration they end up
+in) plus its multiplexers; the functional data-path logic is excluded.  The
+*area overhead* of a BIST design is its area relative to the optimal
+non-BIST reference design of the same DFG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..datapath.bist import TestPlan
+from ..datapath.components import TestRegisterKind
+from ..datapath.datapath import Datapath
+from .transistors import CostModel, PAPER_COST_MODEL
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """Transistor-count breakdown of a data path (one row of Table 3)."""
+
+    register_count: int
+    kind_counts: Mapping[TestRegisterKind, int]
+    mux_inputs: int
+    register_area: int
+    mux_area: int
+    constant_tpg_count: int = 0
+
+    @property
+    def total(self) -> int:
+        """Registers plus multiplexers (constant generators are reported but,
+        as in the paper, not included in the register/mux transistor total)."""
+        return self.register_area + self.mux_area
+
+    def counts_row(self) -> dict:
+        """The R / T / S / B / C / M / Area columns of Table 3."""
+        return {
+            "R": self.register_count,
+            "T": self.kind_counts.get(TestRegisterKind.TPG, 0),
+            "S": self.kind_counts.get(TestRegisterKind.SR, 0),
+            "B": self.kind_counts.get(TestRegisterKind.BILBO, 0),
+            "C": self.kind_counts.get(TestRegisterKind.CBILBO, 0),
+            "M": self.mux_inputs,
+            "Area": self.total,
+        }
+
+
+def datapath_area(datapath: Datapath, plan: TestPlan | None = None,
+                  cost_model: CostModel = PAPER_COST_MODEL) -> AreaBreakdown:
+    """Compute the register + multiplexer area of a data path.
+
+    When ``plan`` is ``None`` every register is costed as a plain system
+    register (the reference, non-BIST case); otherwise registers are costed
+    according to the test-register kind the plan forces onto them.
+    """
+    if plan is None:
+        kinds = {reg: TestRegisterKind.NONE for reg in datapath.register_ids}
+        constant_ports = 0
+    else:
+        kinds = plan.register_kinds(datapath)
+        constant_ports = len(plan.constant_tpg_ports)
+
+    kind_counts: dict[TestRegisterKind, int] = {kind: 0 for kind in TestRegisterKind}
+    register_area = 0
+    for reg_id in datapath.register_ids:
+        kind = kinds[reg_id]
+        kind_counts[kind] += 1
+        register_area += cost_model.register_cost(kind)
+
+    mux_area = 0
+    mux_inputs = 0
+    for mux in datapath.multiplexers():
+        if mux.is_real:
+            mux_area += cost_model.mux_cost(mux.inputs)
+            mux_inputs += mux.inputs
+
+    return AreaBreakdown(
+        register_count=len(datapath.register_ids),
+        kind_counts=kind_counts,
+        mux_inputs=mux_inputs,
+        register_area=register_area,
+        mux_area=mux_area,
+        constant_tpg_count=constant_ports,
+    )
+
+
+def area_overhead(bist_area: float, reference_area: float) -> float:
+    """Area overhead (%) of a BIST design relative to its reference design."""
+    if reference_area <= 0:
+        raise ValueError(f"reference area must be positive, got {reference_area}")
+    return 100.0 * (bist_area - reference_area) / reference_area

@@ -1,0 +1,165 @@
+"""Transistor-count cost model (Table 1 of the paper).
+
+The paper measures circuit area as the transistor count of registers and
+multiplexers only (the data-path logic modules are excluded).  Table 1 gives
+the counts for 8-bit registers, the four kinds of test registers, and
+n-input multiplexers; these numbers are the weights of the ILP objective
+(section 3.4).
+
+:class:`CostModel` reproduces that table exactly by default and scales
+linearly with bit width so that other widths can be explored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..datapath.components import TestRegisterKind
+
+#: Table 1(a): transistor counts of 8-bit registers and test registers.
+TABLE1_REGISTERS_8BIT: dict[TestRegisterKind, int] = {
+    TestRegisterKind.NONE: 208,
+    TestRegisterKind.TPG: 256,
+    TestRegisterKind.SR: 304,
+    TestRegisterKind.BILBO: 388,
+    TestRegisterKind.CBILBO: 596,
+}
+
+#: Table 1(b): transistor counts of 8-bit n-input multiplexers (n = 2..7).
+TABLE1_MUXES_8BIT: dict[int, int] = {2: 80, 3: 176, 4: 208, 5: 300, 6: 320, 7: 350}
+
+#: Incremental cost used to extrapolate multiplexers wider than Table 1(b).
+MUX_EXTRAPOLATION_STEP = 50
+
+#: Default penalty weight for an input port that must be driven by a
+#: dedicated constant test pattern generator (section 3.3.4 assigns this a
+#: value "greater than any other weight").
+DEFAULT_CONSTANT_TPG_WEIGHT = 1000
+
+
+class CostModelError(ValueError):
+    """Raised for invalid cost queries (e.g. negative mux sizes)."""
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Area cost model in transistors.
+
+    Parameters
+    ----------
+    bit_width:
+        Data-path width in bits.  Table 1 is specified for 8 bits; costs scale
+        linearly with width (registers and muxes are per-bit structures).
+    register_costs:
+        Transistor counts per register kind at ``reference_width`` bits.
+    mux_costs:
+        Transistor counts per multiplexer size at ``reference_width`` bits.
+    constant_tpg_weight:
+        Objective penalty for a module input port driven only by constants
+        (which would need an extra, dedicated TPG).
+    """
+
+    bit_width: int = 8
+    reference_width: int = 8
+    register_costs: dict[TestRegisterKind, int] = field(
+        default_factory=lambda: dict(TABLE1_REGISTERS_8BIT)
+    )
+    mux_costs: dict[int, int] = field(default_factory=lambda: dict(TABLE1_MUXES_8BIT))
+    mux_extrapolation_step: int = MUX_EXTRAPOLATION_STEP
+    constant_tpg_weight: int = DEFAULT_CONSTANT_TPG_WEIGHT
+
+    def __post_init__(self):
+        if self.bit_width <= 0:
+            raise CostModelError(f"bit width must be positive, got {self.bit_width}")
+        missing = set(TestRegisterKind) - set(self.register_costs)
+        if missing:
+            raise CostModelError(f"register costs missing kinds: {sorted(k.name for k in missing)}")
+
+    # ------------------------------------------------------------------
+    def _scale(self, transistors: float) -> int:
+        return int(round(transistors * self.bit_width / self.reference_width))
+
+    def register_cost(self, kind: TestRegisterKind = TestRegisterKind.NONE) -> int:
+        """Transistors of one register reconfigured to ``kind``."""
+        return self._scale(self.register_costs[kind])
+
+    def mux_cost(self, inputs: int) -> int:
+        """Transistors of one multiplexer with ``inputs`` inputs.
+
+        Zero or one input needs no multiplexer (cost 0).  Sizes beyond the
+        table are extrapolated linearly from the largest tabulated size.
+        """
+        if inputs < 0:
+            raise CostModelError(f"multiplexer cannot have {inputs} inputs")
+        if inputs <= 1:
+            return 0
+        if inputs in self.mux_costs:
+            return self._scale(self.mux_costs[inputs])
+        largest = max(self.mux_costs)
+        if inputs < largest:
+            # Non-tabulated small size (possible with custom tables): use the
+            # next larger tabulated size as a conservative cost.
+            for size in sorted(self.mux_costs):
+                if size >= inputs:
+                    return self._scale(self.mux_costs[size])
+        extra = inputs - largest
+        return self._scale(self.mux_costs[largest] + extra * self.mux_extrapolation_step)
+
+    # ------------------------------------------------------------------
+    # weights of the ILP objective (section 3.4)
+    # ------------------------------------------------------------------
+    @property
+    def w_reg(self) -> int:
+        """Cost of a plain system register."""
+        return self.register_cost(TestRegisterKind.NONE)
+
+    @property
+    def w_tpg(self) -> int:
+        return self.register_cost(TestRegisterKind.TPG)
+
+    @property
+    def w_sr(self) -> int:
+        return self.register_cost(TestRegisterKind.SR)
+
+    @property
+    def w_bilbo(self) -> int:
+        return self.register_cost(TestRegisterKind.BILBO)
+
+    @property
+    def w_cbilbo(self) -> int:
+        return self.register_cost(TestRegisterKind.CBILBO)
+
+    def incremental_weights(self) -> dict[str, int]:
+        """Linear per-register increments used by the ILP objective.
+
+        The objective prices each register as::
+
+            w_reg + dt * t_r + ds * s_r + db * b_r + dc * c_r
+
+        where ``t_r``/``s_r`` flag TPG/SR use, ``b_r`` flags BILBO-or-CBILBO
+        and ``c_r`` flags CBILBO.  The increments are chosen so that the four
+        pure configurations reproduce Table 1 exactly:
+
+        * TPG only:    w_reg + dt                       = w_tpg
+        * SR only:     w_reg + ds                       = w_sr
+        * BILBO:       w_reg + dt + ds + db             = w_bilbo
+        * CBILBO:      w_reg + dt + ds + db + dc        = w_cbilbo
+        """
+        dt = self.w_tpg - self.w_reg
+        ds = self.w_sr - self.w_reg
+        db = self.w_bilbo - self.w_tpg - self.w_sr + self.w_reg
+        dc = self.w_cbilbo - self.w_bilbo
+        return {"tpg": dt, "sr": ds, "bilbo": db, "cbilbo": dc}
+
+    def describe(self) -> dict:
+        """Full table rendering used by the Table 1 bench and the docs."""
+        return {
+            "bit_width": self.bit_width,
+            "registers": {kind.name: self.register_cost(kind) for kind in TestRegisterKind},
+            "multiplexers": {n: self.mux_cost(n) for n in sorted(self.mux_costs)},
+            "constant_tpg_weight": self.constant_tpg_weight,
+        }
+
+
+#: The cost model used throughout the paper's evaluation (8-bit data path).
+PAPER_COST_MODEL = CostModel()

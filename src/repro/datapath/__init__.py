@@ -1,0 +1,32 @@
+"""RTL data-path structures, BIST test plans and testability verification."""
+
+from .components import (
+    FunctionalModule,
+    ModuleToRegisterWire,
+    Multiplexer,
+    PortBinding,
+    Register,
+    RegisterToPortWire,
+    TestRegisterKind,
+    classify_register,
+)
+from .datapath import Datapath, DatapathError
+from .bist import TestPlan, TestPlanError
+from .verify import VerificationReport, verify_bist_plan
+
+__all__ = [
+    "FunctionalModule",
+    "ModuleToRegisterWire",
+    "Multiplexer",
+    "PortBinding",
+    "Register",
+    "RegisterToPortWire",
+    "TestRegisterKind",
+    "classify_register",
+    "Datapath",
+    "DatapathError",
+    "TestPlan",
+    "TestPlanError",
+    "VerificationReport",
+    "verify_bist_plan",
+]

@@ -1,0 +1,122 @@
+"""BIST test plans over a synthesized data path.
+
+A :class:`TestPlan` records, for a k-test session, everything the parallel
+BIST architecture needs:
+
+* which sub-test session (1..k) tests each module,
+* which register acts as the signature register (SR) of each module,
+* which register acts as the test pattern generator (TPG) of each module
+  input port, and
+* which module input ports are driven by dedicated constant generators
+  (section 3.3.4).
+
+From these the plan derives each register's :class:`TestRegisterKind`
+(TPG / SR / BILBO / CBILBO) exactly as section 2.2 prescribes: a register
+used to generate and compact in the *same* sub-test session must be a
+CBILBO, one doing both in *different* sessions a BILBO.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .components import TestRegisterKind, classify_register
+from .datapath import Datapath
+
+
+class TestPlanError(ValueError):
+    """Raised when a test plan is structurally malformed."""
+
+
+@dataclass
+class TestPlan:
+    """A k-test-session BIST plan.
+
+    Attributes
+    ----------
+    num_sessions:
+        k, the number of sub-test sessions (1..N where N is the module count).
+    module_session:
+        Sub-test session (1-based) in which each module is tested.
+    sr_of_module:
+        Signature register chosen for each module.
+    tpg_of_port:
+        TPG register chosen for each ``(module, port)`` pair.
+    constant_tpg_ports:
+        Module input ports that have to be driven by a dedicated constant
+        pattern generator because no register reaches them.
+    """
+
+    num_sessions: int
+    module_session: dict[int, int] = field(default_factory=dict)
+    sr_of_module: dict[int, int] = field(default_factory=dict)
+    tpg_of_port: dict[tuple[int, int], int] = field(default_factory=dict)
+    constant_tpg_ports: list[tuple[int, int]] = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.num_sessions < 1:
+            raise TestPlanError(f"a test plan needs at least one session, got {self.num_sessions}")
+        for module, session in self.module_session.items():
+            if not 1 <= session <= self.num_sessions:
+                raise TestPlanError(
+                    f"module {module} assigned to session {session}, "
+                    f"outside 1..{self.num_sessions}"
+                )
+
+    # ------------------------------------------------------------------
+    # derived register roles
+    # ------------------------------------------------------------------
+    def tpg_sessions_of_register(self, reg_id: int) -> set[int]:
+        """Sub-test sessions in which ``reg_id`` generates test patterns."""
+        sessions = set()
+        for (module, _port), reg in self.tpg_of_port.items():
+            if reg == reg_id and module in self.module_session:
+                sessions.add(self.module_session[module])
+        return sessions
+
+    def sr_sessions_of_register(self, reg_id: int) -> set[int]:
+        """Sub-test sessions in which ``reg_id`` compacts signatures."""
+        sessions = set()
+        for module, reg in self.sr_of_module.items():
+            if reg == reg_id and module in self.module_session:
+                sessions.add(self.module_session[module])
+        return sessions
+
+    def register_kind(self, reg_id: int) -> TestRegisterKind:
+        """Test-register kind this plan forces onto a register."""
+        return classify_register(
+            self.tpg_sessions_of_register(reg_id),
+            self.sr_sessions_of_register(reg_id),
+        )
+
+    def register_kinds(self, datapath: Datapath) -> dict[int, TestRegisterKind]:
+        """Kinds of all registers of a data path under this plan."""
+        return {reg: self.register_kind(reg) for reg in datapath.register_ids}
+
+    # ------------------------------------------------------------------
+    # aggregate counts (columns T, S, B, C of Table 3)
+    # ------------------------------------------------------------------
+    def kind_counts(self, datapath: Datapath) -> dict[TestRegisterKind, int]:
+        """Number of registers per kind."""
+        counts = {kind: 0 for kind in TestRegisterKind}
+        for kind in self.register_kinds(datapath).values():
+            counts[kind] += 1
+        return counts
+
+    def modules_in_session(self, session: int) -> list[int]:
+        """Modules tested concurrently in a given sub-test session."""
+        return sorted(m for m, p in self.module_session.items() if p == session)
+
+    def sessions_used(self) -> list[int]:
+        """Sub-test sessions that actually test at least one module."""
+        return sorted(set(self.module_session.values()))
+
+    def summary(self) -> dict:
+        """Compact description used by reports and tests."""
+        return {
+            "sessions": self.num_sessions,
+            "modules": len(self.module_session),
+            "srs": len(set(self.sr_of_module.values())),
+            "tpgs": len(set(self.tpg_of_port.values())),
+            "constant_ports": len(self.constant_tpg_ports),
+        }

@@ -1,0 +1,136 @@
+"""Structural components of an RTL data path with BIST support.
+
+These classes model the synthesis *output*: registers, functional modules,
+the register↔module interconnect, the multiplexers implied by that
+interconnect, and the test-register kinds a register can be reconfigured to.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class TestRegisterKind(enum.Enum):
+    """How a system register is reconfigured for BIST (section 2.2).
+
+    * ``NONE`` — plain system register, not used for test.
+    * ``TPG`` — test pattern generator.
+    * ``SR`` — (multiple-input) signature register.
+    * ``BILBO`` — built-in logic block observer: acts as TPG in some sub-test
+      sessions and as SR in others, never both at once.
+    * ``CBILBO`` — concurrent BILBO: acts as TPG and SR in the *same*
+      sub-test session (roughly doubles the flip-flop count).
+    """
+
+    NONE = "register"
+    TPG = "tpg"
+    SR = "sr"
+    BILBO = "bilbo"
+    CBILBO = "cbilbo"
+
+    @property
+    def generates_patterns(self) -> bool:
+        """Whether this kind can drive module inputs during test."""
+        return self in (TestRegisterKind.TPG, TestRegisterKind.BILBO, TestRegisterKind.CBILBO)
+
+    @property
+    def compacts_responses(self) -> bool:
+        """Whether this kind can capture module outputs during test."""
+        return self in (TestRegisterKind.SR, TestRegisterKind.BILBO, TestRegisterKind.CBILBO)
+
+
+def classify_register(used_as_tpg: set[int], used_as_sr: set[int]) -> TestRegisterKind:
+    """Derive the register kind from the sub-test sessions it works in.
+
+    Parameters
+    ----------
+    used_as_tpg:
+        Sub-test sessions in which the register generates patterns.
+    used_as_sr:
+        Sub-test sessions in which the register compacts signatures.
+    """
+    if not used_as_tpg and not used_as_sr:
+        return TestRegisterKind.NONE
+    if used_as_tpg and not used_as_sr:
+        return TestRegisterKind.TPG
+    if used_as_sr and not used_as_tpg:
+        return TestRegisterKind.SR
+    if used_as_tpg & used_as_sr:
+        return TestRegisterKind.CBILBO
+    return TestRegisterKind.BILBO
+
+
+@dataclass(frozen=True)
+class Register:
+    """A system register and the DFG variables merged into it."""
+
+    reg_id: int
+    variables: tuple[int, ...] = ()
+    name: str = ""
+
+    def __post_init__(self):
+        if not self.name:
+            object.__setattr__(self, "name", f"R{self.reg_id}")
+
+
+@dataclass(frozen=True)
+class FunctionalModule:
+    """A functional module (adder, multiplier, ...) and its bound operations."""
+
+    module_id: int
+    module_class: str
+    operations: tuple[int, ...] = ()
+    num_ports: int = 2
+    name: str = ""
+
+    def __post_init__(self):
+        if not self.name:
+            object.__setattr__(self, "name", f"M{self.module_id}")
+
+    @property
+    def input_ports(self) -> range:
+        return range(self.num_ports)
+
+
+@dataclass(frozen=True)
+class RegisterToPortWire:
+    """An interconnection from a register to an input port of a module."""
+
+    register: int
+    module: int
+    port: int
+
+
+@dataclass(frozen=True)
+class ModuleToRegisterWire:
+    """An interconnection from a module's output to a register."""
+
+    module: int
+    register: int
+
+
+@dataclass
+class Multiplexer:
+    """A multiplexer in front of a register or a module input port."""
+
+    location: str            # "register" or "module_port"
+    target: tuple            # (reg_id,) or (module_id, port)
+    inputs: int
+
+    @property
+    def is_real(self) -> bool:
+        """A steering multiplexer is only needed for two or more sources."""
+        return self.inputs >= 2
+
+
+@dataclass
+class PortBinding:
+    """Per-port operand routing chosen for a commutative operation.
+
+    ``mapping[pseudo_port] = physical_port`` records the permutation selected
+    by the ILP's ``s_{l*, l, o}`` variables (equation (3)).
+    """
+
+    operation: int
+    mapping: dict[int, int] = field(default_factory=dict)

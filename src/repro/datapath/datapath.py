@@ -1,0 +1,280 @@
+"""The synthesized RTL data path.
+
+A :class:`Datapath` is derived from a scheduled, module-bound DFG together
+with a variable→register assignment (and, for commutative operations, the
+chosen input-port permutation).  From these it derives exactly the structure
+the paper's ILP reasons about:
+
+* the register→module-port wires (the ``z_rml`` variables),
+* the module→register wires (the ``z_mr`` variables),
+* the multiplexer in front of every register and module port (the ``m_r`` and
+  ``m_ml`` integers of equations (4)–(5)).
+
+Because the wires are derived from DFG edges only, a :class:`Datapath` can
+never contain the "adverse paths" that equations (1)–(3) exist to prevent;
+the tests use this to cross-check ILP solutions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..dfg.graph import DataFlowGraph, DFGError
+from .components import (
+    FunctionalModule,
+    ModuleToRegisterWire,
+    Multiplexer,
+    PortBinding,
+    Register,
+    RegisterToPortWire,
+)
+
+
+class DatapathError(ValueError):
+    """Raised when a data path cannot be constructed consistently."""
+
+
+@dataclass
+class Datapath:
+    """A register-transfer-level data path (registers, modules, interconnect)."""
+
+    name: str
+    graph: DataFlowGraph
+    registers: list[Register]
+    modules: list[FunctionalModule]
+    register_of_variable: dict[int, int]
+    register_wires: list[RegisterToPortWire] = field(default_factory=list)
+    module_wires: list[ModuleToRegisterWire] = field(default_factory=list)
+    port_bindings: dict[int, PortBinding] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_bindings(
+        cls,
+        graph: DataFlowGraph,
+        register_assignment: Mapping[int, int],
+        port_permutations: Mapping[int, Mapping[int, int]] | None = None,
+        name: str | None = None,
+    ) -> "Datapath":
+        """Build the data path implied by a register assignment.
+
+        Parameters
+        ----------
+        graph:
+            Scheduled and module-bound DFG.
+        register_assignment:
+            Mapping from variable id to register id.
+        port_permutations:
+            For commutative operations, an optional mapping
+            ``op_id -> {pseudo_port: physical_port}`` describing how the
+            operands were swapped; the identity permutation is assumed when
+            absent.
+        """
+        if not graph.is_scheduled or not graph.is_module_bound:
+            raise DatapathError("the DFG must be scheduled and module bound")
+        missing = [v for v in graph.variable_ids if v not in register_assignment]
+        if missing:
+            raise DatapathError(f"register assignment misses variables {missing}")
+
+        port_permutations = port_permutations or {}
+
+        register_ids = sorted(set(register_assignment.values()))
+        registers = []
+        for reg_id in register_ids:
+            members = tuple(sorted(v for v, r in register_assignment.items() if r == reg_id))
+            registers.append(Register(reg_id=reg_id, variables=members))
+
+        modules = []
+        for module_id, ops in sorted(graph.module_operations().items()):
+            num_ports = max(len(graph.operations[o].inputs) for o in ops)
+            modules.append(
+                FunctionalModule(
+                    module_id=module_id,
+                    module_class=graph.module_class_of(module_id),
+                    operations=tuple(ops),
+                    num_ports=num_ports,
+                )
+            )
+
+        register_wires: set[RegisterToPortWire] = set()
+        port_bindings: dict[int, PortBinding] = {}
+        for op in graph.operations.values():
+            permutation = dict(port_permutations.get(op.op_id, {}))
+            if permutation:
+                port_bindings[op.op_id] = PortBinding(op.op_id, permutation)
+            for pseudo_port, operand in enumerate(op.inputs):
+                if not isinstance(operand, int):
+                    continue  # constants are wired outside the register file
+                physical_port = permutation.get(pseudo_port, pseudo_port)
+                if physical_port not in range(len(op.inputs)):
+                    raise DatapathError(
+                        f"operation {op.op_id}: pseudo port {pseudo_port} mapped to "
+                        f"invalid physical port {physical_port}"
+                    )
+                register_wires.add(
+                    RegisterToPortWire(
+                        register=register_assignment[operand],
+                        module=op.module,
+                        port=physical_port,
+                    )
+                )
+
+        module_wires: set[ModuleToRegisterWire] = set()
+        for op_id, var_id in graph.output_edges:
+            module_wires.add(
+                ModuleToRegisterWire(
+                    module=graph.operations[op_id].module,
+                    register=register_assignment[var_id],
+                )
+            )
+
+        return cls(
+            name=name or graph.name,
+            graph=graph,
+            registers=registers,
+            modules=modules,
+            register_of_variable=dict(register_assignment),
+            register_wires=sorted(register_wires, key=lambda w: (w.register, w.module, w.port)),
+            module_wires=sorted(module_wires, key=lambda w: (w.module, w.register)),
+            port_bindings=port_bindings,
+        )
+
+    # ------------------------------------------------------------------
+    # structure queries
+    # ------------------------------------------------------------------
+    @property
+    def register_ids(self) -> list[int]:
+        return [r.reg_id for r in self.registers]
+
+    @property
+    def module_ids(self) -> list[int]:
+        return [m.module_id for m in self.modules]
+
+    def module(self, module_id: int) -> FunctionalModule:
+        for module in self.modules:
+            if module.module_id == module_id:
+                return module
+        raise KeyError(f"no module with id {module_id}")
+
+    def register(self, reg_id: int) -> Register:
+        for reg in self.registers:
+            if reg.reg_id == reg_id:
+                return reg
+        raise KeyError(f"no register with id {reg_id}")
+
+    def registers_driving_port(self, module_id: int, port: int) -> list[int]:
+        """Registers wired into an input port of a module."""
+        return sorted({w.register for w in self.register_wires
+                       if w.module == module_id and w.port == port})
+
+    def modules_driving_register(self, reg_id: int) -> list[int]:
+        """Modules whose outputs are wired into a register."""
+        return sorted({w.module for w in self.module_wires if w.register == reg_id})
+
+    def has_register_to_port_wire(self, reg_id: int, module_id: int, port: int) -> bool:
+        return RegisterToPortWire(reg_id, module_id, port) in set(self.register_wires)
+
+    def has_module_to_register_wire(self, module_id: int, reg_id: int) -> bool:
+        return ModuleToRegisterWire(module_id, reg_id) in set(self.module_wires)
+
+    # ------------------------------------------------------------------
+    # multiplexers (equations (4) and (5))
+    # ------------------------------------------------------------------
+    def multiplexers(self) -> list[Multiplexer]:
+        """All multiplexers implied by the interconnect (including trivial ones)."""
+        muxes: list[Multiplexer] = []
+        for reg in self.registers:
+            sources = self.modules_driving_register(reg.reg_id)
+            muxes.append(Multiplexer("register", (reg.reg_id,), len(sources)))
+        for module in self.modules:
+            for port in module.input_ports:
+                sources = self.registers_driving_port(module.module_id, port)
+                muxes.append(Multiplexer("module_port", (module.module_id, port), len(sources)))
+        return muxes
+
+    def mux_input_total(self) -> int:
+        """Total number of multiplexer inputs (column ``M`` of Table 3)."""
+        return sum(m.inputs for m in self.multiplexers() if m.is_real)
+
+    def mux_size_histogram(self) -> dict[int, int]:
+        """Histogram of real multiplexer sizes."""
+        histogram: dict[int, int] = {}
+        for mux in self.multiplexers():
+            if mux.is_real:
+                histogram[mux.inputs] = histogram.get(mux.inputs, 0) + 1
+        return dict(sorted(histogram.items()))
+
+    # ------------------------------------------------------------------
+    # consistency
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check structural consistency; raise :class:`DatapathError` if broken.
+
+        Ensures every DFG transfer is implementable with the present wires and
+        that no wire lacks a justifying DFG edge (no adverse paths).
+        """
+        register_set = set(self.register_ids)
+        module_set = set(self.module_ids)
+        for wire in self.register_wires:
+            if wire.register not in register_set or wire.module not in module_set:
+                raise DatapathError(f"wire {wire} references unknown components")
+        for wire in self.module_wires:
+            if wire.register not in register_set or wire.module not in module_set:
+                raise DatapathError(f"wire {wire} references unknown components")
+
+        # Every data transfer demanded by the DFG must have a wire.
+        for op in self.graph.operations.values():
+            permutation = self.port_bindings.get(op.op_id, PortBinding(op.op_id)).mapping
+            for pseudo_port, operand in enumerate(op.inputs):
+                if not isinstance(operand, int):
+                    continue
+                physical_port = permutation.get(pseudo_port, pseudo_port)
+                reg = self.register_of_variable[operand]
+                if not self.has_register_to_port_wire(reg, op.module, physical_port):
+                    raise DatapathError(
+                        f"missing wire: register {reg} -> module {op.module} port "
+                        f"{physical_port} needed by operation {op.op_id}"
+                    )
+            out_reg = self.register_of_variable[op.output]
+            if not self.has_module_to_register_wire(op.module, out_reg):
+                raise DatapathError(
+                    f"missing wire: module {op.module} -> register {out_reg} "
+                    f"needed by operation {op.op_id}"
+                )
+
+        # No wire may exist without a justifying DFG edge (adverse path check).
+        justified_rml = set()
+        for op in self.graph.operations.values():
+            permutation = self.port_bindings.get(op.op_id, PortBinding(op.op_id)).mapping
+            for pseudo_port, operand in enumerate(op.inputs):
+                if not isinstance(operand, int):
+                    continue
+                physical_port = permutation.get(pseudo_port, pseudo_port)
+                justified_rml.add(
+                    (self.register_of_variable[operand], op.module, physical_port)
+                )
+        for wire in self.register_wires:
+            if (wire.register, wire.module, wire.port) not in justified_rml:
+                raise DatapathError(f"adverse path: unjustified wire {wire}")
+
+        justified_mr = {
+            (op.module, self.register_of_variable[op.output])
+            for op in self.graph.operations.values()
+        }
+        for wire in self.module_wires:
+            if (wire.module, wire.register) not in justified_mr:
+                raise DatapathError(f"adverse path: unjustified wire {wire}")
+
+    def summary(self) -> dict:
+        """Compact structural statistics used in reports."""
+        return {
+            "name": self.name,
+            "registers": len(self.registers),
+            "modules": len(self.modules),
+            "register_wires": len(self.register_wires),
+            "module_wires": len(self.module_wires),
+            "mux_inputs": self.mux_input_total(),
+        }

@@ -1,0 +1,140 @@
+"""Testability verification of a (data path, test plan) pair.
+
+The checks mirror the paper's constraints one for one, so that any solution
+produced by the ADVBIST ILP — or by the heuristic baselines — can be verified
+independently of the solver:
+
+* every module is tested exactly once, in a session within 1..k  (eq. 7),
+* the SR of a module is a register actually wired to the module's output
+  (eq. 6),
+* no register is the SR of two modules in the same sub-test session (eq. 8),
+* every module input port has exactly one TPG, wired to that port (eq. 9/10),
+* a module's TPGs and its SR operate in the module's session (eq. 11/12),
+* no register is the TPG of two ports of the same module (eq. 13),
+* ports driven only by constants are explicitly listed as constant-TPG ports
+  (section 3.3.4),
+* no extra test-only paths exist (delegated to ``Datapath.validate``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .bist import TestPlan
+from .datapath import Datapath
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of :func:`verify_bist_plan`."""
+
+    problems: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.ok
+
+
+def verify_bist_plan(datapath: Datapath, plan: TestPlan) -> VerificationReport:
+    """Check that ``plan`` is a valid parallel-BIST plan for ``datapath``."""
+    problems: list[str] = []
+
+    try:
+        datapath.validate()
+    except Exception as exc:  # DatapathError and anything structural
+        problems.append(f"data path inconsistent: {exc}")
+
+    module_ids = set(datapath.module_ids)
+    register_ids = set(datapath.register_ids)
+
+    # --- session assignment (eq. 7) -----------------------------------
+    for module in sorted(module_ids):
+        if module not in plan.module_session:
+            problems.append(f"module {module} is never tested")
+    for module, session in plan.module_session.items():
+        if module not in module_ids:
+            problems.append(f"test plan references unknown module {module}")
+        if not 1 <= session <= plan.num_sessions:
+            problems.append(
+                f"module {module} tested in session {session} outside 1..{plan.num_sessions}"
+            )
+
+    # --- signature registers (eqs. 6-8) --------------------------------
+    for module in sorted(module_ids):
+        sr = plan.sr_of_module.get(module)
+        if sr is None:
+            problems.append(f"module {module} has no signature register")
+            continue
+        if sr not in register_ids:
+            problems.append(f"module {module} uses unknown register {sr} as SR")
+            continue
+        if not datapath.has_module_to_register_wire(module, sr):
+            problems.append(
+                f"register {sr} is the SR of module {module} but has no wire from it"
+            )
+    for session in range(1, plan.num_sessions + 1):
+        sr_usage: dict[int, list[int]] = {}
+        for module in plan.modules_in_session(session):
+            sr = plan.sr_of_module.get(module)
+            if sr is not None:
+                sr_usage.setdefault(sr, []).append(module)
+        for sr, modules in sr_usage.items():
+            if len(modules) > 1:
+                problems.append(
+                    f"register {sr} is the SR of modules {modules} in the same "
+                    f"sub-test session {session}"
+                )
+
+    # --- test pattern generators (eqs. 9-13) ----------------------------
+    for module_obj in datapath.modules:
+        module = module_obj.module_id
+        port_tpgs: dict[int, int] = {}
+        for port in module_obj.input_ports:
+            key = (module, port)
+            tpg = plan.tpg_of_port.get(key)
+            is_constant_port = key in set(plan.constant_tpg_ports)
+            if tpg is None and not is_constant_port:
+                problems.append(f"module {module} port {port} has neither a TPG nor a "
+                                "constant generator")
+                continue
+            if tpg is not None and is_constant_port:
+                problems.append(
+                    f"module {module} port {port} has both a register TPG and a "
+                    "constant generator"
+                )
+            if tpg is None:
+                continue
+            if tpg not in register_ids:
+                problems.append(f"module {module} port {port} uses unknown register {tpg}")
+                continue
+            if not datapath.has_register_to_port_wire(tpg, module, port):
+                problems.append(
+                    f"register {tpg} is the TPG for module {module} port {port} "
+                    "but has no wire to it"
+                )
+            port_tpgs[port] = tpg
+        # eq. 13: one register must not feed two ports of the same module
+        seen: dict[int, int] = {}
+        for port, tpg in port_tpgs.items():
+            if tpg in seen:
+                problems.append(
+                    f"register {tpg} is the TPG of both ports {seen[tpg]} and {port} "
+                    f"of module {module}"
+                )
+            seen[tpg] = port
+
+    # --- constant ports must really be constant-only (section 3.3.4) ----
+    for module, port in plan.constant_tpg_ports:
+        if module not in module_ids:
+            problems.append(f"constant-TPG entry references unknown module {module}")
+            continue
+        if datapath.registers_driving_port(module, port):
+            problems.append(
+                f"module {module} port {port} is marked constant-only but registers "
+                "are wired to it"
+            )
+
+    return VerificationReport(problems)

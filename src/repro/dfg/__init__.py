@@ -1,0 +1,50 @@
+"""Data flow graphs: representation, construction, analysis and IO."""
+
+from .graph import (
+    COMMUTATIVE_KINDS,
+    Constant,
+    DataFlowGraph,
+    DfgVariable,
+    DFGError,
+    Operation,
+    operations_by_step,
+)
+from .builder import DFGBuilder, VariableHandle
+from .analysis import (
+    Lifetime,
+    check_register_assignment,
+    compatibility_graph,
+    concurrent_operation_pairs,
+    horizontal_crossings,
+    incompatibility_graph,
+    incompatible_variable_clique,
+    minimum_module_counts,
+    minimum_register_count,
+    self_adjacency_candidates,
+    variable_lifetimes,
+)
+from . import textio
+
+__all__ = [
+    "COMMUTATIVE_KINDS",
+    "Constant",
+    "DataFlowGraph",
+    "DfgVariable",
+    "DFGError",
+    "Operation",
+    "operations_by_step",
+    "DFGBuilder",
+    "VariableHandle",
+    "Lifetime",
+    "check_register_assignment",
+    "compatibility_graph",
+    "concurrent_operation_pairs",
+    "horizontal_crossings",
+    "incompatibility_graph",
+    "incompatible_variable_clique",
+    "minimum_module_counts",
+    "minimum_register_count",
+    "self_adjacency_candidates",
+    "variable_lifetimes",
+    "textio",
+]

@@ -1,0 +1,235 @@
+"""Lifetime and compatibility analysis of scheduled DFGs.
+
+These are the quantities section 2 of the paper builds on:
+
+* **variable lifetimes** — the clock boundaries at which a variable must be
+  held in a register;
+* **horizontal crossing** — the number of variables alive at a control-step
+  boundary; its maximum is the minimum register count;
+* **variable compatibility** — two variables whose lifetimes overlap are
+  *incompatible* and must occupy different registers;
+* **minimum module counts** — the maximum number of concurrently scheduled
+  operations of each functional class;
+* the **maximum clique of pairwise incompatible variables**, which the paper
+  pins to registers a priori to cut the register-permutation symmetry
+  (section 3.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Literal
+
+import networkx as nx
+
+from .graph import DataFlowGraph, DFGError
+
+PrimaryInputPolicy = Literal["at_first_use", "from_start"]
+
+
+@dataclass(frozen=True)
+class Lifetime:
+    """Inclusive interval of clock boundaries during which a variable lives.
+
+    Boundary ``b`` is the register snapshot taken between control step
+    ``b - 1`` and control step ``b``; a variable consumed by an operation in
+    step ``t`` must be present at boundary ``t``, and a variable produced in
+    step ``t`` becomes available at boundary ``t + 1``.
+    """
+
+    birth: int
+    death: int
+
+    def __post_init__(self):
+        if self.death < self.birth:
+            raise DFGError(f"lifetime death {self.death} precedes birth {self.birth}")
+
+    def overlaps(self, other: "Lifetime") -> bool:
+        """Whether the two inclusive intervals share at least one boundary."""
+        return self.birth <= other.death and other.birth <= self.death
+
+    def boundaries(self) -> range:
+        return range(self.birth, self.death + 1)
+
+    @property
+    def span(self) -> int:
+        return self.death - self.birth + 1
+
+
+def variable_lifetimes(
+    graph: DataFlowGraph,
+    primary_input_policy: PrimaryInputPolicy = "at_first_use",
+) -> dict[int, Lifetime]:
+    """Compute the lifetime of every variable of a scheduled DFG.
+
+    Parameters
+    ----------
+    graph:
+        A fully scheduled DFG.
+    primary_input_policy:
+        ``"at_first_use"`` (default, matching the paper's Fig. 1 example)
+        keeps a primary input in a register only from the boundary of its
+        first consuming step; ``"from_start"`` keeps it from boundary 0.
+    """
+    if not graph.is_scheduled:
+        raise DFGError("lifetimes require a fully scheduled DFG")
+
+    lifetimes: dict[int, Lifetime] = {}
+    for var_id in graph.variable_ids:
+        var = graph.variables[var_id]
+        consumer_steps = [graph.operations[o].cstep for o, _l in graph.consumers_of(var_id)]
+
+        if var.is_primary_input:
+            if not consumer_steps:
+                raise DFGError(f"primary input {var_id} is never consumed")
+            birth = 0 if primary_input_policy == "from_start" else min(consumer_steps)
+            death = max(consumer_steps)
+        else:
+            producer_step = graph.operations[var.producer].cstep
+            birth = producer_step + 1
+            death = max(consumer_steps) if consumer_steps else birth
+            if var.is_primary_output:
+                death = max(death, birth)
+        lifetimes[var_id] = Lifetime(birth, death)
+    return lifetimes
+
+
+def horizontal_crossings(
+    graph: DataFlowGraph,
+    primary_input_policy: PrimaryInputPolicy = "at_first_use",
+) -> dict[int, int]:
+    """Number of live variables at every clock boundary."""
+    lifetimes = variable_lifetimes(graph, primary_input_policy)
+    if not lifetimes:
+        return {}
+    last = max(lt.death for lt in lifetimes.values())
+    crossings = {boundary: 0 for boundary in range(0, last + 1)}
+    for lifetime in lifetimes.values():
+        for boundary in lifetime.boundaries():
+            crossings[boundary] += 1
+    return crossings
+
+
+def minimum_register_count(
+    graph: DataFlowGraph,
+    primary_input_policy: PrimaryInputPolicy = "at_first_use",
+) -> int:
+    """Minimum number of registers = maximal horizontal crossing (section 2)."""
+    crossings = horizontal_crossings(graph, primary_input_policy)
+    return max(crossings.values(), default=0)
+
+
+def minimum_module_counts(graph: DataFlowGraph) -> dict[str, int]:
+    """Minimum number of modules per functional class (max concurrency)."""
+    if not graph.is_scheduled:
+        raise DFGError("module counts require a scheduled DFG")
+    counts: dict[str, int] = {}
+    for cstep in graph.control_steps:
+        per_class: dict[str, int] = {}
+        for op_id in graph.operations_in_step(cstep):
+            cls = graph.operations[op_id].module_class
+            per_class[cls] = per_class.get(cls, 0) + 1
+        for cls, count in per_class.items():
+            counts[cls] = max(counts.get(cls, 0), count)
+    return counts
+
+
+def incompatibility_graph(
+    graph: DataFlowGraph,
+    primary_input_policy: PrimaryInputPolicy = "at_first_use",
+) -> nx.Graph:
+    """Graph with an edge between every pair of incompatible variables."""
+    lifetimes = variable_lifetimes(graph, primary_input_policy)
+    conflict = nx.Graph()
+    conflict.add_nodes_from(lifetimes)
+    variables = sorted(lifetimes)
+    for i, u in enumerate(variables):
+        for v in variables[i + 1:]:
+            if lifetimes[u].overlaps(lifetimes[v]):
+                conflict.add_edge(u, v)
+    return conflict
+
+
+def compatibility_graph(
+    graph: DataFlowGraph,
+    primary_input_policy: PrimaryInputPolicy = "at_first_use",
+) -> nx.Graph:
+    """Complement of :func:`incompatibility_graph`."""
+    conflict = incompatibility_graph(graph, primary_input_policy)
+    return nx.complement(conflict)
+
+
+def incompatible_variable_clique(
+    graph: DataFlowGraph,
+    primary_input_policy: PrimaryInputPolicy = "at_first_use",
+) -> list[int]:
+    """A maximum set of pairwise-incompatible variables (section 3.5).
+
+    Because incompatibility comes from interval overlap, the conflict graph is
+    an interval graph and a maximum clique is simply the set of variables
+    alive at the boundary of maximal horizontal crossing.  The returned list
+    is sorted by variable id so the pinning is deterministic.
+    """
+    lifetimes = variable_lifetimes(graph, primary_input_policy)
+    crossings = horizontal_crossings(graph, primary_input_policy)
+    if not crossings:
+        return []
+    best_boundary = max(crossings, key=lambda b: (crossings[b], -b))
+    clique = [v for v, lt in lifetimes.items()
+              if lt.birth <= best_boundary <= lt.death]
+    return sorted(clique)
+
+
+def concurrent_operation_pairs(graph: DataFlowGraph) -> list[tuple[int, int]]:
+    """Pairs of operations scheduled in the same control step.
+
+    Such pairs may not share a functional module; module binding and the
+    formulation's optional operation-assignment constraints both use this.
+    """
+    pairs: list[tuple[int, int]] = []
+    for cstep in graph.control_steps:
+        ops = graph.operations_in_step(cstep)
+        for i, a in enumerate(ops):
+            for b in ops[i + 1:]:
+                pairs.append((a, b))
+    return pairs
+
+
+def self_adjacency_candidates(graph: DataFlowGraph) -> list[tuple[int, int]]:
+    """Variable pairs ``(input_var, output_var)`` of the same operation.
+
+    If both end up in the same register, that register both feeds the module
+    executing the operation and captures its result — a *self-adjacent*
+    register, which in BIST must become a costly CBILBO.  Baseline methods
+    (RALLOC in particular) add conflict edges for these pairs.
+    """
+    pairs: list[tuple[int, int]] = []
+    for op in graph.operations.values():
+        for _port, var_id in op.variable_inputs:
+            pairs.append((var_id, op.output))
+    return pairs
+
+
+def check_register_assignment(
+    graph: DataFlowGraph,
+    assignment: dict[int, int],
+    primary_input_policy: PrimaryInputPolicy = "at_first_use",
+) -> list[str]:
+    """Validate a variable→register assignment; return a list of violations."""
+    problems: list[str] = []
+    lifetimes = variable_lifetimes(graph, primary_input_policy)
+    missing = [v for v in graph.variable_ids if v not in assignment]
+    if missing:
+        problems.append(f"variables without a register: {missing}")
+    by_register: dict[int, list[int]] = {}
+    for var_id, reg in assignment.items():
+        by_register.setdefault(reg, []).append(var_id)
+    for reg, members in sorted(by_register.items()):
+        members = sorted(members)
+        for i, u in enumerate(members):
+            for v in members[i + 1:]:
+                if u in lifetimes and v in lifetimes and lifetimes[u].overlaps(lifetimes[v]):
+                    problems.append(
+                        f"register {reg} holds overlapping variables {u} and {v}"
+                    )
+    return problems

@@ -1,0 +1,130 @@
+"""Fluent construction of data flow graphs.
+
+:class:`DFGBuilder` is the public way to create DFGs by hand (the benchmark
+circuits in :mod:`repro.circuits` are all written with it)::
+
+    builder = DFGBuilder("example")
+    a = builder.input("a")
+    b = builder.input("b")
+    s = builder.op("add", a, b, cstep=0)
+    p = builder.op("mul", s, builder.constant(3), cstep=1)
+    builder.output(p)
+    graph = builder.build()
+
+Operands may be variable handles returned by :meth:`DFGBuilder.input` /
+:meth:`DFGBuilder.op`, :class:`Constant` objects, or plain numbers (which are
+converted to constants).
+"""
+
+from __future__ import annotations
+
+from .graph import Constant, DataFlowGraph, DfgVariable, DFGError, Operation
+
+
+class VariableHandle(int):
+    """A variable id with the builder attached, so handles read naturally."""
+
+    def __new__(cls, value: int, name: str):
+        handle = super().__new__(cls, value)
+        handle._name = name
+        return handle
+
+    @property
+    def var_name(self) -> str:
+        return self._name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<var {self._name}#{int(self)}>"
+
+
+class DFGBuilder:
+    """Incrementally build a :class:`DataFlowGraph`."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._operations: dict[int, Operation] = {}
+        self._variables: dict[int, DfgVariable] = {}
+        self._next_var = 0
+        self._next_op = 0
+        self._built = False
+
+    # ------------------------------------------------------------------
+    def input(self, name: str = "") -> VariableHandle:
+        """Declare a primary input variable."""
+        return self._new_variable(name or f"in{self._next_var}", producer=None)
+
+    def constant(self, value: float, name: str = "") -> Constant:
+        """Declare a constant operand (member of the DFG set ``C``)."""
+        return Constant(float(value), name)
+
+    def op(self, kind: str, *operands, cstep: int | None = None,
+           commutative: bool | None = None, name: str = "") -> VariableHandle:
+        """Add an operation and return a handle to its output variable.
+
+        Parameters
+        ----------
+        kind:
+            Operation kind (``"add"``, ``"mul"``, ``"sub"``, ...).
+        operands:
+            Input operands in port order: variable handles, constants, or
+            plain numbers (converted to constants).
+        cstep:
+            Optional control step, for graphs built with a schedule already
+            chosen; leave ``None`` to schedule later with :mod:`repro.hls`.
+        commutative:
+            Override the default commutativity inferred from ``kind``.
+        """
+        if not operands:
+            raise DFGError(f"operation of kind {kind!r} needs at least one operand")
+        inputs: list[int | Constant] = []
+        for operand in operands:
+            if isinstance(operand, Constant):
+                inputs.append(operand)
+            elif isinstance(operand, bool):
+                raise DFGError("booleans are not valid DFG operands")
+            elif isinstance(operand, int):
+                if operand not in self._variables:
+                    raise DFGError(f"unknown variable id {operand} used as operand")
+                inputs.append(int(operand))
+            elif isinstance(operand, float):
+                inputs.append(Constant(operand))
+            else:
+                raise DFGError(f"unsupported operand type {type(operand)!r}")
+
+        op_id = self._next_op
+        self._next_op += 1
+        out_name = name or f"t{op_id}"
+        out = self._new_variable(out_name, producer=op_id)
+        self._operations[op_id] = Operation(
+            op_id=op_id,
+            kind=kind,
+            inputs=tuple(inputs),
+            output=int(out),
+            cstep=cstep,
+            commutative=commutative,
+        )
+        return out
+
+    def output(self, handle: int) -> None:
+        """Mark a variable as a primary output of the data path."""
+        if handle not in self._variables:
+            raise DFGError(f"unknown variable id {handle} marked as output")
+        var = self._variables[handle]
+        self._variables[handle] = DfgVariable(
+            var_id=var.var_id, name=var.name, producer=var.producer,
+            is_primary_output=True,
+        )
+
+    def build(self) -> DataFlowGraph:
+        """Finalise and validate the graph."""
+        graph = DataFlowGraph(self.name, dict(self._operations), dict(self._variables))
+        graph.validate()
+        self._built = True
+        return graph
+
+    # ------------------------------------------------------------------
+    def _new_variable(self, name: str, producer: int | None) -> VariableHandle:
+        var_id = self._next_var
+        self._next_var += 1
+        self._variables[var_id] = DfgVariable(var_id=var_id, name=name, producer=producer)
+        return VariableHandle(var_id, name)

@@ -1,0 +1,413 @@
+"""Scheduled data flow graphs (DFGs).
+
+The paper's ILP is stated over a *scheduled and module-bound* DFG described by
+the sets (section 2.1):
+
+* ``V_o`` — operations, ``V_v`` — variables,
+* ``E_i`` — input edges, i.e. ordered triples ``(v, o, l)`` saying that
+  variable ``v`` drives input port ``l`` of operation ``o``,
+* ``E_o`` — output edges ``(o, v)``,
+* ``T`` — control steps, ``C`` — constants.
+
+:class:`DataFlowGraph` stores exactly this information (plus operation kinds
+and commutativity, which the formulation needs for equation (3)).  Scheduling
+may be left open (``cstep=None``) when a graph is first built; the HLS
+substrate in :mod:`repro.hls` fills it in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator, Mapping, Sequence
+
+#: Operation kinds whose two inputs may be swapped (used for equation (3)).
+COMMUTATIVE_KINDS = frozenset({"add", "mul", "and", "or", "xor", "max", "min"})
+
+#: Operation kinds that by default map onto the same functional module type.
+DEFAULT_MODULE_CLASS = {
+    "add": "alu",
+    "sub": "alu",
+    "and": "logic",
+    "or": "logic",
+    "xor": "logic",
+    "not": "logic",
+    "mul": "mult",
+    "div": "div",
+    "shl": "shift",
+    "shr": "shift",
+    "max": "alu",
+    "min": "alu",
+    "cmp": "alu",
+}
+
+
+class DFGError(ValueError):
+    """Raised for structurally invalid data flow graphs."""
+
+
+@dataclass(frozen=True)
+class Constant:
+    """A constant operand appearing in the DFG (member of the set ``C``)."""
+
+    value: float
+    name: str = ""
+
+    def __post_init__(self):
+        if not self.name:
+            object.__setattr__(self, "name", f"const_{self.value:g}")
+
+
+@dataclass(frozen=True)
+class DfgVariable:
+    """A variable of the DFG (member of ``V_v``).
+
+    Attributes
+    ----------
+    var_id:
+        Integer identifier, unique within the graph.
+    name:
+        Human-readable name.
+    producer:
+        Operation id producing this variable, or ``None`` for primary inputs.
+    is_primary_output:
+        Whether the variable leaves the data path (it then still needs a
+        register at its final boundary, as in Fig. 1 of the paper).
+    """
+
+    var_id: int
+    name: str
+    producer: int | None = None
+    is_primary_output: bool = False
+
+    @property
+    def is_primary_input(self) -> bool:
+        return self.producer is None
+
+
+@dataclass(frozen=True)
+class Operation:
+    """An operation of the DFG (member of ``V_o``).
+
+    ``inputs`` lists, in port order, either variable ids (``int``) or
+    :class:`Constant` operands.  ``cstep`` is the control step assigned by the
+    scheduler (``None`` while unscheduled), ``module`` the functional module
+    assigned by module binding (``None`` while unbound).
+    """
+
+    op_id: int
+    kind: str
+    inputs: tuple[int | Constant, ...]
+    output: int
+    cstep: int | None = None
+    module: int | None = None
+    commutative: bool | None = None
+
+    def __post_init__(self):
+        if self.commutative is None:
+            object.__setattr__(
+                self, "commutative",
+                self.kind in COMMUTATIVE_KINDS and len(self.inputs) == 2,
+            )
+
+    @property
+    def input_ports(self) -> range:
+        """Port labels ``I(o)`` (0, 1, ... per the paper's convention)."""
+        return range(len(self.inputs))
+
+    @property
+    def variable_inputs(self) -> list[tuple[int, int]]:
+        """Pairs ``(port, variable_id)`` for the non-constant inputs."""
+        return [(port, operand) for port, operand in enumerate(self.inputs)
+                if isinstance(operand, int)]
+
+    @property
+    def constant_inputs(self) -> list[tuple[int, Constant]]:
+        """Pairs ``(port, constant)`` for the constant inputs."""
+        return [(port, operand) for port, operand in enumerate(self.inputs)
+                if isinstance(operand, Constant)]
+
+    @property
+    def module_class(self) -> str:
+        """Functional-module class this operation needs (adder, multiplier, ...)."""
+        return DEFAULT_MODULE_CLASS.get(self.kind, self.kind)
+
+
+@dataclass
+class DataFlowGraph:
+    """A (possibly scheduled and module-bound) data flow graph.
+
+    The class is deliberately a passive container; all derived quantities
+    (lifetimes, compatibility, crossings) live in :mod:`repro.dfg.analysis`.
+    """
+
+    name: str
+    operations: dict[int, Operation] = field(default_factory=dict)
+    variables: dict[int, DfgVariable] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # paper-notation accessors
+    # ------------------------------------------------------------------
+    @property
+    def operation_ids(self) -> list[int]:
+        """The set ``V_o`` as a sorted list."""
+        return sorted(self.operations)
+
+    @property
+    def variable_ids(self) -> list[int]:
+        """The set ``V_v`` as a sorted list."""
+        return sorted(self.variables)
+
+    @property
+    def input_edges(self) -> list[tuple[int, int, int]]:
+        """The set ``E_i`` of triples ``(v, o, l)`` over variable operands."""
+        edges = []
+        for op in self.operations.values():
+            for port, var_id in op.variable_inputs:
+                edges.append((var_id, op.op_id, port))
+        return edges
+
+    @property
+    def output_edges(self) -> list[tuple[int, int]]:
+        """The set ``E_o`` of pairs ``(o, v)``."""
+        return [(op.op_id, op.output) for op in self.operations.values()]
+
+    @property
+    def constants(self) -> list[Constant]:
+        """The set ``C`` of constants appearing on operation inputs."""
+        seen: dict[str, Constant] = {}
+        for op in self.operations.values():
+            for _port, const in op.constant_inputs:
+                seen.setdefault(const.name, const)
+        return [seen[name] for name in sorted(seen)]
+
+    @property
+    def control_steps(self) -> list[int]:
+        """The set ``T`` of control steps used by the schedule."""
+        steps = {op.cstep for op in self.operations.values() if op.cstep is not None}
+        if not steps:
+            return []
+        return list(range(0, max(steps) + 1))
+
+    # ------------------------------------------------------------------
+    # status
+    # ------------------------------------------------------------------
+    @property
+    def is_scheduled(self) -> bool:
+        """Whether every operation has a control step."""
+        return bool(self.operations) and all(
+            op.cstep is not None for op in self.operations.values()
+        )
+
+    @property
+    def is_module_bound(self) -> bool:
+        """Whether every operation has a functional module."""
+        return bool(self.operations) and all(
+            op.module is not None for op in self.operations.values()
+        )
+
+    @property
+    def module_ids(self) -> list[int]:
+        """The set ``M`` of modules used by the binding (sorted)."""
+        return sorted({op.module for op in self.operations.values() if op.module is not None})
+
+    def module_operations(self) -> dict[int, list[int]]:
+        """Map each module id to the operations bound to it."""
+        by_module: dict[int, list[int]] = {}
+        for op in self.operations.values():
+            if op.module is not None:
+                by_module.setdefault(op.module, []).append(op.op_id)
+        return {m: sorted(ops) for m, ops in by_module.items()}
+
+    def module_input_ports(self, module: int) -> range:
+        """Input ports ``I(m)`` of a module (max arity over its operations)."""
+        ops = self.module_operations().get(module, [])
+        if not ops:
+            return range(0)
+        return range(max(len(self.operations[o].inputs) for o in ops))
+
+    def module_class_of(self, module: int) -> str:
+        """Functional class (adder/multiplier/...) of a bound module."""
+        ops = self.module_operations().get(module, [])
+        if not ops:
+            raise DFGError(f"module {module} has no operations bound to it")
+        classes = {self.operations[o].module_class for o in ops}
+        if len(classes) != 1:
+            raise DFGError(f"module {module} mixes operation classes {sorted(classes)}")
+        return classes.pop()
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def consumers_of(self, var_id: int) -> list[tuple[int, int]]:
+        """Operations (as ``(op_id, port)``) that read variable ``var_id``."""
+        return [(o, l) for (v, o, l) in self.input_edges if v == var_id]
+
+    def producer_of(self, var_id: int) -> int | None:
+        """Operation producing ``var_id`` (None for primary inputs)."""
+        return self.variables[var_id].producer
+
+    def primary_inputs(self) -> list[int]:
+        """Variables with no producer."""
+        return [v for v in self.variable_ids if self.variables[v].is_primary_input]
+
+    def primary_outputs(self) -> list[int]:
+        """Variables flagged as leaving the data path."""
+        return [v for v in self.variable_ids if self.variables[v].is_primary_output]
+
+    def operations_in_step(self, cstep: int) -> list[int]:
+        """Operations scheduled in the given control step."""
+        return sorted(o for o, op in self.operations.items() if op.cstep == cstep)
+
+    def operation_kinds(self) -> dict[str, list[int]]:
+        """Group operation ids by module class."""
+        groups: dict[str, list[int]] = {}
+        for op in self.operations.values():
+            groups.setdefault(op.module_class, []).append(op.op_id)
+        return {k: sorted(v) for k, v in groups.items()}
+
+    # ------------------------------------------------------------------
+    # mutation helpers (return new graphs; the container itself is mutable
+    # only through these, which keeps invariants in one place)
+    # ------------------------------------------------------------------
+    def with_schedule(self, schedule: Mapping[int, int]) -> "DataFlowGraph":
+        """Return a copy with control steps assigned from ``schedule``."""
+        missing = set(self.operations) - set(schedule)
+        if missing:
+            raise DFGError(f"schedule missing operations: {sorted(missing)}")
+        new_ops = {
+            op_id: replace(op, cstep=int(schedule[op_id]))
+            for op_id, op in self.operations.items()
+        }
+        graph = DataFlowGraph(self.name, new_ops, dict(self.variables))
+        graph.validate()
+        return graph
+
+    def with_module_binding(self, binding: Mapping[int, int]) -> "DataFlowGraph":
+        """Return a copy with functional modules assigned from ``binding``."""
+        missing = set(self.operations) - set(binding)
+        if missing:
+            raise DFGError(f"module binding missing operations: {sorted(missing)}")
+        new_ops = {
+            op_id: replace(op, module=int(binding[op_id]))
+            for op_id, op in self.operations.items()
+        }
+        graph = DataFlowGraph(self.name, new_ops, dict(self.variables))
+        graph.validate()
+        return graph
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check structural invariants; raise :class:`DFGError` on violation."""
+        for op_id, op in self.operations.items():
+            if op.op_id != op_id:
+                raise DFGError(f"operation key {op_id} does not match id {op.op_id}")
+            if op.output not in self.variables:
+                raise DFGError(f"operation {op_id} outputs unknown variable {op.output}")
+            if self.variables[op.output].producer != op_id:
+                raise DFGError(
+                    f"variable {op.output} does not list operation {op_id} as producer"
+                )
+            if not op.inputs:
+                raise DFGError(f"operation {op_id} has no inputs")
+            for port, operand in enumerate(op.inputs):
+                if isinstance(operand, int) and operand not in self.variables:
+                    raise DFGError(
+                        f"operation {op_id} reads unknown variable {operand} on port {port}"
+                    )
+        for var_id, var in self.variables.items():
+            if var.var_id != var_id:
+                raise DFGError(f"variable key {var_id} does not match id {var.var_id}")
+            if var.producer is not None:
+                if var.producer not in self.operations:
+                    raise DFGError(f"variable {var_id} produced by unknown op {var.producer}")
+                if self.operations[var.producer].output != var_id:
+                    raise DFGError(
+                        f"variable {var_id} claims producer {var.producer} "
+                        "which outputs a different variable"
+                    )
+        self._validate_schedule()
+        self._validate_module_binding()
+        self._validate_acyclic()
+
+    def _validate_schedule(self) -> None:
+        for op in self.operations.values():
+            if op.cstep is None:
+                continue
+            if op.cstep < 0:
+                raise DFGError(f"operation {op.op_id} scheduled at negative step {op.cstep}")
+            for _port, var_id in op.variable_inputs:
+                producer = self.variables[var_id].producer
+                if producer is None:
+                    continue
+                producer_step = self.operations[producer].cstep
+                if producer_step is not None and producer_step >= op.cstep:
+                    raise DFGError(
+                        f"data dependency violated: op {producer} (step {producer_step}) "
+                        f"feeds op {op.op_id} (step {op.cstep})"
+                    )
+
+    def _validate_module_binding(self) -> None:
+        by_module = self.module_operations()
+        for module, ops in by_module.items():
+            classes = {self.operations[o].module_class for o in ops}
+            if len(classes) > 1:
+                raise DFGError(f"module {module} mixes classes {sorted(classes)}")
+            steps = [self.operations[o].cstep for o in ops]
+            if all(s is not None for s in steps) and len(steps) != len(set(steps)):
+                raise DFGError(
+                    f"module {module} executes two operations in the same control step"
+                )
+
+    def _validate_acyclic(self) -> None:
+        # Kahn's algorithm over operation dependencies.
+        consumers: dict[int, list[int]] = {o: [] for o in self.operations}
+        indegree = {o: 0 for o in self.operations}
+        for op in self.operations.values():
+            for _port, var_id in op.variable_inputs:
+                producer = self.variables[var_id].producer
+                if producer is not None:
+                    consumers[producer].append(op.op_id)
+                    indegree[op.op_id] += 1
+        frontier = [o for o, deg in indegree.items() if deg == 0]
+        visited = 0
+        while frontier:
+            node = frontier.pop()
+            visited += 1
+            for nxt in consumers[node]:
+                indegree[nxt] -= 1
+                if indegree[nxt] == 0:
+                    frontier.append(nxt)
+        if visited != len(self.operations):
+            raise DFGError("data flow graph contains a dependency cycle")
+
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self.operations[o] for o in self.operation_ids)
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def summary(self) -> dict:
+        """Compact description used by reports and tests."""
+        return {
+            "name": self.name,
+            "operations": len(self.operations),
+            "variables": len(self.variables),
+            "primary_inputs": len(self.primary_inputs()),
+            "control_steps": len(self.control_steps),
+            "modules": len(self.module_ids),
+            "scheduled": self.is_scheduled,
+            "module_bound": self.is_module_bound,
+        }
+
+
+def operations_by_step(graph: DataFlowGraph) -> dict[int, list[int]]:
+    """Group scheduled operations by control step."""
+    steps: dict[int, list[int]] = {}
+    for op in graph.operations.values():
+        if op.cstep is None:
+            raise DFGError(f"operation {op.op_id} is not scheduled")
+        steps.setdefault(op.cstep, []).append(op.op_id)
+    return {t: sorted(ops) for t, ops in sorted(steps.items())}

@@ -1,0 +1,113 @@
+"""Serialisation of data flow graphs to and from plain dictionaries / JSON.
+
+The format is intentionally simple and line-oriented so that DFGs can be
+checked into a repository, diffed, and edited by hand::
+
+    {
+      "name": "example",
+      "variables": [{"id": 0, "name": "a", "producer": null, "output": false}, ...],
+      "operations": [
+        {"id": 8, "kind": "add", "inputs": [0, 1], "output": 4,
+         "cstep": 0, "module": 3, "commutative": true},
+        {"id": 9, "kind": "mul", "inputs": [4, {"const": 3.0}], "output": 5, ...}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from .graph import Constant, DataFlowGraph, DfgVariable, DFGError, Operation
+
+
+def to_dict(graph: DataFlowGraph) -> dict[str, Any]:
+    """Convert a DFG to a JSON-serialisable dictionary."""
+    variables = [
+        {
+            "id": var.var_id,
+            "name": var.name,
+            "producer": var.producer,
+            "output": var.is_primary_output,
+        }
+        for var in (graph.variables[v] for v in graph.variable_ids)
+    ]
+    operations = []
+    for op in (graph.operations[o] for o in graph.operation_ids):
+        inputs: list[Any] = []
+        for operand in op.inputs:
+            if isinstance(operand, Constant):
+                inputs.append({"const": operand.value, "name": operand.name})
+            else:
+                inputs.append(operand)
+        operations.append(
+            {
+                "id": op.op_id,
+                "kind": op.kind,
+                "inputs": inputs,
+                "output": op.output,
+                "cstep": op.cstep,
+                "module": op.module,
+                "commutative": op.commutative,
+            }
+        )
+    return {"name": graph.name, "variables": variables, "operations": operations}
+
+
+def from_dict(data: dict[str, Any]) -> DataFlowGraph:
+    """Reconstruct a DFG from a dictionary produced by :func:`to_dict`."""
+    try:
+        variables = {
+            int(v["id"]): DfgVariable(
+                var_id=int(v["id"]),
+                name=str(v.get("name", f"v{v['id']}")),
+                producer=None if v.get("producer") is None else int(v["producer"]),
+                is_primary_output=bool(v.get("output", False)),
+            )
+            for v in data["variables"]
+        }
+        operations = {}
+        for o in data["operations"]:
+            inputs: list[int | Constant] = []
+            for operand in o["inputs"]:
+                if isinstance(operand, dict):
+                    inputs.append(Constant(float(operand["const"]), operand.get("name", "")))
+                else:
+                    inputs.append(int(operand))
+            operations[int(o["id"])] = Operation(
+                op_id=int(o["id"]),
+                kind=str(o["kind"]),
+                inputs=tuple(inputs),
+                output=int(o["output"]),
+                cstep=None if o.get("cstep") is None else int(o["cstep"]),
+                module=None if o.get("module") is None else int(o["module"]),
+                commutative=o.get("commutative"),
+            )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DFGError(f"malformed DFG dictionary: {exc}") from exc
+
+    graph = DataFlowGraph(str(data.get("name", "unnamed")), operations, variables)
+    graph.validate()
+    return graph
+
+
+def to_json(graph: DataFlowGraph, indent: int = 2) -> str:
+    """Serialise a DFG to a JSON string."""
+    return json.dumps(to_dict(graph), indent=indent, sort_keys=True)
+
+
+def from_json(text: str) -> DataFlowGraph:
+    """Parse a DFG from a JSON string."""
+    return from_dict(json.loads(text))
+
+
+def save(graph: DataFlowGraph, path: str | Path) -> None:
+    """Write a DFG to a JSON file."""
+    Path(path).write_text(to_json(graph), encoding="utf-8")
+
+
+def load(path: str | Path) -> DataFlowGraph:
+    """Read a DFG from a JSON file."""
+    return from_json(Path(path).read_text(encoding="utf-8"))

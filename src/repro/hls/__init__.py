@@ -1,0 +1,33 @@
+"""High-level-synthesis substrate: scheduling, module binding, register binding.
+
+This subpackage reconstructs the front-end the paper obtained from HYPER:
+given a behavioural DFG it produces the scheduled, module-bound graphs the
+BIST synthesis methods operate on, plus conventional register bindings used
+by the baselines and ablations.
+"""
+
+from .scheduling import (
+    ScheduleResult,
+    alap_schedule,
+    asap_schedule,
+    force_directed_hint,
+    list_schedule,
+    mobility,
+)
+from .module_binding import ModuleBinding, ModuleInfo, bind_modules
+from .register_binding import RegisterBinding, coloring_binding, left_edge_binding
+
+__all__ = [
+    "ScheduleResult",
+    "alap_schedule",
+    "asap_schedule",
+    "force_directed_hint",
+    "list_schedule",
+    "mobility",
+    "ModuleBinding",
+    "ModuleInfo",
+    "bind_modules",
+    "RegisterBinding",
+    "coloring_binding",
+    "left_edge_binding",
+]

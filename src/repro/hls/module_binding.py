@@ -1,0 +1,108 @@
+"""Module (functional unit) binding for scheduled DFGs.
+
+The paper assumes module assignment has already been performed and is kept
+identical across all four compared synthesis systems.  This module provides
+that shared assignment: every operation is bound to a functional module of its
+class such that no module executes two operations in the same control step,
+using the minimum number of modules (one per unit of peak concurrency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..dfg.analysis import minimum_module_counts
+from ..dfg.graph import DataFlowGraph, DFGError
+
+
+@dataclass(frozen=True)
+class ModuleInfo:
+    """A functional module of the bound data path."""
+
+    module_id: int
+    module_class: str
+    operations: tuple[int, ...]
+
+
+@dataclass
+class ModuleBinding:
+    """Result of module binding: per-operation module ids plus module info."""
+
+    binding: dict[int, int]
+    modules: list[ModuleInfo]
+
+    def apply(self, graph: DataFlowGraph) -> DataFlowGraph:
+        """Return a copy of ``graph`` carrying this module binding."""
+        return graph.with_module_binding(self.binding)
+
+    @property
+    def module_count(self) -> int:
+        return len(self.modules)
+
+
+def bind_modules(
+    graph: DataFlowGraph,
+    first_module_id: int | None = None,
+    extra_modules: dict[str, int] | None = None,
+) -> ModuleBinding:
+    """Bind every operation of a scheduled DFG to a functional module.
+
+    A round-robin left-edge style binding: operations of each class are
+    processed in control-step order and placed on the lowest-numbered module
+    of that class that is free in their step.  The number of modules per class
+    defaults to the minimum (peak concurrency); ``extra_modules`` can add
+    spare units per class for ablation studies.
+
+    Parameters
+    ----------
+    graph:
+        A scheduled DFG.
+    first_module_id:
+        Identifier of the first module.  The paper numbers modules after the
+        registers (Fig. 1 uses registers 0..2 and modules 3..4); by default
+        module ids start at 0 and the data-path layer renumbers as needed.
+    extra_modules:
+        Additional modules per class beyond the minimum.
+    """
+    if not graph.is_scheduled:
+        raise DFGError("module binding requires a scheduled DFG")
+
+    extra_modules = extra_modules or {}
+    counts = minimum_module_counts(graph)
+    for cls, extra in extra_modules.items():
+        counts[cls] = counts.get(cls, 0) + int(extra)
+
+    next_id = 0 if first_module_id is None else int(first_module_id)
+    module_ids: dict[str, list[int]] = {}
+    for cls in sorted(counts):
+        module_ids[cls] = list(range(next_id, next_id + counts[cls]))
+        next_id += counts[cls]
+
+    busy: dict[int, set[int]] = {m: set() for ids in module_ids.values() for m in ids}
+    binding: dict[int, int] = {}
+    for cstep in graph.control_steps:
+        for op_id in graph.operations_in_step(cstep):
+            cls = graph.operations[op_id].module_class
+            placed = False
+            for module in module_ids.get(cls, []):
+                if cstep not in busy[module]:
+                    binding[op_id] = module
+                    busy[module].add(cstep)
+                    placed = True
+                    break
+            if not placed:
+                raise DFGError(
+                    f"no free module of class {cls!r} for operation {op_id} "
+                    f"in control step {cstep}"
+                )
+
+    modules = []
+    for cls in sorted(module_ids):
+        for module in module_ids[cls]:
+            ops = tuple(sorted(o for o, m in binding.items() if m == module))
+            if ops:
+                modules.append(ModuleInfo(module, cls, ops))
+    # Drop modules that ended up unused (possible when extra_modules > needed).
+    used_ids = {m.module_id for m in modules}
+    binding = {o: m for o, m in binding.items() if m in used_ids}
+    return ModuleBinding(binding=binding, modules=modules)

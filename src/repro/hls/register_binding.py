@@ -1,0 +1,122 @@
+"""Register binding (variable → register assignment) heuristics.
+
+The ADVBIST core leaves register assignment to the ILP; these heuristics are
+needed for three other purposes:
+
+* producing the *fixed* register assignment used by the ablation study
+  (``fixed register binding + BIST ILP`` versus the paper's fully concurrent
+  formulation),
+* seeding the baseline methods (ADVAN / RALLOC / BITS), which all start from
+  a conventional register allocation, and
+* providing a quick feasible assignment to validate cost accounting against.
+
+Two classic algorithms are implemented:
+
+* :func:`left_edge_binding` — the left-edge algorithm over variable lifetimes
+  (optimal in register count for interval conflicts);
+* :func:`coloring_binding` — greedy colouring of an arbitrary conflict graph,
+  used when extra conflict edges (e.g. RALLOC's self-adjacency edges) make
+  the problem non-interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from ..dfg.analysis import (
+    PrimaryInputPolicy,
+    incompatibility_graph,
+    variable_lifetimes,
+)
+from ..dfg.graph import DataFlowGraph
+
+
+@dataclass
+class RegisterBinding:
+    """A variable → register assignment.
+
+    Attributes
+    ----------
+    assignment:
+        Mapping from variable id to register id (0-based, dense).
+    register_count:
+        Number of registers used.
+    """
+
+    assignment: dict[int, int]
+    register_count: int
+
+    def registers(self) -> dict[int, list[int]]:
+        """Map each register to the sorted list of variables it holds."""
+        grouping: dict[int, list[int]] = {}
+        for var_id, reg in self.assignment.items():
+            grouping.setdefault(reg, []).append(var_id)
+        return {reg: sorted(vars_) for reg, vars_ in sorted(grouping.items())}
+
+
+def left_edge_binding(
+    graph: DataFlowGraph,
+    primary_input_policy: PrimaryInputPolicy = "at_first_use",
+) -> RegisterBinding:
+    """Left-edge register allocation over variable lifetimes.
+
+    Variables are sorted by birth boundary; each is placed in the
+    lowest-numbered register whose latest death precedes the variable's
+    birth.  For interval lifetimes this uses the minimum number of registers
+    (the maximal horizontal crossing).
+    """
+    lifetimes = variable_lifetimes(graph, primary_input_policy)
+    order = sorted(lifetimes, key=lambda v: (lifetimes[v].birth, lifetimes[v].death, v))
+
+    register_last_death: list[int] = []
+    assignment: dict[int, int] = {}
+    for var_id in order:
+        lifetime = lifetimes[var_id]
+        placed = False
+        for reg, last_death in enumerate(register_last_death):
+            if last_death < lifetime.birth:
+                assignment[var_id] = reg
+                register_last_death[reg] = lifetime.death
+                placed = True
+                break
+        if not placed:
+            assignment[var_id] = len(register_last_death)
+            register_last_death.append(lifetime.death)
+    return RegisterBinding(assignment=assignment, register_count=len(register_last_death))
+
+
+def coloring_binding(
+    graph: DataFlowGraph,
+    extra_conflicts: list[tuple[int, int]] | None = None,
+    primary_input_policy: PrimaryInputPolicy = "at_first_use",
+    strategy: str = "saturation_largest_first",
+) -> RegisterBinding:
+    """Register allocation by greedy colouring of the conflict graph.
+
+    Parameters
+    ----------
+    graph:
+        Scheduled DFG.
+    extra_conflicts:
+        Additional variable pairs that must not share a register (e.g. the
+        self-adjacency pairs used by RALLOC).  Self-loops are ignored.
+    strategy:
+        Colouring strategy passed to :func:`networkx.greedy_color` (DSATUR by
+        default, which is what Avra's conflict-graph method effectively does).
+    """
+    conflict = incompatibility_graph(graph, primary_input_policy)
+    for u, v in (extra_conflicts or []):
+        if u != v and u in conflict and v in conflict:
+            conflict.add_edge(u, v)
+    coloring = nx.greedy_color(conflict, strategy=strategy)
+    # Re-number colours densely and deterministically by first appearance.
+    remap: dict[int, int] = {}
+    assignment: dict[int, int] = {}
+    for var_id in sorted(coloring):
+        colour = coloring[var_id]
+        if colour not in remap:
+            remap[colour] = len(remap)
+        assignment[var_id] = remap[colour]
+    return RegisterBinding(assignment=assignment, register_count=len(remap))

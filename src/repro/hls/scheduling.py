@@ -1,0 +1,221 @@
+"""Operation scheduling for data flow graphs.
+
+The paper assumes DFGs whose *scheduling and module assignment have been
+completed* (section 2).  The original benchmarks were scheduled with HYPER,
+which is not available, so this module provides the standard algorithms used
+to reconstruct comparable schedules:
+
+* :func:`asap_schedule` / :func:`alap_schedule` — unconstrained earliest /
+  latest schedules and operation mobility;
+* :func:`list_schedule` — resource-constrained list scheduling, the workhorse
+  used by :mod:`repro.circuits` to produce the benchmark schedules;
+* :func:`force_directed_hint` — a light-weight distribution-graph heuristic
+  used as a tie-breaker to smooth register pressure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..dfg.graph import DataFlowGraph, DFGError
+
+
+def _dependency_lists(graph: DataFlowGraph) -> tuple[dict[int, list[int]], dict[int, list[int]]]:
+    """Return (predecessors, successors) between operations."""
+    preds: dict[int, list[int]] = {o: [] for o in graph.operation_ids}
+    succs: dict[int, list[int]] = {o: [] for o in graph.operation_ids}
+    for op in graph.operations.values():
+        for _port, var_id in op.variable_inputs:
+            producer = graph.variables[var_id].producer
+            if producer is not None:
+                preds[op.op_id].append(producer)
+                succs[producer].append(op.op_id)
+    return preds, succs
+
+
+def asap_schedule(graph: DataFlowGraph) -> dict[int, int]:
+    """As-soon-as-possible schedule (single-cycle operations)."""
+    preds, _succs = _dependency_lists(graph)
+    schedule: dict[int, int] = {}
+    remaining = set(graph.operation_ids)
+    while remaining:
+        progressed = False
+        for op_id in sorted(remaining):
+            if all(p in schedule for p in preds[op_id]):
+                schedule[op_id] = (
+                    max((schedule[p] + 1 for p in preds[op_id]), default=0)
+                )
+                remaining.discard(op_id)
+                progressed = True
+        if not progressed:
+            raise DFGError("cannot schedule DFG: dependency cycle detected")
+    return schedule
+
+
+def alap_schedule(graph: DataFlowGraph, latency: int | None = None) -> dict[int, int]:
+    """As-late-as-possible schedule for a given latency (default: ASAP length)."""
+    asap = asap_schedule(graph)
+    if latency is None:
+        latency = max(asap.values(), default=-1) + 1
+    min_latency = max(asap.values(), default=-1) + 1
+    if latency < min_latency:
+        raise DFGError(f"latency {latency} below critical path {min_latency}")
+
+    _preds, succs = _dependency_lists(graph)
+    schedule: dict[int, int] = {}
+    remaining = set(graph.operation_ids)
+    while remaining:
+        progressed = False
+        for op_id in sorted(remaining, reverse=True):
+            if all(s in schedule for s in succs[op_id]):
+                schedule[op_id] = min(
+                    (schedule[s] - 1 for s in succs[op_id]), default=latency - 1
+                )
+                remaining.discard(op_id)
+                progressed = True
+        if not progressed:
+            raise DFGError("cannot schedule DFG: dependency cycle detected")
+    return schedule
+
+
+def mobility(graph: DataFlowGraph, latency: int | None = None) -> dict[int, int]:
+    """Scheduling freedom (ALAP minus ASAP step) of every operation."""
+    asap = asap_schedule(graph)
+    alap = alap_schedule(graph, latency)
+    return {o: alap[o] - asap[o] for o in graph.operation_ids}
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of resource-constrained scheduling."""
+
+    schedule: dict[int, int]
+    latency: int
+    resource_limits: dict[str, int]
+
+    def apply(self, graph: DataFlowGraph) -> DataFlowGraph:
+        """Return a copy of ``graph`` carrying this schedule."""
+        return graph.with_schedule(self.schedule)
+
+
+def list_schedule(
+    graph: DataFlowGraph,
+    resource_limits: Mapping[str, int],
+    max_latency: int | None = None,
+) -> ScheduleResult:
+    """Resource-constrained list scheduling.
+
+    Operations are scheduled control step by control step.  At each step the
+    ready operations are ranked by decreasing criticality (smallest mobility
+    first, then longest path to a sink) and greedily packed into the available
+    functional units of their class.
+
+    Parameters
+    ----------
+    graph:
+        Unscheduled (or to-be-rescheduled) DFG.
+    resource_limits:
+        Maximum number of concurrently usable modules per functional class,
+        e.g. ``{"alu": 1, "mult": 2}``.  Classes missing from the mapping are
+        unconstrained.
+    max_latency:
+        Optional safety bound; scheduling failing to finish within it raises.
+    """
+    preds, succs = _dependency_lists(graph)
+    asap = asap_schedule(graph)
+    critical_length = _path_to_sink(graph, succs)
+
+    unscheduled = set(graph.operation_ids)
+    schedule: dict[int, int] = {}
+    cstep = 0
+    limit = max_latency if max_latency is not None else 4 * (len(graph.operation_ids) + 1)
+
+    while unscheduled:
+        if cstep > limit:
+            raise DFGError(
+                f"list scheduling exceeded the latency bound of {limit} control steps"
+            )
+        ready = [
+            op_id for op_id in sorted(unscheduled)
+            if all(p in schedule and schedule[p] < cstep for p in preds[op_id])
+        ]
+        ready.sort(key=lambda o: (-critical_length[o], asap[o], o))
+        used: dict[str, int] = {}
+        for op_id in ready:
+            cls = graph.operations[op_id].module_class
+            cap = resource_limits.get(cls)
+            if cap is not None and used.get(cls, 0) >= cap:
+                continue
+            schedule[op_id] = cstep
+            used[cls] = used.get(cls, 0) + 1
+            unscheduled.discard(op_id)
+        cstep += 1
+
+    latency = max(schedule.values(), default=-1) + 1
+    return ScheduleResult(schedule=schedule, latency=latency,
+                          resource_limits=dict(resource_limits))
+
+
+def force_directed_hint(graph: DataFlowGraph, latency: int | None = None) -> dict[int, float]:
+    """Average distribution-graph pressure per operation (tie-break heuristic).
+
+    For each operation we compute the average, over its mobility window, of
+    the expected number of same-class operations competing for the same
+    control step.  Lower is better: operations in crowded windows are more
+    urgent.  This is a simplified force-directed-scheduling force term.
+    """
+    asap = asap_schedule(graph)
+    alap = alap_schedule(graph, latency)
+    horizon = max(alap.values(), default=-1) + 1
+
+    # probability-weighted distribution graph per class
+    distribution: dict[str, list[float]] = {}
+    for op_id in graph.operation_ids:
+        cls = graph.operations[op_id].module_class
+        window = range(asap[op_id], alap[op_id] + 1)
+        weight = 1.0 / len(window)
+        row = distribution.setdefault(cls, [0.0] * horizon)
+        for step in window:
+            row[step] += weight
+
+    pressure: dict[int, float] = {}
+    for op_id in graph.operation_ids:
+        cls = graph.operations[op_id].module_class
+        window = range(asap[op_id], alap[op_id] + 1)
+        row = distribution[cls]
+        pressure[op_id] = sum(row[step] for step in window) / len(window)
+    return pressure
+
+
+def _path_to_sink(graph: DataFlowGraph, succs: dict[int, list[int]]) -> dict[int, int]:
+    """Length of the longest dependency path from each operation to any sink."""
+    length: dict[int, int] = {}
+
+    order = list(reversed(_topological_order(graph, succs)))
+    for op_id in order:
+        if not succs[op_id]:
+            length[op_id] = 0
+        else:
+            length[op_id] = 1 + max(length[s] for s in succs[op_id])
+    return length
+
+
+def _topological_order(graph: DataFlowGraph, succs: dict[int, list[int]]) -> list[int]:
+    indegree = {o: 0 for o in graph.operation_ids}
+    for op_id, nexts in succs.items():
+        for nxt in nexts:
+            indegree[nxt] += 1
+    frontier = sorted(o for o, deg in indegree.items() if deg == 0)
+    order: list[int] = []
+    while frontier:
+        node = frontier.pop(0)
+        order.append(node)
+        for nxt in succs[node]:
+            indegree[nxt] -= 1
+            if indegree[nxt] == 0:
+                frontier.append(nxt)
+        frontier.sort()
+    if len(order) != len(graph.operation_ids):
+        raise DFGError("topological order failed: dependency cycle detected")
+    return order

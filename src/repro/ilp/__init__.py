@@ -1,0 +1,32 @@
+"""A small integer-linear-programming toolkit.
+
+This subpackage is the stand-in for the commercial ILP environment (CPLEX)
+used by the paper: a modelling layer (:mod:`repro.ilp.expr`,
+:mod:`repro.ilp.model`) plus two exact solver backends
+(:mod:`repro.ilp.backends`).
+"""
+
+from .expr import Constraint, LinExpr, Sense, Variable, VarType, quicksum
+from .model import MatrixForm, Model, ModelError
+from .solution import Solution, SolveStatus
+from .backends import BranchAndBoundBackend, ScipyMilpBackend, get_backend
+from .reductions import lexicographic_slot_ordering, pin_assignments
+
+__all__ = [
+    "Constraint",
+    "LinExpr",
+    "Sense",
+    "Variable",
+    "VarType",
+    "quicksum",
+    "MatrixForm",
+    "Model",
+    "ModelError",
+    "Solution",
+    "SolveStatus",
+    "BranchAndBoundBackend",
+    "ScipyMilpBackend",
+    "get_backend",
+    "lexicographic_slot_ordering",
+    "pin_assignments",
+]

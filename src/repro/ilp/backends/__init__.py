@@ -1,0 +1,44 @@
+"""Solver backends for the ILP modelling layer.
+
+Two backends are provided:
+
+* :class:`ScipyMilpBackend` — HiGHS through :func:`scipy.optimize.milp`
+  (default, fast, exact);
+* :class:`BranchAndBoundBackend` — a self-contained pure-Python branch and
+  bound used for cross-checking and for environments without HiGHS.
+"""
+
+from __future__ import annotations
+
+from .branch_and_bound import BranchAndBoundBackend
+from .scipy_milp import ScipyMilpBackend
+
+_BACKENDS = {
+    "scipy": ScipyMilpBackend,
+    "highs": ScipyMilpBackend,
+    "bnb": BranchAndBoundBackend,
+    "branch_and_bound": BranchAndBoundBackend,
+}
+
+
+def get_backend(name: str = "auto"):
+    """Instantiate a solver backend by name.
+
+    ``"auto"`` prefers the scipy/HiGHS backend and falls back to the
+    pure-Python branch and bound if scipy's MILP interface is unavailable.
+    """
+    key = name.lower()
+    if key == "auto":
+        try:
+            from scipy.optimize import milp  # noqa: F401
+        except ImportError:  # pragma: no cover - scipy is a hard dependency here
+            return BranchAndBoundBackend()
+        return ScipyMilpBackend()
+    if key not in _BACKENDS:
+        raise ValueError(
+            f"unknown ILP backend {name!r}; available: {sorted(_BACKENDS)} or 'auto'"
+        )
+    return _BACKENDS[key]()
+
+
+__all__ = ["ScipyMilpBackend", "BranchAndBoundBackend", "get_backend"]

@@ -1,0 +1,182 @@
+"""A self-contained branch-and-bound MILP solver.
+
+The paper solved its formulations with CPLEX; :mod:`scipy`'s HiGHS backend is
+the day-to-day replacement.  This module provides a second, fully
+self-contained solver so that
+
+* the repository does not depend on any single external MILP engine for its
+  correctness story (the two backends cross-check each other in the tests),
+* solver behaviour itself (bounding, branching, incumbent handling, time
+  limits) can be unit-tested, and
+* small models remain solvable even in environments where HiGHS is
+  unavailable.
+
+The implementation is a classic LP-relaxation branch-and-bound:
+
+1. solve the LP relaxation with :func:`scipy.optimize.linprog`,
+2. if the relaxation is integral, update the incumbent,
+3. otherwise branch on the most fractional integer variable, exploring the
+   child whose bound looks more promising first (best-first on the parent
+   relaxation value, depth-first tie-break to find incumbents early).
+
+It is intentionally straightforward rather than clever — the point is
+correctness and testability, not raw speed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.optimize import linprog
+
+from ..model import MatrixForm
+from ..solution import Solution, SolveStatus
+
+_INTEGRALITY_TOL = 1e-6
+
+
+@dataclass(order=True)
+class _Node:
+    """A branch-and-bound node: the parent bound plus extra variable bounds."""
+
+    bound: float
+    order: int = field(compare=True)
+    lower: np.ndarray = field(compare=False, default=None)
+    upper: np.ndarray = field(compare=False, default=None)
+    depth: int = field(compare=False, default=0)
+
+
+class BranchAndBoundBackend:
+    """Pure-Python LP-based branch and bound."""
+
+    name = "bnb"
+
+    def __init__(self, node_limit: int = 200_000):
+        self.node_limit = node_limit
+
+    def solve(self, form: MatrixForm, time_limit: float | None = None,
+              mip_gap: float = 1e-6) -> Solution:
+        start = time.perf_counter()
+        nvar = len(form.variables)
+        integer_mask = form.integrality.astype(bool)
+
+        lower0 = np.array([lo for lo, _ in form.bounds], dtype=float)
+        upper0 = np.array([hi for _, hi in form.bounds], dtype=float)
+
+        best_x: np.ndarray | None = None
+        best_obj = math.inf
+        nodes_explored = 0
+        counter = 0
+
+        root = _Node(bound=-math.inf, order=counter, lower=lower0, upper=upper0, depth=0)
+        heap: list[_Node] = [root]
+
+        status = SolveStatus.OPTIMAL
+        while heap:
+            if time_limit is not None and time.perf_counter() - start > time_limit:
+                status = SolveStatus.FEASIBLE if best_x is not None else SolveStatus.TIME_LIMIT
+                break
+            if nodes_explored >= self.node_limit:
+                status = SolveStatus.FEASIBLE if best_x is not None else SolveStatus.TIME_LIMIT
+                break
+
+            node = heapq.heappop(heap)
+            if node.bound >= best_obj - 1e-9:
+                continue
+            nodes_explored += 1
+
+            relaxation = self._solve_relaxation(form, node.lower, node.upper)
+            if relaxation is None:
+                continue  # infeasible subproblem
+            obj, x = relaxation
+            if obj >= best_obj - 1e-9:
+                continue  # bounded out
+
+            frac_index = self._most_fractional(x, integer_mask)
+            if frac_index is None:
+                # integral solution: new incumbent
+                rounded = x.copy()
+                rounded[integer_mask] = np.round(rounded[integer_mask])
+                best_obj = obj
+                best_x = rounded
+                continue
+
+            value = x[frac_index]
+            floor_val = math.floor(value + _INTEGRALITY_TOL)
+            ceil_val = floor_val + 1
+
+            down_upper = node.upper.copy()
+            down_upper[frac_index] = min(down_upper[frac_index], floor_val)
+            up_lower = node.lower.copy()
+            up_lower[frac_index] = max(up_lower[frac_index], ceil_val)
+
+            for child_lower, child_upper in (
+                (node.lower, down_upper),
+                (up_lower, node.upper),
+            ):
+                if np.any(child_lower > child_upper + 1e-12):
+                    continue
+                counter += 1
+                heapq.heappush(
+                    heap,
+                    _Node(bound=obj, order=counter, lower=child_lower.copy(),
+                          upper=child_upper.copy(), depth=node.depth + 1),
+                )
+
+        elapsed = time.perf_counter() - start
+        if best_x is None:
+            if status in (SolveStatus.TIME_LIMIT, SolveStatus.FEASIBLE):
+                return Solution(status=SolveStatus.TIME_LIMIT, nodes=nodes_explored,
+                                solve_seconds=elapsed, message="no incumbent found")
+            return Solution(status=SolveStatus.INFEASIBLE, nodes=nodes_explored,
+                            solve_seconds=elapsed)
+
+        values = {}
+        for var, raw in zip(form.variables, best_x):
+            value = float(raw)
+            if form.integrality[var.index]:
+                value = float(round(value))
+            values[var] = value
+        return Solution(
+            status=status,
+            objective=float(best_obj) + form.offset,
+            values=values,
+            nodes=nodes_explored,
+            solve_seconds=elapsed,
+        )
+
+    # ------------------------------------------------------------------
+    def _solve_relaxation(self, form: MatrixForm, lower: np.ndarray,
+                          upper: np.ndarray) -> tuple[float, np.ndarray] | None:
+        """Solve the LP relaxation with the given bounds; None if infeasible."""
+        finite_upper = np.where(np.isinf(upper), None, upper)
+        bounds = [
+            (float(lo), None if hi is None else float(hi))
+            for lo, hi in zip(lower, finite_upper)
+        ]
+        result = linprog(
+            c=form.c,
+            A_ub=form.A_ub if form.A_ub.shape[0] else None,
+            b_ub=form.b_ub if form.A_ub.shape[0] else None,
+            A_eq=form.A_eq if form.A_eq.shape[0] else None,
+            b_eq=form.b_eq if form.A_eq.shape[0] else None,
+            bounds=bounds,
+            method="highs",
+        )
+        if not result.success:
+            return None
+        return float(result.fun), np.asarray(result.x, dtype=float)
+
+    @staticmethod
+    def _most_fractional(x: np.ndarray, integer_mask: np.ndarray) -> int | None:
+        """Index of the integer variable farthest from integrality, or None."""
+        fractional_part = np.abs(x - np.round(x))
+        fractional_part[~integer_mask] = 0.0
+        index = int(np.argmax(fractional_part))
+        if fractional_part[index] <= _INTEGRALITY_TOL:
+            return None
+        return index

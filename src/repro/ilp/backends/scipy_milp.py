@@ -1,0 +1,83 @@
+"""MILP backend built on :func:`scipy.optimize.milp` (the HiGHS solver).
+
+This is the default backend.  It stands in for the commercial CPLEX solver
+used in the paper: both are exact branch-and-cut MILP solvers, so optimal
+objective values (and hence the "minimal area overhead" claims) carry over.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import Bounds, LinearConstraint, milp
+
+from ..model import MatrixForm
+from ..solution import Solution, SolveStatus
+
+
+class ScipyMilpBackend:
+    """Solve ILPs with HiGHS via :func:`scipy.optimize.milp`."""
+
+    name = "scipy"
+
+    def solve(self, form: MatrixForm, time_limit: float | None = None,
+              mip_gap: float = 1e-6) -> Solution:
+        constraints = []
+        if form.A_ub.shape[0]:
+            constraints.append(
+                LinearConstraint(form.A_ub, -np.inf * np.ones(form.A_ub.shape[0]), form.b_ub)
+            )
+        if form.A_eq.shape[0]:
+            constraints.append(LinearConstraint(form.A_eq, form.b_eq, form.b_eq))
+
+        lower = np.array([lo for lo, _ in form.bounds], dtype=float)
+        upper = np.array([hi for _, hi in form.bounds], dtype=float)
+        bounds = Bounds(lower, upper)
+
+        options: dict = {"mip_rel_gap": mip_gap}
+        if time_limit is not None:
+            options["time_limit"] = float(time_limit)
+
+        result = milp(
+            c=form.c,
+            constraints=constraints,
+            bounds=bounds,
+            integrality=form.integrality,
+            options=options,
+        )
+
+        status = _translate_status(result)
+        if not status.has_solution or result.x is None:
+            return Solution(status=status, message=str(result.message))
+
+        values = {}
+        for var, raw in zip(form.variables, result.x):
+            value = float(raw)
+            if form.integrality[var.index]:
+                value = float(round(value))
+            values[var] = value
+        objective = float(form.c @ result.x) + form.offset
+        gap = float(result.mip_gap) if getattr(result, "mip_gap", None) is not None else None
+        nodes = int(getattr(result, "mip_node_count", 0) or 0)
+        return Solution(
+            status=status,
+            objective=objective,
+            values=values,
+            nodes=nodes,
+            gap=gap,
+            message=str(result.message),
+        )
+
+
+def _translate_status(result) -> SolveStatus:
+    """Map scipy's result status codes onto :class:`SolveStatus`."""
+    # scipy.optimize.milp status codes: 0 optimal, 1 iteration/time limit,
+    # 2 infeasible, 3 unbounded, 4 other.
+    if result.status == 0:
+        return SolveStatus.OPTIMAL
+    if result.status == 1:
+        return SolveStatus.FEASIBLE if result.x is not None else SolveStatus.TIME_LIMIT
+    if result.status == 2:
+        return SolveStatus.INFEASIBLE
+    if result.status == 3:
+        return SolveStatus.UNBOUNDED
+    return SolveStatus.ERROR

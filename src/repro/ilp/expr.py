@@ -1,0 +1,237 @@
+"""Linear expressions and decision variables for the ILP modelling layer.
+
+This module provides the small algebra used to state integer linear programs
+in the rest of the package: :class:`Variable` objects are created through a
+:class:`repro.ilp.model.Model`, combined into :class:`LinExpr` objects with
+ordinary Python arithmetic, and turned into constraints with ``<=``, ``>=``
+and ``==``.
+
+The design intentionally mirrors familiar modelling APIs (PuLP, gurobipy)
+so that the formulation code in :mod:`repro.core.formulation` reads almost
+one-to-one against the equations of the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+
+class VarType(enum.Enum):
+    """Domain of a decision variable."""
+
+    BINARY = "binary"
+    INTEGER = "integer"
+    CONTINUOUS = "continuous"
+
+
+class Sense(enum.Enum):
+    """Relational sense of a linear constraint."""
+
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A single decision variable.
+
+    Variables are created by :meth:`repro.ilp.model.Model.add_var` and are
+    identified by their ``index`` within the owning model.  They are hashable
+    and immutable so they can be used as dictionary keys when building
+    families of variables (``x[v, r]`` style).
+
+    Attributes
+    ----------
+    index:
+        Column index of the variable inside its model.
+    name:
+        Human-readable name, used in solution reporting and debugging.
+    vartype:
+        Domain of the variable (binary, integer or continuous).
+    lower, upper:
+        Bounds.  Binary variables always have bounds ``(0, 1)``.
+    """
+
+    index: int
+    name: str
+    vartype: VarType = VarType.BINARY
+    lower: float = 0.0
+    upper: float = 1.0
+
+    # -- arithmetic -------------------------------------------------------
+    def _as_expr(self) -> "LinExpr":
+        return LinExpr({self: 1.0}, 0.0)
+
+    def __add__(self, other: "Variable | LinExpr | float") -> "LinExpr":
+        return self._as_expr() + other
+
+    def __radd__(self, other: "Variable | LinExpr | float") -> "LinExpr":
+        return self._as_expr() + other
+
+    def __sub__(self, other: "Variable | LinExpr | float") -> "LinExpr":
+        return self._as_expr() - other
+
+    def __rsub__(self, other: "Variable | LinExpr | float") -> "LinExpr":
+        return (-1.0 * self) + other
+
+    def __mul__(self, coeff: float) -> "LinExpr":
+        return LinExpr({self: float(coeff)}, 0.0)
+
+    def __rmul__(self, coeff: float) -> "LinExpr":
+        return self.__mul__(coeff)
+
+    def __neg__(self) -> "LinExpr":
+        return self.__mul__(-1.0)
+
+    # -- relational operators build constraints ---------------------------
+    def __le__(self, other: "Variable | LinExpr | float") -> "Constraint":
+        return self._as_expr() <= other
+
+    def __ge__(self, other: "Variable | LinExpr | float") -> "Constraint":
+        return self._as_expr() >= other
+
+    def __eq__(self, other: object):  # type: ignore[override]
+        if isinstance(other, (Variable, LinExpr, int, float)):
+            if isinstance(other, Variable) and other is self:
+                return True
+            return self._as_expr() == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.index, self.name))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Variable({self.name})"
+
+
+class LinExpr:
+    """An affine expression ``sum(coeff_i * var_i) + constant``.
+
+    Instances are immutable from the caller's point of view: all arithmetic
+    returns new expressions.  Coefficients of value zero are kept out of the
+    term map so that expression size reflects the true support.
+    """
+
+    __slots__ = ("terms", "constant")
+
+    def __init__(self, terms: Mapping[Variable, float] | None = None, constant: float = 0.0):
+        self.terms: dict[Variable, float] = {
+            v: float(c) for v, c in (terms or {}).items() if c != 0.0
+        }
+        self.constant = float(constant)
+
+    # -- construction helpers --------------------------------------------
+    @staticmethod
+    def sum(items: Iterable["Variable | LinExpr | float"]) -> "LinExpr":
+        """Sum an iterable of variables, expressions and constants."""
+        total = LinExpr()
+        for item in items:
+            total = total + item
+        return total
+
+    def copy(self) -> "LinExpr":
+        return LinExpr(dict(self.terms), self.constant)
+
+    # -- arithmetic -------------------------------------------------------
+    def _coerce(self, other: "Variable | LinExpr | float") -> "LinExpr":
+        if isinstance(other, LinExpr):
+            return other
+        if isinstance(other, Variable):
+            return other._as_expr()
+        if isinstance(other, (int, float)):
+            return LinExpr({}, float(other))
+        raise TypeError(f"cannot combine LinExpr with {type(other)!r}")
+
+    def __add__(self, other: "Variable | LinExpr | float") -> "LinExpr":
+        rhs = self._coerce(other)
+        terms = dict(self.terms)
+        for var, coeff in rhs.terms.items():
+            terms[var] = terms.get(var, 0.0) + coeff
+        return LinExpr(terms, self.constant + rhs.constant)
+
+    def __radd__(self, other: "Variable | LinExpr | float") -> "LinExpr":
+        return self.__add__(other)
+
+    def __sub__(self, other: "Variable | LinExpr | float") -> "LinExpr":
+        return self.__add__(self._coerce(other) * -1.0)
+
+    def __rsub__(self, other: "Variable | LinExpr | float") -> "LinExpr":
+        return (self * -1.0).__add__(other)
+
+    def __mul__(self, coeff: float) -> "LinExpr":
+        if not isinstance(coeff, (int, float)):
+            raise TypeError("LinExpr can only be scaled by a numeric constant")
+        return LinExpr({v: c * coeff for v, c in self.terms.items()}, self.constant * coeff)
+
+    def __rmul__(self, coeff: float) -> "LinExpr":
+        return self.__mul__(coeff)
+
+    def __neg__(self) -> "LinExpr":
+        return self.__mul__(-1.0)
+
+    # -- relational operators --------------------------------------------
+    def __le__(self, other: "Variable | LinExpr | float") -> "Constraint":
+        return Constraint(self - self._coerce(other), Sense.LE)
+
+    def __ge__(self, other: "Variable | LinExpr | float") -> "Constraint":
+        return Constraint(self - self._coerce(other), Sense.GE)
+
+    def __eq__(self, other: object):  # type: ignore[override]
+        if isinstance(other, (Variable, LinExpr, int, float)):
+            return Constraint(self - self._coerce(other), Sense.EQ)
+        return NotImplemented
+
+    def __hash__(self) -> int:  # pragma: no cover - expressions rarely hashed
+        return id(self)
+
+    # -- evaluation -------------------------------------------------------
+    def value(self, assignment: Mapping[Variable, float]) -> float:
+        """Evaluate the expression under a variable assignment."""
+        return self.constant + sum(coeff * assignment[var] for var, coeff in self.terms.items())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        parts = [f"{c:+g}*{v.name}" for v, c in self.terms.items()]
+        if self.constant or not parts:
+            parts.append(f"{self.constant:+g}")
+        return " ".join(parts)
+
+
+@dataclass
+class Constraint:
+    """A linear constraint ``expr (<=|>=|==) 0``.
+
+    The right-hand side is folded into the expression's constant term, i.e.
+    the constraint stored here is always of the form ``terms + constant
+    sense 0``.
+    """
+
+    expr: LinExpr
+    sense: Sense
+    name: str = ""
+    _tags: dict = field(default_factory=dict, repr=False)
+
+    def named(self, name: str) -> "Constraint":
+        """Return the same constraint carrying a descriptive name."""
+        self.name = name
+        return self
+
+    def satisfied_by(self, assignment: Mapping[Variable, float], tol: float = 1e-6) -> bool:
+        """Check whether the constraint holds under ``assignment``."""
+        lhs = self.expr.value(assignment)
+        if self.sense is Sense.LE:
+            return lhs <= tol
+        if self.sense is Sense.GE:
+            return lhs >= -tol
+        return abs(lhs) <= tol
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        label = f" [{self.name}]" if self.name else ""
+        return f"Constraint({self.expr!r} {self.sense.value} 0{label})"
+
+
+def quicksum(items: Iterable["Variable | LinExpr | float"]) -> LinExpr:
+    """Convenience alias for :meth:`LinExpr.sum` (gurobipy-style name)."""
+    return LinExpr.sum(items)

@@ -1,0 +1,295 @@
+"""The :class:`Model` container for integer linear programs.
+
+A :class:`Model` owns decision variables, linear constraints and a single
+(minimisation or maximisation) objective.  It converts itself into the dense
+matrix form consumed by the solver backends and offers convenience helpers
+used heavily by the BIST formulation:
+
+* ``add_binary`` / ``add_integer`` / ``add_continuous`` variable factories,
+* ``add_constr`` with automatic naming,
+* ``add_or_indicator`` implementing the paper's equation (14) OR-linearisation,
+* ``add_and_indicator`` implementing equations (17)/(18) and (21)/(22).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .expr import Constraint, LinExpr, Sense, Variable, VarType
+from .solution import Solution, SolveStatus
+
+
+class ModelError(ValueError):
+    """Raised for malformed models (duplicate names, wrong bounds, ...)."""
+
+
+@dataclass
+class MatrixForm:
+    """Dense/structured matrix view of a model, consumed by backends.
+
+    ``A_ub x <= b_ub`` and ``A_eq x == b_eq`` with variable ``bounds`` and
+    integrality flags, objective ``c`` (always minimisation: maximisation
+    models are negated before reaching this form).
+    """
+
+    c: np.ndarray
+    A_ub: np.ndarray
+    b_ub: np.ndarray
+    A_eq: np.ndarray
+    b_eq: np.ndarray
+    bounds: list[tuple[float, float]]
+    integrality: np.ndarray
+    variables: list[Variable]
+    offset: float = 0.0
+
+
+class Model:
+    """An integer linear program under construction.
+
+    Parameters
+    ----------
+    name:
+        Label used in reports.
+    sense:
+        ``"min"`` (default) or ``"max"``.
+    """
+
+    def __init__(self, name: str = "model", sense: str = "min"):
+        if sense not in ("min", "max"):
+            raise ModelError(f"objective sense must be 'min' or 'max', got {sense!r}")
+        self.name = name
+        self.sense = sense
+        self.variables: list[Variable] = []
+        self.constraints: list[Constraint] = []
+        self.objective: LinExpr = LinExpr()
+        self._names: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # variables
+    # ------------------------------------------------------------------
+    def add_var(
+        self,
+        name: str,
+        vartype: VarType = VarType.BINARY,
+        lower: float = 0.0,
+        upper: float | None = None,
+    ) -> Variable:
+        """Create a new decision variable and register it with the model."""
+        if name in self._names:
+            raise ModelError(f"duplicate variable name: {name!r}")
+        if upper is None:
+            upper = 1.0 if vartype is VarType.BINARY else float("inf")
+        if upper < lower:
+            raise ModelError(f"variable {name!r} has upper bound {upper} < lower bound {lower}")
+        var = Variable(index=len(self.variables), name=name, vartype=vartype,
+                       lower=float(lower), upper=float(upper))
+        self.variables.append(var)
+        self._names.add(name)
+        return var
+
+    def add_binary(self, name: str) -> Variable:
+        """Create a {0,1} variable."""
+        return self.add_var(name, VarType.BINARY, 0.0, 1.0)
+
+    def add_integer(self, name: str, lower: float = 0.0, upper: float | None = None) -> Variable:
+        """Create a general integer variable."""
+        return self.add_var(name, VarType.INTEGER, lower, upper)
+
+    def add_continuous(self, name: str, lower: float = 0.0, upper: float | None = None) -> Variable:
+        """Create a continuous variable."""
+        return self.add_var(name, VarType.CONTINUOUS, lower, upper)
+
+    def add_binaries(self, names: Iterable[str]) -> list[Variable]:
+        """Create a batch of binary variables."""
+        return [self.add_binary(name) for name in names]
+
+    # ------------------------------------------------------------------
+    # constraints and objective
+    # ------------------------------------------------------------------
+    def add_constr(self, constr: Constraint, name: str = "") -> Constraint:
+        """Register a constraint (optionally naming it) and return it."""
+        if not isinstance(constr, Constraint):
+            raise ModelError(
+                "add_constr expects a Constraint; build one with <=, >= or == "
+                f"(got {type(constr)!r})"
+            )
+        if name:
+            constr.name = name
+        elif not constr.name:
+            constr.name = f"c{len(self.constraints)}"
+        self.constraints.append(constr)
+        return constr
+
+    def add_constrs(self, constrs: Iterable[Constraint], prefix: str = "") -> list[Constraint]:
+        """Register several constraints, naming them ``prefix_i``."""
+        added = []
+        for i, constr in enumerate(constrs):
+            label = f"{prefix}_{i}" if prefix else ""
+            added.append(self.add_constr(constr, label))
+        return added
+
+    def set_objective(self, expr: LinExpr | Variable | float) -> None:
+        """Set the objective function (replacing any previous one)."""
+        if isinstance(expr, Variable):
+            expr = expr + 0.0
+        elif isinstance(expr, (int, float)):
+            expr = LinExpr({}, float(expr))
+        self.objective = expr
+
+    # ------------------------------------------------------------------
+    # higher-level modelling idioms used by the paper
+    # ------------------------------------------------------------------
+    def add_or_indicator(self, indicator: Variable, operands: Sequence[Variable],
+                         name: str = "or") -> None:
+        """Force ``indicator = OR(operands)`` for binary variables.
+
+        Implements the paper's equation (14): ``n * indicator - sum(x_i) >= 0``
+        makes ``indicator`` 1 whenever any operand is 1, and the reverse
+        direction ``indicator <= sum(x_i)`` keeps it 0 when all operands are 0
+        (the paper relies on objective pressure for that direction; adding it
+        explicitly keeps the indicator meaningful even for non-costed uses).
+        """
+        operands = list(operands)
+        if not operands:
+            self.add_constr(indicator + 0.0 == 0.0, f"{name}_empty")
+            return
+        n = float(len(operands))
+        self.add_constr(n * indicator - LinExpr.sum(operands) >= 0.0, f"{name}_force_up")
+        self.add_constr(indicator - LinExpr.sum(operands) <= 0.0, f"{name}_force_down")
+
+    def add_and_indicator(self, indicator: Variable, a: Variable, b: Variable,
+                          name: str = "and") -> None:
+        """Force ``indicator = a AND b`` for binary variables.
+
+        Implements the paper's equations (17)/(18) and (21)/(22):
+        ``a + b - indicator <= 1`` (force up) and ``a + b - 2*indicator >= 0``
+        (force down).
+        """
+        self.add_constr(a + b - indicator <= 1.0, f"{name}_force_up")
+        self.add_constr(a + b - 2.0 * indicator >= 0.0, f"{name}_force_down")
+
+    # ------------------------------------------------------------------
+    # matrix form and solving
+    # ------------------------------------------------------------------
+    def to_matrix_form(self) -> MatrixForm:
+        """Convert to the matrix representation used by the backends."""
+        nvar = len(self.variables)
+        sign = 1.0 if self.sense == "min" else -1.0
+
+        c = np.zeros(nvar)
+        for var, coeff in self.objective.terms.items():
+            c[var.index] += sign * coeff
+        offset = sign * self.objective.constant
+
+        ub_rows: list[np.ndarray] = []
+        ub_rhs: list[float] = []
+        eq_rows: list[np.ndarray] = []
+        eq_rhs: list[float] = []
+        for constr in self.constraints:
+            row = np.zeros(nvar)
+            for var, coeff in constr.expr.terms.items():
+                row[var.index] += coeff
+            rhs = -constr.expr.constant
+            if constr.sense is Sense.LE:
+                ub_rows.append(row)
+                ub_rhs.append(rhs)
+            elif constr.sense is Sense.GE:
+                ub_rows.append(-row)
+                ub_rhs.append(-rhs)
+            else:
+                eq_rows.append(row)
+                eq_rhs.append(rhs)
+
+        A_ub = np.vstack(ub_rows) if ub_rows else np.zeros((0, nvar))
+        A_eq = np.vstack(eq_rows) if eq_rows else np.zeros((0, nvar))
+        bounds = [(var.lower, var.upper) for var in self.variables]
+        integrality = np.array(
+            [0 if var.vartype is VarType.CONTINUOUS else 1 for var in self.variables]
+        )
+        return MatrixForm(
+            c=c,
+            A_ub=A_ub,
+            b_ub=np.array(ub_rhs, dtype=float),
+            A_eq=A_eq,
+            b_eq=np.array(eq_rhs, dtype=float),
+            bounds=bounds,
+            integrality=integrality,
+            variables=list(self.variables),
+            offset=offset,
+        )
+
+    def solve(self, backend: str | object = "auto", time_limit: float | None = None,
+              mip_gap: float = 1e-6) -> Solution:
+        """Solve the model and return a :class:`Solution`.
+
+        Parameters
+        ----------
+        backend:
+            ``"scipy"`` (HiGHS through :func:`scipy.optimize.milp`),
+            ``"bnb"`` (the pure-Python branch-and-bound backend),
+            ``"auto"`` (scipy if available, otherwise bnb), or an object with
+            a ``solve(matrix_form, time_limit, mip_gap)`` method.
+        time_limit:
+            Wall-clock limit in seconds handed to the backend.
+        mip_gap:
+            Relative optimality gap at which the backend may stop.
+        """
+        start = time.perf_counter()
+        solver = _resolve_backend(backend)
+        form = self.to_matrix_form()
+        solution = solver.solve(form, time_limit=time_limit, mip_gap=mip_gap)
+
+        if solution.status.has_solution and self.sense == "max" and solution.objective is not None:
+            solution.objective = -solution.objective
+        solution.solve_seconds = time.perf_counter() - start
+        return solution
+
+    # ------------------------------------------------------------------
+    # inspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def num_variables(self) -> int:
+        return len(self.variables)
+
+    @property
+    def num_binary(self) -> int:
+        return sum(1 for v in self.variables if v.vartype is VarType.BINARY)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self.constraints)
+
+    def check_solution(self, solution: Solution, tol: float = 1e-6) -> list[Constraint]:
+        """Return the list of constraints violated by ``solution``."""
+        if not solution.status.has_solution:
+            return []
+        assignment = dict(solution.values)
+        return [c for c in self.constraints if not c.satisfied_by(assignment, tol)]
+
+    def stats(self) -> dict:
+        """Summary statistics used in reports and tests."""
+        return {
+            "name": self.name,
+            "variables": self.num_variables,
+            "binaries": self.num_binary,
+            "constraints": self.num_constraints,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"Model({self.name!r}, vars={self.num_variables}, "
+                f"constrs={self.num_constraints}, sense={self.sense})")
+
+
+def _resolve_backend(backend: str | object):
+    """Turn a backend specification into a solver object."""
+    if hasattr(backend, "solve"):
+        return backend
+    from .backends import get_backend
+
+    if not isinstance(backend, str):
+        raise ModelError(f"unsupported backend specification: {backend!r}")
+    return get_backend(backend)

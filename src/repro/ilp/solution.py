@@ -1,0 +1,71 @@
+"""Solver results: status codes and solutions."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from .expr import Variable
+
+
+class SolveStatus(enum.Enum):
+    """Outcome of an ILP solve."""
+
+    OPTIMAL = "optimal"
+    FEASIBLE = "feasible"          # a feasible incumbent, optimality not proven
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    TIME_LIMIT = "time_limit"      # stopped on the time limit with no incumbent
+    ERROR = "error"
+
+    @property
+    def has_solution(self) -> bool:
+        """Whether a usable variable assignment accompanies this status."""
+        return self in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE)
+
+
+@dataclass
+class Solution:
+    """A (possibly proven-optimal) solution returned by a solver backend.
+
+    Attributes
+    ----------
+    status:
+        Outcome of the solve.
+    objective:
+        Objective value of the incumbent (``None`` when no incumbent exists).
+    values:
+        Mapping from :class:`Variable` to its value.  Integer and binary
+        variables are already rounded to exact integers.
+    solve_seconds:
+        Wall-clock time spent in the backend.
+    nodes:
+        Number of branch-and-bound nodes explored (0 when the backend does
+        not report it).
+    gap:
+        Relative optimality gap of the incumbent, when known.
+    """
+
+    status: SolveStatus
+    objective: float | None = None
+    values: Mapping[Variable, float] = field(default_factory=dict)
+    solve_seconds: float = 0.0
+    nodes: int = 0
+    gap: float | None = None
+    message: str = ""
+
+    def __getitem__(self, var: Variable) -> float:
+        return self.values[var]
+
+    def value(self, var: Variable, default: float = 0.0) -> float:
+        """Value of ``var``, or ``default`` if the variable is absent."""
+        return self.values.get(var, default)
+
+    def is_one(self, var: Variable, tol: float = 0.5) -> bool:
+        """True when a binary variable takes value 1 in this solution."""
+        return self.values.get(var, 0.0) > tol
+
+    @property
+    def proven_optimal(self) -> bool:
+        return self.status is SolveStatus.OPTIMAL

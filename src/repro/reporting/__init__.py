@@ -1,0 +1,24 @@
+"""Reporting: Table 1/2/3 renderers and the method-comparison harness."""
+
+from .comparison import (
+    BASELINE_RUNNERS,
+    ComparisonResult,
+    compare_methods,
+    extra_register_penalty,
+)
+from .netlist import describe_design, describe_reference, design_to_dict
+from .tables import format_table, render_table1, render_table2, render_table3
+
+__all__ = [
+    "BASELINE_RUNNERS",
+    "ComparisonResult",
+    "compare_methods",
+    "extra_register_penalty",
+    "describe_design",
+    "describe_reference",
+    "design_to_dict",
+    "format_table",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+]

@@ -1,0 +1,150 @@
+"""The method-comparison harness behind Table 3 (and the extra-register study).
+
+:func:`compare_methods` runs the reference ILP, ADVBIST and the three
+heuristic baselines on one circuit and returns the rows of the corresponding
+Table 3 block.  :func:`extra_register_penalty` quantifies the paper's closing
+remark that "the addition of registers incurs large area overhead"
+(the Table 4 the text refers to but does not print).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from ..baselines import run_advan, run_bits, run_ralloc
+from ..cost.area import datapath_area
+from ..cost.transistors import CostModel, PAPER_COST_MODEL
+from ..core.formulation import FormulationOptions
+from ..core.result import BistDesign, ReferenceDesign
+from ..core.synthesizer import AdvBistSynthesizer
+from ..dfg.graph import DataFlowGraph
+
+#: The baseline methods in the column order of Table 3.
+BASELINE_RUNNERS: dict[str, Callable[..., BistDesign]] = {
+    "ADVAN": run_advan,
+    "RALLOC": run_ralloc,
+    "BITS": run_bits,
+}
+
+
+@dataclass
+class ComparisonResult:
+    """All designs of one Table 3 block (one circuit)."""
+
+    circuit: str
+    k: int
+    reference: ReferenceDesign
+    designs: dict[str, BistDesign] = field(default_factory=dict)
+
+    @property
+    def reference_area(self) -> float:
+        return self.reference.area().total
+
+    def overheads(self) -> dict[str, float]:
+        """Area overhead (%) per method."""
+        return {
+            method: design.overhead_vs(self.reference_area)
+            for method, design in self.designs.items()
+        }
+
+    def rows(self) -> list[dict]:
+        """Rows of the Table 3 block (reference first, then each method)."""
+        rows = [self.reference.table3_row()]
+        for method in ["ADVBIST", "ADVAN", "RALLOC", "BITS"]:
+            if method in self.designs:
+                rows.append(self.designs[method].table3_row(self.reference_area))
+        return rows
+
+    def winner(self) -> str:
+        """Method with the lowest area overhead."""
+        overheads = self.overheads()
+        return min(overheads, key=overheads.get)
+
+
+def compare_methods(
+    graph: DataFlowGraph,
+    k: int | None = None,
+    methods: Sequence[str] = ("ADVBIST", "ADVAN", "RALLOC", "BITS"),
+    cost_model: CostModel = PAPER_COST_MODEL,
+    options: FormulationOptions | None = None,
+    backend: str | object = "auto",
+    time_limit: float | None = None,
+) -> ComparisonResult:
+    """Run the reference ILP plus the selected methods on one circuit.
+
+    Parameters
+    ----------
+    graph:
+        Scheduled and module-bound DFG.
+    k:
+        Number of test sessions; defaults to the number of modules, which is
+        the maximal-session configuration Table 3 reports.
+    methods:
+        Any subset of ``{"ADVBIST", "ADVAN", "RALLOC", "BITS"}``.
+    time_limit:
+        Per-solve wall clock limit handed to the ILP backends (the paper used
+        24 CPU hours; the benches use seconds).
+    """
+    sessions = k if k is not None else len(graph.module_ids)
+    synthesizer = AdvBistSynthesizer(graph, cost_model, options, backend, time_limit)
+    reference = synthesizer.synthesize_reference()
+
+    designs: dict[str, BistDesign] = {}
+    for method in methods:
+        if method == "ADVBIST":
+            designs[method] = synthesizer.synthesize(sessions)
+        elif method in BASELINE_RUNNERS:
+            designs[method] = BASELINE_RUNNERS[method](graph, sessions, cost_model)
+        else:
+            raise ValueError(
+                f"unknown method {method!r}; expected ADVBIST, ADVAN, RALLOC or BITS"
+            )
+    return ComparisonResult(circuit=graph.name, k=sessions, reference=reference,
+                            designs=designs)
+
+
+def extra_register_penalty(
+    graph: DataFlowGraph,
+    cost_model: CostModel = PAPER_COST_MODEL,
+    extra: int = 1,
+    backend: str | object = "auto",
+    time_limit: float | None = None,
+) -> dict:
+    """Area cost of synthesizing with additional registers (the "Table 4" study).
+
+    Solves the reference data-path ILP once with the minimum register count
+    and once with ``extra`` more registers, and reports the resulting areas.
+    Methods that add registers (RALLOC, BITS on some circuits) pay at least
+    this penalty before any test-register cost.
+    """
+    base_options = FormulationOptions()
+    synthesizer = AdvBistSynthesizer(graph, cost_model, base_options, backend, time_limit)
+    base = synthesizer.synthesize_reference()
+    base_breakdown = base.area()
+
+    from ..core.reference import ReferenceFormulation  # local import to avoid cycle
+
+    requested_registers = len(base.datapath.register_ids) + extra
+    enlarged_options = FormulationOptions(num_registers=requested_registers)
+    formulation = ReferenceFormulation(graph, cost_model, enlarged_options)
+    result = formulation.solve(backend=backend, time_limit=time_limit)
+    if result.design is None:
+        raise RuntimeError("reference synthesis with extra registers failed")
+    enlarged_breakdown = datapath_area(result.design.datapath, None, cost_model)
+    # A register added to the data path costs its transistors even if the
+    # optimiser routes no variable through it (it still exists in silicon).
+    unused_registers = requested_registers - enlarged_breakdown.register_count
+    enlarged_area = enlarged_breakdown.total + unused_registers * cost_model.w_reg
+
+    return {
+        "circuit": graph.name,
+        "base_registers": base_breakdown.register_count,
+        "base_area": base_breakdown.total,
+        "extra_registers": extra,
+        "enlarged_area": enlarged_area,
+        "penalty": enlarged_area - base_breakdown.total,
+        "penalty_percent": round(
+            100.0 * (enlarged_area - base_breakdown.total) / base_breakdown.total, 1
+        ),
+    }

@@ -1,0 +1,132 @@
+"""Structural netlist-style report of a synthesized (BIST) data path.
+
+Downstream users of a BIST synthesis tool need more than an area number: they
+need the actual structure to hand to RTL generation — which variables share
+each register, which test-register type each register must be implemented as,
+the register↔module wiring with multiplexer sizes, and the test schedule
+(which modules are tested in which sub-test session, driven and observed by
+which registers).  :func:`describe_design` renders exactly that as plain text,
+and :func:`design_to_dict` provides the same information as a JSON-friendly
+dictionary.
+"""
+
+from __future__ import annotations
+
+from ..core.result import BistDesign, ReferenceDesign
+
+
+def design_to_dict(design: BistDesign) -> dict:
+    """A JSON-serialisable structural description of a BIST design."""
+    datapath = design.datapath
+    plan = design.plan
+    kinds = plan.register_kinds(datapath)
+    graph = datapath.graph
+
+    registers = []
+    for register in datapath.registers:
+        registers.append({
+            "id": register.reg_id,
+            "kind": kinds[register.reg_id].name,
+            "variables": [graph.variables[v].name for v in register.variables],
+            "mux_inputs": len(datapath.modules_driving_register(register.reg_id)),
+        })
+
+    modules = []
+    for module in datapath.modules:
+        modules.append({
+            "id": module.module_id,
+            "class": module.module_class,
+            "operations": list(module.operations),
+            "port_sources": {
+                port: datapath.registers_driving_port(module.module_id, port)
+                for port in module.input_ports
+            },
+            "output_sinks": [
+                wire.register for wire in datapath.module_wires
+                if wire.module == module.module_id
+            ],
+        })
+
+    sessions = []
+    for session in range(1, plan.num_sessions + 1):
+        tested = plan.modules_in_session(session)
+        sessions.append({
+            "session": session,
+            "modules": tested,
+            "signature_registers": {m: plan.sr_of_module[m] for m in tested
+                                    if m in plan.sr_of_module},
+            "pattern_generators": {
+                f"M{m}.{port}": reg
+                for (m, port), reg in plan.tpg_of_port.items()
+                if m in tested
+            },
+        })
+
+    return {
+        "circuit": design.circuit,
+        "method": design.method,
+        "k": design.k,
+        "area": design.area().total,
+        "registers": registers,
+        "modules": modules,
+        "test_sessions": sessions,
+        "constant_tpg_ports": list(plan.constant_tpg_ports),
+    }
+
+
+def describe_design(design: BistDesign) -> str:
+    """Human-readable structural report of a BIST design."""
+    data = design_to_dict(design)
+    lines = [
+        f"{data['method']} design of {data['circuit']!r} "
+        f"({data['k']}-test session, {data['area']} transistors)",
+        "",
+        "Registers:",
+    ]
+    for register in data["registers"]:
+        mux = (f", {register['mux_inputs']}-input mux"
+               if register["mux_inputs"] >= 2 else "")
+        lines.append(
+            f"  R{register['id']:<2} {register['kind']:<7} "
+            f"holds {', '.join(register['variables'])}{mux}"
+        )
+    lines.append("")
+    lines.append("Modules:")
+    for module in data["modules"]:
+        lines.append(f"  M{module['id']} ({module['class']}) "
+                     f"operations {module['operations']}")
+        for port, sources in module["port_sources"].items():
+            lines.append(f"    port {port} <- registers {sources}")
+        lines.append(f"    output -> registers {module['output_sinks']}")
+    lines.append("")
+    lines.append("Test schedule:")
+    for session in data["test_sessions"]:
+        lines.append(f"  session {session['session']}: modules {session['modules']}")
+        for module, register in session["signature_registers"].items():
+            lines.append(f"    M{module} signature  -> R{register}")
+        for port, register in session["pattern_generators"].items():
+            lines.append(f"    {port} patterns <- R{register}")
+    if data["constant_tpg_ports"]:
+        lines.append("")
+        lines.append(f"Constant-generator ports: {data['constant_tpg_ports']}")
+    return "\n".join(lines)
+
+
+def describe_reference(design: ReferenceDesign) -> str:
+    """Human-readable structural report of a reference (non-BIST) data path."""
+    datapath = design.datapath
+    graph = datapath.graph
+    lines = [
+        f"Reference data path of {design.circuit!r} ({design.area().total} transistors)",
+        "",
+        "Registers:",
+    ]
+    for register in datapath.registers:
+        names = ", ".join(graph.variables[v].name for v in register.variables)
+        lines.append(f"  R{register.reg_id:<2} holds {names}")
+    lines.append("")
+    lines.append("Modules:")
+    for module in datapath.modules:
+        lines.append(f"  M{module.module_id} ({module.module_class}) "
+                     f"operations {list(module.operations)}")
+    return "\n".join(lines)

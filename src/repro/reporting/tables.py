@@ -1,0 +1,71 @@
+"""Plain-text table rendering in the layout of the paper's tables."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from ..cost.transistors import CostModel, PAPER_COST_MODEL
+from ..datapath.components import TestRegisterKind
+
+
+def format_table(rows: Sequence[Mapping], columns: Sequence[str] | None = None,
+                 title: str = "") -> str:
+    """Render a list of dict rows as an aligned plain-text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    widths = {col: len(str(col)) for col in columns}
+    for row in rows:
+        for col in columns:
+            widths[col] = max(widths[col], len(_fmt(row.get(col, ""))))
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(col).ljust(widths[col]) for col in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append("  ".join(_fmt(row.get(col, "")).ljust(widths[col]) for col in columns))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    return str(value)
+
+
+def render_table1(cost_model: CostModel = PAPER_COST_MODEL) -> str:
+    """Table 1: transistor counts of test registers and multiplexers."""
+    register_rows = [{
+        "Type": "#Trs",
+        **{kind.name if kind is not TestRegisterKind.NONE else "Reg.":
+           cost_model.register_cost(kind) for kind in TestRegisterKind},
+    }]
+    register_columns = ["Type", "Reg.", "TPG", "SR", "BILBO", "CBILBO"]
+    mux_sizes = sorted(cost_model.mux_costs)
+    mux_rows = [{"#MuxIn": "#Trs", **{str(n): cost_model.mux_cost(n) for n in mux_sizes}}]
+    mux_columns = ["#MuxIn"] + [str(n) for n in mux_sizes]
+    return "\n\n".join([
+        format_table(register_rows, register_columns,
+                     f"Table 1a. {cost_model.bit_width}-bit test registers (transistors)"),
+        format_table(mux_rows, mux_columns,
+                     f"Table 1b. {cost_model.bit_width}-bit multiplexers (transistors)"),
+    ])
+
+
+def render_table2(rows: Iterable[Mapping]) -> str:
+    """Table 2: ADVBIST overhead and solve time per circuit per k."""
+    columns = ["circuit", "k", "overhead_percent", "area", "optimal", "solve_seconds"]
+    return format_table(list(rows), columns,
+                        "Table 2. ADVBIST area overhead (%) and solve time per k-test session")
+
+
+def render_table3(rows: Iterable[Mapping], circuit: str = "") -> str:
+    """Table 3: method comparison (R/T/S/B/C/M/Area/OH%) for one circuit."""
+    columns = ["Method", "R", "T", "S", "B", "C", "M", "Area", "OH(%)"]
+    title = "Table 3. High-level BIST synthesis comparison"
+    if circuit:
+        title += f" — {circuit}"
+    return format_table(list(rows), columns, title)

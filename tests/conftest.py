@@ -1,0 +1,56 @@
+"""Shared fixtures: small circuits used across the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import fig1, tseng
+from repro.dfg import DFGBuilder
+
+
+@pytest.fixture(scope="session")
+def fig1_graph():
+    """The paper's Fig. 1 running example (scheduled and module bound)."""
+    return fig1.build()
+
+
+@pytest.fixture(scope="session")
+def fig1_behavioral():
+    """The unscheduled Fig. 1 DFG."""
+    return fig1.build_behavioral()
+
+
+@pytest.fixture(scope="session")
+def tseng_graph():
+    """The tseng benchmark (scheduled and module bound)."""
+    return tseng.build()
+
+
+@pytest.fixture()
+def chain_graph():
+    """A three-operation chain: useful for simple scheduling assertions."""
+    builder = DFGBuilder("chain")
+    a = builder.input("a")
+    b = builder.input("b")
+    c = builder.input("c")
+    t1 = builder.op("add", a, b)
+    t2 = builder.op("mul", t1, c)
+    t3 = builder.op("add", t2, a)
+    builder.output(t3)
+    return builder.build()
+
+
+@pytest.fixture()
+def constant_port_graph():
+    """A scheduled graph whose multiplier port 1 sees only constants."""
+    from repro.hls import bind_modules, list_schedule
+
+    builder = DFGBuilder("const_port")
+    a = builder.input("a")
+    b = builder.input("b")
+    t1 = builder.op("add", a, b, cstep=0)
+    t2 = builder.op("mul", t1, builder.constant(5.0), cstep=1)
+    t3 = builder.op("add", t2, b, cstep=2)
+    builder.output(t3)
+    graph = builder.build()
+    return bind_modules(graph).apply(graph)

@@ -1,0 +1,84 @@
+"""Tests of the top-level public API surface and the result objects."""
+
+import pytest
+
+import repro
+from repro.core import AdvBistSynthesizer, synthesize_bist, synthesize_reference
+
+
+def test_version_and_all_exports():
+    assert repro.__version__
+    for name in repro.__all__:
+        if name == "__version__":
+            continue
+        assert hasattr(repro, name), f"missing public export {name!r}"
+
+
+def test_public_api_names_cover_the_deliverables():
+    expected = {
+        "DFGBuilder", "DataFlowGraph", "list_schedule", "bind_modules",
+        "AdvBistSynthesizer", "synthesize_bist", "synthesize_reference",
+        "run_advan", "run_ralloc", "run_bits",
+        "get_circuit", "list_circuits", "compare_methods",
+        "CostModel", "PAPER_COST_MODEL", "TestRegisterKind",
+    }
+    assert expected <= set(repro.__all__)
+
+
+@pytest.fixture(scope="module")
+def fig1_pair(fig1_graph):
+    reference = synthesize_reference(fig1_graph)
+    design = synthesize_bist(fig1_graph, k=2)
+    return reference, design
+
+
+def test_bist_design_summary_fields(fig1_pair):
+    _reference, design = fig1_pair
+    summary = design.summary()
+    assert summary["method"] == "ADVBIST"
+    assert summary["circuit"] == "fig1"
+    assert summary["k"] == 2
+    assert summary["area"] == design.area().total
+    assert summary["optimal"] is True
+    assert summary["solve_seconds"] >= 0.0
+
+
+def test_bist_design_table_row_with_and_without_reference(fig1_pair):
+    reference, design = fig1_pair
+    bare = design.table3_row()
+    assert "OH(%)" not in bare
+    with_reference = design.table3_row(reference.area().total)
+    assert with_reference["OH(%)"] == pytest.approx(
+        design.overhead_vs(reference.area().total), abs=0.1
+    )
+
+
+def test_reference_design_fields(fig1_pair):
+    reference, _design = fig1_pair
+    assert reference.circuit == "fig1"
+    assert reference.optimal is True
+    assert reference.area().total == pytest.approx(reference.objective)
+
+
+def test_sweep_entry_row_consistency(fig1_graph):
+    sweep = AdvBistSynthesizer(fig1_graph, time_limit=60).sweep(max_k=1)
+    entry = sweep.entries[0]
+    row = entry.table2_row()
+    assert row["circuit"] == "fig1"
+    assert row["k"] == 1
+    assert row["area"] == entry.design.area().total
+    assert row["overhead_percent"] == pytest.approx(entry.overhead_percent, abs=0.1)
+    assert sweep.overheads() == {1: entry.overhead_percent}
+
+
+def test_area_breakdown_counts_row_consistency(fig1_pair):
+    _reference, design = fig1_pair
+    breakdown = design.area()
+    row = breakdown.counts_row()
+    kinds = design.kind_counts()
+    assert row["T"] == kinds[repro.TestRegisterKind.TPG]
+    assert row["S"] == kinds[repro.TestRegisterKind.SR]
+    assert row["B"] == kinds[repro.TestRegisterKind.BILBO]
+    assert row["C"] == kinds[repro.TestRegisterKind.CBILBO]
+    assert row["R"] == sum(kinds.values())
+    assert row["Area"] == breakdown.register_area + breakdown.mux_area

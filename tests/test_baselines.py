@@ -1,0 +1,151 @@
+"""Tests of the heuristic baseline methods (ADVAN, RALLOC, BITS)."""
+
+import pytest
+
+from repro.baselines import (
+    BaselineError,
+    TestAssignmentPolicy,
+    advan_register_binding,
+    assign_sessions,
+    greedy_test_assignment,
+    kind_histogram,
+    ralloc_register_binding,
+    run_advan,
+    run_bits,
+    run_ralloc,
+)
+from repro.core import synthesize_bist, synthesize_reference
+from repro.datapath import Datapath, TestRegisterKind
+from repro.dfg import check_register_assignment, minimum_register_count, self_adjacency_candidates
+from repro.hls import left_edge_binding
+
+RUNNERS = [run_advan, run_ralloc, run_bits]
+
+
+@pytest.mark.parametrize("runner", RUNNERS)
+def test_baselines_produce_valid_designs(runner, fig1_graph):
+    design = runner(fig1_graph)
+    assert design.verify().ok
+    assert design.k == len(fig1_graph.module_ids)
+    assert design.area().total > 0
+    assert design.optimal is False
+
+
+@pytest.mark.parametrize("runner", RUNNERS)
+def test_baselines_on_tseng(runner, tseng_graph):
+    design = runner(tseng_graph)
+    assert design.verify().ok
+    assert design.circuit == "tseng"
+
+
+@pytest.mark.parametrize("runner", RUNNERS)
+def test_baseline_plan_covers_every_module_and_port(runner, tseng_graph):
+    design = runner(tseng_graph)
+    plan = design.plan
+    assert sorted(plan.module_session) == tseng_graph.module_ids
+    for module in tseng_graph.module_ids:
+        assert module in plan.sr_of_module
+        for port in tseng_graph.module_input_ports(module):
+            assert (module, port) in plan.tpg_of_port
+
+
+def test_advbist_never_worse_than_baselines(tseng_graph):
+    """The headline Table 3 ordering: the optimal ILP beats every heuristic."""
+    reference_area = synthesize_reference(tseng_graph).area().total
+    advbist = synthesize_bist(tseng_graph, k=len(tseng_graph.module_ids), time_limit=120)
+    optimal_overhead = advbist.overhead_vs(reference_area)
+    for runner in RUNNERS:
+        baseline = runner(tseng_graph)
+        assert baseline.overhead_vs(reference_area) >= optimal_overhead - 1e-6
+
+
+def test_advan_avoids_bilbo_and_cbilbo(tseng_graph):
+    """ADVAN's defining trait in Table 3: B = C = 0 on every benchmark circuit.
+
+    (The three-register Fig. 1 toy is excluded: its register file is too small
+    for any method to keep the TPG and SR sets disjoint.)
+    """
+    histogram = kind_histogram(run_advan(tseng_graph))
+    assert histogram["BILBO"] == 0
+    assert histogram["CBILBO"] == 0
+
+
+def test_advan_register_binding_min_registers(tseng_graph):
+    assignment = advan_register_binding(tseng_graph)
+    assert check_register_assignment(tseng_graph, assignment) == []
+    assert len(set(assignment.values())) == minimum_register_count(tseng_graph)
+
+
+def test_ralloc_binding_separates_self_adjacent_pairs(tseng_graph):
+    assignment = ralloc_register_binding(tseng_graph)
+    assert check_register_assignment(tseng_graph, assignment) == []
+    for input_var, output_var in self_adjacency_candidates(tseng_graph):
+        assert assignment[input_var] != assignment[output_var]
+
+
+def test_ralloc_may_use_extra_registers(tseng_graph):
+    assignment = ralloc_register_binding(tseng_graph)
+    assert len(set(assignment.values())) >= minimum_register_count(tseng_graph)
+
+
+def test_bits_shares_test_registers_more_than_advan(tseng_graph):
+    """BITS maximises sharing, so it uses at most as many distinct test
+    registers as ADVAN on the same circuit."""
+    bits_design = run_bits(tseng_graph)
+    advan_design = run_advan(tseng_graph)
+
+    def distinct_test_registers(design):
+        regs = set(design.plan.sr_of_module.values())
+        regs.update(design.plan.tpg_of_port.values())
+        return len(regs)
+
+    assert distinct_test_registers(bits_design) <= distinct_test_registers(advan_design)
+
+
+def test_explicit_k_smaller_than_module_count(tseng_graph):
+    design = run_advan(tseng_graph, k=2)
+    assert design.k == 2
+    assert design.verify().ok
+    assert set(design.plan.module_session.values()) <= {1, 2}
+
+
+def test_assign_sessions_round_robin():
+    sessions = assign_sessions([10, 11, 12, 13], 2)
+    assert sessions == {10: 1, 11: 2, 12: 1, 13: 2}
+    with pytest.raises(BaselineError):
+        assign_sessions([1], 0)
+
+
+def test_greedy_assignment_policy_effects(tseng_graph):
+    """On a register file big enough to allow it, a policy that heavily
+    penalises BILBO/CBILBO reconfiguration produces none, while a
+    sharing-oriented policy concentrates the test roles on fewer registers."""
+    datapath = Datapath.from_bindings(
+        tseng_graph, advan_register_binding(tseng_graph),
+        name="tseng_policy_probe",
+    )
+    sessions = assign_sessions(tseng_graph.module_ids, len(tseng_graph.module_ids))
+
+    strict = TestAssignmentPolicy(cbilbo_penalty=1e6, bilbo_penalty=1e5)
+    strict_plan = greedy_test_assignment(datapath, sessions, strict)
+    strict_kinds = list(strict_plan.register_kinds(datapath).values())
+    assert TestRegisterKind.CBILBO not in strict_kinds
+    assert TestRegisterKind.BILBO not in strict_kinds
+
+    sharing = TestAssignmentPolicy(reuse_bonus=50.0, bilbo_penalty=1.0, cbilbo_penalty=5.0)
+    sharing_plan = greedy_test_assignment(datapath, sessions, sharing)
+
+    def distinct_test_registers(plan):
+        regs = set(plan.sr_of_module.values())
+        regs.update(plan.tpg_of_port.values())
+        return len(regs)
+
+    assert distinct_test_registers(sharing_plan) <= distinct_test_registers(strict_plan)
+
+
+def test_baseline_table_rows(tseng_graph):
+    reference_area = synthesize_reference(tseng_graph).area().total
+    design = run_ralloc(tseng_graph)
+    row = design.table3_row(reference_area)
+    assert row["Method"] == "RALLOC"
+    assert set(row) == {"Method", "R", "T", "S", "B", "C", "M", "Area", "OH(%)"}

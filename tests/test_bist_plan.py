@@ -1,0 +1,202 @@
+"""Tests of test plans, register-kind classification and plan verification."""
+
+import pytest
+
+from repro.datapath import (
+    Datapath,
+    TestPlan,
+    TestPlanError,
+    TestRegisterKind,
+    classify_register,
+    verify_bist_plan,
+)
+from repro.hls import left_edge_binding
+
+
+@pytest.fixture()
+def fig1_datapath(fig1_graph):
+    binding = left_edge_binding(fig1_graph)
+    return Datapath.from_bindings(fig1_graph, binding.assignment)
+
+
+def valid_plan_for(datapath: Datapath, sessions: int = 2) -> TestPlan:
+    """A hand-made valid plan: each module in its own session, greedy picks."""
+    plan = TestPlan(num_sessions=sessions)
+    for index, module in enumerate(datapath.modules):
+        session = (index % sessions) + 1
+        plan.module_session[module.module_id] = session
+        sr_candidates = [r for r in datapath.register_ids
+                         if datapath.has_module_to_register_wire(module.module_id, r)]
+        plan.sr_of_module[module.module_id] = sr_candidates[0]
+        used = set()
+        for port in module.input_ports:
+            candidates = [r for r in datapath.registers_driving_port(module.module_id, port)
+                          if r not in used]
+            plan.tpg_of_port[(module.module_id, port)] = candidates[0]
+            used.add(candidates[0])
+    return plan
+
+
+# ----------------------------------------------------------------------
+# classify_register / register kinds
+# ----------------------------------------------------------------------
+def test_classify_register_all_kinds():
+    assert classify_register(set(), set()) is TestRegisterKind.NONE
+    assert classify_register({1}, set()) is TestRegisterKind.TPG
+    assert classify_register(set(), {2}) is TestRegisterKind.SR
+    assert classify_register({1}, {2}) is TestRegisterKind.BILBO
+    assert classify_register({1, 2}, {2}) is TestRegisterKind.CBILBO
+
+
+def test_kind_capabilities():
+    assert TestRegisterKind.TPG.generates_patterns
+    assert not TestRegisterKind.TPG.compacts_responses
+    assert TestRegisterKind.SR.compacts_responses
+    assert TestRegisterKind.BILBO.generates_patterns and TestRegisterKind.BILBO.compacts_responses
+    assert TestRegisterKind.CBILBO.generates_patterns
+    assert not TestRegisterKind.NONE.generates_patterns
+
+
+def test_plan_requires_positive_sessions():
+    with pytest.raises(TestPlanError):
+        TestPlan(num_sessions=0)
+
+
+def test_plan_rejects_out_of_range_session():
+    with pytest.raises(TestPlanError):
+        TestPlan(num_sessions=2, module_session={0: 3})
+
+
+def test_plan_register_kinds(fig1_datapath):
+    plan = valid_plan_for(fig1_datapath, sessions=2)
+    kinds = plan.register_kinds(fig1_datapath)
+    assert set(kinds) == set(fig1_datapath.register_ids)
+    counts = plan.kind_counts(fig1_datapath)
+    assert sum(counts.values()) == len(fig1_datapath.register_ids)
+
+
+def test_plan_sessions_and_summary(fig1_datapath):
+    plan = valid_plan_for(fig1_datapath, sessions=2)
+    assert set(plan.sessions_used()) <= {1, 2}
+    for session in plan.sessions_used():
+        assert plan.modules_in_session(session)
+    summary = plan.summary()
+    assert summary["modules"] == len(fig1_datapath.modules)
+
+
+def test_cbilbo_detection_same_session(fig1_datapath):
+    plan = valid_plan_for(fig1_datapath, sessions=1)
+    # In a single session, make one register both a TPG and the SR of a module.
+    module = fig1_datapath.modules[0].module_id
+    reg = plan.tpg_of_port[(module, 0)]
+    victim_module = None
+    for other in fig1_datapath.modules:
+        if fig1_datapath.has_module_to_register_wire(other.module_id, reg):
+            victim_module = other.module_id
+            break
+    if victim_module is None:
+        pytest.skip("no module drives that register in this data path")
+    plan.sr_of_module[victim_module] = reg
+    assert plan.register_kind(reg) is TestRegisterKind.CBILBO
+
+
+# ----------------------------------------------------------------------
+# verification
+# ----------------------------------------------------------------------
+def test_valid_plan_verifies(fig1_datapath):
+    plan = valid_plan_for(fig1_datapath, sessions=2)
+    report = verify_bist_plan(fig1_datapath, plan)
+    assert report.ok, report.problems
+
+
+def test_missing_module_session_detected(fig1_datapath):
+    plan = valid_plan_for(fig1_datapath, sessions=2)
+    removed = fig1_datapath.modules[0].module_id
+    del plan.module_session[removed]
+    report = verify_bist_plan(fig1_datapath, plan)
+    assert any("never tested" in problem for problem in report.problems)
+
+
+def test_missing_sr_detected(fig1_datapath):
+    plan = valid_plan_for(fig1_datapath, sessions=2)
+    del plan.sr_of_module[fig1_datapath.modules[0].module_id]
+    report = verify_bist_plan(fig1_datapath, plan)
+    assert any("no signature register" in problem for problem in report.problems)
+
+
+def test_sr_without_wire_detected(fig1_datapath):
+    plan = valid_plan_for(fig1_datapath, sessions=2)
+    module = fig1_datapath.modules[0].module_id
+    unwired = [r for r in fig1_datapath.register_ids
+               if not fig1_datapath.has_module_to_register_wire(module, r)]
+    if not unwired:
+        pytest.skip("every register is wired from this module")
+    plan.sr_of_module[module] = unwired[0]
+    report = verify_bist_plan(fig1_datapath, plan)
+    assert any("no wire" in problem for problem in report.problems)
+
+
+def test_sr_sharing_in_same_session_detected(fig1_datapath):
+    plan = valid_plan_for(fig1_datapath, sessions=1)
+    modules = [m.module_id for m in fig1_datapath.modules]
+    shared = None
+    for reg in fig1_datapath.register_ids:
+        if all(fig1_datapath.has_module_to_register_wire(m, reg) for m in modules[:2]):
+            shared = reg
+            break
+    if shared is None:
+        pytest.skip("no register is reachable from two modules")
+    plan.sr_of_module[modules[0]] = shared
+    plan.sr_of_module[modules[1]] = shared
+    report = verify_bist_plan(fig1_datapath, plan)
+    assert any("same" in problem and "session" in problem for problem in report.problems)
+
+
+def test_missing_tpg_detected(fig1_datapath):
+    plan = valid_plan_for(fig1_datapath, sessions=2)
+    module = fig1_datapath.modules[0].module_id
+    del plan.tpg_of_port[(module, 0)]
+    report = verify_bist_plan(fig1_datapath, plan)
+    assert any("neither a TPG" in problem for problem in report.problems)
+
+
+def test_tpg_without_wire_detected(fig1_datapath):
+    plan = valid_plan_for(fig1_datapath, sessions=2)
+    module = fig1_datapath.modules[0]
+    unwired = [r for r in fig1_datapath.register_ids
+               if r not in fig1_datapath.registers_driving_port(module.module_id, 0)]
+    if not unwired:
+        pytest.skip("all registers drive this port")
+    plan.tpg_of_port[(module.module_id, 0)] = unwired[0]
+    report = verify_bist_plan(fig1_datapath, plan)
+    assert any("no wire" in problem for problem in report.problems)
+
+
+def test_tpg_shared_between_ports_detected(fig1_datapath):
+    plan = valid_plan_for(fig1_datapath, sessions=2)
+    module = fig1_datapath.modules[0]
+    shared = None
+    for reg in fig1_datapath.registers_driving_port(module.module_id, 0):
+        if reg in fig1_datapath.registers_driving_port(module.module_id, 1):
+            shared = reg
+            break
+    if shared is None:
+        pytest.skip("no register reaches both ports of this module")
+    plan.tpg_of_port[(module.module_id, 0)] = shared
+    plan.tpg_of_port[(module.module_id, 1)] = shared
+    report = verify_bist_plan(fig1_datapath, plan)
+    assert any("both ports" in problem for problem in report.problems)
+
+
+def test_constant_port_with_registers_detected(fig1_datapath):
+    plan = valid_plan_for(fig1_datapath, sessions=2)
+    module = fig1_datapath.modules[0].module_id
+    plan.constant_tpg_ports.append((module, 0))
+    report = verify_bist_plan(fig1_datapath, plan)
+    assert any("constant" in problem for problem in report.problems)
+
+
+def test_verification_report_bool(fig1_datapath):
+    plan = valid_plan_for(fig1_datapath, sessions=2)
+    report = verify_bist_plan(fig1_datapath, plan)
+    assert bool(report) is report.ok

@@ -1,0 +1,83 @@
+"""Tests of the benchmark circuit suite."""
+
+import pytest
+
+from repro.circuits import get_circuit, get_spec, list_circuits
+from repro.dfg import minimum_module_counts, minimum_register_count
+
+
+PAPER_CIRCUITS = ["tseng", "paulin", "fir6", "iir3", "dct4", "wavelet6"]
+
+
+def test_registry_lists_all_circuits():
+    names = list_circuits()
+    assert set(PAPER_CIRCUITS) <= set(names)
+    assert "fig1" in names
+    assert set(list_circuits(paper_only=True)) == set(PAPER_CIRCUITS)
+
+
+def test_unknown_circuit_rejected():
+    with pytest.raises(KeyError):
+        get_circuit("does_not_exist")
+
+
+@pytest.mark.parametrize("name", PAPER_CIRCUITS + ["fig1"])
+def test_circuits_build_scheduled_and_bound(name):
+    graph = get_circuit(name)
+    assert graph.is_scheduled
+    assert graph.is_module_bound
+    graph.validate()
+    assert graph.name == name
+
+
+@pytest.mark.parametrize("name", PAPER_CIRCUITS + ["fig1"])
+def test_module_count_matches_paper_session_count(name):
+    """Table 3 lists the maximal number of test sessions per circuit; in the
+    parallel BIST architecture this equals the module count."""
+    spec = get_spec(name)
+    graph = spec.build()
+    assert len(graph.module_ids) == spec.paper_max_sessions
+
+
+@pytest.mark.parametrize("name", PAPER_CIRCUITS)
+def test_resource_limits_respected(name):
+    spec = get_spec(name)
+    graph = spec.build()
+    counts = minimum_module_counts(graph)
+    for cls, used in counts.items():
+        limit = spec.resource_limits.get(cls)
+        if limit is not None:
+            assert used <= limit
+
+
+@pytest.mark.parametrize("name", PAPER_CIRCUITS)
+def test_register_pressure_in_paper_range(name):
+    """The reconstructed circuits should need a register count in the same
+    small range the paper reports (5 to 8 registers)."""
+    graph = get_circuit(name)
+    registers = minimum_register_count(graph)
+    assert 4 <= registers <= 10
+
+
+@pytest.mark.parametrize("name", PAPER_CIRCUITS + ["fig1"])
+def test_behavioral_and_scheduled_have_same_operations(name):
+    spec = get_spec(name)
+    behavioral = spec.build_behavioral()
+    scheduled = spec.build()
+    assert behavioral.operation_ids == scheduled.operation_ids
+    assert behavioral.input_edges == scheduled.input_edges
+
+
+def test_fig1_matches_paper_shape():
+    graph = get_circuit("fig1")
+    assert len(graph.operation_ids) == 4
+    assert len(graph.variable_ids) == 8
+    assert minimum_register_count(graph) == 3
+    assert len(graph.module_ids) == 2
+
+
+def test_circuit_descriptions_present():
+    for name in list_circuits():
+        spec = get_spec(name)
+        assert spec.description
+        assert spec.resource_limits

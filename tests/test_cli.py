@@ -1,0 +1,62 @@
+"""Tests of the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    output = capsys.readouterr().out
+    for name in ("fig1", "tseng", "paulin", "wavelet6"):
+        assert name in output
+
+
+def test_table1_command(capsys):
+    assert main(["table1"]) == 0
+    output = capsys.readouterr().out
+    assert "596" in output and "BILBO" in output
+
+
+def test_synthesize_command_on_fig1(capsys):
+    assert main(["synthesize", "fig1", "--k", "2", "--time-limit", "60"]) == 0
+    output = capsys.readouterr().out
+    assert "ADVBIST" in output
+    assert "verified: True" in output
+
+
+def test_sweep_command_on_fig1(capsys):
+    assert main(["sweep", "fig1", "--time-limit", "60"]) == 0
+    output = capsys.readouterr().out
+    assert "Table 2" in output
+    assert "fig1" in output
+
+
+def test_compare_command_on_fig1(capsys):
+    assert main(["compare", "fig1", "--time-limit", "60"]) == 0
+    output = capsys.readouterr().out
+    assert "lowest overhead: ADVBIST" in output
+
+
+def test_baseline_command(capsys):
+    assert main(["baseline", "advan", "tseng"]) == 0
+    output = capsys.readouterr().out
+    assert "ADVAN" in output
+    assert "verified: True" in output
+
+
+def test_unknown_circuit_reports_error(capsys):
+    assert main(["synthesize", "not_a_circuit"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_parser_requires_command():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args([])
+
+
+def test_parser_rejects_unknown_baseline():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["baseline", "magic", "tseng"])

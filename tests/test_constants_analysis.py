@@ -1,0 +1,39 @@
+"""Tests of the constant-only-port analysis (paper section 3.3.4)."""
+
+from repro.core import analyse_constant_ports
+from repro.dfg import DFGBuilder
+from repro.hls import bind_modules
+
+
+def test_no_constants_means_no_special_ports(fig1_graph):
+    analysis = analyse_constant_ports(fig1_graph)
+    assert analysis.constant_only_ports == ()
+    assert analysis.mixed_ports == ()
+    assert analysis.num_constant_tpgs == 0
+
+
+def test_constant_only_port_detected(constant_port_graph):
+    analysis = analyse_constant_ports(constant_port_graph)
+    # the single multiplier's port 1 only ever sees the constant 5.0
+    assert len(analysis.constant_only_ports) == 1
+    module, port = analysis.constant_only_ports[0]
+    assert port == 1
+    assert constant_port_graph.module_class_of(module) == "mult"
+    assert analysis.num_constant_tpgs == 1
+
+
+def test_mixed_port_detected():
+    builder = DFGBuilder("mixed")
+    a = builder.input("a")
+    b = builder.input("b")
+    # Two multiplications share a module; port 1 sees a constant for one of
+    # them and a variable for the other -> "mixed", not "constant only".
+    m1 = builder.op("mul", a, builder.constant(2.0), cstep=0)
+    m2 = builder.op("mul", m1, b, cstep=1)
+    s = builder.op("add", m2, a, cstep=2)
+    builder.output(s)
+    graph = builder.build()
+    graph = bind_modules(graph).apply(graph)
+    analysis = analyse_constant_ports(graph)
+    assert analysis.constant_only_ports == ()
+    assert len(analysis.mixed_ports) == 1

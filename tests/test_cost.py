@@ -1,0 +1,107 @@
+"""Tests of the Table 1 cost model and area accounting."""
+
+import pytest
+
+from repro.cost import (
+    CostModel,
+    CostModelError,
+    PAPER_COST_MODEL,
+    TABLE1_MUXES_8BIT,
+    TABLE1_REGISTERS_8BIT,
+    area_overhead,
+    datapath_area,
+)
+from repro.datapath import Datapath, TestRegisterKind
+from repro.hls import left_edge_binding
+
+
+def test_table1_register_costs_exact():
+    """Table 1(a): Reg 208, TPG 256, SR 304, BILBO 388, CBILBO 596."""
+    assert PAPER_COST_MODEL.register_cost(TestRegisterKind.NONE) == 208
+    assert PAPER_COST_MODEL.register_cost(TestRegisterKind.TPG) == 256
+    assert PAPER_COST_MODEL.register_cost(TestRegisterKind.SR) == 304
+    assert PAPER_COST_MODEL.register_cost(TestRegisterKind.BILBO) == 388
+    assert PAPER_COST_MODEL.register_cost(TestRegisterKind.CBILBO) == 596
+
+
+def test_table1_mux_costs_exact():
+    """Table 1(b): 2..7-input multiplexers."""
+    expected = {2: 80, 3: 176, 4: 208, 5: 300, 6: 320, 7: 350}
+    for inputs, cost in expected.items():
+        assert PAPER_COST_MODEL.mux_cost(inputs) == cost
+
+
+def test_trivial_mux_costs_nothing():
+    assert PAPER_COST_MODEL.mux_cost(0) == 0
+    assert PAPER_COST_MODEL.mux_cost(1) == 0
+
+
+def test_mux_cost_extrapolation_beyond_table():
+    base = PAPER_COST_MODEL.mux_cost(7)
+    assert PAPER_COST_MODEL.mux_cost(8) == base + 50
+    assert PAPER_COST_MODEL.mux_cost(10) == base + 3 * 50
+
+
+def test_negative_mux_size_rejected():
+    with pytest.raises(CostModelError):
+        PAPER_COST_MODEL.mux_cost(-1)
+
+
+def test_invalid_bit_width_rejected():
+    with pytest.raises(CostModelError):
+        CostModel(bit_width=0)
+
+
+def test_missing_register_kind_rejected():
+    with pytest.raises(CostModelError):
+        CostModel(register_costs={TestRegisterKind.NONE: 208})
+
+
+def test_cost_scaling_with_bit_width():
+    wide = CostModel(bit_width=16)
+    assert wide.register_cost(TestRegisterKind.NONE) == 416
+    assert wide.mux_cost(2) == 160
+    narrow = CostModel(bit_width=4)
+    assert narrow.register_cost(TestRegisterKind.CBILBO) == 298
+
+
+def test_incremental_weights_reproduce_table1():
+    inc = PAPER_COST_MODEL.incremental_weights()
+    w = PAPER_COST_MODEL.w_reg
+    assert w + inc["tpg"] == PAPER_COST_MODEL.w_tpg
+    assert w + inc["sr"] == PAPER_COST_MODEL.w_sr
+    assert w + inc["tpg"] + inc["sr"] + inc["bilbo"] == PAPER_COST_MODEL.w_bilbo
+    assert (w + inc["tpg"] + inc["sr"] + inc["bilbo"] + inc["cbilbo"]
+            == PAPER_COST_MODEL.w_cbilbo)
+    assert all(value > 0 for value in inc.values())
+
+
+def test_describe_contains_table(tmp_path):
+    table = PAPER_COST_MODEL.describe()
+    assert table["registers"]["NONE"] == 208
+    assert table["multiplexers"][7] == 350
+    assert table["bit_width"] == 8
+
+
+def test_module_constants_match_defaults():
+    assert TABLE1_REGISTERS_8BIT[TestRegisterKind.BILBO] == 388
+    assert TABLE1_MUXES_8BIT[5] == 300
+
+
+def test_datapath_area_without_plan(fig1_graph):
+    binding = left_edge_binding(fig1_graph)
+    datapath = Datapath.from_bindings(fig1_graph, binding.assignment)
+    breakdown = datapath_area(datapath)
+    assert breakdown.register_count == 3
+    assert breakdown.register_area == 3 * 208
+    assert breakdown.kind_counts[TestRegisterKind.NONE] == 3
+    assert breakdown.total == breakdown.register_area + breakdown.mux_area
+    row = breakdown.counts_row()
+    assert row["R"] == 3 and row["Area"] == breakdown.total
+
+
+def test_area_overhead_math():
+    assert area_overhead(150, 100) == pytest.approx(50.0)
+    assert area_overhead(100, 100) == pytest.approx(0.0)
+    with pytest.raises(ValueError):
+        area_overhead(100, 0)

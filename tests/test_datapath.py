@@ -1,0 +1,136 @@
+"""Tests of the RTL data-path structure derived from bindings."""
+
+import pytest
+
+from repro.datapath import Datapath, DatapathError, Multiplexer
+from repro.datapath.components import ModuleToRegisterWire, RegisterToPortWire
+from repro.hls import left_edge_binding
+
+
+@pytest.fixture()
+def fig1_datapath(fig1_graph):
+    binding = left_edge_binding(fig1_graph)
+    return Datapath.from_bindings(fig1_graph, binding.assignment)
+
+
+def test_construction_requires_bound_graph(fig1_behavioral):
+    with pytest.raises(DatapathError):
+        Datapath.from_bindings(fig1_behavioral, {})
+
+
+def test_construction_requires_complete_assignment(fig1_graph):
+    with pytest.raises(DatapathError):
+        Datapath.from_bindings(fig1_graph, {0: 0})
+
+
+def test_fig1_structure(fig1_datapath, fig1_graph):
+    assert len(fig1_datapath.registers) == 3
+    assert len(fig1_datapath.modules) == 2
+    # every DFG variable landed in exactly one register
+    assert sorted(fig1_datapath.register_of_variable) == fig1_graph.variable_ids
+    fig1_datapath.validate()
+
+
+def test_every_transfer_has_a_wire(fig1_datapath, fig1_graph):
+    for op in fig1_graph.operations.values():
+        out_reg = fig1_datapath.register_of_variable[op.output]
+        assert fig1_datapath.has_module_to_register_wire(op.module, out_reg)
+        for port, var in op.variable_inputs:
+            reg = fig1_datapath.register_of_variable[var]
+            assert fig1_datapath.has_register_to_port_wire(reg, op.module, port)
+
+
+def test_no_adverse_wires(fig1_datapath, fig1_graph):
+    """Every wire is justified by at least one DFG edge."""
+    for wire in fig1_datapath.register_wires:
+        justified = False
+        for op in fig1_graph.operations.values():
+            if op.module != wire.module:
+                continue
+            for port, var in op.variable_inputs:
+                if port == wire.port and fig1_datapath.register_of_variable[var] == wire.register:
+                    justified = True
+        assert justified
+
+
+def test_mux_counting(fig1_datapath):
+    muxes = fig1_datapath.multiplexers()
+    # one mux per register plus one per module input port
+    assert len(muxes) == 3 + 2 * 2
+    total_inputs = sum(m.inputs for m in muxes if m.is_real)
+    assert total_inputs == fig1_datapath.mux_input_total()
+    histogram = fig1_datapath.mux_size_histogram()
+    assert sum(size * count for size, count in histogram.items()) == total_inputs
+
+
+def test_trivial_mux_is_not_real():
+    assert not Multiplexer("register", (0,), 1).is_real
+    assert not Multiplexer("register", (0,), 0).is_real
+    assert Multiplexer("register", (0,), 2).is_real
+
+
+def test_queries(fig1_datapath):
+    module = fig1_datapath.modules[0]
+    regs = fig1_datapath.registers_driving_port(module.module_id, 0)
+    assert all(r in fig1_datapath.register_ids for r in regs)
+    assert fig1_datapath.module(module.module_id) is module
+    with pytest.raises(KeyError):
+        fig1_datapath.module(999)
+    with pytest.raises(KeyError):
+        fig1_datapath.register(999)
+
+
+def test_port_permutations_change_wiring(fig1_graph):
+    binding = left_edge_binding(fig1_graph)
+    commutative_ops = [op.op_id for op in fig1_graph.operations.values() if op.commutative]
+    target = commutative_ops[0]
+    swapped = Datapath.from_bindings(
+        fig1_graph, binding.assignment, port_permutations={target: {0: 1, 1: 0}}
+    )
+    identity = Datapath.from_bindings(fig1_graph, binding.assignment)
+    swapped.validate()
+    assert set(swapped.register_wires) != set(identity.register_wires)
+
+
+def test_invalid_permutation_rejected(fig1_graph):
+    binding = left_edge_binding(fig1_graph)
+    with pytest.raises(DatapathError):
+        Datapath.from_bindings(fig1_graph, binding.assignment,
+                               port_permutations={0: {0: 5}})
+
+
+def test_validate_detects_missing_wire(fig1_datapath):
+    fig1_datapath.register_wires.pop()
+    with pytest.raises(DatapathError):
+        fig1_datapath.validate()
+
+
+def test_validate_detects_adverse_wire(fig1_graph):
+    binding = left_edge_binding(fig1_graph)
+    datapath = Datapath.from_bindings(fig1_graph, binding.assignment)
+    used_ports = {(w.module, w.port, w.register) for w in datapath.register_wires}
+    # find an unused (register, module, port) combination and inject it
+    for reg in datapath.register_ids:
+        for module in datapath.modules:
+            for port in module.input_ports:
+                if (module.module_id, port, reg) not in used_ports:
+                    datapath.register_wires.append(
+                        RegisterToPortWire(reg, module.module_id, port)
+                    )
+                    with pytest.raises(DatapathError):
+                        datapath.validate()
+                    return
+    pytest.skip("data path is fully connected; no adverse wire can be injected")
+
+
+def test_validate_detects_unknown_component(fig1_datapath):
+    fig1_datapath.module_wires.append(ModuleToRegisterWire(module=77, register=0))
+    with pytest.raises(DatapathError):
+        fig1_datapath.validate()
+
+
+def test_summary(fig1_datapath):
+    summary = fig1_datapath.summary()
+    assert summary["registers"] == 3
+    assert summary["modules"] == 2
+    assert summary["mux_inputs"] == fig1_datapath.mux_input_total()

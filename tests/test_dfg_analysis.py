@@ -1,0 +1,139 @@
+"""Tests for lifetime / compatibility / crossing analysis (paper section 2)."""
+
+import pytest
+
+from repro.dfg import (
+    DFGBuilder,
+    DFGError,
+    Lifetime,
+    check_register_assignment,
+    compatibility_graph,
+    concurrent_operation_pairs,
+    horizontal_crossings,
+    incompatibility_graph,
+    incompatible_variable_clique,
+    minimum_module_counts,
+    minimum_register_count,
+    self_adjacency_candidates,
+    variable_lifetimes,
+)
+
+
+def test_lifetime_validation():
+    with pytest.raises(DFGError):
+        Lifetime(birth=3, death=1)
+
+
+def test_lifetime_overlap_and_span():
+    a = Lifetime(0, 2)
+    b = Lifetime(2, 4)
+    c = Lifetime(3, 5)
+    assert a.overlaps(b)
+    assert not a.overlaps(c)
+    assert a.span == 3
+    assert list(b.boundaries()) == [2, 3, 4]
+
+
+def test_fig1_minimum_registers_is_three(fig1_graph):
+    """Section 2: the Fig. 1 data path uses the minimal three registers."""
+    assert minimum_register_count(fig1_graph) == 3
+
+
+def test_fig1_paper_register_grouping_is_compatible(fig1_graph):
+    """The register assignment quoted in the paper (R0={0,4}, R1={1,3,6},
+    R2={2,5,7}) must be conflict-free under our lifetime model."""
+    assignment = {0: 0, 4: 0, 1: 1, 3: 1, 6: 1, 2: 2, 5: 2, 7: 2}
+    assert check_register_assignment(fig1_graph, assignment) == []
+
+
+def test_fig1_overlapping_grouping_is_flagged(fig1_graph):
+    """Putting an operation's two concurrent inputs in one register must fail."""
+    assignment = {0: 0, 1: 0, 2: 1, 3: 1, 4: 2, 5: 2, 6: 1, 7: 0}
+    problems = check_register_assignment(fig1_graph, assignment)
+    assert problems  # variables 0 and 1 are both live at boundary 0
+
+
+def test_check_register_assignment_reports_missing_variables(fig1_graph):
+    problems = check_register_assignment(fig1_graph, {0: 0})
+    assert any("without a register" in p for p in problems)
+
+
+def test_lifetimes_require_schedule(fig1_behavioral):
+    with pytest.raises(DFGError):
+        variable_lifetimes(fig1_behavioral)
+
+
+def test_primary_input_policies_differ(fig1_graph):
+    at_use = variable_lifetimes(fig1_graph, "at_first_use")
+    from_start = variable_lifetimes(fig1_graph, "from_start")
+    for var, lifetime in from_start.items():
+        if fig1_graph.variables[var].is_primary_input:
+            assert lifetime.birth == 0
+            assert lifetime.death == at_use[var].death
+    assert minimum_register_count(fig1_graph, "from_start") >= minimum_register_count(
+        fig1_graph, "at_first_use"
+    )
+
+
+def test_unconsumed_primary_input_rejected():
+    builder = DFGBuilder("dangling")
+    a = builder.input("a")
+    builder.input("never_used")
+    out = builder.op("add", a, a, cstep=0)
+    builder.output(out)
+    graph = builder.build()
+    with pytest.raises(DFGError):
+        variable_lifetimes(graph)
+
+
+def test_horizontal_crossings_cover_all_boundaries(fig1_graph):
+    crossings = horizontal_crossings(fig1_graph)
+    lifetimes = variable_lifetimes(fig1_graph)
+    assert set(crossings) == set(range(max(lt.death for lt in lifetimes.values()) + 1))
+    assert max(crossings.values()) == minimum_register_count(fig1_graph)
+    assert sum(crossings.values()) == sum(lt.span for lt in lifetimes.values())
+
+
+def test_minimum_module_counts(fig1_graph):
+    counts = minimum_module_counts(fig1_graph)
+    assert counts == {"alu": 1, "mult": 1}
+
+
+def test_incompatibility_and_compatibility_are_complements(fig1_graph):
+    conflict = incompatibility_graph(fig1_graph)
+    compatible = compatibility_graph(fig1_graph)
+    n = len(fig1_graph.variable_ids)
+    assert conflict.number_of_nodes() == n
+    assert conflict.number_of_edges() + compatible.number_of_edges() == n * (n - 1) // 2
+
+
+def test_incompatible_clique_is_pairwise_conflicting(fig1_graph):
+    clique = incompatible_variable_clique(fig1_graph)
+    assert len(clique) == minimum_register_count(fig1_graph)
+    conflict = incompatibility_graph(fig1_graph)
+    for i, u in enumerate(clique):
+        for v in clique[i + 1:]:
+            assert conflict.has_edge(u, v)
+
+
+def test_concurrent_operation_pairs(fig1_graph):
+    pairs = concurrent_operation_pairs(fig1_graph)
+    for a, b in pairs:
+        assert fig1_graph.operations[a].cstep == fig1_graph.operations[b].cstep
+
+
+def test_self_adjacency_candidates(fig1_graph):
+    pairs = self_adjacency_candidates(fig1_graph)
+    # Every operation with two variable inputs contributes two pairs.
+    expected = sum(len(op.variable_inputs) for op in fig1_graph.operations.values())
+    assert len(pairs) == expected
+    for input_var, output_var in pairs:
+        producer = fig1_graph.variables[output_var].producer
+        consumed = [v for _p, v in fig1_graph.operations[producer].variable_inputs]
+        assert input_var in consumed
+
+
+def test_larger_circuit_crossing_consistency(tseng_graph):
+    crossings = horizontal_crossings(tseng_graph)
+    assert max(crossings.values()) == minimum_register_count(tseng_graph)
+    assert all(value >= 0 for value in crossings.values())

@@ -1,0 +1,54 @@
+"""Serialisation round-trip tests for DFGs."""
+
+import pytest
+
+from repro.dfg import DFGBuilder, DFGError, textio
+
+
+def test_round_trip_preserves_structure(fig1_graph):
+    data = textio.to_dict(fig1_graph)
+    rebuilt = textio.from_dict(data)
+    assert rebuilt.name == fig1_graph.name
+    assert rebuilt.operation_ids == fig1_graph.operation_ids
+    assert rebuilt.variable_ids == fig1_graph.variable_ids
+    assert rebuilt.input_edges == fig1_graph.input_edges
+    assert rebuilt.output_edges == fig1_graph.output_edges
+    for op_id in fig1_graph.operation_ids:
+        assert rebuilt.operations[op_id].cstep == fig1_graph.operations[op_id].cstep
+        assert rebuilt.operations[op_id].module == fig1_graph.operations[op_id].module
+
+
+def test_json_round_trip(fig1_graph):
+    text = textio.to_json(fig1_graph)
+    rebuilt = textio.from_json(text)
+    assert textio.to_dict(rebuilt) == textio.to_dict(fig1_graph)
+
+
+def test_round_trip_with_constants_and_outputs():
+    builder = DFGBuilder("with_consts")
+    a = builder.input("a")
+    scaled = builder.op("mul", a, builder.constant(2.5, "gain"), cstep=0)
+    builder.output(scaled)
+    graph = builder.build()
+    rebuilt = textio.from_json(textio.to_json(graph))
+    assert len(rebuilt.constants) == 1
+    assert rebuilt.constants[0].value == pytest.approx(2.5)
+    assert rebuilt.primary_outputs() == graph.primary_outputs()
+
+
+def test_file_round_trip(tmp_path, fig1_graph):
+    path = tmp_path / "fig1.json"
+    textio.save(fig1_graph, path)
+    rebuilt = textio.load(path)
+    assert textio.to_dict(rebuilt) == textio.to_dict(fig1_graph)
+
+
+def test_malformed_dictionary_raises():
+    with pytest.raises(DFGError):
+        textio.from_dict({"name": "broken", "variables": [{"oops": 1}], "operations": []})
+
+
+def test_unscheduled_graph_round_trips(fig1_behavioral):
+    rebuilt = textio.from_json(textio.to_json(fig1_behavioral))
+    assert not rebuilt.is_scheduled
+    assert rebuilt.operation_ids == fig1_behavioral.operation_ids

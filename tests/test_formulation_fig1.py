@@ -1,0 +1,153 @@
+"""Integration tests of the ADVBIST ILP on the paper's Fig. 1 example.
+
+The example is small enough to solve to proven optimality in well under a
+second, so these tests check the formulation end to end: constraint families,
+decoded designs, objective/area consistency and the CBILBO-vs-k behaviour the
+paper's Figs. 2 and 3 illustrate.
+"""
+
+import pytest
+
+from repro.core import AdvBistFormulation, FormulationError, FormulationOptions
+from repro.cost import PAPER_COST_MODEL
+from repro.datapath import TestRegisterKind
+
+
+@pytest.fixture(scope="module")
+def k1_result(fig1_graph):
+    return AdvBistFormulation(fig1_graph, k=1).solve()
+
+
+@pytest.fixture(scope="module")
+def k2_result(fig1_graph):
+    return AdvBistFormulation(fig1_graph, k=2).solve()
+
+
+def test_requires_scheduled_bound_graph(fig1_behavioral):
+    with pytest.raises(FormulationError):
+        AdvBistFormulation(fig1_behavioral, k=1)
+
+
+def test_requires_positive_k(fig1_graph):
+    with pytest.raises(FormulationError):
+        AdvBistFormulation(fig1_graph, k=0)
+
+
+def test_rejects_too_few_registers(fig1_graph):
+    with pytest.raises(FormulationError):
+        AdvBistFormulation(fig1_graph, k=1,
+                           options=FormulationOptions(num_registers=2))
+
+
+def test_model_contains_paper_variable_families(fig1_graph):
+    formulation = AdvBistFormulation(fig1_graph, k=2)
+    registers = len(formulation.registers)
+    variables = len(fig1_graph.variable_ids)
+    assert len(formulation.x) == variables * registers
+    # z_rml: one per (register, module, port); z_mr: one per (module, register)
+    ports = sum(len(formulation.module_ports[m]) for m in formulation.modules)
+    assert len(formulation.z_in) == registers * ports
+    assert len(formulation.z_out) == registers * len(formulation.modules)
+    # SR variables: |M| x |R| x k   (equation 6 family)
+    assert len(formulation.s_mrp) == len(formulation.modules) * registers * 2
+    # TPG variables: |R| x ports x k (equation 9 family)
+    assert len(formulation.t_rmlp) == registers * ports * 2
+    # BILBO / CBILBO indicators per register (and per register-session)
+    assert len(formulation.b_reg) == registers
+    assert len(formulation.c_reg_p) == registers * 2
+
+
+def test_k1_and_k2_solve_to_optimality(k1_result, k2_result):
+    assert k1_result.solution.proven_optimal
+    assert k2_result.solution.proven_optimal
+    assert k1_result.design is not None
+    assert k2_result.design is not None
+
+
+def test_designs_pass_independent_verification(k1_result, k2_result):
+    assert k1_result.design.verify().ok
+    assert k2_result.design.verify().ok
+
+
+def test_objective_equals_recomputed_area(k1_result, k2_result):
+    """The ILP objective must equal the area recomputed from the decoded design."""
+    for result in (k1_result, k2_result):
+        breakdown = result.design.area()
+        assert result.solution.objective == pytest.approx(breakdown.total)
+
+
+def test_k1_needs_concurrent_bilbo_but_k2_does_not(k1_result, k2_result):
+    """With only three registers, testing both modules in one session forces a
+    CBILBO; spreading the test over two sessions avoids it (the area-vs-test-
+    time trade-off of the paper)."""
+    k1_counts = k1_result.design.kind_counts()
+    k2_counts = k2_result.design.kind_counts()
+    assert k1_counts[TestRegisterKind.CBILBO] >= 1
+    assert k2_counts[TestRegisterKind.CBILBO] == 0
+
+
+def test_more_sessions_never_cost_more_area(k1_result, k2_result):
+    assert k2_result.design.area().total <= k1_result.design.area().total
+
+
+def test_every_module_tested_once(k2_result, fig1_graph):
+    plan = k2_result.design.plan
+    assert sorted(plan.module_session) == fig1_graph.module_ids
+    assert sorted(plan.sr_of_module) == fig1_graph.module_ids
+    for module in fig1_graph.module_ids:
+        for port in fig1_graph.module_input_ports(module):
+            assert (module, port) in plan.tpg_of_port
+
+
+def test_interconnect_variables_match_decoded_datapath(fig1_graph):
+    """The z variables chosen by the ILP are exactly the wires of the decoded
+    data path: required wires are present, adverse wires are absent."""
+    formulation = AdvBistFormulation(fig1_graph, k=2)
+    result = formulation.solve()
+    datapath = result.design.datapath
+    for (r, m, l), var in formulation.z_in.items():
+        assert result.solution.is_one(var) == datapath.has_register_to_port_wire(r, m, l)
+    for (m, r), var in formulation.z_out.items():
+        assert result.solution.is_one(var) == datapath.has_module_to_register_wire(m, r)
+
+
+def test_register_kind_indicators_match_plan(fig1_graph):
+    formulation = AdvBistFormulation(fig1_graph, k=1)
+    result = formulation.solve()
+    kinds = result.design.plan.register_kinds(result.design.datapath)
+    for r in formulation.registers:
+        kind = kinds[r]
+        assert result.solution.is_one(formulation.t_reg[r]) == kind.generates_patterns
+        assert result.solution.is_one(formulation.s_reg[r]) == kind.compacts_responses
+        assert result.solution.is_one(formulation.c_reg[r]) == (
+            kind is TestRegisterKind.CBILBO
+        )
+
+
+def test_bnb_backend_reaches_same_objective_on_k1(fig1_graph):
+    """The pure-Python solver agrees with HiGHS on the small instance."""
+    highs = AdvBistFormulation(fig1_graph, k=1).solve(backend="scipy")
+    bnb = AdvBistFormulation(fig1_graph, k=1).solve(backend="bnb", time_limit=120)
+    assert bnb.solution.status.has_solution
+    assert bnb.solution.objective == pytest.approx(highs.solution.objective)
+
+
+def test_extracting_from_infeasible_solution_raises(fig1_graph):
+    formulation = AdvBistFormulation(fig1_graph, k=1)
+    from repro.ilp import Solution, SolveStatus
+
+    with pytest.raises(FormulationError):
+        formulation.extract_design(Solution(status=SolveStatus.INFEASIBLE))
+
+
+def test_solution_constraints_all_satisfied(fig1_graph):
+    formulation = AdvBistFormulation(fig1_graph, k=2)
+    result = formulation.solve()
+    assert formulation.model.check_solution(result.solution) == []
+
+
+def test_cost_model_propagates(fig1_graph):
+    wide_model = PAPER_COST_MODEL.__class__(bit_width=16)
+    result = AdvBistFormulation(fig1_graph, k=2, cost_model=wide_model).solve()
+    narrow = AdvBistFormulation(fig1_graph, k=2).solve()
+    assert result.design.area().total > narrow.design.area().total

@@ -1,0 +1,98 @@
+"""Tests of the formulation options: ablations of the paper's design choices."""
+
+import pytest
+
+from repro.core import AdvBistFormulation, FormulationOptions
+from repro.hls import left_edge_binding
+
+
+@pytest.fixture(scope="module")
+def concurrent_optimum(fig1_graph):
+    return AdvBistFormulation(fig1_graph, k=2).solve().solution.objective
+
+
+def test_fixed_register_assignment_is_never_better(fig1_graph, concurrent_optimum):
+    """Freezing the register assignment (the non-concurrent ablation) can only
+    match or worsen the optimal concurrent objective — the paper's core claim."""
+    fixed = left_edge_binding(fig1_graph).assignment
+    options = FormulationOptions(fixed_register_assignment=fixed)
+    result = AdvBistFormulation(fig1_graph, k=2, options=options).solve()
+    assert result.solution.proven_optimal
+    assert result.solution.objective >= concurrent_optimum - 1e-6
+    # the decoded design actually uses the imposed assignment
+    assert result.design.datapath.register_of_variable == dict(fixed)
+
+
+def test_fixed_assignment_outside_register_range_rejected(fig1_graph):
+    options = FormulationOptions(fixed_register_assignment={0: 99})
+    with pytest.raises(Exception):
+        AdvBistFormulation(fig1_graph, k=1, options=options)
+
+
+def test_symmetry_reduction_preserves_optimum(fig1_graph, concurrent_optimum):
+    options = FormulationOptions(symmetry_reduction=False)
+    result = AdvBistFormulation(fig1_graph, k=2, options=options).solve()
+    assert result.solution.objective == pytest.approx(concurrent_optimum)
+
+
+def test_symmetry_reduction_adds_pinning_constraints(fig1_graph):
+    with_pins = AdvBistFormulation(fig1_graph, k=2)
+    without_pins = AdvBistFormulation(
+        fig1_graph, k=2, options=FormulationOptions(symmetry_reduction=False)
+    )
+    pinned = [c for c in with_pins.model.constraints if c.name.startswith("pin_")]
+    unpinned = [c for c in without_pins.model.constraints if c.name.startswith("pin_")]
+    assert len(pinned) == len(with_pins.registers)
+    assert not unpinned
+
+
+def test_disallowing_commutative_swap_cannot_improve(fig1_graph, concurrent_optimum):
+    options = FormulationOptions(allow_commutative_swap=False)
+    result = AdvBistFormulation(fig1_graph, k=2, options=options).solve()
+    assert result.solution.objective >= concurrent_optimum - 1e-6
+    assert not AdvBistFormulation(fig1_graph, k=2, options=options).s_perm
+
+
+def test_extra_registers_allowed_but_not_chosen_for_free(fig1_graph, concurrent_optimum):
+    """Allowing one spare register cannot worsen the optimum, and because a
+    register costs 208 transistors the solver should not beat the 3-register
+    optimum by more than it saves in muxes."""
+    options = FormulationOptions(num_registers=4)
+    result = AdvBistFormulation(fig1_graph, k=2, options=options).solve()
+    assert result.solution.proven_optimal
+    assert result.solution.objective >= concurrent_optimum - 1e-6
+
+
+def test_adverse_path_constraints_guard_testability(fig1_graph):
+    """Dropping equations (1)-(3) lets the solver invent test-only wires: the
+    relaxed optimum is lower or equal, but the decoded result either violates
+    the no-extra-path rule or coincides with the faithful optimum.  This is
+    the ablation that shows why the paper needs those constraints."""
+    from repro.core import FormulationError
+
+    full = AdvBistFormulation(fig1_graph, k=1).solve()
+    relaxed = AdvBistFormulation(
+        fig1_graph, k=1, options=FormulationOptions(adverse_path_constraints=False)
+    )
+    relaxed_solution = relaxed.model.solve()
+    assert relaxed_solution.objective <= full.solution.objective + 1e-6
+
+    try:
+        design = relaxed.extract_design(relaxed_solution)
+    except FormulationError:
+        design = None   # the relaxed model cheated with an adverse path
+    if design is not None:
+        # If it did not cheat, it must simply be the faithful optimum.
+        assert design.verify().ok
+        assert relaxed_solution.objective == pytest.approx(full.solution.objective)
+    # The faithful model's design passes the adverse-path check by design.
+    full.design.datapath.validate()
+
+
+def test_from_start_lifetime_policy_uses_more_registers(fig1_graph):
+    options = FormulationOptions(primary_input_policy="from_start")
+    formulation = AdvBistFormulation(fig1_graph, k=1, options=options)
+    assert len(formulation.registers) >= 3
+    result = formulation.solve()
+    assert result.design is not None
+    assert result.design.verify().ok

@@ -1,0 +1,101 @@
+"""Tests of module binding and register binding."""
+
+import pytest
+
+from repro.dfg import (
+    DFGBuilder,
+    DFGError,
+    check_register_assignment,
+    minimum_module_counts,
+    minimum_register_count,
+    self_adjacency_candidates,
+)
+from repro.hls import bind_modules, coloring_binding, left_edge_binding, list_schedule
+
+
+def test_bind_modules_requires_schedule(fig1_behavioral):
+    with pytest.raises(DFGError):
+        bind_modules(fig1_behavioral)
+
+
+def test_bind_modules_minimum_counts(fig1_graph):
+    binding = bind_modules(fig1_graph)
+    expected = sum(minimum_module_counts(fig1_graph).values())
+    assert binding.module_count == expected
+    bound = binding.apply(fig1_graph)
+    assert bound.is_module_bound
+
+
+def test_bind_modules_no_concurrent_sharing(tseng_graph):
+    # tseng is already bound by the circuit builder; rebinding must also hold.
+    binding = bind_modules(tseng_graph)
+    graph = tseng_graph.with_module_binding(binding.binding)
+    for cstep in graph.control_steps:
+        ops = graph.operations_in_step(cstep)
+        modules = [graph.operations[o].module for o in ops]
+        assert len(modules) == len(set(modules))
+
+
+def test_bind_modules_same_class_per_module(tseng_graph):
+    binding = bind_modules(tseng_graph)
+    for module in binding.modules:
+        kinds = {tseng_graph.operations[o].module_class for o in module.operations}
+        assert kinds == {module.module_class}
+
+
+def test_bind_modules_with_extra_units(fig1_graph):
+    binding = bind_modules(fig1_graph, extra_modules={"mult": 1})
+    graph = fig1_graph.with_module_binding(binding.binding)
+    # The extra multiplier may or may not be used, but the binding stays valid.
+    assert graph.is_module_bound
+    assert binding.module_count >= 2
+
+
+def test_bind_modules_first_module_id(fig1_graph):
+    binding = bind_modules(fig1_graph, first_module_id=3)
+    assert min(info.module_id for info in binding.modules) == 3
+
+
+def test_left_edge_binding_optimal(fig1_graph):
+    binding = left_edge_binding(fig1_graph)
+    assert binding.register_count == minimum_register_count(fig1_graph)
+    assert check_register_assignment(fig1_graph, binding.assignment) == []
+    groups = binding.registers()
+    assert sorted(v for members in groups.values() for v in members) == fig1_graph.variable_ids
+
+
+def test_coloring_binding_with_extra_conflicts(fig1_graph):
+    plain = coloring_binding(fig1_graph)
+    adjacent = coloring_binding(fig1_graph,
+                                extra_conflicts=self_adjacency_candidates(fig1_graph))
+    assert check_register_assignment(fig1_graph, adjacent.assignment) == []
+    assert adjacent.register_count >= plain.register_count
+    # Self-adjacency pairs must be separated.
+    for input_var, output_var in self_adjacency_candidates(fig1_graph):
+        assert adjacent.assignment[input_var] != adjacent.assignment[output_var]
+
+
+def test_coloring_binding_ignores_self_loops(fig1_graph):
+    binding = coloring_binding(fig1_graph, extra_conflicts=[(0, 0)])
+    assert check_register_assignment(fig1_graph, binding.assignment) == []
+
+
+def test_register_binding_dense_numbering(tseng_graph):
+    binding = left_edge_binding(tseng_graph)
+    used = sorted(set(binding.assignment.values()))
+    assert used == list(range(binding.register_count))
+
+
+def test_binding_on_multioutput_graph():
+    builder = DFGBuilder("two_outputs")
+    a = builder.input("a")
+    b = builder.input("b")
+    s = builder.op("add", a, b)
+    p = builder.op("mul", a, b)
+    builder.output(s)
+    builder.output(p)
+    graph = builder.build()
+    graph = list_schedule(graph, {"alu": 1, "mult": 1}).apply(graph)
+    graph = bind_modules(graph).apply(graph)
+    binding = left_edge_binding(graph)
+    assert check_register_assignment(graph, binding.assignment) == []

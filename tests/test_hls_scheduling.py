@@ -1,0 +1,113 @@
+"""Tests of the scheduling algorithms (ASAP, ALAP, list, force hints)."""
+
+import pytest
+
+from repro.dfg import DFGBuilder, DFGError
+from repro.hls import alap_schedule, asap_schedule, force_directed_hint, list_schedule, mobility
+
+
+def diamond_graph():
+    """in -> two parallel ops -> join (classic mobility example)."""
+    builder = DFGBuilder("diamond")
+    a = builder.input("a")
+    b = builder.input("b")
+    left = builder.op("add", a, b)
+    right = builder.op("mul", a, b)
+    join = builder.op("add", left, right)
+    builder.output(join)
+    return builder.build()
+
+
+def test_asap_respects_dependencies(fig1_behavioral):
+    schedule = asap_schedule(fig1_behavioral)
+    graph = fig1_behavioral
+    for op in graph.operations.values():
+        for _port, var in op.variable_inputs:
+            producer = graph.variables[var].producer
+            if producer is not None:
+                assert schedule[producer] < schedule[op.op_id]
+
+
+def test_asap_critical_path_length(fig1_behavioral):
+    schedule = asap_schedule(fig1_behavioral)
+    # fig1: add -> (add, mul) -> mul is a three-level graph.
+    assert max(schedule.values()) == 2
+
+
+def test_alap_default_latency_matches_asap(fig1_behavioral):
+    asap = asap_schedule(fig1_behavioral)
+    alap = alap_schedule(fig1_behavioral)
+    assert max(alap.values()) == max(asap.values())
+    for op_id in asap:
+        assert asap[op_id] <= alap[op_id]
+
+
+def test_alap_with_relaxed_latency():
+    graph = diamond_graph()
+    alap = alap_schedule(graph, latency=5)
+    assert max(alap.values()) == 4  # the join sits in the last step
+
+
+def test_alap_below_critical_path_rejected(fig1_behavioral):
+    with pytest.raises(DFGError):
+        alap_schedule(fig1_behavioral, latency=1)
+
+
+def test_mobility_nonnegative_and_zero_on_critical_path():
+    graph = diamond_graph()
+    mob = mobility(graph)
+    assert all(value >= 0 for value in mob.values())
+    assert min(mob.values()) == 0
+
+
+def test_list_schedule_respects_resource_limits(fig1_behavioral):
+    result = list_schedule(fig1_behavioral, {"alu": 1, "mult": 1})
+    graph = fig1_behavioral.with_schedule(result.schedule)
+    for cstep in graph.control_steps:
+        ops = graph.operations_in_step(cstep)
+        per_class = {}
+        for op_id in ops:
+            cls = graph.operations[op_id].module_class
+            per_class[cls] = per_class.get(cls, 0) + 1
+        assert per_class.get("alu", 0) <= 1
+        assert per_class.get("mult", 0) <= 1
+
+
+def test_list_schedule_serialises_when_single_unit():
+    graph = diamond_graph()
+    result = list_schedule(graph, {"alu": 1, "mult": 1})
+    # left and right are different classes, so they may share a step; the
+    # join must come strictly later.
+    schedule = result.schedule
+    assert schedule[2] > max(schedule[0], schedule[1])
+
+
+def test_list_schedule_with_generous_resources_matches_asap(fig1_behavioral):
+    asap = asap_schedule(fig1_behavioral)
+    result = list_schedule(fig1_behavioral, {"alu": 8, "mult": 8})
+    assert max(result.schedule.values()) == max(asap.values())
+
+
+def test_list_schedule_latency_bound(fig1_behavioral):
+    with pytest.raises(DFGError):
+        list_schedule(fig1_behavioral, {"alu": 1, "mult": 1}, max_latency=1)
+
+
+def test_list_schedule_unconstrained_classes():
+    graph = diamond_graph()
+    result = list_schedule(graph, {})  # no limits at all
+    assert result.latency == 2
+
+
+def test_schedule_result_apply(fig1_behavioral):
+    result = list_schedule(fig1_behavioral, {"alu": 1, "mult": 1})
+    scheduled = result.apply(fig1_behavioral)
+    assert scheduled.is_scheduled
+    assert result.latency == max(op.cstep for op in scheduled.operations.values()) + 1
+
+
+def test_force_directed_hint_values():
+    graph = diamond_graph()
+    pressure = force_directed_hint(graph)
+    assert set(pressure) == set(graph.operation_ids)
+    assert all(value > 0 for value in pressure.values())

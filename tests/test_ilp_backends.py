@@ -1,0 +1,152 @@
+"""Tests of the two solver backends (HiGHS via scipy, and the own B&B)."""
+
+import pytest
+
+from repro.ilp import (
+    BranchAndBoundBackend,
+    LinExpr,
+    Model,
+    ScipyMilpBackend,
+    SolveStatus,
+    get_backend,
+)
+
+BACKENDS = ["scipy", "bnb"]
+
+
+def knapsack_model():
+    """0/1 knapsack with a known optimum of 11 (items 1 and 2)."""
+    model = Model("knapsack", sense="max")
+    values = [6, 5, 6, 3]
+    weights = [4, 3, 3, 2]
+    capacity = 6
+    items = [model.add_binary(f"item{i}") for i in range(4)]
+    model.add_constr(LinExpr.sum(w * x for w, x in zip(weights, items)) <= capacity)
+    model.set_objective(LinExpr.sum(v * x for v, x in zip(values, items)))
+    return model, items
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_knapsack_optimum(backend):
+    model, items = knapsack_model()
+    solution = model.solve(backend=backend)
+    assert solution.status is SolveStatus.OPTIMAL
+    assert solution.objective == pytest.approx(11.0)
+    chosen = [i for i, item in enumerate(items) if solution.is_one(item)]
+    assert chosen == [1, 2]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_infeasible_model_detected(backend):
+    model = Model()
+    x = model.add_binary("x")
+    model.add_constr(x + 0.0 >= 2.0)
+    model.set_objective(x + 0.0)
+    solution = model.solve(backend=backend)
+    assert solution.status is SolveStatus.INFEASIBLE
+    assert not solution.status.has_solution
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_equality_constraints_respected(backend):
+    model = Model()
+    x = model.add_integer("x", upper=10)
+    y = model.add_integer("y", upper=10)
+    model.add_constr((x + y) == 7)
+    model.add_constr(x - y <= 1)
+    model.set_objective(x + 2 * y)
+    solution = model.solve(backend=backend)
+    assert solution.status is SolveStatus.OPTIMAL
+    assert solution.value(x) + solution.value(y) == pytest.approx(7)
+    # minimise x + 2y subject to x+y=7, x-y<=1  =>  x=4, y=3
+    assert solution.value(x) == pytest.approx(4)
+    assert solution.value(y) == pytest.approx(3)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_integer_values_are_exact_integers(backend):
+    model = Model()
+    x = model.add_integer("x", upper=5)
+    model.add_constr(2 * x >= 3)
+    model.set_objective(x + 0.0)
+    solution = model.solve(backend=backend)
+    assert solution.value(x) == 2.0
+    assert float(solution.value(x)).is_integer()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_mixed_integer_continuous(backend):
+    model = Model()
+    x = model.add_integer("x", upper=10)
+    y = model.add_continuous("y", upper=10)
+    model.add_constr(x + y >= 3.5)
+    model.set_objective(2 * x + y)
+    solution = model.solve(backend=backend)
+    assert solution.status is SolveStatus.OPTIMAL
+    # Best is x=0, y=3.5 with objective 3.5.
+    assert solution.objective == pytest.approx(3.5)
+    assert solution.value(y) == pytest.approx(3.5)
+
+
+def test_backends_agree_on_assignment_problem():
+    """3x3 assignment problem solved by both backends gives one optimum."""
+    cost = [[4, 2, 8], [4, 3, 7], [3, 1, 6]]
+
+    def build():
+        model = Model("assignment")
+        x = {(i, j): model.add_binary(f"x_{i}_{j}") for i in range(3) for j in range(3)}
+        for i in range(3):
+            model.add_constr(LinExpr.sum(x[(i, j)] for j in range(3)) == 1)
+        for j in range(3):
+            model.add_constr(LinExpr.sum(x[(i, j)] for i in range(3)) == 1)
+        model.set_objective(
+            LinExpr.sum(cost[i][j] * x[(i, j)] for i in range(3) for j in range(3))
+        )
+        return model
+
+    obj_scipy = build().solve(backend="scipy").objective
+    obj_bnb = build().solve(backend="bnb").objective
+    assert obj_scipy == pytest.approx(obj_bnb)
+    assert obj_scipy == pytest.approx(12.0)  # 2 + 7 + 3
+
+
+def test_bnb_respects_node_limit():
+    backend = BranchAndBoundBackend(node_limit=0)
+    model, _items = knapsack_model()
+    solution = model.solve(backend=backend)
+    # With no nodes allowed the solver cannot even find an incumbent.
+    assert solution.status is SolveStatus.TIME_LIMIT
+    assert not solution.status.has_solution
+
+
+def test_bnb_reports_nodes_explored():
+    model, _items = knapsack_model()
+    solution = model.solve(backend="bnb")
+    assert solution.nodes >= 1
+
+
+def test_get_backend_auto_and_errors():
+    assert isinstance(get_backend("auto"), ScipyMilpBackend)
+    assert isinstance(get_backend("bnb"), BranchAndBoundBackend)
+    assert isinstance(get_backend("highs"), ScipyMilpBackend)
+    with pytest.raises(ValueError):
+        get_backend("glpk")
+
+
+def test_solution_value_default_for_unknown_variable():
+    model = Model()
+    x = model.add_binary("x")
+    model.set_objective(x + 0.0)
+    solution = model.solve()
+    other_model = Model()
+    stranger = other_model.add_binary("stranger")
+    assert solution.value(stranger, default=0.5) == 0.5
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_unconstrained_minimisation_takes_lower_bounds(backend):
+    model = Model()
+    x = model.add_integer("x", lower=2, upper=9)
+    model.set_objective(x + 0.0)
+    solution = model.solve(backend=backend)
+    assert solution.value(x) == pytest.approx(2)

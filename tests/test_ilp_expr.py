@@ -1,0 +1,132 @@
+"""Unit tests for the linear-expression algebra."""
+
+import pytest
+
+from repro.ilp import LinExpr, Model, Sense, VarType, quicksum
+from repro.ilp.expr import Constraint
+
+
+@pytest.fixture()
+def model():
+    return Model("expr_tests")
+
+
+def test_variable_defaults_are_binary(model):
+    x = model.add_binary("x")
+    assert x.vartype is VarType.BINARY
+    assert (x.lower, x.upper) == (0.0, 1.0)
+
+
+def test_variable_addition_builds_expression(model):
+    x = model.add_binary("x")
+    y = model.add_binary("y")
+    expr = x + y
+    assert isinstance(expr, LinExpr)
+    assert expr.terms == {x: 1.0, y: 1.0}
+    assert expr.constant == 0.0
+
+
+def test_scalar_multiplication_and_negation(model):
+    x = model.add_binary("x")
+    expr = 3 * x - 2.0
+    assert expr.terms == {x: 3.0}
+    assert expr.constant == -2.0
+    negated = -expr
+    assert negated.terms == {x: -3.0}
+    assert negated.constant == 2.0
+
+
+def test_subtraction_between_variables(model):
+    x = model.add_binary("x")
+    y = model.add_binary("y")
+    expr = x - y
+    assert expr.terms == {x: 1.0, y: -1.0}
+
+
+def test_rsub_with_constant(model):
+    x = model.add_binary("x")
+    expr = 5 - x
+    assert expr.terms == {x: -1.0}
+    assert expr.constant == 5.0
+
+
+def test_zero_coefficients_are_dropped(model):
+    x = model.add_binary("x")
+    y = model.add_binary("y")
+    expr = x + y - y
+    assert expr.terms == {x: 1.0}
+
+
+def test_quicksum_mixes_vars_exprs_and_numbers(model):
+    x = model.add_binary("x")
+    y = model.add_binary("y")
+    expr = quicksum([x, 2 * y, 3, 1.5])
+    assert expr.terms == {x: 1.0, y: 2.0}
+    assert expr.constant == 4.5
+
+
+def test_expression_evaluation(model):
+    x = model.add_binary("x")
+    y = model.add_binary("y")
+    expr = 2 * x + 3 * y + 1
+    assert expr.value({x: 1.0, y: 0.0}) == pytest.approx(3.0)
+    assert expr.value({x: 1.0, y: 1.0}) == pytest.approx(6.0)
+
+
+def test_le_constraint_structure(model):
+    x = model.add_binary("x")
+    y = model.add_binary("y")
+    constraint = x + y <= 1
+    assert isinstance(constraint, Constraint)
+    assert constraint.sense is Sense.LE
+    # folded form: x + y - 1 <= 0
+    assert constraint.expr.constant == -1.0
+
+
+def test_ge_and_eq_constraints(model):
+    x = model.add_binary("x")
+    ge = x >= 0.5
+    eq = (x + 0.0) == 1.0
+    assert ge.sense is Sense.GE
+    assert eq.sense is Sense.EQ
+
+
+def test_constraint_satisfaction_check(model):
+    x = model.add_binary("x")
+    y = model.add_binary("y")
+    constraint = x + y <= 1
+    assert constraint.satisfied_by({x: 1.0, y: 0.0})
+    assert not constraint.satisfied_by({x: 1.0, y: 1.0})
+
+
+def test_eq_constraint_satisfaction(model):
+    x = model.add_binary("x")
+    constraint = (2 * x) == 2
+    assert constraint.satisfied_by({x: 1.0})
+    assert not constraint.satisfied_by({x: 0.0})
+
+
+def test_scaling_by_non_number_raises(model):
+    x = model.add_binary("x")
+    with pytest.raises(TypeError):
+        (x + 1) * x  # quadratic terms are not representable
+
+
+def test_combining_with_unsupported_type_raises(model):
+    x = model.add_binary("x")
+    with pytest.raises(TypeError):
+        (x + 1) + "not a number"
+
+
+def test_variable_identity_equality_survives(model):
+    x = model.add_binary("x")
+    y = model.add_binary("y")
+    assert x == x            # identity: plain boolean True
+    constraint = (x == y)    # different variables: a constraint object
+    assert isinstance(constraint, Constraint)
+
+
+def test_named_constraint(model):
+    x = model.add_binary("x")
+    constraint = (x + 0.0 <= 1.0).named("cap")
+    assert constraint.name == "cap"

@@ -1,0 +1,181 @@
+"""Unit tests for the Model container and its matrix form."""
+
+import numpy as np
+import pytest
+
+from repro.ilp import Model, ModelError, Sense, SolveStatus, VarType
+
+
+def test_duplicate_variable_names_rejected():
+    model = Model()
+    model.add_binary("x")
+    with pytest.raises(ModelError):
+        model.add_binary("x")
+
+
+def test_invalid_bounds_rejected():
+    model = Model()
+    with pytest.raises(ModelError):
+        model.add_integer("bad", lower=5, upper=2)
+
+
+def test_invalid_sense_rejected():
+    with pytest.raises(ModelError):
+        Model(sense="maximise-ish")
+
+
+def test_add_constr_requires_constraint_object():
+    model = Model()
+    x = model.add_binary("x")
+    with pytest.raises(ModelError):
+        model.add_constr(x)  # a bare variable is not a constraint
+
+
+def test_constraint_auto_naming():
+    model = Model()
+    x = model.add_binary("x")
+    first = model.add_constr(x + 0.0 <= 1.0)
+    second = model.add_constr(x + 0.0 >= 0.0, "explicit")
+    assert first.name == "c0"
+    assert second.name == "explicit"
+
+
+def test_stats_counts():
+    model = Model("counts")
+    x = model.add_binary("x")
+    y = model.add_integer("y", upper=4)
+    model.add_continuous("z", upper=2.5)
+    model.add_constr(x + y <= 3)
+    stats = model.stats()
+    assert stats == {"name": "counts", "variables": 3, "binaries": 1, "constraints": 1}
+
+
+def test_matrix_form_shapes_and_signs():
+    model = Model()
+    x = model.add_binary("x")
+    y = model.add_integer("y", upper=5)
+    model.add_constr(x + 2 * y <= 4)       # ub row
+    model.add_constr(x - y >= -1)          # converted to -x + y <= 1
+    model.add_constr((x + y) == 2)         # eq row
+    model.set_objective(3 * x + y)
+    form = model.to_matrix_form()
+    assert form.A_ub.shape == (2, 2)
+    assert form.A_eq.shape == (1, 2)
+    np.testing.assert_allclose(form.A_ub[0], [1.0, 2.0])
+    np.testing.assert_allclose(form.b_ub[0], 4.0)
+    np.testing.assert_allclose(form.A_ub[1], [-1.0, 1.0])
+    np.testing.assert_allclose(form.b_ub[1], 1.0)
+    np.testing.assert_allclose(form.A_eq[0], [1.0, 1.0])
+    np.testing.assert_allclose(form.b_eq[0], 2.0)
+    np.testing.assert_allclose(form.c, [3.0, 1.0])
+    assert form.integrality.tolist() == [1, 1]
+
+
+def test_matrix_form_maximisation_negates_objective():
+    model = Model(sense="max")
+    x = model.add_binary("x")
+    model.set_objective(5 * x)
+    form = model.to_matrix_form()
+    np.testing.assert_allclose(form.c, [-5.0])
+
+
+def test_objective_constant_carried_as_offset():
+    model = Model()
+    x = model.add_binary("x")
+    model.set_objective(2 * x + 10)
+    form = model.to_matrix_form()
+    assert form.offset == pytest.approx(10.0)
+
+
+def test_maximisation_solution_objective_sign():
+    model = Model(sense="max")
+    x = model.add_binary("x")
+    y = model.add_binary("y")
+    model.add_constr(x + y <= 1)
+    model.set_objective(3 * x + 2 * y)
+    solution = model.solve()
+    assert solution.status is SolveStatus.OPTIMAL
+    assert solution.objective == pytest.approx(3.0)
+    assert solution.is_one(x) and not solution.is_one(y)
+
+
+def test_or_indicator_forces_both_directions():
+    model = Model()
+    a = model.add_binary("a")
+    b = model.add_binary("b")
+    flag = model.add_binary("flag")
+    model.add_or_indicator(flag, [a, b])
+    model.add_constr(a + 0.0 == 1.0)
+    # Minimising the flag cannot push it below the OR of its operands.
+    model.set_objective(flag + 0.0)
+    solution = model.solve()
+    assert solution.is_one(flag)
+
+    model2 = Model()
+    a2 = model2.add_binary("a")
+    flag2 = model2.add_binary("flag")
+    model2.add_or_indicator(flag2, [a2])
+    model2.add_constr(a2 + 0.0 == 0.0)
+    # Maximising the flag cannot push it above the OR of its operands.
+    model2.set_objective(-1.0 * flag2)
+    solution2 = model2.solve()
+    assert not solution2.is_one(flag2)
+
+
+def test_or_indicator_with_no_operands_is_zero():
+    model = Model()
+    flag = model.add_binary("flag")
+    model.add_or_indicator(flag, [])
+    model.set_objective(-1.0 * flag)
+    solution = model.solve()
+    assert not solution.is_one(flag)
+
+
+def test_and_indicator_truth_table():
+    for a_val, b_val in [(0, 0), (0, 1), (1, 0), (1, 1)]:
+        model = Model()
+        a = model.add_binary("a")
+        b = model.add_binary("b")
+        flag = model.add_binary("flag")
+        model.add_and_indicator(flag, a, b)
+        model.add_constr(a + 0.0 == float(a_val))
+        model.add_constr(b + 0.0 == float(b_val))
+        model.set_objective(flag + 0.0 if a_val and b_val else -1.0 * flag)
+        solution = model.solve()
+        assert solution.is_one(flag) == bool(a_val and b_val)
+
+
+def test_check_solution_flags_violations():
+    model = Model()
+    x = model.add_binary("x")
+    y = model.add_binary("y")
+    constraint = model.add_constr(x + y <= 1, "cap")
+    model.set_objective(x + y)
+    solution = model.solve()
+    assert model.check_solution(solution) == []
+    # Forge an infeasible assignment and confirm the check notices.
+    forged = dict(solution.values)
+    forged[x] = 1.0
+    forged[y] = 1.0
+    solution.values = forged
+    assert constraint in model.check_solution(solution)
+
+
+def test_unknown_backend_rejected():
+    model = Model()
+    model.add_binary("x")
+    with pytest.raises(ValueError):
+        model.solve(backend="definitely-not-a-solver")
+
+
+def test_integer_variable_defaults_to_unbounded_above():
+    model = Model()
+    y = model.add_integer("y")
+    assert y.upper == float("inf")
+    assert y.vartype is VarType.INTEGER
+
+
+def test_sense_enum_roundtrip():
+    assert Sense.LE.value == "<="
+    assert Sense.GE.value == ">="
+    assert Sense.EQ.value == "=="

@@ -1,0 +1,69 @@
+"""Tests for the symmetry-reduction helpers."""
+
+import pytest
+
+from repro.ilp import LinExpr, Model, lexicographic_slot_ordering, pin_assignments
+
+
+def build_assignment_model(num_items: int, num_slots: int):
+    """Items must occupy distinct slots; cost is slot-index weighted."""
+    model = Model("assign")
+    x = {
+        (i, s): model.add_binary(f"x_{i}_{s}")
+        for i in range(num_items) for s in range(num_slots)
+    }
+    for i in range(num_items):
+        model.add_constr(LinExpr.sum(x[(i, s)] for s in range(num_slots)) == 1)
+    for s in range(num_slots):
+        model.add_constr(LinExpr.sum(x[(i, s)] for i in range(num_items)) <= 1)
+    model.set_objective(
+        LinExpr.sum((s + 1) * x[(i, s)] for i in range(num_items) for s in range(num_slots))
+    )
+    return model, x
+
+
+def test_pin_assignments_fixes_variables():
+    model, x = build_assignment_model(3, 3)
+    added = pin_assignments(model, x, [(0, 0), (1, 1)])
+    assert added == 2
+    solution = model.solve()
+    assert solution.is_one(x[(0, 0)])
+    assert solution.is_one(x[(1, 1)])
+
+
+def test_pin_assignments_ignores_missing_pairs():
+    model, x = build_assignment_model(2, 2)
+    added = pin_assignments(model, x, [(0, 0), (7, 7)])
+    assert added == 1
+
+
+def test_pinning_preserves_optimal_objective():
+    unpinned_model, _ = build_assignment_model(3, 3)
+    unpinned = unpinned_model.solve().objective
+
+    pinned_model, x = build_assignment_model(3, 3)
+    pin_assignments(pinned_model, x, [(0, 0), (1, 1), (2, 2)])
+    pinned = pinned_model.solve().objective
+    # The assignment polytope is symmetric, so pinning any permutation keeps
+    # the same optimum (this is the section 3.5 argument).
+    assert pinned == pytest.approx(unpinned)
+
+
+def test_lexicographic_ordering_preserves_feasibility_and_cost():
+    base_model, _ = build_assignment_model(3, 3)
+    base = base_model.solve().objective
+
+    model, x = build_assignment_model(3, 3)
+    added = lexicographic_slot_ordering(model, x, items=[0, 1, 2], slots=[0, 1, 2])
+    assert added > 0
+    solution = model.solve()
+    assert solution.status.has_solution
+    assert solution.objective == pytest.approx(base)
+
+
+def test_lexicographic_ordering_blocks_unreachable_slots():
+    model, x = build_assignment_model(1, 3)
+    lexicographic_slot_ordering(model, x, items=[0], slots=[0, 1, 2])
+    solution = model.solve()
+    # With a single item, only slot 0 is usable under the ordering rule.
+    assert solution.is_one(x[(0, 0)])

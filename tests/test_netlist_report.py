@@ -1,0 +1,62 @@
+"""Tests of the structural netlist-style design reports."""
+
+import json
+
+import pytest
+
+from repro.core import synthesize_bist, synthesize_reference
+from repro.reporting.netlist import describe_design, describe_reference, design_to_dict
+
+
+@pytest.fixture(scope="module")
+def fig1_design(fig1_graph):
+    return synthesize_bist(fig1_graph, k=2)
+
+
+def test_design_to_dict_is_json_serialisable(fig1_design):
+    data = design_to_dict(fig1_design)
+    text = json.dumps(data)
+    assert json.loads(text)["circuit"] == "fig1"
+
+
+def test_design_to_dict_structure(fig1_design):
+    data = design_to_dict(fig1_design)
+    assert data["k"] == 2
+    assert data["method"] == "ADVBIST"
+    assert len(data["registers"]) == 3
+    assert len(data["modules"]) == 2
+    assert len(data["test_sessions"]) == 2
+    # every register's variable list is non-empty and every module lists sinks
+    assert all(register["variables"] for register in data["registers"])
+    assert all(module["output_sinks"] for module in data["modules"])
+    # the area in the report matches the design's own accounting
+    assert data["area"] == fig1_design.area().total
+
+
+def test_register_kinds_in_dict_match_plan(fig1_design):
+    data = design_to_dict(fig1_design)
+    kinds = fig1_design.plan.register_kinds(fig1_design.datapath)
+    for register in data["registers"]:
+        assert register["kind"] == kinds[register["id"]].name
+
+
+def test_describe_design_text(fig1_design):
+    text = describe_design(fig1_design)
+    assert "Registers:" in text
+    assert "Test schedule:" in text
+    assert "session 1" in text and "session 2" in text
+    for register in fig1_design.datapath.registers:
+        assert f"R{register.reg_id}" in text
+
+
+def test_describe_reference_text(fig1_graph):
+    reference = synthesize_reference(fig1_graph)
+    text = describe_reference(reference)
+    assert "Reference data path" in text
+    assert "Modules:" in text
+
+
+def test_sessions_cover_all_modules(fig1_design):
+    data = design_to_dict(fig1_design)
+    tested = [m for session in data["test_sessions"] for m in session["modules"]]
+    assert sorted(tested) == fig1_design.datapath.module_ids

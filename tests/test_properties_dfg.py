@@ -1,0 +1,174 @@
+"""Property-based tests over randomly generated data flow graphs.
+
+The strategies build random layered DAGs through the public builder, schedule
+and bind them with the HLS substrate, and then check the structural
+invariants the rest of the package relies on:
+
+* lifetimes are well-formed and consistent with the schedule,
+* the maximal horizontal crossing equals the left-edge register count,
+* left-edge and colouring register bindings are conflict-free,
+* the derived data path is structurally consistent (no missing wires, no
+  adverse paths) and its area decomposes as registers + multiplexers,
+* DFG serialisation round-trips.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cost import PAPER_COST_MODEL, datapath_area
+from repro.datapath import Datapath
+from repro.dfg import (
+    DFGBuilder,
+    check_register_assignment,
+    horizontal_crossings,
+    minimum_module_counts,
+    minimum_register_count,
+    textio,
+    variable_lifetimes,
+)
+from repro.hls import bind_modules, coloring_binding, left_edge_binding, list_schedule
+
+KINDS = ["add", "sub", "mul", "and"]
+
+
+@st.composite
+def random_behavioral_dfg(draw):
+    """A random small DAG built through the public builder API."""
+    num_inputs = draw(st.integers(min_value=2, max_value=4))
+    num_ops = draw(st.integers(min_value=1, max_value=8))
+    builder = DFGBuilder("random")
+    inputs = [builder.input(f"in{i}") for i in range(num_inputs)]
+    handles = list(inputs)
+    consumed: set[int] = set()
+    for index in range(num_ops):
+        kind = draw(st.sampled_from(KINDS))
+        left = handles[draw(st.integers(min_value=0, max_value=len(handles) - 1))]
+        right = handles[draw(st.integers(min_value=0, max_value=len(handles) - 1))]
+        consumed.update({int(left), int(right)})
+        handles.append(builder.op(kind, left, right, name=f"t{index}"))
+    # Every primary input must be consumed somewhere (a dangling input has no
+    # lifetime); feed any unused ones into extra accumulating additions.
+    for extra, handle in enumerate(h for h in inputs if int(h) not in consumed):
+        handles.append(builder.op("add", handle, handles[-1], name=f"fixup{extra}"))
+    builder.output(handles[-1])
+    return builder.build()
+
+
+@st.composite
+def random_scheduled_dfg(draw):
+    """A random DFG scheduled and module bound by the HLS substrate."""
+    graph = draw(random_behavioral_dfg())
+    limits = {
+        "alu": draw(st.integers(min_value=1, max_value=2)),
+        "mult": draw(st.integers(min_value=1, max_value=2)),
+        "logic": 1,
+    }
+    graph = list_schedule(graph, limits).apply(graph)
+    graph = bind_modules(graph).apply(graph)
+    return graph
+
+
+COMMON_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@COMMON_SETTINGS
+@given(graph=random_scheduled_dfg())
+def test_lifetimes_are_consistent_with_schedule(graph):
+    lifetimes = variable_lifetimes(graph)
+    for var_id, lifetime in lifetimes.items():
+        assert lifetime.birth <= lifetime.death
+        producer = graph.variables[var_id].producer
+        if producer is not None:
+            assert lifetime.birth == graph.operations[producer].cstep + 1
+        for op_id, _port in graph.consumers_of(var_id):
+            consumer_step = graph.operations[op_id].cstep
+            assert lifetime.birth <= consumer_step <= lifetime.death
+
+
+@COMMON_SETTINGS
+@given(graph=random_scheduled_dfg())
+def test_left_edge_matches_max_crossing(graph):
+    binding = left_edge_binding(graph)
+    assert binding.register_count == minimum_register_count(graph)
+    assert check_register_assignment(graph, binding.assignment) == []
+
+
+@COMMON_SETTINGS
+@given(graph=random_scheduled_dfg())
+def test_coloring_binding_is_conflict_free(graph):
+    binding = coloring_binding(graph)
+    assert check_register_assignment(graph, binding.assignment) == []
+    assert binding.register_count >= minimum_register_count(graph)
+
+
+@COMMON_SETTINGS
+@given(graph=random_scheduled_dfg())
+def test_crossing_histogram_totals(graph):
+    lifetimes = variable_lifetimes(graph)
+    crossings = horizontal_crossings(graph)
+    assert sum(crossings.values()) == sum(lt.span for lt in lifetimes.values())
+    assert max(crossings.values()) <= len(graph.variable_ids)
+
+
+@COMMON_SETTINGS
+@given(graph=random_scheduled_dfg())
+def test_schedule_respects_resources_and_dependencies(graph):
+    counts = minimum_module_counts(graph)
+    for cstep in graph.control_steps:
+        per_class: dict[str, int] = {}
+        for op_id in graph.operations_in_step(cstep):
+            cls = graph.operations[op_id].module_class
+            per_class[cls] = per_class.get(cls, 0) + 1
+        for cls, used in per_class.items():
+            assert used <= counts[cls]
+    for op in graph.operations.values():
+        for _port, var in op.variable_inputs:
+            producer = graph.variables[var].producer
+            if producer is not None:
+                assert graph.operations[producer].cstep < op.cstep
+
+
+@COMMON_SETTINGS
+@given(graph=random_scheduled_dfg())
+def test_datapath_consistency_and_area_decomposition(graph):
+    binding = left_edge_binding(graph)
+    datapath = Datapath.from_bindings(graph, binding.assignment)
+    datapath.validate()
+    breakdown = datapath_area(datapath)
+    expected_register_area = len(datapath.register_ids) * PAPER_COST_MODEL.w_reg
+    assert breakdown.register_area == expected_register_area
+    expected_mux_area = sum(
+        PAPER_COST_MODEL.mux_cost(mux.inputs)
+        for mux in datapath.multiplexers() if mux.is_real
+    )
+    assert breakdown.mux_area == expected_mux_area
+    assert breakdown.total == breakdown.register_area + breakdown.mux_area
+    assert breakdown.mux_inputs == datapath.mux_input_total()
+
+
+@COMMON_SETTINGS
+@given(graph=random_scheduled_dfg())
+def test_serialisation_round_trip(graph):
+    text = textio.to_json(graph)
+    json.loads(text)  # must be valid JSON
+    rebuilt = textio.from_json(text)
+    assert rebuilt.input_edges == graph.input_edges
+    assert rebuilt.output_edges == graph.output_edges
+    assert rebuilt.control_steps == graph.control_steps
+
+
+@COMMON_SETTINGS
+@given(graph=random_behavioral_dfg())
+def test_behavioral_graphs_validate_and_summarise(graph):
+    graph.validate()
+    summary = graph.summary()
+    assert summary["operations"] == len(graph.operation_ids)
+    assert summary["scheduled"] is False or len(graph.operation_ids) == 0

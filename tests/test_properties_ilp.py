@@ -1,0 +1,82 @@
+"""Property-based tests of the ILP layer: the two backends must agree."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.ilp import LinExpr, Model, SolveStatus
+
+
+@st.composite
+def random_covering_problem(draw):
+    """A random weighted set-cover-style ILP (always feasible)."""
+    num_items = draw(st.integers(min_value=2, max_value=5))
+    num_sets = draw(st.integers(min_value=2, max_value=6))
+    weights = [draw(st.integers(min_value=1, max_value=9)) for _ in range(num_sets)]
+    membership = []
+    for item in range(num_items):
+        row = [draw(st.booleans()) for _ in range(num_sets)]
+        if not any(row):
+            row[draw(st.integers(min_value=0, max_value=num_sets - 1))] = True
+        membership.append(row)
+    return weights, membership
+
+
+def build_cover_model(weights, membership) -> Model:
+    model = Model("cover")
+    picks = [model.add_binary(f"s{j}") for j in range(len(weights))]
+    for item, row in enumerate(membership):
+        covering = [picks[j] for j, member in enumerate(row) if member]
+        model.add_constr(LinExpr.sum(covering) >= 1, f"cover_{item}")
+    model.set_objective(LinExpr.sum(w * s for w, s in zip(weights, picks)))
+    return model
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(problem=random_covering_problem())
+def test_backends_agree_on_cover_objective(problem):
+    weights, membership = problem
+    scipy_solution = build_cover_model(weights, membership).solve(backend="scipy")
+    bnb_solution = build_cover_model(weights, membership).solve(backend="bnb")
+    assert scipy_solution.status is SolveStatus.OPTIMAL
+    assert bnb_solution.status is SolveStatus.OPTIMAL
+    assert abs(scipy_solution.objective - bnb_solution.objective) < 1e-6
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(problem=random_covering_problem())
+def test_solutions_satisfy_all_constraints(problem):
+    weights, membership = problem
+    model = build_cover_model(weights, membership)
+    solution = model.solve()
+    assert model.check_solution(solution) == []
+    # Binary variables must take exactly 0/1 values.
+    for value in solution.values.values():
+        assert value in (0.0, 1.0)
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    coefficients=st.lists(st.integers(min_value=-5, max_value=5), min_size=2, max_size=5),
+    bound=st.integers(min_value=0, max_value=6),
+)
+def test_relaxation_bounds_integer_optimum(coefficients, bound):
+    """The LP relaxation of a minimisation ILP is a valid lower bound."""
+    from scipy.optimize import linprog
+
+    model = Model("bounded")
+    xs = [model.add_binary(f"x{i}") for i in range(len(coefficients))]
+    model.add_constr(LinExpr.sum(xs) >= min(bound, len(xs)))
+    model.set_objective(LinExpr.sum(c * x for c, x in zip(coefficients, xs)))
+    form = model.to_matrix_form()
+    relaxed = linprog(
+        c=form.c,
+        A_ub=form.A_ub if form.A_ub.shape[0] else None,
+        b_ub=form.b_ub if form.A_ub.shape[0] else None,
+        bounds=form.bounds,
+        method="highs",
+    )
+    solution = model.solve()
+    assert solution.status is SolveStatus.OPTIMAL
+    assert relaxed.fun <= solution.objective + 1e-6

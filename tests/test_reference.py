@@ -1,0 +1,61 @@
+"""Tests of the reference (non-BIST) data-path ILP."""
+
+import pytest
+
+from repro.core import ReferenceFormulation, FormulationError, FormulationOptions
+from repro.cost import datapath_area
+from repro.datapath import Datapath
+from repro.hls import left_edge_binding
+
+
+def test_requires_scheduled_bound_graph(fig1_behavioral):
+    with pytest.raises(FormulationError):
+        ReferenceFormulation(fig1_behavioral)
+
+
+def test_reference_is_optimal_and_valid(fig1_graph):
+    result = ReferenceFormulation(fig1_graph).solve()
+    assert result.solution.proven_optimal
+    design = result.design
+    assert design is not None
+    design.datapath.validate()
+    assert design.area().register_count == 3
+
+
+def test_reference_objective_matches_area(fig1_graph):
+    result = ReferenceFormulation(fig1_graph).solve()
+    assert result.solution.objective == pytest.approx(result.design.area().total)
+
+
+def test_reference_beats_or_matches_left_edge(fig1_graph, tseng_graph):
+    """The ILP optimum is a lower bound on any heuristic register binding."""
+    for graph in (fig1_graph, tseng_graph):
+        result = ReferenceFormulation(graph).solve()
+        heuristic = Datapath.from_bindings(graph, left_edge_binding(graph).assignment)
+        assert result.design.area().total <= datapath_area(heuristic).total + 1e-9
+
+
+def test_reference_table_row(fig1_graph):
+    design = ReferenceFormulation(fig1_graph).solve().design
+    row = design.table3_row()
+    assert row["Method"] == "Ref."
+    assert row["T"] == row["S"] == row["B"] == row["C"] == 0
+    assert row["R"] == 3
+
+
+def test_reference_with_extra_register_not_cheaper(fig1_graph):
+    base = ReferenceFormulation(fig1_graph).solve().solution.objective
+    enlarged = ReferenceFormulation(
+        fig1_graph, options=FormulationOptions(num_registers=4)
+    ).solve().solution.objective
+    # An extra register may only pay off if it saves >= its own cost in muxes;
+    # on this tiny example it cannot, so the optimum must not improve.
+    assert enlarged >= base - 1e-6
+
+
+def test_reference_without_commutative_swap(fig1_graph):
+    with_swap = ReferenceFormulation(fig1_graph).solve().solution.objective
+    without = ReferenceFormulation(
+        fig1_graph, options=FormulationOptions(allow_commutative_swap=False)
+    ).solve().solution.objective
+    assert without >= with_swap - 1e-6
