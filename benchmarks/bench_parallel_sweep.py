@@ -1,0 +1,77 @@
+"""Serial vs process-pool sweep wall time (the SweepEngine speed-up).
+
+The (circuit, k) evaluation grid is embarrassingly parallel: every ADVBIST
+solve is independent of every other.  This bench runs the full k-sweep of
+``tseng`` and ``fir6`` twice through :class:`repro.core.SweepEngine` — once
+with the serial executor and once over a two-worker process pool — and
+records both wall times plus the speed-up.
+
+Shape checks performed per circuit:
+
+* the parallel sweep reproduces the serial Table 2 rows exactly
+  (modulo the per-solve timing column), and
+* both paths yield verified designs for every k.
+
+The design cache is disabled throughout so both paths do the same work.
+"""
+
+import time
+
+import pytest
+
+from repro.circuits import get_circuit
+from repro.core import SweepEngine
+
+from _bench_utils import record, run_once
+from repro.reporting import format_table
+
+#: Two mid-sized circuits: large enough for the pool to amortise its start-up,
+#: small enough to keep the bench affordable.
+CIRCUITS = ["tseng", "fir6"]
+
+JOBS = 2
+
+_TIMING_KEYS = ("solve_seconds", "wall_s")
+
+
+def _comparable_rows(result):
+    return [{key: value for key, value in row.items() if key not in _TIMING_KEYS}
+            for row in result.table2_rows()]
+
+
+@pytest.mark.parametrize("circuit", CIRCUITS)
+def test_parallel_sweep_speedup(benchmark, circuit, time_limit):
+    graph = get_circuit(circuit)
+
+    def run_both():
+        serial_engine = SweepEngine(time_limit=time_limit, jobs=1, cache=None)
+        start = time.perf_counter()
+        serial_result = serial_engine.sweep(graph)
+        serial_seconds = time.perf_counter() - start
+
+        parallel_engine = SweepEngine(time_limit=time_limit, jobs=JOBS, cache=None)
+        start = time.perf_counter()
+        parallel_result = parallel_engine.sweep(graph)
+        parallel_seconds = time.perf_counter() - start
+        return serial_result, serial_seconds, parallel_result, parallel_seconds
+
+    serial_result, serial_seconds, parallel_result, parallel_seconds = \
+        run_once(benchmark, run_both)
+
+    assert _comparable_rows(serial_result) == _comparable_rows(parallel_result)
+    for result in (serial_result, parallel_result):
+        for entry in result.entries:
+            assert entry.design.verify().ok
+
+    speedup = serial_seconds / parallel_seconds if parallel_seconds > 0 else float("inf")
+    rows = [{
+        "circuit": circuit,
+        "tasks": len(serial_result.reports),
+        "serial_s": round(serial_seconds, 2),
+        f"jobs={JOBS}_s": round(parallel_seconds, 2),
+        "speedup": f"{speedup:.2f}x",
+    }]
+    record(
+        f"Parallel sweep — {circuit}",
+        format_table(rows, title=f"SweepEngine serial vs {JOBS}-process sweep"),
+    )

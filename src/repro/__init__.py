@@ -16,6 +16,16 @@ Quick start::
     reference = synthesize_reference(graph)
     design = synthesize_bist(graph, k=3)
     print(design.table3_row(reference.area().total))
+
+The evaluation grid (one ILP per circuit × k-test-session) is driven by the
+:class:`SweepEngine`, which fans the independent solves out over worker
+processes and memoises them in an on-disk design cache::
+
+    from repro import DesignCache, SweepEngine, get_circuit, render_table2
+
+    engine = SweepEngine(jobs=4, cache=DesignCache("/tmp/repro-cache"))
+    sweep = engine.sweep(get_circuit("tseng"))
+    print(render_table2(sweep.table2_rows(stats=True), stats=True))
 """
 
 from .dfg import (
@@ -56,18 +66,23 @@ from .core import (
     AdvBistFormulation,
     AdvBistSynthesizer,
     BistDesign,
+    DesignCache,
     FormulationOptions,
     ReferenceDesign,
     ReferenceFormulation,
+    SweepEngine,
     SweepResult,
+    SweepTask,
     synthesize_bist,
     synthesize_reference,
 )
+from .ilp import SolveStats, available_backend_names, list_backends, register_backend
 from .baselines import run_advan, run_bits, run_ralloc
 from .circuits import get_circuit, get_spec, list_circuits
 from .reporting import (
     compare_methods,
     extra_register_penalty,
+    render_backends,
     render_table1,
     render_table2,
     render_table3,
@@ -88,15 +103,18 @@ __all__ = [
     # cost
     "AreaBreakdown", "CostModel", "PAPER_COST_MODEL", "area_overhead", "datapath_area",
     # core
-    "AdvBistFormulation", "AdvBistSynthesizer", "BistDesign", "FormulationOptions",
-    "ReferenceDesign", "ReferenceFormulation", "SweepResult",
+    "AdvBistFormulation", "AdvBistSynthesizer", "BistDesign", "DesignCache",
+    "FormulationOptions", "ReferenceDesign", "ReferenceFormulation",
+    "SweepEngine", "SweepResult", "SweepTask",
     "synthesize_bist", "synthesize_reference",
+    # ilp
+    "SolveStats", "available_backend_names", "list_backends", "register_backend",
     # baselines
     "run_advan", "run_bits", "run_ralloc",
     # circuits
     "get_circuit", "get_spec", "list_circuits",
     # reporting
     "compare_methods", "extra_register_penalty",
-    "render_table1", "render_table2", "render_table3",
+    "render_backends", "render_table1", "render_table2", "render_table3",
     "__version__",
 ]

@@ -19,7 +19,16 @@ from .advan import ADVAN_POLICY, advan_register_binding, run_advan
 from .ralloc import RALLOC_POLICY, ralloc_register_binding, run_ralloc
 from .bits import BITS_POLICY, run_bits
 
+#: The baseline methods in the column order of Table 3 — the single source of
+#: truth for method names, shared by the sweep engine and the reporting layer.
+BASELINE_RUNNERS = {
+    "ADVAN": run_advan,
+    "RALLOC": run_ralloc,
+    "BITS": run_bits,
+}
+
 __all__ = [
+    "BASELINE_RUNNERS",
     "BaselineError",
     "TestAssignmentPolicy",
     "assign_sessions",

@@ -4,13 +4,23 @@ The CLI mirrors the benchmark harness so results can be regenerated without
 writing any Python::
 
     python -m repro list                         # available circuits
+    python -m repro backends                     # registered ILP backends
     python -m repro table1                       # the cost model (Table 1)
     python -m repro synthesize tseng --k 3       # one ADVBIST design
-    python -m repro sweep paulin                 # Table 2 block for one circuit
-    python -m repro compare fir6                 # Table 3 block for one circuit
+    python -m repro sweep paulin --jobs 4        # Table 2 block, 4 processes
+    python -m repro sweep tseng --stats          # ... with solver statistics
+    python -m repro compare fir6 --backend bnb   # Table 3 block, chosen solver
     python -m repro baseline ralloc iir3         # run a single heuristic baseline
 
 Every command prints plain text; ``--time-limit`` caps each ILP solve.
+The solver knobs shared by the ILP-backed commands:
+
+* ``--backend`` — any name registered in :mod:`repro.ilp.backends`
+  (``repro backends`` lists them) or ``auto``;
+* ``--jobs`` — worker processes for the independent solves of a sweep or
+  comparison (the grid is embarrassingly parallel);
+* ``--no-cache`` — skip the on-disk design cache (``$REPRO_CACHE_DIR`` or
+  ``~/.cache/repro-advbist``) and re-solve everything.
 """
 
 from __future__ import annotations
@@ -21,10 +31,31 @@ from typing import Sequence
 
 from .baselines import run_advan, run_bits, run_ralloc
 from .circuits import get_circuit, get_spec, list_circuits
-from .core import AdvBistSynthesizer
-from .reporting import compare_methods, render_table1, render_table2, render_table3
+from .core import AdvBistSynthesizer, SweepEngine
+from .ilp.backends import available_backend_names, iter_backend_rows
+from .reporting import (
+    compare_methods,
+    render_backends,
+    render_table1,
+    render_table2,
+    render_table3,
+)
 
 _BASELINES = {"advan": run_advan, "ralloc": run_ralloc, "bits": run_bits}
+
+
+def _add_solver_arguments(parser: argparse.ArgumentParser, jobs: bool = False) -> None:
+    """The solver knobs shared by the ILP-backed commands."""
+    parser.add_argument("--time-limit", type=float, default=120.0,
+                        help="per-solve wall clock limit in seconds")
+    parser.add_argument("--backend", default="auto",
+                        choices=["auto", *available_backend_names()],
+                        help="ILP solver backend (see 'repro backends')")
+    if jobs:
+        parser.add_argument("--jobs", type=int, default=1,
+                            help="worker processes for the independent solves")
+        parser.add_argument("--no-cache", action="store_true",
+                            help="bypass the on-disk design cache")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -37,24 +68,28 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("list", help="list the available benchmark circuits")
+    subparsers.add_parser("backends", help="list the registered ILP solver backends")
     subparsers.add_parser("table1", help="print the transistor cost model (Table 1)")
 
     synth = subparsers.add_parser("synthesize", help="synthesize one ADVBIST design")
     synth.add_argument("circuit", help="circuit name (see 'repro list')")
     synth.add_argument("--k", type=int, default=None,
                        help="number of test sessions (default: number of modules)")
-    synth.add_argument("--time-limit", type=float, default=120.0,
-                       help="per-solve wall clock limit in seconds")
+    _add_solver_arguments(synth)
 
     sweep = subparsers.add_parser("sweep", help="Table 2 sweep (k = 1..N) for a circuit")
     sweep.add_argument("circuit")
-    sweep.add_argument("--time-limit", type=float, default=120.0)
+    sweep.add_argument("--max-k", type=int, default=None,
+                       help="cap the sweep at this many test sessions")
+    sweep.add_argument("--stats", action="store_true",
+                       help="append solver statistics (nnz, nodes, backend) per row")
+    _add_solver_arguments(sweep, jobs=True)
 
     compare = subparsers.add_parser("compare",
                                     help="Table 3 comparison (ADVBIST vs baselines)")
     compare.add_argument("circuit")
     compare.add_argument("--k", type=int, default=None)
-    compare.add_argument("--time-limit", type=float, default=120.0)
+    _add_solver_arguments(compare, jobs=True)
 
     baseline = subparsers.add_parser("baseline", help="run one heuristic baseline")
     baseline.add_argument("method", choices=sorted(_BASELINES))
@@ -71,6 +106,11 @@ def _cmd_list(_args) -> int:
     return 0
 
 
+def _cmd_backends(_args) -> int:
+    print(render_backends(iter_backend_rows()))
+    return 0
+
+
 def _cmd_table1(_args) -> int:
     print(render_table1())
     return 0
@@ -79,7 +119,8 @@ def _cmd_table1(_args) -> int:
 def _cmd_synthesize(args) -> int:
     graph = get_circuit(args.circuit)
     k = args.k if args.k is not None else len(graph.module_ids)
-    synthesizer = AdvBistSynthesizer(graph, time_limit=args.time_limit)
+    synthesizer = AdvBistSynthesizer(graph, backend=args.backend,
+                                     time_limit=args.time_limit)
     reference = synthesizer.synthesize_reference()
     design = synthesizer.synthesize(k)
     reference_area = reference.area().total
@@ -89,20 +130,35 @@ def _cmd_synthesize(args) -> int:
           f"{ {r: kind.name for r, kind in design.plan.register_kinds(design.datapath).items()} }")
     print(f"module sessions: {design.plan.module_session}")
     print(f"optimal: {design.optimal}   verified: {design.verify().ok}")
+    if design.stats is not None:
+        stats = design.stats
+        print(f"solver: {stats.backend}   nnz: {stats.nnz}   "
+              f"nodes: {stats.nodes}   wall: {stats.wall_seconds:.3f}s")
     return 0
 
 
 def _cmd_sweep(args) -> int:
     graph = get_circuit(args.circuit)
-    sweep = AdvBistSynthesizer(graph, time_limit=args.time_limit).sweep()
+    engine = SweepEngine(
+        backend=args.backend,
+        time_limit=args.time_limit,
+        jobs=args.jobs,
+        cache=not args.no_cache,
+    )
+    sweep = engine.sweep(graph, max_k=args.max_k)
     print(f"Reference area: {sweep.reference.area().total} transistors")
-    print(render_table2(sweep.table2_rows()))
+    print(render_table2(sweep.table2_rows(stats=args.stats), stats=args.stats))
+    cached = sum(1 for report in sweep.reports if report.cached)
+    if cached:
+        print(f"\n({cached}/{len(sweep.reports)} solves served from the design cache)")
     return 0
 
 
 def _cmd_compare(args) -> int:
     graph = get_circuit(args.circuit)
-    result = compare_methods(graph, k=args.k, time_limit=args.time_limit)
+    result = compare_methods(graph, k=args.k, backend=args.backend,
+                             time_limit=args.time_limit, jobs=args.jobs,
+                             cache=not args.no_cache)
     print(render_table3(result.rows(), circuit=f"{args.circuit} ({result.k} sessions)"))
     print(f"\nlowest overhead: {result.winner()}")
     return 0
@@ -118,6 +174,7 @@ def _cmd_baseline(args) -> int:
 
 _HANDLERS = {
     "list": _cmd_list,
+    "backends": _cmd_backends,
     "table1": _cmd_table1,
     "synthesize": _cmd_synthesize,
     "sweep": _cmd_sweep,

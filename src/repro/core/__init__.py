@@ -8,10 +8,24 @@ from .formulation import (
     FormulationOptions,
 )
 from .reference import ReferenceFormulation, ReferenceSolveResult
-from .result import BistDesign, ReferenceDesign, SweepEntry
+from .result import (
+    BistDesign,
+    ReferenceDesign,
+    SweepEntry,
+    SweepResult,
+    TaskReport,
+)
+from .engine import (
+    DesignCache,
+    EngineError,
+    ProcessExecutor,
+    SerialExecutor,
+    SweepEngine,
+    SweepTask,
+    TaskOutcome,
+)
 from .synthesizer import (
     AdvBistSynthesizer,
-    SweepResult,
     synthesize_bist,
     synthesize_reference,
 )
@@ -28,8 +42,16 @@ __all__ = [
     "BistDesign",
     "ReferenceDesign",
     "SweepEntry",
-    "AdvBistSynthesizer",
     "SweepResult",
+    "TaskReport",
+    "DesignCache",
+    "EngineError",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "SweepEngine",
+    "SweepTask",
+    "TaskOutcome",
+    "AdvBistSynthesizer",
     "synthesize_bist",
     "synthesize_reference",
 ]

@@ -1,0 +1,502 @@
+"""The parallel sweep engine: task grids, executors and the design cache.
+
+The paper's evaluation is an embarrassingly parallel grid of independent ILP
+solves — one ADVBIST solve per (circuit, k-test-session) pair plus one
+reference solve per circuit, and one run per heuristic baseline in the
+Table 3 comparison.  :class:`SweepEngine` materialises that grid explicitly
+as :class:`SweepTask` objects and executes it through a pluggable executor:
+
+* :class:`SerialExecutor` — in-process, deterministic order (the default);
+* :class:`ProcessExecutor` — a :class:`concurrent.futures.ProcessPoolExecutor`
+  fan-out (``jobs`` workers).  Task results come back in grid order, so the
+  assembled tables are identical to the serial path regardless of scheduling.
+
+Solved designs are memoised in an on-disk :class:`DesignCache` keyed by the
+content hash of (graph, cost model, k, formulation options, backend), so
+re-running a sweep — from the CLI, the benchmarks or a notebook — only pays
+for the solves it has not seen before.
+
+:meth:`AdvBistSynthesizer.sweep` and :func:`repro.reporting.compare_methods`
+are thin wrappers over this engine.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Mapping, Sequence
+
+from ..cost.transistors import CostModel, PAPER_COST_MODEL
+from ..dfg.graph import DataFlowGraph
+from ..dfg.textio import to_dict as graph_to_dict
+from ..ilp.backends import resolve_backend_name
+from ..ilp.solution import SolveStats
+from .formulation import AdvBistFormulation, FormulationError, FormulationOptions
+from .reference import ReferenceFormulation
+from .result import (
+    BistDesign,
+    ReferenceDesign,
+    SweepEntry,
+    SweepResult,
+    TaskReport,
+)
+
+
+class EngineError(RuntimeError):
+    """Raised for unusable engine configurations or failed tasks."""
+
+
+# ----------------------------------------------------------------------
+# tasks
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SweepTask:
+    """One independent solve of the evaluation grid.
+
+    ``kind`` selects the work: ``"reference"`` (the non-BIST denominator
+    design), ``"advbist"`` (the ILP for ``k`` test sessions) or
+    ``"baseline"`` (one heuristic ``method`` for ``k`` sessions).
+    """
+
+    graph: DataFlowGraph
+    kind: str
+    k: int | None = None
+    method: str = ""
+    cost_model: CostModel = PAPER_COST_MODEL
+    options: FormulationOptions | None = None
+    backend: str | object = "auto"
+    time_limit: float | None = None
+
+    @property
+    def circuit(self) -> str:
+        return self.graph.name
+
+    def label(self) -> str:
+        if self.kind == "reference":
+            return f"{self.circuit}:reference"
+        if self.kind == "advbist":
+            return f"{self.circuit}:advbist:k={self.k}"
+        return f"{self.circuit}:{self.method.lower()}:k={self.k}"
+
+
+@dataclass
+class TaskOutcome:
+    """Result of one executed (or cache-served) :class:`SweepTask`."""
+
+    design: BistDesign | ReferenceDesign
+    stats: SolveStats | None = None
+    wall_seconds: float = 0.0
+    cached: bool = False
+
+
+def _cacheable(task: SweepTask, outcome: TaskOutcome) -> bool:
+    """Whether an outcome may enter the design cache.
+
+    Only proven-optimal ILP designs are stored: an optimum is independent of
+    the time limit that produced it, so the cache key can (deliberately) omit
+    ``time_limit``.  A feasible-but-unproven design from a short limit must
+    not shadow a later run with a bigger budget.  Heuristic baselines are
+    deterministic and always cacheable.
+    """
+    if task.kind == "baseline":
+        return True
+    return bool(getattr(outcome.design, "optimal", False))
+
+
+def _execute_task(task: SweepTask) -> TaskOutcome:
+    """Solve one task; module-level so process pools can pickle it."""
+    start = time.perf_counter()
+    if task.kind == "reference":
+        formulation = ReferenceFormulation(task.graph, task.cost_model, task.options)
+        result = formulation.solve(backend=task.backend, time_limit=task.time_limit)
+        if result.design is None:
+            raise FormulationError(
+                f"reference synthesis of {task.circuit!r} failed: "
+                f"{result.solution.status.value}"
+            )
+        design = result.design
+        stats = result.solution.stats
+    elif task.kind == "advbist":
+        formulation = AdvBistFormulation(task.graph, task.k, task.cost_model, task.options)
+        result = formulation.solve(backend=task.backend, time_limit=task.time_limit)
+        if result.design is None:
+            raise FormulationError(
+                f"ADVBIST synthesis of {task.circuit!r} for k={task.k} failed: "
+                f"{result.solution.status.value}"
+            )
+        design = result.design
+        stats = result.solution.stats
+    elif task.kind == "baseline":
+        from ..baselines import BASELINE_RUNNERS  # lazy: avoids import cycle
+
+        if task.method not in BASELINE_RUNNERS:
+            raise EngineError(f"unknown baseline method {task.method!r}")
+        design = BASELINE_RUNNERS[task.method](task.graph, task.k, task.cost_model)
+        stats = None
+    else:
+        raise EngineError(f"unknown task kind {task.kind!r}")
+    return TaskOutcome(design=design, stats=stats,
+                       wall_seconds=time.perf_counter() - start)
+
+
+# ----------------------------------------------------------------------
+# executors
+# ----------------------------------------------------------------------
+class SerialExecutor:
+    """Run tasks one after the other in the calling process."""
+
+    jobs = 1
+
+    def run(self, fn: Callable[[SweepTask], TaskOutcome],
+            tasks: Sequence[SweepTask]) -> list[TaskOutcome]:
+        return [fn(task) for task in tasks]
+
+
+class ProcessExecutor:
+    """Fan tasks out over a :class:`ProcessPoolExecutor` with ``jobs`` workers.
+
+    ``map`` preserves input order, so downstream assembly is byte-identical
+    to the serial path (modulo wall-clock timings).
+    """
+
+    def __init__(self, jobs: int):
+        if jobs < 1:
+            raise EngineError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+
+    def run(self, fn: Callable[[SweepTask], TaskOutcome],
+            tasks: Sequence[SweepTask]) -> list[TaskOutcome]:
+        if len(tasks) <= 1 or self.jobs == 1:
+            return [fn(task) for task in tasks]
+        workers = min(self.jobs, len(tasks))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, tasks))
+
+
+# ----------------------------------------------------------------------
+# the on-disk design cache
+# ----------------------------------------------------------------------
+class DesignCache:
+    """Content-addressed on-disk memoisation of solved designs.
+
+    Keys are SHA-256 hashes over a canonical JSON description of everything
+    that determines a task's outcome: the DFG (via :mod:`repro.dfg.textio`),
+    the cost model, the formulation options, k, the task kind/method and the
+    resolved backend name.  Values are pickled :class:`TaskOutcome` objects.
+    ``time_limit`` is intentionally not part of the key — the engine only
+    stores proven-optimal designs (and deterministic baselines), and an
+    optimum does not depend on the time budget that found it.
+
+    The default root is ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-advbist``.
+    """
+
+    def __init__(self, root: str | Path | None = None):
+        if root is None:
+            root = os.environ.get("REPRO_CACHE_DIR", "~/.cache/repro-advbist")
+        self.root = Path(root).expanduser()
+
+    # -- keying --------------------------------------------------------
+    @staticmethod
+    def _cost_model_payload(cost_model: CostModel) -> dict:
+        return {
+            "bit_width": cost_model.bit_width,
+            "reference_width": cost_model.reference_width,
+            "register_costs": {kind.name: cost
+                               for kind, cost in sorted(cost_model.register_costs.items(),
+                                                        key=lambda item: item[0].name)},
+            "mux_costs": {str(n): cost for n, cost in sorted(cost_model.mux_costs.items())},
+            "mux_extrapolation_step": cost_model.mux_extrapolation_step,
+            "constant_tpg_weight": cost_model.constant_tpg_weight,
+        }
+
+    @staticmethod
+    def _options_payload(options: FormulationOptions | None) -> dict:
+        options = options or FormulationOptions()
+        fixed = options.fixed_register_assignment
+        return {
+            "num_registers": options.num_registers,
+            "allow_commutative_swap": options.allow_commutative_swap,
+            "symmetry_reduction": options.symmetry_reduction,
+            "adverse_path_constraints": options.adverse_path_constraints,
+            "fixed_register_assignment": (sorted(fixed.items())
+                                          if isinstance(fixed, Mapping) else None),
+            "primary_input_policy": options.primary_input_policy,
+        }
+
+    def key_for(self, task: SweepTask) -> str | None:
+        """Cache key of a task, or None when the task is not cacheable."""
+        if not isinstance(task.backend, str):
+            return None  # object backends have no stable identity
+        payload = {
+            "schema": 1,
+            "graph": graph_to_dict(task.graph),
+            "cost_model": self._cost_model_payload(task.cost_model),
+            "options": self._options_payload(task.options),
+            "kind": task.kind,
+            "k": task.k,
+            "method": task.method,
+            # Heuristic baselines never touch the ILP backend, so their
+            # cached results stay valid across --backend changes.
+            "backend": (None if task.kind == "baseline"
+                        else resolve_backend_name(task.backend)),
+        }
+        blob = json.dumps(payload, sort_keys=True, default=str).encode("utf-8")
+        return hashlib.sha256(blob).hexdigest()
+
+    # -- storage -------------------------------------------------------
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str | None) -> TaskOutcome | None:
+        if key is None:
+            return None
+        path = self._path(key)
+        if not path.exists():
+            return None
+        try:
+            with path.open("rb") as handle:
+                outcome = pickle.load(handle)
+        except Exception:
+            # Corrupt or stale (older-version) entries must read as misses,
+            # never crash a sweep; pickle raises whatever the mangled byte
+            # stream implies (UnpicklingError, ValueError, ImportError, ...).
+            return None
+        if not isinstance(outcome, TaskOutcome):
+            return None
+        outcome.cached = True
+        return outcome
+
+    def put(self, key: str | None, outcome: TaskOutcome) -> None:
+        if key is None:
+            return
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with tmp.open("wb") as handle:
+            pickle.dump(outcome, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        tmp.replace(path)  # atomic publish; concurrent writers converge
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns the number removed.
+
+        Also sweeps ``*.tmp.*`` leftovers from interrupted :meth:`put` calls
+        (they are not counted — they were never published entries).
+        """
+        removed = 0
+        if self.root.exists():
+            for path in self.root.glob("*/*.pkl"):
+                path.unlink(missing_ok=True)
+                removed += 1
+            for path in self.root.glob("*/*.tmp.*"):
+                path.unlink(missing_ok=True)
+        return removed
+
+
+# ----------------------------------------------------------------------
+# the engine
+# ----------------------------------------------------------------------
+class SweepEngine:
+    """Materialise and execute the (circuit, k) evaluation grid.
+
+    Parameters
+    ----------
+    backend:
+        Backend registry name (or a backend object, which forces serial
+        execution and disables the cache).
+    time_limit:
+        Per-solve wall clock limit handed to the ILP backends.
+    cost_model / options:
+        Shared by every task of the grid.
+    jobs:
+        Worker processes; ``jobs > 1`` selects :class:`ProcessExecutor`.
+    executor:
+        Explicit executor object with ``run(fn, tasks)`` (overrides ``jobs``).
+    cache:
+        A :class:`DesignCache` (or ``True`` for the default location); ``None``
+        disables memoisation.
+    """
+
+    def __init__(
+        self,
+        *,
+        backend: str | object = "auto",
+        time_limit: float | None = None,
+        cost_model: CostModel = PAPER_COST_MODEL,
+        options: FormulationOptions | None = None,
+        jobs: int = 1,
+        executor: object | None = None,
+        cache: DesignCache | bool | None = None,
+    ):
+        if isinstance(backend, str):
+            resolve_backend_name(backend)  # fail fast on unknown names
+        elif jobs > 1 or executor is not None:
+            raise EngineError(
+                "parallel execution needs a backend registry name "
+                "(backend objects cannot be shipped to worker processes)"
+            )
+        self.backend = backend
+        self.time_limit = time_limit
+        self.cost_model = cost_model
+        self.options = options
+        if executor is not None:
+            self.executor = executor
+        elif jobs > 1:
+            self.executor = ProcessExecutor(jobs)
+        else:
+            self.executor = SerialExecutor()
+        if cache is True:
+            cache = DesignCache()
+        elif cache is False:
+            cache = None
+        if cache is not None and not isinstance(backend, str):
+            cache = None
+        self.cache: DesignCache | None = cache
+
+    # -- grid materialisation ------------------------------------------
+    def _task(self, graph: DataFlowGraph, kind: str, k: int | None = None,
+              method: str = "") -> SweepTask:
+        return SweepTask(
+            graph=graph, kind=kind, k=k, method=method,
+            cost_model=self.cost_model, options=self.options,
+            backend=self.backend, time_limit=self.time_limit,
+        )
+
+    def _advbist_tasks(self, graph: DataFlowGraph,
+                       max_k: int | None) -> list[SweepTask]:
+        """One ADVBIST task per k, with max_k clamped to [1, module count]."""
+        num_modules = len(graph.module_ids)
+        upper = max_k if max_k is not None else num_modules
+        upper = max(1, min(upper, num_modules))
+        return [self._task(graph, "advbist", k=k) for k in range(1, upper + 1)]
+
+    def sweep_grid(self, graphs: Sequence[DataFlowGraph],
+                   max_k: int | None = None) -> list[SweepTask]:
+        """The full (circuit, k) grid: one reference + one solve per k each."""
+        tasks: list[SweepTask] = []
+        for graph in graphs:
+            tasks.append(self._task(graph, "reference"))
+            tasks.extend(self._advbist_tasks(graph, max_k))
+        return tasks
+
+    # -- execution -----------------------------------------------------
+    def run(self, tasks: Sequence[SweepTask]) -> tuple[list[TaskOutcome], list[TaskReport]]:
+        """Execute a task list (cache-first), preserving task order."""
+        outcomes: list[TaskOutcome | None] = [None] * len(tasks)
+        misses: list[int] = []
+        keys: list[str | None] = [None] * len(tasks)
+        for i, task in enumerate(tasks):
+            if self.cache is not None:
+                keys[i] = self.cache.key_for(task)
+                hit = self.cache.get(keys[i])
+                if hit is not None:
+                    outcomes[i] = hit
+                    continue
+            misses.append(i)
+
+        if misses:
+            solved = self.executor.run(_execute_task, [tasks[i] for i in misses])
+            for i, outcome in zip(misses, solved):
+                outcomes[i] = outcome
+                if self.cache is not None and _cacheable(tasks[i], outcome):
+                    self.cache.put(keys[i], outcome)
+
+        reports = [
+            TaskReport(
+                circuit=task.circuit, kind=task.kind, k=task.k,
+                method=task.method or task.kind, cached=outcome.cached,
+                wall_seconds=outcome.wall_seconds, stats=outcome.stats,
+            )
+            for task, outcome in zip(tasks, outcomes)
+        ]
+        return list(outcomes), reports
+
+    # -- drivers -------------------------------------------------------
+    def sweep(self, graph: DataFlowGraph, max_k: int | None = None,
+              reference: ReferenceDesign | None = None) -> SweepResult:
+        """Table 2 for one circuit: reference plus one design per k.
+
+        A pre-solved ``reference`` design (e.g. the one memoised by
+        :class:`AdvBistSynthesizer`) skips the reference task entirely.
+        """
+        if reference is None:
+            return self.sweep_many([graph], max_k=max_k)[graph.name]
+
+        tasks = self._advbist_tasks(graph, max_k)
+        outcomes, reports = self.run(tasks)
+        reference_area = reference.area().total
+        return SweepResult(
+            circuit=graph.name,
+            reference=reference,
+            entries=[
+                SweepEntry(circuit=task.circuit, k=task.k, design=outcome.design,
+                           reference_area=reference_area)
+                for task, outcome in zip(tasks, outcomes)
+            ],
+            reports=reports,
+        )
+
+    def sweep_many(self, graphs: Sequence[DataFlowGraph],
+                   max_k: int | None = None) -> dict[str, SweepResult]:
+        """Table 2 blocks for several circuits, executed as one task grid."""
+        tasks = self.sweep_grid(graphs, max_k=max_k)
+        outcomes, reports = self.run(tasks)
+
+        by_circuit: dict[str, SweepResult] = {}
+        references: dict[str, ReferenceDesign] = {}
+        for task, outcome in zip(tasks, outcomes):
+            if task.kind == "reference":
+                references[task.circuit] = outcome.design
+        for graph in graphs:
+            reference = references[graph.name]
+            by_circuit[graph.name] = SweepResult(
+                circuit=graph.name,
+                reference=reference,
+                entries=[],
+                reports=[r for r in reports if r.circuit == graph.name],
+            )
+        for task, outcome in zip(tasks, outcomes):
+            if task.kind != "advbist":
+                continue
+            result = by_circuit[task.circuit]
+            result.entries.append(
+                SweepEntry(
+                    circuit=task.circuit, k=task.k, design=outcome.design,
+                    reference_area=result.reference.area().total,
+                )
+            )
+        return by_circuit
+
+    def compare(
+        self,
+        graph: DataFlowGraph,
+        k: int | None = None,
+        methods: Sequence[str] = ("ADVBIST", "ADVAN", "RALLOC", "BITS"),
+    ) -> tuple[ReferenceDesign, dict[str, BistDesign], list[TaskReport]]:
+        """Reference + selected methods for one circuit (the Table 3 block)."""
+        from ..baselines import BASELINE_RUNNERS  # lazy: avoids import cycle
+
+        sessions = k if k is not None else len(graph.module_ids)
+        tasks = [self._task(graph, "reference")]
+        for method in methods:
+            if method == "ADVBIST":
+                tasks.append(self._task(graph, "advbist", k=sessions))
+            elif method in BASELINE_RUNNERS:
+                tasks.append(self._task(graph, "baseline", k=sessions, method=method))
+            else:
+                raise ValueError(
+                    f"unknown method {method!r}; expected ADVBIST, "
+                    + ", ".join(BASELINE_RUNNERS)
+                )
+        outcomes, reports = self.run(tasks)
+        reference = outcomes[0].design
+        designs = {
+            task.method or "ADVBIST": outcome.design
+            for task, outcome in zip(tasks[1:], outcomes[1:])
+        }
+        return reference, designs, reports

@@ -603,6 +603,7 @@ class AdvBistFormulation:
             optimal=solution.proven_optimal,
             solve_seconds=solution.solve_seconds,
             objective=solution.objective,
+            stats=solution.stats,
         )
 
         report = design.verify()

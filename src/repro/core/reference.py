@@ -242,4 +242,5 @@ class ReferenceFormulation:
             optimal=solution.proven_optimal,
             solve_seconds=solution.solve_seconds,
             objective=solution.objective,
+            stats=solution.stats,
         )

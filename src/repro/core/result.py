@@ -1,4 +1,4 @@
-"""Result objects produced by the synthesizers and baselines."""
+"""Result objects produced by the synthesizers, baselines and sweep engine."""
 
 from __future__ import annotations
 
@@ -10,6 +10,7 @@ from ..datapath.bist import TestPlan
 from ..datapath.components import TestRegisterKind
 from ..datapath.datapath import Datapath
 from ..datapath.verify import VerificationReport, verify_bist_plan
+from ..ilp.solution import SolveStats
 
 
 @dataclass
@@ -29,6 +30,7 @@ class BistDesign:
     optimal: bool = False
     solve_seconds: float = 0.0
     objective: float | None = None
+    stats: SolveStats | None = None
     notes: dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------
@@ -78,6 +80,7 @@ class ReferenceDesign:
     optimal: bool = False
     solve_seconds: float = 0.0
     objective: float | None = None
+    stats: SolveStats | None = None
 
     def area(self) -> AreaBreakdown:
         return datapath_area(self.datapath, None, self.cost_model)
@@ -106,8 +109,8 @@ class SweepEntry:
     def overhead_percent(self) -> float:
         return self.design.overhead_vs(self.reference_area)
 
-    def table2_row(self) -> dict:
-        return {
+    def table2_row(self, stats: bool = False) -> dict:
+        row = {
             "circuit": self.circuit,
             "k": self.k,
             "overhead_percent": round(self.overhead_percent, 1),
@@ -115,3 +118,57 @@ class SweepEntry:
             "optimal": self.design.optimal,
             "solve_seconds": round(self.design.solve_seconds, 3),
         }
+        if stats:
+            solve_stats = self.design.stats or SolveStats()
+            row.update(solve_stats.as_row())
+        return row
+
+
+@dataclass
+class TaskReport:
+    """Per-task execution record of one sweep-engine run."""
+
+    circuit: str
+    kind: str                      # "reference" | "advbist" | "baseline"
+    k: int | None = None
+    method: str = ""
+    cached: bool = False
+    wall_seconds: float = 0.0
+    stats: SolveStats | None = None
+
+    def as_row(self) -> dict:
+        row = {
+            "circuit": self.circuit,
+            "task": self.method or self.kind,
+            "k": "-" if self.k is None else self.k,
+            "cached": self.cached,
+            "wall_s": round(self.wall_seconds, 3),
+        }
+        if self.stats is not None:
+            row.update({"backend": self.stats.backend, "nnz": self.stats.nnz,
+                        "nodes": self.stats.nodes})
+        return row
+
+
+@dataclass
+class SweepResult:
+    """Outcome of a full k = 1..N sweep for one circuit (one Table 2 block)."""
+
+    circuit: str
+    reference: ReferenceDesign
+    entries: list[SweepEntry] = field(default_factory=list)
+    reports: list[TaskReport] = field(default_factory=list)
+
+    def table2_rows(self, stats: bool = False) -> list[dict]:
+        return [entry.table2_row(stats=stats) for entry in self.entries]
+
+    def best_entry(self) -> SweepEntry:
+        """The entry with the lowest area overhead.
+
+        Ties on overhead deterministically prefer the smallest k (fewer test
+        sessions means shorter test time at equal area cost).
+        """
+        return min(self.entries, key=lambda entry: (entry.overhead_percent, entry.k))
+
+    def overheads(self) -> dict[int, float]:
+        return {entry.k: entry.overhead_percent for entry in self.entries}

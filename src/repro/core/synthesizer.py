@@ -7,36 +7,27 @@ the workflow of the paper's evaluation:
   denominator),
 * ``synthesize(k)`` — the optimal BIST data path for one k-test session,
 * ``sweep()`` — Table 2: one design per k from 1 to the module count.
+
+The sweep itself is delegated to :class:`repro.core.engine.SweepEngine`,
+which materialises the (circuit, k) task grid and can execute it serially,
+over a process pool (``jobs``), and against the on-disk design cache.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 from ..cost.transistors import CostModel, PAPER_COST_MODEL
 from ..dfg.graph import DataFlowGraph
+from .engine import DesignCache, SweepEngine
 from .formulation import AdvBistFormulation, FormulationError, FormulationOptions
 from .reference import ReferenceFormulation
-from .result import BistDesign, ReferenceDesign, SweepEntry
+from .result import BistDesign, ReferenceDesign, SweepResult
 
-
-@dataclass
-class SweepResult:
-    """Outcome of a full k = 1..N sweep for one circuit (one Table 2 block)."""
-
-    circuit: str
-    reference: ReferenceDesign
-    entries: list[SweepEntry] = field(default_factory=list)
-
-    def table2_rows(self) -> list[dict]:
-        return [entry.table2_row() for entry in self.entries]
-
-    def best_entry(self) -> SweepEntry:
-        """The entry with the lowest area overhead (usually the largest k)."""
-        return min(self.entries, key=lambda entry: entry.overhead_percent)
-
-    def overheads(self) -> dict[int, float]:
-        return {entry.k: entry.overhead_percent for entry in self.entries}
+__all__ = [
+    "AdvBistSynthesizer",
+    "SweepResult",
+    "synthesize_bist",
+    "synthesize_reference",
+]
 
 
 class AdvBistSynthesizer:
@@ -86,21 +77,38 @@ class AdvBistSynthesizer:
             )
         return result.design
 
-    def sweep(self, max_k: int | None = None) -> SweepResult:
-        """Synthesize one BIST design per k-test session (Table 2)."""
-        reference = self.synthesize_reference()
-        reference_area = reference.area().total
-        upper = max_k if max_k is not None else self.num_modules
-        upper = max(1, min(upper, self.num_modules))
+    def _engine(self, jobs: int, cache: DesignCache | bool | None,
+                executor: object | None) -> SweepEngine:
+        return SweepEngine(
+            backend=self.backend,
+            time_limit=self.time_limit,
+            cost_model=self.cost_model,
+            options=self.options,
+            jobs=jobs,
+            executor=executor,
+            cache=cache,
+        )
 
-        entries = []
-        for k in range(1, upper + 1):
-            design = self.synthesize(k)
-            entries.append(
-                SweepEntry(circuit=self.graph.name, k=k, design=design,
-                           reference_area=reference_area)
-            )
-        return SweepResult(circuit=self.graph.name, reference=reference, entries=entries)
+    def sweep(
+        self,
+        max_k: int | None = None,
+        jobs: int = 1,
+        cache: DesignCache | bool | None = None,
+        executor: object | None = None,
+    ) -> SweepResult:
+        """Synthesize one BIST design per k-test session (Table 2).
+
+        A thin wrapper over :class:`SweepEngine`: ``jobs > 1`` fans the
+        independent solves out over worker processes, ``cache`` memoises
+        solved designs on disk (``True`` for the default cache location).
+        A reference design already solved by :meth:`synthesize_reference`
+        is reused instead of being solved again.
+        """
+        engine = self._engine(jobs, cache, executor)
+        result = engine.sweep(self.graph, max_k=max_k, reference=self._reference)
+        if self._reference is None:
+            self._reference = result.reference
+        return result
 
 
 # ----------------------------------------------------------------------

@@ -8,8 +8,19 @@ used by the paper: a modelling layer (:mod:`repro.ilp.expr`,
 
 from .expr import Constraint, LinExpr, Sense, Variable, VarType, quicksum
 from .model import MatrixForm, Model, ModelError
-from .solution import Solution, SolveStatus
-from .backends import BranchAndBoundBackend, ScipyMilpBackend, get_backend
+from .solution import Solution, SolveStats, SolveStatus
+from .backends import (
+    BackendInfo,
+    BackendRegistryError,
+    BranchAndBoundBackend,
+    ScipyMilpBackend,
+    available_backend_names,
+    backend_info,
+    get_backend,
+    list_backends,
+    register_backend,
+    resolve_backend_name,
+)
 from .reductions import lexicographic_slot_ordering, pin_assignments
 
 __all__ = [
@@ -23,10 +34,18 @@ __all__ = [
     "Model",
     "ModelError",
     "Solution",
+    "SolveStats",
     "SolveStatus",
+    "BackendInfo",
+    "BackendRegistryError",
     "BranchAndBoundBackend",
     "ScipyMilpBackend",
+    "available_backend_names",
+    "backend_info",
     "get_backend",
+    "list_backends",
+    "register_backend",
+    "resolve_backend_name",
     "lexicographic_slot_ordering",
     "pin_assignments",
 ]

@@ -1,44 +1,46 @@
 """Solver backends for the ILP modelling layer.
 
-Two backends are provided:
+The package is a registry (:mod:`repro.ilp.backends.registry`): backends
+self-register with the :func:`register_backend` class decorator, declaring
+capability metadata (sparse support, time limits, warm-start hints).  Two
+backends ship in-tree:
 
 * :class:`ScipyMilpBackend` — HiGHS through :func:`scipy.optimize.milp`
   (default, fast, exact);
 * :class:`BranchAndBoundBackend` — a self-contained pure-Python branch and
   bound used for cross-checking and for environments without HiGHS.
+
+Both consume the sparse CSR lowering natively.
 """
 
 from __future__ import annotations
 
+from .registry import (
+    BackendInfo,
+    BackendRegistryError,
+    available_backend_names,
+    backend_info,
+    get_backend,
+    iter_backend_rows,
+    list_backends,
+    register_backend,
+    resolve_backend_name,
+)
+
+# Importing the backend modules runs their ``register_backend`` decorators.
 from .branch_and_bound import BranchAndBoundBackend
 from .scipy_milp import ScipyMilpBackend
 
-_BACKENDS = {
-    "scipy": ScipyMilpBackend,
-    "highs": ScipyMilpBackend,
-    "bnb": BranchAndBoundBackend,
-    "branch_and_bound": BranchAndBoundBackend,
-}
-
-
-def get_backend(name: str = "auto"):
-    """Instantiate a solver backend by name.
-
-    ``"auto"`` prefers the scipy/HiGHS backend and falls back to the
-    pure-Python branch and bound if scipy's MILP interface is unavailable.
-    """
-    key = name.lower()
-    if key == "auto":
-        try:
-            from scipy.optimize import milp  # noqa: F401
-        except ImportError:  # pragma: no cover - scipy is a hard dependency here
-            return BranchAndBoundBackend()
-        return ScipyMilpBackend()
-    if key not in _BACKENDS:
-        raise ValueError(
-            f"unknown ILP backend {name!r}; available: {sorted(_BACKENDS)} or 'auto'"
-        )
-    return _BACKENDS[key]()
-
-
-__all__ = ["ScipyMilpBackend", "BranchAndBoundBackend", "get_backend"]
+__all__ = [
+    "BackendInfo",
+    "BackendRegistryError",
+    "BranchAndBoundBackend",
+    "ScipyMilpBackend",
+    "available_backend_names",
+    "backend_info",
+    "get_backend",
+    "iter_backend_rows",
+    "list_backends",
+    "register_backend",
+    "resolve_backend_name",
+]

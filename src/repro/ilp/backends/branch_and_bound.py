@@ -19,6 +19,9 @@ The implementation is a classic LP-relaxation branch-and-bound:
    child whose bound looks more promising first (best-first on the parent
    relaxation value, depth-first tie-break to find incumbents early).
 
+The CSR constraint matrices of the sparse lowering are handed straight to
+``linprog`` (HiGHS accepts them natively), so each node solve stays sparse.
+
 It is intentionally straightforward rather than clever — the point is
 correctness and testability, not raw speed.
 """
@@ -34,7 +37,8 @@ import numpy as np
 from scipy.optimize import linprog
 
 from ..model import MatrixForm
-from ..solution import Solution, SolveStatus
+from ..solution import Solution, SolveStats, SolveStatus
+from .registry import register_backend
 
 _INTEGRALITY_TOL = 1e-6
 
@@ -50,10 +54,15 @@ class _Node:
     depth: int = field(compare=False, default=0)
 
 
+@register_backend(
+    "bnb",
+    aliases=("branch_and_bound",),
+    supports_sparse=True,
+    supports_time_limit=True,
+    description="pure-Python LP-relaxation branch and bound (cross-check solver)",
+)
 class BranchAndBoundBackend:
     """Pure-Python LP-based branch and bound."""
-
-    name = "bnb"
 
     def __init__(self, node_limit: int = 200_000):
         self.node_limit = node_limit
@@ -61,7 +70,6 @@ class BranchAndBoundBackend:
     def solve(self, form: MatrixForm, time_limit: float | None = None,
               mip_gap: float = 1e-6) -> Solution:
         start = time.perf_counter()
-        nvar = len(form.variables)
         integer_mask = form.integrality.astype(bool)
 
         lower0 = np.array([lo for lo, _ in form.bounds], dtype=float)
@@ -69,6 +77,7 @@ class BranchAndBoundBackend:
 
         best_x: np.ndarray | None = None
         best_obj = math.inf
+        root_relaxation: float | None = None
         nodes_explored = 0
         counter = 0
 
@@ -93,6 +102,8 @@ class BranchAndBoundBackend:
             if relaxation is None:
                 continue  # infeasible subproblem
             obj, x = relaxation
+            if root_relaxation is None:
+                root_relaxation = obj
             if obj >= best_obj - 1e-9:
                 continue  # bounded out
 
@@ -128,12 +139,19 @@ class BranchAndBoundBackend:
                 )
 
         elapsed = time.perf_counter() - start
+        stats = SolveStats(
+            backend=self.name,
+            nodes=nodes_explored,
+            lp_relaxation=(root_relaxation + form.offset
+                           if root_relaxation is not None else None),
+        )
         if best_x is None:
             if status in (SolveStatus.TIME_LIMIT, SolveStatus.FEASIBLE):
                 return Solution(status=SolveStatus.TIME_LIMIT, nodes=nodes_explored,
-                                solve_seconds=elapsed, message="no incumbent found")
+                                solve_seconds=elapsed, message="no incumbent found",
+                                stats=stats)
             return Solution(status=SolveStatus.INFEASIBLE, nodes=nodes_explored,
-                            solve_seconds=elapsed)
+                            solve_seconds=elapsed, stats=stats)
 
         values = {}
         for var, raw in zip(form.variables, best_x):
@@ -147,6 +165,7 @@ class BranchAndBoundBackend:
             values=values,
             nodes=nodes_explored,
             solve_seconds=elapsed,
+            stats=stats,
         )
 
     # ------------------------------------------------------------------

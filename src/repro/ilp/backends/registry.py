@@ -1,0 +1,172 @@
+"""The solver-backend registry.
+
+Backends register themselves with the :func:`register_backend` class
+decorator, declaring capability metadata alongside the implementation::
+
+    @register_backend("scipy", aliases=("highs",), supports_sparse=True)
+    class ScipyMilpBackend:
+        def solve(self, form, time_limit=None, mip_gap=1e-6) -> Solution: ...
+
+The registry is the single source of truth for backend resolution: the
+modelling layer (:meth:`repro.ilp.model.Model.solve`), the sweep engine and
+the CLI all look backends up here, so adding a solver is one decorated class
+— no switch statements to edit anywhere else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+
+@dataclass(frozen=True)
+class BackendInfo:
+    """Capability metadata of one registered solver backend.
+
+    Attributes
+    ----------
+    name:
+        Canonical registry name.
+    cls:
+        The backend class (instantiated with no arguments by default).
+    aliases:
+        Alternative names resolving to the same backend.
+    supports_sparse:
+        Whether :meth:`solve` consumes CSR constraint matrices natively.
+        Backends without sparse support receive the dense lowering.
+    supports_time_limit:
+        Whether the backend honours the ``time_limit`` argument.
+    supports_warm_start:
+        Whether the backend can exploit an incumbent hint (reserved for
+        future backends; neither bundled backend uses it yet).
+    description:
+        One-line summary shown by ``repro backends``.
+    """
+
+    name: str
+    cls: type
+    aliases: tuple[str, ...] = ()
+    supports_sparse: bool = False
+    supports_time_limit: bool = True
+    supports_warm_start: bool = False
+    description: str = ""
+
+    def create(self) -> object:
+        """Instantiate the backend with its default configuration."""
+        return self.cls()
+
+
+class BackendRegistryError(ValueError):
+    """Raised for unknown backend names or conflicting registrations."""
+
+
+_REGISTRY: dict[str, BackendInfo] = {}
+_ALIASES: dict[str, str] = {}
+
+
+def register_backend(
+    name: str,
+    *,
+    aliases: tuple[str, ...] = (),
+    supports_sparse: bool = False,
+    supports_time_limit: bool = True,
+    supports_warm_start: bool = False,
+    description: str = "",
+) -> Callable[[type], type]:
+    """Class decorator adding a solver backend to the registry.
+
+    The decorated class gains ``name``, ``supports_sparse`` and ``info``
+    attributes so an *instance* can be interrogated without a registry
+    round-trip (the modelling layer checks ``supports_sparse`` to pick the
+    lowering).
+    """
+
+    def decorator(cls: type) -> type:
+        info = BackendInfo(
+            name=name,
+            cls=cls,
+            aliases=tuple(aliases),
+            supports_sparse=supports_sparse,
+            supports_time_limit=supports_time_limit,
+            supports_warm_start=supports_warm_start,
+            description=description or (cls.__doc__ or "").strip().split("\n", 1)[0],
+        )
+        keys = [key.lower() for key in (name, *aliases)]
+        # Validate every key before touching the registry, so a rejected
+        # registration cannot leave phantom names behind.
+        for key in keys:
+            if key == "auto":
+                raise BackendRegistryError("'auto' is reserved for backend resolution")
+            existing = _ALIASES.get(key)
+            if existing is not None and _REGISTRY[existing].cls is not cls:
+                raise BackendRegistryError(
+                    f"backend name {key!r} already registered by {existing!r}"
+                )
+        for key in keys:
+            _ALIASES[key] = name
+        _REGISTRY[name] = info
+        cls.name = name
+        cls.supports_sparse = supports_sparse
+        cls.info = info
+        return cls
+
+    return decorator
+
+
+def resolve_backend_name(name: str) -> str:
+    """Canonical registry name for ``name`` (resolving aliases and 'auto')."""
+    key = name.lower()
+    if key == "auto":
+        return _auto_backend_name()
+    if key not in _ALIASES:
+        raise BackendRegistryError(
+            f"unknown ILP backend {name!r}; available: {available_backend_names()} or 'auto'"
+        )
+    return _ALIASES[key]
+
+
+def backend_info(name: str) -> BackendInfo:
+    """The :class:`BackendInfo` for a (possibly aliased) backend name."""
+    return _REGISTRY[resolve_backend_name(name)]
+
+
+def get_backend(name: str = "auto") -> object:
+    """Instantiate a solver backend by (possibly aliased) name.
+
+    ``"auto"`` prefers the scipy/HiGHS backend and falls back to the
+    pure-Python branch and bound if scipy's MILP interface is unavailable.
+    """
+    return backend_info(name).create()
+
+
+def list_backends() -> list[BackendInfo]:
+    """All registered backends, in canonical-name order."""
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def available_backend_names(include_aliases: bool = True) -> list[str]:
+    """Names accepted by :func:`get_backend` (excluding ``'auto'``)."""
+    if include_aliases:
+        return sorted(_ALIASES)
+    return sorted(_REGISTRY)
+
+
+def iter_backend_rows() -> Iterator[dict]:
+    """Capability rows for the ``repro backends`` report."""
+    for info in list_backends():
+        yield {
+            "backend": info.name,
+            "aliases": ",".join(info.aliases) or "-",
+            "sparse": "yes" if info.supports_sparse else "no",
+            "time_limit": "yes" if info.supports_time_limit else "no",
+            "warm_start": "yes" if info.supports_warm_start else "no",
+            "description": info.description,
+        }
+
+
+def _auto_backend_name() -> str:
+    try:
+        from scipy.optimize import milp  # noqa: F401
+    except ImportError:  # pragma: no cover - scipy is a hard dependency here
+        return _ALIASES["bnb"]
+    return _ALIASES["scipy"]

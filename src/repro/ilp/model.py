@@ -1,9 +1,10 @@
 """The :class:`Model` container for integer linear programs.
 
 A :class:`Model` owns decision variables, linear constraints and a single
-(minimisation or maximisation) objective.  It converts itself into the dense
-matrix form consumed by the solver backends and offers convenience helpers
-used heavily by the BIST formulation:
+(minimisation or maximisation) objective.  It lowers itself into the sparse
+(CSR) matrix form consumed by the solver backends — built incrementally from
+constraint triplets, never through dense rows — and offers convenience
+helpers used heavily by the BIST formulation:
 
 * ``add_binary`` / ``add_integer`` / ``add_continuous`` variable factories,
 * ``add_constr`` with automatic naming,
@@ -14,13 +15,14 @@ used heavily by the BIST formulation:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterable, Sequence
 
 import numpy as np
+from scipy import sparse
 
 from .expr import Constraint, LinExpr, Sense, Variable, VarType
-from .solution import Solution, SolveStatus
+from .solution import Solution, SolveStats, SolveStatus
 
 
 class ModelError(ValueError):
@@ -29,22 +31,54 @@ class ModelError(ValueError):
 
 @dataclass
 class MatrixForm:
-    """Dense/structured matrix view of a model, consumed by backends.
+    """Matrix view of a model, consumed by backends.
 
     ``A_ub x <= b_ub`` and ``A_eq x == b_eq`` with variable ``bounds`` and
     integrality flags, objective ``c`` (always minimisation: maximisation
     models are negated before reaching this form).
+
+    The constraint matrices are :class:`scipy.sparse.csr_matrix` by default —
+    ADVBIST constraint matrices are overwhelmingly sparse, and both bundled
+    backends consume CSR natively.  :meth:`to_dense` produces the equivalent
+    dense lowering (used by the cross-backend parity tests and by external
+    backends that cannot handle sparse input).
     """
 
     c: np.ndarray
-    A_ub: np.ndarray
+    A_ub: sparse.csr_matrix | np.ndarray
     b_ub: np.ndarray
-    A_eq: np.ndarray
+    A_eq: sparse.csr_matrix | np.ndarray
     b_eq: np.ndarray
     bounds: list[tuple[float, float]]
     integrality: np.ndarray
     variables: list[Variable]
     offset: float = 0.0
+
+    @property
+    def is_sparse(self) -> bool:
+        """Whether the constraint matrices are stored in CSR form."""
+        return sparse.issparse(self.A_ub) or sparse.issparse(self.A_eq)
+
+    @property
+    def nnz(self) -> int:
+        """Structural nonzeros across ``A_ub`` and ``A_eq``."""
+        total = 0
+        for matrix in (self.A_ub, self.A_eq):
+            if sparse.issparse(matrix):
+                total += matrix.nnz
+            else:
+                total += int(np.count_nonzero(matrix))
+        return total
+
+    def to_dense(self) -> "MatrixForm":
+        """The same lowering with dense ``numpy`` constraint matrices."""
+        if not self.is_sparse:
+            return self
+        return replace(
+            self,
+            A_ub=self.A_ub.toarray() if sparse.issparse(self.A_ub) else self.A_ub,
+            A_eq=self.A_eq.toarray() if sparse.issparse(self.A_eq) else self.A_eq,
+        )
 
 
 class Model:
@@ -175,8 +209,16 @@ class Model:
     # ------------------------------------------------------------------
     # matrix form and solving
     # ------------------------------------------------------------------
-    def to_matrix_form(self) -> MatrixForm:
-        """Convert to the matrix representation used by the backends."""
+    def to_matrix_form(self, sparse_form: bool = True) -> MatrixForm:
+        """Convert to the matrix representation used by the backends.
+
+        The constraint matrices are built incrementally as COO triplets
+        (row, column, coefficient) — one triplet per constraint term, never a
+        dense row — and assembled into CSR at the end.  Duplicate triplets on
+        the same cell sum, matching the accumulating semantics of repeated
+        variables in one expression.  ``sparse_form=False`` produces the
+        equivalent dense lowering.
+        """
         nvar = len(self.variables)
         sign = 1.0 if self.sense == "min" else -1.0
 
@@ -185,42 +227,31 @@ class Model:
             c[var.index] += sign * coeff
         offset = sign * self.objective.constant
 
-        ub_rows: list[np.ndarray] = []
-        ub_rhs: list[float] = []
-        eq_rows: list[np.ndarray] = []
-        eq_rhs: list[float] = []
+        ub = _TripletBuilder()
+        eq = _TripletBuilder()
         for constr in self.constraints:
-            row = np.zeros(nvar)
-            for var, coeff in constr.expr.terms.items():
-                row[var.index] += coeff
             rhs = -constr.expr.constant
             if constr.sense is Sense.LE:
-                ub_rows.append(row)
-                ub_rhs.append(rhs)
+                ub.add_row(constr.expr.terms, rhs, flip=False)
             elif constr.sense is Sense.GE:
-                ub_rows.append(-row)
-                ub_rhs.append(-rhs)
+                ub.add_row(constr.expr.terms, rhs, flip=True)
             else:
-                eq_rows.append(row)
-                eq_rhs.append(rhs)
+                eq.add_row(constr.expr.terms, rhs, flip=False)
 
-        A_ub = np.vstack(ub_rows) if ub_rows else np.zeros((0, nvar))
-        A_eq = np.vstack(eq_rows) if eq_rows else np.zeros((0, nvar))
-        bounds = [(var.lower, var.upper) for var in self.variables]
-        integrality = np.array(
-            [0 if var.vartype is VarType.CONTINUOUS else 1 for var in self.variables]
-        )
-        return MatrixForm(
+        form = MatrixForm(
             c=c,
-            A_ub=A_ub,
-            b_ub=np.array(ub_rhs, dtype=float),
-            A_eq=A_eq,
-            b_eq=np.array(eq_rhs, dtype=float),
-            bounds=bounds,
-            integrality=integrality,
+            A_ub=ub.matrix(nvar),
+            b_ub=ub.rhs_array(),
+            A_eq=eq.matrix(nvar),
+            b_eq=eq.rhs_array(),
+            bounds=[(var.lower, var.upper) for var in self.variables],
+            integrality=np.array(
+                [0 if var.vartype is VarType.CONTINUOUS else 1 for var in self.variables]
+            ),
             variables=list(self.variables),
             offset=offset,
         )
+        return form if sparse_form else form.to_dense()
 
     def solve(self, backend: str | object = "auto", time_limit: float | None = None,
               mip_gap: float = 1e-6) -> Solution:
@@ -240,12 +271,28 @@ class Model:
         """
         start = time.perf_counter()
         solver = _resolve_backend(backend)
-        form = self.to_matrix_form()
+        # Unregistered object backends predate the sparse lowering: hand them
+        # the dense form unless they declare sparse support themselves.
+        wants_sparse = getattr(solver, "supports_sparse", False)
+        form = self.to_matrix_form(sparse_form=wants_sparse)
         solution = solver.solve(form, time_limit=time_limit, mip_gap=mip_gap)
 
         if solution.status.has_solution and self.sense == "max" and solution.objective is not None:
             solution.objective = -solution.objective
         solution.solve_seconds = time.perf_counter() - start
+
+        stats = solution.stats if solution.stats is not None else SolveStats()
+        stats.backend = stats.backend or getattr(solver, "name", type(solver).__name__)
+        stats.wall_seconds = solution.solve_seconds
+        stats.nnz = form.nnz
+        stats.num_variables = self.num_variables
+        stats.num_constraints = self.num_constraints
+        stats.nodes = stats.nodes or solution.nodes
+        if stats.gap is None:
+            stats.gap = solution.gap
+        if stats.lp_relaxation is not None and self.sense == "max":
+            stats.lp_relaxation = -stats.lp_relaxation
+        solution.stats = stats
         return solution
 
     # ------------------------------------------------------------------
@@ -282,6 +329,38 @@ class Model:
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (f"Model({self.name!r}, vars={self.num_variables}, "
                 f"constrs={self.num_constraints}, sense={self.sense})")
+
+
+class _TripletBuilder:
+    """Accumulates one constraint block (``<=`` or ``==``) as COO triplets."""
+
+    def __init__(self):
+        self.rows: list[int] = []
+        self.cols: list[int] = []
+        self.data: list[float] = []
+        self.rhs: list[float] = []
+
+    def add_row(self, terms: dict, rhs: float, flip: bool) -> None:
+        """Append one constraint row; ``flip`` negates it (``>=`` → ``<=``)."""
+        sign = -1.0 if flip else 1.0
+        row_index = len(self.rhs)
+        for var, coeff in terms.items():
+            if coeff == 0.0:
+                continue
+            self.rows.append(row_index)
+            self.cols.append(var.index)
+            self.data.append(sign * coeff)
+        self.rhs.append(sign * rhs)
+
+    def matrix(self, nvar: int) -> sparse.csr_matrix:
+        shape = (len(self.rhs), nvar)
+        coo = sparse.coo_matrix(
+            (np.asarray(self.data, dtype=float), (self.rows, self.cols)), shape=shape
+        )
+        return coo.tocsr()
+
+    def rhs_array(self) -> np.ndarray:
+        return np.asarray(self.rhs, dtype=float)
 
 
 def _resolve_backend(backend: str | object):

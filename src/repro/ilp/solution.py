@@ -1,4 +1,4 @@
-"""Solver results: status codes and solutions."""
+"""Solver results: status codes, per-solve statistics and solutions."""
 
 from __future__ import annotations
 
@@ -26,6 +26,53 @@ class SolveStatus(enum.Enum):
 
 
 @dataclass
+class SolveStats:
+    """Structured statistics of one solver run.
+
+    Every backend attaches an instance to the :class:`Solution` it returns;
+    :meth:`repro.ilp.model.Model.solve` fills in whatever the backend could
+    not know (matrix shape, nonzeros, total wall time).
+
+    Attributes
+    ----------
+    backend:
+        Registry name of the backend that produced the solution.
+    wall_seconds:
+        Wall-clock time of the full solve (lowering + backend).
+    nodes:
+        Branch-and-bound nodes explored (0 when not reported).
+    lp_relaxation:
+        Objective of the root LP relaxation / best dual bound, when known.
+    nnz:
+        Nonzeros in the constraint matrices (``A_ub`` plus ``A_eq``).
+    num_variables / num_constraints:
+        Dimensions of the lowered model.
+    gap:
+        Relative optimality gap of the incumbent, when known.
+    """
+
+    backend: str = ""
+    wall_seconds: float = 0.0
+    nodes: int = 0
+    lp_relaxation: float | None = None
+    nnz: int = 0
+    num_variables: int = 0
+    num_constraints: int = 0
+    gap: float | None = None
+
+    def as_row(self) -> dict:
+        """Flat dict used by the reporting tables."""
+        return {
+            "backend": self.backend,
+            "wall_s": round(self.wall_seconds, 3),
+            "nodes": self.nodes,
+            "nnz": self.nnz,
+            "vars": self.num_variables,
+            "constrs": self.num_constraints,
+        }
+
+
+@dataclass
 class Solution:
     """A (possibly proven-optimal) solution returned by a solver backend.
 
@@ -45,6 +92,9 @@ class Solution:
         not report it).
     gap:
         Relative optimality gap of the incumbent, when known.
+    stats:
+        Structured :class:`SolveStats`; always populated after
+        :meth:`repro.ilp.model.Model.solve`.
     """
 
     status: SolveStatus
@@ -54,6 +104,7 @@ class Solution:
     nodes: int = 0
     gap: float | None = None
     message: str = ""
+    stats: SolveStats | None = None
 
     def __getitem__(self, var: Variable) -> float:
         return self.values[var]

@@ -7,7 +7,13 @@ from .comparison import (
     extra_register_penalty,
 )
 from .netlist import describe_design, describe_reference, design_to_dict
-from .tables import format_table, render_table1, render_table2, render_table3
+from .tables import (
+    format_table,
+    render_backends,
+    render_table1,
+    render_table2,
+    render_table3,
+)
 
 __all__ = [
     "BASELINE_RUNNERS",
@@ -18,6 +24,7 @@ __all__ = [
     "describe_reference",
     "design_to_dict",
     "format_table",
+    "render_backends",
     "render_table1",
     "render_table2",
     "render_table3",

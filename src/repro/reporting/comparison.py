@@ -10,22 +10,19 @@ remark that "the addition of registers incurs large area overhead"
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Mapping, Sequence
+from typing import Sequence
 
-from ..baselines import run_advan, run_bits, run_ralloc
+from ..baselines import BASELINE_RUNNERS
 from ..cost.area import datapath_area
 from ..cost.transistors import CostModel, PAPER_COST_MODEL
+from ..core.engine import DesignCache, SweepEngine
 from ..core.formulation import FormulationOptions
-from ..core.result import BistDesign, ReferenceDesign
+from ..core.result import BistDesign, ReferenceDesign, TaskReport
 from ..core.synthesizer import AdvBistSynthesizer
 from ..dfg.graph import DataFlowGraph
 
-#: The baseline methods in the column order of Table 3.
-BASELINE_RUNNERS: dict[str, Callable[..., BistDesign]] = {
-    "ADVAN": run_advan,
-    "RALLOC": run_ralloc,
-    "BITS": run_bits,
-}
+# BASELINE_RUNNERS is re-exported from repro.baselines (its historical home
+# in this module predates the sweep engine, which also needs it).
 
 
 @dataclass
@@ -36,6 +33,7 @@ class ComparisonResult:
     k: int
     reference: ReferenceDesign
     designs: dict[str, BistDesign] = field(default_factory=dict)
+    reports: list[TaskReport] = field(default_factory=list)
 
     @property
     def reference_area(self) -> float:
@@ -70,8 +68,15 @@ def compare_methods(
     options: FormulationOptions | None = None,
     backend: str | object = "auto",
     time_limit: float | None = None,
+    jobs: int = 1,
+    cache: DesignCache | bool | None = None,
 ) -> ComparisonResult:
     """Run the reference ILP plus the selected methods on one circuit.
+
+    A thin wrapper over :meth:`repro.core.engine.SweepEngine.compare`: the
+    reference solve, the ADVBIST solve and the heuristic baselines are
+    materialised as one task grid, so they share the engine's executor
+    (``jobs`` worker processes) and on-disk design cache.
 
     Parameters
     ----------
@@ -85,23 +90,19 @@ def compare_methods(
     time_limit:
         Per-solve wall clock limit handed to the ILP backends (the paper used
         24 CPU hours; the benches use seconds).
+    jobs:
+        Worker processes for the independent solves (1 = serial).
+    cache:
+        Design cache (``True`` for the default location, ``None`` disables).
     """
     sessions = k if k is not None else len(graph.module_ids)
-    synthesizer = AdvBistSynthesizer(graph, cost_model, options, backend, time_limit)
-    reference = synthesizer.synthesize_reference()
-
-    designs: dict[str, BistDesign] = {}
-    for method in methods:
-        if method == "ADVBIST":
-            designs[method] = synthesizer.synthesize(sessions)
-        elif method in BASELINE_RUNNERS:
-            designs[method] = BASELINE_RUNNERS[method](graph, sessions, cost_model)
-        else:
-            raise ValueError(
-                f"unknown method {method!r}; expected ADVBIST, ADVAN, RALLOC or BITS"
-            )
+    engine = SweepEngine(
+        backend=backend, time_limit=time_limit, cost_model=cost_model,
+        options=options, jobs=jobs, cache=cache,
+    )
+    reference, designs, reports = engine.compare(graph, k=sessions, methods=methods)
     return ComparisonResult(circuit=graph.name, k=sessions, reference=reference,
-                            designs=designs)
+                            designs=designs, reports=reports)
 
 
 def extra_register_penalty(

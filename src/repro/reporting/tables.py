@@ -55,11 +55,29 @@ def render_table1(cost_model: CostModel = PAPER_COST_MODEL) -> str:
     ])
 
 
-def render_table2(rows: Iterable[Mapping]) -> str:
-    """Table 2: ADVBIST overhead and solve time per circuit per k."""
+#: Solver-statistics columns appended to Table 2 in ``--stats`` mode
+#: (populated from :class:`repro.ilp.SolveStats` via ``SweepEntry.table2_row``).
+TABLE2_STATS_COLUMNS = ["backend", "nnz", "vars", "constrs", "nodes"]
+
+
+def render_table2(rows: Iterable[Mapping], stats: bool = False) -> str:
+    """Table 2: ADVBIST overhead and solve time per circuit per k.
+
+    With ``stats=True`` the per-solve solver statistics (backend, matrix
+    nonzeros, model dimensions, branch-and-bound nodes) are appended as
+    extra columns.
+    """
     columns = ["circuit", "k", "overhead_percent", "area", "optimal", "solve_seconds"]
+    if stats:
+        columns += TABLE2_STATS_COLUMNS
     return format_table(list(rows), columns,
                         "Table 2. ADVBIST area overhead (%) and solve time per k-test session")
+
+
+def render_backends(rows: Iterable[Mapping]) -> str:
+    """Capability table of the registered solver backends."""
+    columns = ["backend", "aliases", "sparse", "time_limit", "warm_start", "description"]
+    return format_table(list(rows), columns, "Registered ILP solver backends")
 
 
 def render_table3(rows: Iterable[Mapping], circuit: str = "") -> str:

@@ -8,6 +8,26 @@ from repro.circuits import fig1, tseng
 from repro.dfg import DFGBuilder
 
 
+@pytest.fixture(autouse=True)
+def _isolated_design_cache(tmp_path, monkeypatch):
+    """Keep the on-disk design cache out of the user's home during tests."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "design-cache"))
+
+
+@pytest.fixture()
+def backend_registry_snapshot():
+    """Restore the process-wide backend registry after a mutating test."""
+    from repro.ilp.backends import registry
+
+    saved_registry = dict(registry._REGISTRY)
+    saved_aliases = dict(registry._ALIASES)
+    yield registry
+    registry._REGISTRY.clear()
+    registry._REGISTRY.update(saved_registry)
+    registry._ALIASES.clear()
+    registry._ALIASES.update(saved_aliases)
+
+
 @pytest.fixture(scope="session")
 def fig1_graph():
     """The paper's Fig. 1 running example (scheduled and module bound)."""

@@ -45,6 +45,56 @@ def test_baseline_command(capsys):
     assert "verified: True" in output
 
 
+def test_backends_command(capsys):
+    assert main(["backends"]) == 0
+    output = capsys.readouterr().out
+    assert "scipy" in output and "bnb" in output
+    assert "sparse" in output
+
+
+def test_sweep_with_stats_and_jobs(capsys):
+    assert main(["sweep", "fig1", "--stats", "--jobs", "2", "--no-cache",
+                 "--time-limit", "60"]) == 0
+    output = capsys.readouterr().out
+    assert "nnz" in output and "backend" in output
+    assert "scipy" in output
+
+
+def test_sweep_uses_design_cache_on_second_run(capsys):
+    assert main(["sweep", "fig1", "--time-limit", "60"]) == 0
+    capsys.readouterr()
+    assert main(["sweep", "fig1", "--time-limit", "60"]) == 0
+    output = capsys.readouterr().out
+    assert "served from the design cache" in output
+
+
+def test_sweep_max_k_limits_grid(capsys):
+    assert main(["sweep", "fig1", "--max-k", "1", "--no-cache",
+                 "--time-limit", "60"]) == 0
+    output = capsys.readouterr().out
+    assert "fig1     1" in output
+    assert "fig1     2" not in output
+
+
+def test_synthesize_with_explicit_backend(capsys):
+    assert main(["synthesize", "fig1", "--k", "2", "--backend", "scipy",
+                 "--time-limit", "60"]) == 0
+    output = capsys.readouterr().out
+    assert "solver: scipy" in output
+
+
+def test_backend_flag_accepts_aliases():
+    parser = build_parser()
+    args = parser.parse_args(["sweep", "fig1", "--backend", "branch_and_bound"])
+    assert args.backend == "branch_and_bound"
+
+
+def test_backend_flag_rejects_unknown_name():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["sweep", "fig1", "--backend", "glpk"])
+
+
 def test_unknown_circuit_reports_error(capsys):
     assert main(["synthesize", "not_a_circuit"]) == 2
     assert "error" in capsys.readouterr().err

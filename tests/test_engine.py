@@ -1,0 +1,279 @@
+"""Tests of the parallel sweep engine, the design cache and lowering parity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    AdvBistFormulation,
+    AdvBistSynthesizer,
+    DesignCache,
+    EngineError,
+    ProcessExecutor,
+    ReferenceFormulation,
+    SerialExecutor,
+    SweepEngine,
+    SweepEntry,
+    SweepResult,
+)
+from repro.cost.transistors import CostModel
+from repro.ilp import SolveStatus, get_backend
+from repro.reporting import compare_methods
+
+TIME_LIMIT = 60.0
+
+_TIMING_KEYS = ("solve_seconds", "wall_s")
+
+
+def _rows_without_timing(result: SweepResult, stats: bool = False) -> list[dict]:
+    return [{key: value for key, value in row.items() if key not in _TIMING_KEYS}
+            for row in result.table2_rows(stats=stats)]
+
+
+# ----------------------------------------------------------------------
+# grid materialisation
+# ----------------------------------------------------------------------
+def test_sweep_grid_contains_reference_and_every_k(fig1_graph):
+    engine = SweepEngine(time_limit=TIME_LIMIT)
+    tasks = engine.sweep_grid([fig1_graph])
+    assert [task.kind for task in tasks] == ["reference", "advbist", "advbist"]
+    assert [task.k for task in tasks] == [None, 1, 2]
+    assert tasks[0].label() == "fig1:reference"
+    assert tasks[2].label() == "fig1:advbist:k=2"
+
+
+def test_sweep_grid_respects_max_k(fig1_graph):
+    engine = SweepEngine(time_limit=TIME_LIMIT)
+    tasks = engine.sweep_grid([fig1_graph], max_k=1)
+    assert [task.k for task in tasks] == [None, 1]
+
+
+# ----------------------------------------------------------------------
+# executors and parity
+# ----------------------------------------------------------------------
+def test_serial_and_parallel_sweeps_produce_identical_tables(fig1_graph):
+    serial = SweepEngine(time_limit=TIME_LIMIT).sweep(fig1_graph)
+    parallel = SweepEngine(time_limit=TIME_LIMIT, jobs=2).sweep(fig1_graph)
+    assert _rows_without_timing(serial, stats=True) == _rows_without_timing(parallel, stats=True)
+    assert serial.overheads() == parallel.overheads()
+    assert serial.reference.area().total == parallel.reference.area().total
+
+
+def test_explicit_executor_object_is_honoured(fig1_graph):
+    class CountingExecutor(SerialExecutor):
+        calls = 0
+
+        def run(self, fn, tasks):
+            CountingExecutor.calls += 1
+            return super().run(fn, tasks)
+
+    engine = SweepEngine(time_limit=TIME_LIMIT, executor=CountingExecutor())
+    result = engine.sweep(fig1_graph)
+    assert CountingExecutor.calls == 1
+    assert len(result.entries) == 2
+
+
+def test_process_executor_rejects_nonpositive_jobs():
+    with pytest.raises(EngineError):
+        ProcessExecutor(0)
+
+
+def test_parallel_execution_requires_registry_backend():
+    class ObjectBackend:
+        def solve(self, form, time_limit=None, mip_gap=1e-6):
+            raise NotImplementedError
+
+    with pytest.raises(EngineError):
+        SweepEngine(backend=ObjectBackend(), jobs=2)
+
+
+def test_engine_rejects_unknown_backend_name():
+    with pytest.raises(ValueError):
+        SweepEngine(backend="definitely-not-a-solver")
+
+
+# ----------------------------------------------------------------------
+# the design cache
+# ----------------------------------------------------------------------
+def test_design_cache_serves_second_run_byte_identically(tmp_path, fig1_graph):
+    cache = DesignCache(tmp_path / "cache")
+    engine = SweepEngine(time_limit=TIME_LIMIT, cache=cache)
+    first = engine.sweep(fig1_graph)
+    assert all(not report.cached for report in first.reports)
+    second = engine.sweep(fig1_graph)
+    assert all(report.cached for report in second.reports)
+    # cached designs replay the original solve, timing included
+    assert first.table2_rows(stats=True) == second.table2_rows(stats=True)
+
+
+def test_design_cache_key_sensitivity(tmp_path, fig1_graph, tseng_graph):
+    cache = DesignCache(tmp_path)
+    engine = SweepEngine(time_limit=TIME_LIMIT, cache=cache)
+    base = engine.sweep_grid([fig1_graph])[1]          # advbist k=1
+    other_k = engine.sweep_grid([fig1_graph])[2]       # advbist k=2
+    other_graph = engine.sweep_grid([tseng_graph])[1]
+    assert cache.key_for(base) == cache.key_for(engine.sweep_grid([fig1_graph])[1])
+    assert cache.key_for(base) != cache.key_for(other_k)
+    assert cache.key_for(base) != cache.key_for(other_graph)
+
+    wide = CostModel(bit_width=16)
+    wide_engine = SweepEngine(time_limit=TIME_LIMIT, cost_model=wide, cache=cache)
+    assert cache.key_for(base) != cache.key_for(wide_engine.sweep_grid([fig1_graph])[1])
+
+    bnb_engine = SweepEngine(time_limit=TIME_LIMIT, backend="bnb", cache=cache)
+    assert cache.key_for(base) != cache.key_for(bnb_engine.sweep_grid([fig1_graph])[1])
+
+
+def test_design_cache_clear_and_corrupt_entry(tmp_path, fig1_graph):
+    cache = DesignCache(tmp_path)
+    engine = SweepEngine(time_limit=TIME_LIMIT, cache=cache)
+    engine.sweep(fig1_graph)
+    assert cache.clear() == 3
+    # a corrupt entry is treated as a miss, not an error
+    task = engine.sweep_grid([fig1_graph])[0]
+    key = cache.key_for(task)
+    path = cache._path(key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(b"not a pickle")
+    assert cache.get(key) is None
+
+
+def test_design_cache_default_root_honours_env(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-cache"))
+    assert DesignCache().root == tmp_path / "env-cache"
+
+
+def test_cache_stores_only_proven_optimal_ilp_designs(tmp_path, fig1_graph):
+    import copy
+
+    from repro.core.engine import TaskOutcome, _cacheable
+
+    engine = SweepEngine(time_limit=TIME_LIMIT)
+    ref_task, advbist_task, _ = engine.sweep_grid([fig1_graph])
+    sweep = engine.sweep(fig1_graph)
+
+    optimal = TaskOutcome(design=sweep.entries[0].design)
+    assert _cacheable(advbist_task, optimal)
+    unproven = TaskOutcome(design=copy.copy(sweep.entries[0].design))
+    unproven.design.optimal = False
+    assert not _cacheable(advbist_task, unproven)
+
+    baseline_task = engine._task(fig1_graph, "baseline", k=1, method="ADVAN")
+    assert _cacheable(baseline_task, unproven)
+
+
+@pytest.mark.parametrize("payload", [
+    b"cnot_a_real_module\nNope\n.",  # pickle referencing a missing module
+    b"garbage\n",                     # arbitrary text (raises ValueError)
+    b"",                              # truncated to nothing
+    pytest.param(__import__("pickle").dumps({"not": "a TaskOutcome"}),
+                 id="wrong-type"),
+])
+def test_cache_get_treats_bad_entries_as_miss(tmp_path, payload):
+    cache = DesignCache(tmp_path)
+    key = "ab" + "0" * 62
+    path = cache._path(key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(payload)
+    assert cache.get(key) is None
+
+
+def test_failed_registration_leaves_no_phantom_names(backend_registry_snapshot):
+    from repro.ilp import available_backend_names
+    from repro.ilp.backends.registry import BackendRegistryError, register_backend
+
+    with pytest.raises(BackendRegistryError):
+        @register_backend("phantom-solver", aliases=("scipy",))
+        class Phantom:  # pragma: no cover - never instantiated
+            def solve(self, form, time_limit=None, mip_gap=1e-6):
+                raise NotImplementedError
+
+    assert "phantom-solver" not in available_backend_names()
+
+
+# ----------------------------------------------------------------------
+# thin wrappers
+# ----------------------------------------------------------------------
+def test_sweep_reuses_presolved_reference(fig1_graph):
+    synthesizer = AdvBistSynthesizer(fig1_graph, time_limit=TIME_LIMIT)
+    reference = synthesizer.synthesize_reference()
+
+    class RecordingExecutor(SerialExecutor):
+        tasks_seen: list = []
+
+        def run(self, fn, tasks):
+            RecordingExecutor.tasks_seen.extend(tasks)
+            return super().run(fn, tasks)
+
+    result = synthesizer.sweep(executor=RecordingExecutor())
+    assert [task.kind for task in RecordingExecutor.tasks_seen] == ["advbist", "advbist"]
+    assert result.reference is reference
+
+
+
+def test_synthesizer_sweep_is_engine_wrapper(fig1_graph):
+    direct = SweepEngine(time_limit=TIME_LIMIT).sweep(fig1_graph)
+    wrapped = AdvBistSynthesizer(fig1_graph, time_limit=TIME_LIMIT).sweep(jobs=2)
+    assert _rows_without_timing(direct) == _rows_without_timing(wrapped)
+
+
+def test_compare_methods_runs_through_engine(fig1_graph):
+    result = compare_methods(fig1_graph, time_limit=TIME_LIMIT, jobs=2)
+    assert result.winner() == "ADVBIST"
+    assert len(result.reports) == 5  # reference + ADVBIST + three baselines
+    kinds = {report.kind for report in result.reports}
+    assert kinds == {"reference", "advbist", "baseline"}
+
+
+def test_best_entry_tie_breaks_on_smallest_k(fig1_graph):
+    sweep = SweepEngine(time_limit=TIME_LIMIT).sweep(fig1_graph)
+    design = sweep.entries[-1].design
+    reference_area = sweep.reference.area().total
+    tied = SweepResult(
+        circuit="fig1",
+        reference=sweep.reference,
+        entries=[
+            SweepEntry(circuit="fig1", k=5, design=design, reference_area=reference_area),
+            SweepEntry(circuit="fig1", k=2, design=design, reference_area=reference_area),
+        ],
+    )
+    assert tied.best_entry().k == 2
+
+
+# ----------------------------------------------------------------------
+# sparse vs dense lowering parity on the paper's formulations
+# ----------------------------------------------------------------------
+def test_fig1_lowering_parity_across_backends(fig1_graph):
+    """Sparse and dense lowerings of the fig1 ADVBIST model agree everywhere."""
+    objectives = set()
+    for backend_name in ("scipy", "bnb"):
+        for sparse_form in (True, False):
+            model = AdvBistFormulation(fig1_graph, 1).model
+            form = model.to_matrix_form(sparse_form=sparse_form)
+            solution = get_backend(backend_name).solve(form, time_limit=TIME_LIMIT)
+            assert solution.status is SolveStatus.OPTIMAL
+            objectives.add(round(solution.objective, 6))
+    assert len(objectives) == 1
+
+
+def test_tseng_lowering_parity(tseng_graph):
+    """Sparse and dense lowerings of the tseng reference model agree."""
+    model = ReferenceFormulation(tseng_graph).model
+    scipy_backend = get_backend("scipy")
+    sparse_obj = scipy_backend.solve(model.to_matrix_form()).objective
+    dense_obj = scipy_backend.solve(model.to_matrix_form(sparse_form=False)).objective
+    assert sparse_obj == pytest.approx(dense_obj)
+    bnb_obj = get_backend("bnb").solve(model.to_matrix_form(),
+                                       time_limit=TIME_LIMIT).objective
+    assert bnb_obj == pytest.approx(sparse_obj)
+
+
+def test_every_design_of_a_sweep_carries_solve_stats(fig1_graph):
+    sweep = SweepEngine(time_limit=TIME_LIMIT).sweep(fig1_graph)
+    assert sweep.reference.stats is not None
+    for entry in sweep.entries:
+        stats = entry.design.stats
+        assert stats is not None
+        assert stats.wall_seconds > 0.0
+        assert stats.nnz > 0
+        assert stats.backend

@@ -1,14 +1,20 @@
-"""Tests of the two solver backends (HiGHS via scipy, and the own B&B)."""
+"""Tests of the solver backends, their registry and the sparse lowering."""
 
 import pytest
 
 from repro.ilp import (
+    BackendRegistryError,
     BranchAndBoundBackend,
     LinExpr,
     Model,
     ScipyMilpBackend,
     SolveStatus,
+    available_backend_names,
+    backend_info,
     get_backend,
+    list_backends,
+    register_backend,
+    resolve_backend_name,
 )
 
 BACKENDS = ["scipy", "bnb"]
@@ -131,6 +137,93 @@ def test_get_backend_auto_and_errors():
     assert isinstance(get_backend("highs"), ScipyMilpBackend)
     with pytest.raises(ValueError):
         get_backend("glpk")
+
+
+def test_bnb_time_limit_stops_without_incumbent():
+    """A zero time limit trips the wall-clock check before any node solves."""
+    model, _items = knapsack_model()
+    solution = model.solve(backend="bnb", time_limit=0.0)
+    assert solution.status is SolveStatus.TIME_LIMIT
+    assert not solution.status.has_solution
+    assert solution.objective is None
+    assert "no incumbent" in solution.message
+    assert solution.stats is not None and solution.stats.backend == "bnb"
+
+
+def test_bnb_without_time_limit_proves_optimality():
+    model, _items = knapsack_model()
+    solution = model.solve(backend="bnb", time_limit=None)
+    assert solution.status is SolveStatus.OPTIMAL
+
+
+def test_registry_metadata_and_aliases():
+    names = available_backend_names()
+    assert {"scipy", "highs", "bnb", "branch_and_bound"} <= set(names)
+    assert resolve_backend_name("highs") == "scipy"
+    assert resolve_backend_name("BRANCH_AND_BOUND") == "bnb"
+    info = backend_info("scipy")
+    assert info.supports_sparse and info.supports_time_limit
+    assert info.cls is ScipyMilpBackend
+    canonical = [entry.name for entry in list_backends()]
+    assert canonical == sorted(canonical)
+    # instances carry the capability flags the modelling layer checks
+    assert ScipyMilpBackend().supports_sparse
+    assert BranchAndBoundBackend().supports_sparse
+    assert ScipyMilpBackend.name == "scipy"
+
+
+def test_register_backend_rejects_conflicts_and_reserved_names(backend_registry_snapshot):
+    with pytest.raises(BackendRegistryError):
+        @register_backend("scipy")
+        class Impostor:  # pragma: no cover - never instantiated
+            def solve(self, form, time_limit=None, mip_gap=1e-6):
+                raise NotImplementedError
+
+    with pytest.raises(BackendRegistryError):
+        @register_backend("auto")
+        class Reserved:  # pragma: no cover - never instantiated
+            def solve(self, form, time_limit=None, mip_gap=1e-6):
+                raise NotImplementedError
+
+
+def test_registered_custom_backend_resolves_by_name_and_alias(backend_registry_snapshot):
+    calls = []
+
+    @register_backend("echo-test", aliases=("echo-alias",), supports_sparse=False,
+                      description="test-only stub")
+    class EchoBackend:
+        def solve(self, form, time_limit=None, mip_gap=1e-6):
+            calls.append(form)
+            from repro.ilp import Solution
+            return Solution(status=SolveStatus.INFEASIBLE)
+
+    assert resolve_backend_name("echo-alias") == "echo-test"
+    model = Model()
+    model.add_binary("x")
+    solution = model.solve(backend="echo-test")
+    assert solution.status is SolveStatus.INFEASIBLE
+    # supports_sparse=False means the model handed over the dense lowering
+    assert not calls[0].is_sparse
+    assert solution.stats is not None and solution.stats.backend == "echo-test"
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_backends_consume_sparse_form_natively(backend):
+    model, _items = knapsack_model()
+    form = model.to_matrix_form()
+    assert form.is_sparse
+    solution = get_backend(backend).solve(form)
+    assert solution.status is SolveStatus.OPTIMAL
+    # maximisation models are negated before reaching the backend
+    assert solution.objective == pytest.approx(-11.0)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_sparse_and_dense_lowerings_agree(backend):
+    model, _items = knapsack_model()
+    sparse_solution = get_backend(backend).solve(model.to_matrix_form())
+    dense_solution = get_backend(backend).solve(model.to_matrix_form(sparse_form=False))
+    assert sparse_solution.objective == pytest.approx(dense_solution.objective)
 
 
 def test_solution_value_default_for_unknown_variable():

@@ -59,16 +59,81 @@ def test_matrix_form_shapes_and_signs():
     model.add_constr((x + y) == 2)         # eq row
     model.set_objective(3 * x + y)
     form = model.to_matrix_form()
+    assert form.is_sparse
     assert form.A_ub.shape == (2, 2)
     assert form.A_eq.shape == (1, 2)
-    np.testing.assert_allclose(form.A_ub[0], [1.0, 2.0])
+    A_ub = form.A_ub.toarray()
+    A_eq = form.A_eq.toarray()
+    np.testing.assert_allclose(A_ub[0], [1.0, 2.0])
     np.testing.assert_allclose(form.b_ub[0], 4.0)
-    np.testing.assert_allclose(form.A_ub[1], [-1.0, 1.0])
+    np.testing.assert_allclose(A_ub[1], [-1.0, 1.0])
     np.testing.assert_allclose(form.b_ub[1], 1.0)
-    np.testing.assert_allclose(form.A_eq[0], [1.0, 1.0])
+    np.testing.assert_allclose(A_eq[0], [1.0, 1.0])
     np.testing.assert_allclose(form.b_eq[0], 2.0)
     np.testing.assert_allclose(form.c, [3.0, 1.0])
     assert form.integrality.tolist() == [1, 1]
+    assert form.nnz == 6
+
+
+def test_dense_lowering_matches_sparse():
+    model = Model()
+    x = model.add_binary("x")
+    y = model.add_integer("y", upper=5)
+    model.add_constr(x + 2 * y <= 4)
+    model.add_constr(x - y >= -1)
+    model.add_constr((x + y) == 2)
+    model.set_objective(3 * x + y)
+    sparse_form = model.to_matrix_form()
+    dense_form = model.to_matrix_form(sparse_form=False)
+    assert not dense_form.is_sparse
+    assert isinstance(dense_form.A_ub, np.ndarray)
+    np.testing.assert_allclose(dense_form.A_ub, sparse_form.A_ub.toarray())
+    np.testing.assert_allclose(dense_form.A_eq, sparse_form.A_eq.toarray())
+    np.testing.assert_allclose(dense_form.b_ub, sparse_form.b_ub)
+    np.testing.assert_allclose(dense_form.b_eq, sparse_form.b_eq)
+    assert dense_form.nnz == sparse_form.nnz
+    # to_dense on an already dense form is the identity
+    assert dense_form.to_dense() is dense_form
+
+
+def test_empty_constraint_blocks_have_zero_rows():
+    model = Model()
+    x = model.add_binary("x")
+    model.set_objective(x + 0.0)
+    form = model.to_matrix_form()
+    assert form.A_ub.shape == (0, 1)
+    assert form.A_eq.shape == (0, 1)
+    assert form.nnz == 0
+
+
+def test_repeated_variable_terms_accumulate_in_lowering():
+    model = Model()
+    x = model.add_integer("x", upper=10)
+    expr = x + x + x  # 3x via repeated terms
+    model.add_constr(expr <= 6)
+    model.set_objective(-1.0 * x)
+    form = model.to_matrix_form()
+    np.testing.assert_allclose(form.A_ub.toarray(), [[3.0]])
+    solution = model.solve()
+    assert solution.value(x) == pytest.approx(2.0)
+
+
+def test_solve_attaches_populated_stats():
+    model = Model()
+    x = model.add_binary("x")
+    y = model.add_binary("y")
+    model.add_constr(x + y <= 1)
+    model.set_objective(-1.0 * x - 2.0 * y)
+    solution = model.solve()
+    stats = solution.stats
+    assert stats is not None
+    assert stats.backend == "scipy"
+    assert stats.wall_seconds > 0.0
+    assert stats.nnz == 2
+    assert stats.num_variables == 2
+    assert stats.num_constraints == 1
+    row = stats.as_row()
+    assert row["nnz"] == 2 and row["backend"] == "scipy"
 
 
 def test_matrix_form_maximisation_negates_objective():
