@@ -33,19 +33,25 @@ from .dfg import (
     DataFlowGraph,
     DFGBuilder,
     DfgVariable,
+    GeneratorConfig,
     Operation,
+    generate_behavioral,
+    generate_corpus,
+    generate_scheduled,
     horizontal_crossings,
     minimum_module_counts,
     minimum_register_count,
     variable_lifetimes,
 )
 from .hls import (
+    FrontEndResult,
     ModuleBinding,
     RegisterBinding,
     alap_schedule,
     asap_schedule,
     bind_modules,
     coloring_binding,
+    elaborate,
     left_edge_binding,
     list_schedule,
 )
@@ -78,11 +84,20 @@ from .core import (
 )
 from .ilp import SolveStats, available_backend_names, list_backends, register_backend
 from .baselines import run_advan, run_bits, run_ralloc
-from .circuits import get_circuit, get_spec, list_circuits
+from .circuits import (
+    get_circuit,
+    get_spec,
+    list_circuits,
+    load_circuit,
+    register_graph,
+    unregister_circuit,
+)
+from .fuzzing import FuzzReport, ParityCase, check_parity, run_fuzz
 from .reporting import (
     compare_methods,
     extra_register_penalty,
     render_backends,
+    render_fuzz_report,
     render_table1,
     render_table2,
     render_table3,
@@ -92,12 +107,14 @@ __version__ = "1.0.0"
 
 __all__ = [
     # dfg
-    "Constant", "DataFlowGraph", "DFGBuilder", "DfgVariable", "Operation",
+    "Constant", "DataFlowGraph", "DFGBuilder", "DfgVariable", "GeneratorConfig",
+    "Operation", "generate_behavioral", "generate_corpus", "generate_scheduled",
     "horizontal_crossings", "minimum_module_counts", "minimum_register_count",
     "variable_lifetimes",
     # hls
-    "ModuleBinding", "RegisterBinding", "alap_schedule", "asap_schedule",
-    "bind_modules", "coloring_binding", "left_edge_binding", "list_schedule",
+    "FrontEndResult", "ModuleBinding", "RegisterBinding", "alap_schedule",
+    "asap_schedule", "bind_modules", "coloring_binding", "elaborate",
+    "left_edge_binding", "list_schedule",
     # datapath
     "Datapath", "TestPlan", "TestRegisterKind", "verify_bist_plan",
     # cost
@@ -113,8 +130,12 @@ __all__ = [
     "run_advan", "run_bits", "run_ralloc",
     # circuits
     "get_circuit", "get_spec", "list_circuits",
+    "load_circuit", "register_graph", "unregister_circuit",
+    # fuzzing
+    "FuzzReport", "ParityCase", "check_parity", "run_fuzz",
     # reporting
     "compare_methods", "extra_register_penalty",
-    "render_backends", "render_table1", "render_table2", "render_table3",
+    "render_backends", "render_fuzz_report",
+    "render_table1", "render_table2", "render_table3",
     "__version__",
 ]

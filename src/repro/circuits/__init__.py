@@ -1,13 +1,28 @@
 """Benchmark circuits of the paper's evaluation (plus the Fig. 1 example)."""
 
 from . import dct4, fig1, fir6, iir3, paulin, tseng, wavelet6
-from .registry import CircuitSpec, get_circuit, get_spec, list_circuits
+from .registry import (
+    BUILTIN_CIRCUITS,
+    CircuitSpec,
+    get_circuit,
+    get_spec,
+    list_circuits,
+    load_circuit,
+    load_front,
+    register_graph,
+    unregister_circuit,
+)
 
 __all__ = [
+    "BUILTIN_CIRCUITS",
     "CircuitSpec",
     "get_circuit",
     "get_spec",
     "list_circuits",
+    "load_circuit",
+    "load_front",
+    "register_graph",
+    "unregister_circuit",
     "dct4",
     "fig1",
     "fir6",

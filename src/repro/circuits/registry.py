@@ -1,18 +1,27 @@
-"""Registry of the benchmark circuits used in the paper's evaluation.
+"""Registry of the circuits available to the synthesizers.
 
 Every entry produces a scheduled, module-bound :class:`DataFlowGraph` ready
 for the ADVBIST / baseline synthesizers.  The registry also records, for each
 circuit, the maximal number of test sessions (its module count as listed in
 parentheses in Table 3) so the benchmark harness can sweep the same k range
 as the paper.
+
+Beyond the seven static benchmark circuits, the registry is *open*: user
+circuits can be registered at runtime — either from an in-memory graph
+(:func:`register_graph`) or straight from a ``repro.dfg.textio`` JSON file
+(:func:`load_circuit`, the substrate of ``repro synth``).  Behavioural
+graphs are elaborated through the HLS front end on the way in, so a
+registered circuit is always synthesizer-ready.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from pathlib import Path
+from typing import Any, Callable, Mapping
 
-from ..dfg.graph import DataFlowGraph
+from ..dfg.graph import DataFlowGraph, DFGError
+from ..dfg import textio
 from . import dct4, fig1, fir6, iir3, paulin, tseng, wavelet6
 
 
@@ -104,14 +113,18 @@ _REGISTRY: dict[str, CircuitSpec] = {
 }
 
 
+#: Names of the built-in benchmark circuits (never unregistered).
+BUILTIN_CIRCUITS = frozenset(_REGISTRY)
+
+
 def list_circuits(paper_only: bool = False) -> list[str]:
-    """Names of the available benchmark circuits."""
+    """Names of the available circuits (static benchmarks + registered)."""
     return [name for name, spec in _REGISTRY.items()
             if spec.in_paper_table or not paper_only]
 
 
 def get_spec(name: str) -> CircuitSpec:
-    """Full metadata of a benchmark circuit."""
+    """Full metadata of a registered circuit."""
     try:
         return _REGISTRY[name]
     except KeyError:
@@ -121,5 +134,129 @@ def get_spec(name: str) -> CircuitSpec:
 
 
 def get_circuit(name: str) -> DataFlowGraph:
-    """Build the scheduled, module-bound DFG of a benchmark circuit."""
+    """Build the scheduled, module-bound DFG of a registered circuit."""
     return get_spec(name).build()
+
+
+# ----------------------------------------------------------------------
+# dynamic registration (user circuits)
+# ----------------------------------------------------------------------
+def register_graph(
+    graph: DataFlowGraph,
+    description: str = "",
+    resource_limits: Mapping[str, int] | None = None,
+    behavioral: DataFlowGraph | None = None,
+    replace: bool = False,
+) -> CircuitSpec:
+    """Register an in-memory DFG as a named circuit.
+
+    Behavioural graphs are elaborated (list scheduling + module binding)
+    under ``resource_limits`` before registration, so :func:`get_circuit`
+    always returns a synthesizer-ready graph.  The built-in benchmark
+    entries cannot be overwritten, even with ``replace=True``.
+    """
+    from ..hls.frontend import elaborate  # lazy: circuits → hls → dfg cycle
+
+    name = graph.name
+    if not name:
+        raise DFGError("cannot register a circuit with an empty name")
+    if name in BUILTIN_CIRCUITS:
+        raise ValueError(f"circuit name {name!r} is reserved by a built-in benchmark")
+    if name in _REGISTRY and not replace:
+        raise ValueError(f"circuit {name!r} is already registered (use replace=True)")
+
+    behavioral = behavioral if behavioral is not None else graph
+    if graph.is_scheduled and graph.is_module_bound:
+        prepared = graph  # already synthesizer-ready; nothing to elaborate
+    else:
+        prepared = elaborate(graph, resource_limits=resource_limits).graph
+    spec = CircuitSpec(
+        name=name,
+        description=description or f"user circuit ({len(prepared)} operations)",
+        builder=lambda: prepared,
+        behavioral_builder=lambda: behavioral,
+        resource_limits=dict(resource_limits or {}),
+        paper_max_sessions=None,
+        in_paper_table=False,
+    )
+    _REGISTRY[name] = spec
+    return spec
+
+
+def unregister_circuit(name: str) -> None:
+    """Remove a dynamically registered circuit (built-ins are protected)."""
+    if name in BUILTIN_CIRCUITS:
+        raise ValueError(f"cannot unregister built-in circuit {name!r}")
+    _REGISTRY.pop(name, None)
+
+
+def circuit_dict_from_payload(data: Any) -> dict:
+    """Extract the DFG dictionary from a loaded JSON payload.
+
+    Accepts both a bare ``repro.dfg.textio`` dictionary and the wrapped
+    ``{"graph": {...}, ...}`` envelope that ``repro fuzz`` writes for failing
+    cases, so every artefact the tool emits is replayable as-is.
+    """
+    if isinstance(data, dict) and "operations" not in data and isinstance(data.get("graph"), dict):
+        return data["graph"]
+    if not isinstance(data, dict):
+        raise DFGError(f"DFG JSON must be an object, got {type(data).__name__}")
+    return data
+
+
+def load_front(
+    path: str | Path,
+    resource_limits: Mapping[str, int] | None = None,
+    register: bool = True,
+    replace: bool = True,
+):
+    """Load a circuit file through the HLS front end; return the front-end result.
+
+    The single load path shared by :func:`load_circuit` and ``repro synth``:
+    read + parse the JSON (bad JSON and non-UTF-8 content surface as
+    :class:`DFGError`; filesystem problems stay ``OSError``), unwrap fuzz
+    envelopes, elaborate, and (by default) register the prepared graph.
+    Returns the :class:`repro.hls.frontend.FrontEndResult`, whose ``graph``
+    is scheduled and module-bound and whose summary says what the front end
+    actually did.
+    """
+    import json
+
+    from ..hls.frontend import elaborate  # lazy: circuits → hls → dfg cycle
+
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except UnicodeDecodeError as exc:
+        raise DFGError(f"{path}: not UTF-8 text: {exc}") from exc
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise DFGError(f"{path}: not valid JSON: {exc}") from exc
+    graph = textio.from_dict(circuit_dict_from_payload(data))
+    front = elaborate(graph, resource_limits=resource_limits)
+    if register:
+        # register_graph sees an already-prepared graph, so it does not
+        # re-run the front end.
+        register_graph(front.graph, description=f"loaded from {path.name}",
+                       resource_limits=resource_limits, behavioral=graph,
+                       replace=replace)
+    return front
+
+
+def load_circuit(
+    path: str | Path,
+    resource_limits: Mapping[str, int] | None = None,
+    register: bool = True,
+    replace: bool = True,
+) -> DataFlowGraph:
+    """Load a circuit from a ``repro.dfg.textio`` JSON file.
+
+    The graph may be behavioural or pre-scheduled; it comes back scheduled
+    and module-bound.  With ``register=True`` (the default) the circuit also
+    lands in the registry under its JSON ``name``, so the rest of the session
+    can refer to it like any benchmark.  Name clashes with built-in circuits
+    are rejected rather than silently shadowed.
+    """
+    return load_front(path, resource_limits=resource_limits,
+                      register=register, replace=replace).graph

@@ -11,6 +11,8 @@ writing any Python::
     python -m repro sweep tseng --stats          # ... with solver statistics
     python -m repro compare fir6 --backend bnb   # Table 3 block, chosen solver
     python -m repro baseline ralloc iir3         # run a single heuristic baseline
+    python -m repro synth mycircuit.json         # full pipeline on a user DFG file
+    python -m repro fuzz --count 25 --seed 0     # random-DFG backend cross-check
 
 Every command prints plain text; ``--time-limit`` caps each ILP solve.
 The solver knobs shared by the ILP-backed commands:
@@ -36,6 +38,7 @@ from .ilp.backends import available_backend_names, iter_backend_rows
 from .reporting import (
     compare_methods,
     render_backends,
+    render_fuzz_report,
     render_table1,
     render_table2,
     render_table3,
@@ -43,16 +46,81 @@ from .reporting import (
 
 _BASELINES = {"advan": run_advan, "ralloc": run_ralloc, "bits": run_bits}
 
+_SYNTH_METHODS = ("advbist", "all", "advan", "ralloc", "bits")
+
+
+# ----------------------------------------------------------------------
+# argparse value types: numeric flags fail with a clear message at parse
+# time instead of a deep traceback from the executor or task grid.
+# ----------------------------------------------------------------------
+def _int_at_least(minimum: int, flag_meaning: str):
+    def parse(text: str) -> int:
+        try:
+            value = int(text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"{flag_meaning} must be an integer, got {text!r}")
+        if value < minimum:
+            raise argparse.ArgumentTypeError(
+                f"{flag_meaning} must be >= {minimum}, got {value}")
+        return value
+    return parse
+
+
+_positive_int_jobs = _int_at_least(1, "--jobs")
+_positive_int_k = _int_at_least(1, "--k")
+_positive_int_max_k = _int_at_least(1, "--max-k")
+_positive_int_count = _int_at_least(1, "--count")
+_positive_int_ops = _int_at_least(1, "--ops")
+_nonnegative_int_seed = _int_at_least(0, "--seed")
+
+
+def _positive_float_time_limit(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--time-limit must be a number of seconds, got {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"--time-limit must be positive, got {value}")
+    return value
+
+
+def _resource_limits(text: str) -> dict[str, int]:
+    """Parse ``--resources alu=1,mult=2`` into a class → count mapping."""
+    limits: dict[str, int] = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        cls, sep, num = part.partition("=")
+        if not sep or not cls.strip():
+            raise argparse.ArgumentTypeError(
+                f"--resources entries must look like CLASS=N, got {part!r}")
+        try:
+            count = int(num)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"--resources count for {cls.strip()!r} must be an integer, got {num!r}")
+        if count < 1:
+            raise argparse.ArgumentTypeError(
+                f"--resources count for {cls.strip()!r} must be >= 1, got {count}")
+        limits[cls.strip()] = count
+    if not limits:
+        raise argparse.ArgumentTypeError("--resources must name at least one CLASS=N")
+    return limits
+
 
 def _add_solver_arguments(parser: argparse.ArgumentParser, jobs: bool = False) -> None:
     """The solver knobs shared by the ILP-backed commands."""
-    parser.add_argument("--time-limit", type=float, default=120.0,
+    parser.add_argument("--time-limit", type=_positive_float_time_limit, default=120.0,
                         help="per-solve wall clock limit in seconds")
     parser.add_argument("--backend", default="auto",
                         choices=["auto", *available_backend_names()],
                         help="ILP solver backend (see 'repro backends')")
     if jobs:
-        parser.add_argument("--jobs", type=int, default=1,
+        parser.add_argument("--jobs", type=_positive_int_jobs, default=1,
                             help="worker processes for the independent solves")
         parser.add_argument("--no-cache", action="store_true",
                             help="bypass the on-disk design cache")
@@ -73,13 +141,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     synth = subparsers.add_parser("synthesize", help="synthesize one ADVBIST design")
     synth.add_argument("circuit", help="circuit name (see 'repro list')")
-    synth.add_argument("--k", type=int, default=None,
+    synth.add_argument("--k", type=_positive_int_k, default=None,
                        help="number of test sessions (default: number of modules)")
     _add_solver_arguments(synth)
 
     sweep = subparsers.add_parser("sweep", help="Table 2 sweep (k = 1..N) for a circuit")
     sweep.add_argument("circuit")
-    sweep.add_argument("--max-k", type=int, default=None,
+    sweep.add_argument("--max-k", type=_positive_int_max_k, default=None,
                        help="cap the sweep at this many test sessions")
     sweep.add_argument("--stats", action="store_true",
                        help="append solver statistics (nnz, nodes, backend) per row")
@@ -88,13 +156,56 @@ def build_parser() -> argparse.ArgumentParser:
     compare = subparsers.add_parser("compare",
                                     help="Table 3 comparison (ADVBIST vs baselines)")
     compare.add_argument("circuit")
-    compare.add_argument("--k", type=int, default=None)
+    compare.add_argument("--k", type=_positive_int_k, default=None)
     _add_solver_arguments(compare, jobs=True)
 
     baseline = subparsers.add_parser("baseline", help="run one heuristic baseline")
     baseline.add_argument("method", choices=sorted(_BASELINES))
     baseline.add_argument("circuit")
-    baseline.add_argument("--k", type=int, default=None)
+    baseline.add_argument("--k", type=_positive_int_k, default=None)
+
+    user_synth = subparsers.add_parser(
+        "synth",
+        help="run the full pipeline on a user DFG JSON file "
+             "(schedule + bind if behavioural, then synthesize)")
+    user_synth.add_argument("dfg", help="path to a DFG JSON file (repro.dfg.textio format)")
+    user_synth.add_argument("--method", choices=_SYNTH_METHODS, default="advbist",
+                            help="synthesis method, or 'all' for the Table 3 comparison")
+    user_synth.add_argument("--k", type=_positive_int_k, default=None,
+                            help="test sessions; with --method advbist omitting it "
+                                 "sweeps k = 1..modules (Table 2)")
+    user_synth.add_argument("--max-k", type=_positive_int_max_k, default=None,
+                            help="cap the ADVBIST sweep at this many test sessions")
+    user_synth.add_argument("--resources", type=_resource_limits, default=None,
+                            metavar="CLASS=N[,CLASS=N...]",
+                            help="functional-unit budget for scheduling a "
+                                 "behavioural DFG, e.g. alu=1,mult=2")
+    user_synth.add_argument("--stats", action="store_true",
+                            help="append solver statistics to the sweep table")
+    _add_solver_arguments(user_synth, jobs=True)
+
+    fuzz = subparsers.add_parser(
+        "fuzz",
+        help="sweep random circuits and cross-check the ILP backends "
+             "(scipy vs branch-and-bound objective parity)")
+    fuzz.add_argument("--count", type=_positive_int_count, default=10,
+                      help="number of random circuits to generate")
+    fuzz.add_argument("--seed", type=_nonnegative_int_seed, default=0,
+                      help="base seed; circuit i uses seed + i")
+    fuzz.add_argument("--ops", type=_positive_int_ops, default=6,
+                      help="operations per generated circuit")
+    fuzz.add_argument("--formulation", choices=["reference", "advbist"],
+                      default="reference",
+                      help="ILP to cross-check: the reference model (fast, "
+                           "the default) or the full ADVBIST BIST model "
+                           "(much slower for the pure-Python solver)")
+    fuzz.add_argument("--k", type=_positive_int_k, default=None,
+                      help="test sessions per circuit with --formulation "
+                           "advbist (default: its module count)")
+    fuzz.add_argument("--out", default="fuzz-failures",
+                      help="directory for replayable failing-case JSON files")
+    fuzz.add_argument("--time-limit", type=_positive_float_time_limit, default=120.0,
+                      help="per-solve wall clock limit in seconds")
 
     return parser
 
@@ -172,6 +283,72 @@ def _cmd_baseline(args) -> int:
     return 0
 
 
+def _cmd_synth(args) -> int:
+    from .circuits.registry import load_front
+    from .dfg.graph import DFGError
+
+    try:
+        front = load_front(args.dfg, resource_limits=args.resources)
+    except FileNotFoundError:
+        print(f"error: no such DFG file: {args.dfg}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        # directory paths, permission problems, ... — diagnose, don't traceback
+        print(f"error: cannot read DFG file {args.dfg}: {exc}", file=sys.stderr)
+        return 2
+    except (DFGError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    graph = front.graph
+    summary = front.summary()
+    print(f"front end: {summary['operations']} operations -> "
+          f"{summary['control_steps']} control steps, "
+          f"{summary['modules']} modules, "
+          f"{summary['left_edge_registers']} left-edge registers")
+
+    if args.method == "advbist" and args.k is None:
+        engine = SweepEngine(backend=args.backend, time_limit=args.time_limit,
+                             jobs=args.jobs, cache=not args.no_cache)
+        sweep = engine.sweep(graph, max_k=args.max_k)
+        print(f"Reference area: {sweep.reference.area().total} transistors")
+        print(render_table2(sweep.table2_rows(stats=args.stats), stats=args.stats))
+        cached = sum(1 for report in sweep.reports if report.cached)
+        if cached:
+            print(f"\n({cached}/{len(sweep.reports)} solves served from the design cache)")
+        return 0
+
+    methods = {"advbist": ("ADVBIST",), "all": ("ADVBIST", "ADVAN", "RALLOC", "BITS")}
+    selected = methods.get(args.method, (args.method.upper(),))
+    result = compare_methods(graph, k=args.k, methods=selected,
+                             backend=args.backend, time_limit=args.time_limit,
+                             jobs=args.jobs, cache=not args.no_cache)
+    print(render_table3(result.rows(), circuit=f"{graph.name} ({result.k} sessions)"))
+    for method, design in result.designs.items():
+        print(f"{method}: optimal={design.optimal}   verified={design.verify().ok}")
+    if len(result.designs) > 1:
+        print(f"\nlowest overhead: {result.winner()}")
+    return 0
+
+
+def _cmd_fuzz(args) -> int:
+    from .fuzzing import run_fuzz
+
+    report = run_fuzz(count=args.count, seed=args.seed,
+                      formulation=args.formulation, k=args.k,
+                      num_operations=args.ops, time_limit=args.time_limit,
+                      failure_dir=args.out)
+    print(render_fuzz_report(report.rows()))
+    if report.failures:
+        print(f"\n{len(report.failures)}/{len(report.cases)} circuits FAILED "
+              f"backend parity; replayable cases written to:", file=sys.stderr)
+        for case in report.failures:
+            print(f"  {case.failure_path}", file=sys.stderr)
+        return 1
+    print(f"\nall {len(report.cases)} random circuits agree across backends")
+    return 0
+
+
 _HANDLERS = {
     "list": _cmd_list,
     "backends": _cmd_backends,
@@ -180,11 +357,17 @@ _HANDLERS = {
     "sweep": _cmd_sweep,
     "compare": _cmd_compare,
     "baseline": _cmd_baseline,
+    "synth": _cmd_synth,
+    "fuzz": _cmd_fuzz,
 }
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    from .core.engine import EngineError
+    from .core.formulation import FormulationError
+    from .dfg.graph import DFGError
+
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
@@ -192,6 +375,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     except KeyError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except (FormulationError, EngineError, DFGError) as exc:
+        # e.g. an ADVBIST model that is infeasible for the requested k on a
+        # user/random circuit: a clean diagnostic, not a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro

@@ -266,11 +266,23 @@ class DesignCache:
             # Corrupt or stale (older-version) entries must read as misses,
             # never crash a sweep; pickle raises whatever the mangled byte
             # stream implies (UnpicklingError, ValueError, ImportError, ...).
+            # Evict the bad file so the miss is paid once, not on every
+            # subsequent sweep; the fresh solve then re-publishes the key.
+            self._evict(path)
             return None
         if not isinstance(outcome, TaskOutcome):
+            self._evict(path)
             return None
         outcome.cached = True
         return outcome
+
+    @staticmethod
+    def _evict(path: Path) -> None:
+        """Best-effort removal of an unusable cache entry."""
+        try:
+            path.unlink(missing_ok=True)
+        except OSError:  # pragma: no cover - racing unlink / read-only store
+            pass
 
     def put(self, key: str | None, outcome: TaskOutcome) -> None:
         if key is None:

@@ -23,9 +23,21 @@ from .analysis import (
     self_adjacency_candidates,
     variable_lifetimes,
 )
+from .generate import (
+    GeneratorConfig,
+    generate_behavioral,
+    generate_corpus,
+    generate_scheduled,
+    resource_limits_for,
+)
 from . import textio
 
 __all__ = [
+    "GeneratorConfig",
+    "generate_behavioral",
+    "generate_corpus",
+    "generate_scheduled",
+    "resource_limits_for",
     "COMMUTATIVE_KINDS",
     "Constant",
     "DataFlowGraph",

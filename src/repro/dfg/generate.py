@@ -1,0 +1,170 @@
+"""Seeded random data-flow-graph generation.
+
+The paper's evaluation is frozen to seven hand-built circuits; this module
+opens the pipeline to an unbounded corpus.  :func:`generate_behavioral`
+produces a random *valid* behavioural DFG from a :class:`GeneratorConfig`
+(operation count, operation kinds, sharing pressure, output density),
+:func:`generate_scheduled` pushes it through the HLS front end (list
+scheduling + module binding) so it is ready for the BIST synthesizers, and
+:func:`generate_corpus` yields a reproducible stream of such circuits for
+fuzzing (``repro fuzz``) and property-based tests.
+
+Determinism contract: the same config (including ``seed``) always yields the
+same graph, across processes and Python versions — the generator uses only
+``random.Random`` (whose sequence is stable) and sorted iteration orders.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Iterator
+
+from .builder import DFGBuilder
+from .graph import DataFlowGraph
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Knobs of the random scheduled-DFG generator.
+
+    Attributes
+    ----------
+    num_operations:
+        Number of operations in the generated graph.
+    kinds:
+        Operation kinds to draw from (each maps to a functional-module class
+        via :data:`repro.dfg.graph.DEFAULT_MODULE_CLASS`).
+    num_inputs:
+        Number of primary inputs; default scales with the operation count.
+    sharing_pressure:
+        In ``[0, 1]``: how tightly the functional-unit budget is squeezed
+        during list scheduling.  ``1.0`` gives one module per class (maximal
+        sharing, deep schedules); ``0.0`` gives one module per operation of
+        the class (no sharing, wide schedules).
+    output_density:
+        Probability that an internally-consumed value is *also* tapped as a
+        primary output.  Dangling values (no consumer) are always primary
+        outputs — silicon computing a value nobody reads is not a circuit.
+    constant_probability:
+        Probability that an operand position is filled by a constant rather
+        than a variable.
+    seed:
+        Seed of the private :class:`random.Random` stream.
+    name:
+        Graph name; empty derives ``rand_s<seed>_o<num_operations>``.
+    """
+
+    num_operations: int = 8
+    kinds: tuple[str, ...] = ("add", "mul", "sub")
+    num_inputs: int | None = None
+    sharing_pressure: float = 0.75
+    output_density: float = 0.25
+    constant_probability: float = 0.15
+    seed: int = 0
+    name: str = ""
+
+    def __post_init__(self):
+        if self.num_operations < 1:
+            raise ValueError("num_operations must be >= 1")
+        if not self.kinds:
+            raise ValueError("kinds must not be empty")
+        if not 0.0 <= self.sharing_pressure <= 1.0:
+            raise ValueError("sharing_pressure must be in [0, 1]")
+        if not 0.0 <= self.output_density <= 1.0:
+            raise ValueError("output_density must be in [0, 1]")
+        if not 0.0 <= self.constant_probability < 1.0:
+            raise ValueError("constant_probability must be in [0, 1)")
+
+    @property
+    def graph_name(self) -> str:
+        return self.name or f"rand_s{self.seed}_o{self.num_operations}"
+
+
+def generate_behavioral(config: GeneratorConfig | None = None, **overrides) -> DataFlowGraph:
+    """Generate a random, valid, *unscheduled* behavioural DFG.
+
+    Keyword overrides are applied on top of ``config`` (or the defaults), so
+    ``generate_behavioral(seed=3, num_operations=12)`` reads naturally.
+    """
+    config = replace(config or GeneratorConfig(), **overrides)
+    rng = random.Random(config.seed)
+
+    builder = DFGBuilder(config.graph_name)
+    num_inputs = (config.num_inputs if config.num_inputs is not None
+                  else max(2, config.num_operations // 3 + 1))
+    # Port 0 of every operation is a variable, so there are exactly
+    # num_operations guaranteed variable slots; more inputs than that could
+    # never all be consumed (the analysis layer rejects dangling inputs).
+    num_inputs = min(num_inputs, config.num_operations)
+    inputs = [builder.input(f"in{i}") for i in range(num_inputs)]
+    available = list(inputs)
+
+    produced = []
+    consumed: set[int] = set()
+    pending_inputs = list(inputs)  # primary inputs still awaiting a consumer
+
+    def pick_variable():
+        # Drain the unconsumed primary inputs first so none is left dangling.
+        if pending_inputs:
+            return pending_inputs.pop(rng.randrange(len(pending_inputs)))
+        return rng.choice(available)
+
+    for index in range(config.num_operations):
+        kind = rng.choice(config.kinds)
+        # Port 0 is always a variable so every operation hangs off the
+        # dataflow; port 1 may be a constant.
+        left = pick_variable()
+        consumed.add(int(left))
+        if rng.random() < config.constant_probability:
+            right = builder.constant(float(rng.randint(1, 9)))
+        else:
+            right = pick_variable()
+            consumed.add(int(right))
+        out = builder.op(kind, left, right, name=f"t{index}")
+        available.append(out)
+        produced.append(out)
+
+    for handle in produced:
+        if int(handle) not in consumed or rng.random() < config.output_density:
+            builder.output(handle)
+    return builder.build()
+
+
+def resource_limits_for(graph: DataFlowGraph, sharing_pressure: float) -> dict[str, int]:
+    """Functional-unit budget per class implied by the sharing pressure.
+
+    Linear interpolation between one module per operation of a class
+    (``sharing_pressure = 0``) and a single module per class
+    (``sharing_pressure = 1``).
+    """
+    limits: dict[str, int] = {}
+    for cls, ops in sorted(graph.operation_kinds().items()):
+        span = len(ops) - 1
+        limits[cls] = max(1, len(ops) - round(sharing_pressure * span))
+    return limits
+
+
+def generate_scheduled(config: GeneratorConfig | None = None, **overrides) -> DataFlowGraph:
+    """Generate a random *scheduled, module-bound* DFG (synthesizer-ready)."""
+    from ..hls.frontend import elaborate  # lazy: dfg must not hard-import hls
+
+    config = replace(config or GeneratorConfig(), **overrides)
+    graph = generate_behavioral(config)
+    limits = resource_limits_for(graph, config.sharing_pressure)
+    return elaborate(graph, resource_limits=limits).graph
+
+
+def generate_corpus(count: int, config: GeneratorConfig | None = None,
+                    **overrides) -> Iterator[DataFlowGraph]:
+    """Yield ``count`` scheduled random circuits with consecutive seeds.
+
+    Circuit ``i`` uses ``config.seed + i``, so a failing case reported by the
+    fuzzer as seed ``s`` is regenerated exactly by ``generate_scheduled(seed=s)``
+    with the same remaining knobs.
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    config = replace(config or GeneratorConfig(), **overrides)
+    for i in range(count):
+        yield generate_scheduled(replace(config, seed=config.seed + i, name=""))

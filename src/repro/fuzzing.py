@@ -1,0 +1,247 @@
+"""Random-DFG fuzzing: cross-check the ILP backends against each other.
+
+The repository deliberately ships two independent exact MILP backends
+(scipy/HiGHS and the pure-Python branch and bound).  On any input where both
+prove optimality they must agree on the objective — any divergence is a bug
+in a backend, the sparse lowering, or the formulation.  This module turns
+that invariant into a fuzzing harness over the random circuit corpus of
+:mod:`repro.dfg.generate`:
+
+* :func:`check_parity` — solve one circuit's ILP with both backends and
+  compare (the reference formulation by default; ``formulation="advbist"``
+  cross-checks the full BIST ILP, which is much slower for the pure-Python
+  solver);
+* :func:`run_fuzz` — sweep ``count`` seeded random circuits, collect
+  :class:`ParityCase` records, and write each failing circuit to disk as a
+  replayable JSON file (``repro synth`` accepts it directly).
+
+``repro fuzz`` is a thin CLI wrapper over :func:`run_fuzz`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Sequence
+
+from .core.formulation import AdvBistFormulation
+from .core.reference import ReferenceFormulation
+from .cost.transistors import CostModel, PAPER_COST_MODEL
+from .dfg.generate import GeneratorConfig, generate_corpus
+from .dfg.graph import DataFlowGraph
+from .dfg.textio import to_dict as graph_to_dict
+
+#: Objective agreement tolerance: the objectives are sums of integer
+#: transistor counts, so anything beyond numerical noise is a real bug.
+PARITY_TOL = 1e-6
+
+DEFAULT_BACKENDS = ("scipy", "bnb")
+
+#: Formulations the parity check can target.
+FORMULATIONS = ("reference", "advbist")
+
+
+@dataclass
+class BackendRun:
+    """One backend's outcome on one circuit."""
+
+    backend: str
+    status: str
+    objective: float | None
+    optimal: bool
+    wall_seconds: float
+
+
+@dataclass
+class ParityCase:
+    """Cross-check record of one fuzzed circuit."""
+
+    circuit: str
+    seed: int
+    k: int | None
+    graph: DataFlowGraph
+    formulation: str = "reference"
+    runs: list[BackendRun] = field(default_factory=list)
+    failure_path: Path | None = None
+
+    @property
+    def objectives(self) -> dict[str, float | None]:
+        return {run.backend: run.objective for run in self.runs}
+
+    @property
+    def conclusive_runs(self) -> list[BackendRun]:
+        """Runs that *proved* something: an optimum or infeasibility.
+
+        A run stopped by a time/node limit proved nothing and cannot be held
+        against the other backend — its incumbent (if any) is legitimately
+        allowed to differ from the true optimum.
+        """
+        return [run for run in self.runs
+                if run.optimal or run.status == "infeasible"]
+
+    @property
+    def ok(self) -> bool:
+        """Whether the backends agree on this circuit.
+
+        The invariant is over *proofs*: every backend that reached a
+        conclusive verdict (proven optimum or proven infeasibility) must
+        agree with every other conclusive backend — same verdict, and same
+        objective within :data:`PARITY_TOL`.  Inconclusive runs (limit hits)
+        are not held to optimality — a worse incumbent is legitimate — but
+        both formulations *minimise*, so any incumbent strictly better than
+        a proven optimum disproves that proof and is a failure.
+        """
+        conclusive = self.conclusive_runs
+        solved = [run.objective for run in conclusive if run.optimal]
+        if solved and len(solved) != len(conclusive):
+            return False  # one backend proved an optimum, another proved infeasible
+        if not solved:
+            return True  # uniformly infeasible (or nothing conclusive) is agreement
+        tol = PARITY_TOL * max(1.0, abs(solved[0]))
+        if max(solved) - min(solved) > tol:
+            return False
+        proven = min(solved)
+        return all(run.objective >= proven - tol
+                   for run in self.runs if run.objective is not None)
+
+    def as_row(self) -> dict:
+        """Flat dict for the fuzz report table."""
+        row = {
+            "circuit": self.circuit,
+            "seed": self.seed,
+            "ops": len(self.graph),
+            "modules": len(self.graph.module_ids),
+            "form": self.formulation,
+            "k": "-" if self.k is None else self.k,
+        }
+        for run in self.runs:
+            row[run.backend] = "-" if run.objective is None else run.objective
+        if not self.ok:
+            row["parity"] = "FAIL"
+        elif len(self.conclusive_runs) < 2:
+            row["parity"] = "n/a"  # a limit hit left nothing to cross-check
+        else:
+            row["parity"] = "ok"
+        row["wall_s"] = round(sum(run.wall_seconds for run in self.runs), 3)
+        return row
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one :func:`run_fuzz` sweep."""
+
+    cases: list[ParityCase] = field(default_factory=list)
+
+    @property
+    def failures(self) -> list[ParityCase]:
+        return [case for case in self.cases if not case.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def rows(self) -> list[dict]:
+        return [case.as_row() for case in self.cases]
+
+
+def check_parity(
+    graph: DataFlowGraph,
+    formulation: str = "reference",
+    k: int | None = None,
+    backends: Sequence[str] = DEFAULT_BACKENDS,
+    cost_model: CostModel = PAPER_COST_MODEL,
+    time_limit: float | None = None,
+    seed: int = -1,
+) -> ParityCase:
+    """Solve one circuit's ILP with every backend and compare objectives.
+
+    ``formulation`` selects the model: ``"reference"`` (register +
+    interconnect assignment; small, the fuzzing default) or ``"advbist"``
+    (the full BIST ILP for ``k`` test sessions; a much deeper exercise of
+    the lowering but orders of magnitude slower for the pure-Python branch
+    and bound).
+    """
+    if formulation not in FORMULATIONS:
+        raise ValueError(f"unknown formulation {formulation!r}; "
+                         f"expected one of {FORMULATIONS}")
+    sessions: int | None = None
+    if formulation == "advbist":
+        sessions = k if k is not None else len(graph.module_ids)
+    case = ParityCase(circuit=graph.name, seed=seed, k=sessions, graph=graph,
+                      formulation=formulation)
+    for backend in backends:
+        if formulation == "advbist":
+            model = AdvBistFormulation(graph, sessions, cost_model)
+        else:
+            model = ReferenceFormulation(graph, cost_model)
+        result = model.solve(backend=backend, time_limit=time_limit)
+        solution = result.solution
+        case.runs.append(BackendRun(
+            backend=backend,
+            status=solution.status.value,
+            objective=(None if solution.objective is None
+                       else float(solution.objective)),
+            optimal=solution.proven_optimal,
+            wall_seconds=solution.solve_seconds,
+        ))
+    return case
+
+
+def failure_payload(case: ParityCase) -> dict:
+    """Replayable JSON description of a failing parity case."""
+    return {
+        "schema": 1,
+        "kind": "repro-fuzz-failure",
+        "seed": case.seed,
+        "formulation": case.formulation,
+        "k": case.k,
+        "runs": [
+            {"backend": run.backend, "status": run.status,
+             "objective": run.objective, "optimal": run.optimal}
+            for run in case.runs
+        ],
+        "graph": graph_to_dict(case.graph),
+    }
+
+
+def run_fuzz(
+    count: int,
+    seed: int | None = None,
+    config: GeneratorConfig | None = None,
+    formulation: str = "reference",
+    k: int | None = None,
+    backends: Sequence[str] = DEFAULT_BACKENDS,
+    time_limit: float | None = None,
+    failure_dir: str | Path | None = None,
+    **config_overrides,
+) -> FuzzReport:
+    """Fuzz ``count`` random circuits, checking backend parity on each.
+
+    Circuit ``i`` is generated from seed ``base + i`` where ``base`` is
+    ``seed`` when given, else the config's seed (see
+    :func:`repro.dfg.generate.generate_corpus`); a failing case is written to
+    ``failure_dir/<circuit>.json`` in a format :func:`repro.circuits.load_circuit`
+    and ``repro synth`` replay directly.
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    base = replace(config or GeneratorConfig(), **config_overrides)
+    if seed is not None:
+        base = replace(base, seed=seed)
+    report = FuzzReport()
+    for i, graph in enumerate(generate_corpus(count, base)):
+        case_seed = base.seed + i
+        case = check_parity(graph, formulation=formulation, k=k,
+                            backends=backends, time_limit=time_limit,
+                            seed=case_seed)
+        if not case.ok and failure_dir is not None:
+            directory = Path(failure_dir)
+            directory.mkdir(parents=True, exist_ok=True)
+            path = directory / f"{graph.name}.json"
+            path.write_text(json.dumps(failure_payload(case), indent=2,
+                                       sort_keys=True),
+                            encoding="utf-8")
+            case.failure_path = path
+        report.cases.append(case)
+    return report

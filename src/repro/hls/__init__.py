@@ -16,6 +16,7 @@ from .scheduling import (
 )
 from .module_binding import ModuleBinding, ModuleInfo, bind_modules
 from .register_binding import RegisterBinding, coloring_binding, left_edge_binding
+from .frontend import FrontEndResult, elaborate
 
 __all__ = [
     "ScheduleResult",
@@ -30,4 +31,6 @@ __all__ = [
     "RegisterBinding",
     "coloring_binding",
     "left_edge_binding",
+    "FrontEndResult",
+    "elaborate",
 ]

@@ -1,0 +1,108 @@
+"""The HLS front end: behavioural DFG → synthesizer-ready DFG in one call.
+
+The BIST synthesizers (ADVBIST, the reference ILP, the three baselines) all
+require a *scheduled and module-bound* DFG.  The seven benchmark circuits
+arrive in that state from their builders; user circuits loaded from JSON
+(``repro synth``) and fuzzer-generated circuits may arrive behavioural.
+:func:`elaborate` closes the gap:
+
+* an unscheduled graph is list-scheduled under the given functional-unit
+  budget (:func:`repro.hls.scheduling.list_schedule`);
+* an unbound graph gets the shared minimum module binding
+  (:func:`repro.hls.module_binding.bind_modules`);
+* a left-edge register binding is computed as a front-end summary (the ILPs
+  re-derive register assignment themselves; the heuristic count is the
+  conventional-allocation yardstick shown to the user).
+
+Graphs that are already scheduled/bound pass through untouched, so the
+function is idempotent and safe to call on registry circuits too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..dfg.graph import DataFlowGraph, DFGError
+from .module_binding import ModuleBinding, bind_modules
+from .register_binding import RegisterBinding, left_edge_binding
+from .scheduling import ScheduleResult, list_schedule
+
+
+@dataclass
+class FrontEndResult:
+    """Outcome of :func:`elaborate`: the prepared graph plus what was done."""
+
+    graph: DataFlowGraph
+    schedule: ScheduleResult | None = None
+    module_binding: ModuleBinding | None = None
+    register_binding: RegisterBinding | None = None
+
+    @property
+    def scheduled_here(self) -> bool:
+        return self.schedule is not None
+
+    @property
+    def bound_here(self) -> bool:
+        return self.module_binding is not None
+
+    def summary(self) -> dict:
+        """Compact front-end report (used by ``repro synth``)."""
+        graph = self.graph
+        return {
+            "circuit": graph.name,
+            "operations": len(graph),
+            "control_steps": len(graph.control_steps),
+            "modules": len(graph.module_ids),
+            "left_edge_registers": (self.register_binding.register_count
+                                    if self.register_binding else None),
+            "scheduled_here": self.scheduled_here,
+            "bound_here": self.bound_here,
+        }
+
+
+def elaborate(
+    graph: DataFlowGraph,
+    resource_limits: Mapping[str, int] | None = None,
+    max_latency: int | None = None,
+) -> FrontEndResult:
+    """Run the front-end pipeline on ``graph`` as far as it needs.
+
+    Parameters
+    ----------
+    graph:
+        Behavioural, partially prepared, or fully prepared DFG.
+    resource_limits:
+        Functional-unit budget per module class for list scheduling (classes
+        missing from the mapping are unconstrained).  Only consulted when the
+        graph still needs scheduling.
+    max_latency:
+        Optional latency bound handed to the list scheduler.
+
+    Raises
+    ------
+    DFGError
+        If the graph is empty or structurally invalid.
+    """
+    if not len(graph):
+        raise DFGError(f"circuit {graph.name!r} has no operations")
+    graph.validate()
+
+    schedule: ScheduleResult | None = None
+    if not graph.is_scheduled:
+        schedule = list_schedule(graph, dict(resource_limits or {}),
+                                 max_latency=max_latency)
+        graph = schedule.apply(graph)
+
+    module_binding: ModuleBinding | None = None
+    if not graph.is_module_bound:
+        module_binding = bind_modules(graph)
+        graph = module_binding.apply(graph)
+
+    register_binding = left_edge_binding(graph)
+    return FrontEndResult(
+        graph=graph,
+        schedule=schedule,
+        module_binding=module_binding,
+        register_binding=register_binding,
+    )

@@ -75,6 +75,22 @@ class BranchAndBoundBackend:
         lower0 = np.array([lo for lo, _ in form.bounds], dtype=float)
         upper0 = np.array([hi for _, hi in form.bounds], dtype=float)
 
+        # When every objective coefficient is an integer over integer
+        # variables (true for the transistor-count objectives of this repo),
+        # any feasible objective value is an integer, so each LP bound can be
+        # rounded up to the next integer before pruning.  This closes the
+        # fractional tail of the relaxation and prunes far earlier.
+        c = np.asarray(form.c, dtype=float)
+        active = np.nonzero(c)[0]
+        objective_integral = bool(
+            np.all(integer_mask[active]) and np.allclose(c[active], np.round(c[active]))
+        )
+
+        def tighten(bound: float) -> float:
+            if objective_integral and math.isfinite(bound):
+                return math.ceil(bound - 1e-6)
+            return bound
+
         best_x: np.ndarray | None = None
         best_obj = math.inf
         root_relaxation: float | None = None
@@ -84,59 +100,74 @@ class BranchAndBoundBackend:
         root = _Node(bound=-math.inf, order=counter, lower=lower0, upper=upper0, depth=0)
         heap: list[_Node] = [root]
 
-        status = SolveStatus.OPTIMAL
-        while heap:
-            if time_limit is not None and time.perf_counter() - start > time_limit:
-                status = SolveStatus.FEASIBLE if best_x is not None else SolveStatus.TIME_LIMIT
-                break
-            if nodes_explored >= self.node_limit:
-                status = SolveStatus.FEASIBLE if best_x is not None else SolveStatus.TIME_LIMIT
-                break
+        # Which limit (if any) stopped the search.  ``None`` means the tree
+        # was exhausted, i.e. the incumbent (when one exists) is optimal.
+        limit_hit: SolveStatus | None = None
+        # The node a limit interrupted mid-plunge: it is no longer on the
+        # heap but its subtree is still open, so its bound takes part in the
+        # dual bound below.
+        interrupted: _Node | None = None
+        while heap and limit_hit is None:
+            node: _Node | None = heapq.heappop(heap)
+            # Plunge: explore one child immediately (depth-first dive, on the
+            # branch the relaxation already leans towards) and push only the
+            # sibling.  Pure best-first keeps returning to the frontier —
+            # child bounds rise along a dive, so the heap minimum is almost
+            # never the freshly created child — and on models with hundreds
+            # of binaries it explores thousands of nodes before the first
+            # incumbent exists to prune with.
+            while node is not None:
+                if time_limit is not None and time.perf_counter() - start > time_limit:
+                    limit_hit = SolveStatus.TIME_LIMIT
+                    interrupted = node
+                    break
+                if nodes_explored >= self.node_limit:
+                    limit_hit = SolveStatus.NODE_LIMIT
+                    interrupted = node
+                    break
+                if node.bound >= best_obj - 1e-9:
+                    break  # bounded out before solving
+                nodes_explored += 1
 
-            node = heapq.heappop(heap)
-            if node.bound >= best_obj - 1e-9:
-                continue
-            nodes_explored += 1
+                relaxation = self._solve_relaxation(form, node.lower, node.upper)
+                if relaxation is None:
+                    break  # infeasible subproblem
+                obj, x = relaxation
+                if root_relaxation is None:
+                    root_relaxation = obj
+                if tighten(obj) >= best_obj - 1e-9:
+                    break  # bounded out
 
-            relaxation = self._solve_relaxation(form, node.lower, node.upper)
-            if relaxation is None:
-                continue  # infeasible subproblem
-            obj, x = relaxation
-            if root_relaxation is None:
-                root_relaxation = obj
-            if obj >= best_obj - 1e-9:
-                continue  # bounded out
+                frac_index = self._most_fractional(x, integer_mask)
+                if frac_index is None:
+                    # integral solution: new incumbent
+                    rounded = x.copy()
+                    rounded[integer_mask] = np.round(rounded[integer_mask])
+                    best_obj = obj
+                    best_x = rounded
+                    break
 
-            frac_index = self._most_fractional(x, integer_mask)
-            if frac_index is None:
-                # integral solution: new incumbent
-                rounded = x.copy()
-                rounded[integer_mask] = np.round(rounded[integer_mask])
-                best_obj = obj
-                best_x = rounded
-                continue
+                value = x[frac_index]
+                floor_val = math.floor(value + _INTEGRALITY_TOL)
+                ceil_val = floor_val + 1
 
-            value = x[frac_index]
-            floor_val = math.floor(value + _INTEGRALITY_TOL)
-            ceil_val = floor_val + 1
+                down_upper = node.upper.copy()
+                down_upper[frac_index] = min(down_upper[frac_index], floor_val)
+                up_lower = node.lower.copy()
+                up_lower[frac_index] = max(up_lower[frac_index], ceil_val)
 
-            down_upper = node.upper.copy()
-            down_upper[frac_index] = min(down_upper[frac_index], floor_val)
-            up_lower = node.lower.copy()
-            up_lower[frac_index] = max(up_lower[frac_index], ceil_val)
-
-            for child_lower, child_upper in (
-                (node.lower, down_upper),
-                (up_lower, node.upper),
-            ):
-                if np.any(child_lower > child_upper + 1e-12):
-                    continue
-                counter += 1
-                heapq.heappush(
-                    heap,
-                    _Node(bound=obj, order=counter, lower=child_lower.copy(),
-                          upper=child_upper.copy(), depth=node.depth + 1),
-                )
+                down = _Node(bound=tighten(obj), order=0, lower=node.lower,
+                             upper=down_upper, depth=node.depth + 1)
+                up = _Node(bound=tighten(obj), order=0, lower=up_lower,
+                           upper=node.upper, depth=node.depth + 1)
+                # Dive towards the branch the fractional value is closer to.
+                dive, sibling = ((up, down) if value - floor_val > 0.5
+                                 else (down, up))
+                if not np.any(sibling.lower > sibling.upper + 1e-12):
+                    counter += 1
+                    sibling.order = counter
+                    heapq.heappush(heap, sibling)
+                node = dive if not np.any(dive.lower > dive.upper + 1e-12) else None
 
         elapsed = time.perf_counter() - start
         stats = SolveStats(
@@ -146,12 +177,39 @@ class BranchAndBoundBackend:
                            if root_relaxation is not None else None),
         )
         if best_x is None:
-            if status in (SolveStatus.TIME_LIMIT, SolveStatus.FEASIBLE):
-                return Solution(status=SolveStatus.TIME_LIMIT, nodes=nodes_explored,
-                                solve_seconds=elapsed, message="no incumbent found",
+            if limit_hit is not None:
+                # A limit stopped the search before any incumbent was found:
+                # report *which* limit, not a blanket TIME_LIMIT.
+                return Solution(status=limit_hit, nodes=nodes_explored,
+                                solve_seconds=elapsed,
+                                message=f"no incumbent found ({limit_hit.value})",
                                 stats=stats)
             return Solution(status=SolveStatus.INFEASIBLE, nodes=nodes_explored,
                             solve_seconds=elapsed, stats=stats)
+
+        gap: float | None = None
+        message = ""
+        if limit_hit is None:
+            status = SolveStatus.OPTIMAL
+        else:
+            # Limit hit with an incumbent in hand: the design is usable but
+            # unproven.  The open subproblems are the heap nodes plus the
+            # node the limit interrupted mid-plunge; the tightest known dual
+            # bound is the smallest of their parent relaxations, falling
+            # back to the root relaxation only when nothing tighter exists
+            # (e.g. the limit struck at the root, whose bound is -inf).
+            status = SolveStatus.FEASIBLE
+            open_nodes = list(heap)
+            if interrupted is not None:
+                open_nodes.append(interrupted)
+            open_bounds = [n.bound for n in open_nodes if n.bound > -math.inf]
+            if not open_bounds and root_relaxation is not None:
+                open_bounds = [root_relaxation]
+            if open_bounds:
+                best_bound = min(open_bounds)
+                gap = max(0.0, (best_obj - best_bound) / max(abs(best_obj), 1e-9))
+            stats.gap = gap
+            message = f"stopped on {limit_hit.value} with incumbent"
 
         values = {}
         for var, raw in zip(form.variables, best_x):
@@ -165,6 +223,8 @@ class BranchAndBoundBackend:
             values=values,
             nodes=nodes_explored,
             solve_seconds=elapsed,
+            gap=gap,
+            message=message,
             stats=stats,
         )
 

@@ -17,6 +17,7 @@ class SolveStatus(enum.Enum):
     INFEASIBLE = "infeasible"
     UNBOUNDED = "unbounded"
     TIME_LIMIT = "time_limit"      # stopped on the time limit with no incumbent
+    NODE_LIMIT = "node_limit"      # stopped on the node limit with no incumbent
     ERROR = "error"
 
     @property

@@ -10,12 +10,14 @@ from .netlist import describe_design, describe_reference, design_to_dict
 from .tables import (
     format_table,
     render_backends,
+    render_fuzz_report,
     render_table1,
     render_table2,
     render_table3,
 )
 
 __all__ = [
+    "render_fuzz_report",
     "BASELINE_RUNNERS",
     "ComparisonResult",
     "compare_methods",

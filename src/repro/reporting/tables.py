@@ -80,6 +80,28 @@ def render_backends(rows: Iterable[Mapping]) -> str:
     return format_table(list(rows), columns, "Registered ILP solver backends")
 
 
+def render_fuzz_report(rows: Iterable[Mapping],
+                       backends: Sequence[str] | None = None) -> str:
+    """Parity table of a ``repro fuzz`` sweep: one row per random circuit.
+
+    The per-backend objective columns default to whatever backends actually
+    appear in the rows (every key that is not one of the fixed columns), so
+    a custom backend set renders its objectives instead of blank cells.
+    """
+    rows = list(rows)
+    head = ["circuit", "seed", "ops", "modules", "form", "k"]
+    tail = ["parity", "wall_s"]
+    if backends is None:
+        backends = []
+        for row in rows:
+            for key in row:
+                if key not in head and key not in tail and key not in backends:
+                    backends.append(key)
+    columns = head + list(backends) + tail
+    return format_table(rows, columns,
+                        "Fuzz report: ILP backend objective parity per random circuit")
+
+
 def render_table3(rows: Iterable[Mapping], circuit: str = "") -> str:
     """Table 3: method comparison (R/T/S/B/C/M/Area/OH%) for one circuit."""
     columns = ["Method", "R", "T", "S", "B", "C", "M", "Area", "OH(%)"]

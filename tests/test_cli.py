@@ -1,8 +1,23 @@
 """Tests of the command-line interface."""
 
+from pathlib import Path
+
 import pytest
 
 from repro.cli import build_parser, main
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+@pytest.fixture(autouse=True)
+def _registry_guard():
+    """Unregister any circuit a CLI command dynamically registered."""
+    from repro.circuits import list_circuits, unregister_circuit
+
+    before = set(list_circuits())
+    yield
+    for name in set(list_circuits()) - before:
+        unregister_circuit(name)
 
 
 def test_list_command(capsys):
@@ -110,3 +125,143 @@ def test_parser_rejects_unknown_baseline():
     parser = build_parser()
     with pytest.raises(SystemExit):
         parser.parse_args(["baseline", "magic", "tseng"])
+
+
+# ----------------------------------------------------------------------
+# numeric flag validation
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("argv", [
+    ["sweep", "fig1", "--jobs", "0"],
+    ["sweep", "fig1", "--jobs", "-2"],
+    ["sweep", "fig1", "--jobs", "two"],
+    ["sweep", "fig1", "--max-k", "0"],
+    ["sweep", "fig1", "--max-k", "-1"],
+    ["synthesize", "fig1", "--k", "0"],
+    ["synthesize", "fig1", "--k", "-3"],
+    ["compare", "fig1", "--k", "0"],
+    ["sweep", "fig1", "--time-limit", "0"],
+    ["sweep", "fig1", "--time-limit", "-5"],
+    ["fuzz", "--count", "0"],
+    ["fuzz", "--count", "-1"],
+    ["fuzz", "--seed", "-1"],
+    ["fuzz", "--ops", "0"],
+    ["synth", "x.json", "--jobs", "0"],
+    ["synth", "x.json", "--resources", "alu"],
+    ["synth", "x.json", "--resources", "alu=0"],
+    ["synth", "x.json", "--resources", "alu=many"],
+])
+def test_bad_numeric_flags_fail_at_parse_time(capsys, argv):
+    parser = build_parser()
+    with pytest.raises(SystemExit) as excinfo:
+        parser.parse_args(argv)
+    assert excinfo.value.code == 2
+    assert "must" in capsys.readouterr().err
+
+
+def test_good_numeric_flags_parse():
+    parser = build_parser()
+    args = parser.parse_args(["fuzz", "--count", "5", "--seed", "0", "--ops", "4"])
+    assert (args.count, args.seed, args.ops) == (5, 0, 4)
+    args = parser.parse_args(["synth", "x.json", "--resources", "alu=1, mult=2"])
+    assert args.resources == {"alu": 1, "mult": 2}
+
+
+# ----------------------------------------------------------------------
+# the synth command (user DFG files)
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def behavioral_json(tmp_path):
+    from repro.dfg import textio
+    from repro.dfg.generate import generate_behavioral
+
+    graph = generate_behavioral(seed=9, num_operations=5)
+    path = tmp_path / "user_circuit.json"
+    textio.save(graph, path)
+    return path, graph.name
+
+
+def test_synth_runs_pipeline_on_example_file(capsys):
+    assert main(["synth", str(EXAMPLES / "biquad.json"), "--method", "advbist",
+                 "--max-k", "1", "--no-cache", "--time-limit", "60"]) == 0
+    output = capsys.readouterr().out
+    assert "front end:" in output
+    assert "Table 2" in output
+    assert "biquad" in output
+
+
+def test_synth_single_k_renders_table3(capsys):
+    assert main(["synth", str(EXAMPLES / "biquad.json"), "--method", "advbist",
+                 "--k", "1", "--no-cache", "--time-limit", "60"]) == 0
+    output = capsys.readouterr().out
+    assert "Table 3" in output
+    assert "ADVBIST" in output and "verified=True" in output
+
+
+def test_synth_behavioral_file_is_scheduled_first(capsys, behavioral_json):
+    path, name = behavioral_json
+    assert main(["synth", str(path), "--method", "ralloc", "--no-cache",
+                 "--time-limit", "60"]) == 0
+    output = capsys.readouterr().out
+    assert "front end:" in output
+    assert "RALLOC" in output
+    # the circuit was registered under its JSON name on the way through
+    from repro.circuits import list_circuits
+    assert name in list_circuits()
+
+
+def test_synth_missing_file_reports_clean_error(capsys):
+    assert main(["synth", "does/not/exist.json"]) == 2
+    assert "no such DFG file" in capsys.readouterr().err
+
+
+def test_synth_invalid_json_reports_clean_error(capsys, tmp_path):
+    path = tmp_path / "broken.json"
+    path.write_text("{nope", encoding="utf-8")
+    assert main(["synth", str(path)]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_synth_directory_path_reports_clean_error(capsys, tmp_path):
+    assert main(["synth", str(tmp_path)]) == 2
+    assert "cannot read DFG file" in capsys.readouterr().err
+
+
+def test_synth_binary_file_reports_clean_error(capsys, tmp_path):
+    path = tmp_path / "binary.json"
+    path.write_bytes(b"\xff\xfe\x00garbage")
+    assert main(["synth", str(path)]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# the fuzz command
+# ----------------------------------------------------------------------
+def test_fuzz_command_small_run(capsys, tmp_path):
+    assert main(["fuzz", "--count", "2", "--seed", "0", "--ops", "5",
+                 "--out", str(tmp_path / "fail"), "--time-limit", "60"]) == 0
+    output = capsys.readouterr().out
+    assert "Fuzz report" in output
+    assert "all 2 random circuits agree" in output
+    assert not (tmp_path / "fail").exists()
+
+
+def test_fuzz_command_reports_failures(capsys, tmp_path, monkeypatch):
+    import repro.cli  # noqa: F401 - ensure module import before patching
+    from repro import fuzzing
+    from repro.fuzzing import BackendRun, ParityCase
+
+    def broken_parity(graph, formulation="reference", k=None, backends=(),
+                      time_limit=None, seed=-1, **kw):
+        return ParityCase(circuit=graph.name, seed=seed, k=None, graph=graph,
+                          runs=[BackendRun("a", "optimal", 1.0, True, 0.0),
+                                BackendRun("b", "optimal", 2.0, True, 0.0)])
+
+    monkeypatch.setattr(fuzzing, "check_parity", broken_parity)
+    out_dir = tmp_path / "fail"
+    assert main(["fuzz", "--count", "1", "--seed", "3", "--ops", "4",
+                 "--out", str(out_dir)]) == 1
+    captured = capsys.readouterr()
+    assert "FAIL" in captured.out
+    assert "replayable" in captured.err
+    written = list(out_dir.glob("*.json"))
+    assert len(written) == 1

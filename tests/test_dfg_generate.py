@@ -1,0 +1,109 @@
+"""Tests of the seeded random DFG generator (``repro.dfg.generate``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dfg import textio
+from repro.dfg.generate import (
+    GeneratorConfig,
+    generate_behavioral,
+    generate_corpus,
+    generate_scheduled,
+    resource_limits_for,
+)
+
+
+def test_generator_is_deterministic():
+    first = generate_scheduled(seed=3, num_operations=8)
+    second = generate_scheduled(seed=3, num_operations=8)
+    assert textio.to_dict(first) == textio.to_dict(second)
+
+
+def test_different_seeds_differ():
+    graphs = [textio.to_json(generate_scheduled(seed=s, num_operations=8))
+              for s in range(4)]
+    assert len(set(graphs)) > 1
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_generated_graphs_are_valid_and_ready(seed):
+    graph = generate_scheduled(seed=seed, num_operations=7)
+    graph.validate()  # raises on any structural violation
+    assert graph.is_scheduled
+    assert graph.is_module_bound
+    assert len(graph) == 7
+    assert graph.primary_outputs()
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_every_primary_input_is_consumed(seed):
+    graph = generate_behavioral(seed=seed, num_operations=6)
+    consumed = {v for (v, _o, _l) in graph.input_edges}
+    for var_id in graph.primary_inputs():
+        assert var_id in consumed, f"primary input {var_id} dangles"
+
+
+def test_behavioral_output_is_unscheduled():
+    graph = generate_behavioral(seed=0, num_operations=5)
+    assert not graph.is_scheduled
+    assert not graph.is_module_bound
+
+
+def test_sharing_pressure_controls_module_count():
+    tight = generate_scheduled(seed=1, num_operations=10, sharing_pressure=1.0)
+    loose = generate_scheduled(seed=1, num_operations=10, sharing_pressure=0.0)
+    # Full pressure gives one module per class present in the graph.
+    assert len(tight.module_ids) == len(tight.operation_kinds())
+    assert len(loose.module_ids) >= len(tight.module_ids)
+    # ... and tighter budgets force deeper schedules.
+    assert len(tight.control_steps) >= len(loose.control_steps)
+
+
+def test_resource_limits_for_bounds():
+    graph = generate_behavioral(seed=2, num_operations=9)
+    full = resource_limits_for(graph, 1.0)
+    none = resource_limits_for(graph, 0.0)
+    for cls, ops in graph.operation_kinds().items():
+        assert full[cls] == 1
+        assert none[cls] == len(ops)
+
+
+def test_constant_probability_zero_means_no_constants():
+    graph = generate_behavioral(seed=4, num_operations=10, constant_probability=0.0)
+    assert graph.constants == []
+
+
+def test_output_density_one_marks_every_operation_output():
+    graph = generate_behavioral(seed=5, num_operations=6, output_density=1.0)
+    produced = {op.output for op in graph.operations.values()}
+    assert produced <= set(graph.primary_outputs())
+
+
+def test_corpus_uses_consecutive_seeds():
+    corpus = list(generate_corpus(3, seed=10, num_operations=5))
+    assert [g.name for g in corpus] == ["rand_s10_o5", "rand_s11_o5", "rand_s12_o5"]
+    # each corpus member is regenerated exactly by its reported seed
+    replay = generate_scheduled(seed=11, num_operations=5)
+    assert textio.to_dict(replay) == textio.to_dict(corpus[1])
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        GeneratorConfig(num_operations=0)
+    with pytest.raises(ValueError):
+        GeneratorConfig(kinds=())
+    with pytest.raises(ValueError):
+        GeneratorConfig(sharing_pressure=1.5)
+    with pytest.raises(ValueError):
+        GeneratorConfig(output_density=-0.1)
+    with pytest.raises(ValueError):
+        GeneratorConfig(constant_probability=1.0)
+    with pytest.raises(ValueError):
+        list(generate_corpus(0))
+
+
+def test_num_inputs_clamped_to_consumable():
+    # More inputs than guaranteed variable slots could never all be consumed.
+    graph = generate_behavioral(seed=6, num_operations=3, num_inputs=50)
+    assert len(graph.primary_inputs()) <= 3

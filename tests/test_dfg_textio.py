@@ -1,8 +1,13 @@
 """Serialisation round-trip tests for DFGs."""
 
+import json
+
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.dfg import DFGBuilder, DFGError, textio
+from repro.dfg.generate import generate_behavioral, generate_scheduled
 
 
 def test_round_trip_preserves_structure(fig1_graph):
@@ -52,3 +57,62 @@ def test_unscheduled_graph_round_trips(fig1_behavioral):
     rebuilt = textio.from_json(textio.to_json(fig1_behavioral))
     assert not rebuilt.is_scheduled
     assert rebuilt.operation_ids == fig1_behavioral.operation_ids
+
+
+# ----------------------------------------------------------------------
+# property-based round trips driven by the random generator
+# ----------------------------------------------------------------------
+def _assert_exact_round_trip(graph):
+    """to_dict → from_dict must be the identity on every field."""
+    data = textio.to_dict(graph)
+    rebuilt = textio.from_dict(json.loads(json.dumps(data)))  # via real JSON
+    assert textio.to_dict(rebuilt) == data
+    assert rebuilt.name == graph.name
+    for op_id, op in graph.operations.items():
+        other = rebuilt.operations[op_id]
+        assert other.kind == op.kind
+        assert other.inputs == op.inputs          # constants compare by value+name
+        assert other.cstep == op.cstep            # None survives for unscheduled
+        assert other.module == op.module          # None survives for unbound
+        assert other.commutative == op.commutative
+    for var_id, var in graph.variables.items():
+        other = rebuilt.variables[var_id]
+        assert other.name == var.name
+        assert other.producer == var.producer
+        assert other.is_primary_output == var.is_primary_output
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       ops=st.integers(min_value=1, max_value=12),
+       const_p=st.floats(min_value=0.0, max_value=0.9),
+       out_p=st.floats(min_value=0.0, max_value=1.0))
+def test_generated_behavioral_graphs_round_trip(seed, ops, const_p, out_p):
+    graph = generate_behavioral(seed=seed, num_operations=ops,
+                                constant_probability=const_p,
+                                output_density=out_p)
+    _assert_exact_round_trip(graph)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       ops=st.integers(min_value=1, max_value=10),
+       pressure=st.floats(min_value=0.0, max_value=1.0))
+def test_generated_scheduled_graphs_round_trip(seed, ops, pressure):
+    graph = generate_scheduled(seed=seed, num_operations=ops,
+                               sharing_pressure=pressure)
+    _assert_exact_round_trip(graph)
+
+
+def test_explicit_commutative_override_round_trips():
+    builder = DFGBuilder("override")
+    a = builder.input("a")
+    b = builder.input("b")
+    # an add forced non-commutative and a sub forced commutative
+    frozen = builder.op("add", a, b, commutative=False)
+    odd = builder.op("sub", frozen, b, commutative=True)
+    builder.output(odd)
+    graph = builder.build()
+    rebuilt = textio.from_json(textio.to_json(graph))
+    assert rebuilt.operations[0].commutative is False
+    assert rebuilt.operations[1].commutative is True

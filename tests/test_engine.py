@@ -169,13 +169,37 @@ def test_cache_stores_only_proven_optimal_ilp_designs(tmp_path, fig1_graph):
     pytest.param(__import__("pickle").dumps({"not": "a TaskOutcome"}),
                  id="wrong-type"),
 ])
-def test_cache_get_treats_bad_entries_as_miss(tmp_path, payload):
+def test_cache_get_treats_bad_entries_as_miss_and_evicts(tmp_path, payload):
     cache = DesignCache(tmp_path)
     key = "ab" + "0" * 62
     path = cache._path(key)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_bytes(payload)
     assert cache.get(key) is None
+    # the corrupt file is evicted so the miss is paid once, not forever
+    assert not path.exists()
+
+
+def test_corrupt_cache_entry_is_resolved_and_republished(tmp_path, fig1_graph):
+    """A sweep over a corrupt entry re-solves it and heals the cache."""
+    cache = DesignCache(tmp_path)
+    engine = SweepEngine(time_limit=TIME_LIMIT, cache=cache)
+    engine.sweep(fig1_graph)
+
+    task = engine.sweep_grid([fig1_graph])[1]  # advbist k=1
+    key = cache.key_for(task)
+    path = cache._path(key)
+    original = path.read_bytes()
+    path.write_bytes(b"mangled bytes")
+
+    result = engine.sweep(fig1_graph)
+    corrupted = [r for r in result.reports if r.kind == "advbist" and r.k == 1]
+    assert corrupted and not corrupted[0].cached  # re-solved, not served
+    # ... and the fresh solve re-published a loadable entry
+    assert path.exists() and path.read_bytes() != b"mangled bytes"
+    healed = cache.get(key)
+    assert healed is not None and healed.cached
+    assert len(original) > 0  # sanity: there was a real entry to corrupt
 
 
 def test_failed_registration_leaves_no_phantom_names(backend_registry_snapshot):

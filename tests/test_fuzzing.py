@@ -1,0 +1,171 @@
+"""Tests of the backend-parity fuzzing harness (``repro.fuzzing``)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.circuits import get_circuit
+from repro.dfg import textio
+from repro.fuzzing import (
+    BackendRun,
+    ParityCase,
+    check_parity,
+    failure_payload,
+    run_fuzz,
+)
+
+TIME_LIMIT = 60.0
+
+
+def test_check_parity_reference_on_fig1(fig1_graph):
+    case = check_parity(fig1_graph, time_limit=TIME_LIMIT)
+    assert case.ok
+    assert case.formulation == "reference"
+    assert len(case.runs) == 2
+    assert {run.backend for run in case.runs} == {"scipy", "bnb"}
+    objectives = set(case.objectives.values())
+    assert len(objectives) == 1  # both solved it to the same optimum
+
+
+def test_check_parity_advbist_on_fig1(fig1_graph):
+    case = check_parity(fig1_graph, formulation="advbist", k=1,
+                        time_limit=TIME_LIMIT)
+    assert case.ok
+    assert case.k == 1
+    assert all(run.optimal for run in case.runs)
+
+
+def test_check_parity_rejects_unknown_formulation(fig1_graph):
+    with pytest.raises(ValueError):
+        check_parity(fig1_graph, formulation="quantum")
+
+
+def test_parity_case_disagreement_detected(fig1_graph):
+    case = ParityCase(circuit="x", seed=0, k=None, graph=fig1_graph, runs=[
+        BackendRun("a", "optimal", 100.0, True, 0.0),
+        BackendRun("b", "optimal", 101.0, True, 0.0),
+    ])
+    assert not case.ok
+    split = ParityCase(circuit="x", seed=0, k=None, graph=fig1_graph, runs=[
+        BackendRun("a", "optimal", 100.0, True, 0.0),
+        BackendRun("b", "infeasible", None, False, 0.0),
+    ])
+    assert not split.ok
+    agree_infeasible = ParityCase(circuit="x", seed=0, k=None, graph=fig1_graph,
+                                  runs=[
+        BackendRun("a", "infeasible", None, False, 0.0),
+        BackendRun("b", "infeasible", None, False, 0.0),
+    ])
+    assert agree_infeasible.ok
+
+
+def test_inconclusive_limit_runs_do_not_fail_parity(fig1_graph):
+    """A backend stopped by a limit proved nothing — that is not a mismatch."""
+    limited = ParityCase(circuit="x", seed=0, k=None, graph=fig1_graph, runs=[
+        BackendRun("scipy", "optimal", 100.0, True, 0.1),
+        # bnb hit its node limit with a worse incumbent: legitimately allowed
+        BackendRun("bnb", "feasible", 108.0, False, 0.1),
+    ])
+    assert limited.ok
+    assert limited.as_row()["parity"] == "n/a"
+    no_incumbent = ParityCase(circuit="x", seed=0, k=None, graph=fig1_graph,
+                              runs=[
+        BackendRun("scipy", "optimal", 100.0, True, 0.1),
+        BackendRun("bnb", "time_limit", None, False, 0.1),
+    ])
+    assert no_incumbent.ok
+    # but a *proof* of infeasibility against a proven optimum is a real bug
+    proof_clash = ParityCase(circuit="x", seed=0, k=None, graph=fig1_graph,
+                             runs=[
+        BackendRun("scipy", "optimal", 100.0, True, 0.1),
+        BackendRun("bnb", "infeasible", None, False, 0.1),
+    ])
+    assert not proof_clash.ok
+    # ... and so is an incumbent strictly *better* than a proven optimum
+    # (the formulations minimise; a cheaper feasible design disproves the proof)
+    better_incumbent = ParityCase(circuit="x", seed=0, k=None, graph=fig1_graph,
+                                  runs=[
+        BackendRun("scipy", "optimal", 100.0, True, 0.1),
+        BackendRun("bnb", "feasible", 92.0, False, 0.1),
+    ])
+    assert not better_incumbent.ok
+
+
+def test_run_fuzz_seed_overrides_config_seed(monkeypatch):
+    import repro.fuzzing as fuzzing
+    from repro.dfg.generate import GeneratorConfig
+
+    seen = []
+
+    def fake_parity(graph, formulation="reference", k=None, backends=(),
+                    time_limit=None, seed=-1, **kw):
+        seen.append(seed)
+        return ParityCase(circuit=graph.name, seed=seed, k=None, graph=graph)
+
+    monkeypatch.setattr(fuzzing, "check_parity", fake_parity)
+    fuzzing.run_fuzz(count=2, seed=7, config=GeneratorConfig(num_operations=4))
+    assert seen == [7, 8]  # explicit seed wins over the config's
+    seen.clear()
+    fuzzing.run_fuzz(count=2, config=GeneratorConfig(num_operations=4, seed=30))
+    assert seen == [30, 31]  # no explicit seed: the config's seed holds
+
+
+def test_run_fuzz_small_sweep_passes(tmp_path):
+    report = run_fuzz(count=3, seed=0, num_operations=5,
+                      time_limit=TIME_LIMIT, failure_dir=tmp_path / "fail")
+    assert report.ok
+    assert len(report.cases) == 3
+    assert [case.seed for case in report.cases] == [0, 1, 2]
+    assert not (tmp_path / "fail").exists()  # nothing written on success
+    rows = report.rows()
+    assert all(row["parity"] == "ok" for row in rows)
+
+
+def test_run_fuzz_writes_replayable_failures(tmp_path, monkeypatch):
+    import repro.fuzzing as fuzzing
+
+    def broken_parity(graph, formulation="reference", k=None, backends=(),
+                      time_limit=None, seed=-1, **kw):
+        return ParityCase(circuit=graph.name, seed=seed, k=None, graph=graph,
+                          runs=[BackendRun("a", "optimal", 1.0, True, 0.0),
+                                BackendRun("b", "optimal", 2.0, True, 0.0)])
+
+    monkeypatch.setattr(fuzzing, "check_parity", broken_parity)
+    report = fuzzing.run_fuzz(count=2, seed=5, num_operations=4,
+                              failure_dir=tmp_path / "fail")
+    assert len(report.failures) == 2
+    for case in report.failures:
+        assert case.failure_path is not None and case.failure_path.exists()
+        payload = json.loads(case.failure_path.read_text(encoding="utf-8"))
+        assert payload["kind"] == "repro-fuzz-failure"
+        assert payload["seed"] == case.seed
+        # the embedded graph is replayable through textio
+        replayed = textio.from_dict(payload["graph"])
+        assert textio.to_dict(replayed) == payload["graph"]
+
+
+def test_failure_payload_round_trips(fig1_graph):
+    case = check_parity(fig1_graph, time_limit=TIME_LIMIT)
+    payload = failure_payload(case)
+    assert payload["formulation"] == "reference"
+    rebuilt = textio.from_dict(payload["graph"])
+    assert textio.to_dict(rebuilt) == textio.to_dict(fig1_graph)
+
+
+def test_run_fuzz_validates_count():
+    with pytest.raises(ValueError):
+        run_fuzz(count=0)
+
+
+def test_render_fuzz_report_derives_backend_columns(fig1_graph):
+    from repro.reporting import render_fuzz_report
+
+    case = ParityCase(circuit="x", seed=0, k=None, graph=fig1_graph, runs=[
+        BackendRun("mysolver", "optimal", 123.0, True, 0.0),
+        BackendRun("yoursolver", "optimal", 123.0, True, 0.0),
+    ])
+    table = render_fuzz_report([case.as_row()])
+    assert "mysolver" in table and "yoursolver" in table
+    assert "123.0" in table  # objectives are rendered, not blanked

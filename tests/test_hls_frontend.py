@@ -1,0 +1,56 @@
+"""Tests of the HLS front end (``repro.hls.frontend.elaborate``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import fig1
+from repro.dfg import DataFlowGraph, DFGError
+from repro.hls import elaborate
+
+
+def test_elaborate_behavioral_matches_circuit_builder(fig1_behavioral, fig1_graph):
+    result = elaborate(fig1_behavioral, resource_limits=fig1.RESOURCE_LIMITS)
+    assert result.scheduled_here and result.bound_here
+    assert result.graph.is_scheduled and result.graph.is_module_bound
+    # the front end reproduces exactly what the circuit module builds
+    from repro.dfg import textio
+    assert textio.to_dict(result.graph) == textio.to_dict(fig1_graph)
+
+
+def test_elaborate_is_passthrough_on_prepared_graph(fig1_graph):
+    result = elaborate(fig1_graph)
+    assert not result.scheduled_here
+    assert not result.bound_here
+    assert result.graph is fig1_graph
+
+
+def test_elaborate_binds_scheduled_but_unbound_graph(fig1_behavioral):
+    from repro.hls import list_schedule
+
+    scheduled = list_schedule(fig1_behavioral, fig1.RESOURCE_LIMITS).apply(fig1_behavioral)
+    result = elaborate(scheduled)
+    assert not result.scheduled_here
+    assert result.bound_here
+    assert result.graph.is_module_bound
+
+
+def test_elaborate_always_reports_register_binding(fig1_graph):
+    result = elaborate(fig1_graph)
+    assert result.register_binding is not None
+    assert result.register_binding.register_count == 3  # Fig. 1(b)
+    summary = result.summary()
+    assert summary["left_edge_registers"] == 3
+    assert summary["modules"] == 2
+    assert summary["circuit"] == "fig1"
+
+
+def test_elaborate_rejects_empty_graph():
+    with pytest.raises(DFGError):
+        elaborate(DataFlowGraph("empty"))
+
+
+def test_elaborate_honours_resource_limits(fig1_behavioral):
+    wide = elaborate(fig1_behavioral, resource_limits={"alu": 2, "mult": 2})
+    narrow = elaborate(fig1_behavioral, resource_limits={"alu": 1, "mult": 1})
+    assert len(wide.graph.control_steps) <= len(narrow.graph.control_steps)

@@ -116,13 +116,51 @@ def test_backends_agree_on_assignment_problem():
     assert obj_scipy == pytest.approx(12.0)  # 2 + 7 + 3
 
 
-def test_bnb_respects_node_limit():
+def hard_knapsack_model():
+    """Capacity-7 knapsack whose LP relaxation is fractional (optimum 12).
+
+    Unlike :func:`knapsack_model` (integral LP vertex, solved at the root),
+    this one needs a few branch-and-bound nodes, which makes it suitable for
+    exercising the node-limit paths.
+    """
+    model = Model("knap7", sense="max")
+    values = [6, 5, 6, 3]
+    weights = [4, 3, 3, 2]
+    items = [model.add_binary(f"item{i}") for i in range(4)]
+    model.add_constr(LinExpr.sum(w * x for w, x in zip(weights, items)) <= 7)
+    model.set_objective(LinExpr.sum(v * x for v, x in zip(values, items)))
+    return model, items
+
+
+def test_bnb_node_limit_without_incumbent_reports_node_limit():
     backend = BranchAndBoundBackend(node_limit=0)
     model, _items = knapsack_model()
     solution = model.solve(backend=backend)
-    # With no nodes allowed the solver cannot even find an incumbent.
-    assert solution.status is SolveStatus.TIME_LIMIT
+    # With no nodes allowed the solver cannot even find an incumbent — and
+    # must say *which* limit stopped it, not a blanket TIME_LIMIT.
+    assert solution.status is SolveStatus.NODE_LIMIT
     assert not solution.status.has_solution
+    assert solution.objective is None
+    assert "node_limit" in solution.message
+
+
+def test_bnb_node_limit_with_incumbent_reports_feasible_and_gap():
+    model, _items = hard_knapsack_model()
+    reference = model.solve(backend="bnb")
+    assert reference.status is SolveStatus.OPTIMAL
+    assert reference.objective == pytest.approx(12.0)
+    assert reference.nodes > 3
+
+    # Stop after enough nodes for an incumbent but before the proof closes.
+    model, _items = hard_knapsack_model()
+    solution = model.solve(backend=BranchAndBoundBackend(node_limit=3))
+    assert solution.status is SolveStatus.FEASIBLE
+    assert solution.status.has_solution
+    assert solution.objective is not None
+    assert solution.gap is not None and solution.gap > 0.0
+    assert solution.stats is not None
+    assert solution.stats.gap == pytest.approx(solution.gap)
+    assert "node_limit" in solution.message
 
 
 def test_bnb_reports_nodes_explored():
@@ -147,6 +185,7 @@ def test_bnb_time_limit_stops_without_incumbent():
     assert not solution.status.has_solution
     assert solution.objective is None
     assert "no incumbent" in solution.message
+    assert "time_limit" in solution.message
     assert solution.stats is not None and solution.stats.backend == "bnb"
 
 

@@ -1,0 +1,111 @@
+"""Tests of dynamic circuit registration and JSON loading."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.circuits import (
+    BUILTIN_CIRCUITS,
+    get_circuit,
+    get_spec,
+    list_circuits,
+    load_circuit,
+    register_graph,
+    unregister_circuit,
+)
+from repro.dfg import DFGError, textio
+from repro.dfg.generate import generate_behavioral, generate_scheduled
+
+
+@pytest.fixture()
+def _clean_registry():
+    """Remove any dynamically registered circuits after the test."""
+    before = set(list_circuits())
+    yield
+    for name in set(list_circuits()) - before:
+        unregister_circuit(name)
+
+
+def test_register_graph_makes_circuit_retrievable(_clean_registry):
+    graph = generate_scheduled(seed=42, num_operations=5)
+    spec = register_graph(graph, description="a fuzzed circuit")
+    assert spec.name == graph.name
+    assert graph.name in list_circuits()
+    assert get_circuit(graph.name) is graph
+    assert not get_spec(graph.name).in_paper_table
+
+
+def test_register_behavioral_graph_is_elaborated(_clean_registry):
+    graph = generate_behavioral(seed=43, num_operations=5)
+    register_graph(graph)
+    prepared = get_circuit(graph.name)
+    assert prepared.is_scheduled and prepared.is_module_bound
+    assert get_spec(graph.name).build_behavioral() is graph
+
+
+def test_register_rejects_builtin_names():
+    clash = generate_scheduled(seed=0, num_operations=4, name="tseng")
+    with pytest.raises(ValueError):
+        register_graph(clash)
+    # even with replace=True the benchmarks stay protected
+    with pytest.raises(ValueError):
+        register_graph(clash, replace=True)
+
+
+def test_register_duplicate_requires_replace(_clean_registry):
+    graph = generate_scheduled(seed=44, num_operations=5)
+    register_graph(graph)
+    with pytest.raises(ValueError):
+        register_graph(graph)
+    register_graph(graph, replace=True)  # explicit replacement is fine
+
+
+def test_unregister_protects_builtins(_clean_registry):
+    graph = generate_scheduled(seed=45, num_operations=5)
+    register_graph(graph)
+    unregister_circuit(graph.name)
+    assert graph.name not in list_circuits()
+    with pytest.raises(ValueError):
+        unregister_circuit("fig1")
+    assert BUILTIN_CIRCUITS <= set(list_circuits())
+
+
+def test_load_circuit_from_file(tmp_path, _clean_registry):
+    graph = generate_behavioral(seed=46, num_operations=6)
+    path = tmp_path / "circuit.json"
+    textio.save(graph, path)
+    loaded = load_circuit(path)
+    assert loaded.is_scheduled and loaded.is_module_bound
+    assert graph.name in list_circuits()
+
+
+def test_load_circuit_accepts_fuzz_failure_envelope(tmp_path, _clean_registry):
+    graph = generate_scheduled(seed=47, num_operations=5)
+    payload = {"kind": "repro-fuzz-failure", "seed": 47,
+               "graph": textio.to_dict(graph)}
+    path = tmp_path / "case.json"
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    loaded = load_circuit(path)
+    assert textio.to_dict(loaded) == textio.to_dict(graph)
+
+
+def test_load_circuit_without_registration(tmp_path):
+    graph = generate_behavioral(seed=48, num_operations=5)
+    path = tmp_path / "anon.json"
+    textio.save(graph, path)
+    loaded = load_circuit(path, register=False)
+    assert loaded.is_scheduled
+    assert graph.name not in list_circuits()
+
+
+def test_load_circuit_rejects_invalid_json(tmp_path):
+    path = tmp_path / "broken.json"
+    path.write_text("{not json", encoding="utf-8")
+    with pytest.raises(DFGError):
+        load_circuit(path)
+    path2 = tmp_path / "list.json"
+    path2.write_text("[1, 2, 3]", encoding="utf-8")
+    with pytest.raises(DFGError):
+        load_circuit(path2)
