@@ -1,10 +1,11 @@
-"""Serial vs process-pool sweep wall time (the SweepEngine speed-up).
+"""Serial vs process-pool sweep wall time (the parallel-session speed-up).
 
 The (circuit, k) evaluation grid is embarrassingly parallel: every ADVBIST
 solve is independent of every other.  This bench runs the full k-sweep of
-``tseng`` and ``fir6`` twice through :class:`repro.core.SweepEngine` — once
-with the serial executor and once over a two-worker process pool — and
-records both wall times plus the speed-up.
+``tseng`` and ``fir6`` twice through the :mod:`repro.api` façade — once on
+a serial :class:`~repro.api.Session` and once on a session with a
+two-worker persistent process pool — and records both wall times plus the
+speed-up.
 
 Shape checks performed per circuit:
 
@@ -19,8 +20,7 @@ import time
 
 import pytest
 
-from repro.circuits import get_circuit
-from repro.core import SweepEngine
+from repro.api import Session, SweepJob
 
 from _bench_utils import record, run_once
 from repro.reporting import format_table
@@ -34,44 +34,44 @@ JOBS = 2
 _TIMING_KEYS = ("solve_seconds", "wall_s")
 
 
-def _comparable_rows(result):
+def _comparable_rows(envelope):
     return [{key: value for key, value in row.items() if key not in _TIMING_KEYS}
-            for row in result.table2_rows()]
+            for row in envelope.payload["rows"]]
 
 
 @pytest.mark.parametrize("circuit", CIRCUITS)
 def test_parallel_sweep_speedup(benchmark, circuit, time_limit):
-    graph = get_circuit(circuit)
+    job = SweepJob(circuit=circuit)
 
     def run_both():
-        serial_engine = SweepEngine(time_limit=time_limit, jobs=1, cache=None)
-        start = time.perf_counter()
-        serial_result = serial_engine.sweep(graph)
-        serial_seconds = time.perf_counter() - start
+        with Session(time_limit=time_limit, jobs=1, cache=False) as serial:
+            start = time.perf_counter()
+            serial_envelope = serial.run(job)
+            serial_seconds = time.perf_counter() - start
 
-        parallel_engine = SweepEngine(time_limit=time_limit, jobs=JOBS, cache=None)
-        start = time.perf_counter()
-        parallel_result = parallel_engine.sweep(graph)
-        parallel_seconds = time.perf_counter() - start
-        return serial_result, serial_seconds, parallel_result, parallel_seconds
+        with Session(time_limit=time_limit, jobs=JOBS, cache=False) as parallel:
+            start = time.perf_counter()
+            parallel_envelope = parallel.run(job)
+            parallel_seconds = time.perf_counter() - start
+        return serial_envelope, serial_seconds, parallel_envelope, parallel_seconds
 
-    serial_result, serial_seconds, parallel_result, parallel_seconds = \
+    serial_envelope, serial_seconds, parallel_envelope, parallel_seconds = \
         run_once(benchmark, run_both)
 
-    assert _comparable_rows(serial_result) == _comparable_rows(parallel_result)
-    for result in (serial_result, parallel_result):
-        for entry in result.entries:
-            assert entry.design.verify().ok
+    assert serial_envelope.ok and parallel_envelope.ok
+    assert _comparable_rows(serial_envelope) == _comparable_rows(parallel_envelope)
+    for envelope in (serial_envelope, parallel_envelope):
+        assert all(row["verified"] for row in envelope.payload["rows"])
 
     speedup = serial_seconds / parallel_seconds if parallel_seconds > 0 else float("inf")
     rows = [{
         "circuit": circuit,
-        "tasks": len(serial_result.reports),
+        "tasks": len(serial_envelope.reports),
         "serial_s": round(serial_seconds, 2),
         f"jobs={JOBS}_s": round(parallel_seconds, 2),
         "speedup": f"{speedup:.2f}x",
     }]
     record(
         f"Parallel sweep — {circuit}",
-        format_table(rows, title=f"SweepEngine serial vs {JOBS}-process sweep"),
+        format_table(rows, title=f"Session serial vs {JOBS}-process sweep"),
     )

@@ -1,12 +1,13 @@
 """Table 2 — ADVBIST area overhead and solve time per circuit per k-test session.
 
-For every circuit of the paper's evaluation this bench runs the full k-sweep
-(k = 1 .. number of modules): the reference ILP once, then one ADVBIST ILP per
-k, each capped at the configured time limit.  The printed rows mirror the
-paper's Table 2 (overhead %, solve time, and whether the solve hit the limit,
-which the paper marks with ``*``).
+For every circuit of the paper's evaluation this bench submits a
+:class:`~repro.api.SweepJob` to a :class:`~repro.api.Session` (the full
+k-sweep, k = 1 .. number of modules): the reference ILP once, then one
+ADVBIST ILP per k, each capped at the configured time limit.  The printed
+rows mirror the paper's Table 2 (overhead %, solve time, and whether the
+solve hit the limit, which the paper marks with ``*``).
 
-Shape checks performed per circuit:
+Shape checks performed per circuit (on the envelope payload):
 
 * every k yields a verified BIST design,
 * the optimal overhead is non-increasing in k (more sessions never cost area),
@@ -15,8 +16,7 @@ Shape checks performed per circuit:
 
 import pytest
 
-from repro.circuits import get_circuit
-from repro.core import AdvBistSynthesizer
+from repro.api import Session, SweepJob
 
 from _bench_utils import PAPER_CIRCUITS, record, run_once
 from repro.reporting import render_table2
@@ -25,26 +25,24 @@ from repro.reporting import render_table2
 @pytest.mark.parametrize("circuit", PAPER_CIRCUITS)
 def test_table2_sweep(benchmark, circuit, time_limit):
     def sweep():
-        graph = get_circuit(circuit)
-        synthesizer = AdvBistSynthesizer(graph, time_limit=time_limit)
-        return synthesizer.sweep()
+        with Session(time_limit=time_limit, cache=False) as session:
+            return session.run(SweepJob(circuit=circuit))
 
-    result = run_once(benchmark, sweep)
+    envelope = run_once(benchmark, sweep)
 
-    rows = result.table2_rows()
-    assert len(rows) == len(result.entries)
-    for entry in result.entries:
-        assert entry.design.verify().ok
+    assert envelope.ok
+    rows = envelope.payload["rows"]
+    assert rows
+    assert all(row["verified"] for row in rows)
 
-    overheads = [entry.overhead_percent for entry in result.entries]
-    optimal_flags = [entry.design.optimal for entry in result.entries]
+    overheads = [row["overhead_percent"] for row in rows]
+    optimal_flags = [row["optimal"] for row in rows]
     # Monotonicity only holds between proven-optimal points (a time-limited
     # incumbent may be worse than a smaller-k optimum, as in the paper's dct4).
     proven = [oh for oh, opt in zip(overheads, optimal_flags) if opt]
     assert all(b <= a + 1e-9 for a, b in zip(proven, proven[1:]))
     assert all(0.0 <= oh <= 120.0 for oh in overheads)
 
-    marked_rows = []
-    for row, entry in zip(rows, result.entries):
-        marked_rows.append({**row, "hit_limit": "" if entry.design.optimal else "*"})
+    marked_rows = [{**row, "hit_limit": "" if row["optimal"] else "*"}
+                   for row in rows]
     record(f"Table 2 — {circuit}", render_table2(marked_rows))

@@ -1,11 +1,13 @@
 """Table 3 — ADVBIST versus ADVAN, RALLOC and BITS at the maximal k.
 
-One bench per circuit: the reference ILP, the ADVBIST ILP at the maximal
-number of test sessions, and the three heuristic baselines.  The printed
-block has the same columns as the paper's Table 3 (R, T, S, B, C, M, Area,
-OH%).
+One bench per circuit: a :class:`~repro.api.CompareJob` submitted to a
+:class:`~repro.api.Session` runs the reference ILP, the ADVBIST ILP at the
+maximal number of test sessions, and the three heuristic baselines.  The
+printed block has the same columns as the paper's Table 3 (R, T, S, B, C,
+M, Area, OH%).
 
-Shape checks (the claims the paper draws from its Table 3):
+Shape checks (the claims the paper draws from its Table 3, read off the
+envelope payload):
 
 * every method produces a verified BIST design,
 * ADVBIST's area overhead is the lowest (or tied) on every circuit,
@@ -14,8 +16,8 @@ Shape checks (the claims the paper draws from its Table 3):
 
 import pytest
 
-from repro.circuits import get_circuit
-from repro.reporting import compare_methods, render_table3
+from repro.api import CompareJob, Session
+from repro.reporting import render_table3
 
 from _bench_utils import PAPER_CIRCUITS, record, run_once
 
@@ -23,20 +25,24 @@ from _bench_utils import PAPER_CIRCUITS, record, run_once
 @pytest.mark.parametrize("circuit", PAPER_CIRCUITS)
 def test_table3_comparison(benchmark, circuit, time_limit):
     def compare():
-        graph = get_circuit(circuit)
-        return compare_methods(graph, time_limit=time_limit)
+        with Session(time_limit=time_limit, cache=False) as session:
+            return session.run(CompareJob(circuit=circuit))
 
-    result = run_once(benchmark, compare)
+    envelope = run_once(benchmark, compare)
 
-    for design in result.designs.values():
-        assert design.verify().ok
+    assert envelope.ok
+    payload = envelope.payload
+    assert all(payload["verified"].values())
 
-    overheads = result.overheads()
+    overheads = payload["overheads"]
     assert overheads["ADVBIST"] <= min(overheads.values()) + 1e-9
+    assert payload["winner"] == "ADVBIST"
 
-    reference_registers = result.reference.area().register_count
-    assert result.designs["ADVBIST"].area().register_count == reference_registers
-    assert result.designs["ADVAN"].area().register_count == reference_registers
+    # Register counts are the R column of the Table 3 rows; the reference
+    # row comes first.
+    registers = {row["Method"]: row["R"] for row in payload["table3"]}
+    assert registers["ADVBIST"] == registers["Ref."]
+    assert registers["ADVAN"] == registers["Ref."]
 
-    record(f"Table 3 — {circuit} ({result.k} test sessions)",
-           render_table3(result.rows(), circuit=circuit))
+    record(f"Table 3 — {circuit} ({payload['k']} test sessions)",
+           render_table3(payload["table3"], circuit=circuit))

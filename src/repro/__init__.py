@@ -17,15 +17,20 @@ Quick start::
     design = synthesize_bist(graph, k=3)
     print(design.table3_row(reference.area().total))
 
-The evaluation grid (one ILP per circuit × k-test-session) is driven by the
-:class:`SweepEngine`, which fans the independent solves out over worker
-processes and memoises them in an on-disk design cache::
+Programmatic consumers should speak the :mod:`repro.api` façade: declarative
+job specs in, JSON-serialisable result envelopes out, with one
+:class:`Session` owning the backend, the on-disk design cache and the
+worker pool (``jobs > 1`` keeps a persistent process pool warm across
+jobs)::
 
-    from repro import DesignCache, SweepEngine, get_circuit, render_table2
+    from repro import Session, SweepJob, render_table2
 
-    engine = SweepEngine(jobs=4, cache=DesignCache("/tmp/repro-cache"))
-    sweep = engine.sweep(get_circuit("tseng"))
-    print(render_table2(sweep.table2_rows(stats=True), stats=True))
+    with Session(jobs=4, cache_dir="/tmp/repro-cache") as session:
+        envelope = session.run(SweepJob(circuit="tseng"))
+    print(render_table2(envelope.payload["rows"], stats=True))
+
+``repro serve`` exposes the same contract as a JSON-lines daemon over
+stdin/stdout (see :mod:`repro.api.serve` for the wire protocol).
 """
 
 from .dfg import (
@@ -92,6 +97,19 @@ from .circuits import (
     register_graph,
     unregister_circuit,
 )
+from .api import (
+    BaselineJob,
+    CompareJob,
+    FuzzJob,
+    JobSpec,
+    JobSpecError,
+    ResultEnvelope,
+    Session,
+    SweepJob,
+    SynthesizeJob,
+    job_from_dict,
+    job_from_json,
+)
 from .fuzzing import FuzzReport, ParityCase, check_parity, run_fuzz
 from .reporting import (
     compare_methods,
@@ -131,6 +149,10 @@ __all__ = [
     # circuits
     "get_circuit", "get_spec", "list_circuits",
     "load_circuit", "register_graph", "unregister_circuit",
+    # api façade
+    "BaselineJob", "CompareJob", "FuzzJob", "JobSpec", "JobSpecError",
+    "ResultEnvelope", "Session", "SweepJob", "SynthesizeJob",
+    "job_from_dict", "job_from_json",
     # fuzzing
     "FuzzReport", "ParityCase", "check_parity", "run_fuzz",
     # reporting

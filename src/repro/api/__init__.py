@@ -1,0 +1,55 @@
+"""repro.api — the unified Session/Job façade every front end speaks.
+
+The layered contract of the reproduction::
+
+    CLI / repro serve / fuzzing / benchmarks / notebooks
+                    │  (job specs in, envelopes out)
+                repro.api  —  Session · JobSpec · ResultEnvelope
+                    │
+          repro.core.engine  —  SweepEngine · executors · DesignCache
+                    │
+     formulations (ADVBIST / reference) · baselines · ILP backends
+
+Front ends build declarative :class:`JobSpec` objects (or parse them from
+JSON), hand them to a :class:`Session`, and get back JSON-serialisable
+:class:`ResultEnvelope` objects — no front end constructs engines, caches
+or executors itself.  See :mod:`repro.api.serve` for the stdin/stdout
+wire protocol of the batch daemon.
+"""
+
+from .envelope import ENVELOPE_SCHEMA, ResultEnvelope
+from .jobs import (
+    BASELINE_METHODS,
+    COMPARE_METHODS,
+    JOB_KINDS,
+    BaselineJob,
+    CompareJob,
+    FuzzJob,
+    JobSpec,
+    JobSpecError,
+    SweepJob,
+    SynthesizeJob,
+    job_from_dict,
+    job_from_json,
+)
+from .serve import serve
+from .session import Session
+
+__all__ = [
+    "ENVELOPE_SCHEMA",
+    "ResultEnvelope",
+    "BASELINE_METHODS",
+    "COMPARE_METHODS",
+    "JOB_KINDS",
+    "BaselineJob",
+    "CompareJob",
+    "FuzzJob",
+    "JobSpec",
+    "JobSpecError",
+    "SweepJob",
+    "SynthesizeJob",
+    "job_from_dict",
+    "job_from_json",
+    "serve",
+    "Session",
+]

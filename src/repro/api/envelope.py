@@ -1,0 +1,126 @@
+"""The uniform result envelope every :mod:`repro.api` job returns.
+
+A :class:`ResultEnvelope` is the single response shape of the façade: the
+same structure comes back from :meth:`repro.api.Session.run`, is streamed
+over stdout by ``repro serve``, and is printed by the CLI's ``--json``
+mode.  It is deliberately plain data — status, timings, per-task solver
+reports, a kind-specific ``payload`` of tables/designs, and a structured
+``error`` instead of a raised exception — so it serialises to one JSON
+object and survives a process or network boundary unchanged
+(:meth:`to_dict` / :meth:`from_dict` round-trip exactly).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Mapping
+
+#: JSON schema version stamped on every serialised envelope.
+ENVELOPE_SCHEMA = 1
+
+#: The two terminal statuses an envelope can carry.
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+
+
+@dataclass
+class ResultEnvelope:
+    """Outcome of one executed job spec.
+
+    Attributes
+    ----------
+    status:
+        ``"ok"`` or ``"error"``.
+    kind:
+        The job kind that produced this envelope (``"sweep"``, ...).
+    job:
+        The originating job spec in dictionary form (round-trippable via
+        :func:`repro.api.jobs.job_from_dict`), so an envelope is replayable.
+    payload:
+        Kind-specific JSON-friendly results: table rows, design structure,
+        overheads, fuzz parity rows.  Empty on error.
+    error:
+        ``{"type": ..., "message": ...}`` when ``status == "error"``.
+    cached:
+        Whether *every* solve behind this envelope was served from the
+        design cache (the warm-session signal ``repro serve`` reports).
+    wall_seconds:
+        End-to-end wall time of the job inside the session.
+    reports:
+        Per-task execution records (circuit, kind, k, cached, wall time,
+        solver statistics) as flat dictionaries.
+    """
+
+    status: str
+    kind: str
+    job: dict = field(default_factory=dict)
+    payload: dict = field(default_factory=dict)
+    error: dict | None = None
+    cached: bool = False
+    wall_seconds: float = 0.0
+    reports: list[dict] = field(default_factory=list)
+    schema: int = ENVELOPE_SCHEMA
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    # -- serialisation -------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "schema": self.schema,
+            "status": self.status,
+            "kind": self.kind,
+            "job": self.job,
+            "payload": self.payload,
+            "error": self.error,
+            "cached": self.cached,
+            "wall_seconds": self.wall_seconds,
+            "reports": self.reports,
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ResultEnvelope":
+        if not isinstance(data, Mapping):
+            raise ValueError(
+                f"envelope must be a JSON object, got {type(data).__name__}")
+        status = data.get("status")
+        if status not in (STATUS_OK, STATUS_ERROR):
+            raise ValueError(f"envelope status must be 'ok' or 'error', got {status!r}")
+        return cls(
+            status=status,
+            kind=data.get("kind", ""),
+            job=dict(data.get("job") or {}),
+            payload=dict(data.get("payload") or {}),
+            error=(dict(data["error"]) if data.get("error") is not None else None),
+            cached=bool(data.get("cached", False)),
+            wall_seconds=float(data.get("wall_seconds", 0.0)),
+            reports=[dict(row) for row in data.get("reports") or []],
+            schema=int(data.get("schema", ENVELOPE_SCHEMA)),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ResultEnvelope":
+        return cls.from_dict(json.loads(text))
+
+    # -- constructors --------------------------------------------------
+    @classmethod
+    def failure(cls, kind: str, job: Mapping, exc: BaseException,
+                wall_seconds: float = 0.0) -> "ResultEnvelope":
+        """Wrap an exception as a structured error envelope."""
+        # str(KeyError) wraps the message in quotes; unwrap for clean output.
+        if isinstance(exc, KeyError) and exc.args:
+            message = str(exc.args[0])
+        else:
+            message = str(exc)
+        return cls(
+            status=STATUS_ERROR,
+            kind=kind,
+            job=dict(job),
+            error={"type": type(exc).__name__, "message": message},
+            wall_seconds=wall_seconds,
+        )

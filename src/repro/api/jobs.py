@@ -1,0 +1,260 @@
+"""Declarative job specifications: the wire-format inputs of :mod:`repro.api`.
+
+Every unit of work a :class:`repro.api.Session` can execute is described by
+a frozen dataclass with a stable JSON representation:
+
+* :class:`SynthesizeJob` — one reference + one ADVBIST design for a circuit;
+* :class:`SweepJob` — the Table 2 k-sweep of a circuit;
+* :class:`CompareJob` — the Table 3 method comparison of a circuit;
+* :class:`BaselineJob` — one heuristic baseline (ADVAN/RALLOC/BITS);
+* :class:`FuzzJob` — a random-DFG backend parity sweep.
+
+The specs are *declarative*: they carry no live objects, only names,
+numbers and (optionally) an inline ``repro.dfg.textio`` graph dictionary,
+so :meth:`JobSpec.to_dict` / :func:`job_from_dict` round-trip exactly
+through JSON and a spec can cross a process or network boundary (the
+``repro serve`` daemon reads them straight off stdin).  Solver knobs left
+as ``None`` defer to the owning session's defaults.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from typing import Any, ClassVar, Mapping, Type
+
+
+class JobSpecError(ValueError):
+    """Raised for malformed, unknown or inconsistent job specifications."""
+
+
+#: JSON schema version stamped on every serialised spec.
+JOB_SCHEMA = 1
+
+#: The methods a :class:`CompareJob` may select.
+COMPARE_METHODS = ("ADVBIST", "ADVAN", "RALLOC", "BITS")
+
+#: The heuristic methods a :class:`BaselineJob` may run.
+BASELINE_METHODS = ("ADVAN", "RALLOC", "BITS")
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Base of every job spec: the solver knobs shared by all job kinds.
+
+    ``backend`` / ``time_limit`` / ``use_cache`` override the session
+    defaults for this one job when set (``None`` defers to the session).
+    """
+
+    backend: str | None = None
+    time_limit: float | None = None
+    use_cache: bool | None = None
+
+    #: Wire-format discriminator; each concrete subclass overrides it.
+    kind: ClassVar[str] = ""
+
+    def __post_init__(self):
+        if self.time_limit is not None and self.time_limit <= 0:
+            raise JobSpecError(f"time_limit must be positive, got {self.time_limit}")
+
+    # -- serialisation -------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-stable dictionary; :func:`job_from_dict` inverts it exactly."""
+        payload: dict[str, Any] = {"job": self.kind, "schema": JOB_SCHEMA}
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            if isinstance(value, tuple):
+                value = list(value)
+            payload[field.name] = value
+        return payload
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "JobSpec":
+        """Rebuild a spec of this concrete class from its dictionary form."""
+        names = {field.name for field in dataclasses.fields(cls)}
+        kwargs = {}
+        for key, value in data.items():
+            if key in ("job", "schema"):
+                continue
+            if key not in names:
+                raise JobSpecError(
+                    f"unknown field {key!r} for job kind {cls.kind!r}; "
+                    f"expected a subset of {sorted(names)}")
+            kwargs[key] = value
+        try:
+            return cls(**kwargs)
+        except TypeError as exc:
+            raise JobSpecError(f"bad {cls.kind!r} job spec: {exc}") from exc
+
+    # -- graph targeting (shared by the circuit-shaped jobs) -----------
+    def _require_target(self) -> None:
+        circuit = getattr(self, "circuit", None)
+        graph = getattr(self, "graph", None)
+        if (circuit is None) == (graph is None):
+            raise JobSpecError(
+                f"{self.kind} job needs exactly one of 'circuit' (a registry "
+                f"name) or 'graph' (an inline repro.dfg.textio dictionary)")
+        if graph is not None and not isinstance(graph, Mapping):
+            raise JobSpecError(
+                f"{self.kind} job field 'graph' must be a JSON object, "
+                f"got {type(graph).__name__}")
+
+
+def _check_k(k, minimum: int = 1, name: str = "k") -> None:
+    if k is not None and (not isinstance(k, int) or k < minimum):
+        raise JobSpecError(f"{name} must be an integer >= {minimum}, got {k!r}")
+
+
+@dataclass(frozen=True)
+class SynthesizeJob(JobSpec):
+    """One ADVBIST design (plus its reference denominator) for a circuit."""
+
+    kind: ClassVar[str] = "synthesize"
+
+    circuit: str | None = None
+    graph: Mapping | None = None
+    k: int | None = None
+
+    def __post_init__(self):
+        super().__post_init__()
+        self._require_target()
+        _check_k(self.k)
+
+
+@dataclass(frozen=True)
+class SweepJob(JobSpec):
+    """The Table 2 sweep: one ADVBIST design per k = 1..max_k."""
+
+    kind: ClassVar[str] = "sweep"
+
+    circuit: str | None = None
+    graph: Mapping | None = None
+    max_k: int | None = None
+
+    def __post_init__(self):
+        super().__post_init__()
+        self._require_target()
+        _check_k(self.max_k, name="max_k")
+
+
+@dataclass(frozen=True)
+class CompareJob(JobSpec):
+    """The Table 3 comparison: ADVBIST against the heuristic baselines."""
+
+    kind: ClassVar[str] = "compare"
+
+    circuit: str | None = None
+    graph: Mapping | None = None
+    k: int | None = None
+    methods: tuple[str, ...] = COMPARE_METHODS
+
+    def __post_init__(self):
+        super().__post_init__()
+        self._require_target()
+        _check_k(self.k)
+        if isinstance(self.methods, list):  # JSON arrays arrive as lists
+            object.__setattr__(self, "methods", tuple(self.methods))
+        if not self.methods:
+            raise JobSpecError("compare job needs at least one method")
+        for method in self.methods:
+            if method not in COMPARE_METHODS:
+                raise JobSpecError(
+                    f"unknown comparison method {method!r}; "
+                    f"expected a subset of {COMPARE_METHODS}")
+
+
+@dataclass(frozen=True)
+class BaselineJob(JobSpec):
+    """One heuristic baseline design (ADVAN, RALLOC or BITS)."""
+
+    kind: ClassVar[str] = "baseline"
+
+    circuit: str | None = None
+    graph: Mapping | None = None
+    method: str = ""
+    k: int | None = None
+
+    def __post_init__(self):
+        super().__post_init__()
+        self._require_target()
+        _check_k(self.k)
+        method = self.method.upper() if isinstance(self.method, str) else self.method
+        if method not in BASELINE_METHODS:
+            raise JobSpecError(
+                f"unknown baseline method {self.method!r}; "
+                f"expected one of {BASELINE_METHODS}")
+        object.__setattr__(self, "method", method)
+
+
+@dataclass(frozen=True)
+class FuzzJob(JobSpec):
+    """A seeded random-DFG sweep cross-checking the ILP backends."""
+
+    kind: ClassVar[str] = "fuzz"
+
+    count: int = 10
+    seed: int = 0
+    ops: int = 6
+    formulation: str = "reference"
+    k: int | None = None
+    failure_dir: str | None = None
+
+    def __post_init__(self):
+        super().__post_init__()
+        # Parity fuzzing *is* the cross-check of the whole backend set, and
+        # never touches the design cache — a spec selecting a single backend
+        # or a cache policy is inconsistent, not silently ignorable.
+        if self.backend is not None:
+            raise JobSpecError(
+                "fuzz jobs cross-check the full backend set; "
+                "'backend' is not applicable")
+        if self.use_cache is not None:
+            raise JobSpecError(
+                "fuzz jobs never touch the design cache; "
+                "'use_cache' is not applicable")
+        if not isinstance(self.count, int) or self.count < 1:
+            raise JobSpecError(f"count must be an integer >= 1, got {self.count!r}")
+        if not isinstance(self.seed, int) or self.seed < 0:
+            raise JobSpecError(f"seed must be an integer >= 0, got {self.seed!r}")
+        if not isinstance(self.ops, int) or self.ops < 1:
+            raise JobSpecError(f"ops must be an integer >= 1, got {self.ops!r}")
+        if self.formulation not in ("reference", "advbist"):
+            raise JobSpecError(
+                f"formulation must be 'reference' or 'advbist', "
+                f"got {self.formulation!r}")
+        _check_k(self.k)
+        if self.failure_dir is not None and not isinstance(self.failure_dir, str):
+            raise JobSpecError(
+                f"failure_dir must be a string path or null, "
+                f"got {self.failure_dir!r}")
+
+
+#: Wire-format kind → concrete spec class.
+JOB_KINDS: dict[str, Type[JobSpec]] = {
+    spec.kind: spec
+    for spec in (SynthesizeJob, SweepJob, CompareJob, BaselineJob, FuzzJob)
+}
+
+
+def job_from_dict(data: Mapping) -> JobSpec:
+    """Rebuild any job spec from its dictionary form (the ``job`` key selects)."""
+    if not isinstance(data, Mapping):
+        raise JobSpecError(f"job spec must be a JSON object, got {type(data).__name__}")
+    kind = data.get("job")
+    if kind not in JOB_KINDS:
+        raise JobSpecError(
+            f"unknown job kind {kind!r}; expected one of {sorted(JOB_KINDS)}")
+    return JOB_KINDS[kind].from_dict(data)
+
+
+def job_from_json(text: str) -> JobSpec:
+    """Parse one JSON document into a job spec."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise JobSpecError(f"job spec is not valid JSON: {exc}") from exc
+    return job_from_dict(data)

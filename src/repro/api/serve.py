@@ -1,0 +1,138 @@
+"""``repro serve`` — a JSON-lines batch daemon over stdin/stdout.
+
+The first traffic-shaped interface of the reproduction: a client writes
+one JSON document per line and reads JSON lines back, all through a
+single warm :class:`~repro.api.session.Session` (so the design cache and
+the worker pool persist across requests — a repeated job spec comes back
+with ``"cached": true``).
+
+Wire protocol
+-------------
+Requests (one JSON object per line):
+
+* a job spec — any :mod:`repro.api.jobs` dictionary, e.g.
+  ``{"job": "synthesize", "circuit": "fig1", "k": 2}``.  An optional
+  ``"id"`` field (any JSON scalar) is echoed on every response line for
+  that request; without one, the 1-based request sequence number is used.
+* a control message — ``{"op": "ping"}``, ``{"op": "cache_info"}``,
+  ``{"op": "cache_clear"}`` or ``{"op": "shutdown"}``.
+
+Responses (one JSON object per line, flushed immediately):
+
+* ``{"type": "progress", "id": ..., "event": "job_started" | "job_finished", ...}``
+  — streamed while a job executes;
+* ``{"type": "result", "id": ..., "envelope": {...}}`` — the terminal
+  :class:`~repro.api.envelope.ResultEnvelope` of a job;
+* ``{"type": "control", "id": ..., "op": ..., ...}`` — reply to a control
+  message;
+* ``{"type": "error", "id": ..., "error": {"type": ..., "message": ...}}``
+  — protocol-level failures (malformed JSON, unknown job kind).  The
+  daemon keeps serving after an error line.
+
+The daemon stops on EOF or ``{"op": "shutdown"}``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import IO
+
+from .envelope import ResultEnvelope
+from .jobs import JobSpecError, job_from_dict
+from .session import Session
+
+#: Control operations the daemon answers besides job specs.
+CONTROL_OPS = ("ping", "cache_info", "cache_clear", "shutdown")
+
+
+def _write_line(stream: IO[str], document: dict) -> None:
+    stream.write(json.dumps(document, sort_keys=True) + "\n")
+    stream.flush()
+
+
+def serve(session: Session, stdin: IO[str] | None = None,
+          stdout: IO[str] | None = None, progress: bool = True) -> int:
+    """Serve job specs from ``stdin`` to ``stdout`` until EOF or shutdown.
+
+    Returns the number of requests handled (jobs + control messages).
+    With ``progress=False`` only terminal ``result`` lines are written.
+    A client that disconnects mid-batch (``BrokenPipeError`` on a response
+    write) ends the loop cleanly instead of crashing the daemon.
+    """
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+    handled = 0
+    try:
+        handled = _serve_loop(session, stdin, stdout, progress)
+    except BrokenPipeError:
+        pass  # the client went away mid-batch; stop serving cleanly
+    return handled
+
+
+def _serve_loop(session: Session, stdin: IO[str], stdout: IO[str],
+                progress: bool) -> int:
+    handled = 0
+    for sequence, line in enumerate(stdin, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        request_id = sequence
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            _write_line(stdout, {
+                "type": "error", "id": request_id,
+                "error": {"type": "ProtocolError",
+                          "message": f"request is not valid JSON: {exc}"},
+            })
+            continue
+        if isinstance(data, dict) and "id" in data:
+            request_id = data.pop("id")  # protocol field, not part of the spec
+        handled += 1
+
+        # -- control messages ------------------------------------------
+        if isinstance(data, dict) and "op" in data:
+            op = data["op"]
+            if op == "shutdown":
+                _write_line(stdout, {"type": "control", "id": request_id,
+                                     "op": "shutdown", "ok": True})
+                break
+            if op == "ping":
+                _write_line(stdout, {"type": "control", "id": request_id,
+                                     "op": "ping", "ok": True})
+            elif op == "cache_info":
+                _write_line(stdout, {"type": "control", "id": request_id,
+                                     "op": "cache_info", "ok": True,
+                                     "cache": session.cache_info()})
+            elif op == "cache_clear":
+                _write_line(stdout, {"type": "control", "id": request_id,
+                                     "op": "cache_clear", "ok": True,
+                                     "removed": session.cache_clear()})
+            else:
+                _write_line(stdout, {
+                    "type": "error", "id": request_id,
+                    "error": {"type": "ProtocolError",
+                              "message": f"unknown op {op!r}; "
+                                         f"expected one of {CONTROL_OPS}"},
+                })
+            continue
+
+        # -- job specs -------------------------------------------------
+        try:
+            job = job_from_dict(data)
+        except JobSpecError as exc:
+            _write_line(stdout, {
+                "type": "error", "id": request_id,
+                "error": {"type": "JobSpecError", "message": str(exc)},
+            })
+            continue
+
+        def stream_event(event: dict, _id=request_id) -> None:
+            _write_line(stdout, {"type": "progress", "id": _id, **event})
+
+        envelope: ResultEnvelope = session.run(
+            job, progress=stream_event if progress else None)
+        _write_line(stdout, {"type": "result", "id": request_id,
+                             "envelope": envelope.to_dict()})
+    return handled

@@ -1,0 +1,392 @@
+"""The :class:`Session` façade — the single programmatic entry point.
+
+A session owns the shared execution state every front end used to wire up
+by hand: the resolved solver backend, the cost model and formulation
+options, the on-disk :class:`~repro.core.engine.DesignCache`, and one
+long-lived executor (a persistent process pool when ``jobs > 1``).  Work
+is described declaratively as :mod:`repro.api.jobs` specs and executed
+with :meth:`Session.run` (one job) or :meth:`Session.run_many` /
+:meth:`Session.submit` + :meth:`Session.drain` (batches with
+progress-event callbacks).  Every outcome — success or failure — comes
+back as a JSON-serialisable :class:`~repro.api.envelope.ResultEnvelope`;
+exceptions from the solver stack are converted to structured error
+envelopes rather than raised.
+
+Because the cache and the worker pool live on the session, a batch of
+jobs (or a long-running ``repro serve`` daemon) pays process start-up
+once and sees warm cache hits across requests.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import BrokenExecutor
+from typing import Callable, Iterable, Mapping, Sequence
+
+from ..baselines.common import BaselineError
+from ..circuits import get_circuit
+from ..core.engine import (
+    DesignCache,
+    EngineError,
+    ProcessExecutor,
+    SerialExecutor,
+    SweepEngine,
+)
+from ..core.formulation import FormulationError, FormulationOptions
+from ..cost.transistors import CostModel, PAPER_COST_MODEL
+from ..dfg.graph import DataFlowGraph, DFGError
+from ..reporting.netlist import design_to_dict
+from .envelope import STATUS_OK, ResultEnvelope
+from .jobs import (
+    BaselineJob,
+    CompareJob,
+    FuzzJob,
+    JobSpec,
+    JobSpecError,
+    SweepJob,
+    SynthesizeJob,
+)
+
+#: Signature of a progress-event callback: receives one flat dict per event.
+ProgressCallback = Callable[[dict], None]
+
+#: Exceptions the session converts into structured error envelopes.
+#: BrokenExecutor covers a worker process dying mid-solve: the executor
+#: drops its broken pool (see ProcessExecutor.run), the job fails with a
+#: structured error, and the session keeps serving on a fresh pool.
+#: Bare KeyError is deliberately absent — an unknown circuit is re-raised
+#: as JobSpecError at the lookup site, so a genuine KeyError bug in a
+#: handler surfaces as a crash instead of masquerading as bad input.
+_JOB_ERRORS = (FormulationError, EngineError, BaselineError, DFGError,
+               JobSpecError, BrokenExecutor, ValueError, OSError)
+
+
+class Session:
+    """Shared execution state plus the job dispatcher of :mod:`repro.api`.
+
+    Parameters
+    ----------
+    backend:
+        Default ILP backend registry name for every job (``"auto"``).
+    time_limit:
+        Default per-solve wall clock limit in seconds.
+    jobs:
+        Worker processes; ``jobs > 1`` creates one *persistent* process
+        pool reused by every job until :meth:`close`.
+    cache:
+        ``True`` (default) memoises solved designs on disk, ``False``
+        disables, or pass a :class:`DesignCache` instance directly.
+    cache_dir:
+        Cache root directory; ``None`` falls back to ``$REPRO_CACHE_DIR``
+        or ``~/.cache/repro-advbist``.
+    cost_model / options:
+        Shared by every solve of the session.
+
+    A session is a context manager; leaving the ``with`` block releases
+    the worker pool.
+    """
+
+    def __init__(
+        self,
+        *,
+        backend: str = "auto",
+        time_limit: float | None = 120.0,
+        jobs: int = 1,
+        cache: DesignCache | bool = True,
+        cache_dir: str | None = None,
+        cost_model: CostModel = PAPER_COST_MODEL,
+        options: FormulationOptions | None = None,
+    ):
+        if jobs < 1:
+            raise EngineError(f"jobs must be >= 1, got {jobs}")
+        self.backend = backend
+        self.time_limit = time_limit
+        self.jobs = jobs
+        self.cache_dir = cache_dir
+        self.cost_model = cost_model
+        self.options = options
+        if isinstance(cache, DesignCache):
+            self.cache: DesignCache | None = cache
+        elif cache:
+            self.cache = DesignCache(cache_dir)
+        else:
+            self.cache = None
+        self._executor = (ProcessExecutor(jobs, persistent=True) if jobs > 1
+                          else SerialExecutor())
+        self._pending: list[JobSpec] = []
+        # Fail fast on an unknown default backend (per-job overrides are
+        # validated when their engine is built).
+        SweepEngine(backend=backend, cache=None)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the persistent worker pool (idempotent)."""
+        close = getattr(self._executor, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, job: JobSpec, progress: ProgressCallback | None = None,
+            ) -> ResultEnvelope:
+        """Execute one job spec; always returns an envelope, never raises
+        for solver/model/input errors (they become ``status="error"``)."""
+        handler = self._handler_for(job)
+        job_dict = job.to_dict()
+        # The started event carries the kind only; the full spec is echoed
+        # once in the result envelope (streaming a large inline graph twice
+        # more over the serve wire would be pure overhead).
+        _emit(progress, {"event": "job_started", "kind": job.kind})
+        start = time.perf_counter()
+        try:
+            envelope = handler(job)
+        except _JOB_ERRORS as exc:
+            envelope = ResultEnvelope.failure(job.kind, job_dict, exc)
+        envelope.wall_seconds = round(time.perf_counter() - start, 6)
+        _emit(progress, {
+            "event": "job_finished", "kind": job.kind, "status": envelope.status,
+            "cached": envelope.cached, "wall_seconds": envelope.wall_seconds,
+        })
+        return envelope
+
+    def run_many(self, specs: Iterable[JobSpec],
+                 progress: ProgressCallback | None = None,
+                 ) -> list[ResultEnvelope]:
+        """Execute a batch of jobs on this session's warm executor/cache.
+
+        ``progress`` receives ``batch_started`` / ``job_started`` /
+        ``job_finished`` / ``batch_finished`` events, each annotated with
+        the job's position in the batch.
+        """
+        specs = list(specs)
+        _emit(progress, {"event": "batch_started", "total": len(specs)})
+        envelopes: list[ResultEnvelope] = []
+        for index, job in enumerate(specs):
+            def tagged(event: dict, _index: int = index) -> None:
+                _emit(progress, {**event, "index": _index, "total": len(specs)})
+            envelopes.append(self.run(job, progress=tagged))
+        _emit(progress, {
+            "event": "batch_finished", "total": len(specs),
+            "ok": sum(1 for e in envelopes if e.ok),
+            "errors": sum(1 for e in envelopes if not e.ok),
+        })
+        return envelopes
+
+    def submit(self, job: JobSpec) -> int:
+        """Queue a job for the next :meth:`drain`; returns its batch index."""
+        if not isinstance(job, JobSpec):
+            raise JobSpecError(f"submit() needs a JobSpec, got {type(job).__name__}")
+        self._pending.append(job)
+        return len(self._pending) - 1
+
+    @property
+    def pending(self) -> tuple[JobSpec, ...]:
+        """The jobs queued by :meth:`submit` and not yet drained."""
+        return tuple(self._pending)
+
+    def drain(self, progress: ProgressCallback | None = None,
+              ) -> list[ResultEnvelope]:
+        """Execute every submitted job (in submission order) and clear the queue."""
+        specs, self._pending = self._pending, []
+        return self.run_many(specs, progress=progress)
+
+    # ------------------------------------------------------------------
+    # cache management
+    # ------------------------------------------------------------------
+    def cache_info(self) -> dict:
+        """Root, entry count and size of this session's design cache."""
+        if self.cache is None:
+            return {"enabled": False, "root": None, "entries": 0, "bytes": 0}
+        return {"enabled": True, **self.cache.info()}
+
+    def cache_clear(self) -> int:
+        """Delete every cached design; returns the number removed."""
+        return self.cache.clear() if self.cache is not None else 0
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def _handler_for(self, job: JobSpec) -> Callable[[JobSpec], ResultEnvelope]:
+        handlers = {
+            SynthesizeJob.kind: self._run_synthesize,
+            SweepJob.kind: self._run_sweep,
+            CompareJob.kind: self._run_compare,
+            BaselineJob.kind: self._run_baseline,
+            FuzzJob.kind: self._run_fuzz,
+        }
+        if job.kind not in handlers:
+            raise JobSpecError(f"unknown job kind {job.kind!r}")
+        return handlers[job.kind]
+
+    def _engine_for(self, job: JobSpec) -> SweepEngine:
+        if job.use_cache is None:
+            cache = self.cache
+        elif job.use_cache:
+            cache = self.cache if self.cache is not None else DesignCache(self.cache_dir)
+        else:
+            cache = None
+        return SweepEngine(
+            backend=job.backend or self.backend,
+            time_limit=(job.time_limit if job.time_limit is not None
+                        else self.time_limit),
+            cost_model=self.cost_model,
+            options=self.options,
+            executor=self._executor,
+            cache=cache,
+        )
+
+    def _graph_for(self, job: JobSpec) -> DataFlowGraph:
+        """Resolve a job's target: registry name or inline textio payload."""
+        inline: Mapping | None = getattr(job, "graph", None)
+        if inline is not None:
+            from ..circuits.registry import circuit_dict_from_payload
+            from ..dfg import textio
+            from ..hls.frontend import elaborate  # lazy: hls is a heavy import
+
+            raw = textio.from_dict(circuit_dict_from_payload(dict(inline)))
+            return elaborate(raw).graph
+        try:
+            return get_circuit(job.circuit)
+        except KeyError as exc:
+            raise JobSpecError(str(exc.args[0]) if exc.args else str(exc)) from exc
+
+    def _ok(self, job: JobSpec, payload: dict, reports: Sequence) -> ResultEnvelope:
+        return ResultEnvelope(
+            status=STATUS_OK,
+            kind=job.kind,
+            job=job.to_dict(),
+            payload=payload,
+            cached=bool(reports) and all(report.cached for report in reports),
+            reports=[report.as_row() for report in reports],
+        )
+
+    # ------------------------------------------------------------------
+    # job handlers
+    # ------------------------------------------------------------------
+    def _run_synthesize(self, job: SynthesizeJob) -> ResultEnvelope:
+        graph = self._graph_for(job)
+        k = job.k if job.k is not None else len(graph.module_ids)
+        engine = self._engine_for(job)
+        tasks = [engine.task(graph, "reference"),
+                 engine.task(graph, "advbist", k=k)]
+        outcomes, reports = engine.run(tasks)
+        reference, design = outcomes[0].design, outcomes[1].design
+        reference_area = reference.area().total
+        payload = {
+            "circuit": graph.name,
+            "k": k,
+            "reference_area": reference_area,
+            "table3": [reference.table3_row(),
+                       design.table3_row(reference_area)],
+            "overhead_percent": round(design.overhead_vs(reference_area), 1),
+            "optimal": design.optimal,
+            "verified": design.verify().ok,
+            "objective": design.objective,
+            "register_kinds": {
+                str(reg): kind.name
+                for reg, kind in design.plan.register_kinds(design.datapath).items()
+            },
+            "module_session": {str(m): s
+                               for m, s in design.plan.module_session.items()},
+            "design": design_to_dict(design),
+            "stats": design.stats.as_row() if design.stats is not None else None,
+        }
+        return self._ok(job, payload, reports)
+
+    def _run_sweep(self, job: SweepJob) -> ResultEnvelope:
+        graph = self._graph_for(job)
+        engine = self._engine_for(job)
+        sweep = engine.sweep(graph, max_k=job.max_k)
+        best = sweep.best_entry()
+        rows = [{**entry.table2_row(stats=True),
+                 "verified": entry.design.verify().ok}
+                for entry in sweep.entries]
+        payload = {
+            "circuit": graph.name,
+            "reference_area": sweep.reference.area().total,
+            "rows": rows,
+            "overheads": {str(k): round(v, 1)
+                          for k, v in sweep.overheads().items()},
+            "best": {"k": best.k,
+                     "overhead_percent": round(best.overhead_percent, 1)},
+        }
+        return self._ok(job, payload, sweep.reports)
+
+    def _run_compare(self, job: CompareJob) -> ResultEnvelope:
+        graph = self._graph_for(job)
+        k = job.k if job.k is not None else len(graph.module_ids)
+        engine = self._engine_for(job)
+        reference, designs, reports = engine.compare(graph, k=k,
+                                                     methods=job.methods)
+        reference_area = reference.area().total
+        ordered = [m for m in ("ADVBIST", "ADVAN", "RALLOC", "BITS")
+                   if m in designs]
+        overheads = {m: round(designs[m].overhead_vs(reference_area), 1)
+                     for m in ordered}
+        payload = {
+            "circuit": graph.name,
+            "k": k,
+            "reference_area": reference_area,
+            "table3": [reference.table3_row()]
+                      + [designs[m].table3_row(reference_area) for m in ordered],
+            "overheads": overheads,
+            "winner": min(overheads, key=overheads.get),
+            "optimal": {m: designs[m].optimal for m in ordered},
+            "verified": {m: designs[m].verify().ok for m in ordered},
+        }
+        return self._ok(job, payload, reports)
+
+    def _run_baseline(self, job: BaselineJob) -> ResultEnvelope:
+        graph = self._graph_for(job)
+        k = job.k if job.k is not None else len(graph.module_ids)
+        engine = self._engine_for(job)
+        outcomes, reports = engine.run(
+            [engine.task(graph, "baseline", k=k, method=job.method)])
+        design = outcomes[0].design
+        payload = {
+            "circuit": graph.name,
+            "method": job.method,
+            "k": k,
+            "area": design.area().total,
+            "table3": [design.table3_row()],
+            "verified": design.verify().ok,
+        }
+        return self._ok(job, payload, reports)
+
+    def _run_fuzz(self, job: FuzzJob) -> ResultEnvelope:
+        from ..fuzzing import run_fuzz  # lazy: fuzzing pulls in the generator
+
+        report = run_fuzz(
+            count=job.count,
+            seed=job.seed,
+            num_operations=job.ops,
+            formulation=job.formulation,
+            k=job.k,
+            cost_model=self.cost_model,
+            time_limit=(job.time_limit if job.time_limit is not None
+                        else self.time_limit),
+            failure_dir=job.failure_dir,
+        )
+        payload = {
+            "ok": report.ok,
+            "cases": len(report.cases),
+            "num_failures": len(report.failures),
+            "rows": report.rows(),
+            "failures": [str(case.failure_path) for case in report.failures
+                         if case.failure_path is not None],
+        }
+        return self._ok(job, payload, [])
+
+
+def _emit(progress: ProgressCallback | None, event: dict) -> None:
+    if progress is not None:
+        progress(event)

@@ -1,4 +1,4 @@
-"""Command-line interface: synthesize, sweep and compare from a terminal.
+"""Command-line interface: a thin client of the :mod:`repro.api` façade.
 
 The CLI mirrors the benchmark harness so results can be regenerated without
 writing any Python::
@@ -10,41 +10,56 @@ writing any Python::
     python -m repro sweep paulin --jobs 4        # Table 2 block, 4 processes
     python -m repro sweep tseng --stats          # ... with solver statistics
     python -m repro compare fir6 --backend bnb   # Table 3 block, chosen solver
+    python -m repro compare fir6 --json          # ... as a ResultEnvelope
     python -m repro baseline ralloc iir3         # run a single heuristic baseline
     python -m repro synth mycircuit.json         # full pipeline on a user DFG file
     python -m repro fuzz --count 25 --seed 0     # random-DFG backend cross-check
+    python -m repro cache info                   # design-cache statistics
+    python -m repro serve                        # JSON-lines batch daemon
 
-Every command prints plain text; ``--time-limit`` caps each ILP solve.
+Every command builds a declarative job spec, hands it to a
+:class:`repro.api.Session` (which owns the backend, the design cache and
+the worker pool), and renders the returned
+:class:`repro.api.ResultEnvelope` — ``--json`` on ``synthesize`` /
+``sweep`` / ``compare`` prints the envelope itself instead of tables.
 The solver knobs shared by the ILP-backed commands:
 
 * ``--backend`` — any name registered in :mod:`repro.ilp.backends`
   (``repro backends`` lists them) or ``auto``;
 * ``--jobs`` — worker processes for the independent solves of a sweep or
   comparison (the grid is embarrassingly parallel);
-* ``--no-cache`` — skip the on-disk design cache (``$REPRO_CACHE_DIR`` or
-  ``~/.cache/repro-advbist``) and re-solve everything.
+* ``--no-cache`` — skip the on-disk design cache and re-solve everything;
+* ``--cache-dir`` — design-cache root (default ``$REPRO_CACHE_DIR`` or
+  ``~/.cache/repro-advbist``).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
-from .baselines import run_advan, run_bits, run_ralloc
-from .circuits import get_circuit, get_spec, list_circuits
-from .core import AdvBistSynthesizer, SweepEngine
+from .api import (
+    BASELINE_METHODS,
+    BaselineJob,
+    CompareJob,
+    FuzzJob,
+    ResultEnvelope,
+    Session,
+    SweepJob,
+    SynthesizeJob,
+    serve,
+)
+from .circuits import get_spec, list_circuits
 from .ilp.backends import available_backend_names, iter_backend_rows
 from .reporting import (
-    compare_methods,
     render_backends,
     render_fuzz_report,
     render_table1,
     render_table2,
     render_table3,
 )
-
-_BASELINES = {"advan": run_advan, "ralloc": run_ralloc, "bits": run_bits}
 
 _SYNTH_METHODS = ("advbist", "all", "advan", "ralloc", "bits")
 
@@ -112,7 +127,16 @@ def _resource_limits(text: str) -> dict[str, int]:
     return limits
 
 
-def _add_solver_arguments(parser: argparse.ArgumentParser, jobs: bool = False) -> None:
+def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the on-disk design cache")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="design-cache root (default: $REPRO_CACHE_DIR "
+                             "or ~/.cache/repro-advbist)")
+
+
+def _add_solver_arguments(parser: argparse.ArgumentParser,
+                          jobs: bool = False) -> None:
     """The solver knobs shared by the ILP-backed commands."""
     parser.add_argument("--time-limit", type=_positive_float_time_limit, default=120.0,
                         help="per-solve wall clock limit in seconds")
@@ -122,8 +146,13 @@ def _add_solver_arguments(parser: argparse.ArgumentParser, jobs: bool = False) -
     if jobs:
         parser.add_argument("--jobs", type=_positive_int_jobs, default=1,
                             help="worker processes for the independent solves")
-        parser.add_argument("--no-cache", action="store_true",
-                            help="bypass the on-disk design cache")
+    _add_cache_arguments(parser)
+
+
+def _add_json_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--json", action="store_true",
+                        help="emit the machine-readable ResultEnvelope "
+                             "as JSON instead of rendered tables")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -144,6 +173,7 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument("--k", type=_positive_int_k, default=None,
                        help="number of test sessions (default: number of modules)")
     _add_solver_arguments(synth)
+    _add_json_argument(synth)
 
     sweep = subparsers.add_parser("sweep", help="Table 2 sweep (k = 1..N) for a circuit")
     sweep.add_argument("circuit")
@@ -152,15 +182,17 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--stats", action="store_true",
                        help="append solver statistics (nnz, nodes, backend) per row")
     _add_solver_arguments(sweep, jobs=True)
+    _add_json_argument(sweep)
 
     compare = subparsers.add_parser("compare",
                                     help="Table 3 comparison (ADVBIST vs baselines)")
     compare.add_argument("circuit")
     compare.add_argument("--k", type=_positive_int_k, default=None)
     _add_solver_arguments(compare, jobs=True)
+    _add_json_argument(compare)
 
     baseline = subparsers.add_parser("baseline", help="run one heuristic baseline")
-    baseline.add_argument("method", choices=sorted(_BASELINES))
+    baseline.add_argument("method", choices=[m.lower() for m in BASELINE_METHODS])
     baseline.add_argument("circuit")
     baseline.add_argument("--k", type=_positive_int_k, default=None)
 
@@ -207,9 +239,105 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--time-limit", type=_positive_float_time_limit, default=120.0,
                       help="per-solve wall clock limit in seconds")
 
+    cache = subparsers.add_parser(
+        "cache", help="inspect or clear the on-disk design cache")
+    cache.add_argument("action", choices=["info", "clear"],
+                       help="'info' prints location/entries/size, "
+                            "'clear' deletes every cached design")
+    cache.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="design-cache root (default: $REPRO_CACHE_DIR "
+                            "or ~/.cache/repro-advbist)")
+
+    daemon = subparsers.add_parser(
+        "serve",
+        help="JSON-lines batch daemon: read job specs from stdin, stream "
+             "progress events and result envelopes to stdout (one warm "
+             "session, so the design cache and worker pool persist "
+             "across requests)")
+    daemon.add_argument("--quiet", action="store_true",
+                        help="suppress progress lines (emit only results)")
+    _add_solver_arguments(daemon, jobs=True)
+
     return parser
 
 
+# ----------------------------------------------------------------------
+# session plumbing + envelope rendering
+# ----------------------------------------------------------------------
+def _session_from_args(args) -> Session:
+    """One warm Session configured from the shared solver flags."""
+    return Session(
+        backend=getattr(args, "backend", "auto"),
+        time_limit=getattr(args, "time_limit", 120.0),
+        jobs=getattr(args, "jobs", 1),
+        cache=not getattr(args, "no_cache", False),
+        cache_dir=getattr(args, "cache_dir", None),
+    )
+
+
+def _exit_code(envelope: ResultEnvelope) -> int:
+    """Map an envelope to a process exit code (2 = bad input, 1 = solver)."""
+    if envelope.ok:
+        return 0
+    kind = (envelope.error or {}).get("type", "")
+    return 2 if kind == "JobSpecError" else 1
+
+
+def _finish(envelope: ResultEnvelope, args, render) -> int:
+    """Common tail of every envelope-producing command: --json or tables.
+
+    ``render`` may return a non-zero exit code of its own (e.g. the fuzz
+    report on parity failures); ``None`` means success.
+    """
+    if getattr(args, "json", False):
+        print(envelope.to_json(indent=2))
+        return _exit_code(envelope)
+    if not envelope.ok:
+        print(f"error: {envelope.error['message']}", file=sys.stderr)
+        return _exit_code(envelope)
+    return render(envelope, args) or 0
+
+
+def _print_cache_note(envelope: ResultEnvelope) -> None:
+    cached = sum(1 for report in envelope.reports if report.get("cached"))
+    if cached:
+        print(f"\n({cached}/{len(envelope.reports)} solves served "
+              f"from the design cache)")
+
+
+def _render_sweep(envelope: ResultEnvelope, args) -> None:
+    payload = envelope.payload
+    print(f"Reference area: {payload['reference_area']} transistors")
+    print(render_table2(payload["rows"], stats=getattr(args, "stats", False)))
+    _print_cache_note(envelope)
+
+
+def _render_compare(envelope: ResultEnvelope, args) -> None:
+    payload = envelope.payload
+    print(render_table3(payload["table3"],
+                        circuit=f"{payload['circuit']} ({payload['k']} sessions)"))
+    print(f"\nlowest overhead: {payload['winner']}")
+
+
+def _render_synthesize(envelope: ResultEnvelope, args) -> None:
+    payload = envelope.payload
+    print(render_table3(payload["table3"],
+                        circuit=f"{payload['circuit']} (k={payload['k']})"))
+    kinds = {int(reg): kind for reg, kind in payload["register_kinds"].items()}
+    sessions = {int(m): s for m, s in payload["module_session"].items()}
+    print(f"\nregister kinds: {kinds}")
+    print(f"module sessions: {sessions}")
+    print(f"optimal: {payload['optimal']}   verified: {payload['verified']}")
+    if payload.get("stats"):
+        stats = payload["stats"]
+        print(f"solver: {stats['backend']}   nnz: {stats['nnz']}   "
+              f"nodes: {stats['nodes']}   wall: {stats['wall_s']:.3f}s")
+    _print_cache_note(envelope)
+
+
+# ----------------------------------------------------------------------
+# commands
+# ----------------------------------------------------------------------
 def _cmd_list(_args) -> int:
     for name in list_circuits():
         spec = get_spec(name)
@@ -228,59 +356,34 @@ def _cmd_table1(_args) -> int:
 
 
 def _cmd_synthesize(args) -> int:
-    graph = get_circuit(args.circuit)
-    k = args.k if args.k is not None else len(graph.module_ids)
-    synthesizer = AdvBistSynthesizer(graph, backend=args.backend,
-                                     time_limit=args.time_limit)
-    reference = synthesizer.synthesize_reference()
-    design = synthesizer.synthesize(k)
-    reference_area = reference.area().total
-    print(render_table3([reference.table3_row(), design.table3_row(reference_area)],
-                        circuit=f"{args.circuit} (k={k})"))
-    print(f"\nregister kinds: "
-          f"{ {r: kind.name for r, kind in design.plan.register_kinds(design.datapath).items()} }")
-    print(f"module sessions: {design.plan.module_session}")
-    print(f"optimal: {design.optimal}   verified: {design.verify().ok}")
-    if design.stats is not None:
-        stats = design.stats
-        print(f"solver: {stats.backend}   nnz: {stats.nnz}   "
-              f"nodes: {stats.nodes}   wall: {stats.wall_seconds:.3f}s")
-    return 0
+    with _session_from_args(args) as session:
+        envelope = session.run(SynthesizeJob(circuit=args.circuit, k=args.k))
+    return _finish(envelope, args, _render_synthesize)
 
 
 def _cmd_sweep(args) -> int:
-    graph = get_circuit(args.circuit)
-    engine = SweepEngine(
-        backend=args.backend,
-        time_limit=args.time_limit,
-        jobs=args.jobs,
-        cache=not args.no_cache,
-    )
-    sweep = engine.sweep(graph, max_k=args.max_k)
-    print(f"Reference area: {sweep.reference.area().total} transistors")
-    print(render_table2(sweep.table2_rows(stats=args.stats), stats=args.stats))
-    cached = sum(1 for report in sweep.reports if report.cached)
-    if cached:
-        print(f"\n({cached}/{len(sweep.reports)} solves served from the design cache)")
-    return 0
+    with _session_from_args(args) as session:
+        envelope = session.run(SweepJob(circuit=args.circuit, max_k=args.max_k))
+    return _finish(envelope, args, _render_sweep)
 
 
 def _cmd_compare(args) -> int:
-    graph = get_circuit(args.circuit)
-    result = compare_methods(graph, k=args.k, backend=args.backend,
-                             time_limit=args.time_limit, jobs=args.jobs,
-                             cache=not args.no_cache)
-    print(render_table3(result.rows(), circuit=f"{args.circuit} ({result.k} sessions)"))
-    print(f"\nlowest overhead: {result.winner()}")
-    return 0
+    with _session_from_args(args) as session:
+        envelope = session.run(CompareJob(circuit=args.circuit, k=args.k))
+    return _finish(envelope, args, _render_compare)
+
+
+def _render_baseline(envelope: ResultEnvelope, args) -> None:
+    payload = envelope.payload
+    print(render_table3(payload["table3"], circuit=payload["circuit"]))
+    print(f"verified: {payload['verified']}")
 
 
 def _cmd_baseline(args) -> int:
-    graph = get_circuit(args.circuit)
-    design = _BASELINES[args.method](graph, args.k)
-    print(render_table3([design.table3_row()], circuit=args.circuit))
-    print(f"verified: {design.verify().ok}")
-    return 0
+    with Session() as session:
+        envelope = session.run(BaselineJob(circuit=args.circuit,
+                                           method=args.method, k=args.k))
+    return _finish(envelope, args, _render_baseline)
 
 
 def _cmd_synth(args) -> int:
@@ -300,52 +403,81 @@ def _cmd_synth(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    graph = front.graph
+    name = front.graph.name
     summary = front.summary()
     print(f"front end: {summary['operations']} operations -> "
           f"{summary['control_steps']} control steps, "
           f"{summary['modules']} modules, "
           f"{summary['left_edge_registers']} left-edge registers")
 
-    if args.method == "advbist" and args.k is None:
-        engine = SweepEngine(backend=args.backend, time_limit=args.time_limit,
-                             jobs=args.jobs, cache=not args.no_cache)
-        sweep = engine.sweep(graph, max_k=args.max_k)
-        print(f"Reference area: {sweep.reference.area().total} transistors")
-        print(render_table2(sweep.table2_rows(stats=args.stats), stats=args.stats))
-        cached = sum(1 for report in sweep.reports if report.cached)
-        if cached:
-            print(f"\n({cached}/{len(sweep.reports)} solves served from the design cache)")
-        return 0
+    with _session_from_args(args) as session:
+        if args.method == "advbist" and args.k is None:
+            envelope = session.run(SweepJob(circuit=name, max_k=args.max_k))
+            return _finish(envelope, args, _render_sweep)
 
-    methods = {"advbist": ("ADVBIST",), "all": ("ADVBIST", "ADVAN", "RALLOC", "BITS")}
-    selected = methods.get(args.method, (args.method.upper(),))
-    result = compare_methods(graph, k=args.k, methods=selected,
-                             backend=args.backend, time_limit=args.time_limit,
-                             jobs=args.jobs, cache=not args.no_cache)
-    print(render_table3(result.rows(), circuit=f"{graph.name} ({result.k} sessions)"))
-    for method, design in result.designs.items():
-        print(f"{method}: optimal={design.optimal}   verified={design.verify().ok}")
-    if len(result.designs) > 1:
-        print(f"\nlowest overhead: {result.winner()}")
-    return 0
+        methods = {"advbist": ("ADVBIST",),
+                   "all": ("ADVBIST", "ADVAN", "RALLOC", "BITS")}
+        selected = methods.get(args.method, (args.method.upper(),))
+        envelope = session.run(CompareJob(circuit=name, k=args.k,
+                                          methods=selected))
+    return _finish(envelope, args, _render_synth_compare)
+
+
+def _render_synth_compare(envelope: ResultEnvelope, args) -> None:
+    payload = envelope.payload
+    print(render_table3(payload["table3"],
+                        circuit=f"{payload['circuit']} ({payload['k']} sessions)"))
+    for method in payload["overheads"]:
+        print(f"{method}: optimal={payload['optimal'][method]}   "
+              f"verified={payload['verified'][method]}")
+    if len(payload["overheads"]) > 1:
+        print(f"\nlowest overhead: {payload['winner']}")
+
+
+def _render_fuzz(envelope: ResultEnvelope, args) -> int | None:
+    payload = envelope.payload
+    print(render_fuzz_report(payload["rows"]))
+    if not payload["ok"]:
+        print(f"\n{payload['num_failures']}/{payload['cases']} circuits FAILED "
+              f"backend parity; replayable cases written to:", file=sys.stderr)
+        for path in payload["failures"]:
+            print(f"  {path}", file=sys.stderr)
+        return 1
+    print(f"\nall {payload['cases']} random circuits agree across backends")
+    return None
 
 
 def _cmd_fuzz(args) -> int:
-    from .fuzzing import run_fuzz
+    with Session(time_limit=args.time_limit, cache=False) as session:
+        envelope = session.run(FuzzJob(count=args.count, seed=args.seed,
+                                       ops=args.ops,
+                                       formulation=args.formulation, k=args.k,
+                                       failure_dir=args.out))
+    return _finish(envelope, args, _render_fuzz)
 
-    report = run_fuzz(count=args.count, seed=args.seed,
-                      formulation=args.formulation, k=args.k,
-                      num_operations=args.ops, time_limit=args.time_limit,
-                      failure_dir=args.out)
-    print(render_fuzz_report(report.rows()))
-    if report.failures:
-        print(f"\n{len(report.failures)}/{len(report.cases)} circuits FAILED "
-              f"backend parity; replayable cases written to:", file=sys.stderr)
-        for case in report.failures:
-            print(f"  {case.failure_path}", file=sys.stderr)
-        return 1
-    print(f"\nall {len(report.cases)} random circuits agree across backends")
+
+def _cmd_cache(args) -> int:
+    with Session(cache=True, cache_dir=args.cache_dir) as session:
+        if args.action == "info":
+            info = session.cache_info()
+            print(f"cache root: {info['root']}")
+            print(f"entries:    {info['entries']}")
+            print(f"size:       {info['bytes']} bytes")
+        else:
+            removed = session.cache_clear()
+            print(f"removed {removed} cached designs")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    with _session_from_args(args) as session:
+        serve(session, progress=not args.quiet)
+    try:
+        sys.stdout.flush()
+    except BrokenPipeError:
+        # The client closed the pipe; detach stdout from it so the
+        # interpreter's exit-time flush does not crash after a clean serve.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
     return 0
 
 
@@ -359,6 +491,8 @@ _HANDLERS = {
     "baseline": _cmd_baseline,
     "synth": _cmd_synth,
     "fuzz": _cmd_fuzz,
+    "cache": _cmd_cache,
+    "serve": _cmd_serve,
 }
 
 
@@ -376,8 +510,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except (FormulationError, EngineError, DFGError) as exc:
-        # e.g. an ADVBIST model that is infeasible for the requested k on a
-        # user/random circuit: a clean diagnostic, not a traceback.
+        # the session converts job failures to error envelopes; this net
+        # catches problems outside a job (e.g. session construction).
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

@@ -27,7 +27,7 @@ import json
 import os
 import pickle
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Mapping, Sequence
@@ -163,20 +163,51 @@ class ProcessExecutor:
 
     ``map`` preserves input order, so downstream assembly is byte-identical
     to the serial path (modulo wall-clock timings).
+
+    With ``persistent=True`` the worker pool survives across :meth:`run`
+    calls instead of being torn down after each one — the mode used by
+    :class:`repro.api.Session` (and ``repro serve``) so that a batch of
+    requests pays the process start-up cost once.  A persistent executor
+    must be released with :meth:`close` (or by closing the owning session).
+    If the pool breaks (a worker killed mid-solve), the broken pool is
+    dropped so the next :meth:`run` starts a fresh one — a long-lived
+    daemon degrades for one request instead of failing forever.
     """
 
-    def __init__(self, jobs: int):
+    def __init__(self, jobs: int, persistent: bool = False):
         if jobs < 1:
             raise EngineError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
+        self.persistent = persistent
+        self._pool: ProcessPoolExecutor | None = None
 
     def run(self, fn: Callable[[SweepTask], TaskOutcome],
             tasks: Sequence[SweepTask]) -> list[TaskOutcome]:
         if len(tasks) <= 1 or self.jobs == 1:
             return [fn(task) for task in tasks]
+        if self.persistent:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+            try:
+                return list(self._pool.map(fn, tasks))
+            except BrokenExecutor:
+                self.close()  # drop the broken pool; the next run heals
+                raise
         workers = min(self.jobs, len(tasks))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(fn, tasks))
+
+    def close(self) -> None:
+        """Shut down the persistent worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "ProcessExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 # ----------------------------------------------------------------------
@@ -294,6 +325,19 @@ class DesignCache:
             pickle.dump(outcome, handle, protocol=pickle.HIGHEST_PROTOCOL)
         tmp.replace(path)  # atomic publish; concurrent writers converge
 
+    def info(self) -> dict:
+        """Summary of the cache store: root path, entry count, total bytes."""
+        entries = 0
+        size = 0
+        if self.root.exists():
+            for path in self.root.glob("*/*.pkl"):
+                try:
+                    size += path.stat().st_size
+                except OSError:  # pragma: no cover - racing eviction
+                    continue
+                entries += 1
+        return {"root": str(self.root), "entries": entries, "bytes": size}
+
     def clear(self) -> int:
         """Delete every cached entry; returns the number removed.
 
@@ -371,13 +415,16 @@ class SweepEngine:
         self.cache: DesignCache | None = cache
 
     # -- grid materialisation ------------------------------------------
-    def _task(self, graph: DataFlowGraph, kind: str, k: int | None = None,
-              method: str = "") -> SweepTask:
+    def task(self, graph: DataFlowGraph, kind: str, k: int | None = None,
+             method: str = "") -> SweepTask:
+        """Materialise one task of this engine's grid (its configuration baked in)."""
         return SweepTask(
             graph=graph, kind=kind, k=k, method=method,
             cost_model=self.cost_model, options=self.options,
             backend=self.backend, time_limit=self.time_limit,
         )
+
+    _task = task  # historical private name, used throughout this module
 
     def _advbist_tasks(self, graph: DataFlowGraph,
                        max_k: int | None) -> list[SweepTask]:

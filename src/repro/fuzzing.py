@@ -212,6 +212,7 @@ def run_fuzz(
     formulation: str = "reference",
     k: int | None = None,
     backends: Sequence[str] = DEFAULT_BACKENDS,
+    cost_model: CostModel = PAPER_COST_MODEL,
     time_limit: float | None = None,
     failure_dir: str | Path | None = None,
     **config_overrides,
@@ -223,6 +224,10 @@ def run_fuzz(
     :func:`repro.dfg.generate.generate_corpus`); a failing case is written to
     ``failure_dir/<circuit>.json`` in a format :func:`repro.circuits.load_circuit`
     and ``repro synth`` replay directly.
+
+    This is the execution body of :class:`repro.api.FuzzJob`: front ends
+    submit a spec to a :class:`repro.api.Session` (which supplies its cost
+    model and time-limit defaults) rather than calling this directly.
     """
     if count < 1:
         raise ValueError("count must be >= 1")
@@ -233,8 +238,8 @@ def run_fuzz(
     for i, graph in enumerate(generate_corpus(count, base)):
         case_seed = base.seed + i
         case = check_parity(graph, formulation=formulation, k=k,
-                            backends=backends, time_limit=time_limit,
-                            seed=case_seed)
+                            backends=backends, cost_model=cost_model,
+                            time_limit=time_limit, seed=case_seed)
         if not case.ok and failure_dir is not None:
             directory = Path(failure_dir)
             directory.mkdir(parents=True, exist_ok=True)

@@ -1,0 +1,145 @@
+"""Job-spec and result-envelope JSON round-trips (the repro.api wire format)."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    BaselineJob,
+    CompareJob,
+    FuzzJob,
+    JobSpecError,
+    ResultEnvelope,
+    SweepJob,
+    SynthesizeJob,
+    job_from_dict,
+    job_from_json,
+)
+from repro.api.jobs import JOB_KINDS
+
+ALL_SPECS = [
+    SynthesizeJob(circuit="fig1"),
+    SynthesizeJob(circuit="tseng", k=3, backend="scipy", time_limit=10.0),
+    SweepJob(circuit="paulin", max_k=2, use_cache=False),
+    CompareJob(circuit="fir6", k=2, methods=("ADVBIST", "RALLOC")),
+    BaselineJob(circuit="iir3", method="ADVAN", k=1),
+    FuzzJob(count=3, seed=7, ops=5, formulation="advbist", k=2,
+            failure_dir="/tmp/fails"),
+]
+
+
+# ----------------------------------------------------------------------
+# round trips
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("spec", ALL_SPECS, ids=lambda s: s.kind)
+def test_spec_round_trips_through_dict(spec):
+    assert job_from_dict(spec.to_dict()) == spec
+
+
+@pytest.mark.parametrize("spec", ALL_SPECS, ids=lambda s: s.kind)
+def test_spec_round_trips_through_json_string(spec):
+    text = spec.to_json()
+    json.loads(text)  # must be a valid JSON document
+    assert job_from_json(text) == spec
+
+
+def test_to_dict_is_json_stable():
+    spec = CompareJob(circuit="fig1", methods=("ADVBIST", "BITS"))
+    blob = spec.to_dict()
+    assert blob["job"] == "compare"
+    assert blob["schema"] == 1
+    assert blob["methods"] == ["ADVBIST", "BITS"]  # tuple → JSON array
+    assert json.dumps(blob)  # fully serialisable as-is
+
+
+def test_every_kind_is_registered():
+    assert set(JOB_KINDS) == {"synthesize", "sweep", "compare", "baseline", "fuzz"}
+
+
+def test_inline_graph_round_trips(fig1_graph):
+    from repro.dfg.textio import to_dict as graph_to_dict
+
+    spec = SynthesizeJob(graph=graph_to_dict(fig1_graph), k=1)
+    rebuilt = job_from_json(spec.to_json())
+    assert rebuilt.graph == spec.graph
+
+
+# ----------------------------------------------------------------------
+# validation
+# ----------------------------------------------------------------------
+def test_specs_are_frozen():
+    spec = SweepJob(circuit="fig1")
+    with pytest.raises(AttributeError):
+        spec.circuit = "tseng"
+
+
+@pytest.mark.parametrize("bad", [
+    {},                                           # no kind
+    {"job": "teleport"},                          # unknown kind
+    {"job": "sweep"},                             # neither circuit nor graph
+    {"job": "sweep", "circuit": "a", "graph": {}},  # both targets
+    {"job": "sweep", "circuit": "a", "max_k": 0},
+    {"job": "synthesize", "circuit": "a", "k": -1},
+    {"job": "synthesize", "circuit": "a", "nope": 1},  # unknown field
+    {"job": "compare", "circuit": "a", "methods": []},
+    {"job": "compare", "circuit": "a", "methods": ["MAGIC"]},
+    {"job": "baseline", "circuit": "a"},          # method missing
+    {"job": "baseline", "circuit": "a", "method": "MAGIC"},
+    {"job": "fuzz", "count": 0},
+    {"job": "fuzz", "seed": -1},
+    {"job": "fuzz", "formulation": "quantum"},
+    {"job": "fuzz", "backend": "bnb"},     # parity is inherently multi-backend
+    {"job": "fuzz", "use_cache": True},    # fuzzing never touches the cache
+    {"job": "fuzz", "failure_dir": 5},     # must be a string path or null
+    {"job": "sweep", "circuit": "a", "time_limit": -2.0},
+])
+def test_bad_specs_raise_jobspecerror(bad):
+    with pytest.raises(JobSpecError):
+        job_from_dict(bad)
+
+
+def test_baseline_method_is_normalised_to_upper_case():
+    assert BaselineJob(circuit="x", method="ralloc").method == "RALLOC"
+
+
+def test_compare_methods_list_becomes_tuple():
+    spec = job_from_dict({"job": "compare", "circuit": "a",
+                          "methods": ["ADVAN", "BITS"]})
+    assert spec.methods == ("ADVAN", "BITS")
+
+
+def test_job_from_json_rejects_invalid_json():
+    with pytest.raises(JobSpecError):
+        job_from_json("{nope")
+
+
+# ----------------------------------------------------------------------
+# envelopes
+# ----------------------------------------------------------------------
+def test_envelope_round_trips_through_json():
+    envelope = ResultEnvelope(
+        status="ok", kind="sweep",
+        job=SweepJob(circuit="fig1").to_dict(),
+        payload={"rows": [{"k": 1, "overhead_percent": 30.8}]},
+        cached=True, wall_seconds=1.25,
+        reports=[{"circuit": "fig1", "cached": True}],
+    )
+    rebuilt = ResultEnvelope.from_json(envelope.to_json())
+    assert rebuilt == envelope
+    assert rebuilt.ok
+    # and the embedded job spec is itself replayable
+    assert job_from_dict(rebuilt.job) == SweepJob(circuit="fig1")
+
+
+def test_error_envelope_round_trips():
+    envelope = ResultEnvelope.failure("synthesize", {"job": "synthesize"},
+                                      KeyError("unknown circuit 'x'"))
+    rebuilt = ResultEnvelope.from_json(envelope.to_json())
+    assert not rebuilt.ok
+    assert rebuilt.error == {"type": "KeyError",
+                             "message": "unknown circuit 'x'"}
+
+
+def test_envelope_rejects_bad_status():
+    with pytest.raises(ValueError):
+        ResultEnvelope.from_dict({"status": "maybe", "kind": "sweep"})

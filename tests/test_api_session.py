@@ -1,0 +1,224 @@
+"""Tests of the Session façade: dispatch, caching, batches, error envelopes."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    BaselineJob,
+    CompareJob,
+    FuzzJob,
+    Session,
+    SweepJob,
+    SynthesizeJob,
+)
+
+
+@pytest.fixture()
+def session(tmp_path):
+    with Session(time_limit=60.0, cache_dir=str(tmp_path / "cache")) as s:
+        yield s
+
+
+# ----------------------------------------------------------------------
+# one handler per job kind
+# ----------------------------------------------------------------------
+def test_synthesize_job(session):
+    envelope = session.run(SynthesizeJob(circuit="fig1", k=2))
+    assert envelope.ok and envelope.kind == "synthesize"
+    payload = envelope.payload
+    assert payload["k"] == 2
+    assert payload["verified"] is True
+    assert payload["table3"][0]["Method"] == "Ref."
+    assert payload["table3"][1]["Method"] == "ADVBIST"
+    assert payload["design"]["registers"]  # structural netlist payload
+    assert json.loads(envelope.to_json())  # fully serialisable
+
+
+def test_sweep_job(session):
+    envelope = session.run(SweepJob(circuit="fig1", max_k=2))
+    assert envelope.ok
+    payload = envelope.payload
+    assert [row["k"] for row in payload["rows"]] == [1, 2]
+    assert all(row["verified"] for row in payload["rows"])
+    assert payload["best"]["k"] in (1, 2)
+    assert len(envelope.reports) == 3  # reference + two ADVBIST solves
+
+
+def test_compare_job(session):
+    envelope = session.run(CompareJob(circuit="fig1", k=2))
+    assert envelope.ok
+    payload = envelope.payload
+    assert payload["winner"] == "ADVBIST"
+    assert set(payload["overheads"]) == {"ADVBIST", "ADVAN", "RALLOC", "BITS"}
+    assert all(payload["verified"].values())
+
+
+def test_baseline_job_defaults_k_to_module_count(session, fig1_graph):
+    envelope = session.run(BaselineJob(circuit="fig1", method="ADVAN"))
+    assert envelope.ok
+    assert envelope.payload["k"] == len(fig1_graph.module_ids)
+    assert envelope.payload["verified"] is True
+
+
+def test_fuzz_job(session, tmp_path):
+    envelope = session.run(FuzzJob(count=2, seed=0, ops=5,
+                                   failure_dir=str(tmp_path / "fails")))
+    assert envelope.ok
+    assert envelope.payload["ok"] is True
+    assert envelope.payload["cases"] == 2
+    assert len(envelope.payload["rows"]) == 2
+
+
+def test_inline_graph_job_is_elaborated(session):
+    from repro.dfg.generate import generate_behavioral
+    from repro.dfg.textio import to_dict as graph_to_dict
+
+    graph = generate_behavioral(seed=0, num_operations=5)
+    envelope = session.run(BaselineJob(graph=graph_to_dict(graph),
+                                       method="RALLOC"))
+    assert envelope.ok
+    assert envelope.payload["circuit"] == graph.name
+    assert envelope.payload["verified"] is True
+
+
+# ----------------------------------------------------------------------
+# cache behaviour (the warm-session contract)
+# ----------------------------------------------------------------------
+def test_second_identical_job_reports_cached(session):
+    first = session.run(SynthesizeJob(circuit="fig1", k=2))
+    second = session.run(SynthesizeJob(circuit="fig1", k=2))
+    assert first.cached is False
+    assert second.cached is True
+    # same payload either way
+    assert first.payload["table3"] == second.payload["table3"]
+
+
+def test_use_cache_false_overrides_session_cache(session):
+    session.run(SweepJob(circuit="fig1", max_k=1))
+    bypass = session.run(SweepJob(circuit="fig1", max_k=1, use_cache=False))
+    assert bypass.cached is False
+
+
+def test_cache_info_and_clear(session):
+    before = session.cache_info()
+    assert before["enabled"] and before["entries"] == 0
+    session.run(SweepJob(circuit="fig1", max_k=1))
+    assert session.cache_info()["entries"] > 0
+    removed = session.cache_clear()
+    assert removed > 0
+    assert session.cache_info()["entries"] == 0
+
+
+def test_disabled_cache_session(tmp_path):
+    with Session(cache=False) as s:
+        info = s.cache_info()
+    assert info == {"enabled": False, "root": None, "entries": 0, "bytes": 0}
+
+
+def test_session_rejects_nonpositive_jobs():
+    from repro.core.engine import EngineError
+
+    with pytest.raises(EngineError):
+        Session(jobs=0)
+    with pytest.raises(EngineError):
+        Session(jobs=-4)
+
+
+# ----------------------------------------------------------------------
+# error envelopes
+# ----------------------------------------------------------------------
+def test_unknown_circuit_becomes_error_envelope(session):
+    envelope = session.run(SweepJob(circuit="not_a_circuit"))
+    assert not envelope.ok
+    # the registry's KeyError is re-raised as a bad-input JobSpecError so
+    # genuine KeyError bugs in handlers still crash instead of hiding
+    assert envelope.error["type"] == "JobSpecError"
+    assert "not_a_circuit" in envelope.error["message"]
+    assert envelope.payload == {}
+    json.loads(envelope.to_json())  # still a valid wire object
+
+
+def test_bad_inline_graph_becomes_error_envelope(session):
+    envelope = session.run(SynthesizeJob(graph={"definitely": "not a DFG"}))
+    assert not envelope.ok
+    assert envelope.error["type"] in ("DFGError", "JobSpecError", "ValueError")
+
+
+def test_baseline_failure_becomes_error_envelope(session):
+    """A heuristic that cannot complete a plan is a structured error.
+
+    The seed-4 random circuit has a module port RALLOC cannot reach with
+    any TPG register, which raises BaselineError deep in the engine.
+    """
+    from repro.dfg.generate import generate_behavioral
+    from repro.dfg.textio import to_dict as graph_to_dict
+
+    graph = generate_behavioral(seed=4, num_operations=5)
+    envelope = session.run(BaselineJob(graph=graph_to_dict(graph),
+                                       method="RALLOC"))
+    assert not envelope.ok
+    assert envelope.error["type"] == "BaselineError"
+
+
+# ----------------------------------------------------------------------
+# batches and progress events
+# ----------------------------------------------------------------------
+def test_run_many_emits_progress_events(session):
+    events = []
+    specs = [SweepJob(circuit="fig1", max_k=1),
+             SweepJob(circuit="not_a_circuit")]
+    envelopes = session.run_many(specs, progress=events.append)
+    assert [e.status for e in envelopes] == ["ok", "error"]
+    names = [event["event"] for event in events]
+    assert names == ["batch_started", "job_started", "job_finished",
+                     "job_started", "job_finished", "batch_finished"]
+    finished = [event for event in events if event["event"] == "job_finished"]
+    assert [event["index"] for event in finished] == [0, 1]
+    assert events[-1]["ok"] == 1 and events[-1]["errors"] == 1
+
+
+def test_submit_and_drain(session):
+    assert session.submit(SweepJob(circuit="fig1", max_k=1)) == 0
+    assert session.submit(BaselineJob(circuit="fig1", method="BITS")) == 1
+    assert len(session.pending) == 2
+    envelopes = session.drain()
+    assert [e.kind for e in envelopes] == ["sweep", "baseline"]
+    assert session.pending == ()
+
+
+def test_broken_worker_pool_becomes_error_envelope_and_heals(tmp_path):
+    """A worker dying mid-solve must not kill the session (or the daemon).
+
+    The job fails with a structured error, the broken pool is dropped, and
+    the next job runs on a fresh pool.
+    """
+    from concurrent.futures.process import BrokenProcessPool
+
+    class ExplodingPool:
+        def map(self, fn, tasks):
+            raise BrokenProcessPool("a worker was killed")
+
+        def shutdown(self):
+            pass
+
+    with Session(jobs=2, cache=False, time_limit=60.0) as s:
+        s._executor._pool = ExplodingPool()
+        envelope = s.run(SweepJob(circuit="fig1"))
+        assert not envelope.ok
+        assert envelope.error["type"] == "BrokenProcessPool"
+        assert s._executor._pool is None  # broken pool was dropped
+        healed = s.run(SweepJob(circuit="fig1"))  # fresh pool, clean run
+        assert healed.ok
+
+
+def test_parallel_session_reuses_one_pool(tmp_path):
+    with Session(jobs=2, cache=False, time_limit=60.0) as s:
+        first = s.run(SweepJob(circuit="fig1"))
+        pool = s._executor._pool
+        assert pool is not None  # persistent pool created on first use
+        second = s.run(SweepJob(circuit="fig1"))
+        assert s._executor._pool is pool  # ... and reused, not rebuilt
+    assert s._executor._pool is None  # closed on exit
+    assert first.ok and second.ok
+    assert first.payload["overheads"] == second.payload["overheads"]

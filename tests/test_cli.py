@@ -265,3 +265,92 @@ def test_fuzz_command_reports_failures(capsys, tmp_path, monkeypatch):
     assert "replayable" in captured.err
     written = list(out_dir.glob("*.json"))
     assert len(written) == 1
+
+
+# ----------------------------------------------------------------------
+# --json envelopes (synthesize / sweep / compare)
+# ----------------------------------------------------------------------
+def _envelope_from(capsys):
+    import json
+
+    return json.loads(capsys.readouterr().out)
+
+
+def test_synthesize_json_emits_envelope(capsys):
+    assert main(["synthesize", "fig1", "--k", "2", "--json",
+                 "--time-limit", "60"]) == 0
+    envelope = _envelope_from(capsys)
+    assert envelope["status"] == "ok"
+    assert envelope["kind"] == "synthesize"
+    # solver knobs live on the session, so the spec leaves them deferred
+    assert envelope["job"] == {"job": "synthesize", "schema": 1,
+                               "circuit": "fig1", "graph": None, "k": 2,
+                               "backend": None, "time_limit": None,
+                               "use_cache": None}
+    assert envelope["payload"]["verified"] is True
+
+
+def test_sweep_json_emits_envelope(capsys):
+    assert main(["sweep", "fig1", "--max-k", "1", "--json", "--no-cache",
+                 "--time-limit", "60"]) == 0
+    envelope = _envelope_from(capsys)
+    assert envelope["status"] == "ok"
+    assert [row["k"] for row in envelope["payload"]["rows"]] == [1]
+
+
+def test_compare_json_emits_envelope(capsys):
+    assert main(["compare", "fig1", "--k", "2", "--json", "--no-cache",
+                 "--time-limit", "60"]) == 0
+    envelope = _envelope_from(capsys)
+    assert envelope["payload"]["winner"] == "ADVBIST"
+
+
+def test_json_error_envelope_and_exit_code(capsys):
+    assert main(["sweep", "not_a_circuit", "--json"]) == 2
+    envelope = _envelope_from(capsys)
+    assert envelope["status"] == "error"
+    assert envelope["error"]["type"] == "JobSpecError"
+
+
+# ----------------------------------------------------------------------
+# the cache subcommand and --cache-dir
+# ----------------------------------------------------------------------
+def test_cache_dir_flag_routes_the_design_cache(capsys, tmp_path):
+    cache_dir = tmp_path / "my-cache"
+    assert main(["sweep", "fig1", "--max-k", "1", "--cache-dir", str(cache_dir),
+                 "--time-limit", "60"]) == 0
+    capsys.readouterr()
+    assert any(cache_dir.glob("*/*.pkl"))
+
+    assert main(["cache", "info", "--cache-dir", str(cache_dir)]) == 0
+    output = capsys.readouterr().out
+    assert str(cache_dir) in output
+    assert "entries:    2" in output
+
+    assert main(["cache", "clear", "--cache-dir", str(cache_dir)]) == 0
+    assert "removed 2 cached designs" in capsys.readouterr().out
+    assert not any(cache_dir.glob("*/*.pkl"))
+
+
+def test_cache_info_uses_env_default(capsys, monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-cache"))
+    assert main(["cache", "info"]) == 0
+    assert str(tmp_path / "env-cache") in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# the serve command
+# ----------------------------------------------------------------------
+def test_serve_command_round_trips_specs_over_stdio(capsys, monkeypatch):
+    import io
+    import json
+
+    requests = ('{"job": "synthesize", "circuit": "fig1", "k": 2}\n'
+                '{"job": "sweep", "circuit": "fig1", "max_k": 1}\n')
+    monkeypatch.setattr("sys.stdin", io.StringIO(requests))
+    assert main(["serve", "--quiet", "--time-limit", "60"]) == 0
+    lines = capsys.readouterr().out.splitlines()
+    responses = [json.loads(line) for line in lines]
+    assert [r["type"] for r in responses] == ["result", "result"]
+    assert [r["envelope"]["kind"] for r in responses] == ["synthesize", "sweep"]
+    assert all(r["envelope"]["status"] == "ok" for r in responses)

@@ -301,3 +301,88 @@ def test_every_design_of_a_sweep_carries_solve_stats(fig1_graph):
         assert stats.wall_seconds > 0.0
         assert stats.nnz > 0
         assert stats.backend
+
+
+# ----------------------------------------------------------------------
+# cache-key stability across processes (the contract repro serve relies on)
+# ----------------------------------------------------------------------
+def _key_in_worker(task):
+    """Module-level so a process pool can pickle it."""
+    return DesignCache().key_for(task)
+
+
+def test_key_for_is_stable_across_processes(fig1_graph, tseng_graph):
+    """The same task must hash to the same cache key in worker processes.
+
+    A ProcessExecutor solve and a later in-process lookup (or a warm
+    ``repro serve`` session) must agree on the key, or the cache would
+    never hit across the process boundary.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+
+    tasks = [
+        SweepEngine(backend="scipy").task(fig1_graph, "advbist", k=2),
+        SweepEngine(backend="scipy").task(tseng_graph, "reference"),
+        SweepEngine(backend="scipy").task(fig1_graph, "baseline", k=1,
+                                          method="RALLOC"),
+    ]
+    local_keys = [DesignCache().key_for(task) for task in tasks]
+    assert all(key is not None for key in local_keys)
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        remote_keys = list(pool.map(_key_in_worker, tasks * 2))
+    assert remote_keys == local_keys * 2
+
+
+def test_key_for_is_deterministic_for_rebuilt_graphs(fig1_graph):
+    """Two structurally identical graphs produce the same key."""
+    from repro.circuits import fig1 as fig1_module
+
+    engine = SweepEngine(backend="scipy")
+    key_a = DesignCache().key_for(engine.task(fig1_graph, "advbist", k=1))
+    key_b = DesignCache().key_for(engine.task(fig1_module.build(), "advbist", k=1))
+    assert key_a == key_b
+
+
+# ----------------------------------------------------------------------
+# persistent process executor (the Session/serve worker pool)
+# ----------------------------------------------------------------------
+def test_persistent_process_executor_reuses_its_pool(fig1_graph):
+    engine_tasks = SweepEngine(time_limit=TIME_LIMIT).sweep_grid([fig1_graph])
+    with ProcessExecutor(2, persistent=True) as executor:
+        engine = SweepEngine(time_limit=TIME_LIMIT, executor=executor, cache=None)
+        engine.run(engine_tasks)
+        pool = executor._pool
+        assert pool is not None
+        engine.run(engine_tasks)
+        assert executor._pool is pool
+    assert executor._pool is None  # context exit shuts the pool down
+
+
+def test_persistent_executor_close_is_idempotent():
+    executor = ProcessExecutor(2, persistent=True)
+    executor.close()
+    executor.close()
+    assert executor._pool is None
+
+
+def test_non_persistent_executor_keeps_no_pool(fig1_graph):
+    executor = ProcessExecutor(2)
+    engine = SweepEngine(time_limit=TIME_LIMIT, executor=executor, cache=None)
+    engine.run(engine.sweep_grid([fig1_graph]))
+    assert executor._pool is None
+
+
+# ----------------------------------------------------------------------
+# cache introspection
+# ----------------------------------------------------------------------
+def test_cache_info_counts_entries_and_bytes(tmp_path, fig1_graph):
+    cache = DesignCache(tmp_path / "cache")
+    empty = cache.info()
+    assert empty == {"root": str(tmp_path / "cache"), "entries": 0, "bytes": 0}
+    engine = SweepEngine(time_limit=TIME_LIMIT, cache=cache)
+    engine.sweep(fig1_graph, max_k=1)
+    info = cache.info()
+    assert info["entries"] == 2  # reference + k=1
+    assert info["bytes"] > 0
+    cache.clear()
+    assert cache.info()["entries"] == 0

@@ -1,0 +1,165 @@
+"""Tests of the ``repro serve`` JSON-lines daemon (the wire protocol)."""
+
+import io
+import json
+
+import pytest
+
+from repro.api import Session, serve
+
+
+def run_daemon(requests, tmp_path, progress=True, **session_kwargs):
+    """Feed request lines through one warm session; return parsed responses."""
+    session_kwargs.setdefault("time_limit", 60.0)
+    session_kwargs.setdefault("cache_dir", str(tmp_path / "serve-cache"))
+    stdin = io.StringIO("".join(line + "\n" for line in requests))
+    stdout = io.StringIO()
+    with Session(**session_kwargs) as session:
+        handled = serve(session, stdin=stdin, stdout=stdout, progress=progress)
+    lines = stdout.getvalue().splitlines()
+    return handled, [json.loads(line) for line in lines]
+
+
+def results_of(responses):
+    return [r for r in responses if r["type"] == "result"]
+
+
+def test_batch_of_two_distinct_specs_from_one_warm_session(tmp_path):
+    handled, responses = run_daemon([
+        '{"job": "synthesize", "circuit": "fig1", "k": 2}',
+        '{"job": "compare", "circuit": "fig1", "k": 2}',
+    ], tmp_path)
+    assert handled == 2
+    results = results_of(responses)
+    assert len(results) == 2
+    kinds = [r["envelope"]["kind"] for r in results]
+    assert kinds == ["synthesize", "compare"]
+    assert all(r["envelope"]["status"] == "ok" for r in results)
+
+
+def test_second_identical_spec_reports_cached_true(tmp_path):
+    _, responses = run_daemon([
+        '{"job": "sweep", "circuit": "fig1", "max_k": 1}',
+        '{"job": "sweep", "circuit": "fig1", "max_k": 1}',
+    ], tmp_path)
+    first, second = results_of(responses)
+    assert first["envelope"]["cached"] is False
+    assert second["envelope"]["cached"] is True
+
+
+def test_progress_events_stream_before_the_result(tmp_path):
+    _, responses = run_daemon(
+        ['{"job": "sweep", "circuit": "fig1", "max_k": 1}'], tmp_path)
+    types = [r["type"] for r in responses]
+    assert types == ["progress", "progress", "result"]
+    assert responses[0]["event"] == "job_started"
+    assert responses[1]["event"] == "job_finished"
+
+
+def test_quiet_mode_emits_only_results(tmp_path):
+    _, responses = run_daemon(
+        ['{"job": "sweep", "circuit": "fig1", "max_k": 1}'],
+        tmp_path, progress=False)
+    assert [r["type"] for r in responses] == ["result"]
+
+
+def test_client_request_ids_are_echoed(tmp_path):
+    _, responses = run_daemon([
+        '{"job": "sweep", "circuit": "fig1", "max_k": 1, "id": "req-7"}',
+    ], tmp_path)
+    assert {r["id"] for r in responses} == {"req-7"}
+
+
+def test_malformed_json_yields_error_line_and_daemon_keeps_serving(tmp_path):
+    handled, responses = run_daemon([
+        "this is not json",
+        '{"job": "sweep", "circuit": "fig1", "max_k": 1}',
+    ], tmp_path)
+    assert responses[0]["type"] == "error"
+    assert responses[0]["error"]["type"] == "ProtocolError"
+    assert results_of(responses)[0]["envelope"]["status"] == "ok"
+
+
+def test_unknown_job_kind_yields_error_line(tmp_path):
+    _, responses = run_daemon(['{"job": "teleport"}'], tmp_path)
+    assert responses[0]["type"] == "error"
+    assert "teleport" in responses[0]["error"]["message"]
+
+
+def test_solver_failures_come_back_as_error_envelopes_not_crashes(tmp_path):
+    handled, responses = run_daemon([
+        '{"job": "sweep", "circuit": "no_such_circuit"}',
+        '{"op": "ping"}',
+    ], tmp_path)
+    result = results_of(responses)[0]
+    assert result["envelope"]["status"] == "error"
+    assert result["envelope"]["error"]["type"] == "JobSpecError"
+    # the daemon survived and answered the next request
+    assert responses[-1] == {"type": "control", "id": 2, "op": "ping", "ok": True}
+
+
+def test_control_ops(tmp_path):
+    handled, responses = run_daemon([
+        '{"op": "ping"}',
+        '{"job": "sweep", "circuit": "fig1", "max_k": 1}',
+        '{"op": "cache_info"}',
+        '{"op": "cache_clear"}',
+        '{"op": "cache_info"}',
+    ], tmp_path, progress=False)
+    assert handled == 5
+    infos = [r for r in responses if r.get("op") == "cache_info"]
+    assert infos[0]["cache"]["entries"] > 0
+    assert infos[1]["cache"]["entries"] == 0
+    clear = next(r for r in responses if r.get("op") == "cache_clear")
+    assert clear["removed"] > 0
+
+
+def test_unknown_op_is_a_protocol_error(tmp_path):
+    _, responses = run_daemon(['{"op": "dance"}'], tmp_path)
+    assert responses[0]["type"] == "error"
+    assert "dance" in responses[0]["error"]["message"]
+
+
+def test_shutdown_stops_the_daemon_early(tmp_path):
+    handled, responses = run_daemon([
+        '{"op": "ping"}',
+        '{"op": "shutdown"}',
+        '{"job": "sweep", "circuit": "fig1", "max_k": 1}',  # never reached
+    ], tmp_path)
+    assert handled == 2
+    assert responses[-1]["op"] == "shutdown"
+    assert not results_of(responses)
+
+
+def test_blank_lines_are_ignored(tmp_path):
+    handled, responses = run_daemon(["", "   ", '{"op": "ping"}'], tmp_path)
+    assert handled == 1
+    assert responses[0]["op"] == "ping"
+
+
+def test_client_disconnect_ends_the_daemon_cleanly(tmp_path):
+    """A client closing the pipe mid-batch must not crash the daemon."""
+
+    class OneLinePipe(io.StringIO):
+        def write(self, text):
+            if self.getvalue():
+                raise BrokenPipeError("client went away")
+            return super().write(text)
+
+    stdin = io.StringIO('{"job": "sweep", "circuit": "fig1", "max_k": 1}\n'
+                        '{"job": "sweep", "circuit": "fig1", "max_k": 1}\n')
+    stdout = OneLinePipe()
+    with Session(time_limit=60.0, cache_dir=str(tmp_path / "c")) as session:
+        serve(session, stdin=stdin, stdout=stdout, progress=False)  # no raise
+    # only the first response line made it out before the pipe broke
+    assert len(stdout.getvalue().splitlines()) == 1
+
+
+def test_every_response_line_is_valid_json(tmp_path):
+    stdin = io.StringIO('{"job": "synthesize", "circuit": "fig1", "k": 2}\n'
+                        "garbage\n")
+    stdout = io.StringIO()
+    with Session(time_limit=60.0, cache_dir=str(tmp_path / "c")) as session:
+        serve(session, stdin=stdin, stdout=stdout)
+    for line in stdout.getvalue().splitlines():
+        json.loads(line)  # raises on any malformed output line
