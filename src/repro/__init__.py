@@ -88,6 +88,12 @@ from .core import (
     synthesize_reference,
 )
 from .ilp import SolveStats, available_backend_names, list_backends, register_backend
+from .accel import (
+    PortfolioBackend,
+    PresolveStats,
+    PresolvedModel,
+    presolve_form,
+)
 from .baselines import run_advan, run_bits, run_ralloc
 from .circuits import (
     get_circuit,
@@ -144,6 +150,8 @@ __all__ = [
     "synthesize_bist", "synthesize_reference",
     # ilp
     "SolveStats", "available_backend_names", "list_backends", "register_backend",
+    # accel
+    "PortfolioBackend", "PresolveStats", "PresolvedModel", "presolve_form",
     # baselines
     "run_advan", "run_bits", "run_ralloc",
     # circuits

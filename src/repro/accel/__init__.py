@@ -1,0 +1,39 @@
+"""Solver acceleration: presolve, the racing portfolio backend, warm starts.
+
+Three cooperating pieces, all exact (they change wall-clock, never results):
+
+* :mod:`repro.accel.presolve` — rewrites a lowered
+  :class:`~repro.ilp.model.MatrixForm` before it reaches a backend (variable
+  fixing, bound tightening, duplicate/dominated-row elimination) and lifts
+  solutions of the reduced model back losslessly;
+* :mod:`repro.accel.portfolio` — the ``portfolio`` registry backend racing
+  scipy/HiGHS against the pure-Python branch and bound with first-wins
+  cancellation;
+* warm-start plumbing — the branch and bound accepts an ``incumbent_hint``
+  objective cutoff, and :class:`repro.core.engine.SweepEngine` executes the
+  ADVBIST tasks of a sweep in ascending ``k`` so each solve seeds the next
+  one's incumbent (a design for ``k`` sessions embeds into the ``k + 1``
+  model, so its objective is a valid bound).
+
+Enable presolve per solve (``Model.solve(presolve=True)``), per engine
+(``SweepEngine(presolve=True)``), per job (``SweepJob(presolve=True)``) or
+from the CLI (``repro sweep tseng --presolve``).
+"""
+
+from .portfolio import PortfolioBackend
+from .presolve import (
+    PassStats,
+    PresolveError,
+    PresolveStats,
+    PresolvedModel,
+    presolve_form,
+)
+
+__all__ = [
+    "PassStats",
+    "PortfolioBackend",
+    "PresolveError",
+    "PresolveStats",
+    "PresolvedModel",
+    "presolve_form",
+]

@@ -1,0 +1,200 @@
+"""The racing portfolio backend: run several solvers, keep the first winner.
+
+The two bundled backends have complementary profiles — scipy/HiGHS is fast
+on the large ADVBIST models, the pure-Python branch and bound often wins on
+tiny models (no process-external solver start-up) and is the only backend
+that exploits warm-start incumbents.  :class:`PortfolioBackend` races them
+concurrently on the same :class:`MatrixForm`:
+
+* each racer runs in its own daemon thread (HiGHS releases the GIL during
+  the native solve, so the race genuinely overlaps);
+* the first *conclusive* result (proven optimal, infeasible or unbounded)
+  wins; the cooperative racers are cancelled through their ``stop_check``
+  hook (scipy cannot be interrupted mid-solve — its orphaned thread is
+  abandoned, bounded by the shared ``time_limit``, and at most
+  ``_ORPHAN_LIMIT`` orphans may linger before the next race waits for the
+  oldest, so chained quick wins cannot stack unbounded background solves);
+* if no racer is conclusive (both hit a limit), the best incumbent wins;
+* the winner's :class:`SolveStats` are merged with the losers': ``backend``
+  records the winning racer, ``nodes`` sums every finished racer's search.
+
+Registered as ``portfolio`` (alias ``race``) — ``repro sweep --backend
+portfolio`` and ``Session(backend="portfolio")`` select it like any other
+registry backend.  It advertises warm-start support and forwards incumbent
+hints to every racer that can use them.
+"""
+
+from __future__ import annotations
+
+import atexit
+import threading
+from queue import Queue
+
+from ..ilp.model import MatrixForm
+from ..ilp.solution import Solution, SolveStats, SolveStatus
+from ..ilp.backends.registry import BackendRegistryError, backend_info, register_backend
+
+#: Statuses that settle the race: nothing a slower racer returns can differ.
+_CONCLUSIVE = (SolveStatus.OPTIMAL, SolveStatus.INFEASIBLE, SolveStatus.UNBOUNDED)
+
+#: Abandoned racer threads (scipy cannot be interrupted mid-solve) from
+#: already-decided races.  Bounded below so a chain of quick wins cannot
+#: stack an unbounded number of orphaned solves fighting the live race
+#: for CPU.
+_ORPHANS: list[threading.Thread] = []
+_ORPHAN_LIMIT = 2
+_ORPHAN_LOCK = threading.Lock()
+
+
+def _park_orphans(threads: list[threading.Thread]) -> None:
+    """Track still-running racers of a decided race; block if too many pile up."""
+    with _ORPHAN_LOCK:
+        _ORPHANS.extend(thread for thread in threads if thread.is_alive())
+        _ORPHANS[:] = [thread for thread in _ORPHANS if thread.is_alive()]
+        backlog = list(_ORPHANS)
+    # Joining outside the lock: only the threads beyond the cap are waited
+    # on (oldest first), so steady-state CPU contention stays bounded while
+    # a single abandoned solve never delays the caller.
+    for thread in backlog[:-_ORPHAN_LIMIT] if len(backlog) > _ORPHAN_LIMIT else []:
+        thread.join()
+    with _ORPHAN_LOCK:
+        _ORPHANS[:] = [thread for thread in _ORPHANS if thread.is_alive()]
+
+
+def _drain_orphans() -> None:
+    """Join every lingering racer before the interpreter tears down.
+
+    A daemon thread still inside HiGHS native code at interpreter shutdown
+    aborts the whole process (`terminate called without an active
+    exception`), so process exit must wait for the abandoned solves —
+    cancelled cooperative racers finish within one node, and an abandoned
+    scipy solve is bounded by its time limit.
+    """
+    with _ORPHAN_LOCK:
+        backlog = list(_ORPHANS)
+        _ORPHANS.clear()
+    for thread in backlog:
+        thread.join()
+
+
+atexit.register(_drain_orphans)
+
+
+@register_backend(
+    "portfolio",
+    aliases=("race",),
+    supports_sparse=True,
+    supports_time_limit=True,
+    supports_warm_start=True,
+    description="races scipy/HiGHS against branch and bound; first conclusive result wins",
+)
+class PortfolioBackend:
+    """Race several registry backends on one model; first conclusive wins."""
+
+    def __init__(self, racers: tuple[str, ...] = ("scipy", "bnb")):
+        if len(racers) < 2:
+            raise BackendRegistryError(
+                f"a portfolio needs at least two racers, got {racers!r}")
+        resolved = []
+        for name in racers:
+            info = backend_info(name)
+            if info.cls is PortfolioBackend:
+                raise BackendRegistryError("a portfolio cannot race itself")
+            resolved.append(info.name)
+        if len(set(resolved)) != len(resolved):
+            raise BackendRegistryError(
+                f"portfolio racers must be distinct backends, got {racers!r}")
+        self.racers = tuple(resolved)
+
+    # ------------------------------------------------------------------
+    def solve(self, form: MatrixForm, time_limit: float | None = None,
+              mip_gap: float = 1e-6, incumbent_hint: float | None = None) -> Solution:
+        stop = threading.Event()
+        results: Queue[tuple[str, Solution | None, Exception | None]] = Queue()
+
+        def race(name: str) -> None:
+            try:
+                solver = backend_info(name).create()
+                # Cooperative cancellation: racers exposing a ``stop_check``
+                # attribute (the branch and bound does) poll it and stop as
+                # soon as the race is decided.
+                if hasattr(solver, "stop_check"):
+                    solver.stop_check = stop.is_set
+                kwargs = {}
+                if incumbent_hint is not None and getattr(solver, "supports_warm_start", False):
+                    kwargs["incumbent_hint"] = incumbent_hint
+                results.put((name, solver.solve(form, time_limit=time_limit,
+                                                mip_gap=mip_gap, **kwargs), None))
+            except Exception as exc:  # surfaced below, never swallowed
+                results.put((name, None, exc))
+
+        threads = [
+            threading.Thread(target=race, args=(name,), daemon=True,
+                             name=f"portfolio-{name}")
+            for name in self.racers
+        ]
+        for thread in threads:
+            thread.start()
+
+        finished: list[tuple[str, Solution]] = []
+        errors: list[tuple[str, Exception]] = []
+        winner: tuple[str, Solution] | None = None
+        for _ in range(len(threads)):
+            name, solution, error = results.get()
+            if error is not None:
+                errors.append((name, error))
+                continue
+            finished.append((name, solution))
+            if solution.status in _CONCLUSIVE:
+                winner = (name, solution)
+                break
+        stop.set()  # cancel cooperative racers still running
+        _park_orphans(threads)
+
+        if winner is None:
+            if not finished:
+                # Every racer failed: re-raise the first failure rather than
+                # inventing an ERROR solution nothing upstream expects.
+                raise errors[0][1]
+            winner = min(finished, key=_race_rank)
+        return self._merge(winner, finished, errors)
+
+    # ------------------------------------------------------------------
+    def _merge(self, winner: tuple[str, Solution],
+               finished: list[tuple[str, Solution]],
+               errors: list[tuple[str, Exception]]) -> Solution:
+        """The winning solution annotated with the merged race statistics."""
+        name, solution = winner
+        stats = solution.stats if solution.stats is not None else SolveStats()
+        stats.backend = f"portfolio[{name}]"
+        stats.nodes = sum(_nodes_of(result) for _, result in finished)
+        solution.stats = stats
+        solution.nodes = stats.nodes
+        parts = [f"portfolio winner: {name}"]
+        losers = [racer for racer in self.racers
+                  if racer != name and racer not in {n for n, _ in finished}
+                  and racer not in {n for n, _ in errors}]
+        if losers:
+            parts.append(f"cancelled: {', '.join(losers)}")
+        if errors:
+            parts.append("failed: " + ", ".join(
+                f"{racer} ({type(exc).__name__})" for racer, exc in errors))
+        if solution.message:
+            parts.append(solution.message)
+        solution.message = "; ".join(parts)
+        return solution
+
+
+def _race_rank(entry: tuple[str, Solution]) -> tuple:
+    """Sort key among non-conclusive results: usable incumbents first, best
+    objective first (all models reaching backends are minimisations)."""
+    _, solution = entry
+    has_solution = solution.status.has_solution and solution.objective is not None
+    objective = solution.objective if has_solution else float("inf")
+    return (0 if has_solution else 1, objective)
+
+
+def _nodes_of(solution: Solution) -> int:
+    if solution.stats is not None and solution.stats.nodes:
+        return solution.stats.nodes
+    return solution.nodes or 0

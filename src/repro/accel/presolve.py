@@ -1,0 +1,528 @@
+"""The presolve pipeline: rewrite a lowered :class:`MatrixForm` before solving.
+
+ADVBIST models arrive at the backends with structure the formulations cannot
+help emitting: symmetry-reduction pins (``x == 1`` equality rows), forced
+zero-wire rows (``z == 0``), and clique constraints that repeat or dominate
+one another across clock boundaries.  :func:`presolve_form` runs a small
+fixpoint loop of exact reductions over the CSR lowering:
+
+* **variable fixing** — singleton equality rows (the pin assignments of
+  section 3.5 and the ``fixed_register_assignment`` ablation) and *forcing*
+  inequality rows whose minimum activity already equals the right-hand side
+  fix variables outright; fixed columns are substituted out of the matrices
+  and their objective contribution folded into the offset;
+* **bound tightening** — singleton inequality rows become variable bounds,
+  and integer bounds are rounded to the nearest enclosed integers;
+* **duplicate/dominated row elimination** — inequality rows equal up to a
+  positive scale keep only the tightest right-hand side, and equality rows
+  equal up to any nonzero scale collapse (conflicting copies prove
+  infeasibility).
+
+Every reduction is *exact*: the returned :class:`PresolvedModel` lifts a
+solution of the reduced model back to the original variable space with the
+identical objective value, so presolve can never change a reported table —
+only how fast it is produced.  Per-pass counts are recorded in
+:class:`PresolveStats` and surface in ``SolveStats.presolve``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Iterable
+
+import numpy as np
+from scipy import sparse
+
+from ..ilp.model import MatrixForm
+from ..ilp.solution import Solution, SolveStats, SolveStatus
+
+_TOL = 1e-9
+#: Decimal places used when hashing normalised row coefficients.
+_ROW_KEY_DECIMALS = 9
+#: Hard cap on fixpoint rounds; real models converge in a handful.
+_MAX_ROUNDS = 25
+
+
+class PresolveError(ValueError):
+    """Raised for inputs the presolver cannot meaningfully process."""
+
+
+@dataclass
+class PassStats:
+    """Effect of one presolve pass in one fixpoint round."""
+
+    name: str
+    round: int
+    fixed_variables: int = 0
+    tightened_bounds: int = 0
+    removed_rows: int = 0
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.fixed_variables or self.tightened_bounds or self.removed_rows)
+
+    def as_dict(self) -> dict:
+        return {
+            "pass": self.name,
+            "round": self.round,
+            "fixed_variables": self.fixed_variables,
+            "tightened_bounds": self.tightened_bounds,
+            "removed_rows": self.removed_rows,
+        }
+
+
+@dataclass
+class PresolveStats:
+    """Aggregate presolve effect: model shrinkage plus the per-pass trail."""
+
+    original_variables: int = 0
+    original_rows: int = 0
+    reduced_variables: int = 0
+    reduced_rows: int = 0
+    rounds: int = 0
+    wall_seconds: float = 0.0
+    passes: list[PassStats] = field(default_factory=list)
+
+    @property
+    def fixed_variables(self) -> int:
+        return sum(p.fixed_variables for p in self.passes)
+
+    @property
+    def tightened_bounds(self) -> int:
+        return sum(p.tightened_bounds for p in self.passes)
+
+    @property
+    def removed_rows(self) -> int:
+        return sum(p.removed_rows for p in self.passes)
+
+    def as_dict(self) -> dict:
+        return {
+            "original_variables": self.original_variables,
+            "original_rows": self.original_rows,
+            "reduced_variables": self.reduced_variables,
+            "reduced_rows": self.reduced_rows,
+            "fixed_variables": self.fixed_variables,
+            "tightened_bounds": self.tightened_bounds,
+            "removed_rows": self.removed_rows,
+            "rounds": self.rounds,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "passes": [p.as_dict() for p in self.passes if p.changed],
+        }
+
+
+@dataclass
+class PresolvedModel:
+    """A reduced model plus everything needed to lift solutions back.
+
+    Attributes
+    ----------
+    original:
+        The :class:`MatrixForm` handed to :func:`presolve_form`.
+    reduced:
+        The reduced form (``None`` when presolve proved infeasibility or
+        fixed every variable).  Its ``offset`` already folds in the objective
+        contribution of the fixed variables, so a backend's objective value
+        on the reduced form *is* the original objective value.
+    fixed:
+        Original column index → fixed value.
+    kept:
+        Reduced column index → original column index.
+    stats:
+        Per-pass :class:`PresolveStats`.
+    infeasible:
+        Presolve proved the original model has no feasible point.
+    """
+
+    original: MatrixForm
+    reduced: MatrixForm | None
+    fixed: dict[int, float]
+    kept: list[int]
+    stats: PresolveStats
+    infeasible: bool = False
+
+    @property
+    def solved(self) -> bool:
+        """Presolve fixed every variable (nothing left for a backend)."""
+        return not self.infeasible and not self.kept
+
+    # -- lift-back ------------------------------------------------------
+    def lift_values(self, reduced_x: Iterable[float]) -> np.ndarray:
+        """Full-space variable vector for a reduced-space assignment."""
+        full = np.empty(len(self.original.variables), dtype=float)
+        for reduced_index, original_index in enumerate(self.kept):
+            full[original_index] = reduced_x[reduced_index]
+        for original_index, value in self.fixed.items():
+            full[original_index] = value
+        return full
+
+    def lift_solution(self, solution: Solution) -> Solution:
+        """Re-key a reduced-model :class:`Solution` onto the original variables.
+
+        The objective carries over untouched (the reduced offset already
+        accounts for the fixed variables); only the ``values`` mapping is
+        rebuilt in the original variable space.
+        """
+        if not solution.status.has_solution:
+            return solution
+        reduced_x = [solution.values.get(var, 0.0)
+                     for var in (self.reduced.variables if self.reduced is not None else [])]
+        full = self.lift_values(reduced_x)
+        values = {}
+        for var in self.original.variables:
+            value = float(full[var.index])
+            if self.original.integrality[var.index]:
+                value = float(round(value))
+            values[var] = value
+        solution.values = values
+        return solution
+
+    def fixed_solution(self) -> Solution:
+        """The (optimal) solution of a model presolve solved outright."""
+        if not self.solved:
+            raise PresolveError("fixed_solution() requires a fully presolved model")
+        values = {}
+        objective = float(self.original.offset)
+        for var in self.original.variables:
+            value = float(self.fixed[var.index])
+            if self.original.integrality[var.index]:
+                value = float(round(value))
+            values[var] = value
+            objective += float(self.original.c[var.index]) * value
+        return Solution(
+            status=SolveStatus.OPTIMAL,
+            objective=objective,
+            values=values,
+            message="presolve fixed every variable",
+            stats=SolveStats(backend="presolve"),
+        )
+
+    def infeasible_solution(self) -> Solution:
+        """The solution object reported when presolve proved infeasibility."""
+        if not self.infeasible:
+            raise PresolveError("infeasible_solution() requires a proven-infeasible model")
+        return Solution(
+            status=SolveStatus.INFEASIBLE,
+            message="presolve proved infeasibility",
+            stats=SolveStats(backend="presolve"),
+        )
+
+
+# ----------------------------------------------------------------------
+# the working state of one presolve run
+# ----------------------------------------------------------------------
+class _Work:
+    """Mutable matrices/bounds being reduced, plus the original→current maps."""
+
+    def __init__(self, form: MatrixForm):
+        self.c = np.asarray(form.c, dtype=float).copy()
+        self.A_ub = sparse.csr_matrix(form.A_ub, dtype=float, copy=True)
+        self.b_ub = np.asarray(form.b_ub, dtype=float).copy()
+        self.A_eq = sparse.csr_matrix(form.A_eq, dtype=float, copy=True)
+        self.b_eq = np.asarray(form.b_eq, dtype=float).copy()
+        self.lower = np.array([lo for lo, _ in form.bounds], dtype=float)
+        self.upper = np.array([hi for _, hi in form.bounds], dtype=float)
+        self.integrality = np.asarray(form.integrality).astype(bool).copy()
+        self.offset = float(form.offset)
+        self.col_map = list(range(len(form.variables)))  # current col -> original col
+        self.fixed: dict[int, float] = {}                # original col -> value
+        self.infeasible = False
+
+    @property
+    def num_cols(self) -> int:
+        return len(self.col_map)
+
+    @property
+    def num_rows(self) -> int:
+        return self.A_ub.shape[0] + self.A_eq.shape[0]
+
+    # -- row / column surgery ------------------------------------------
+    def drop_ub_rows(self, drop: set[int]) -> None:
+        if drop:
+            keep = [i for i in range(self.A_ub.shape[0]) if i not in drop]
+            self.A_ub = self.A_ub[keep]
+            self.b_ub = self.b_ub[keep]
+
+    def drop_eq_rows(self, drop: set[int]) -> None:
+        if drop:
+            keep = [i for i in range(self.A_eq.shape[0]) if i not in drop]
+            self.A_eq = self.A_eq[keep]
+            self.b_eq = self.b_eq[keep]
+
+    def substitute_fixed_columns(self) -> int:
+        """Remove every column whose bounds have collapsed to a point."""
+        fixed_mask = (self.upper - self.lower) <= _TOL
+        if not fixed_mask.any():
+            return 0
+        values = np.where(fixed_mask, self.lower, 0.0)
+        # Move the fixed columns' contribution to the right-hand sides and
+        # the objective offset, then cut the columns out.
+        if self.A_ub.shape[0]:
+            self.b_ub = self.b_ub - (self.A_ub @ values)
+        if self.A_eq.shape[0]:
+            self.b_eq = self.b_eq - (self.A_eq @ values)
+        self.offset += float(self.c @ values)
+        for col in np.nonzero(fixed_mask)[0]:
+            self.fixed[self.col_map[col]] = float(self.lower[col])
+        keep_mask = ~fixed_mask
+        keep_cols = np.nonzero(keep_mask)[0]
+        if self.A_ub.shape[0]:
+            self.A_ub = sparse.csr_matrix(self.A_ub[:, keep_cols])
+        else:
+            self.A_ub = sparse.csr_matrix((0, len(keep_cols)))
+        if self.A_eq.shape[0]:
+            self.A_eq = sparse.csr_matrix(self.A_eq[:, keep_cols])
+        else:
+            self.A_eq = sparse.csr_matrix((0, len(keep_cols)))
+        self.c = self.c[keep_mask]
+        self.lower = self.lower[keep_mask]
+        self.upper = self.upper[keep_mask]
+        self.integrality = self.integrality[keep_mask]
+        self.col_map = [self.col_map[i] for i in keep_cols]
+        return int(fixed_mask.sum())
+
+    # -- row views ------------------------------------------------------
+    @staticmethod
+    def _row_nnz(matrix: sparse.csr_matrix) -> np.ndarray:
+        return np.diff(matrix.indptr)
+
+    @staticmethod
+    def _row_entries(matrix: sparse.csr_matrix, row: int):
+        start, end = matrix.indptr[row], matrix.indptr[row + 1]
+        return matrix.indices[start:end], matrix.data[start:end]
+
+
+# ----------------------------------------------------------------------
+# the passes
+# ----------------------------------------------------------------------
+def _pass_fix_variables(work: _Work, stats: PassStats) -> None:
+    """Fix variables forced by singleton equality rows and forcing rows."""
+    # Singleton equality rows: a * x == b  =>  x = b / a.
+    drop_eq: set[int] = set()
+    nnz = work._row_nnz(work.A_eq)
+    for row in np.nonzero(nnz == 1)[0]:
+        cols, data = work._row_entries(work.A_eq, int(row))
+        col, coeff = int(cols[0]), float(data[0])
+        if abs(coeff) <= _TOL:
+            continue
+        value = float(work.b_eq[row]) / coeff
+        if work.integrality[col] and abs(value - round(value)) > 1e-6:
+            work.infeasible = True
+            return
+        if value < work.lower[col] - 1e-6 or value > work.upper[col] + 1e-6:
+            work.infeasible = True
+            return
+        if work.integrality[col]:
+            value = float(round(value))
+        if work.upper[col] - work.lower[col] > _TOL:
+            stats.fixed_variables += 1
+        work.lower[col] = work.upper[col] = value
+        drop_eq.add(int(row))
+    work.drop_eq_rows(drop_eq)
+    stats.removed_rows += len(drop_eq)
+
+    # Forcing inequality rows: when the minimum activity of a row already
+    # equals its right-hand side, every variable in the row must sit at the
+    # bound achieving that minimum (coeff > 0 at its lower, coeff < 0 at its
+    # upper).  This is what turns `z1 + z2 <= 0` into two fixings.
+    if not work.A_ub.shape[0]:
+        return
+    pos = work.A_ub.maximum(0)
+    pos.eliminate_zeros()
+    neg = work.A_ub.minimum(0)
+    neg.eliminate_zeros()
+    with np.errstate(invalid="ignore"):
+        min_activity = pos @ work.lower + neg @ work.upper
+    drop_ub: set[int] = set()
+    for row in range(work.A_ub.shape[0]):
+        activity = min_activity[row]
+        if not np.isfinite(activity):
+            continue
+        if activity > work.b_ub[row] + 1e-6:
+            work.infeasible = True
+            return
+        if abs(activity - work.b_ub[row]) <= _TOL:
+            cols, data = work._row_entries(work.A_ub, row)
+            for col, coeff in zip(cols, data):
+                col = int(col)
+                target = work.lower[col] if coeff > 0 else work.upper[col]
+                if work.upper[col] - work.lower[col] > _TOL:
+                    stats.fixed_variables += 1
+                work.lower[col] = work.upper[col] = float(target)
+            drop_ub.add(row)
+    work.drop_ub_rows(drop_ub)
+    stats.removed_rows += len(drop_ub)
+
+
+def _pass_tighten_bounds(work: _Work, stats: PassStats) -> None:
+    """Absorb singleton inequality rows into bounds; round integer bounds."""
+    drop_ub: set[int] = set()
+    nnz = work._row_nnz(work.A_ub)
+    for row in np.nonzero(nnz == 1)[0]:
+        cols, data = work._row_entries(work.A_ub, int(row))
+        col, coeff = int(cols[0]), float(data[0])
+        if abs(coeff) <= _TOL:
+            continue
+        bound = float(work.b_ub[row]) / coeff
+        if coeff > 0:  # x <= bound
+            if bound < work.upper[col] - _TOL:
+                work.upper[col] = bound
+                stats.tightened_bounds += 1
+        else:  # x >= bound
+            if bound > work.lower[col] + _TOL:
+                work.lower[col] = bound
+                stats.tightened_bounds += 1
+        drop_ub.add(int(row))
+    work.drop_ub_rows(drop_ub)
+    stats.removed_rows += len(drop_ub)
+
+    integral = work.integrality
+    rounded_upper = np.where(integral, np.floor(work.upper + 1e-6), work.upper)
+    rounded_lower = np.where(integral, np.ceil(work.lower - 1e-6), work.lower)
+    stats.tightened_bounds += int(
+        np.sum((rounded_upper < work.upper - _TOL) | (rounded_lower > work.lower + _TOL))
+    )
+    work.upper = rounded_upper
+    work.lower = rounded_lower
+    if np.any(work.lower > work.upper + 1e-6):
+        work.infeasible = True
+
+
+def _pass_remove_redundant_rows(work: _Work, stats: PassStats) -> None:
+    """Drop empty, duplicate and positively-scaled dominated rows."""
+    # Inequality rows: normalise by the largest |coefficient| (a positive
+    # scale preserves <=), then rows sharing a coefficient pattern keep only
+    # the smallest normalised right-hand side.
+    drop_ub: set[int] = set()
+    best_rhs: dict[tuple, tuple[float, int]] = {}
+    for row in range(work.A_ub.shape[0]):
+        cols, data = work._row_entries(work.A_ub, row)
+        if len(cols) == 0:
+            if work.b_ub[row] < -1e-6:
+                work.infeasible = True
+                return
+            drop_ub.add(row)
+            continue
+        scale = float(np.max(np.abs(data)))
+        key = tuple(zip(map(int, cols),
+                        np.round(data / scale, _ROW_KEY_DECIMALS)))
+        rhs = float(work.b_ub[row]) / scale
+        seen = best_rhs.get(key)
+        if seen is None:
+            best_rhs[key] = (rhs, row)
+        elif rhs < seen[0] - _TOL:
+            drop_ub.add(seen[1])
+            best_rhs[key] = (rhs, row)
+        else:
+            drop_ub.add(row)
+    work.drop_ub_rows(drop_ub)
+    stats.removed_rows += len(drop_ub)
+
+    # Equality rows: normalise by the first coefficient (any nonzero scale
+    # preserves ==); identical patterns with matching right-hand sides are
+    # duplicates, with different right-hand sides they prove infeasibility.
+    drop_eq: set[int] = set()
+    seen_eq: dict[tuple, float] = {}
+    for row in range(work.A_eq.shape[0]):
+        cols, data = work._row_entries(work.A_eq, row)
+        if len(cols) == 0:
+            if abs(work.b_eq[row]) > 1e-6:
+                work.infeasible = True
+                return
+            drop_eq.add(row)
+            continue
+        scale = float(data[0])
+        key = tuple(zip(map(int, cols),
+                        np.round(data / scale, _ROW_KEY_DECIMALS)))
+        rhs = float(work.b_eq[row]) / scale
+        if key in seen_eq:
+            if abs(seen_eq[key] - rhs) > 1e-6:
+                work.infeasible = True
+                return
+            drop_eq.add(row)
+        else:
+            seen_eq[key] = rhs
+    work.drop_eq_rows(drop_eq)
+    stats.removed_rows += len(drop_eq)
+
+
+_PASSES = (
+    ("fix_variables", _pass_fix_variables),
+    ("tighten_bounds", _pass_tighten_bounds),
+    ("remove_redundant_rows", _pass_remove_redundant_rows),
+)
+
+
+# ----------------------------------------------------------------------
+# the pipeline
+# ----------------------------------------------------------------------
+def presolve_form(form: MatrixForm) -> PresolvedModel:
+    """Run the presolve fixpoint loop on one lowered model.
+
+    The reduced :class:`MatrixForm` matches the input's storage (sparse in,
+    sparse out; dense in, dense out) so any backend can consume it.
+    """
+    start = time.perf_counter()
+    work = _Work(form)
+    stats = PresolveStats(
+        original_variables=len(form.variables),
+        original_rows=work.num_rows,
+    )
+
+    for round_number in range(1, _MAX_ROUNDS + 1):
+        round_changed = False
+        for name, run_pass in _PASSES:
+            pass_stats = PassStats(name=name, round=round_number)
+            run_pass(work, pass_stats)
+            if pass_stats.changed:
+                stats.passes.append(pass_stats)
+                round_changed = True
+            if work.infeasible:
+                stats.rounds = round_number
+                stats.wall_seconds = time.perf_counter() - start
+                return PresolvedModel(original=form, reduced=None, fixed=dict(work.fixed),
+                                      kept=[], stats=stats, infeasible=True)
+        if work.substitute_fixed_columns():
+            round_changed = True
+        stats.rounds = round_number
+        if not round_changed:
+            break
+
+    reduced = _reduced_form(form, work)
+    stats.reduced_variables = work.num_cols
+    stats.reduced_rows = work.num_rows
+    stats.wall_seconds = time.perf_counter() - start
+    return PresolvedModel(
+        original=form,
+        reduced=reduced,
+        fixed=dict(work.fixed),
+        kept=list(work.col_map),
+        stats=stats,
+    )
+
+
+def _reduced_form(form: MatrixForm, work: _Work) -> MatrixForm | None:
+    """Assemble the reduced MatrixForm (None when every variable was fixed)."""
+    if not work.col_map:
+        return None
+    variables = [
+        replace(form.variables[original], index=i,
+                lower=float(work.lower[i]), upper=float(work.upper[i]))
+        for i, original in enumerate(work.col_map)
+    ]
+    A_ub: sparse.csr_matrix | np.ndarray = work.A_ub
+    A_eq: sparse.csr_matrix | np.ndarray = work.A_eq
+    if not form.is_sparse:
+        A_ub = A_ub.toarray()
+        A_eq = A_eq.toarray()
+    return MatrixForm(
+        c=work.c,
+        A_ub=A_ub,
+        b_ub=work.b_ub,
+        A_eq=A_eq,
+        b_eq=work.b_eq,
+        bounds=[(float(lo), float(hi)) for lo, hi in zip(work.lower, work.upper)],
+        integrality=work.integrality.astype(int),
+        variables=variables,
+        offset=work.offset,
+    )

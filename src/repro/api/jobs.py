@@ -43,13 +43,16 @@ BASELINE_METHODS = ("ADVAN", "RALLOC", "BITS")
 class JobSpec:
     """Base of every job spec: the solver knobs shared by all job kinds.
 
-    ``backend`` / ``time_limit`` / ``use_cache`` override the session
-    defaults for this one job when set (``None`` defers to the session).
+    ``backend`` / ``time_limit`` / ``use_cache`` / ``presolve`` override the
+    session defaults for this one job when set (``None`` defers to the
+    session).  ``presolve`` selects the :mod:`repro.accel.presolve`
+    reductions — exact, so payloads are identical either way.
     """
 
     backend: str | None = None
     time_limit: float | None = None
     use_cache: bool | None = None
+    presolve: bool | None = None
 
     #: Wire-format discriminator; each concrete subclass overrides it.
     kind: ClassVar[str] = ""
@@ -57,6 +60,9 @@ class JobSpec:
     def __post_init__(self):
         if self.time_limit is not None and self.time_limit <= 0:
             raise JobSpecError(f"time_limit must be positive, got {self.time_limit}")
+        if self.presolve is not None and not isinstance(self.presolve, bool):
+            raise JobSpecError(
+                f"presolve must be true, false or null, got {self.presolve!r}")
 
     # -- serialisation -------------------------------------------------
     def to_dict(self) -> dict:
@@ -216,6 +222,10 @@ class FuzzJob(JobSpec):
             raise JobSpecError(
                 "fuzz jobs never touch the design cache; "
                 "'use_cache' is not applicable")
+        if self.presolve is not None:
+            raise JobSpecError(
+                "fuzz jobs cross-check the raw backend lowerings; "
+                "'presolve' is not applicable")
         if not isinstance(self.count, int) or self.count < 1:
             raise JobSpecError(f"count must be an integer >= 1, got {self.count!r}")
         if not isinstance(self.seed, int) or self.seed < 0:

@@ -81,6 +81,12 @@ class Session:
         or ``~/.cache/repro-advbist``.
     cost_model / options:
         Shared by every solve of the session.
+    presolve:
+        Default for the :mod:`repro.accel.presolve` reductions (jobs may
+        override per spec).  Exact — results never change.
+    warm_start:
+        Let warm-start-capable backends chain each circuit's ADVBIST solves
+        in ascending ``k``, seeding each incumbent from the previous one.
 
     A session is a context manager; leaving the ``with`` block releases
     the worker pool.
@@ -96,6 +102,8 @@ class Session:
         cache_dir: str | None = None,
         cost_model: CostModel = PAPER_COST_MODEL,
         options: FormulationOptions | None = None,
+        presolve: bool = False,
+        warm_start: bool = True,
     ):
         if jobs < 1:
             raise EngineError(f"jobs must be >= 1, got {jobs}")
@@ -105,6 +113,8 @@ class Session:
         self.cache_dir = cache_dir
         self.cost_model = cost_model
         self.options = options
+        self.presolve = presolve
+        self.warm_start = warm_start
         if isinstance(cache, DesignCache):
             self.cache: DesignCache | None = cache
         elif cache:
@@ -242,6 +252,9 @@ class Session:
             options=self.options,
             executor=self._executor,
             cache=cache,
+            presolve=(job.presolve if job.presolve is not None
+                      else self.presolve),
+            warm_start=self.warm_start,
         )
 
     def _graph_for(self, job: JobSpec) -> DataFlowGraph:
@@ -313,6 +326,7 @@ class Session:
         payload = {
             "circuit": graph.name,
             "reference_area": sweep.reference.area().total,
+            "reference_optimal": sweep.reference.optimal,
             "rows": rows,
             "overheads": {str(k): round(v, 1)
                           for k, v in sweep.overheads().items()},
@@ -341,6 +355,7 @@ class Session:
             "overheads": overheads,
             "winner": min(overheads, key=overheads.get),
             "optimal": {m: designs[m].optimal for m in ordered},
+            "reference_optimal": reference.optimal,
             "verified": {m: designs[m].verify().ok for m in ordered},
         }
         return self._ok(job, payload, reports)

@@ -28,6 +28,8 @@ The solver knobs shared by the ILP-backed commands:
   (``repro backends`` lists them) or ``auto``;
 * ``--jobs`` — worker processes for the independent solves of a sweep or
   comparison (the grid is embarrassingly parallel);
+* ``--presolve/--no-presolve`` — run the :mod:`repro.accel.presolve`
+  reductions on every ILP before solving (exact, off by default);
 * ``--no-cache`` — skip the on-disk design cache and re-solve everything;
 * ``--cache-dir`` — design-cache root (default ``$REPRO_CACHE_DIR`` or
   ``~/.cache/repro-advbist``).
@@ -143,6 +145,11 @@ def _add_solver_arguments(parser: argparse.ArgumentParser,
     parser.add_argument("--backend", default="auto",
                         choices=["auto", *available_backend_names()],
                         help="ILP solver backend (see 'repro backends')")
+    parser.add_argument("--presolve", action=argparse.BooleanOptionalAction,
+                        default=False,
+                        help="run the repro.accel presolve reductions on every "
+                             "ILP before solving (exact: identical designs, "
+                             "smaller models)")
     if jobs:
         parser.add_argument("--jobs", type=_positive_int_jobs, default=1,
                             help="worker processes for the independent solves")
@@ -272,6 +279,7 @@ def _session_from_args(args) -> Session:
         jobs=getattr(args, "jobs", 1),
         cache=not getattr(args, "no_cache", False),
         cache_dir=getattr(args, "cache_dir", None),
+        presolve=getattr(args, "presolve", False),
     )
 
 

@@ -12,9 +12,16 @@ as :class:`SweepTask` objects and executes it through a pluggable executor:
   assembled tables are identical to the serial path regardless of scheduling.
 
 Solved designs are memoised in an on-disk :class:`DesignCache` keyed by the
-content hash of (graph, cost model, k, formulation options, backend), so
-re-running a sweep — from the CLI, the benchmarks or a notebook — only pays
-for the solves it has not seen before.
+content hash of (graph, cost model, k, formulation options, backend,
+presolve), so re-running a sweep — from the CLI, the benchmarks or a
+notebook — only pays for the solves it has not seen before, and toggling
+the acceleration pipeline can never serve a stale design.
+
+The engine cooperates with :mod:`repro.accel`: ``presolve=True`` reduces
+every ILP lowering before it reaches the backend, and with a warm-start
+capable backend (``bnb``, ``portfolio``) the ADVBIST tasks of each circuit
+run as one ascending-``k`` :class:`TaskChain` whose solves seed each other's
+incumbent cutoffs (a ``k``-session design embeds into the ``k + 1`` model).
 
 :meth:`AdvBistSynthesizer.sweep` and :func:`repro.reporting.compare_methods`
 are thin wrappers over this engine.
@@ -35,7 +42,7 @@ from typing import Callable, Mapping, Sequence
 from ..cost.transistors import CostModel, PAPER_COST_MODEL
 from ..dfg.graph import DataFlowGraph
 from ..dfg.textio import to_dict as graph_to_dict
-from ..ilp.backends import resolve_backend_name
+from ..ilp.backends import backend_info, resolve_backend_name
 from ..ilp.solution import SolveStats
 from .formulation import AdvBistFormulation, FormulationError, FormulationOptions
 from .reference import ReferenceFormulation
@@ -62,6 +69,9 @@ class SweepTask:
     ``kind`` selects the work: ``"reference"`` (the non-BIST denominator
     design), ``"advbist"`` (the ILP for ``k`` test sessions) or
     ``"baseline"`` (one heuristic ``method`` for ``k`` sessions).
+
+    ``presolve`` runs the :mod:`repro.accel.presolve` reductions on the ILP
+    lowering before the backend sees it (ignored by heuristic baselines).
     """
 
     graph: DataFlowGraph
@@ -72,6 +82,7 @@ class SweepTask:
     options: FormulationOptions | None = None
     backend: str | object = "auto"
     time_limit: float | None = None
+    presolve: bool = False
 
     @property
     def circuit(self) -> str:
@@ -109,12 +120,13 @@ def _cacheable(task: SweepTask, outcome: TaskOutcome) -> bool:
     return bool(getattr(outcome.design, "optimal", False))
 
 
-def _execute_task(task: SweepTask) -> TaskOutcome:
+def _execute_task(task: SweepTask, incumbent_hint: float | None = None) -> TaskOutcome:
     """Solve one task; module-level so process pools can pickle it."""
     start = time.perf_counter()
     if task.kind == "reference":
         formulation = ReferenceFormulation(task.graph, task.cost_model, task.options)
-        result = formulation.solve(backend=task.backend, time_limit=task.time_limit)
+        result = formulation.solve(backend=task.backend, time_limit=task.time_limit,
+                                   presolve=task.presolve)
         if result.design is None:
             raise FormulationError(
                 f"reference synthesis of {task.circuit!r} failed: "
@@ -124,7 +136,9 @@ def _execute_task(task: SweepTask) -> TaskOutcome:
         stats = result.solution.stats
     elif task.kind == "advbist":
         formulation = AdvBistFormulation(task.graph, task.k, task.cost_model, task.options)
-        result = formulation.solve(backend=task.backend, time_limit=task.time_limit)
+        result = formulation.solve(backend=task.backend, time_limit=task.time_limit,
+                                   presolve=task.presolve,
+                                   incumbent_hint=incumbent_hint)
         if result.design is None:
             raise FormulationError(
                 f"ADVBIST synthesis of {task.circuit!r} for k={task.k} failed: "
@@ -145,16 +159,60 @@ def _execute_task(task: SweepTask) -> TaskOutcome:
                        wall_seconds=time.perf_counter() - start)
 
 
+@dataclass(frozen=True)
+class TaskChain:
+    """A warm-start unit of work: tasks solved in order, threading incumbents.
+
+    ``hints`` aligns with ``tasks``: each entry is the best objective already
+    known from the design cache for a *smaller* ``k`` of the same circuit
+    (or ``None``).  During execution the running best of the chain's own
+    solves is folded in, so every ADVBIST solve starts from the tightest
+    achievable bound available.  Non-ADVBIST tasks and warm-start-incapable
+    backends always travel as singleton chains, so the executor's unit of
+    parallelism is unchanged for them.
+    """
+
+    tasks: tuple[SweepTask, ...]
+    hints: tuple[float | None, ...]
+
+
+def _min_hint(a: float | None, b: float | None) -> float | None:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return min(a, b)
+
+
+def _execute_chain(chain: TaskChain) -> list[TaskOutcome]:
+    """Execute one chain; module-level so process pools can pickle it.
+
+    A design for ``k`` test sessions is feasible for the ``k + 1`` model
+    (assign the same sessions and leave the extra one empty), so each
+    solved objective is a valid incumbent bound for every later task of the
+    chain — the monotonicity the ascending-``k`` ordering exploits.
+    """
+    running: float | None = None
+    outcomes: list[TaskOutcome] = []
+    for task, hint in zip(chain.tasks, chain.hints):
+        effective = _min_hint(running, hint) if task.kind == "advbist" else None
+        outcome = _execute_task(task, incumbent_hint=effective)
+        outcomes.append(outcome)
+        objective = getattr(outcome.design, "objective", None)
+        if task.kind == "advbist" and objective is not None:
+            running = _min_hint(running, objective)
+    return outcomes
+
+
 # ----------------------------------------------------------------------
 # executors
 # ----------------------------------------------------------------------
 class SerialExecutor:
-    """Run tasks one after the other in the calling process."""
+    """Run work items one after the other in the calling process."""
 
     jobs = 1
 
-    def run(self, fn: Callable[[SweepTask], TaskOutcome],
-            tasks: Sequence[SweepTask]) -> list[TaskOutcome]:
+    def run(self, fn: Callable, tasks: Sequence) -> list:
         return [fn(task) for task in tasks]
 
 
@@ -181,8 +239,7 @@ class ProcessExecutor:
         self.persistent = persistent
         self._pool: ProcessPoolExecutor | None = None
 
-    def run(self, fn: Callable[[SweepTask], TaskOutcome],
-            tasks: Sequence[SweepTask]) -> list[TaskOutcome]:
+    def run(self, fn: Callable, tasks: Sequence) -> list:
         if len(tasks) <= 1 or self.jobs == 1:
             return [fn(task) for task in tasks]
         if self.persistent:
@@ -218,8 +275,9 @@ class DesignCache:
 
     Keys are SHA-256 hashes over a canonical JSON description of everything
     that determines a task's outcome: the DFG (via :mod:`repro.dfg.textio`),
-    the cost model, the formulation options, k, the task kind/method and the
-    resolved backend name.  Values are pickled :class:`TaskOutcome` objects.
+    the cost model, the formulation options, k, the task kind/method, the
+    resolved backend name and the presolve toggle.  Values are pickled
+    :class:`TaskOutcome` objects.
     ``time_limit`` is intentionally not part of the key — the engine only
     stores proven-optimal designs (and deterministic baselines), and an
     optimum does not depend on the time budget that found it.
@@ -265,17 +323,19 @@ class DesignCache:
         if not isinstance(task.backend, str):
             return None  # object backends have no stable identity
         payload = {
-            "schema": 1,
+            "schema": 2,
             "graph": graph_to_dict(task.graph),
             "cost_model": self._cost_model_payload(task.cost_model),
             "options": self._options_payload(task.options),
             "kind": task.kind,
             "k": task.k,
             "method": task.method,
-            # Heuristic baselines never touch the ILP backend, so their
-            # cached results stay valid across --backend changes.
+            # Heuristic baselines never touch the ILP backend or the
+            # acceleration pipeline, so their cached results stay valid
+            # across --backend / --presolve changes.
             "backend": (None if task.kind == "baseline"
                         else resolve_backend_name(task.backend)),
+            "presolve": (False if task.kind == "baseline" else task.presolve),
         }
         blob = json.dumps(payload, sort_keys=True, default=str).encode("utf-8")
         return hashlib.sha256(blob).hexdigest()
@@ -376,6 +436,15 @@ class SweepEngine:
     cache:
         A :class:`DesignCache` (or ``True`` for the default location); ``None``
         disables memoisation.
+    presolve:
+        Run the :mod:`repro.accel.presolve` reductions on every ILP lowering
+        before solving (exact: designs are identical, solves are faster).
+        Part of the cache key — toggling it never serves a stale design.
+    warm_start:
+        When the backend declares ``supports_warm_start``, execute the
+        ADVBIST tasks of each circuit as one ascending-``k`` chain so every
+        solve seeds the next one's incumbent cutoff.  Backends without
+        warm-start support keep the fully parallel task fan-out.
     """
 
     def __init__(
@@ -388,6 +457,8 @@ class SweepEngine:
         jobs: int = 1,
         executor: object | None = None,
         cache: DesignCache | bool | None = None,
+        presolve: bool = False,
+        warm_start: bool = True,
     ):
         if isinstance(backend, str):
             resolve_backend_name(backend)  # fail fast on unknown names
@@ -400,6 +471,8 @@ class SweepEngine:
         self.time_limit = time_limit
         self.cost_model = cost_model
         self.options = options
+        self.presolve = presolve
+        self.warm_start = warm_start
         if executor is not None:
             self.executor = executor
         elif jobs > 1:
@@ -422,6 +495,7 @@ class SweepEngine:
             graph=graph, kind=kind, k=k, method=method,
             cost_model=self.cost_model, options=self.options,
             backend=self.backend, time_limit=self.time_limit,
+            presolve=self.presolve,
         )
 
     _task = task  # historical private name, used throughout this module
@@ -444,6 +518,64 @@ class SweepEngine:
         return tasks
 
     # -- execution -----------------------------------------------------
+    def _warm_start_capable(self) -> bool:
+        """Whether warm-start chaining applies to this engine's backend."""
+        if not self.warm_start:
+            return False
+        if not isinstance(self.backend, str):
+            return bool(getattr(self.backend, "supports_warm_start", False))
+        return backend_info(self.backend).supports_warm_start
+
+    def _build_chains(self, tasks: Sequence[SweepTask], misses: Sequence[int],
+                      outcomes: Sequence[TaskOutcome | None],
+                      ) -> list[tuple[TaskChain, list[int]]]:
+        """Group cache misses into warm-start execution units.
+
+        With a warm-start-capable backend the missed ADVBIST tasks of each
+        circuit form one ascending-``k`` chain (seeded from any cached
+        smaller-``k`` objectives); everything else — and every task when the
+        backend cannot use incumbents — is a singleton chain, preserving the
+        embarrassingly parallel fan-out.
+        """
+        groups: dict[str, list[int]] = {}
+        singles: list[int] = []
+        if self._warm_start_capable():
+            for i in misses:
+                task = tasks[i]
+                if task.kind == "advbist" and task.k is not None:
+                    groups.setdefault(task.circuit, []).append(i)
+                else:
+                    singles.append(i)
+        else:
+            singles = list(misses)
+
+        cached_objectives: dict[str, list[tuple[int, float]]] = {}
+        if groups:
+            for task, outcome in zip(tasks, outcomes):
+                if (outcome is None or task.kind != "advbist"
+                        or task.circuit not in groups):
+                    continue
+                objective = getattr(outcome.design, "objective", None)
+                if task.k is not None and objective is not None:
+                    cached_objectives.setdefault(task.circuit, []).append(
+                        (task.k, objective))
+
+        chains: list[tuple[TaskChain, list[int]]] = []
+        for i in singles:
+            chains.append((TaskChain(tasks=(tasks[i],), hints=(None,)), [i]))
+        for circuit, indices in groups.items():
+            indices.sort(key=lambda i: tasks[i].k)
+            known = cached_objectives.get(circuit, [])
+            hints = tuple(
+                min((obj for k, obj in known if k < tasks[i].k), default=None)
+                for i in indices
+            )
+            chains.append((
+                TaskChain(tasks=tuple(tasks[i] for i in indices), hints=hints),
+                indices,
+            ))
+        return chains
+
     def run(self, tasks: Sequence[SweepTask]) -> tuple[list[TaskOutcome], list[TaskReport]]:
         """Execute a task list (cache-first), preserving task order."""
         outcomes: list[TaskOutcome | None] = [None] * len(tasks)
@@ -459,11 +591,14 @@ class SweepEngine:
             misses.append(i)
 
         if misses:
-            solved = self.executor.run(_execute_task, [tasks[i] for i in misses])
-            for i, outcome in zip(misses, solved):
-                outcomes[i] = outcome
-                if self.cache is not None and _cacheable(tasks[i], outcome):
-                    self.cache.put(keys[i], outcome)
+            chains = self._build_chains(tasks, misses, outcomes)
+            solved_chains = self.executor.run(_execute_chain,
+                                              [chain for chain, _ in chains])
+            for (chain, indices), solved in zip(chains, solved_chains):
+                for i, outcome in zip(indices, solved):
+                    outcomes[i] = outcome
+                    if self.cache is not None and _cacheable(tasks[i], outcome):
+                        self.cache.put(keys[i], outcome)
 
         reports = [
             TaskReport(

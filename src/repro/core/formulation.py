@@ -537,9 +537,18 @@ class AdvBistFormulation:
     # solving and decoding
     # ==================================================================
     def solve(self, backend: str | object = "auto", time_limit: float | None = None,
-              mip_gap: float = 1e-6) -> AdvBistSolveResult:
-        """Solve the ILP and decode the resulting BIST design."""
-        solution = self.model.solve(backend=backend, time_limit=time_limit, mip_gap=mip_gap)
+              mip_gap: float = 1e-6, presolve: bool = False,
+              incumbent_hint: float | None = None) -> AdvBistSolveResult:
+        """Solve the ILP and decode the resulting BIST design.
+
+        ``presolve`` runs the :mod:`repro.accel.presolve` reductions first;
+        ``incumbent_hint`` warm-starts backends that support it with a
+        known-achievable objective (e.g. the previous ``k``'s design of a
+        sweep).  Both are exact — they change speed, never the design.
+        """
+        solution = self.model.solve(backend=backend, time_limit=time_limit,
+                                    mip_gap=mip_gap, presolve=presolve,
+                                    incumbent_hint=incumbent_hint)
         design = self.extract_design(solution) if solution.status.has_solution else None
         return AdvBistSolveResult(solution=solution, design=design,
                                   model_stats=self.model.stats())

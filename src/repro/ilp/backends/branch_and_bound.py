@@ -59,16 +59,32 @@ class _Node:
     aliases=("branch_and_bound",),
     supports_sparse=True,
     supports_time_limit=True,
+    supports_warm_start=True,
     description="pure-Python LP-relaxation branch and bound (cross-check solver)",
 )
 class BranchAndBoundBackend:
-    """Pure-Python LP-based branch and bound."""
+    """Pure-Python LP-based branch and bound.
 
-    def __init__(self, node_limit: int = 200_000):
+    ``incumbent_hint`` warm-starts the search with a *known-achievable*
+    objective value (e.g. the previous ``k``'s design in a sweep, which
+    embeds into this model): the hint becomes an initial pruning cutoff, so
+    subtrees that cannot match it are discarded before any incumbent is
+    found.  Solutions matching the hint exactly remain reachable, and a hint
+    that turns out to be unachievable triggers one clean re-solve without
+    it — a wrong hint can cost time, never correctness.
+
+    ``stop_check`` (a zero-argument callable) is polled once per node; when
+    it returns True the search stops as if a time limit had struck.  The
+    portfolio backend uses it for first-wins cancellation.
+    """
+
+    def __init__(self, node_limit: int = 200_000,
+                 stop_check=None):
         self.node_limit = node_limit
+        self.stop_check = stop_check
 
     def solve(self, form: MatrixForm, time_limit: float | None = None,
-              mip_gap: float = 1e-6) -> Solution:
+              mip_gap: float = 1e-6, incumbent_hint: float | None = None) -> Solution:
         start = time.perf_counter()
         integer_mask = form.integrality.astype(bool)
 
@@ -93,6 +109,20 @@ class BranchAndBoundBackend:
 
         best_x: np.ndarray | None = None
         best_obj = math.inf
+        # Integral solutions at/above the warm-start cutoff, kept as a
+        # fallback design should a limit strike before a real incumbent.
+        backup_x: np.ndarray | None = None
+        backup_obj = math.inf
+        cutoff_active = False
+        if incumbent_hint is not None:
+            # The hint is a full objective value (offset included); the
+            # search works in offset-free space.  The cutoff sits one
+            # objective quantum above the hint so equal-value solutions stay
+            # reachable — only strictly worse subtrees are pruned.
+            internal_hint = float(incumbent_hint) - form.offset
+            slack = 1.0 if objective_integral else max(1e-6, 1e-9 * abs(internal_hint))
+            best_obj = internal_hint + slack
+            cutoff_active = True
         root_relaxation: float | None = None
         nodes_explored = 0
         counter = 0
@@ -121,6 +151,12 @@ class BranchAndBoundBackend:
                     limit_hit = SolveStatus.TIME_LIMIT
                     interrupted = node
                     break
+                if self.stop_check is not None and self.stop_check():
+                    # Cooperative cancellation (portfolio race decided):
+                    # behave exactly like a time limit.
+                    limit_hit = SolveStatus.TIME_LIMIT
+                    interrupted = node
+                    break
                 if nodes_explored >= self.node_limit:
                     limit_hit = SolveStatus.NODE_LIMIT
                     interrupted = node
@@ -135,17 +171,26 @@ class BranchAndBoundBackend:
                 obj, x = relaxation
                 if root_relaxation is None:
                     root_relaxation = obj
-                if tighten(obj) >= best_obj - 1e-9:
-                    break  # bounded out
 
                 frac_index = self._most_fractional(x, integer_mask)
                 if frac_index is None:
-                    # integral solution: new incumbent
                     rounded = x.copy()
                     rounded[integer_mask] = np.round(rounded[integer_mask])
-                    best_obj = obj
-                    best_x = rounded
+                    if obj < best_obj - 1e-9:
+                        # integral solution: new incumbent
+                        best_obj = obj
+                        best_x = rounded
+                    elif obj < backup_obj:
+                        # Integral but at/above the warm-start cutoff.  Keep
+                        # it aside: if a limit strikes before any incumbent
+                        # beats the hint, this is still a decodable design —
+                        # without it a warm-started solve under time pressure
+                        # would fail where a cold solve returns FEASIBLE.
+                        backup_obj = obj
+                        backup_x = rounded
                     break
+                if tighten(obj) >= best_obj - 1e-9:
+                    break  # bounded out
 
                 value = x[frac_index]
                 floor_val = math.floor(value + _INTEGRALITY_TOL)
@@ -176,6 +221,12 @@ class BranchAndBoundBackend:
             lp_relaxation=(root_relaxation + form.offset
                            if root_relaxation is not None else None),
         )
+        if best_x is None and backup_x is not None and limit_hit is not None:
+            # A limit struck before anything beat the warm-start cutoff, but
+            # an integral solution above it exists: return that as the
+            # (unproven) incumbent instead of failing the solve.
+            best_obj = backup_obj
+            best_x = backup_x
         if best_x is None:
             if limit_hit is not None:
                 # A limit stopped the search before any incumbent was found:
@@ -184,6 +235,26 @@ class BranchAndBoundBackend:
                                 solve_seconds=elapsed,
                                 message=f"no incumbent found ({limit_hit.value})",
                                 stats=stats)
+            if cutoff_active:
+                # The tree was exhausted under the hint cutoff without an
+                # incumbent, so no solution at or below the hint exists —
+                # the hint was wrong.  Re-solve without it (on the budget
+                # that remains) so a bad hint degrades speed, not answers.
+                remaining = None
+                if time_limit is not None:
+                    remaining = time_limit - elapsed
+                    if remaining <= 0:
+                        return Solution(status=SolveStatus.TIME_LIMIT,
+                                        nodes=nodes_explored, solve_seconds=elapsed,
+                                        message="incumbent hint exhausted the time budget",
+                                        stats=stats)
+                fresh = self.solve(form, time_limit=remaining, mip_gap=mip_gap)
+                fresh.nodes += nodes_explored
+                if fresh.stats is not None:
+                    fresh.stats.nodes = fresh.nodes
+                fresh.message = ("incumbent hint was unachievable; re-solved cold"
+                                 + (f"; {fresh.message}" if fresh.message else ""))
+                return fresh
             return Solution(status=SolveStatus.INFEASIBLE, nodes=nodes_explored,
                             solve_seconds=elapsed, stats=stats)
 

@@ -107,6 +107,7 @@ def register_backend(
         _REGISTRY[name] = info
         cls.name = name
         cls.supports_sparse = supports_sparse
+        cls.supports_warm_start = supports_warm_start
         cls.info = info
         return cls
 
@@ -119,8 +120,12 @@ def resolve_backend_name(name: str) -> str:
     if key == "auto":
         return _auto_backend_name()
     if key not in _ALIASES:
+        canonical = ", ".join(sorted(_REGISTRY)) or "<none registered>"
+        aliases = sorted(alias for alias in _ALIASES if alias not in _REGISTRY)
+        alias_note = f" (aliases: {', '.join(aliases)})" if aliases else ""
         raise BackendRegistryError(
-            f"unknown ILP backend {name!r}; available: {available_backend_names()} or 'auto'"
+            f"unknown ILP backend {name!r}; available backends: "
+            f"{canonical}{alias_note}, or 'auto'"
         )
     return _ALIASES[key]
 

@@ -254,7 +254,8 @@ class Model:
         return form if sparse_form else form.to_dense()
 
     def solve(self, backend: str | object = "auto", time_limit: float | None = None,
-              mip_gap: float = 1e-6) -> Solution:
+              mip_gap: float = 1e-6, presolve: bool = False,
+              incumbent_hint: float | None = None) -> Solution:
         """Solve the model and return a :class:`Solution`.
 
         Parameters
@@ -262,12 +263,21 @@ class Model:
         backend:
             ``"scipy"`` (HiGHS through :func:`scipy.optimize.milp`),
             ``"bnb"`` (the pure-Python branch-and-bound backend),
+            ``"portfolio"`` (both, raced concurrently),
             ``"auto"`` (scipy if available, otherwise bnb), or an object with
             a ``solve(matrix_form, time_limit, mip_gap)`` method.
         time_limit:
             Wall-clock limit in seconds handed to the backend.
         mip_gap:
             Relative optimality gap at which the backend may stop.
+        presolve:
+            Run the :mod:`repro.accel.presolve` pipeline on the lowering and
+            solve the reduced model instead; the solution is lifted back to
+            this model's variables exactly, so results never change.
+        incumbent_hint:
+            A known-achievable objective value (in this model's sense) used
+            as a warm-start cutoff by backends declaring
+            ``supports_warm_start``; silently ignored by the others.
         """
         start = time.perf_counter()
         solver = _resolve_backend(backend)
@@ -275,7 +285,26 @@ class Model:
         # the dense form unless they declare sparse support themselves.
         wants_sparse = getattr(solver, "supports_sparse", False)
         form = self.to_matrix_form(sparse_form=wants_sparse)
-        solution = solver.solve(form, time_limit=time_limit, mip_gap=mip_gap)
+        # Hints are stated in the user's objective sense; the lowering (and
+        # every backend) works on the minimisation form.
+        internal_hint = (incumbent_hint if incumbent_hint is None or self.sense == "min"
+                         else -incumbent_hint)
+
+        presolved = None
+        if presolve:
+            from ..accel.presolve import presolve_form  # lazy: accel imports ilp
+
+            presolved = presolve_form(form)
+            if presolved.infeasible:
+                solution = presolved.infeasible_solution()
+            elif presolved.solved:
+                solution = presolved.fixed_solution()
+            else:
+                solution = _backend_solve(solver, presolved.reduced, time_limit,
+                                          mip_gap, internal_hint)
+                solution = presolved.lift_solution(solution)
+        else:
+            solution = _backend_solve(solver, form, time_limit, mip_gap, internal_hint)
 
         if solution.status.has_solution and self.sense == "max" and solution.objective is not None:
             solution.objective = -solution.objective
@@ -292,6 +321,8 @@ class Model:
             stats.gap = solution.gap
         if stats.lp_relaxation is not None and self.sense == "max":
             stats.lp_relaxation = -stats.lp_relaxation
+        if presolved is not None:
+            stats.presolve = presolved.stats.as_dict()
         solution.stats = stats
         return solution
 
@@ -361,6 +392,15 @@ class _TripletBuilder:
 
     def rhs_array(self) -> np.ndarray:
         return np.asarray(self.rhs, dtype=float)
+
+
+def _backend_solve(solver, form: MatrixForm, time_limit: float | None,
+                   mip_gap: float, incumbent_hint: float | None) -> Solution:
+    """Invoke a backend, forwarding the hint only where it is understood."""
+    kwargs = {}
+    if incumbent_hint is not None and getattr(solver, "supports_warm_start", False):
+        kwargs["incumbent_hint"] = incumbent_hint
+    return solver.solve(form, time_limit=time_limit, mip_gap=mip_gap, **kwargs)
 
 
 def _resolve_backend(backend: str | object):

@@ -50,6 +50,9 @@ class SolveStats:
         Dimensions of the lowered model.
     gap:
         Relative optimality gap of the incumbent, when known.
+    presolve:
+        Summary of the :mod:`repro.accel.presolve` reductions applied before
+        the backend ran (``None`` when presolve was off).
     """
 
     backend: str = ""
@@ -60,6 +63,7 @@ class SolveStats:
     num_variables: int = 0
     num_constraints: int = 0
     gap: float | None = None
+    presolve: dict | None = None
 
     def as_row(self) -> dict:
         """Flat dict used by the reporting tables."""

@@ -1,0 +1,138 @@
+"""Tests of the racing portfolio backend and warm-start plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accel import PortfolioBackend
+from repro.ilp import LinExpr, Model, SolveStatus
+from repro.ilp.backends import (
+    BackendRegistryError,
+    BranchAndBoundBackend,
+    backend_info,
+    get_backend,
+    register_backend,
+    resolve_backend_name,
+)
+
+
+def knapsack_model() -> Model:
+    model = Model("knapsack")
+    weights, values = [3, 4, 5, 6], [4, 5, 6, 7]
+    items = [model.add_binary(f"item{i}") for i in range(4)]
+    model.add_constr(LinExpr.sum(w * x for w, x in zip(weights, items)) <= 10.0)
+    model.set_objective(LinExpr.sum(-v * x for v, x in zip(values, items)))
+    return model
+
+
+def infeasible_model() -> Model:
+    model = Model("infeasible")
+    a, b = model.add_binary("a"), model.add_binary("b")
+    model.add_constr(a + b >= 3.0, "impossible")
+    model.set_objective(a + b)
+    return model
+
+
+# ----------------------------------------------------------------------
+# registration
+# ----------------------------------------------------------------------
+def test_portfolio_is_registered_with_capabilities():
+    info = backend_info("portfolio")
+    assert info.cls is PortfolioBackend
+    assert info.supports_sparse
+    assert info.supports_warm_start
+    assert resolve_backend_name("race") == "portfolio"
+    assert isinstance(get_backend("portfolio"), PortfolioBackend)
+
+
+def test_portfolio_validates_its_racers():
+    with pytest.raises(BackendRegistryError):
+        PortfolioBackend(racers=("scipy",))
+    with pytest.raises(BackendRegistryError):
+        PortfolioBackend(racers=("scipy", "portfolio"))
+    with pytest.raises(BackendRegistryError):
+        PortfolioBackend(racers=("scipy", "highs"))  # same backend twice
+
+
+# ----------------------------------------------------------------------
+# racing behaviour
+# ----------------------------------------------------------------------
+def test_portfolio_matches_single_backend_objective():
+    scipy_solution = knapsack_model().solve(backend="scipy")
+    race_solution = knapsack_model().solve(backend="portfolio")
+    assert race_solution.status is SolveStatus.OPTIMAL
+    assert race_solution.objective == pytest.approx(scipy_solution.objective)
+    assert race_solution.stats.backend.startswith("portfolio[")
+    assert "portfolio winner:" in race_solution.message
+
+
+def test_portfolio_settles_infeasible_models():
+    solution = infeasible_model().solve(backend="portfolio")
+    assert solution.status is SolveStatus.INFEASIBLE
+
+
+def test_portfolio_survives_a_failing_racer(backend_registry_snapshot):
+    @register_backend("crash-test", supports_sparse=True,
+                      description="always raises")
+    class CrashingBackend:
+        def solve(self, form, time_limit=None, mip_gap=1e-6):
+            raise RuntimeError("boom")
+
+    solution = knapsack_model().solve(
+        backend=PortfolioBackend(racers=("crash-test", "scipy")))
+    assert solution.status is SolveStatus.OPTIMAL
+    assert "failed: crash-test (RuntimeError)" in solution.message
+
+
+def test_portfolio_raises_when_every_racer_fails(backend_registry_snapshot):
+    @register_backend("crash-a", description="always raises")
+    class CrashA:
+        def solve(self, form, time_limit=None, mip_gap=1e-6):
+            raise RuntimeError("boom a")
+
+    @register_backend("crash-b", description="always raises")
+    class CrashB:
+        def solve(self, form, time_limit=None, mip_gap=1e-6):
+            raise RuntimeError("boom b")
+
+    backend = PortfolioBackend(racers=("crash-a", "crash-b"))
+    with pytest.raises(RuntimeError):
+        knapsack_model().solve(backend=backend)
+
+
+def test_portfolio_forwards_incumbent_hints():
+    optimum = knapsack_model().solve(backend="scipy").objective
+    hinted = knapsack_model().solve(backend="portfolio", incumbent_hint=optimum)
+    assert hinted.status is SolveStatus.OPTIMAL
+    assert hinted.objective == pytest.approx(optimum)
+
+
+def test_portfolio_merges_nodes_across_finished_racers():
+    solution = knapsack_model().solve(backend="portfolio")
+    # Whichever racer won, nodes is the sum over every finished racer.
+    assert solution.nodes == solution.stats.nodes >= 0
+
+
+# ----------------------------------------------------------------------
+# cooperative cancellation
+# ----------------------------------------------------------------------
+def test_bnb_stop_check_cancels_the_search():
+    backend = BranchAndBoundBackend(stop_check=lambda: True)
+    solution = backend.solve(knapsack_model().to_matrix_form())
+    assert solution.status is SolveStatus.TIME_LIMIT
+    assert solution.nodes == 0
+
+
+def test_bnb_stop_check_after_some_nodes_keeps_incumbent():
+    calls = {"n": 0}
+
+    def stop_after(limit=30):
+        calls["n"] += 1
+        return calls["n"] > limit
+
+    backend = BranchAndBoundBackend(stop_check=stop_after)
+    solution = backend.solve(knapsack_model().to_matrix_form())
+    # Either it finished before the stop fired (optimal) or it stopped;
+    # both are valid races — what matters is it returned promptly.
+    assert solution.status in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE,
+                               SolveStatus.TIME_LIMIT)

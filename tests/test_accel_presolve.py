@@ -1,0 +1,175 @@
+"""Unit tests of the repro.accel presolve pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accel.presolve import PresolveError, presolve_form
+from repro.ilp import LinExpr, Model, SolveStatus
+
+
+def _model_with_pins() -> Model:
+    """Three binaries, one pinned by an equality row (a symmetry pin)."""
+    model = Model("pins")
+    a, b, c = (model.add_binary(name) for name in "abc")
+    model.add_constr(a + 0.0 == 1.0, "pin_a")
+    model.add_constr(a + b + c <= 2.0, "cap")
+    model.set_objective(2.0 * a + 3.0 * b + 5.0 * c)
+    return model
+
+
+def test_singleton_equality_row_fixes_variable():
+    form = _model_with_pins().to_matrix_form()
+    presolved = presolve_form(form)
+    assert not presolved.infeasible
+    assert presolved.fixed == {0: 1.0}
+    assert presolved.stats.fixed_variables == 1
+    # The pin row is gone; so is the pinned column.
+    assert presolved.reduced.A_eq.shape[0] == 0
+    assert len(presolved.reduced.variables) == 2
+    # The fixed objective contribution moved into the offset.
+    assert presolved.reduced.offset == pytest.approx(form.offset + 2.0)
+
+
+def test_forcing_row_fixes_all_its_variables():
+    model = Model("forcing")
+    z1, z2 = model.add_binary("z1"), model.add_binary("z2")
+    free = model.add_binary("free")
+    model.add_constr(z1 + z2 <= 0.0, "nowire")
+    model.add_constr(free + z1 <= 1.0, "other")
+    model.set_objective(free + z1 + z2)
+    presolved = presolve_form(model.to_matrix_form())
+    assert presolved.fixed == {0: 0.0, 1: 0.0}
+    assert [v.name for v in presolved.reduced.variables] == ["free"]
+
+
+def test_singleton_inequality_becomes_bound_and_integer_bounds_round():
+    model = Model("tighten")
+    x = model.add_integer("x", lower=0, upper=10)
+    y = model.add_integer("y", lower=0, upper=10)
+    model.add_constr(2.0 * x <= 7.0, "half")      # x <= 3.5 -> x <= 3
+    model.add_constr(x + y <= 9.0, "joint")
+    model.set_objective(-1.0 * x - 1.0 * y + 0.0)
+    presolved = presolve_form(model.to_matrix_form())
+    assert presolved.stats.tightened_bounds >= 1
+    reduced = presolved.reduced
+    x_reduced = next(v for v in reduced.variables if v.name == "x")
+    assert reduced.bounds[x_reduced.index] == (0.0, 3.0)
+    # The singleton row itself is gone, the joint row survives.
+    assert reduced.A_ub.shape[0] == 1
+
+
+def test_duplicate_and_scaled_dominated_rows_collapse():
+    model = Model("dup")
+    a, b = model.add_binary("a"), model.add_binary("b")
+    model.add_constr(a + b <= 1.0, "tight")
+    model.add_constr(a + b <= 2.0, "loose")        # duplicate, dominated
+    model.add_constr(2.0 * a + 2.0 * b <= 3.0, "scaled")  # = a + b <= 1.5
+    model.set_objective(-1.0 * a - 1.0 * b + 0.0)
+    presolved = presolve_form(model.to_matrix_form())
+    assert presolved.reduced.A_ub.shape[0] == 1
+    # The tightest right-hand side won.
+    assert presolved.reduced.b_ub[0] == pytest.approx(1.0)
+
+
+def test_conflicting_equality_rows_prove_infeasibility():
+    model = Model("conflict")
+    a, b = model.add_binary("a"), model.add_binary("b")
+    model.add_constr(a + b == 1.0, "one")
+    model.add_constr(2.0 * a + 2.0 * b == 4.0, "two")      # a + b == 2
+    model.set_objective(a + b)
+    presolved = presolve_form(model.to_matrix_form())
+    assert presolved.infeasible
+    assert presolved.infeasible_solution().status is SolveStatus.INFEASIBLE
+
+
+def test_pin_outside_bounds_proves_infeasibility():
+    model = Model("badpin")
+    a = model.add_binary("a")
+    model.add_constr(a + 0.0 == 2.0, "impossible")
+    model.set_objective(a + 0.0)
+    assert presolve_form(model.to_matrix_form()).infeasible
+
+
+def test_fully_fixed_model_is_solved_by_presolve():
+    model = Model("solved")
+    a, b = model.add_binary("a"), model.add_binary("b")
+    model.add_constr(a + 0.0 == 1.0, "pin_a")
+    model.add_constr(b + 0.0 == 0.0, "pin_b")
+    model.set_objective(3.0 * a + 7.0 * b + 1.0)
+    presolved = presolve_form(model.to_matrix_form())
+    assert presolved.solved
+    solution = presolved.fixed_solution()
+    assert solution.status is SolveStatus.OPTIMAL
+    assert solution.objective == pytest.approx(4.0)
+    with pytest.raises(PresolveError):
+        presolved.infeasible_solution()
+
+
+def test_lift_solution_restores_original_variable_space():
+    model = _model_with_pins()
+    plain = model.solve(backend="scipy")
+    presolved_solution = model.solve(backend="scipy", presolve=True)
+    assert presolved_solution.status is SolveStatus.OPTIMAL
+    assert presolved_solution.objective == pytest.approx(plain.objective)
+    # Values are keyed by the *original* variables and satisfy the model.
+    assert {v.name for v in presolved_solution.values} == {"a", "b", "c"}
+    assert model.check_solution(presolved_solution) == []
+
+
+@pytest.mark.parametrize("backend", ["scipy", "bnb"])
+def test_presolve_preserves_knapsack_optimum(backend):
+    def build():
+        model = Model("knapsack")
+        weights, values = [3, 4, 5, 6], [4, 5, 6, 7]
+        items = [model.add_binary(f"item{i}") for i in range(4)]
+        model.add_constr(LinExpr.sum(w * x for w, x in zip(weights, items)) <= 10.0)
+        model.add_constr(items[0] + 0.0 == 1.0, "pin")
+        model.set_objective(
+            LinExpr.sum(-v * x for v, x in zip(values, items)))
+        return model
+
+    plain = build().solve(backend=backend)
+    accel = build().solve(backend=backend, presolve=True)
+    assert plain.status is SolveStatus.OPTIMAL
+    assert accel.status is SolveStatus.OPTIMAL
+    assert accel.objective == pytest.approx(plain.objective)
+
+
+def test_presolve_handles_maximisation_models():
+    def build():
+        model = Model("maximise", sense="max")
+        a, b = model.add_binary("a"), model.add_binary("b")
+        model.add_constr(a + 0.0 == 1.0, "pin")
+        model.add_constr(a + b <= 2.0, "cap")
+        model.set_objective(3.0 * a + 2.0 * b)
+        return model
+
+    plain = build().solve(backend="scipy")
+    accel = build().solve(backend="scipy", presolve=True)
+    assert accel.objective == pytest.approx(plain.objective) == pytest.approx(5.0)
+
+
+def test_presolve_accepts_dense_lowerings():
+    form = _model_with_pins().to_matrix_form(sparse_form=False)
+    presolved = presolve_form(form)
+    assert not presolved.reduced.is_sparse
+    assert isinstance(presolved.reduced.A_ub, np.ndarray)
+    assert presolved.fixed == {0: 1.0}
+
+
+def test_presolve_stats_surface_in_solve_stats():
+    solution = _model_with_pins().solve(backend="scipy", presolve=True)
+    summary = solution.stats.presolve
+    assert summary is not None
+    assert summary["original_variables"] == 3
+    assert summary["reduced_variables"] == 2
+    assert summary["fixed_variables"] == 1
+    assert summary["rounds"] >= 1
+    assert any(entry["pass"] == "fix_variables" for entry in summary["passes"])
+
+
+def test_presolve_stats_absent_without_presolve():
+    solution = _model_with_pins().solve(backend="scipy")
+    assert solution.stats.presolve is None

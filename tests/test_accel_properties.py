@@ -1,0 +1,95 @@
+"""Property tests of the acceleration subsystem on random scheduled DFGs.
+
+The acceleration pipeline claims to be *exact* — presolve, the portfolio
+race and warm starts may change wall-clock, never objectives.  These tests
+fuzz that claim over the seeded random-DFG generator: every circuit the
+generator can produce must reach the same optimum with and without each
+acceleration layer.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.formulation import AdvBistFormulation
+from repro.core.reference import ReferenceFormulation
+from repro.dfg.generate import generate_scheduled
+from repro.ilp import SolveStatus
+
+TIME_LIMIT = 60.0
+
+_SETTINGS = dict(max_examples=8, deadline=None,
+                 suppress_health_check=[HealthCheck.too_slow])
+
+
+@settings(**_SETTINGS)
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       ops=st.integers(min_value=3, max_value=7))
+def test_presolved_reference_solve_matches_plain(seed, ops):
+    graph = generate_scheduled(seed=seed, num_operations=ops)
+    plain = ReferenceFormulation(graph).solve(
+        backend="scipy", time_limit=TIME_LIMIT)
+    accel = ReferenceFormulation(graph).solve(
+        backend="scipy", time_limit=TIME_LIMIT, presolve=True)
+    assert plain.solution.status is SolveStatus.OPTIMAL
+    assert accel.solution.status is SolveStatus.OPTIMAL
+    assert accel.solution.objective == pytest.approx(plain.solution.objective)
+    assert accel.design.area().total == plain.design.area().total
+
+
+@settings(**_SETTINGS)
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       ops=st.integers(min_value=3, max_value=5))
+def test_presolved_advbist_solve_matches_plain(seed, ops):
+    graph = generate_scheduled(seed=seed, num_operations=ops)
+    k = max(1, len(graph.module_ids) - 1)
+    plain = AdvBistFormulation(graph, k).solve(
+        backend="scipy", time_limit=TIME_LIMIT)
+    accel = AdvBistFormulation(graph, k).solve(
+        backend="scipy", time_limit=TIME_LIMIT, presolve=True)
+    # Some circuits are BIST-infeasible for this k; presolve must agree.
+    assert accel.solution.status is plain.solution.status
+    if plain.solution.status is SolveStatus.OPTIMAL:
+        assert accel.solution.objective == pytest.approx(plain.solution.objective)
+        assert accel.design.area().total == plain.design.area().total
+
+
+@settings(**_SETTINGS)
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       ops=st.integers(min_value=3, max_value=7))
+def test_portfolio_matches_single_backend_objective(seed, ops):
+    graph = generate_scheduled(seed=seed, num_operations=ops)
+    single = ReferenceFormulation(graph).solve(
+        backend="scipy", time_limit=TIME_LIMIT)
+    raced = ReferenceFormulation(graph).solve(
+        backend="portfolio", time_limit=TIME_LIMIT)
+    assert single.solution.status is SolveStatus.OPTIMAL
+    assert raced.solution.status is SolveStatus.OPTIMAL
+    assert raced.solution.objective == pytest.approx(single.solution.objective)
+
+
+@settings(**_SETTINGS)
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       ops=st.integers(min_value=3, max_value=5))
+def test_warm_started_chain_matches_cold_solves(seed, ops):
+    """Ascending-k warm starts reproduce every cold outcome exactly.
+
+    Some generated circuits are BIST-infeasible for small ``k`` (no valid
+    signature-register assignment exists); the warm-started chain must
+    agree on those verdicts too, not just on the optima.
+    """
+    graph = generate_scheduled(seed=seed, num_operations=ops)
+    max_k = min(2, len(graph.module_ids))
+    hint = None
+    for k in range(1, max_k + 1):
+        cold = AdvBistFormulation(graph, k).solve(
+            backend="scipy", time_limit=TIME_LIMIT)
+        warm = AdvBistFormulation(graph, k).solve(
+            backend="bnb", time_limit=TIME_LIMIT, incumbent_hint=hint)
+        assert warm.solution.status is cold.solution.status
+        if cold.solution.status is SolveStatus.OPTIMAL:
+            assert warm.solution.objective == pytest.approx(
+                cold.solution.objective)
+            hint = warm.solution.objective

@@ -1,0 +1,220 @@
+"""Tests of incumbent-hint warm starts and the engine's ascending-k chains."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import get_circuit
+from repro.core.engine import SweepEngine, TaskChain, _execute_chain
+from repro.ilp import LinExpr, Model, SolveStatus
+
+TIME_LIMIT = 120.0
+
+
+def knapsack_model() -> Model:
+    model = Model("knapsack")
+    weights, values = [3, 4, 5, 6], [4, 5, 6, 7]
+    items = [model.add_binary(f"item{i}") for i in range(4)]
+    model.add_constr(LinExpr.sum(w * x for w, x in zip(weights, items)) <= 10.0)
+    model.set_objective(LinExpr.sum(-v * x for v, x in zip(values, items)))
+    return model
+
+
+# ----------------------------------------------------------------------
+# the branch and bound incumbent hint
+# ----------------------------------------------------------------------
+def test_valid_hint_preserves_the_optimum():
+    cold = knapsack_model().solve(backend="bnb")
+    warm = knapsack_model().solve(backend="bnb", incumbent_hint=cold.objective)
+    assert warm.status is SolveStatus.OPTIMAL
+    assert warm.objective == pytest.approx(cold.objective)
+
+
+def test_loose_hint_preserves_the_optimum():
+    cold = knapsack_model().solve(backend="bnb")
+    warm = knapsack_model().solve(backend="bnb",
+                                  incumbent_hint=cold.objective + 5.0)
+    assert warm.status is SolveStatus.OPTIMAL
+    assert warm.objective == pytest.approx(cold.objective)
+
+
+def test_unachievable_hint_triggers_the_cold_fallback():
+    cold = knapsack_model().solve(backend="bnb")
+    warm = knapsack_model().solve(backend="bnb",
+                                  incumbent_hint=cold.objective - 100.0)
+    assert warm.status is SolveStatus.OPTIMAL
+    assert warm.objective == pytest.approx(cold.objective)
+    assert "incumbent hint was unachievable" in warm.message
+
+
+def test_hint_respects_maximisation_sense():
+    def build():
+        model = Model("maximise", sense="max")
+        weights, values = [3, 4, 5, 6], [4, 5, 6, 7]
+        items = [model.add_binary(f"item{i}") for i in range(4)]
+        model.add_constr(LinExpr.sum(w * x for w, x in zip(weights, items)) <= 10.0)
+        model.set_objective(LinExpr.sum(v * x for v, x in zip(values, items)))
+        return model
+
+    cold = build().solve(backend="bnb")
+    warm = build().solve(backend="bnb", incumbent_hint=cold.objective)
+    assert warm.status is SolveStatus.OPTIMAL
+    assert warm.objective == pytest.approx(cold.objective)
+
+
+def test_limit_under_unreachable_hint_returns_backup_incumbent():
+    """A limit mid-search with a too-tight hint must not lose the design.
+
+    The cutoff prevents solutions at/above the hint from becoming pruning
+    incumbents, but they are still decodable designs: when a limit strikes
+    first, the solver falls back to the best one it saw instead of
+    reporting "no incumbent" (which would abort a whole sweep).
+    """
+    from repro.ilp.backends import BranchAndBoundBackend
+
+    cold = knapsack_model().solve(backend="bnb")
+    backend = BranchAndBoundBackend(node_limit=6)
+    solution = backend.solve(knapsack_model().to_matrix_form(),
+                             incumbent_hint=cold.objective - 100.0)
+    assert solution.status is SolveStatus.FEASIBLE
+    # The backup cannot beat the true optimum, and it satisfies the model.
+    assert solution.objective >= cold.objective - 1e-6
+    assert solution.gap is None or solution.gap >= 0.0
+
+
+def test_scipy_silently_ignores_hints():
+    solution = knapsack_model().solve(backend="scipy", incumbent_hint=-11.0)
+    assert solution.status is SolveStatus.OPTIMAL
+
+
+# ----------------------------------------------------------------------
+# engine chain construction
+# ----------------------------------------------------------------------
+def _advbist_grid(engine: SweepEngine, graph, max_k: int):
+    return [engine.task(graph, "reference")] + [
+        engine.task(graph, "advbist", k=k) for k in range(1, max_k + 1)
+    ]
+
+
+def test_warm_capable_backend_chains_advbist_tasks_ascending():
+    graph = get_circuit("fig1")
+    engine = SweepEngine(backend="bnb", time_limit=TIME_LIMIT, cache=None)
+    tasks = _advbist_grid(engine, graph, 2)
+    chains = engine._build_chains(tasks, list(range(len(tasks))),
+                                  [None] * len(tasks))
+    shapes = sorted(len(chain.tasks) for chain, _ in chains)
+    assert shapes == [1, 2]  # the reference alone, the two ks chained
+    chained = next(chain for chain, _ in chains if len(chain.tasks) == 2)
+    assert [task.k for task in chained.tasks] == [1, 2]
+
+
+def test_scipy_backend_keeps_singleton_fanout():
+    graph = get_circuit("fig1")
+    engine = SweepEngine(backend="scipy", time_limit=TIME_LIMIT, cache=None)
+    tasks = _advbist_grid(engine, graph, 2)
+    chains = engine._build_chains(tasks, list(range(len(tasks))),
+                                  [None] * len(tasks))
+    assert all(len(chain.tasks) == 1 for chain, _ in chains)
+
+
+def test_warm_start_false_disables_chaining():
+    graph = get_circuit("fig1")
+    engine = SweepEngine(backend="bnb", time_limit=TIME_LIMIT, cache=None,
+                         warm_start=False)
+    tasks = _advbist_grid(engine, graph, 2)
+    chains = engine._build_chains(tasks, list(range(len(tasks))),
+                                  [None] * len(tasks))
+    assert all(len(chain.tasks) == 1 for chain, _ in chains)
+
+
+def test_cached_smaller_k_objectives_seed_chain_hints():
+    graph = get_circuit("fig1")
+    engine = SweepEngine(backend="bnb", time_limit=TIME_LIMIT, cache=None)
+    tasks = _advbist_grid(engine, graph, 2)
+    # Simulate a cache hit for k=1 with a known objective.
+    outcomes = [None] * len(tasks)
+    k1_index = next(i for i, task in enumerate(tasks) if task.k == 1)
+
+    class _FakeDesign:
+        objective = 1234.0
+
+    class _FakeOutcome:
+        design = _FakeDesign()
+
+    outcomes[k1_index] = _FakeOutcome()
+    misses = [i for i in range(len(tasks)) if i != k1_index]
+    chains = engine._build_chains(tasks, misses, outcomes)
+    chained = next(chain for chain, _ in chains
+                   if chain.tasks[0].kind == "advbist")
+    assert chained.tasks[0].k == 2
+    assert chained.hints == (1234.0,)
+
+
+def test_execute_chain_threads_incumbents_and_matches_scipy():
+    graph = get_circuit("fig1")
+    engine = SweepEngine(backend="bnb", time_limit=TIME_LIMIT, cache=None)
+    chain = TaskChain(
+        tasks=tuple(engine.task(graph, "advbist", k=k) for k in (1, 2)),
+        hints=(None, None),
+    )
+    outcomes = _execute_chain(chain)
+    scipy_engine = SweepEngine(backend="scipy", time_limit=TIME_LIMIT, cache=None)
+    for k, outcome in zip((1, 2), outcomes):
+        check, _ = scipy_engine.run([scipy_engine.task(graph, "advbist", k=k)])
+        assert outcome.design.objective == pytest.approx(
+            check[0].design.objective)
+        assert outcome.design.optimal
+
+
+# ----------------------------------------------------------------------
+# sweep-level parity and the cache key
+# ----------------------------------------------------------------------
+def test_warm_started_bnb_sweep_matches_scipy_sweep():
+    graph = get_circuit("fig1")
+    warm = SweepEngine(backend="bnb", time_limit=TIME_LIMIT, cache=None,
+                       presolve=True).sweep(graph, max_k=2)
+    cold = SweepEngine(backend="scipy", time_limit=TIME_LIMIT,
+                       cache=None).sweep(graph, max_k=2)
+    assert [e.design.area().total for e in warm.entries] == \
+        [e.design.area().total for e in cold.entries]
+
+
+def test_cache_key_distinguishes_presolve(tmp_path):
+    from repro.core.engine import DesignCache
+
+    graph = get_circuit("fig1")
+    cache = DesignCache(tmp_path)
+    plain = SweepEngine(backend="scipy", cache=None).task(graph, "advbist", k=2)
+    accel = SweepEngine(backend="scipy", cache=None,
+                        presolve=True).task(graph, "advbist", k=2)
+    assert cache.key_for(plain) != cache.key_for(accel)
+
+
+def test_cache_key_ignores_presolve_for_baselines(tmp_path):
+    from repro.core.engine import DesignCache
+
+    graph = get_circuit("fig1")
+    cache = DesignCache(tmp_path)
+    plain = SweepEngine(backend="scipy", cache=None).task(
+        graph, "baseline", k=2, method="RALLOC")
+    accel = SweepEngine(backend="scipy", cache=None, presolve=True).task(
+        graph, "baseline", k=2, method="RALLOC")
+    assert cache.key_for(plain) == cache.key_for(accel)
+
+
+def test_presolved_sweep_served_from_its_own_cache_partition(tmp_path):
+    from repro.core.engine import DesignCache
+
+    graph = get_circuit("fig1")
+    cache = DesignCache(tmp_path)
+    plain = SweepEngine(backend="scipy", time_limit=TIME_LIMIT, cache=cache)
+    accel = SweepEngine(backend="scipy", time_limit=TIME_LIMIT, cache=cache,
+                        presolve=True)
+    first = plain.sweep(graph, max_k=1)
+    # The accelerated engine must not see the plain entries (and vice versa).
+    accel_result = accel.sweep(graph, max_k=1)
+    assert not any(report.cached for report in accel_result.reports)
+    again = accel.sweep(graph, max_k=1)
+    assert all(report.cached for report in again.reports)
+    assert [e.design.area().total for e in first.entries] == \
+        [e.design.area().total for e in again.entries]

@@ -209,6 +209,21 @@ def test_registry_metadata_and_aliases():
     assert ScipyMilpBackend().supports_sparse
     assert BranchAndBoundBackend().supports_sparse
     assert ScipyMilpBackend.name == "scipy"
+    assert BranchAndBoundBackend().supports_warm_start
+    assert not ScipyMilpBackend().supports_warm_start
+
+
+def test_unknown_backend_error_lists_available_names():
+    with pytest.raises(BackendRegistryError) as excinfo:
+        resolve_backend_name("glpk")
+    message = str(excinfo.value)
+    # The error enumerates what *is* available instead of a bare
+    # "unknown backend": canonical names, aliases and the 'auto' escape.
+    for name in ("bnb", "portfolio", "scipy"):
+        assert name in message
+    for alias in ("branch_and_bound", "highs", "race"):
+        assert alias in message
+    assert "'auto'" in message
 
 
 def test_register_backend_rejects_conflicts_and_reserved_names(backend_registry_snapshot):
