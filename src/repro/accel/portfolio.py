@@ -11,9 +11,13 @@ concurrently on the same :class:`MatrixForm`:
 * the first *conclusive* result (proven optimal, infeasible or unbounded)
   wins; the cooperative racers are cancelled through their ``stop_check``
   hook (scipy cannot be interrupted mid-solve — its orphaned thread is
-  abandoned, bounded by the shared ``time_limit``, and at most
-  ``_ORPHAN_LIMIT`` orphans may linger before the next race waits for the
-  oldest, so chained quick wins cannot stack unbounded background solves);
+  abandoned, bounded by the shared ``time_limit``, or by
+  ``_UNCANCELLABLE_FALLBACK_LIMIT`` when the caller passed no limit, so an
+  orphan can never run forever; beyond ``_ORPHAN_LIMIT``
+  lingering orphans the next race briefly waits for the oldest, a *bounded*
+  pause of ``_ORPHAN_JOIN_TIMEOUT`` seconds each, so chained quick wins
+  cannot stack unbounded background solves yet a caller is never stalled
+  for a full abandoned solve);
 * if no racer is conclusive (both hit a limit), the best incumbent wins;
 * the winner's :class:`SolveStats` are merged with the losers': ``backend``
   records the winning racer, ``nodes`` sums every finished racer's search.
@@ -28,6 +32,7 @@ from __future__ import annotations
 
 import atexit
 import threading
+import time
 from queue import Queue
 
 from ..ilp.model import MatrixForm
@@ -41,24 +46,45 @@ _CONCLUSIVE = (SolveStatus.OPTIMAL, SolveStatus.INFEASIBLE, SolveStatus.UNBOUNDE
 #: already-decided races.  Bounded below so a chain of quick wins cannot
 #: stack an unbounded number of orphaned solves fighting the live race
 #: for CPU.
-_ORPHANS: list[threading.Thread] = []
+#: Parked orphans as ``(thread, deadline)``: the monotonic instant by which
+#: the abandoned solve's own time limit must have expired.
+_ORPHANS: list[tuple[threading.Thread, float]] = []
 _ORPHAN_LIMIT = 2
+#: Per-orphan join budget when the backlog exceeds the cap: long enough for a
+#: cancelled cooperative racer to wind down, short enough that a caller is
+#: never stalled for anything like an abandoned solve's full time limit.
+_ORPHAN_JOIN_TIMEOUT = 0.25
+#: Finite solve cap imposed on racers without a ``stop_check`` hook when the
+#: caller passed ``time_limit=None``: an uncancellable racer abandoned by a
+#: decided race must never keep solving — or stall interpreter exit — forever.
+_UNCANCELLABLE_FALLBACK_LIMIT = 300.0
+#: Grace past an orphan's deadline before the exit drain gives up on it.
+_ORPHAN_EXIT_GRACE = 10.0
 _ORPHAN_LOCK = threading.Lock()
 
 
-def _park_orphans(threads: list[threading.Thread]) -> None:
-    """Track still-running racers of a decided race; block if too many pile up."""
+def _park_orphans(threads: list[threading.Thread], deadline: float) -> None:
+    """Track still-running racers of a decided race.
+
+    Orphans beyond ``_ORPHAN_LIMIT`` are joined oldest-first with a bounded
+    per-thread timeout, so the caller's pause is capped at roughly
+    ``_ORPHAN_JOIN_TIMEOUT`` seconds per excess orphan rather than a full
+    abandoned solve's ``time_limit``.  Stragglers stay parked — each is
+    bounded by its recorded ``deadline`` — and :func:`_drain_orphans` joins
+    whatever is left at interpreter exit.
+    """
     with _ORPHAN_LOCK:
-        _ORPHANS.extend(thread for thread in threads if thread.is_alive())
-        _ORPHANS[:] = [thread for thread in _ORPHANS if thread.is_alive()]
-        backlog = list(_ORPHANS)
+        _ORPHANS.extend((thread, deadline) for thread in threads
+                        if thread.is_alive())
+        _ORPHANS[:] = [entry for entry in _ORPHANS if entry[0].is_alive()]
+        backlog = [thread for thread, _ in _ORPHANS]
     # Joining outside the lock: only the threads beyond the cap are waited
     # on (oldest first), so steady-state CPU contention stays bounded while
     # a single abandoned solve never delays the caller.
     for thread in backlog[:-_ORPHAN_LIMIT] if len(backlog) > _ORPHAN_LIMIT else []:
-        thread.join()
+        thread.join(timeout=_ORPHAN_JOIN_TIMEOUT)
     with _ORPHAN_LOCK:
-        _ORPHANS[:] = [thread for thread in _ORPHANS if thread.is_alive()]
+        _ORPHANS[:] = [entry for entry in _ORPHANS if entry[0].is_alive()]
 
 
 def _drain_orphans() -> None:
@@ -66,15 +92,19 @@ def _drain_orphans() -> None:
 
     A daemon thread still inside HiGHS native code at interpreter shutdown
     aborts the whole process (`terminate called without an active
-    exception`), so process exit must wait for the abandoned solves —
-    cancelled cooperative racers finish within one node, and an abandoned
-    scipy solve is bounded by its time limit.
+    exception`), so process exit waits for the abandoned solves — cancelled
+    cooperative racers finish within one node, and an abandoned scipy solve
+    is bounded by its recorded deadline (every uncancellable racer gets a
+    finite time limit, see ``_UNCANCELLABLE_FALLBACK_LIMIT``).  Each join is
+    capped at that deadline plus a grace period, so a stuck thread delays
+    exit but can never hang it forever.
     """
     with _ORPHAN_LOCK:
         backlog = list(_ORPHANS)
         _ORPHANS.clear()
-    for thread in backlog:
-        thread.join()
+    for thread, deadline in backlog:
+        thread.join(timeout=max(0.0, deadline - time.monotonic())
+                    + _ORPHAN_EXIT_GRACE)
 
 
 atexit.register(_drain_orphans)
@@ -113,26 +143,44 @@ class PortfolioBackend:
         results: Queue[tuple[str, Solution | None, Exception | None]] = Queue()
 
         def race(name: str) -> None:
+            # The collection loop blocks on exactly one queue entry per
+            # racer, so the put lives in a ``finally``: even a racer killed
+            # by a non-Exception (SystemExit, KeyboardInterrupt) reports an
+            # outcome instead of hanging the solve forever.
+            outcome: tuple[str, Solution | None, Exception | None] = (
+                name, None,
+                RuntimeError(f"racer {name!r} exited without reporting a result"))
             try:
                 solver = backend_info(name).create()
                 # Cooperative cancellation: racers exposing a ``stop_check``
                 # attribute (the branch and bound does) poll it and stop as
-                # soon as the race is decided.
+                # soon as the race is decided.  Racers without one cannot be
+                # interrupted once abandoned, so they never run without a
+                # finite time limit.
+                racer_limit = time_limit
                 if hasattr(solver, "stop_check"):
                     solver.stop_check = stop.is_set
+                elif racer_limit is None:
+                    racer_limit = _UNCANCELLABLE_FALLBACK_LIMIT
                 kwargs = {}
                 if incumbent_hint is not None and getattr(solver, "supports_warm_start", False):
                     kwargs["incumbent_hint"] = incumbent_hint
-                results.put((name, solver.solve(form, time_limit=time_limit,
-                                                mip_gap=mip_gap, **kwargs), None))
+                outcome = (name, solver.solve(form, time_limit=racer_limit,
+                                              mip_gap=mip_gap, **kwargs), None)
             except Exception as exc:  # surfaced below, never swallowed
-                results.put((name, None, exc))
+                outcome = (name, None, exc)
+            finally:
+                results.put(outcome)
 
         threads = [
             threading.Thread(target=race, args=(name,), daemon=True,
                              name=f"portfolio-{name}")
             for name in self.racers
         ]
+        # Instant by which every racer's own time limit has expired — the
+        # orphan bookkeeping's bound on an abandoned solve.
+        deadline = time.monotonic() + (
+            time_limit if time_limit is not None else _UNCANCELLABLE_FALLBACK_LIMIT)
         for thread in threads:
             thread.start()
 
@@ -149,7 +197,7 @@ class PortfolioBackend:
                 winner = (name, solution)
                 break
         stop.set()  # cancel cooperative racers still running
-        _park_orphans(threads)
+        _park_orphans(threads, deadline)
 
         if winner is None:
             if not finished:

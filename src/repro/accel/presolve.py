@@ -327,22 +327,27 @@ def _pass_fix_variables(work: _Work, stats: PassStats) -> None:
     # upper).  This is what turns `z1 + z2 <= 0` into two fixings.
     if not work.A_ub.shape[0]:
         return
-    pos = work.A_ub.maximum(0)
-    pos.eliminate_zeros()
-    neg = work.A_ub.minimum(0)
-    neg.eliminate_zeros()
-    with np.errstate(invalid="ignore"):
-        min_activity = pos @ work.lower + neg @ work.upper
     drop_ub: set[int] = set()
     for row in range(work.A_ub.shape[0]):
-        activity = min_activity[row]
+        cols, data = work._row_entries(work.A_ub, row)
+        if len(cols) == 0:
+            continue
+        # The minimum activity must come from the *current* bounds: a fixing
+        # made by an earlier forcing row in this very loop changes later
+        # rows' activities, and a stale value could fix variables a row no
+        # longer forces — or miss the infeasibility those fixings created
+        # (fixings only ever raise a row's minimum activity, so a stale
+        # "forcing" row is either still forcing or now proves infeasibility).
+        with np.errstate(invalid="ignore"):
+            terms = np.where(data > 0, data * work.lower[cols],
+                             data * work.upper[cols])
+        activity = float(np.sum(terms))
         if not np.isfinite(activity):
             continue
         if activity > work.b_ub[row] + 1e-6:
             work.infeasible = True
             return
         if abs(activity - work.b_ub[row]) <= _TOL:
-            cols, data = work._row_entries(work.A_ub, row)
             for col, coeff in zip(cols, data):
                 col = int(col)
                 target = work.lower[col] if coeff > 0 else work.upper[col]
@@ -487,6 +492,17 @@ def presolve_form(form: MatrixForm) -> PresolvedModel:
         stats.rounds = round_number
         if not round_changed:
             break
+
+    # The round cap can end the loop right after a substitution emptied the
+    # model: the leftover (now empty) rows were never feasibility-checked by
+    # a following pass, so verify them before declaring the model solved.
+    if not work.col_map and (
+            np.any(work.b_ub < -1e-6) or np.any(np.abs(work.b_eq) > 1e-6)):
+        work.infeasible = True
+    if work.infeasible:
+        stats.wall_seconds = time.perf_counter() - start
+        return PresolvedModel(original=form, reduced=None, fixed=dict(work.fixed),
+                              kept=[], stats=stats, infeasible=True)
 
     reduced = _reduced_form(form, work)
     stats.reduced_variables = work.num_cols

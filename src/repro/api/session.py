@@ -87,6 +87,8 @@ class Session:
     warm_start:
         Let warm-start-capable backends chain each circuit's ADVBIST solves
         in ascending ``k``, seeding each incumbent from the previous one.
+        A chain runs serially — a single-circuit sweep with ``jobs > 1``
+        should pass ``warm_start=False`` to keep its parallel fan-out.
 
     A session is a context manager; leaving the ``with`` block releases
     the worker pool.

@@ -30,6 +30,10 @@ The solver knobs shared by the ILP-backed commands:
   comparison (the grid is embarrassingly parallel);
 * ``--presolve/--no-presolve`` — run the :mod:`repro.accel.presolve`
   reductions on every ILP before solving (exact, off by default);
+* ``--warm-start/--no-warm-start`` — with a warm-start-capable backend,
+  chain each circuit's ADVBIST solves in ascending ``k`` so every solve
+  seeds the next incumbent (on by default; a chain is one serial unit, so
+  a single-circuit sweep with ``--jobs > 1`` wants ``--no-warm-start``);
 * ``--no-cache`` — skip the on-disk design cache and re-solve everything;
 * ``--cache-dir`` — design-cache root (default ``$REPRO_CACHE_DIR`` or
   ``~/.cache/repro-advbist``).
@@ -150,6 +154,13 @@ def _add_solver_arguments(parser: argparse.ArgumentParser,
                         help="run the repro.accel presolve reductions on every "
                              "ILP before solving (exact: identical designs, "
                              "smaller models)")
+    parser.add_argument("--warm-start", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="chain each circuit's ADVBIST solves in ascending "
+                             "k so every solve seeds the next incumbent "
+                             "(warm-start-capable backends only). A chain runs "
+                             "serially: to keep a single-circuit sweep "
+                             "parallel under --jobs, pass --no-warm-start")
     if jobs:
         parser.add_argument("--jobs", type=_positive_int_jobs, default=1,
                             help="worker processes for the independent solves")
@@ -280,6 +291,7 @@ def _session_from_args(args) -> Session:
         cache=not getattr(args, "no_cache", False),
         cache_dir=getattr(args, "cache_dir", None),
         presolve=getattr(args, "presolve", False),
+        warm_start=getattr(args, "warm_start", True),
     )
 
 

@@ -444,7 +444,10 @@ class SweepEngine:
         When the backend declares ``supports_warm_start``, execute the
         ADVBIST tasks of each circuit as one ascending-``k`` chain so every
         solve seeds the next one's incumbent cutoff.  Backends without
-        warm-start support keep the fully parallel task fan-out.
+        warm-start support keep the fully parallel task fan-out.  A chain is
+        one *serial* execution unit: a single-circuit sweep with ``jobs > 1``
+        trades its parallel fan-out for the incumbents, so pass
+        ``warm_start=False`` (CLI ``--no-warm-start``) to keep the fan-out.
     """
 
     def __init__(

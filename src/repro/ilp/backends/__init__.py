@@ -32,20 +32,14 @@ from .branch_and_bound import BranchAndBoundBackend
 from .scipy_milp import ScipyMilpBackend
 
 # The portfolio backend lives in repro.accel (it composes the backends above
-# rather than implementing a solver).  Importing it here keeps registration
-# next to the registry; when the import arrives *through* repro.accel itself
-# the module is mid-initialisation and the top-level repro package finishes
-# the registration instead.
-try:
-    from repro.accel.portfolio import PortfolioBackend
-except ImportError:  # pragma: no cover - circular-entry fallback
-    PortfolioBackend = None  # type: ignore[assignment]
+# rather than implementing a solver) and registers itself when the top-level
+# repro package imports repro.accel — importing any repro submodule runs that
+# first, so it is always in the registry by the time user code can look.
 
 __all__ = [
     "BackendInfo",
     "BackendRegistryError",
     "BranchAndBoundBackend",
-    "PortfolioBackend",
     "ScipyMilpBackend",
     "available_backend_names",
     "backend_info",

@@ -37,8 +37,8 @@ class BackendInfo:
     supports_time_limit:
         Whether the backend honours the ``time_limit`` argument.
     supports_warm_start:
-        Whether the backend can exploit an incumbent hint (reserved for
-        future backends; neither bundled backend uses it yet).
+        Whether :meth:`solve` accepts an ``incumbent_hint`` objective cutoff
+        (the branch and bound and the portfolio do; scipy/HiGHS does not).
     description:
         One-line summary shown by ``repro backends``.
     """

@@ -84,6 +84,28 @@ def test_portfolio_survives_a_failing_racer(backend_registry_snapshot):
     assert "failed: crash-test (RuntimeError)" in solution.message
 
 
+@pytest.mark.filterwarnings(
+    "ignore::pytest.PytestUnhandledThreadExceptionWarning")
+def test_portfolio_survives_a_racer_killed_by_non_exception(backend_registry_snapshot):
+    # A racer dying on a BaseException (SystemExit here) never reaches the
+    # normal result path; the finally-guarded put must still report an
+    # outcome so the collection loop cannot block forever on results.get().
+    @register_backend("sysexit-test", supports_sparse=True,
+                      description="dies on SystemExit")
+    class SystemExitBackend:
+        def solve(self, form, time_limit=None, mip_gap=1e-6):
+            raise SystemExit(1)
+
+    solution = knapsack_model().solve(
+        backend=PortfolioBackend(racers=("sysexit-test", "scipy")))
+    assert solution.status is SolveStatus.OPTIMAL
+    assert "portfolio winner: scipy" in solution.message
+    # The dead racer almost always reports before scipy finishes; when it
+    # does, the fallback outcome must surface as a RuntimeError failure.
+    if "failed:" in solution.message:
+        assert "sysexit-test (RuntimeError)" in solution.message
+
+
 def test_portfolio_raises_when_every_racer_fails(backend_registry_snapshot):
     @register_backend("crash-a", description="always raises")
     class CrashA:

@@ -44,6 +44,75 @@ def test_forcing_row_fixes_all_its_variables():
     assert [v.name for v in presolved.reduced.variables] == ["free"]
 
 
+def _clashing_forcing_model() -> Model:
+    """Two interacting forcing rows of opposite sign over the same binaries.
+
+    ``x + y <= 0`` forces ``x = y = 0``; ``-x - y <= -2`` then demands
+    ``x + y >= 2``.  A stale activity vector (computed once before the
+    forcing loop) treats *both* rows as forcing, fixes the variables twice
+    and drops the rows — reporting OPTIMAL for an infeasible model.
+    """
+    model = Model("clash")
+    x, y = model.add_binary("x"), model.add_binary("y")
+    model.add_constr(x + y <= 0.0, "zero")
+    model.add_constr(-1.0 * x - 1.0 * y <= -2.0, "two")
+    model.set_objective(x + y)
+    return model
+
+
+def test_interacting_forcing_rows_prove_infeasibility():
+    presolved = presolve_form(_clashing_forcing_model().to_matrix_form())
+    assert presolved.infeasible
+    assert presolved.infeasible_solution().status is SolveStatus.INFEASIBLE
+
+
+@pytest.mark.parametrize("backend", ["scipy", "bnb"])
+def test_interacting_forcing_rows_match_backend_status(backend):
+    plain = _clashing_forcing_model().solve(backend=backend)
+    accel = _clashing_forcing_model().solve(backend=backend, presolve=True)
+    assert plain.status is SolveStatus.INFEASIBLE
+    assert accel.status is SolveStatus.INFEASIBLE
+
+
+def test_forcing_row_fixings_propagate_within_one_pass():
+    # Fixing x = y = 1 from the first forcing row turns `x + w <= 1` into a
+    # forcing row too — the fresh per-row activity picks that up in the same
+    # pass (a stale precomputed activity of 0 would not).
+    model = Model("cascade")
+    x, y = model.add_binary("x"), model.add_binary("y")
+    w = model.add_binary("w")
+    model.add_constr(-1.0 * x - 1.0 * y <= -2.0, "both_on")
+    model.add_constr(x + w <= 1.0, "cap")
+    model.set_objective(x + y + w)
+    presolved = presolve_form(model.to_matrix_form())
+    assert not presolved.infeasible
+    assert presolved.solved
+    assert presolved.fixed == {0: 1.0, 1: 1.0, 2: 0.0}
+    assert presolved.fixed_solution().objective == pytest.approx(2.0)
+
+
+def test_round_cap_cannot_mask_violated_rows():
+    # A dependency chain needing exactly _MAX_ROUNDS (25) fixpoint rounds:
+    # each equality becomes a singleton only after the previous round's
+    # substitution, and the final round fixes a = b = 1 — turning the
+    # clashing `a + b == 1` row into an *empty* violated row only at the
+    # very last substitution, after the round's passes have already run.
+    # With the loop cut by the cap, only the post-loop guard can notice.
+    model = Model("roundcap")
+    xs = [model.add_binary(f"x{i}") for i in range(1, 25)]
+    a, b = model.add_binary("a"), model.add_binary("b")
+    model.add_constr(xs[0] + 0.0 == 1.0, "pin")
+    for prev, cur in zip(xs, xs[1:]):
+        model.add_constr(prev + cur == 2.0, f"chain_{cur.name}")
+    model.add_constr(xs[-1] + a == 2.0, "fan_a")
+    model.add_constr(xs[-1] + b == 2.0, "fan_b")
+    model.add_constr(a + b == 1.0, "clash")
+    model.set_objective(LinExpr.sum(xs) + a + b)
+    presolved = presolve_form(model.to_matrix_form())
+    assert presolved.infeasible
+    assert not presolved.solved
+
+
 def test_singleton_inequality_becomes_bound_and_integer_bounds_round():
     model = Model("tighten")
     x = model.add_integer("x", lower=0, upper=10)

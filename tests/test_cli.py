@@ -110,6 +110,18 @@ def test_backend_flag_rejects_unknown_name():
         parser.parse_args(["sweep", "fig1", "--backend", "glpk"])
 
 
+def test_warm_start_flag_parses_and_reaches_the_session():
+    from repro.cli import _session_from_args
+
+    parser = build_parser()
+    args = parser.parse_args(["sweep", "fig1"])
+    assert args.warm_start is True
+    args = parser.parse_args(["sweep", "fig1", "--no-warm-start"])
+    assert args.warm_start is False
+    with _session_from_args(args) as session:
+        assert session.warm_start is False
+
+
 def test_unknown_circuit_reports_error(capsys):
     assert main(["synthesize", "not_a_circuit"]) == 2
     assert "error" in capsys.readouterr().err
