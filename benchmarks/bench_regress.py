@@ -1,54 +1,47 @@
-"""Performance-regression bench: the Table 2/3 grids, accelerated vs not.
+"""Performance-regression bench: a thin client of :mod:`repro.bench`.
 
-Times the paper's evaluation sweeps under four configurations —
-
-* ``cold_baseline``   — empty cache, no presolve, no warm starts;
-* ``cold_accel``      — empty cache, presolve + warm starts (the
-  :mod:`repro.accel` pipeline on the default backend);
-* ``cold_portfolio``  — empty cache, presolve + warm starts on the racing
-  ``portfolio`` backend;
-* ``warm_cache``      — the accelerated run repeated on its own populated
-  design cache (every solve is a hit);
-
-— and writes the measurements to ``BENCH_regress.json`` at the repository
-root, seeding the perf trajectory.  Every scenario must produce *identical*
-objectives; the script exits non-zero (and records ``parity_ok: false``)
-if any acceleration layer changed a result.
+Runs the ``table2`` + ``table3`` suites (the paper's evaluation grids
+under the cold/accelerated/portfolio/warm-cache scenario matrix) through
+the benchmark subsystem and writes the schema-2 report to
+``BENCH_regress.json`` at the repository root, extending the perf
+trajectory.  Objective parity across scenarios is asserted by the runner;
+the script exits non-zero when any acceleration layer changed a proven
+result.
 
 Run it directly::
 
-    PYTHONPATH=src python benchmarks/bench_regress.py                   # full Table 2/3 set
-    PYTHONPATH=src python benchmarks/bench_regress.py --circuits fig1   # CI smoke
+    PYTHONPATH=src python benchmarks/bench_regress.py                   # full grids
+    PYTHONPATH=src python benchmarks/bench_regress.py --circuits fig1   # smoke
+    PYTHONPATH=src python benchmarks/bench_regress.py --compare BENCH_regress.json
 
-Unlike the table benches (which pretty-print the paper's numbers), this
-script exists to be diffed over time: keep the JSON committed so the next
-optimisation PR has a baseline to beat.
+Equivalent CLI (this script only adds the historical defaults)::
+
+    python -m repro bench run --suite table2 --suite table3 \
+        --out BENCH_regress.json --compare <prior>
+
+Keep the JSON committed so the next optimisation PR has a baseline to
+beat — ``repro bench compare`` diffs any two reports, and legacy schema-1
+files are migrated on read.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
-import platform
 import sys
-import tempfile
-import time
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.api import CompareJob, Session, SweepJob  # noqa: E402
+from repro.bench.compare import DEFAULT_THRESHOLD  # noqa: E402
+from repro.cli import main as repro_main  # noqa: E402
 
-#: The seven built-in circuits (fig1 plus the Table 2/3 set).
-DEFAULT_CIRCUITS = ["fig1", "tseng", "paulin", "fir6", "iir3", "dct4", "wavelet6"]
-
-SCENARIOS = ("cold_baseline", "cold_accel", "cold_portfolio", "warm_cache")
+SUITES = ("table2", "table3")
 
 
 def parse_args(argv=None) -> argparse.Namespace:
     parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
-    parser.add_argument("--circuits", nargs="+", default=DEFAULT_CIRCUITS,
+    parser.add_argument("--circuits", nargs="+", default=None,
                         help="circuits to sweep (default: the full built-in set)")
     parser.add_argument("--max-k", type=int, default=None,
                         help="cap each Table 2 sweep at this many test sessions")
@@ -56,171 +49,33 @@ def parse_args(argv=None) -> argparse.Namespace:
                         help="per-solve wall clock limit in seconds")
     parser.add_argument("--skip-portfolio", action="store_true",
                         help="omit the portfolio-backend scenario")
+    parser.add_argument("--compare", nargs="+", default=None,
+                        metavar="PRIOR.json",
+                        help="prior reports to gate the fresh run against")
+    parser.add_argument("--threshold", default=f"{DEFAULT_THRESHOLD}x",
+                        help="slowdown ratio that counts as a regression")
     parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_regress.json"),
                         help="output JSON path (default: BENCH_regress.json "
                              "at the repository root)")
     return parser.parse_args(argv)
 
 
-def _jobs_for(circuits, max_k):
-    for circuit in circuits:
-        yield f"sweep:{circuit}", SweepJob(circuit=circuit, max_k=max_k)
-    for circuit in circuits:
-        yield f"compare:{circuit}", CompareJob(circuit=circuit)
-
-
-def _fingerprint(label: str, envelope) -> dict:
-    """Parity fingerprint of one envelope: ``key -> (area, proven)``.
-
-    ``proven`` marks entries whose area is configuration-independent: a
-    proven optimum or a deterministic heuristic baseline.  Entries where a
-    solver stopped on its time limit carry whatever incumbent it reached —
-    those may legitimately differ between configurations (the accelerated
-    path often finds a *better* one) and are excluded from the parity
-    assertion, but still recorded for the human reading the JSON.
-    """
-    if not envelope.ok:
-        raise RuntimeError(f"{label} failed: {envelope.error}")
-    payload = envelope.payload
-    entries: dict[str, tuple[float, bool]] = {}
-    if label.startswith("sweep:"):
-        entries[f"{label}:reference"] = (payload["reference_area"],
-                                         bool(payload["reference_optimal"]))
-        for row in payload["rows"]:
-            entries[f"{label}:k={row['k']}"] = (row["area"], bool(row["optimal"]))
-        return entries
-    optimal = payload["optimal"]
-    for method, row in zip(["reference"] + list(payload["overheads"]),
-                           payload["table3"]):
-        if method == "reference":
-            proven = bool(payload["reference_optimal"])
-        elif method == "ADVBIST":
-            proven = bool(optimal.get(method, False))
-        else:
-            # The heuristic baselines are deterministic (their designs carry
-            # optimal=False, but the *area* is configuration-independent).
-            proven = True
-        entries[f"{label}:{method}"] = (row["Area"], proven)
-    return entries
-
-
-def run_scenario(name: str, circuits, max_k, time_limit, cache_dir,
-                 *, presolve: bool, warm_start: bool, backend: str) -> dict:
-    """Execute the full job grid under one configuration and time it."""
-    per_job: dict[str, float] = {}
-    fingerprint: dict[str, tuple[float, bool]] = {}
-    cached_solves = 0
-    total_solves = 0
-    started = time.perf_counter()
-    with Session(backend=backend, time_limit=time_limit, cache_dir=cache_dir,
-                 presolve=presolve, warm_start=warm_start) as session:
-        for label, job in _jobs_for(circuits, max_k):
-            job_started = time.perf_counter()
-            envelope = session.run(job)
-            per_job[label] = round(time.perf_counter() - job_started, 3)
-            fingerprint.update(_fingerprint(label, envelope))
-            cached_solves += sum(1 for r in envelope.reports if r.get("cached"))
-            total_solves += len(envelope.reports)
-    return {
-        "scenario": name,
-        "backend": backend,
-        "presolve": presolve,
-        "warm_start": warm_start,
-        "wall_seconds": round(time.perf_counter() - started, 3),
-        "per_job_seconds": per_job,
-        "cached_solves": cached_solves,
-        "total_solves": total_solves,
-        "objectives": {key: area for key, (area, _) in fingerprint.items()},
-        "proven": {key: proven for key, (_, proven) in fingerprint.items()},
-    }
-
-
 def main(argv=None) -> int:
     args = parse_args(argv)
-    results: dict[str, dict] = {}
-
-    with tempfile.TemporaryDirectory(prefix="bench-regress-") as tmp:
-        tmp = Path(tmp)
-        # Warm the interpreter/scipy before any timed run so the first
-        # scenario does not pay one-off import and JIT-ish costs.
-        run_scenario("warmup", ["fig1"], 1, args.time_limit,
-                     str(tmp / "warmup"), presolve=False, warm_start=False,
-                     backend="auto")
-
-        results["cold_baseline"] = run_scenario(
-            "cold_baseline", args.circuits, args.max_k, args.time_limit,
-            str(tmp / "baseline"), presolve=False, warm_start=False,
-            backend="auto")
-        results["cold_accel"] = run_scenario(
-            "cold_accel", args.circuits, args.max_k, args.time_limit,
-            str(tmp / "accel"), presolve=True, warm_start=True,
-            backend="auto")
-        if not args.skip_portfolio:
-            results["cold_portfolio"] = run_scenario(
-                "cold_portfolio", args.circuits, args.max_k, args.time_limit,
-                str(tmp / "portfolio"), presolve=True, warm_start=True,
-                backend="portfolio")
-        # Re-running the accelerated configuration on its own cache measures
-        # the warm-cache path every repeated front-end request takes.
-        results["warm_cache"] = run_scenario(
-            "warm_cache", args.circuits, args.max_k, args.time_limit,
-            str(tmp / "accel"), presolve=True, warm_start=True,
-            backend="auto")
-
-    baseline = results["cold_baseline"]
-    mismatches: list[dict] = []
-    unproven: list[str] = sorted(
-        key for scenario in results.values()
-        for key, proven in scenario["proven"].items() if not proven
-    )
-    for scenario in results.values():
-        for key, area in scenario["objectives"].items():
-            if not (scenario["proven"][key] and baseline["proven"].get(key)):
-                continue
-            if area != baseline["objectives"][key]:
-                mismatches.append({
-                    "entry": key,
-                    "scenario": scenario["scenario"],
-                    "baseline": baseline["objectives"][key],
-                    "got": area,
-                })
-    parity_ok = not mismatches
-    baseline_wall = results["cold_baseline"]["wall_seconds"]
-    accel_wall = results["cold_accel"]["wall_seconds"]
-    report = {
-        "schema": 1,
-        "bench": "bench_regress",
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-        "config": {
-            "circuits": args.circuits,
-            "max_k": args.max_k,
-            "time_limit": args.time_limit,
-        },
-        "parity_ok": parity_ok,
-        "parity_mismatches": mismatches,
-        "unproven_entries": sorted(set(unproven)),
-        "accel_speedup": round(baseline_wall / accel_wall, 3) if accel_wall else None,
-        "accel_saves_seconds": round(baseline_wall - accel_wall, 3),
-        "warm_cache_speedup": (round(baseline_wall
-                                     / results["warm_cache"]["wall_seconds"], 3)
-                               if results["warm_cache"]["wall_seconds"] else None),
-        "scenarios": results,
-    }
-
-    out = Path(args.out)
-    out.write_text(json.dumps(report, indent=2, sort_keys=False) + "\n",
-                   encoding="utf-8")
-    print(f"wrote {out}")
-    print(f"cold baseline: {baseline_wall:.2f}s   "
-          f"cold accel: {accel_wall:.2f}s   "
-          f"speedup: {report['accel_speedup']}x   "
-          f"warm cache: {results['warm_cache']['wall_seconds']:.2f}s")
-    if not parity_ok:
-        print("PARITY FAILURE: an acceleration layer changed an objective",
-              file=sys.stderr)
-        return 1
-    return 0
+    cli: list[str] = ["bench", "run"]
+    for suite in SUITES:
+        cli += ["--suite", suite]
+    cli += ["--time-limit", str(args.time_limit), "--out", args.out]
+    if args.circuits:
+        cli += ["--circuits", *args.circuits]
+    if args.max_k is not None:
+        cli += ["--max-k", str(args.max_k)]
+    if args.skip_portfolio:
+        # table3 has no portfolio scenario, so list every other one.
+        cli += ["--scenarios", "cold_baseline", "cold_accel", "warm_cache"]
+    if args.compare:
+        cli += ["--compare", *args.compare, "--threshold", str(args.threshold)]
+    return repro_main(cli)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,17 @@
+"""Repo-root pytest configuration shared by tests/ and the src doctests.
+
+The doctest items collected from ``src/repro`` (see ``pytest.ini``) run
+outside ``tests/conftest.py``'s scope, so the design-cache isolation has
+to live here: any doctest example that touches a :class:`Session` or
+engine must never write into the user's real ``~/.cache/repro-advbist``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_design_cache_everywhere(tmp_path, monkeypatch):
+    """Point the on-disk design cache at a per-test temp dir, repo-wide."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "design-cache"))

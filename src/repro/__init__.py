@@ -8,14 +8,16 @@ every substrate it needs (DFGs, a small HLS front end, an ILP toolkit, the
 transistor cost model) and the three heuristic baselines it is compared
 against (ADVAN, RALLOC, BITS).
 
-Quick start::
+Quick start (executable — the tier-1 suite runs this as a doctest):
 
-    from repro import get_circuit, synthesize_bist, synthesize_reference
-
-    graph = get_circuit("tseng")
-    reference = synthesize_reference(graph)
-    design = synthesize_bist(graph, k=3)
-    print(design.table3_row(reference.area().total))
+    >>> from repro import get_circuit, synthesize_bist, synthesize_reference
+    >>> graph = get_circuit("fig1")
+    >>> reference = synthesize_reference(graph)
+    >>> design = synthesize_bist(graph, k=2)
+    >>> design.optimal and design.verify().ok
+    True
+    >>> design.overhead_vs(reference.area().total) >= 0.0
+    True
 
 Programmatic consumers should speak the :mod:`repro.api` façade: declarative
 job specs in, JSON-serialisable result envelopes out, with one
@@ -105,6 +107,7 @@ from .circuits import (
 )
 from .api import (
     BaselineJob,
+    BenchJob,
     CompareJob,
     FuzzJob,
     JobSpec,
@@ -115,6 +118,14 @@ from .api import (
     SynthesizeJob,
     job_from_dict,
     job_from_json,
+)
+from .bench import (
+    BenchSuite,
+    compare_reports,
+    get_suite,
+    list_suites,
+    run_suite,
+    run_suites,
 )
 from .fuzzing import FuzzReport, ParityCase, check_parity, run_fuzz
 from .reporting import (
@@ -158,9 +169,12 @@ __all__ = [
     "get_circuit", "get_spec", "list_circuits",
     "load_circuit", "register_graph", "unregister_circuit",
     # api façade
-    "BaselineJob", "CompareJob", "FuzzJob", "JobSpec", "JobSpecError",
-    "ResultEnvelope", "Session", "SweepJob", "SynthesizeJob",
+    "BaselineJob", "BenchJob", "CompareJob", "FuzzJob", "JobSpec",
+    "JobSpecError", "ResultEnvelope", "Session", "SweepJob", "SynthesizeJob",
     "job_from_dict", "job_from_json",
+    # bench subsystem
+    "BenchSuite", "compare_reports", "get_suite", "list_suites",
+    "run_suite", "run_suites",
     # fuzzing
     "FuzzReport", "ParityCase", "check_parity", "run_fuzz",
     # reporting

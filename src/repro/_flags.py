@@ -1,0 +1,155 @@
+"""Shared argparse value parsers for the CLI's numeric and structured flags.
+
+Every ``repro`` subcommand that accepts numbers (``--jobs``, ``--seed``,
+``--k``, ``--count``, ``--time-limit``, ``repro bench --threshold``, ...)
+validates them *at parse time* through the factories below, so a bad value
+is a one-line argparse error instead of a traceback from deep inside the
+executor or the task grid.  ``repro fuzz`` and ``repro bench`` share the
+same ``--seed`` / ``--jobs`` parsers — there is exactly one definition of
+what a valid seed or worker count looks like.
+
+The factories return plain callables suitable for ``argparse``'s ``type=``:
+
+    >>> parse_jobs = int_at_least(1, "--jobs")
+    >>> parse_jobs("4")
+    4
+    >>> parse_jobs("zero")
+    Traceback (most recent call last):
+        ...
+    argparse.ArgumentTypeError: --jobs must be an integer, got 'zero'
+"""
+
+from __future__ import annotations
+
+import argparse
+
+
+def int_at_least(minimum: int, flag_meaning: str):
+    """Parser factory for an integer flag with an inclusive lower bound.
+
+    >>> int_at_least(0, "--seed")("0")
+    0
+    >>> int_at_least(1, "--count")("0")
+    Traceback (most recent call last):
+        ...
+    argparse.ArgumentTypeError: --count must be >= 1, got 0
+    """
+
+    def parse(text: str) -> int:
+        try:
+            value = int(text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"{flag_meaning} must be an integer, got {text!r}")
+        if value < minimum:
+            raise argparse.ArgumentTypeError(
+                f"{flag_meaning} must be >= {minimum}, got {value}")
+        return value
+
+    return parse
+
+
+def positive_float(flag_meaning: str, unit: str = "a number"):
+    """Parser factory for a strictly positive float flag.
+
+    >>> positive_float("--time-limit", "a number of seconds")("1.5")
+    1.5
+    >>> positive_float("--time-limit")("-3")
+    Traceback (most recent call last):
+        ...
+    argparse.ArgumentTypeError: --time-limit must be positive, got -3.0
+    """
+
+    def parse(text: str) -> float:
+        try:
+            value = float(text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"{flag_meaning} must be {unit}, got {text!r}")
+        if value <= 0:
+            raise argparse.ArgumentTypeError(
+                f"{flag_meaning} must be positive, got {value}")
+        return value
+
+    return parse
+
+
+def nonnegative_float(flag_meaning: str):
+    """Parser factory for a float flag that may be zero.
+
+    >>> nonnegative_float("--min-seconds")("0")
+    0.0
+    """
+
+    def parse(text: str) -> float:
+        try:
+            value = float(text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"{flag_meaning} must be a number, got {text!r}")
+        if value < 0:
+            raise argparse.ArgumentTypeError(
+                f"{flag_meaning} must be >= 0, got {value}")
+        return value
+
+    return parse
+
+
+def speedup_threshold(text: str) -> float:
+    """Parse a regression threshold like ``1.5x`` (or plain ``1.5``).
+
+    The value is the slowdown *ratio* past which a timing counts as a
+    regression, so it must be at least 1.
+
+    >>> speedup_threshold("1.5x")
+    1.5
+    >>> speedup_threshold("2")
+    2.0
+    >>> speedup_threshold("0.5x")
+    Traceback (most recent call last):
+        ...
+    argparse.ArgumentTypeError: --threshold must be >= 1 (a slowdown ratio), got 0.5
+    """
+    raw = text.strip().lower().removesuffix("x")
+    try:
+        value = float(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--threshold must look like 1.5x or 1.5, got {text!r}")
+    if value < 1.0:
+        raise argparse.ArgumentTypeError(
+            f"--threshold must be >= 1 (a slowdown ratio), got {value}")
+    return value
+
+
+def resource_limits(text: str) -> dict[str, int]:
+    """Parse ``--resources alu=1,mult=2`` into a class → count mapping.
+
+    >>> resource_limits("alu=1, mult=2")
+    {'alu': 1, 'mult': 2}
+    >>> resource_limits("alu")
+    Traceback (most recent call last):
+        ...
+    argparse.ArgumentTypeError: --resources entries must look like CLASS=N, got 'alu'
+    """
+    limits: dict[str, int] = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        cls, sep, num = part.partition("=")
+        if not sep or not cls.strip():
+            raise argparse.ArgumentTypeError(
+                f"--resources entries must look like CLASS=N, got {part!r}")
+        try:
+            count = int(num)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"--resources count for {cls.strip()!r} must be an integer, got {num!r}")
+        if count < 1:
+            raise argparse.ArgumentTypeError(
+                f"--resources count for {cls.strip()!r} must be >= 1, got {count}")
+        limits[cls.strip()] = count
+    if not limits:
+        raise argparse.ArgumentTypeError("--resources must name at least one CLASS=N")
+    return limits

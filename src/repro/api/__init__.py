@@ -23,6 +23,7 @@ from .jobs import (
     COMPARE_METHODS,
     JOB_KINDS,
     BaselineJob,
+    BenchJob,
     CompareJob,
     FuzzJob,
     JobSpec,
@@ -42,6 +43,7 @@ __all__ = [
     "COMPARE_METHODS",
     "JOB_KINDS",
     "BaselineJob",
+    "BenchJob",
     "CompareJob",
     "FuzzJob",
     "JobSpec",

@@ -7,7 +7,16 @@ mode.  It is deliberately plain data — status, timings, per-task solver
 reports, a kind-specific ``payload`` of tables/designs, and a structured
 ``error`` instead of a raised exception — so it serialises to one JSON
 object and survives a process or network boundary unchanged
-(:meth:`to_dict` / :meth:`from_dict` round-trip exactly).
+(:meth:`to_dict` / :meth:`from_dict` round-trip exactly):
+
+    >>> envelope = ResultEnvelope(status="ok", kind="sweep",
+    ...                           payload={"rows": []})
+    >>> envelope.ok
+    True
+    >>> ResultEnvelope.from_json(envelope.to_json()) == envelope
+    True
+    >>> ResultEnvelope.failure("sweep", {}, KeyError("no such circuit")).error
+    {'type': 'KeyError', 'message': 'no such circuit'}
 """
 
 from __future__ import annotations

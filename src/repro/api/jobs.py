@@ -7,7 +7,9 @@ a frozen dataclass with a stable JSON representation:
 * :class:`SweepJob` — the Table 2 k-sweep of a circuit;
 * :class:`CompareJob` — the Table 3 method comparison of a circuit;
 * :class:`BaselineJob` — one heuristic baseline (ADVAN/RALLOC/BITS);
-* :class:`FuzzJob` — a random-DFG backend parity sweep.
+* :class:`FuzzJob` — a random-DFG backend parity sweep;
+* :class:`BenchJob` — one :mod:`repro.bench` benchmark suite, timed and
+  parity-guarded (so ``repro serve`` can run benchmark grids remotely).
 
 The specs are *declarative*: they carry no live objects, only names,
 numbers and (optionally) an inline ``repro.dfg.textio`` graph dictionary,
@@ -15,6 +17,16 @@ so :meth:`JobSpec.to_dict` / :func:`job_from_dict` round-trip exactly
 through JSON and a spec can cross a process or network boundary (the
 ``repro serve`` daemon reads them straight off stdin).  Solver knobs left
 as ``None`` defer to the owning session's defaults.
+
+    >>> job = job_from_json('{"job": "sweep", "circuit": "tseng", "max_k": 4}')
+    >>> job
+    SweepJob(backend=None, time_limit=None, use_cache=None, presolve=None, circuit='tseng', graph=None, max_k=4)
+    >>> job_from_dict(job.to_dict()) == job
+    True
+    >>> job_from_json('{"job": "sweep"}')
+    Traceback (most recent call last):
+        ...
+    repro.api.jobs.JobSpecError: sweep job needs exactly one of 'circuit' (a registry name) or 'graph' (an inline repro.dfg.textio dictionary)
 """
 
 from __future__ import annotations
@@ -243,10 +255,72 @@ class FuzzJob(JobSpec):
                 f"got {self.failure_dir!r}")
 
 
+@dataclass(frozen=True)
+class BenchJob(JobSpec):
+    """One :mod:`repro.bench` suite run: a timed, parity-guarded grid.
+
+    The suite's scenario grid owns its solver configuration (that is the
+    point of a benchmark), so the per-job ``backend`` / ``use_cache`` /
+    ``presolve`` knobs are rejected; ``time_limit`` still caps every
+    individual solve.  ``circuits`` / ``max_k`` / ``seed`` narrow the grid
+    the same way the ``repro bench run`` flags do, and ``warmup`` controls
+    the throwaway warm-up solve (leave it on for real measurements).
+
+    The result envelope's payload is the full schema-2 report of
+    :func:`repro.bench.run_suites` restricted to this one suite.
+
+    >>> BenchJob(suite="solver-micro").to_dict()["suite"]
+    'solver-micro'
+    >>> BenchJob(suite="not-a-suite")
+    Traceback (most recent call last):
+        ...
+    repro.api.jobs.JobSpecError: unknown benchmark suite 'not-a-suite'; expected one of ['fuzz-throughput', 'solver-micro', 'sweep-scaling', 'table2', 'table3']
+    """
+
+    kind: ClassVar[str] = "bench"
+
+    suite: str = ""
+    circuits: tuple[str, ...] | None = None
+    max_k: int | None = None
+    seed: int | None = None
+    warmup: bool = True
+
+    def __post_init__(self):
+        super().__post_init__()
+        for knob in ("backend", "use_cache", "presolve"):
+            if getattr(self, knob) is not None:
+                raise JobSpecError(
+                    f"bench jobs run each suite's own scenario grid; "
+                    f"{knob!r} is not applicable")
+        from ..bench.suites import SUITES, list_suites  # lazy: no api import
+
+        if self.suite not in SUITES:
+            raise JobSpecError(
+                f"unknown benchmark suite {self.suite!r}; "
+                f"expected one of {list_suites()}")
+        if self.circuits is not None:
+            if isinstance(self.circuits, list):  # JSON arrays arrive as lists
+                object.__setattr__(self, "circuits", tuple(self.circuits))
+            # A bare string would pass an element check by iterating its
+            # characters — require an actual sequence of names.
+            if not isinstance(self.circuits, tuple) or not self.circuits \
+                    or not all(isinstance(name, str) and name
+                               for name in self.circuits):
+                raise JobSpecError(
+                    f"circuits must be a non-empty list of circuit names "
+                    f"or null, got {self.circuits!r}")
+        _check_k(self.max_k, name="max_k")
+        _check_k(self.seed, minimum=0, name="seed")
+        if not isinstance(self.warmup, bool):
+            raise JobSpecError(
+                f"warmup must be true or false, got {self.warmup!r}")
+
+
 #: Wire-format kind → concrete spec class.
 JOB_KINDS: dict[str, Type[JobSpec]] = {
     spec.kind: spec
-    for spec in (SynthesizeJob, SweepJob, CompareJob, BaselineJob, FuzzJob)
+    for spec in (SynthesizeJob, SweepJob, CompareJob, BaselineJob, FuzzJob,
+                 BenchJob)
 }
 
 

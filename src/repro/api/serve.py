@@ -11,7 +11,8 @@ Wire protocol
 Requests (one JSON object per line):
 
 * a job spec — any :mod:`repro.api.jobs` dictionary, e.g.
-  ``{"job": "synthesize", "circuit": "fig1", "k": 2}``.  An optional
+  ``{"job": "synthesize", "circuit": "fig1", "k": 2}`` or a remote
+  benchmark run ``{"job": "bench", "suite": "solver-micro"}``.  An optional
   ``"id"`` field (any JSON scalar) is echoed on every response line for
   that request; without one, the 1-based request sequence number is used.
 * a control message — ``{"op": "ping"}``, ``{"op": "cache_info"}``,

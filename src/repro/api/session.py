@@ -39,6 +39,7 @@ from ..reporting.netlist import design_to_dict
 from .envelope import STATUS_OK, ResultEnvelope
 from .jobs import (
     BaselineJob,
+    BenchJob,
     CompareJob,
     FuzzJob,
     JobSpec,
@@ -92,6 +93,14 @@ class Session:
 
     A session is a context manager; leaving the ``with`` block releases
     the worker pool.
+
+    >>> from repro.api import Session, SynthesizeJob
+    >>> with Session(cache=False) as session:
+    ...     envelope = session.run(SynthesizeJob(circuit="fig1", k=1))
+    >>> envelope.ok and envelope.payload["circuit"] == "fig1"
+    True
+    >>> session.run(SynthesizeJob(circuit="no-such-circuit")).error["type"]
+    'JobSpecError'
     """
 
     def __init__(
@@ -234,6 +243,7 @@ class Session:
             CompareJob.kind: self._run_compare,
             BaselineJob.kind: self._run_baseline,
             FuzzJob.kind: self._run_fuzz,
+            BenchJob.kind: self._run_bench,
         }
         if job.kind not in handlers:
             raise JobSpecError(f"unknown job kind {job.kind!r}")
@@ -402,6 +412,23 @@ class Session:
                          if case.failure_path is not None],
         }
         return self._ok(job, payload, [])
+
+    def _run_bench(self, job: BenchJob) -> ResultEnvelope:
+        from ..bench.runner import run_suites  # lazy: bench builds on this api
+
+        # A benchmark suite owns its scenario grid, so it runs in its own
+        # sessions (fresh per-scenario caches in a temp dir) rather than on
+        # this session's executor; only the time limit flows through.
+        report = run_suites(
+            [job.suite],
+            circuits=job.circuits,
+            max_k=job.max_k,
+            seed=job.seed,
+            warmup=job.warmup,
+            time_limit=(job.time_limit if job.time_limit is not None
+                        else self.time_limit or 120.0),
+        )
+        return self._ok(job, report, [])
 
 
 def _emit(progress: ProgressCallback | None, event: dict) -> None:

@@ -1,0 +1,76 @@
+"""repro.bench — the benchmark & regression observability subsystem.
+
+Benchmarking is a first-class, schema'd citizen of the reproduction: the
+paper's evaluation grids (and the engineering benches that grew around
+them) are **declarative suites** executed through the same
+:class:`repro.api.Session` / job-spec contract every other front end uses,
+and every run produces one versioned JSON report that later runs can be
+diffed against.
+
+The moving parts::
+
+    suites   —  frozen BenchSuite specs: table2, table3, sweep-scaling,
+                solver-micro, fuzz-throughput
+    runner   —  run_suite()/run_suites(): execute a suite's scenario grid,
+                guard objective parity, attribute speedups per accel layer
+    schema   —  BENCH_SCHEMA, environment fingerprint, validate_report(),
+                migrate_report() (legacy bench_regress schema-1 shim)
+    compare  —  load_report(), compare_reports(): threshold-gated timing
+                diffs against one or more prior ``BENCH_*.json`` files
+
+Quick start (the CI gate in one call):
+
+    >>> from repro.bench import get_suite, list_suites
+    >>> "solver-micro" in list_suites()
+    True
+    >>> get_suite("table2").scenario_names()
+    ('cold_baseline', 'cold_accel', 'cold_portfolio', 'warm_cache')
+
+On the command line::
+
+    repro bench suites                          # what can run
+    repro bench run --suite solver-micro        # one timed grid -> JSON
+    repro bench run --suite table2 --compare BENCH_regress.json --threshold 1.5x
+    repro bench compare BENCH_new.json BENCH_regress.json
+    repro bench history BENCH_*.json            # the perf trajectory
+"""
+
+from .compare import (
+    BenchComparison,
+    ComparisonRow,
+    compare_reports,
+    load_report,
+    render_comparison,
+    render_history,
+)
+from .runner import BenchError, run_suite, run_suites
+from .schema import (
+    BENCH_SCHEMA,
+    BenchSchemaError,
+    environment_fingerprint,
+    migrate_report,
+    validate_report,
+)
+from .suites import SUITES, BenchSuite, ScenarioSpec, get_suite, list_suites
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BenchComparison",
+    "BenchError",
+    "BenchSchemaError",
+    "BenchSuite",
+    "ComparisonRow",
+    "SUITES",
+    "ScenarioSpec",
+    "compare_reports",
+    "environment_fingerprint",
+    "get_suite",
+    "list_suites",
+    "load_report",
+    "migrate_report",
+    "render_comparison",
+    "render_history",
+    "run_suite",
+    "run_suites",
+    "validate_report",
+]

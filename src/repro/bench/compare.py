@@ -1,0 +1,348 @@
+"""Diff benchmark reports: the regression gate of ``repro bench``.
+
+:func:`compare_reports` flattens every report into stable
+``scenario/unit`` timing keys and compares a fresh run against the best
+prior timing per key, flagging anything slower than ``threshold`` times
+the prior.  The flattening deliberately ignores the suite name — a
+``solver-micro`` CI run gates against the full-grid ``table2`` history as
+long as the scenario and unit labels match (and they do: both call a fig1
+sweep under ``cold_baseline`` the unit ``sweep:fig1``).
+
+Noise guard: timings whose *prior* is below ``min_seconds`` are reported
+but never flagged — a 4 ms job doubling to 8 ms is scheduler jitter, not
+a regression.
+
+    >>> from repro.bench.compare import compare_reports
+    >>> current = {"cold/unit:a": 2.0, "cold/unit:b": 0.010}
+    >>> prior = {"cold/unit:a": 1.0, "cold/unit:b": 0.004}
+    >>> result = compare_reports(current, [("old.json", prior)], threshold=1.5)
+    >>> [row.status for row in result.rows]
+    ['regressed', 'noise']
+    >>> result.ok
+    False
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from .schema import BenchSchemaError, migrate_report
+
+#: Default slowdown ratio past which a timing counts as a regression.
+DEFAULT_THRESHOLD = 1.5
+
+#: Default noise floor: prior timings below this are never gated on.
+DEFAULT_MIN_SECONDS = 0.05
+
+#: Terminal statuses a comparison row can carry.
+ROW_STATUSES = ("ok", "faster", "regressed", "noise", "new")
+
+
+def load_report(path: str | Path) -> dict:
+    """Read one ``BENCH_*.json`` file, migrating legacy schemas on the way.
+
+    Raises :class:`BenchSchemaError` for unreadable or unknown documents
+    (with the file name in the message, since compare takes many files).
+    """
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise BenchSchemaError(f"{path}: no such report file") from None
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BenchSchemaError(f"{path}: cannot read report: {exc}") from exc
+    try:
+        return migrate_report(data)
+    except BenchSchemaError as exc:
+        raise BenchSchemaError(f"{path}: {exc}") from exc
+
+
+def flatten_timings(report: Mapping) -> dict[str, float]:
+    """Flatten a schema-2 report into ``"scenario/unit" -> seconds``.
+
+    >>> report = {"suites": {"s": {"scenarios": {"cold": {
+    ...     "per_unit_seconds": {"sweep:fig1": 0.4}}}}}}
+    >>> flatten_timings(report)
+    {'cold/sweep:fig1': 0.4}
+    """
+    flat: dict[str, float] = {}
+    for suite in report.get("suites", {}).values():
+        for scenario_name, scenario in suite.get("scenarios", {}).items():
+            for label, seconds in scenario.get("per_unit_seconds", {}).items():
+                flat[f"{scenario_name}/{label}"] = float(seconds)
+    return flat
+
+
+def _flatten_checked(report: Mapping, prefer) -> tuple[dict[str, float], set[str]]:
+    """Like :func:`flatten_timings`, but collision-aware.
+
+    Two suites in one report may label the same unit under the same
+    scenario (e.g. ``table2`` and ``solver-micro`` both time
+    ``cold_baseline/sweep:fig1``).  Silently keeping whichever iterated
+    last could mask a regression, so colliding keys keep the ``prefer``
+    extreme — ``max`` for the current report (gate on the slowest
+    instance), ``min`` for priors (consistent with "fastest prior") —
+    and are reported back for a warning.
+    """
+    flat: dict[str, float] = {}
+    collided: set[str] = set()
+    for suite in report.get("suites", {}).values():
+        for scenario_name, scenario in suite.get("scenarios", {}).items():
+            for label, seconds in scenario.get("per_unit_seconds", {}).items():
+                key = f"{scenario_name}/{label}"
+                if key in flat:
+                    collided.add(key)
+                    flat[key] = prefer(flat[key], float(seconds))
+                else:
+                    flat[key] = float(seconds)
+    return flat, collided
+
+
+def _unit_workloads(report: Mapping) -> dict[str, tuple]:
+    """Per timing key, the workload fingerprint that makes it comparable.
+
+    Two reports may share a ``scenario/unit`` key yet have measured
+    different work — a narrowed ``--max-k`` changes how many solves a
+    ``sweep:`` unit contains, a different ``--time-limit`` changes how
+    long a limited solve may run, and a forced ``--jobs`` changes the
+    worker count behind every unit.  Comparing such keys is still useful
+    (the CI micro gate does it against full-grid history) but must be
+    *flagged*, so the fingerprint rides along with each key.
+    """
+    time_limit = (report.get("config") or {}).get("time_limit")
+    workloads: dict[str, tuple] = {}
+    for suite in report.get("suites", {}).values():
+        max_k = (suite.get("config") or {}).get("max_k")
+        for scenario_name, scenario in suite.get("scenarios", {}).items():
+            jobs = scenario.get("jobs", 1)
+            for label in scenario.get("per_unit_seconds", {}):
+                workloads[f"{scenario_name}/{label}"] = (max_k, time_limit,
+                                                         jobs)
+    return workloads
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One timing key's verdict in a report comparison."""
+
+    unit: str                 # "scenario/label"
+    current_seconds: float
+    prior_seconds: float | None
+    prior_source: str | None  # file the best prior timing came from
+    ratio: float | None       # current / prior
+    status: str               # one of ROW_STATUSES
+
+    def as_dict(self) -> dict:
+        return {
+            "unit": self.unit,
+            "current_s": self.current_seconds,
+            "prior_s": self.prior_seconds,
+            "prior_source": self.prior_source,
+            "ratio": self.ratio,
+            "status": self.status,
+        }
+
+
+@dataclass
+class BenchComparison:
+    """Outcome of diffing one fresh report against prior reports."""
+
+    threshold: float
+    min_seconds: float
+    rows: list[ComparisonRow] = field(default_factory=list)
+    parity_ok: bool = True
+    #: Non-fatal caveats, e.g. keys compared across different max_k.
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[ComparisonRow]:
+        return [row for row in self.rows if row.status == "regressed"]
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing regressed and parity held — the CI gate."""
+        return not self.regressions and self.parity_ok
+
+
+def compare_reports(current: Mapping | dict[str, float],
+                    priors: Sequence[tuple[str, Mapping | dict[str, float]]],
+                    threshold: float = DEFAULT_THRESHOLD,
+                    min_seconds: float = DEFAULT_MIN_SECONDS,
+                    ) -> BenchComparison:
+    """Compare a fresh report against one or more prior reports.
+
+    ``current`` and each prior may be a full schema-2 report or an
+    already-flat ``{"scenario/unit": seconds}`` mapping; ``priors`` pairs
+    each mapping with its source name (normally the file path).  Every
+    timing key of ``current`` is judged against the *fastest* prior that
+    recorded it:
+
+    * ``regressed`` — slower than ``threshold`` × prior (prior above the
+      ``min_seconds`` noise floor);
+    * ``noise`` — would have regressed, but the prior is under the floor;
+    * ``faster`` — at least the same margin *quicker* than the prior;
+    * ``ok`` — within the threshold band;
+    * ``new`` — no prior recorded this key.
+
+    A ``parity_ok: false`` in the current report fails the comparison even
+    with no timing regressions — a fast wrong answer is not a win.
+
+    Keys whose recorded workload differs between the runs (a narrowed
+    ``max_k`` or another ``time_limit``) are still compared — the CI micro
+    gate deliberately diffs against full-grid history — but each mismatch
+    is listed in :attr:`BenchComparison.warnings` so a phantom regression
+    (or a masked one) is attributable to the config change.
+    """
+    collisions: list[str] = []
+    if _is_flat(current):
+        current_flat = {key: float(value) for key, value in dict(current).items()}
+        parity_ok = True
+        current_workloads: dict[str, tuple] = {}
+    else:
+        current_flat, collided = _flatten_checked(current, max)
+        collisions.extend(f"current report: {key}" for key in sorted(collided))
+        parity_ok = bool(current.get("parity_ok", True))
+        current_workloads = _unit_workloads(current)
+
+    best_prior: dict[str, tuple[float, str]] = {}
+    prior_workloads: dict[str, dict[str, tuple]] = {}
+    for source, prior in priors:
+        if _is_flat(prior):
+            flat = {key: float(value) for key, value in dict(prior).items()}
+        else:
+            flat, collided = _flatten_checked(prior, min)
+            collisions.extend(f"{source}: {key}" for key in sorted(collided))
+            prior_workloads[str(source)] = _unit_workloads(prior)
+        for key, seconds in flat.items():
+            if key not in best_prior or seconds < best_prior[key][0]:
+                best_prior[key] = (seconds, str(source))
+
+    comparison = BenchComparison(threshold=threshold, min_seconds=min_seconds,
+                                 parity_ok=parity_ok)
+    for collision in collisions:
+        comparison.warnings.append(
+            f"timing key recorded by more than one suite, kept the "
+            f"gating extreme — {collision}")
+    mismatched_workloads: dict[tuple, list[str]] = {}
+    for key in sorted(current_flat):
+        seconds = float(current_flat[key])
+        if key not in best_prior:
+            comparison.rows.append(ComparisonRow(
+                unit=key, current_seconds=seconds, prior_seconds=None,
+                prior_source=None, ratio=None, status="new"))
+            continue
+        prior_seconds, source = best_prior[key]
+        ours = current_workloads.get(key)
+        theirs = prior_workloads.get(source, {}).get(key)
+        if ours is not None and theirs is not None and ours != theirs:
+            mismatched_workloads.setdefault(
+                (source, ours, theirs), []).append(key)
+        ratio = (seconds / prior_seconds) if prior_seconds > 0 else float("inf")
+        if ratio > threshold:
+            status = "regressed" if prior_seconds >= min_seconds else "noise"
+        elif ratio <= 1.0 / threshold:
+            status = "faster"
+        else:
+            status = "ok"
+        comparison.rows.append(ComparisonRow(
+            unit=key, current_seconds=seconds, prior_seconds=prior_seconds,
+            prior_source=source, ratio=round(ratio, 3), status=status))
+    for (source, ours, theirs), keys in sorted(mismatched_workloads.items(),
+                                               key=lambda item: item[1]):
+        comparison.warnings.append(
+            f"{len(keys)} key(s) compared across different workloads vs "
+            f"{source} (current max_k={ours[0]}, time_limit={ours[1]}, "
+            f"jobs={ours[2]}; prior max_k={theirs[0]}, "
+            f"time_limit={theirs[1]}, jobs={theirs[2]}): "
+            f"{', '.join(keys[:4])}{', ...' if len(keys) > 4 else ''}")
+    return comparison
+
+
+def _is_flat(mapping: Mapping) -> bool:
+    return "suites" not in mapping and "scenarios" not in mapping
+
+
+# ----------------------------------------------------------------------
+# rendering
+# ----------------------------------------------------------------------
+def render_comparison(comparison: BenchComparison, verbose: bool = False) -> str:
+    """The per-suite regression table ``repro bench`` prints.
+
+    Shows every regression plus (with ``verbose``) the full row set;
+    without ``verbose`` the ok/faster/new rows are summarised in one
+    trailing line so a clean run stays short.
+    """
+    from ..reporting.tables import format_table
+
+    rows = comparison.rows if verbose else comparison.regressions
+    rendered: list[str] = []
+    if rows:
+        rendered.append(format_table(
+            [{
+                "unit": row.unit,
+                "prior_s": ("-" if row.prior_seconds is None
+                            else f"{row.prior_seconds:.3f}"),
+                "current_s": f"{row.current_seconds:.3f}",
+                "ratio": "-" if row.ratio is None else f"{row.ratio:.2f}x",
+                "verdict": row.status.upper() if row.status == "regressed"
+                           else row.status,
+            } for row in rows],
+            ["unit", "prior_s", "current_s", "ratio", "verdict"],
+            title=f"Benchmark regression gate (threshold "
+                  f"{comparison.threshold:g}x, noise floor "
+                  f"{comparison.min_seconds:g}s)"))
+    counts = {status: sum(1 for row in comparison.rows if row.status == status)
+              for status in ROW_STATUSES}
+    summary = ", ".join(f"{count} {status}" for status, count in counts.items()
+                        if count)
+    rendered.append(f"compared {len(comparison.rows)} timings: "
+                    f"{summary or 'nothing to compare'}")
+    for warning in comparison.warnings:
+        rendered.append(f"warning: {warning}")
+    if not comparison.parity_ok:
+        rendered.append("PARITY FAILURE: the current run changed a proven "
+                        "objective — timings are irrelevant until that is fixed")
+    elif comparison.regressions:
+        rendered.append(f"{len(comparison.regressions)} timing(s) regressed "
+                        f"past {comparison.threshold:g}x")
+    else:
+        rendered.append("no regressions")
+    return "\n".join(rendered)
+
+
+def render_history(reports: Sequence[tuple[str, Mapping]]) -> str:
+    """One-line-per-report trajectory table for ``repro bench history``.
+
+    Each entry pairs a source name with a (migrated) schema-2 report;
+    rows surface the scenario wall clocks and headline speed-ups so the
+    perf trajectory reads top-to-bottom.
+    """
+    from ..reporting.tables import format_table
+
+    rows = []
+    for source, report in reports:
+        for suite_name, suite in sorted(report.get("suites", {}).items()):
+            walls = {name: scenario.get("wall_seconds")
+                     for name, scenario in suite.get("scenarios", {}).items()}
+            speedups = {name: ratio
+                        for name, ratio in (suite.get("speedups") or {}).items()
+                        if ratio is not None and
+                        name != suite.get("config", {}).get("baseline_scenario")}
+            rows.append({
+                "report": source,
+                "created": (report.get("created_at") or "-")[:19],
+                "suite": suite_name,
+                "python": report.get("environment", {}).get("python", "?"),
+                "parity": "ok" if suite.get("parity_ok") else "FAIL",
+                "walls_s": " ".join(f"{name}={seconds:g}"
+                                    for name, seconds in walls.items()),
+                "speedups": " ".join(f"{name}={ratio:g}x"
+                                     for name, ratio in speedups.items()) or "-",
+            })
+    return format_table(
+        rows, ["report", "created", "suite", "python", "parity",
+               "walls_s", "speedups"],
+        title="Benchmark history")

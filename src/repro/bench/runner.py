@@ -1,0 +1,415 @@
+"""Execute benchmark suites through the :mod:`repro.api` façade.
+
+:func:`run_suite` times one :class:`~repro.bench.suites.BenchSuite`'s job
+grid under each of its scenarios and returns the per-suite report block;
+:func:`run_suites` runs several suites and wraps them into one schema-2
+report (validated before it is returned, so a malformed report can never
+be written).
+
+Three guarantees the runner enforces on every run:
+
+* **Same code path as production** — every unit is a
+  :class:`repro.api.SweepJob` / :class:`~repro.api.CompareJob` /
+  :class:`~repro.api.FuzzJob` executed by a :class:`repro.api.Session`;
+  nothing is timed that a user could not reach.
+* **Objective parity** — acceleration layers are exact, so every proven
+  objective must be identical across a suite's scenarios; any mismatch is
+  recorded and flips ``parity_ok`` to ``False``.
+* **Per-layer attribution** — the per-solve
+  :class:`repro.ilp.SolveStats` records (presolve shrinkage, portfolio
+  winners) are aggregated per scenario, so a speed-up in the report can be
+  traced to the layer that produced it.
+"""
+
+from __future__ import annotations
+
+import re
+import tempfile
+import time
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+from .schema import (
+    BENCH_SCHEMA,
+    environment_fingerprint,
+    utc_timestamp,
+    validate_report,
+)
+from .suites import CACHE_NONE, BenchSuite, ScenarioSpec, get_suite
+
+#: Progress callback signature: one flat event dict per call.
+ProgressCallback = Callable[[dict], None]
+
+_PORTFOLIO_BACKEND = re.compile(r"portfolio\[([^\]]+)\]")
+
+
+class BenchError(ValueError):
+    """Raised when a benchmark suite cannot run or a unit job fails."""
+
+
+def _emit(progress: ProgressCallback | None, event: dict) -> None:
+    if progress is not None:
+        progress(event)
+
+
+# ----------------------------------------------------------------------
+# unit jobs and parity fingerprints
+# ----------------------------------------------------------------------
+def _unit_jobs(suite: BenchSuite, circuits: Sequence[str], max_k: int | None,
+               seed: int | None) -> Iterator[tuple[str, object]]:
+    """Yield ``(label, job_spec)`` for every unit of the suite's grid."""
+    from ..api import CompareJob, FuzzJob, SweepJob
+
+    for kind in suite.job_kinds:
+        if kind == "sweep":
+            for circuit in circuits:
+                yield f"sweep:{circuit}", SweepJob(circuit=circuit, max_k=max_k)
+        elif kind == "compare":
+            for circuit in circuits:
+                yield f"compare:{circuit}", CompareJob(circuit=circuit)
+        elif kind == "fuzz":
+            fuzz_seed = seed if seed is not None else suite.fuzz_seed
+            label = f"fuzz:c{suite.fuzz_count}:s{fuzz_seed}"
+            yield label, FuzzJob(count=suite.fuzz_count, seed=fuzz_seed,
+                                 ops=suite.fuzz_ops)
+        else:  # pragma: no cover - BenchSuite.__post_init__ rejects these
+            raise BenchError(f"suite {suite.name!r}: unknown job kind {kind!r}")
+
+
+def _fingerprint(label: str, envelope) -> dict[str, tuple[float, bool]]:
+    """Parity fingerprint of one envelope: ``key -> (objective, proven)``.
+
+    ``proven`` marks entries whose value is configuration-independent — a
+    proven optimum or a deterministic heuristic baseline.  Entries where a
+    solver stopped on its time limit carry whatever incumbent it reached;
+    those may legitimately differ between scenarios (the accelerated path
+    often finds a *better* one) and are excluded from the parity assertion
+    but still recorded for the human reading the JSON.
+    """
+    payload = envelope.payload
+    entries: dict[str, tuple[float, bool]] = {}
+    if label.startswith("sweep:"):
+        entries[f"{label}:reference"] = (payload["reference_area"],
+                                         bool(payload["reference_optimal"]))
+        for row in payload["rows"]:
+            entries[f"{label}:k={row['k']}"] = (row["area"], bool(row["optimal"]))
+        return entries
+    if label.startswith("compare:"):
+        optimal = payload["optimal"]
+        for method, row in zip(["reference"] + list(payload["overheads"]),
+                               payload["table3"]):
+            if method == "reference":
+                proven = bool(payload["reference_optimal"])
+            elif method == "ADVBIST":
+                proven = bool(optimal.get(method, False))
+            else:
+                # The heuristic baselines are deterministic (their designs
+                # carry optimal=False, but the *area* is config-independent).
+                proven = True
+            entries[f"{label}:{method}"] = (row["Area"], proven)
+        return entries
+    return entries  # fuzz units carry no objective fingerprint
+
+
+def _verification_failures(label: str, envelope, scenario_name: str,
+                           ) -> list[dict]:
+    """BIST rule-check failures in a unit's payload (always parity breaks).
+
+    Every design a suite touches must pass :func:`repro.datapath.verify_bist_plan`
+    regardless of which scenario produced it — a worker returning the right
+    area but a broken assignment would otherwise slip past the objective
+    fingerprint.
+    """
+    payload = envelope.payload
+    failures: list[dict] = []
+    if label.startswith("sweep:"):
+        for row in payload["rows"]:
+            if not row.get("verified", True):
+                failures.append({
+                    "entry": f"{label}:k={row['k']}", "scenario": scenario_name,
+                    "detail": "design failed BIST verification"})
+    elif label.startswith("compare:"):
+        for method, ok in payload.get("verified", {}).items():
+            if not ok:
+                failures.append({
+                    "entry": f"{label}:{method}", "scenario": scenario_name,
+                    "detail": "design failed BIST verification"})
+    return failures
+
+
+def _empty_attribution() -> dict:
+    return {
+        "presolved_solves": 0,
+        "presolve_vars_removed": 0,
+        "presolve_rows_removed": 0,
+        "presolve_seconds": 0.0,
+        "portfolio_wins": {},
+    }
+
+
+def _attribute(attribution: dict, reports: Iterable[Mapping]) -> None:
+    """Fold one envelope's per-task reports into the scenario attribution."""
+    for row in reports:
+        if row.get("cached"):
+            # A cache hit replays the original solve's stored stats —
+            # counting them would claim presolve/portfolio work the warm
+            # path never did.
+            continue
+        if row.get("presolve_vars_removed") is not None:
+            attribution["presolved_solves"] += 1
+            attribution["presolve_vars_removed"] += row["presolve_vars_removed"]
+            attribution["presolve_rows_removed"] += row["presolve_rows_removed"]
+            attribution["presolve_seconds"] = round(
+                attribution["presolve_seconds"] + row.get("presolve_s", 0.0), 6)
+        match = _PORTFOLIO_BACKEND.fullmatch(str(row.get("backend", "")))
+        if match:
+            wins = attribution["portfolio_wins"]
+            wins[match.group(1)] = wins.get(match.group(1), 0) + 1
+
+
+# ----------------------------------------------------------------------
+# scenario execution
+# ----------------------------------------------------------------------
+def _run_scenario(suite: BenchSuite, scenario: ScenarioSpec,
+                  circuits: Sequence[str], max_k: int | None,
+                  time_limit: float, jobs: int | None, seed: int | None,
+                  cache_root: Path, cache_dirs: dict[str, str],
+                  progress: ProgressCallback | None) -> dict:
+    """Time the suite's full unit grid under one scenario configuration."""
+    from ..api import Session
+
+    if scenario.cache == CACHE_NONE:
+        cache: bool = False
+        cache_dir = None
+    else:
+        reused = scenario.reuses
+        if reused is not None:
+            if reused not in cache_dirs:
+                raise BenchError(
+                    f"suite {suite.name!r}: scenario {scenario.name!r} reuses "
+                    f"the cache of {reused!r}, which has not run (was it "
+                    f"filtered out?)")
+            cache_dir = cache_dirs[reused]
+        else:
+            cache_dir = str(cache_root / scenario.name)
+        cache_dirs[scenario.name] = cache_dir
+        cache = True
+
+    effective_jobs = jobs if jobs is not None else scenario.jobs
+    per_unit: dict[str, float] = {}
+    fingerprint: dict[str, tuple[float, bool]] = {}
+    throughput: dict | None = None
+    parity_failures: list[dict] = []
+    attribution = _empty_attribution()
+    cached_solves = 0
+    total_solves = 0
+
+    started = time.perf_counter()
+    with Session(backend=scenario.backend, time_limit=time_limit,
+                 jobs=effective_jobs, cache=cache, cache_dir=cache_dir,
+                 presolve=scenario.presolve,
+                 warm_start=scenario.warm_start) as session:
+        for label, job in _unit_jobs(suite, circuits, max_k, seed):
+            _emit(progress, {"event": "unit_started", "suite": suite.name,
+                             "scenario": scenario.name, "unit": label})
+            unit_started = time.perf_counter()
+            envelope = session.run(job)
+            seconds = round(time.perf_counter() - unit_started, 3)
+            per_unit[label] = seconds
+            if not envelope.ok:
+                raise BenchError(
+                    f"{suite.name}/{scenario.name}/{label} failed: "
+                    f"{envelope.error}")
+            fingerprint.update(_fingerprint(label, envelope))
+            parity_failures.extend(
+                _verification_failures(label, envelope, scenario.name))
+            _attribute(attribution, envelope.reports)
+            cached_solves += sum(1 for r in envelope.reports if r.get("cached"))
+            total_solves += len(envelope.reports)
+            if label.startswith("fuzz:"):
+                cases = envelope.payload["cases"]
+                throughput = {
+                    "cases": cases,
+                    "circuits_per_second": (round(cases / seconds, 3)
+                                            if seconds else None),
+                }
+                if not envelope.payload["ok"]:
+                    parity_failures.append({
+                        "entry": label,
+                        "scenario": scenario.name,
+                        "detail": f"{envelope.payload['num_failures']} of "
+                                  f"{cases} circuits failed backend parity",
+                    })
+            _emit(progress, {"event": "unit_finished", "suite": suite.name,
+                             "scenario": scenario.name, "unit": label,
+                             "seconds": seconds})
+
+    return {
+        **scenario.as_dict(),
+        "jobs": effective_jobs,
+        "wall_seconds": round(time.perf_counter() - started, 3),
+        "per_unit_seconds": per_unit,
+        "cached_solves": cached_solves,
+        "total_solves": total_solves,
+        "objectives": {key: area for key, (area, _) in fingerprint.items()},
+        "proven": {key: proven for key, (_, proven) in fingerprint.items()},
+        "attribution": attribution,
+        "throughput": throughput,
+        "unit_parity_failures": parity_failures,
+    }
+
+
+def _check_parity(scenarios: dict[str, dict], baseline_name: str,
+                  ) -> tuple[list[dict], list[str]]:
+    """Cross-scenario parity: proven objectives must match the baseline."""
+    mismatches: list[dict] = []
+    unproven = sorted({
+        key
+        for scenario in scenarios.values()
+        for key, proven in scenario["proven"].items() if not proven
+    })
+    baseline = scenarios[baseline_name]
+    for scenario in scenarios.values():
+        mismatches.extend(scenario.pop("unit_parity_failures"))
+        for key, objective in scenario["objectives"].items():
+            if not (scenario["proven"][key] and baseline["proven"].get(key)):
+                continue
+            if objective != baseline["objectives"][key]:
+                mismatches.append({
+                    "entry": key,
+                    "scenario": scenario["scenario"],
+                    "baseline": baseline["objectives"][key],
+                    "got": objective,
+                })
+    return mismatches, unproven
+
+
+# ----------------------------------------------------------------------
+# public entry points
+# ----------------------------------------------------------------------
+def _warmup(time_limit: float) -> None:
+    """One throwaway solve so the first timed scenario does not pay the
+    interpreter/scipy import and first-call costs."""
+    from ..api import Session, SynthesizeJob
+
+    with Session(time_limit=time_limit, cache=False) as session:
+        envelope = session.run(SynthesizeJob(circuit="fig1", k=1))
+    if not envelope.ok:  # pragma: no cover - fig1 always solves
+        raise BenchError(f"warmup solve failed: {envelope.error}")
+
+
+def run_suite(suite: str | BenchSuite, *, circuits: Sequence[str] | None = None,
+              max_k: int | None = None, time_limit: float = 120.0,
+              jobs: int | None = None, seed: int | None = None,
+              scenarios: Sequence[str] | None = None, warmup: bool = True,
+              progress: ProgressCallback | None = None) -> dict:
+    """Run one suite and return its per-suite report block.
+
+    Parameters override the suite's frozen defaults for this run only:
+    ``circuits`` / ``max_k`` narrow the grid (the CI smoke runs ``table2``
+    on one circuit), ``jobs`` forces a worker count on every scenario,
+    ``seed`` re-seeds fuzz units, and ``scenarios`` filters the scenario
+    list by name.  ``warmup=False`` skips the throwaway warm-up solve
+    (tests want that; real measurements do not).
+    """
+    if isinstance(suite, str):
+        try:
+            suite = get_suite(suite)
+        except KeyError as exc:
+            raise BenchError(str(exc.args[0])) from exc
+    effective_circuits = tuple(circuits) if circuits is not None else suite.circuits
+    effective_max_k = max_k if max_k is not None else suite.max_k
+    selected = suite.scenarios
+    if scenarios is not None:
+        # Intersect rather than reject: one --scenarios filter is shared by
+        # every suite of a run, and suites have different scenario sets.
+        selected = tuple(s for s in suite.scenarios if s.name in set(scenarios))
+        if not selected:
+            raise BenchError(
+                f"suite {suite.name!r}: none of the scenarios "
+                f"{sorted(scenarios)} exist; available: "
+                f"{list(suite.scenario_names())}")
+
+    if warmup:
+        _warmup(time_limit)
+
+    results: dict[str, dict] = {}
+    cache_dirs: dict[str, str] = {}
+    with tempfile.TemporaryDirectory(prefix=f"bench-{suite.name}-") as tmp:
+        for scenario in selected:
+            _emit(progress, {"event": "scenario_started", "suite": suite.name,
+                             "scenario": scenario.name})
+            results[scenario.name] = _run_scenario(
+                suite, scenario, effective_circuits, effective_max_k,
+                time_limit, jobs, seed, Path(tmp), cache_dirs, progress)
+            _emit(progress, {
+                "event": "scenario_finished", "suite": suite.name,
+                "scenario": scenario.name,
+                "wall_seconds": results[scenario.name]["wall_seconds"],
+            })
+
+    baseline_name = (suite.baseline_scenario
+                     if suite.baseline_scenario in results
+                     else next(iter(results)))
+    mismatches, unproven = _check_parity(results, baseline_name)
+    baseline_wall = results[baseline_name]["wall_seconds"]
+    speedups = {
+        name: (round(baseline_wall / scenario["wall_seconds"], 3)
+               if scenario["wall_seconds"] else None)
+        for name, scenario in results.items()
+    }
+    return {
+        "suite": suite.name,
+        "description": suite.description,
+        "config": {
+            "circuits": list(effective_circuits),
+            "max_k": effective_max_k,
+            "job_kinds": list(suite.job_kinds),
+            "baseline_scenario": baseline_name,
+        },
+        "parity_ok": not mismatches,
+        "parity_mismatches": mismatches,
+        "unproven_entries": unproven,
+        "speedups": speedups,
+        "scenarios": results,
+    }
+
+
+def run_suites(names: Sequence[str | BenchSuite], *,
+               circuits: Sequence[str] | None = None, max_k: int | None = None,
+               time_limit: float = 120.0, jobs: int | None = None,
+               seed: int | None = None, scenarios: Sequence[str] | None = None,
+               warmup: bool = True,
+               progress: ProgressCallback | None = None) -> dict:
+    """Run several suites and wrap them into one validated schema-2 report.
+
+    The report is the document ``repro bench run`` writes; it always
+    passes :func:`repro.bench.schema.validate_report` before it is
+    returned, so a malformed report cannot reach disk.
+    """
+    if not names:
+        raise BenchError("run_suites() needs at least one suite name")
+    suite_reports: dict[str, dict] = {}
+    for index, name in enumerate(names):
+        block = run_suite(
+            name, circuits=circuits, max_k=max_k, time_limit=time_limit,
+            jobs=jobs, seed=seed, scenarios=scenarios,
+            warmup=warmup and index == 0, progress=progress)
+        suite_reports[block["suite"]] = block
+    report = {
+        "schema": BENCH_SCHEMA,
+        "bench": "repro.bench",
+        "created_at": utc_timestamp(),
+        "environment": environment_fingerprint(),
+        "config": {
+            "circuits": list(circuits) if circuits is not None else None,
+            "max_k": max_k,
+            "time_limit": time_limit,
+            "jobs": jobs,
+            "seed": seed,
+            "warmup": warmup,
+        },
+        "parity_ok": all(block["parity_ok"] for block in suite_reports.values()),
+        "suites": suite_reports,
+    }
+    return dict(validate_report(report))

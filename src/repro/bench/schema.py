@@ -1,0 +1,324 @@
+"""The versioned benchmark-report schema, fingerprint and migration shim.
+
+Every ``repro bench run`` writes exactly one JSON document in the shape
+below (``BENCH_SCHEMA`` = 2).  The schema is the *contract of the perf
+trajectory*: reports are diffed across runs, machines and months, so the
+shape is validated on write (:func:`validate_report`) and old reports are
+upgraded on read (:func:`migrate_report`) instead of silently breaking.
+
+Schema 2 layout::
+
+    {
+      "schema": 2,
+      "bench": "repro.bench",
+      "created_at": "2026-07-26T12:00:00+00:00",
+      "environment": { python / platform / scipy / highs_available / ... },
+      "config":      { circuits / max_k / time_limit / jobs / seed / warmup },
+      "parity_ok":   true,                  # AND of every suite
+      "suites": {
+        "<suite>": {
+          "suite": ..., "description": ...,
+          "config":   { the resolved circuits / max_k / job_kinds },
+          "parity_ok": true, "parity_mismatches": [...], "unproven_entries": [...],
+          "speedups": { "<scenario>": wall-clock ratio vs the baseline scenario },
+          "scenarios": {
+            "<scenario>": {
+              "scenario" / "backend" / "presolve" / "warm_start" / "jobs" / "cache",
+              "wall_seconds": ..., "per_unit_seconds": {"sweep:tseng": ...},
+              "cached_solves": ..., "total_solves": ...,
+              "objectives": { parity fingerprint }, "proven": { ... },
+              "attribution": { presolved_solves / presolve_rows_removed /
+                               presolve_vars_removed / presolve_seconds /
+                               portfolio_wins },
+              "throughput": { fuzz-only: cases / circuits_per_second }
+            } } } }
+    }
+
+Schema 1 is the format the retired ``benchmarks/bench_regress.py`` script
+wrote (one flat scenario grid mixing ``sweep:*`` and ``compare:*`` units);
+:func:`migrate_report` splits it into ``table2`` + ``table3`` suites with
+identical ``scenario`` / unit labels, so the checked-in
+``BENCH_regress.json`` keeps gating CI without being regenerated.
+
+    >>> from repro.bench.schema import migrate_report, validate_report
+    >>> legacy = {"schema": 1, "bench": "bench_regress", "python": "3.11",
+    ...           "machine": "x86_64", "parity_ok": True,
+    ...           "parity_mismatches": [], "unproven_entries": [],
+    ...           "config": {"circuits": ["fig1"], "max_k": 3, "time_limit": 60.0},
+    ...           "scenarios": {"cold_baseline": {
+    ...               "scenario": "cold_baseline", "backend": "auto",
+    ...               "presolve": False, "warm_start": False,
+    ...               "wall_seconds": 0.5,
+    ...               "per_job_seconds": {"sweep:fig1": 0.4, "compare:fig1": 0.1},
+    ...               "cached_solves": 0, "total_solves": 5,
+    ...               "objectives": {"sweep:fig1:k=1": 1000.0},
+    ...               "proven": {"sweep:fig1:k=1": True}}}}
+    >>> report = migrate_report(legacy)
+    >>> validate_report(report)["schema"]
+    2
+    >>> sorted(report["suites"])
+    ['table2', 'table3']
+"""
+
+from __future__ import annotations
+
+import platform
+import sys
+from datetime import datetime, timezone
+from typing import Any, Mapping
+
+#: Version stamped on every report this package writes.
+BENCH_SCHEMA = 2
+
+#: The legacy version written by the retired bench_regress.py script.
+LEGACY_BENCH_SCHEMA = 1
+
+#: ``bench`` discriminators accepted by :func:`migrate_report`.
+_LEGACY_BENCH_NAMES = ("bench_regress",)
+
+
+class BenchSchemaError(ValueError):
+    """Raised for a malformed, unknown-version or inconsistent report."""
+
+
+def environment_fingerprint() -> dict:
+    """The environment facts that make two timings (in)comparable.
+
+    Records interpreter, platform and solver-stack versions plus HiGHS
+    availability — a regression between two reports with different
+    fingerprints is a machine change before it is a code change.
+
+    >>> sorted(environment_fingerprint())[:4]
+    ['highs_available', 'implementation', 'machine', 'numpy']
+    """
+    try:
+        import scipy
+        scipy_version: str | None = scipy.__version__
+    except ImportError:  # pragma: no cover - scipy is a hard dep here
+        scipy_version = None
+    try:
+        from scipy.optimize import milp  # noqa: F401
+        highs = True
+    except ImportError:  # pragma: no cover
+        highs = False
+    try:
+        import numpy
+        numpy_version: str | None = numpy.__version__
+    except ImportError:  # pragma: no cover
+        numpy_version = None
+    from .. import __version__
+
+    return {
+        "python": platform.python_version(),
+        "implementation": sys.implementation.name,
+        "platform": platform.system(),
+        "machine": platform.machine(),
+        "scipy": scipy_version,
+        "numpy": numpy_version,
+        "highs_available": highs,
+        "repro_version": __version__,
+    }
+
+
+def utc_timestamp() -> str:
+    """The ISO-8601 UTC creation stamp written into reports."""
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+# ----------------------------------------------------------------------
+# validation
+# ----------------------------------------------------------------------
+def _require(condition: bool, path: str, message: str) -> None:
+    if not condition:
+        raise BenchSchemaError(f"{path}: {message}")
+
+
+def _require_mapping(value: Any, path: str) -> Mapping:
+    _require(isinstance(value, Mapping), path,
+             f"expected an object, got {type(value).__name__}")
+    return value
+
+
+def _require_number(value: Any, path: str) -> None:
+    _require(isinstance(value, (int, float)) and not isinstance(value, bool),
+             path, f"expected a number, got {value!r}")
+
+
+def validate_report(report: Mapping) -> Mapping:
+    """Check ``report`` against schema 2; returns it unchanged when valid.
+
+    Raises :class:`BenchSchemaError` naming the offending path.  Legacy
+    reports must go through :func:`migrate_report` first — a schema-1
+    document here is an error, not a silent pass.
+    """
+    report = _require_mapping(report, "report")
+    _require(report.get("schema") == BENCH_SCHEMA, "report.schema",
+             f"expected {BENCH_SCHEMA}, got {report.get('schema')!r} "
+             f"(run migrate_report() on legacy files)")
+    _require(report.get("bench") == "repro.bench", "report.bench",
+             f"expected 'repro.bench', got {report.get('bench')!r}")
+    environment = _require_mapping(report.get("environment"), "report.environment")
+    for key in ("python", "machine", "highs_available"):
+        _require(key in environment, f"report.environment.{key}", "missing")
+    _require_mapping(report.get("config"), "report.config")
+    _require(isinstance(report.get("parity_ok"), bool), "report.parity_ok",
+             f"expected a boolean, got {report.get('parity_ok')!r}")
+    suites = _require_mapping(report.get("suites"), "report.suites")
+    _require(len(suites) > 0, "report.suites", "report contains no suites")
+    for suite_name, suite in suites.items():
+        _validate_suite(suite, f"report.suites[{suite_name!r}]")
+    parity = all(suite["parity_ok"] for suite in suites.values())
+    _require(report["parity_ok"] == parity, "report.parity_ok",
+             "does not equal the AND of the per-suite parity_ok flags")
+    return report
+
+
+def _validate_suite(suite: Any, path: str) -> None:
+    suite = _require_mapping(suite, path)
+    for key in ("suite", "config", "parity_ok", "scenarios", "speedups"):
+        _require(key in suite, f"{path}.{key}", "missing")
+    _require(isinstance(suite["parity_ok"], bool), f"{path}.parity_ok",
+             f"expected a boolean, got {suite['parity_ok']!r}")
+    _require_mapping(suite["config"], f"{path}.config")
+    _require_mapping(suite["speedups"], f"{path}.speedups")
+    scenarios = _require_mapping(suite["scenarios"], f"{path}.scenarios")
+    _require(len(scenarios) > 0, f"{path}.scenarios", "suite has no scenarios")
+    for name, scenario in scenarios.items():
+        spath = f"{path}.scenarios[{name!r}]"
+        scenario = _require_mapping(scenario, spath)
+        for key in ("scenario", "backend", "wall_seconds", "per_unit_seconds"):
+            _require(key in scenario, f"{spath}.{key}", "missing")
+        _require_number(scenario["wall_seconds"], f"{spath}.wall_seconds")
+        units = _require_mapping(scenario["per_unit_seconds"],
+                                 f"{spath}.per_unit_seconds")
+        for label, seconds in units.items():
+            _require_number(seconds, f"{spath}.per_unit_seconds[{label!r}]")
+        for key in ("objectives", "proven", "attribution"):
+            if key in scenario and scenario[key] is not None:
+                _require_mapping(scenario[key], f"{spath}.{key}")
+
+
+# ----------------------------------------------------------------------
+# migration
+# ----------------------------------------------------------------------
+#: Legacy unit-label prefix → the suite it migrates into.
+_LEGACY_SUITE_OF_PREFIX = {"sweep": "table2", "compare": "table3"}
+
+
+def migrate_report(report: Mapping) -> dict:
+    """Upgrade any known report version to schema 2 (and validate it).
+
+    A schema-2 report passes through (validated).  A schema-1
+    ``bench_regress`` report is split by unit-label prefix into ``table2``
+    (``sweep:*``) and ``table3`` (``compare:*``) suites whose scenario and
+    unit labels match what the live suites produce, so legacy timings keep
+    participating in ``repro bench compare``.
+    """
+    report = _require_mapping(report, "report")
+    version = report.get("schema")
+    if version == BENCH_SCHEMA:
+        return dict(validate_report(report))
+    if version != LEGACY_BENCH_SCHEMA:
+        raise BenchSchemaError(
+            f"report.schema: cannot migrate version {version!r}; "
+            f"known versions are {LEGACY_BENCH_SCHEMA} and {BENCH_SCHEMA}")
+    if report.get("bench") not in _LEGACY_BENCH_NAMES:
+        raise BenchSchemaError(
+            f"report.bench: unknown legacy bench {report.get('bench')!r}; "
+            f"expected one of {_LEGACY_BENCH_NAMES}")
+
+    legacy_config = dict(_require_mapping(report.get("config"), "report.config"))
+    scenarios = _require_mapping(report.get("scenarios"), "report.scenarios")
+    parity_ok = bool(report.get("parity_ok", False))
+
+    suites: dict[str, dict] = {}
+    for prefix, suite_name in _LEGACY_SUITE_OF_PREFIX.items():
+        migrated_scenarios: dict[str, dict] = {}
+        for name, scenario in scenarios.items():
+            scenario = _require_mapping(scenario, f"report.scenarios[{name!r}]")
+            units = {
+                label: seconds
+                for label, seconds in dict(scenario.get("per_job_seconds") or {}).items()
+                if label.partition(":")[0] == prefix
+            }
+            if not units:
+                continue
+            keep = lambda key: key.partition(":")[0] == prefix  # noqa: E731
+            migrated_scenarios[name] = {
+                "scenario": name,
+                "backend": scenario.get("backend", "auto"),
+                "presolve": bool(scenario.get("presolve", False)),
+                "warm_start": bool(scenario.get("warm_start", False)),
+                "jobs": 1,
+                "cache": "fresh",
+                # The legacy wall mixed both grids; the per-suite wall is
+                # the sum of this suite's units (close, and comparable).
+                "wall_seconds": round(sum(units.values()), 3),
+                "per_unit_seconds": units,
+                "cached_solves": scenario.get("cached_solves", 0),
+                "total_solves": scenario.get("total_solves", 0),
+                "objectives": {key: value
+                               for key, value in dict(scenario.get("objectives") or {}).items()
+                               if keep(key)},
+                "proven": {key: value
+                           for key, value in dict(scenario.get("proven") or {}).items()
+                           if keep(key)},
+                "attribution": None,
+            }
+        if not migrated_scenarios:
+            continue
+        baseline = ("cold_baseline" if "cold_baseline" in migrated_scenarios
+                    else next(iter(migrated_scenarios)))
+        baseline_wall = migrated_scenarios[baseline]["wall_seconds"]
+        speedups = {
+            name: (round(baseline_wall / scenario["wall_seconds"], 3)
+                   if scenario["wall_seconds"] else None)
+            for name, scenario in migrated_scenarios.items()
+        }
+        suites[suite_name] = {
+            "suite": suite_name,
+            "description": f"migrated from bench_regress schema 1 ({prefix} units)",
+            "config": {
+                "circuits": legacy_config.get("circuits"),
+                "max_k": legacy_config.get("max_k"),
+                "job_kinds": [prefix],
+                "baseline_scenario": baseline,
+            },
+            "parity_ok": parity_ok,
+            "parity_mismatches": list(report.get("parity_mismatches") or []),
+            "unproven_entries": list(report.get("unproven_entries") or []),
+            "speedups": speedups,
+            "scenarios": migrated_scenarios,
+        }
+    if not suites:
+        raise BenchSchemaError(
+            "report.scenarios: legacy report contains no sweep:/compare: units")
+
+    migrated = {
+        "schema": BENCH_SCHEMA,
+        "bench": "repro.bench",
+        "created_at": None,
+        "migrated_from": {"schema": LEGACY_BENCH_SCHEMA,
+                          "bench": report.get("bench")},
+        "environment": {
+            "python": report.get("python", "unknown"),
+            "implementation": "unknown",
+            "platform": "unknown",
+            "machine": report.get("machine", "unknown"),
+            "scipy": None,
+            "numpy": None,
+            "highs_available": True,
+            "repro_version": None,
+        },
+        "config": {
+            "circuits": legacy_config.get("circuits"),
+            "max_k": legacy_config.get("max_k"),
+            "time_limit": legacy_config.get("time_limit"),
+            "jobs": None,
+            "seed": None,
+            "warmup": True,
+        },
+        "parity_ok": parity_ok,
+        "suites": suites,
+    }
+    return dict(validate_report(migrated))

@@ -1,0 +1,269 @@
+"""The declarative benchmark suites: frozen specs, no execution logic.
+
+A :class:`BenchSuite` names *what* to measure — which circuits, which job
+kinds, which solver configurations (:class:`ScenarioSpec`) — and the
+:mod:`repro.bench.runner` decides *how*: every unit of work becomes a
+:mod:`repro.api.jobs` spec executed by a :class:`repro.api.Session`, so a
+benchmark run exercises exactly the code path every other front end uses.
+
+The built-in suites:
+
+=================  ====================================================
+``table2``         the paper's Table 2 k-sweeps over all seven circuits,
+                   plain vs accelerated vs portfolio vs warm-cache
+``table3``         the paper's Table 3 method comparisons, plain vs
+                   accelerated
+``sweep-scaling``  serial vs two-process sweep of tseng/fir6 (the
+                   process-pool speed-up, cache disabled)
+``solver-micro``   a fig1-only sweep + compare micro grid — seconds, not
+                   minutes; the CI regression gate
+``fuzz-throughput`` seeded random-DFG parity sweep, measured as
+                   circuits/second
+=================  ====================================================
+
+Suites are intentionally *specs*, not functions: they serialise into the
+report (``report["suites"][name]["config"]``), they can cross the wire as
+a :class:`repro.api.BenchJob`, and two runs of the same suite are
+comparable by construction.
+
+    >>> from repro.bench.suites import get_suite
+    >>> suite = get_suite("solver-micro")
+    >>> (suite.circuits, suite.job_kinds, suite.max_k)
+    (('fig1',), ('sweep', 'compare'), 3)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+#: The seven built-in circuits (fig1 plus the Table 2/3 evaluation set).
+PAPER_CIRCUITS = ("fig1", "tseng", "paulin", "fir6", "iir3", "dct4", "wavelet6")
+
+#: Job kinds a suite may fan out per circuit (plus the special "fuzz" kind).
+SUITE_JOB_KINDS = ("sweep", "compare", "fuzz")
+
+#: Cache policies a scenario may request.
+CACHE_NONE = "none"        # run without a design cache
+CACHE_FRESH = "fresh"      # empty per-scenario cache directory
+#: ``reuse:<scenario>`` reuses the cache another scenario populated.
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One solver configuration a suite times its job grid under.
+
+    Attributes
+    ----------
+    name:
+        Stable scenario label; timings are diffed across runs by
+        ``scenario/unit`` key, so renaming a scenario orphans its history.
+    presolve / warm_start / backend / jobs:
+        The :class:`repro.api.Session` knobs of this configuration.
+    cache:
+        ``"none"`` (no design cache), ``"fresh"`` (empty per-scenario
+        directory) or ``"reuse:<scenario>"`` (the warm-cache pattern:
+        re-run on the cache a previous scenario populated).
+
+    >>> ScenarioSpec("cold_accel", presolve=True, warm_start=True).cache
+    'fresh'
+    """
+
+    name: str
+    presolve: bool = False
+    warm_start: bool = False
+    backend: str = "auto"
+    jobs: int = 1
+    cache: str = CACHE_FRESH
+
+    def __post_init__(self):
+        if self.jobs < 1:
+            raise ValueError(f"scenario {self.name!r}: jobs must be >= 1")
+        if self.cache not in (CACHE_NONE, CACHE_FRESH) and \
+                not self.cache.startswith("reuse:"):
+            raise ValueError(
+                f"scenario {self.name!r}: cache must be 'none', 'fresh' or "
+                f"'reuse:<scenario>', got {self.cache!r}")
+
+    @property
+    def reuses(self) -> str | None:
+        """Name of the scenario whose cache this one reuses, if any."""
+        return self.cache.partition(":")[2] if self.cache.startswith("reuse:") else None
+
+    def as_dict(self) -> dict:
+        return {
+            "scenario": self.name,
+            "backend": self.backend,
+            "presolve": self.presolve,
+            "warm_start": self.warm_start,
+            "jobs": self.jobs,
+            "cache": self.cache,
+        }
+
+
+@dataclass(frozen=True)
+class BenchSuite:
+    """A frozen benchmark definition: circuits × job kinds × scenarios.
+
+    The runner times every *unit* (one job spec, labelled
+    ``"sweep:tseng"`` / ``"compare:fir6"`` / ``"fuzz:c12"``) under every
+    scenario, asserts objective parity across scenarios, and reports the
+    per-scenario wall-clock speed-ups relative to ``baseline_scenario``.
+
+    >>> get_suite("sweep-scaling").scenario_names()
+    ('serial', 'jobs2')
+    """
+
+    name: str
+    description: str
+    job_kinds: tuple[str, ...]
+    scenarios: tuple[ScenarioSpec, ...]
+    circuits: tuple[str, ...] = ()
+    max_k: int | None = None
+    baseline_scenario: str = ""
+    #: fuzz-kind knobs (ignored by sweep/compare units)
+    fuzz_count: int = 0
+    fuzz_seed: int = 0
+    fuzz_ops: int = 5
+
+    def __post_init__(self):
+        if not self.job_kinds:
+            raise ValueError(f"suite {self.name!r} has no job kinds")
+        for kind in self.job_kinds:
+            if kind not in SUITE_JOB_KINDS:
+                raise ValueError(
+                    f"suite {self.name!r}: unknown job kind {kind!r}; "
+                    f"expected a subset of {SUITE_JOB_KINDS}")
+        if not self.scenarios:
+            raise ValueError(f"suite {self.name!r} has no scenarios")
+        names = [scenario.name for scenario in self.scenarios]
+        if len(set(names)) != len(names):
+            raise ValueError(f"suite {self.name!r} has duplicate scenario names")
+        if not self.baseline_scenario:
+            object.__setattr__(self, "baseline_scenario", names[0])
+
+    def scenario_names(self) -> tuple[str, ...]:
+        return tuple(scenario.name for scenario in self.scenarios)
+
+    def unit_labels(self, circuits: tuple[str, ...] | None = None,
+                    ) -> Iterator[str]:
+        """The stable per-unit labels of this suite's job grid."""
+        circuits = tuple(circuits) if circuits is not None else self.circuits
+        for kind in self.job_kinds:
+            if kind == "fuzz":
+                yield f"fuzz:c{self.fuzz_count}:s{self.fuzz_seed}"
+            else:
+                for circuit in circuits:
+                    yield f"{kind}:{circuit}"
+
+    def as_dict(self) -> dict:
+        return {
+            "suite": self.name,
+            "description": self.description,
+            "job_kinds": list(self.job_kinds),
+            "circuits": list(self.circuits),
+            "max_k": self.max_k,
+            "baseline_scenario": self.baseline_scenario,
+            "scenarios": [scenario.as_dict() for scenario in self.scenarios],
+        }
+
+
+# ----------------------------------------------------------------------
+# the built-in suites
+# ----------------------------------------------------------------------
+#: The four acceleration scenarios of the historical bench_regress grid.
+_ACCEL_SCENARIOS = (
+    ScenarioSpec("cold_baseline", presolve=False, warm_start=False),
+    ScenarioSpec("cold_accel", presolve=True, warm_start=True),
+    ScenarioSpec("cold_portfolio", presolve=True, warm_start=True,
+                 backend="portfolio"),
+    ScenarioSpec("warm_cache", presolve=True, warm_start=True,
+                 cache="reuse:cold_accel"),
+)
+
+SUITES: dict[str, BenchSuite] = {
+    suite.name: suite
+    for suite in (
+        BenchSuite(
+            name="table2",
+            description="Table 2 ADVBIST k-sweeps, plain vs accelerated "
+                        "vs portfolio vs warm-cache",
+            job_kinds=("sweep",),
+            circuits=PAPER_CIRCUITS,
+            scenarios=_ACCEL_SCENARIOS,
+        ),
+        BenchSuite(
+            name="table3",
+            description="Table 3 method comparisons (ADVBIST vs the "
+                        "heuristic baselines), plain vs accelerated",
+            job_kinds=("compare",),
+            circuits=PAPER_CIRCUITS,
+            scenarios=(
+                ScenarioSpec("cold_baseline", presolve=False, warm_start=False),
+                ScenarioSpec("cold_accel", presolve=True, warm_start=True),
+            ),
+        ),
+        BenchSuite(
+            name="sweep-scaling",
+            description="serial vs two-process sweep wall time (the "
+                        "process-pool speed-up; cache disabled so both "
+                        "paths do identical work)",
+            job_kinds=("sweep",),
+            circuits=("tseng", "fir6"),
+            scenarios=(
+                ScenarioSpec("serial", jobs=1, cache=CACHE_NONE),
+                ScenarioSpec("jobs2", jobs=2, cache=CACHE_NONE),
+            ),
+        ),
+        BenchSuite(
+            name="solver-micro",
+            description="fig1-only sweep + compare micro grid — the fast "
+                        "CI regression gate",
+            job_kinds=("sweep", "compare"),
+            circuits=("fig1",),
+            max_k=3,
+            scenarios=(
+                ScenarioSpec("cold_baseline", presolve=False, warm_start=False),
+                ScenarioSpec("cold_accel", presolve=True, warm_start=True),
+                ScenarioSpec("warm_cache", presolve=True, warm_start=True,
+                             cache="reuse:cold_accel"),
+            ),
+        ),
+        BenchSuite(
+            name="fuzz-throughput",
+            description="seeded random-DFG backend-parity sweep measured "
+                        "as circuits per second",
+            job_kinds=("fuzz",),
+            scenarios=(ScenarioSpec("throughput", cache=CACHE_NONE),),
+            fuzz_count=12,
+            fuzz_seed=0,
+            fuzz_ops=5,
+        ),
+    )
+}
+
+
+def list_suites() -> list[str]:
+    """The registered suite names, sorted.
+
+    >>> list_suites()
+    ['fuzz-throughput', 'solver-micro', 'sweep-scaling', 'table2', 'table3']
+    """
+    return sorted(SUITES)
+
+
+def get_suite(name: str) -> BenchSuite:
+    """Look up a built-in suite by name.
+
+    >>> get_suite("table3").job_kinds
+    ('compare',)
+    >>> get_suite("nope")
+    Traceback (most recent call last):
+        ...
+    KeyError: "unknown benchmark suite 'nope'; expected one of ['fuzz-throughput', 'solver-micro', 'sweep-scaling', 'table2', 'table3']"
+    """
+    try:
+        return SUITES[name]
+    except KeyError:
+        raise KeyError(f"unknown benchmark suite {name!r}; "
+                       f"expected one of {list_suites()}") from None

@@ -14,6 +14,8 @@ writing any Python::
     python -m repro baseline ralloc iir3         # run a single heuristic baseline
     python -m repro synth mycircuit.json         # full pipeline on a user DFG file
     python -m repro fuzz --count 25 --seed 0     # random-DFG backend cross-check
+    python -m repro bench run --suite table2     # timed, parity-guarded grid
+    python -m repro bench compare NEW.json OLD.json   # regression gate
     python -m repro cache info                   # design-cache statistics
     python -m repro serve                        # JSON-lines batch daemon
 
@@ -42,13 +44,22 @@ The solver knobs shared by the ILP-backed commands:
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import Sequence
 
+from ._flags import (
+    int_at_least,
+    nonnegative_float,
+    positive_float,
+    resource_limits,
+    speedup_threshold,
+)
 from .api import (
     BASELINE_METHODS,
     BaselineJob,
+    BenchJob,
     CompareJob,
     FuzzJob,
     ResultEnvelope,
@@ -57,6 +68,7 @@ from .api import (
     SynthesizeJob,
     serve,
 )
+from .bench.compare import DEFAULT_MIN_SECONDS, DEFAULT_THRESHOLD
 from .circuits import get_spec, list_circuits
 from .ilp.backends import available_backend_names, iter_backend_rows
 from .reporting import (
@@ -71,66 +83,20 @@ _SYNTH_METHODS = ("advbist", "all", "advan", "ralloc", "bits")
 
 
 # ----------------------------------------------------------------------
-# argparse value types: numeric flags fail with a clear message at parse
-# time instead of a deep traceback from the executor or task grid.
+# argparse value types (one shared definition per flag — see repro._flags):
+# numeric flags fail with a clear message at parse time instead of a deep
+# traceback from the executor or task grid.  ``repro fuzz`` and
+# ``repro bench`` use the very same --seed / --jobs parsers.
 # ----------------------------------------------------------------------
-def _int_at_least(minimum: int, flag_meaning: str):
-    def parse(text: str) -> int:
-        try:
-            value = int(text)
-        except ValueError:
-            raise argparse.ArgumentTypeError(
-                f"{flag_meaning} must be an integer, got {text!r}")
-        if value < minimum:
-            raise argparse.ArgumentTypeError(
-                f"{flag_meaning} must be >= {minimum}, got {value}")
-        return value
-    return parse
-
-
-_positive_int_jobs = _int_at_least(1, "--jobs")
-_positive_int_k = _int_at_least(1, "--k")
-_positive_int_max_k = _int_at_least(1, "--max-k")
-_positive_int_count = _int_at_least(1, "--count")
-_positive_int_ops = _int_at_least(1, "--ops")
-_nonnegative_int_seed = _int_at_least(0, "--seed")
-
-
-def _positive_float_time_limit(text: str) -> float:
-    try:
-        value = float(text)
-    except ValueError:
-        raise argparse.ArgumentTypeError(
-            f"--time-limit must be a number of seconds, got {text!r}")
-    if value <= 0:
-        raise argparse.ArgumentTypeError(
-            f"--time-limit must be positive, got {value}")
-    return value
-
-
-def _resource_limits(text: str) -> dict[str, int]:
-    """Parse ``--resources alu=1,mult=2`` into a class → count mapping."""
-    limits: dict[str, int] = {}
-    for part in text.split(","):
-        part = part.strip()
-        if not part:
-            continue
-        cls, sep, num = part.partition("=")
-        if not sep or not cls.strip():
-            raise argparse.ArgumentTypeError(
-                f"--resources entries must look like CLASS=N, got {part!r}")
-        try:
-            count = int(num)
-        except ValueError:
-            raise argparse.ArgumentTypeError(
-                f"--resources count for {cls.strip()!r} must be an integer, got {num!r}")
-        if count < 1:
-            raise argparse.ArgumentTypeError(
-                f"--resources count for {cls.strip()!r} must be >= 1, got {count}")
-        limits[cls.strip()] = count
-    if not limits:
-        raise argparse.ArgumentTypeError("--resources must name at least one CLASS=N")
-    return limits
+_positive_int_jobs = int_at_least(1, "--jobs")
+_positive_int_k = int_at_least(1, "--k")
+_positive_int_max_k = int_at_least(1, "--max-k")
+_positive_int_count = int_at_least(1, "--count")
+_positive_int_ops = int_at_least(1, "--ops")
+_nonnegative_int_seed = int_at_least(0, "--seed")
+_positive_float_time_limit = positive_float("--time-limit", "a number of seconds")
+_nonnegative_float_min_seconds = nonnegative_float("--min-seconds")
+_resource_limits = resource_limits
 
 
 def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
@@ -256,6 +222,89 @@ def build_parser() -> argparse.ArgumentParser:
                       help="directory for replayable failing-case JSON files")
     fuzz.add_argument("--time-limit", type=_positive_float_time_limit, default=120.0,
                       help="per-solve wall clock limit in seconds")
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="timed, parity-guarded benchmark suites with a JSON perf "
+             "trajectory (run / compare / history / suites)")
+    bench_actions = bench.add_subparsers(dest="bench_command", required=True)
+
+    bench_run = bench_actions.add_parser(
+        "run",
+        help="execute one or more suites, write a schema'd BENCH_*.json, "
+             "optionally gate against prior reports")
+    bench_run.add_argument("--suite", action="append", required=True,
+                           dest="suites", metavar="NAME",
+                           help="suite to run (repeatable; "
+                                "see 'repro bench suites')")
+    bench_run.add_argument("--circuits", nargs="+", default=None,
+                           metavar="CIRCUIT",
+                           help="narrow every suite to these circuits")
+    bench_run.add_argument("--max-k", type=_positive_int_max_k, default=None,
+                           help="cap each Table 2 sweep at this many "
+                                "test sessions")
+    bench_run.add_argument("--seed", type=_nonnegative_int_seed, default=None,
+                           help="re-seed the fuzz-throughput units")
+    bench_run.add_argument("--jobs", type=_positive_int_jobs, default=None,
+                           help="force this worker-process count on every "
+                                "scenario (default: the scenario's own)")
+    bench_run.add_argument("--scenarios", nargs="+", default=None,
+                           metavar="NAME",
+                           help="run only these scenarios of each suite")
+    bench_run.add_argument("--time-limit", type=_positive_float_time_limit,
+                           default=120.0,
+                           help="per-solve wall clock limit in seconds")
+    bench_run.add_argument("--no-warmup", action="store_true",
+                           help="skip the throwaway warm-up solve (leave "
+                                "warm-up on for real measurements)")
+    bench_run.add_argument("--out", default=None, metavar="PATH",
+                           help="output JSON path (default: "
+                                "BENCH_<suite>.json in the working dir)")
+    bench_run.add_argument("--compare", nargs="+", default=None,
+                           metavar="PRIOR.json",
+                           help="prior BENCH_*.json reports to gate against "
+                                "(legacy schema-1 files are migrated)")
+    bench_run.add_argument("--threshold", type=speedup_threshold,
+                           default=DEFAULT_THRESHOLD, metavar="RATIO",
+                           help="slowdown ratio that counts as a regression, "
+                                f"e.g. 1.5x (default: {DEFAULT_THRESHOLD}x)")
+    bench_run.add_argument("--min-seconds", type=_nonnegative_float_min_seconds,
+                           default=DEFAULT_MIN_SECONDS, metavar="S",
+                           help="noise floor: prior timings below this are "
+                                f"never gated on (default: {DEFAULT_MIN_SECONDS})")
+    bench_run.add_argument("--verbose", action="store_true",
+                           help="print every compared timing, not only "
+                                "the regressions")
+    bench_run.add_argument("--json", action="store_true",
+                           help="print the report JSON to stdout as well")
+
+    bench_compare = bench_actions.add_parser(
+        "compare",
+        help="diff an existing report against one or more priors "
+             "(exit 1 on regression)")
+    bench_compare.add_argument("current", help="the fresh BENCH_*.json report")
+    bench_compare.add_argument("priors", nargs="+",
+                               help="prior reports to gate against")
+    bench_compare.add_argument("--threshold", type=speedup_threshold,
+                               default=DEFAULT_THRESHOLD, metavar="RATIO",
+                               help="slowdown ratio that counts as a "
+                                    f"regression (default: {DEFAULT_THRESHOLD}x)")
+    bench_compare.add_argument("--min-seconds",
+                               type=_nonnegative_float_min_seconds,
+                               default=DEFAULT_MIN_SECONDS, metavar="S",
+                               help="noise floor for gating "
+                                    f"(default: {DEFAULT_MIN_SECONDS})")
+    bench_compare.add_argument("--verbose", action="store_true",
+                               help="print every compared timing")
+
+    bench_history = bench_actions.add_parser(
+        "history",
+        help="summarise a series of BENCH_*.json reports as a trajectory "
+             "table")
+    bench_history.add_argument("reports", nargs="+",
+                               help="report files, oldest first")
+
+    bench_actions.add_parser("suites", help="list the built-in suites")
 
     cache = subparsers.add_parser(
         "cache", help="inspect or clear the on-disk design cache")
@@ -476,6 +525,142 @@ def _cmd_fuzz(args) -> int:
     return _finish(envelope, args, _render_fuzz)
 
 
+# ----------------------------------------------------------------------
+# repro bench: run / compare / history / suites
+# ----------------------------------------------------------------------
+def _bench_progress(event: dict) -> None:
+    if event["event"] == "scenario_started":
+        print(f"[{event['suite']}] scenario {event['scenario']} ...",
+              file=sys.stderr)
+    elif event["event"] == "unit_finished":
+        print(f"[{event['suite']}/{event['scenario']}] "
+              f"{event['unit']}: {event['seconds']:.3f}s", file=sys.stderr)
+
+
+def _print_bench_summary(report: dict) -> None:
+    from .reporting import format_table
+
+    for name, suite in report["suites"].items():
+        rows = [{
+            "scenario": scenario["scenario"],
+            "backend": scenario["backend"],
+            "presolve": scenario["presolve"],
+            "warm_start": scenario["warm_start"],
+            "wall_s": scenario["wall_seconds"],
+            "cached": f"{scenario['cached_solves']}/{scenario['total_solves']}",
+            "speedup": (f"{suite['speedups'][scenario['scenario']]:g}x"
+                        if suite["speedups"].get(scenario["scenario"]) else "-"),
+        } for scenario in suite["scenarios"].values()]
+        print(format_table(
+            rows, ["scenario", "backend", "presolve", "warm_start", "wall_s",
+                   "cached", "speedup"],
+            title=f"Suite {name} — parity "
+                  f"{'ok' if suite['parity_ok'] else 'FAILED'}"))
+        print()
+
+
+def _cmd_bench_run(args) -> int:
+    from pathlib import Path
+
+    from .bench import BenchError, compare_reports, load_report
+    from .bench import render_comparison, run_suites
+    from .bench.schema import BenchSchemaError
+
+    try:
+        report = run_suites(
+            args.suites, circuits=args.circuits, max_k=args.max_k,
+            seed=args.seed, jobs=args.jobs, scenarios=args.scenarios,
+            time_limit=args.time_limit, warmup=not args.no_warmup,
+            progress=_bench_progress)
+    except BenchError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    out = Path(args.out if args.out is not None
+               else f"BENCH_{'-'.join(args.suites)}.json")
+    out.write_text(json.dumps(report, indent=2, sort_keys=False) + "\n",
+                   encoding="utf-8")
+    print(f"wrote {out}")
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    _print_bench_summary(report)
+
+    exit_code = 0
+    if not report["parity_ok"]:
+        print("PARITY FAILURE: an acceleration layer changed a proven "
+              "objective", file=sys.stderr)
+        exit_code = 1
+    if args.compare:
+        try:
+            priors = [(path, load_report(path)) for path in args.compare]
+        except BenchSchemaError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        comparison = compare_reports(report, priors,
+                                     threshold=args.threshold,
+                                     min_seconds=args.min_seconds)
+        print(render_comparison(comparison, verbose=args.verbose))
+        if not comparison.ok:
+            exit_code = 1
+    return exit_code
+
+
+def _cmd_bench_compare(args) -> int:
+    from .bench import compare_reports, load_report, render_comparison
+    from .bench.schema import BenchSchemaError
+
+    try:
+        current = load_report(args.current)
+        priors = [(path, load_report(path)) for path in args.priors]
+    except BenchSchemaError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    comparison = compare_reports(current, priors, threshold=args.threshold,
+                                 min_seconds=args.min_seconds)
+    print(render_comparison(comparison, verbose=args.verbose))
+    return 0 if comparison.ok else 1
+
+
+def _cmd_bench_history(args) -> int:
+    from .bench import load_report, render_history
+    from .bench.schema import BenchSchemaError
+
+    try:
+        reports = [(path, load_report(path)) for path in args.reports]
+    except BenchSchemaError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_history(reports))
+    return 0
+
+
+def _cmd_bench_suites(_args) -> int:
+    from .bench import get_suite, list_suites
+    from .reporting import format_table
+
+    rows = [{
+        "suite": name,
+        "kinds": "+".join(get_suite(name).job_kinds),
+        "circuits": ",".join(get_suite(name).circuits) or "-",
+        "scenarios": ",".join(get_suite(name).scenario_names()),
+        "description": get_suite(name).description,
+    } for name in list_suites()]
+    print(format_table(rows, ["suite", "kinds", "circuits", "scenarios",
+                              "description"],
+                       title="Benchmark suites"))
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    handlers = {
+        "run": _cmd_bench_run,
+        "compare": _cmd_bench_compare,
+        "history": _cmd_bench_history,
+        "suites": _cmd_bench_suites,
+    }
+    return handlers[args.bench_command](args)
+
+
 def _cmd_cache(args) -> int:
     with Session(cache=True, cache_dir=args.cache_dir) as session:
         if args.action == "info":
@@ -511,6 +696,7 @@ _HANDLERS = {
     "baseline": _cmd_baseline,
     "synth": _cmd_synth,
     "fuzz": _cmd_fuzz,
+    "bench": _cmd_bench,
     "cache": _cmd_cache,
     "serve": _cmd_serve,
 }

@@ -147,6 +147,16 @@ class TaskReport:
         if self.stats is not None:
             row.update({"backend": self.stats.backend, "nnz": self.stats.nnz,
                         "nodes": self.stats.nodes})
+            if self.stats.presolve:
+                # Flat per-layer attribution: the sweep/envelope reports are
+                # what repro.bench aggregates to explain where a speed-up
+                # came from (presolve shrinkage vs portfolio vs cache).
+                presolve = self.stats.presolve
+                row["presolve_vars_removed"] = (
+                    presolve["original_variables"] - presolve["reduced_variables"])
+                row["presolve_rows_removed"] = (
+                    presolve["original_rows"] - presolve["reduced_rows"])
+                row["presolve_s"] = presolve["wall_seconds"]
         return row
 
 

@@ -53,7 +53,8 @@ def test_to_dict_is_json_stable():
 
 
 def test_every_kind_is_registered():
-    assert set(JOB_KINDS) == {"synthesize", "sweep", "compare", "baseline", "fuzz"}
+    assert set(JOB_KINDS) == {"synthesize", "sweep", "compare", "baseline",
+                              "fuzz", "bench"}
 
 
 def test_inline_graph_round_trips(fig1_graph):

@@ -1,0 +1,144 @@
+"""CLI tests for ``repro bench run|compare|history|suites``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.compare import load_report
+from repro.bench.schema import validate_report
+from repro.cli import main
+
+
+def _shrink_prior(report: dict, factor: float) -> dict:
+    """Scale every timing of a report (tiny factor → 'fast prior')."""
+    prior = json.loads(json.dumps(report))  # deep copy
+    for suite in prior["suites"].values():
+        for scenario in suite["scenarios"].values():
+            scenario["per_unit_seconds"] = {
+                label: round(seconds * factor, 6)
+                for label, seconds in scenario["per_unit_seconds"].items()}
+            scenario["wall_seconds"] = round(
+                scenario["wall_seconds"] * factor, 6)
+    return prior
+
+
+@pytest.fixture(scope="module")
+def fresh_report_path(tmp_path_factory):
+    """One real ``bench run`` on the table2 suite, narrowed to fig1."""
+    out = tmp_path_factory.mktemp("bench") / "BENCH_fresh.json"
+    code = main(["bench", "run", "--suite", "table2",
+                 "--circuits", "fig1", "--max-k", "1",
+                 "--scenarios", "cold_baseline", "cold_accel", "warm_cache",
+                 "--no-warmup", "--time-limit", "60", "--out", str(out)])
+    assert code == 0
+    return out
+
+
+def test_bench_suites_lists_the_registry(capsys):
+    assert main(["bench", "suites"]) == 0
+    output = capsys.readouterr().out
+    for name in ("table2", "table3", "sweep-scaling", "solver-micro",
+                 "fuzz-throughput"):
+        assert name in output
+
+
+def test_bench_run_writes_schema_valid_json(fresh_report_path, capsys):
+    report = validate_report(load_report(fresh_report_path))
+    suite = report["suites"]["table2"]
+    assert suite["config"]["circuits"] == ["fig1"]
+    assert suite["parity_ok"] is True
+    assert set(suite["scenarios"]) == {"cold_baseline", "cold_accel",
+                                       "warm_cache"}
+
+
+def test_bench_run_compare_clean_prior_exits_zero(fresh_report_path,
+                                                  tmp_path, capsys):
+    """A synthetic *slow* prior: the fresh run looks faster, gate passes."""
+    report = json.loads(fresh_report_path.read_text(encoding="utf-8"))
+    slow = tmp_path / "BENCH_slow.json"
+    slow.write_text(json.dumps(_shrink_prior(report, 100.0)),
+                    encoding="utf-8")
+    out = tmp_path / "BENCH_out.json"
+    code = main(["bench", "run", "--suite", "table2",
+                 "--circuits", "fig1", "--max-k", "1",
+                 "--scenarios", "cold_baseline",
+                 "--no-warmup", "--time-limit", "60", "--out", str(out),
+                 "--compare", str(slow), "--threshold", "1.5x"])
+    assert code == 0
+    output = capsys.readouterr().out
+    assert "no regressions" in output
+
+
+def test_bench_compare_flags_regressions_with_nonzero_exit(
+        fresh_report_path, tmp_path, capsys):
+    """A synthetic *fast* prior: the fresh timings regress past 1.5x."""
+    report = json.loads(fresh_report_path.read_text(encoding="utf-8"))
+    fast = _shrink_prior(report, 0.0001)
+    # keep the prior above the (lowered) noise floor so the gate fires
+    for suite in fast["suites"].values():
+        for scenario in suite["scenarios"].values():
+            scenario["per_unit_seconds"] = {
+                label: max(seconds, 0.0005)
+                for label, seconds in scenario["per_unit_seconds"].items()}
+    fast_path = tmp_path / "BENCH_fast.json"
+    fast_path.write_text(json.dumps(fast), encoding="utf-8")
+
+    code = main(["bench", "compare", str(fresh_report_path), str(fast_path),
+                 "--threshold", "1.5x", "--min-seconds", "0.0001"])
+    assert code == 1
+    output = capsys.readouterr().out
+    assert "REGRESSED" in output
+    assert "regressed past 1.5x" in output
+
+
+def test_bench_compare_gates_against_the_legacy_checked_in_report(
+        fresh_report_path, capsys):
+    """The migration shim makes the schema-1 baseline comparable."""
+    from pathlib import Path
+
+    legacy = Path(__file__).resolve().parent.parent / "BENCH_regress.json"
+    code = main(["bench", "compare", str(fresh_report_path), str(legacy),
+                 "--threshold", "1000x", "--verbose"])
+    assert code == 0
+    output = capsys.readouterr().out
+    # the fig1 units of the fresh run matched legacy units by label
+    assert "cold_baseline/sweep:fig1" in output
+
+
+def test_bench_history_renders_trajectory(fresh_report_path, capsys):
+    from pathlib import Path
+
+    legacy = Path(__file__).resolve().parent.parent / "BENCH_regress.json"
+    assert main(["bench", "history", str(fresh_report_path),
+                 str(legacy)]) == 0
+    output = capsys.readouterr().out
+    assert "Benchmark history" in output
+    assert "table2" in output and "table3" in output
+
+
+def test_bench_run_unknown_suite_exits_2(capsys):
+    assert main(["bench", "run", "--suite", "nope", "--no-warmup"]) == 2
+    assert "unknown benchmark suite" in capsys.readouterr().err
+
+
+def test_bench_compare_missing_file_exits_2(tmp_path, capsys):
+    missing = tmp_path / "nope.json"
+    assert main(["bench", "compare", str(missing), str(missing)]) == 2
+    assert "no such report" in capsys.readouterr().err
+
+
+@pytest.mark.parametrize("argv", [
+    ["bench", "run", "--suite", "solver-micro", "--threshold", "0.5x"],
+    ["bench", "run", "--suite", "solver-micro", "--threshold", "fast"],
+    ["bench", "run", "--suite", "solver-micro", "--min-seconds", "-1"],
+    ["bench", "run", "--suite", "solver-micro", "--seed", "-2"],
+    ["bench", "run", "--suite", "solver-micro", "--jobs", "0"],
+    ["bench", "run", "--suite", "solver-micro", "--max-k", "zero"],
+])
+def test_bench_bad_flags_fail_at_parse_time(capsys, argv):
+    with pytest.raises(SystemExit) as excinfo:
+        main(argv)
+    assert excinfo.value.code == 2
+    assert "must" in capsys.readouterr().err

@@ -1,0 +1,180 @@
+"""The regression gate: flattening, thresholds, verdicts, rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import compare_reports, render_comparison, render_history
+from repro.bench.compare import flatten_timings
+
+
+def _report(units: dict[str, float], parity_ok: bool = True,
+            max_k: int | None = None, time_limit: float = 120.0) -> dict:
+    """A minimal schema-2-shaped report with one suite/one scenario."""
+    per_scenario: dict[str, dict] = {}
+    for key, seconds in units.items():
+        scenario, _, label = key.partition("/")
+        per_scenario.setdefault(scenario, {})[label] = seconds
+    return {
+        "parity_ok": parity_ok,
+        "created_at": "2026-07-26T00:00:00+00:00",
+        "environment": {"python": "3.12"},
+        "config": {"time_limit": time_limit},
+        "suites": {
+            "test-suite": {
+                "parity_ok": parity_ok,
+                "config": {"baseline_scenario": "cold", "max_k": max_k},
+                "speedups": {},
+                "scenarios": {
+                    scenario: {"scenario": scenario, "wall_seconds": sum(labels.values()),
+                               "per_unit_seconds": labels}
+                    for scenario, labels in per_scenario.items()
+                },
+            },
+        },
+    }
+
+
+def test_flatten_timings_uses_scenario_unit_keys():
+    report = _report({"cold/sweep:fig1": 0.5, "warm/sweep:fig1": 0.01})
+    assert flatten_timings(report) == {"cold/sweep:fig1": 0.5,
+                                       "warm/sweep:fig1": 0.01}
+
+
+def test_regression_flagged_past_threshold():
+    current = _report({"cold/sweep:a": 3.0})
+    prior = _report({"cold/sweep:a": 1.0})
+    comparison = compare_reports(current, [("prior.json", prior)],
+                                 threshold=1.5)
+    assert [row.status for row in comparison.rows] == ["regressed"]
+    assert not comparison.ok
+    assert comparison.regressions[0].prior_source == "prior.json"
+
+
+def test_synthetic_slow_prior_passes_the_gate():
+    """A fresh run faster than the prior is 'faster', never a failure."""
+    current = _report({"cold/sweep:a": 1.0})
+    slow_prior = _report({"cold/sweep:a": 30.0})
+    comparison = compare_reports(current, [("slow.json", slow_prior)])
+    assert [row.status for row in comparison.rows] == ["faster"]
+    assert comparison.ok
+
+
+def test_within_band_is_ok_and_new_units_are_reported():
+    current = _report({"cold/sweep:a": 1.1, "cold/sweep:b": 2.0})
+    prior = _report({"cold/sweep:a": 1.0})
+    comparison = compare_reports(current, [("p", prior)], threshold=1.5)
+    statuses = {row.unit: row.status for row in comparison.rows}
+    assert statuses == {"cold/sweep:a": "ok", "cold/sweep:b": "new"}
+    assert comparison.ok
+
+
+def test_noise_floor_suppresses_micro_timings():
+    current = _report({"cold/compare:a": 0.009})
+    prior = _report({"cold/compare:a": 0.003})
+    comparison = compare_reports(current, [("p", prior)],
+                                 threshold=1.5, min_seconds=0.05)
+    assert [row.status for row in comparison.rows] == ["noise"]
+    assert comparison.ok
+    # lowering the floor turns the same delta into a real regression
+    strict = compare_reports(current, [("p", prior)],
+                             threshold=1.5, min_seconds=0.0)
+    assert not strict.ok
+
+
+def test_best_prior_wins_across_many_files():
+    current = _report({"cold/sweep:a": 2.0})
+    slow = _report({"cold/sweep:a": 10.0})
+    fast = _report({"cold/sweep:a": 1.0})
+    comparison = compare_reports(
+        current, [("slow.json", slow), ("fast.json", fast)], threshold=1.5)
+    row = comparison.rows[0]
+    assert (row.prior_seconds, row.prior_source) == (1.0, "fast.json")
+    assert row.status == "regressed"
+
+
+def test_parity_failure_fails_the_gate_even_when_fast():
+    current = _report({"cold/sweep:a": 0.1}, parity_ok=False)
+    prior = _report({"cold/sweep:a": 10.0})
+    comparison = compare_reports(current, [("p", prior)])
+    assert [row.status for row in comparison.rows] == ["faster"]
+    assert not comparison.ok
+    assert "PARITY FAILURE" in render_comparison(comparison)
+
+
+def test_render_comparison_modes():
+    current = _report({"cold/sweep:a": 3.0, "cold/sweep:b": 1.0})
+    prior = _report({"cold/sweep:a": 1.0, "cold/sweep:b": 1.0})
+    comparison = compare_reports(current, [("p", prior)], threshold=1.5)
+    quiet = render_comparison(comparison)
+    assert "cold/sweep:a" in quiet and "REGRESSED" in quiet
+    assert "cold/sweep:b" not in quiet          # quiet mode: regressions only
+    verbose = render_comparison(comparison, verbose=True)
+    assert "cold/sweep:b" in verbose
+    assert "1 ok, 1 regressed" in verbose.replace("  ", " ")
+
+
+def test_render_comparison_with_nothing_to_compare():
+    comparison = compare_reports(_report({}), [("p", _report({}))])
+    text = render_comparison(comparison)
+    assert "no regressions" in text
+
+
+def test_render_history_lists_every_suite_row():
+    prior = _report({"cold/sweep:a": 1.0})
+    text = render_history([("a.json", prior), ("b.json", prior)])
+    assert text.count("test-suite") == 2
+    assert "a.json" in text and "b.json" in text
+
+
+def test_colliding_suite_keys_gate_on_the_slowest_instance():
+    """Two suites timing the same scenario/unit must not mask each other."""
+    current = _report({"cold/sweep:a": 0.1})
+    # second suite records the same key, slower
+    current["suites"]["other-suite"] = {
+        "parity_ok": True, "config": {}, "speedups": {},
+        "scenarios": {"cold": {"scenario": "cold", "wall_seconds": 3.0,
+                               "per_unit_seconds": {"sweep:a": 3.0}}},
+    }
+    prior = _report({"cold/sweep:a": 1.0})
+    comparison = compare_reports(current, [("p", prior)], threshold=1.5)
+    row = comparison.rows[0]
+    assert row.current_seconds == 3.0          # max of the colliding pair
+    assert row.status == "regressed"
+    assert any("more than one suite" in warning
+               for warning in comparison.warnings)
+
+
+def test_workload_mismatch_is_warned_not_failed():
+    """A narrowed max_k prior still gates, but the caveat is surfaced."""
+    current = _report({"cold/sweep:a": 1.0}, max_k=None)
+    narrowed = _report({"cold/sweep:a": 1.0}, max_k=2)
+    comparison = compare_reports(current, [("narrow.json", narrowed)])
+    assert comparison.ok
+    assert len(comparison.warnings) == 1
+    assert "max_k=2" in comparison.warnings[0]
+    assert "cold/sweep:a" in comparison.warnings[0]
+    assert "warning:" in render_comparison(comparison)
+    # identical workloads stay silent
+    same = compare_reports(current, [("same.json", _report({"cold/sweep:a": 1.0}))])
+    assert same.warnings == []
+
+
+def test_jobs_mismatch_is_warned():
+    """A forced worker count changes every timing; the gate must say so."""
+    current = _report({"cold/sweep:a": 1.0})
+    parallel = _report({"cold/sweep:a": 1.0})
+    for suite in parallel["suites"].values():
+        for scenario in suite["scenarios"].values():
+            scenario["jobs"] = 4
+    comparison = compare_reports(current, [("par.json", parallel)])
+    assert len(comparison.warnings) == 1
+    assert "jobs=4" in comparison.warnings[0]
+
+
+@pytest.mark.parametrize("flat", [True, False])
+def test_compare_accepts_flat_and_structured_inputs(flat):
+    current = {"cold/sweep:a": 2.0} if flat else _report({"cold/sweep:a": 2.0})
+    prior = {"cold/sweep:a": 1.0} if flat else _report({"cold/sweep:a": 1.0})
+    comparison = compare_reports(current, [("p", prior)], threshold=1.5)
+    assert [row.status for row in comparison.rows] == ["regressed"]

@@ -1,0 +1,197 @@
+"""Execution tests for the suite runner: real (tiny) grids through the
+Session/Job API, parity guarding, attribution, and the BenchJob path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import BenchJob, JobSpecError, Session, job_from_dict
+from repro.bench import BenchError, BenchSuite, ScenarioSpec, run_suite, run_suites
+from repro.bench.runner import _check_parity
+from repro.bench.schema import validate_report
+
+#: A micro suite: one circuit, k=1, plain vs accelerated + warm reuse.
+MICRO = BenchSuite(
+    name="test-micro",
+    description="fig1 micro grid for the runner tests",
+    job_kinds=("sweep", "compare"),
+    circuits=("fig1",),
+    max_k=1,
+    scenarios=(
+        ScenarioSpec("cold_baseline"),
+        ScenarioSpec("cold_accel", presolve=True, warm_start=True),
+        ScenarioSpec("warm_cache", presolve=True, warm_start=True,
+                     cache="reuse:cold_accel"),
+    ),
+)
+
+
+@pytest.fixture(scope="module")
+def micro_report():
+    return run_suite(MICRO, warmup=False, time_limit=60.0)
+
+
+def test_run_suite_shape_and_parity(micro_report):
+    assert micro_report["suite"] == "test-micro"
+    assert micro_report["parity_ok"] is True
+    assert micro_report["parity_mismatches"] == []
+    assert set(micro_report["scenarios"]) == {"cold_baseline", "cold_accel",
+                                              "warm_cache"}
+    for scenario in micro_report["scenarios"].values():
+        assert set(scenario["per_unit_seconds"]) == {"sweep:fig1",
+                                                     "compare:fig1"}
+        assert scenario["total_solves"] > 0
+
+
+def test_objectives_recorded_per_unit(micro_report):
+    cold = micro_report["scenarios"]["cold_baseline"]
+    assert "sweep:fig1:reference" in cold["objectives"]
+    assert "sweep:fig1:k=1" in cold["objectives"]
+    assert "compare:fig1:ADVBIST" in cold["objectives"]
+    # proven flags gate the parity assertion
+    assert cold["proven"]["sweep:fig1:k=1"] is True
+
+
+def test_warm_cache_scenario_hits_the_accel_cache(micro_report):
+    warm = micro_report["scenarios"]["warm_cache"]
+    assert warm["cached_solves"] == warm["total_solves"]
+    assert micro_report["speedups"]["warm_cache"] > 1.0
+
+
+def test_presolve_attribution_recorded(micro_report):
+    accel = micro_report["scenarios"]["cold_accel"]
+    attribution = accel["attribution"]
+    assert attribution["presolved_solves"] > 0
+    assert attribution["presolve_vars_removed"] > 0
+    assert attribution["presolve_rows_removed"] > 0
+    # the plain scenario ran without presolve
+    cold = micro_report["scenarios"]["cold_baseline"]
+    assert cold["attribution"]["presolved_solves"] == 0
+
+
+def test_cache_hits_claim_no_attribution(micro_report):
+    """A warm replay must not re-claim the cold run's presolve work."""
+    warm = micro_report["scenarios"]["warm_cache"]
+    assert warm["cached_solves"] == warm["total_solves"]
+    assert warm["attribution"]["presolved_solves"] == 0
+    assert warm["attribution"]["presolve_vars_removed"] == 0
+    assert warm["attribution"]["portfolio_wins"] == {}
+
+
+def test_verification_failures_break_parity():
+    from repro.api import ResultEnvelope
+    from repro.bench.runner import _verification_failures
+
+    sweep = ResultEnvelope(status="ok", kind="sweep", payload={
+        "rows": [{"k": 1, "verified": True}, {"k": 2, "verified": False}]})
+    failures = _verification_failures("sweep:fig1", sweep, "cold_accel")
+    assert failures == [{"entry": "sweep:fig1:k=2", "scenario": "cold_accel",
+                         "detail": "design failed BIST verification"}]
+    compare = ResultEnvelope(status="ok", kind="compare", payload={
+        "verified": {"ADVBIST": True, "RALLOC": False}})
+    failures = _verification_failures("compare:fig1", compare, "serial")
+    assert [f["entry"] for f in failures] == ["compare:fig1:RALLOC"]
+
+
+def test_run_suites_wraps_into_validated_report(micro_report):
+    report = run_suites([MICRO], warmup=False, time_limit=60.0)
+    validate_report(report)
+    assert set(report["suites"]) == {"test-micro"}
+    assert report["environment"]["python"]
+    assert report["config"]["warmup"] is False
+
+
+def test_scenario_filter_intersects():
+    report = run_suite(MICRO, warmup=False, time_limit=60.0,
+                       scenarios=["cold_baseline", "not-a-scenario"])
+    assert list(report["scenarios"]) == ["cold_baseline"]
+    with pytest.raises(BenchError, match="none of the scenarios"):
+        run_suite(MICRO, warmup=False, scenarios=["nope"])
+
+
+def test_reuse_of_filtered_out_scenario_is_a_clear_error():
+    with pytest.raises(BenchError, match="reuses the cache of 'cold_accel'"):
+        run_suite(MICRO, warmup=False, time_limit=60.0,
+                  scenarios=["cold_baseline", "warm_cache"])
+
+
+def test_unknown_suite_name_is_a_bench_error():
+    with pytest.raises(BenchError, match="unknown benchmark suite"):
+        run_suite("definitely-not-registered", warmup=False)
+    with pytest.raises(BenchError, match="at least one suite"):
+        run_suites([], warmup=False)
+
+
+def test_check_parity_flags_proven_mismatches():
+    scenarios = {
+        "base": {"scenario": "base", "unit_parity_failures": [],
+                 "objectives": {"sweep:x:k=1": 100.0},
+                 "proven": {"sweep:x:k=1": True}},
+        "fast": {"scenario": "fast", "unit_parity_failures": [],
+                 "objectives": {"sweep:x:k=1": 90.0},
+                 "proven": {"sweep:x:k=1": True}},
+    }
+    mismatches, unproven = _check_parity(scenarios, "base")
+    assert mismatches == [{"entry": "sweep:x:k=1", "scenario": "fast",
+                           "baseline": 100.0, "got": 90.0}]
+    assert unproven == []
+
+
+def test_check_parity_skips_unproven_entries():
+    scenarios = {
+        "base": {"scenario": "base", "unit_parity_failures": [],
+                 "objectives": {"sweep:x:k=1": 100.0},
+                 "proven": {"sweep:x:k=1": False}},
+        "fast": {"scenario": "fast", "unit_parity_failures": [],
+                 "objectives": {"sweep:x:k=1": 90.0},
+                 "proven": {"sweep:x:k=1": False}},
+    }
+    mismatches, unproven = _check_parity(scenarios, "base")
+    assert mismatches == []
+    assert unproven == ["sweep:x:k=1"]
+
+
+# ----------------------------------------------------------------------
+# the BenchJob path (Session + wire format)
+# ----------------------------------------------------------------------
+def test_bench_job_round_trips_and_validates():
+    job = BenchJob(suite="solver-micro", max_k=1, warmup=False)
+    assert job_from_dict(job.to_dict()) == job
+    with pytest.raises(JobSpecError, match="unknown benchmark suite"):
+        BenchJob(suite="nope")
+    with pytest.raises(JobSpecError, match="not applicable"):
+        BenchJob(suite="solver-micro", presolve=True)
+    with pytest.raises(JobSpecError, match="not applicable"):
+        BenchJob(suite="solver-micro", backend="scipy")
+    with pytest.raises(JobSpecError, match="circuits"):
+        BenchJob(suite="solver-micro", circuits=[])
+    with pytest.raises(JobSpecError, match="circuits"):
+        # a bare string must not pass by iterating its characters
+        BenchJob(suite="solver-micro", circuits="fig1")
+    with pytest.raises(JobSpecError, match="max_k"):
+        BenchJob(suite="solver-micro", max_k=0)
+
+
+def test_session_runs_bench_jobs():
+    job = BenchJob(suite="solver-micro", max_k=1, warmup=False,
+                   time_limit=60.0)
+    with Session(cache=False) as session:
+        envelope = session.run(job)
+    assert envelope.ok, envelope.error
+    assert envelope.kind == "bench"
+    payload = envelope.payload
+    validate_report(payload)
+    assert set(payload["suites"]) == {"solver-micro"}
+    assert payload["suites"]["solver-micro"]["parity_ok"] is True
+
+
+def test_bench_job_circuit_narrowing_flows_through():
+    job = BenchJob(suite="table3", circuits=("fig1",), warmup=False,
+                   time_limit=60.0)
+    with Session(cache=False) as session:
+        envelope = session.run(job)
+    assert envelope.ok, envelope.error
+    suite = envelope.payload["suites"]["table3"]
+    assert suite["config"]["circuits"] == ["fig1"]
+    for scenario in suite["scenarios"].values():
+        assert list(scenario["per_unit_seconds"]) == ["compare:fig1"]

@@ -1,0 +1,172 @@
+"""Schema, fingerprint and migration tests — including the checked-in
+``BENCH_regress.json`` regression contract."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench import (
+    BenchSchemaError,
+    environment_fingerprint,
+    migrate_report,
+    validate_report,
+)
+from repro.bench.compare import flatten_timings, load_report
+from repro.bench.schema import BENCH_SCHEMA, LEGACY_BENCH_SCHEMA
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+CHECKED_IN_REPORT = REPO_ROOT / "BENCH_regress.json"
+
+
+# ----------------------------------------------------------------------
+# the checked-in perf baseline
+# ----------------------------------------------------------------------
+def test_checked_in_report_is_legacy_schema_1():
+    data = json.loads(CHECKED_IN_REPORT.read_text(encoding="utf-8"))
+    assert data["schema"] == LEGACY_BENCH_SCHEMA
+    assert data["bench"] == "bench_regress"
+
+
+def test_checked_in_report_migrates_and_validates():
+    """The committed baseline must stay loadable through the shim."""
+    report = load_report(CHECKED_IN_REPORT)
+    assert report["schema"] == BENCH_SCHEMA
+    validate_report(report)  # raises on any malformation
+    assert set(report["suites"]) == {"table2", "table3"}
+    assert report["migrated_from"]["schema"] == LEGACY_BENCH_SCHEMA
+
+
+def test_checked_in_report_asserts_parity():
+    """A baseline with broken parity must never be committed."""
+    report = load_report(CHECKED_IN_REPORT)
+    assert report["parity_ok"] is True
+    for suite in report["suites"].values():
+        assert suite["parity_ok"] is True
+        assert suite["parity_mismatches"] == []
+
+
+def test_checked_in_report_keeps_comparable_unit_keys():
+    """The CI gate matches on scenario/unit keys; the legacy baseline
+    must expose the labels the live suites produce."""
+    flat = flatten_timings(load_report(CHECKED_IN_REPORT))
+    assert "cold_baseline/sweep:fig1" in flat
+    assert "cold_baseline/compare:fig1" in flat
+    assert "cold_accel/sweep:tseng" in flat
+    assert all(seconds >= 0 for seconds in flat.values())
+
+
+# ----------------------------------------------------------------------
+# migration shim
+# ----------------------------------------------------------------------
+def _legacy(scenarios=None, **overrides):
+    report = {
+        "schema": 1,
+        "bench": "bench_regress",
+        "python": "3.12.0",
+        "machine": "aarch64",
+        "parity_ok": True,
+        "parity_mismatches": [],
+        "unproven_entries": [],
+        "config": {"circuits": ["fig1"], "max_k": 2, "time_limit": 30.0},
+        "scenarios": scenarios if scenarios is not None else {
+            "cold_baseline": {
+                "scenario": "cold_baseline", "backend": "auto",
+                "presolve": False, "warm_start": False,
+                "wall_seconds": 1.0,
+                "per_job_seconds": {"sweep:fig1": 0.8, "compare:fig1": 0.2},
+                "cached_solves": 0, "total_solves": 4,
+                "objectives": {"sweep:fig1:k=1": 1202.0,
+                               "compare:fig1:ADVBIST": 1202.0},
+                "proven": {"sweep:fig1:k=1": True,
+                           "compare:fig1:ADVBIST": True},
+            },
+        },
+    }
+    report.update(overrides)
+    return report
+
+
+def test_migration_splits_by_unit_prefix():
+    report = migrate_report(_legacy())
+    table2 = report["suites"]["table2"]["scenarios"]["cold_baseline"]
+    table3 = report["suites"]["table3"]["scenarios"]["cold_baseline"]
+    assert table2["per_unit_seconds"] == {"sweep:fig1": 0.8}
+    assert table3["per_unit_seconds"] == {"compare:fig1": 0.2}
+    # objectives are filtered by the same prefix
+    assert set(table2["objectives"]) == {"sweep:fig1:k=1"}
+    assert set(table3["objectives"]) == {"compare:fig1:ADVBIST"}
+    # per-suite wall is the sum of that suite's units
+    assert table2["wall_seconds"] == pytest.approx(0.8)
+
+
+def test_migration_passes_schema_2_through():
+    migrated = migrate_report(_legacy())
+    assert migrate_report(migrated) == migrated
+
+
+def test_migration_rejects_unknown_versions():
+    with pytest.raises(BenchSchemaError, match="cannot migrate version 99"):
+        migrate_report({"schema": 99, "bench": "bench_regress"})
+    with pytest.raises(BenchSchemaError, match="unknown legacy bench"):
+        migrate_report({"schema": 1, "bench": "someone-elses-bench",
+                        "scenarios": {}, "config": {}})
+
+
+def test_migration_rejects_empty_legacy_grid():
+    with pytest.raises(BenchSchemaError, match="no sweep:/compare: units"):
+        migrate_report(_legacy(scenarios={}))
+
+
+# ----------------------------------------------------------------------
+# validation
+# ----------------------------------------------------------------------
+def test_validate_rejects_legacy_schema_directly():
+    with pytest.raises(BenchSchemaError, match="migrate_report"):
+        validate_report(_legacy())
+
+
+def test_validate_names_the_offending_path():
+    report = migrate_report(_legacy())
+    report["suites"]["table2"]["scenarios"]["cold_baseline"].pop("wall_seconds")
+    with pytest.raises(BenchSchemaError, match=r"wall_seconds.*missing"):
+        validate_report(report)
+
+
+def test_validate_cross_checks_parity_aggregate():
+    report = migrate_report(_legacy())
+    report["suites"]["table2"]["parity_ok"] = False
+    with pytest.raises(BenchSchemaError, match="parity_ok"):
+        validate_report(report)
+
+
+def test_validate_rejects_non_numeric_timings():
+    report = migrate_report(_legacy())
+    scenario = report["suites"]["table2"]["scenarios"]["cold_baseline"]
+    scenario["per_unit_seconds"]["sweep:fig1"] = "fast"
+    with pytest.raises(BenchSchemaError, match="expected a number"):
+        validate_report(report)
+
+
+# ----------------------------------------------------------------------
+# environment fingerprint
+# ----------------------------------------------------------------------
+def test_environment_fingerprint_shape():
+    fingerprint = environment_fingerprint()
+    assert set(fingerprint) == {
+        "python", "implementation", "platform", "machine", "scipy",
+        "numpy", "highs_available", "repro_version",
+    }
+    assert isinstance(fingerprint["highs_available"], bool)
+    assert fingerprint["repro_version"]
+
+
+def test_load_report_names_the_file_on_errors(tmp_path):
+    with pytest.raises(BenchSchemaError, match="no such report"):
+        load_report(tmp_path / "missing.json")
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json", encoding="utf-8")
+    with pytest.raises(BenchSchemaError, match="bad.json"):
+        load_report(bad)

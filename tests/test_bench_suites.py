@@ -1,0 +1,79 @@
+"""The declarative suite registry: shapes, labels and validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import SUITES, BenchSuite, ScenarioSpec, get_suite, list_suites
+from repro.bench.suites import PAPER_CIRCUITS
+from repro.circuits import list_circuits
+
+
+def test_the_five_built_in_suites_exist():
+    assert list_suites() == ["fuzz-throughput", "solver-micro",
+                             "sweep-scaling", "table2", "table3"]
+
+
+def test_paper_suites_cover_every_builtin_circuit():
+    assert set(PAPER_CIRCUITS) == set(list_circuits())
+    assert get_suite("table2").circuits == PAPER_CIRCUITS
+    assert get_suite("table3").circuits == PAPER_CIRCUITS
+
+
+def test_suite_unit_labels_are_stable():
+    assert list(get_suite("solver-micro").unit_labels()) == \
+        ["sweep:fig1", "compare:fig1"]
+    assert list(get_suite("sweep-scaling").unit_labels()) == \
+        ["sweep:tseng", "sweep:fir6"]
+    assert list(get_suite("fuzz-throughput").unit_labels()) == ["fuzz:c12:s0"]
+    # narrowing circuits narrows the labels the same way the runner does
+    assert list(get_suite("table2").unit_labels(("fig1",))) == ["sweep:fig1"]
+
+
+def test_warm_cache_scenarios_reuse_the_accel_cache():
+    table2 = get_suite("table2")
+    warm = {s.name: s for s in table2.scenarios}["warm_cache"]
+    assert warm.reuses == "cold_accel"
+    cold = {s.name: s for s in table2.scenarios}["cold_baseline"]
+    assert cold.reuses is None
+
+
+def test_get_suite_rejects_unknown_names():
+    with pytest.raises(KeyError, match="unknown benchmark suite 'nope'"):
+        get_suite("nope")
+
+
+def test_scenario_spec_validation():
+    with pytest.raises(ValueError, match="jobs must be >= 1"):
+        ScenarioSpec("bad", jobs=0)
+    with pytest.raises(ValueError, match="cache must be"):
+        ScenarioSpec("bad", cache="sometimes")
+    assert ScenarioSpec("ok", cache="reuse:other").reuses == "other"
+
+
+def test_bench_suite_validation():
+    scenario = ScenarioSpec("only")
+    with pytest.raises(ValueError, match="no job kinds"):
+        BenchSuite(name="x", description="", job_kinds=(),
+                   scenarios=(scenario,))
+    with pytest.raises(ValueError, match="unknown job kind"):
+        BenchSuite(name="x", description="", job_kinds=("dance",),
+                   scenarios=(scenario,))
+    with pytest.raises(ValueError, match="no scenarios"):
+        BenchSuite(name="x", description="", job_kinds=("sweep",),
+                   scenarios=())
+    with pytest.raises(ValueError, match="duplicate scenario"):
+        BenchSuite(name="x", description="", job_kinds=("sweep",),
+                   scenarios=(scenario, ScenarioSpec("only")))
+    # the baseline scenario defaults to the first one
+    suite = BenchSuite(name="x", description="", job_kinds=("sweep",),
+                       scenarios=(ScenarioSpec("a"), ScenarioSpec("b")))
+    assert suite.baseline_scenario == "a"
+
+
+def test_suite_as_dict_is_json_friendly():
+    import json
+
+    for name in SUITES:
+        encoded = json.dumps(get_suite(name).as_dict())
+        assert name in encoded

@@ -1,0 +1,93 @@
+"""Unit tests of the shared argparse value parsers (repro._flags).
+
+``repro fuzz`` and ``repro bench`` (and every other numeric flag) share
+one parser definition per flag shape — these tests pin the contract the
+satellite extraction promised: one helper, consistent messages.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import pytest
+
+from repro._flags import (
+    int_at_least,
+    nonnegative_float,
+    positive_float,
+    resource_limits,
+    speedup_threshold,
+)
+
+
+class TestIntAtLeast:
+    def test_parses_in_range(self):
+        assert int_at_least(1, "--jobs")("3") == 3
+        assert int_at_least(0, "--seed")("0") == 0
+
+    def test_rejects_below_minimum(self):
+        with pytest.raises(argparse.ArgumentTypeError,
+                           match=r"--count must be >= 1, got 0"):
+            int_at_least(1, "--count")("0")
+
+    def test_rejects_non_integers(self):
+        with pytest.raises(argparse.ArgumentTypeError,
+                           match=r"--seed must be an integer, got 'x'"):
+            int_at_least(0, "--seed")("x")
+
+    def test_fuzz_and_bench_share_the_same_seed_semantics(self):
+        """The one-definition guarantee: both commands parse --seed/--jobs
+        through identical validators built from the same factory."""
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        fuzz = parser.parse_args(["fuzz", "--seed", "7"])
+        bench = parser.parse_args(["bench", "run", "--suite", "table2",
+                                   "--seed", "7", "--jobs", "2"])
+        assert fuzz.seed == bench.seed == 7
+        assert bench.jobs == 2
+        for argv in (["fuzz", "--seed", "-1"],
+                     ["bench", "run", "--suite", "table2", "--seed", "-1"]):
+            with pytest.raises(SystemExit):
+                parser.parse_args(argv)
+
+
+class TestFloats:
+    def test_positive_float(self):
+        parse = positive_float("--time-limit", "a number of seconds")
+        assert parse("2.5") == 2.5
+        with pytest.raises(argparse.ArgumentTypeError, match="positive"):
+            parse("0")
+        with pytest.raises(argparse.ArgumentTypeError,
+                           match="a number of seconds"):
+            parse("soon")
+
+    def test_nonnegative_float(self):
+        parse = nonnegative_float("--min-seconds")
+        assert parse("0") == 0.0
+        assert parse("0.25") == 0.25
+        with pytest.raises(argparse.ArgumentTypeError, match=">= 0"):
+            parse("-0.1")
+
+
+class TestSpeedupThreshold:
+    @pytest.mark.parametrize("text, expected", [
+        ("1.5x", 1.5), ("1.5X", 1.5), ("2", 2.0), ("1x", 1.0), (" 3.0x ", 3.0),
+    ])
+    def test_accepts_ratio_spellings(self, text, expected):
+        assert speedup_threshold(text) == expected
+
+    @pytest.mark.parametrize("text", ["0.5x", "0.99", "-2x", "fast", "x"])
+    def test_rejects_nonsense(self, text):
+        with pytest.raises(argparse.ArgumentTypeError):
+            speedup_threshold(text)
+
+
+class TestResourceLimits:
+    def test_parses_class_counts(self):
+        assert resource_limits("alu=1, mult=2") == {"alu": 1, "mult": 2}
+
+    @pytest.mark.parametrize("text", ["alu", "=1", "alu=x", "alu=0", " , "])
+    def test_rejects_malformed_entries(self, text):
+        with pytest.raises(argparse.ArgumentTypeError):
+            resource_limits(text)
