@@ -20,7 +20,7 @@ as ``None`` defer to the owning session's defaults.
 
     >>> job = job_from_json('{"job": "sweep", "circuit": "tseng", "max_k": 4}')
     >>> job
-    SweepJob(backend=None, time_limit=None, use_cache=None, presolve=None, circuit='tseng', graph=None, max_k=4)
+    SweepJob(backend=None, time_limit=None, use_cache=None, presolve=None, batch=None, circuit='tseng', graph=None, max_k=4)
     >>> job_from_dict(job.to_dict()) == job
     True
     >>> job_from_json('{"job": "sweep"}')
@@ -55,16 +55,19 @@ BASELINE_METHODS = ("ADVAN", "RALLOC", "BITS")
 class JobSpec:
     """Base of every job spec: the solver knobs shared by all job kinds.
 
-    ``backend`` / ``time_limit`` / ``use_cache`` / ``presolve`` override the
-    session defaults for this one job when set (``None`` defers to the
-    session).  ``presolve`` selects the :mod:`repro.accel.presolve`
-    reductions — exact, so payloads are identical either way.
+    ``backend`` / ``time_limit`` / ``use_cache`` / ``presolve`` / ``batch``
+    override the session defaults for this one job when set (``None`` defers
+    to the session).  ``presolve`` selects the :mod:`repro.accel.presolve`
+    reductions and ``batch`` the compound batched solving of
+    :mod:`repro.sched.batching` — both exact, so payloads are identical
+    either way.
     """
 
     backend: str | None = None
     time_limit: float | None = None
     use_cache: bool | None = None
     presolve: bool | None = None
+    batch: bool | None = None
 
     #: Wire-format discriminator; each concrete subclass overrides it.
     kind: ClassVar[str] = ""
@@ -75,6 +78,9 @@ class JobSpec:
         if self.presolve is not None and not isinstance(self.presolve, bool):
             raise JobSpecError(
                 f"presolve must be true, false or null, got {self.presolve!r}")
+        if self.batch is not None and not isinstance(self.batch, bool):
+            raise JobSpecError(
+                f"batch must be true, false or null, got {self.batch!r}")
 
     # -- serialisation -------------------------------------------------
     def to_dict(self) -> dict:
@@ -238,6 +244,10 @@ class FuzzJob(JobSpec):
             raise JobSpecError(
                 "fuzz jobs cross-check the raw backend lowerings; "
                 "'presolve' is not applicable")
+        if self.batch is not None:
+            raise JobSpecError(
+                "fuzz jobs solve each case individually by design; "
+                "'batch' is not applicable")
         if not isinstance(self.count, int) or self.count < 1:
             raise JobSpecError(f"count must be an integer >= 1, got {self.count!r}")
         if not isinstance(self.seed, int) or self.seed < 0:
@@ -261,7 +271,7 @@ class BenchJob(JobSpec):
 
     The suite's scenario grid owns its solver configuration (that is the
     point of a benchmark), so the per-job ``backend`` / ``use_cache`` /
-    ``presolve`` knobs are rejected; ``time_limit`` still caps every
+    ``presolve`` / ``batch`` knobs are rejected; ``time_limit`` still caps every
     individual solve.  ``circuits`` / ``max_k`` / ``seed`` narrow the grid
     the same way the ``repro bench run`` flags do, and ``warmup`` controls
     the throwaway warm-up solve (leave it on for real measurements).
@@ -274,7 +284,7 @@ class BenchJob(JobSpec):
     >>> BenchJob(suite="not-a-suite")
     Traceback (most recent call last):
         ...
-    repro.api.jobs.JobSpecError: unknown benchmark suite 'not-a-suite'; expected one of ['fuzz-throughput', 'solver-micro', 'sweep-scaling', 'table2', 'table3']
+    repro.api.jobs.JobSpecError: unknown benchmark suite 'not-a-suite'; expected one of ['dedup-throughput', 'fuzz-throughput', 'solver-micro', 'sweep-scaling', 'table2', 'table3']
     """
 
     kind: ClassVar[str] = "bench"
@@ -287,7 +297,7 @@ class BenchJob(JobSpec):
 
     def __post_init__(self):
         super().__post_init__()
-        for knob in ("backend", "use_cache", "presolve"):
+        for knob in ("backend", "use_cache", "presolve", "batch"):
             if getattr(self, knob) is not None:
                 raise JobSpecError(
                     f"bench jobs run each suite's own scenario grid; "

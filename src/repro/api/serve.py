@@ -16,7 +16,8 @@ Requests (one JSON object per line):
   ``"id"`` field (any JSON scalar) is echoed on every response line for
   that request; without one, the 1-based request sequence number is used.
 * a control message — ``{"op": "ping"}``, ``{"op": "cache_info"}``,
-  ``{"op": "cache_clear"}`` or ``{"op": "shutdown"}``.
+  ``{"op": "cache_clear"}``, ``{"op": "scheduler_stats"}`` or
+  ``{"op": "shutdown"}``.
 
 Responses (one JSON object per line, flushed immediately):
 
@@ -31,12 +32,25 @@ Responses (one JSON object per line, flushed immediately):
   daemon keeps serving after an error line.
 
 The daemon stops on EOF or ``{"op": "shutdown"}``.
+
+Concurrency
+-----------
+With ``concurrency > 1`` job specs are dispatched to a thread pool while
+the reader keeps consuming stdin, so identical in-flight requests from
+different clients coalesce on the session's shared
+:class:`~repro.sched.scheduler.TaskScheduler` (one solve, every request
+answered).  Response lines stay whole — writes are serialised by a lock —
+but *ordering across requests* is no longer guaranteed; clients must
+correlate by ``id``.  Control messages are always answered inline, and
+``shutdown`` / EOF waits for in-flight jobs before the daemon exits.
 """
 
 from __future__ import annotations
 
 import json
 import sys
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from typing import IO
 
 from .envelope import ResultEnvelope
@@ -44,96 +58,143 @@ from .jobs import JobSpecError, job_from_dict
 from .session import Session
 
 #: Control operations the daemon answers besides job specs.
-CONTROL_OPS = ("ping", "cache_info", "cache_clear", "shutdown")
+CONTROL_OPS = ("ping", "cache_info", "cache_clear", "scheduler_stats",
+               "shutdown")
 
 
-def _write_line(stream: IO[str], document: dict) -> None:
-    stream.write(json.dumps(document, sort_keys=True) + "\n")
-    stream.flush()
+def _write_line(stream: IO[str], document: dict,
+                lock: threading.Lock | None = None) -> None:
+    payload = json.dumps(document, sort_keys=True) + "\n"
+    if lock is None:
+        stream.write(payload)
+        stream.flush()
+        return
+    with lock:
+        stream.write(payload)
+        stream.flush()
 
 
 def serve(session: Session, stdin: IO[str] | None = None,
-          stdout: IO[str] | None = None, progress: bool = True) -> int:
+          stdout: IO[str] | None = None, progress: bool = True,
+          concurrency: int = 1) -> int:
     """Serve job specs from ``stdin`` to ``stdout`` until EOF or shutdown.
 
     Returns the number of requests handled (jobs + control messages).
     With ``progress=False`` only terminal ``result`` lines are written.
-    A client that disconnects mid-batch (``BrokenPipeError`` on a response
-    write) ends the loop cleanly instead of crashing the daemon.
+    ``concurrency`` sets the number of job-executing threads; the default
+    of 1 keeps the historical strict request/response ordering.  A client
+    that disconnects mid-batch (``BrokenPipeError`` on a response write)
+    ends the loop cleanly instead of crashing the daemon.
     """
     stdin = stdin if stdin is not None else sys.stdin
     stdout = stdout if stdout is not None else sys.stdout
+    if concurrency < 1:
+        raise ValueError(f"concurrency must be >= 1, got {concurrency}")
     handled = 0
     try:
-        handled = _serve_loop(session, stdin, stdout, progress)
+        handled = _serve_loop(session, stdin, stdout, progress, concurrency)
     except BrokenPipeError:
         pass  # the client went away mid-batch; stop serving cleanly
     return handled
 
 
 def _serve_loop(session: Session, stdin: IO[str], stdout: IO[str],
-                progress: bool) -> int:
+                progress: bool, concurrency: int = 1) -> int:
     handled = 0
-    for sequence, line in enumerate(stdin, start=1):
-        line = line.strip()
-        if not line:
-            continue
-        request_id = sequence
-        try:
-            data = json.loads(line)
-        except json.JSONDecodeError as exc:
-            _write_line(stdout, {
-                "type": "error", "id": request_id,
-                "error": {"type": "ProtocolError",
-                          "message": f"request is not valid JSON: {exc}"},
-            })
-            continue
-        if isinstance(data, dict) and "id" in data:
-            request_id = data.pop("id")  # protocol field, not part of the spec
-        handled += 1
+    # With concurrency == 1 jobs run inline on the reader thread (strict
+    # ordering, no pool); otherwise they are dispatched to worker threads
+    # and the write lock keeps response lines whole.
+    lock = threading.Lock() if concurrency > 1 else None
+    pool = (ThreadPoolExecutor(max_workers=concurrency)
+            if concurrency > 1 else None)
+    futures: list = []
 
-        # -- control messages ------------------------------------------
-        if isinstance(data, dict) and "op" in data:
-            op = data["op"]
-            if op == "shutdown":
-                _write_line(stdout, {"type": "control", "id": request_id,
-                                     "op": "shutdown", "ok": True})
-                break
-            if op == "ping":
-                _write_line(stdout, {"type": "control", "id": request_id,
-                                     "op": "ping", "ok": True})
-            elif op == "cache_info":
-                _write_line(stdout, {"type": "control", "id": request_id,
-                                     "op": "cache_info", "ok": True,
-                                     "cache": session.cache_info()})
-            elif op == "cache_clear":
-                _write_line(stdout, {"type": "control", "id": request_id,
-                                     "op": "cache_clear", "ok": True,
-                                     "removed": session.cache_clear()})
-            else:
-                _write_line(stdout, {
-                    "type": "error", "id": request_id,
-                    "error": {"type": "ProtocolError",
-                              "message": f"unknown op {op!r}; "
-                                         f"expected one of {CONTROL_OPS}"},
-                })
-            continue
-
-        # -- job specs -------------------------------------------------
-        try:
-            job = job_from_dict(data)
-        except JobSpecError as exc:
-            _write_line(stdout, {
-                "type": "error", "id": request_id,
-                "error": {"type": "JobSpecError", "message": str(exc)},
-            })
-            continue
-
+    def run_job(job, request_id) -> None:
         def stream_event(event: dict, _id=request_id) -> None:
-            _write_line(stdout, {"type": "progress", "id": _id, **event})
+            _write_line(stdout, {"type": "progress", "id": _id, **event}, lock)
 
         envelope: ResultEnvelope = session.run(
             job, progress=stream_event if progress else None)
         _write_line(stdout, {"type": "result", "id": request_id,
-                             "envelope": envelope.to_dict()})
+                             "envelope": envelope.to_dict()}, lock)
+
+    try:
+        for sequence, line in enumerate(stdin, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            request_id = sequence
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError as exc:
+                _write_line(stdout, {
+                    "type": "error", "id": request_id,
+                    "error": {"type": "ProtocolError",
+                              "message": f"request is not valid JSON: {exc}"},
+                }, lock)
+                continue
+            if isinstance(data, dict) and "id" in data:
+                request_id = data.pop("id")  # protocol field, not the spec
+            handled += 1
+
+            # -- control messages (always answered inline) -------------
+            if isinstance(data, dict) and "op" in data:
+                op = data["op"]
+                if op == "shutdown":
+                    _drain(futures)
+                    _write_line(stdout, {"type": "control", "id": request_id,
+                                         "op": "shutdown", "ok": True}, lock)
+                    break
+                if op == "ping":
+                    _write_line(stdout, {"type": "control", "id": request_id,
+                                         "op": "ping", "ok": True}, lock)
+                elif op == "cache_info":
+                    _write_line(stdout, {"type": "control", "id": request_id,
+                                         "op": "cache_info", "ok": True,
+                                         "cache": session.cache_info()}, lock)
+                elif op == "cache_clear":
+                    _write_line(stdout, {"type": "control", "id": request_id,
+                                         "op": "cache_clear", "ok": True,
+                                         "removed": session.cache_clear()},
+                                lock)
+                elif op == "scheduler_stats":
+                    _write_line(stdout, {"type": "control", "id": request_id,
+                                         "op": "scheduler_stats", "ok": True,
+                                         "scheduler": session.scheduler_stats()},
+                                lock)
+                else:
+                    _write_line(stdout, {
+                        "type": "error", "id": request_id,
+                        "error": {"type": "ProtocolError",
+                                  "message": f"unknown op {op!r}; "
+                                             f"expected one of {CONTROL_OPS}"},
+                    }, lock)
+                continue
+
+            # -- job specs ---------------------------------------------
+            try:
+                job = job_from_dict(data)
+            except JobSpecError as exc:
+                _write_line(stdout, {
+                    "type": "error", "id": request_id,
+                    "error": {"type": "JobSpecError", "message": str(exc)},
+                }, lock)
+                continue
+
+            if pool is None:
+                run_job(job, request_id)
+            else:
+                futures.append(pool.submit(run_job, job, request_id))
+    finally:
+        _drain(futures)
+        if pool is not None:
+            pool.shutdown()
     return handled
+
+
+def _drain(futures: list) -> None:
+    """Wait for every dispatched job; surfaces nothing (run_job writes
+    its own result/error lines and session.run never raises for job
+    errors)."""
+    while futures:
+        futures.pop().result()

@@ -31,6 +31,7 @@ from ..core.engine import (
     ProcessExecutor,
     SerialExecutor,
     SweepEngine,
+    TaskScheduler,
 )
 from ..core.formulation import FormulationError, FormulationOptions
 from ..cost.transistors import CostModel, PAPER_COST_MODEL
@@ -90,6 +91,17 @@ class Session:
         in ascending ``k``, seeding each incumbent from the previous one.
         A chain runs serially — a single-circuit sweep with ``jobs > 1``
         should pass ``warm_start=False`` to keep its parallel fan-out.
+    batch:
+        Default for compound batched solving (jobs may override per spec):
+        pack each request's hint-free singleton ILP misses into one
+        block-diagonal model solved in a single backend call.  Exact —
+        objectives and designs match the serial path.
+
+    Every engine the session builds shares one
+    :class:`~repro.sched.scheduler.TaskScheduler`, so identical tasks of
+    *concurrent* requests (``repro serve --concurrency N``, or threads
+    calling :meth:`run` on a shared session) coalesce onto a single
+    computation; :meth:`scheduler_stats` reports the tallies.
 
     A session is a context manager; leaving the ``with`` block releases
     the worker pool.
@@ -115,6 +127,7 @@ class Session:
         options: FormulationOptions | None = None,
         presolve: bool = False,
         warm_start: bool = True,
+        batch: bool = False,
     ):
         if jobs < 1:
             raise EngineError(f"jobs must be >= 1, got {jobs}")
@@ -126,6 +139,8 @@ class Session:
         self.options = options
         self.presolve = presolve
         self.warm_start = warm_start
+        self.batch = batch
+        self._scheduler = TaskScheduler()
         if isinstance(cache, DesignCache):
             self.cache: DesignCache | None = cache
         elif cache:
@@ -224,7 +239,9 @@ class Session:
     # cache management
     # ------------------------------------------------------------------
     def cache_info(self) -> dict:
-        """Root, entry count and size of this session's design cache."""
+        """Two-tier cache summary: disk root/entries/bytes plus the
+        ``"memory"`` block (LRU entries, hits, evictions, single-flight
+        waits) from :meth:`repro.sched.cache.DesignCache.info`."""
         if self.cache is None:
             return {"enabled": False, "root": None, "entries": 0, "bytes": 0}
         return {"enabled": True, **self.cache.info()}
@@ -232,6 +249,11 @@ class Session:
     def cache_clear(self) -> int:
         """Delete every cached design; returns the number removed."""
         return self.cache.clear() if self.cache is not None else 0
+
+    def scheduler_stats(self) -> dict:
+        """Lifetime tallies of this session's shared task scheduler:
+        submitted, cache_hits, deduped, coalesced and executed counts."""
+        return self._scheduler.stats_snapshot()
 
     # ------------------------------------------------------------------
     # dispatch
@@ -267,6 +289,8 @@ class Session:
             presolve=(job.presolve if job.presolve is not None
                       else self.presolve),
             warm_start=self.warm_start,
+            batch=(job.batch if job.batch is not None else self.batch),
+            scheduler=self._scheduler,
         )
 
     def _graph_for(self, job: JobSpec) -> DataFlowGraph:

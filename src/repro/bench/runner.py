@@ -72,6 +72,14 @@ def _unit_jobs(suite: BenchSuite, circuits: Sequence[str], max_k: int | None,
             label = f"fuzz:c{suite.fuzz_count}:s{fuzz_seed}"
             yield label, FuzzJob(count=suite.fuzz_count, seed=fuzz_seed,
                                  ops=suite.fuzz_ops)
+        elif kind == "dedup":
+            # M client threads each submit this identical sweep K times;
+            # the runner fans the same job spec out itself (see
+            # _run_dedup_unit), so one label covers the whole burst.
+            for circuit in circuits:
+                label = (f"dedup:{circuit}:"
+                         f"c{suite.dedup_clients}x{suite.dedup_repeat}")
+                yield label, SweepJob(circuit=circuit, max_k=max_k)
         else:  # pragma: no cover - BenchSuite.__post_init__ rejects these
             raise BenchError(f"suite {suite.name!r}: unknown job kind {kind!r}")
 
@@ -88,7 +96,7 @@ def _fingerprint(label: str, envelope) -> dict[str, tuple[float, bool]]:
     """
     payload = envelope.payload
     entries: dict[str, tuple[float, bool]] = {}
-    if label.startswith("sweep:"):
+    if label.startswith("sweep:") or label.startswith("dedup:"):
         entries[f"{label}:reference"] = (payload["reference_area"],
                                          bool(payload["reference_optimal"]))
         for row in payload["rows"]:
@@ -122,7 +130,7 @@ def _verification_failures(label: str, envelope, scenario_name: str,
     """
     payload = envelope.payload
     failures: list[dict] = []
-    if label.startswith("sweep:"):
+    if label.startswith("sweep:") or label.startswith("dedup:"):
         for row in payload["rows"]:
             if not row.get("verified", True):
                 failures.append({
@@ -170,6 +178,24 @@ def _attribute(attribution: dict, reports: Iterable[Mapping]) -> None:
 # ----------------------------------------------------------------------
 # scenario execution
 # ----------------------------------------------------------------------
+def _run_dedup_unit(session, job, clients: int, repeat: int) -> list:
+    """M client threads × K identical submissions through one session.
+
+    Returns every envelope (``clients * repeat`` of them).  The threads
+    share the session's scheduler, so concurrent identical submissions
+    coalesce onto one in-flight computation — exactly the contention a
+    ``repro serve --concurrency N`` daemon sees from N clients.
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    def client(_index: int) -> list:
+        return [session.run(job) for _ in range(repeat)]
+
+    with ThreadPoolExecutor(max_workers=clients) as pool:
+        batches = list(pool.map(client, range(clients)))
+    return [envelope for batch in batches for envelope in batch]
+
+
 def _run_scenario(suite: BenchSuite, scenario: ScenarioSpec,
                   circuits: Sequence[str], max_k: int | None,
                   time_limit: float, jobs: int | None, seed: int | None,
@@ -201,6 +227,7 @@ def _run_scenario(suite: BenchSuite, scenario: ScenarioSpec,
     throughput: dict | None = None
     parity_failures: list[dict] = []
     attribution = _empty_attribution()
+    scheduler: dict[str, dict] = {}
     cached_solves = 0
     total_solves = 0
 
@@ -208,24 +235,49 @@ def _run_scenario(suite: BenchSuite, scenario: ScenarioSpec,
     with Session(backend=scenario.backend, time_limit=time_limit,
                  jobs=effective_jobs, cache=cache, cache_dir=cache_dir,
                  presolve=scenario.presolve,
-                 warm_start=scenario.warm_start) as session:
+                 warm_start=scenario.warm_start,
+                 batch=scenario.batch) as session:
         for label, job in _unit_jobs(suite, circuits, max_k, seed):
             _emit(progress, {"event": "unit_started", "suite": suite.name,
                              "scenario": scenario.name, "unit": label})
             unit_started = time.perf_counter()
-            envelope = session.run(job)
+            if label.startswith("dedup:"):
+                stats_before = session.scheduler_stats()
+                envelopes = _run_dedup_unit(session, job,
+                                            suite.dedup_clients,
+                                            suite.dedup_repeat)
+                stats_after = session.scheduler_stats()
+                envelope = envelopes[0]
+                delta = {key: stats_after[key] - stats_before[key]
+                         for key in stats_after}
+                scheduler[label] = {
+                    "clients": suite.dedup_clients,
+                    "repeat": suite.dedup_repeat,
+                    "requests": len(envelopes),
+                    "tasks_per_request": len(envelope.reports),
+                    "submitted": delta["submitted"],
+                    "cache_hits": delta["cache_hits"],
+                    "deduped": delta["deduped"],
+                    "coalesced": delta["coalesced"],
+                    "solver_tasks": delta["executed"],
+                }
+            else:
+                envelopes = [session.run(job)]
+                envelope = envelopes[0]
             seconds = round(time.perf_counter() - unit_started, 3)
             per_unit[label] = seconds
-            if not envelope.ok:
-                raise BenchError(
-                    f"{suite.name}/{scenario.name}/{label} failed: "
-                    f"{envelope.error}")
+            for done in envelopes:
+                if not done.ok:
+                    raise BenchError(
+                        f"{suite.name}/{scenario.name}/{label} failed: "
+                        f"{done.error}")
+                parity_failures.extend(
+                    _verification_failures(label, done, scenario.name))
+                _attribute(attribution, done.reports)
+                cached_solves += sum(1 for r in done.reports
+                                     if r.get("cached"))
+                total_solves += len(done.reports)
             fingerprint.update(_fingerprint(label, envelope))
-            parity_failures.extend(
-                _verification_failures(label, envelope, scenario.name))
-            _attribute(attribution, envelope.reports)
-            cached_solves += sum(1 for r in envelope.reports if r.get("cached"))
-            total_solves += len(envelope.reports)
             if label.startswith("fuzz:"):
                 cases = envelope.payload["cases"]
                 throughput = {
@@ -254,6 +306,7 @@ def _run_scenario(suite: BenchSuite, scenario: ScenarioSpec,
         "objectives": {key: area for key, (area, _) in fingerprint.items()},
         "proven": {key: proven for key, (_, proven) in fingerprint.items()},
         "attribution": attribution,
+        "scheduler": scheduler,
         "throughput": throughput,
         "unit_parity_failures": parity_failures,
     }

@@ -30,6 +30,10 @@ Schema 2 layout::
               "attribution": { presolved_solves / presolve_rows_removed /
                                presolve_vars_removed / presolve_seconds /
                                portfolio_wins },
+              "scheduler": { dedup-only, per unit: clients / repeat /
+                             requests / tasks_per_request / submitted /
+                             cache_hits / deduped / coalesced /
+                             solver_tasks },
               "throughput": { fuzz-only: cases / circuits_per_second }
             } } } }
     }

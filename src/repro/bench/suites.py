@@ -19,6 +19,9 @@ The built-in suites:
                    minutes; the CI regression gate
 ``fuzz-throughput`` seeded random-DFG parity sweep, measured as
                    circuits/second
+``dedup-throughput`` M concurrent clients submitting identical sweeps
+                   through one shared session — proves the scheduler
+                   coalesces them onto a single set of solves
 =================  ====================================================
 
 Suites are intentionally *specs*, not functions: they serialise into the
@@ -40,8 +43,9 @@ from typing import Iterator
 #: The seven built-in circuits (fig1 plus the Table 2/3 evaluation set).
 PAPER_CIRCUITS = ("fig1", "tseng", "paulin", "fir6", "iir3", "dct4", "wavelet6")
 
-#: Job kinds a suite may fan out per circuit (plus the special "fuzz" kind).
-SUITE_JOB_KINDS = ("sweep", "compare", "fuzz")
+#: Job kinds a suite may fan out per circuit (plus the special "fuzz" kind
+#: and the concurrent-clients "dedup" kind).
+SUITE_JOB_KINDS = ("sweep", "compare", "fuzz", "dedup")
 
 #: Cache policies a scenario may request.
 CACHE_NONE = "none"        # run without a design cache
@@ -58,8 +62,10 @@ class ScenarioSpec:
     name:
         Stable scenario label; timings are diffed across runs by
         ``scenario/unit`` key, so renaming a scenario orphans its history.
-    presolve / warm_start / backend / jobs:
-        The :class:`repro.api.Session` knobs of this configuration.
+    presolve / warm_start / batch / backend / jobs:
+        The :class:`repro.api.Session` knobs of this configuration
+        (``batch`` selects the compound batched solving of
+        :mod:`repro.sched.batching`).
     cache:
         ``"none"`` (no design cache), ``"fresh"`` (empty per-scenario
         directory) or ``"reuse:<scenario>"`` (the warm-cache pattern:
@@ -72,6 +78,7 @@ class ScenarioSpec:
     name: str
     presolve: bool = False
     warm_start: bool = False
+    batch: bool = False
     backend: str = "auto"
     jobs: int = 1
     cache: str = CACHE_FRESH
@@ -96,6 +103,7 @@ class ScenarioSpec:
             "backend": self.backend,
             "presolve": self.presolve,
             "warm_start": self.warm_start,
+            "batch": self.batch,
             "jobs": self.jobs,
             "cache": self.cache,
         }
@@ -125,6 +133,10 @@ class BenchSuite:
     fuzz_count: int = 0
     fuzz_seed: int = 0
     fuzz_ops: int = 5
+    #: dedup-kind knobs: M concurrent client threads, each submitting the
+    #: identical job K times through one shared session
+    dedup_clients: int = 4
+    dedup_repeat: int = 2
 
     def __post_init__(self):
         if not self.job_kinds:
@@ -152,6 +164,10 @@ class BenchSuite:
         for kind in self.job_kinds:
             if kind == "fuzz":
                 yield f"fuzz:c{self.fuzz_count}:s{self.fuzz_seed}"
+            elif kind == "dedup":
+                for circuit in circuits:
+                    yield (f"dedup:{circuit}:"
+                           f"c{self.dedup_clients}x{self.dedup_repeat}")
             else:
                 for circuit in circuits:
                     yield f"{kind}:{circuit}"
@@ -225,8 +241,31 @@ SUITES: dict[str, BenchSuite] = {
             scenarios=(
                 ScenarioSpec("cold_baseline", presolve=False, warm_start=False),
                 ScenarioSpec("cold_accel", presolve=True, warm_start=True),
+                # Same grid through the compound batched path — the
+                # cross-scenario parity guard then proves batched
+                # objectives match the serial scenarios exactly.
+                ScenarioSpec("cold_batched", presolve=False, warm_start=False,
+                             batch=True),
                 ScenarioSpec("warm_cache", presolve=True, warm_start=True,
                              cache="reuse:cold_accel"),
+            ),
+        ),
+        BenchSuite(
+            name="dedup-throughput",
+            description="M concurrent clients submitting K identical sweeps "
+                        "through one shared session — the scheduler must "
+                        "coalesce them onto a single set of solves",
+            job_kinds=("dedup",),
+            circuits=("fig1",),
+            max_k=2,
+            dedup_clients=4,
+            dedup_repeat=2,
+            # Fresh caches: the concurrent burst coalesces in-flight
+            # duplicates, the memory tier absorbs the repeats — together
+            # every unique task is solved exactly once per scenario.
+            scenarios=(
+                ScenarioSpec("coalesced"),
+                ScenarioSpec("coalesced_batched", batch=True),
             ),
         ),
         BenchSuite(
@@ -247,7 +286,7 @@ def list_suites() -> list[str]:
     """The registered suite names, sorted.
 
     >>> list_suites()
-    ['fuzz-throughput', 'solver-micro', 'sweep-scaling', 'table2', 'table3']
+    ['dedup-throughput', 'fuzz-throughput', 'solver-micro', 'sweep-scaling', 'table2', 'table3']
     """
     return sorted(SUITES)
 
@@ -260,7 +299,7 @@ def get_suite(name: str) -> BenchSuite:
     >>> get_suite("nope")
     Traceback (most recent call last):
         ...
-    KeyError: "unknown benchmark suite 'nope'; expected one of ['fuzz-throughput', 'solver-micro', 'sweep-scaling', 'table2', 'table3']"
+    KeyError: "unknown benchmark suite 'nope'; expected one of ['dedup-throughput', 'fuzz-throughput', 'solver-micro', 'sweep-scaling', 'table2', 'table3']"
     """
     try:
         return SUITES[name]

@@ -36,6 +36,12 @@ The solver knobs shared by the ILP-backed commands:
   chain each circuit's ADVBIST solves in ascending ``k`` so every solve
   seeds the next incumbent (on by default; a chain is one serial unit, so
   a single-circuit sweep with ``--jobs > 1`` wants ``--no-warm-start``);
+* ``--batch/--no-batch`` — pack the independent hint-free ILP solves of a
+  request into one block-diagonal compound model solved in a single
+  backend call (:mod:`repro.sched.batching`; exact, off by default);
+  batched solves run in-process and outside warm-start chains, so
+  ``--batch`` pairs naturally with ``--no-warm-start`` and makes
+  ``--jobs`` moot for the batched portion;
 * ``--no-cache`` — skip the on-disk design cache and re-solve everything;
 * ``--cache-dir`` — design-cache root (default ``$REPRO_CACHE_DIR`` or
   ``~/.cache/repro-advbist``).
@@ -127,6 +133,14 @@ def _add_solver_arguments(parser: argparse.ArgumentParser,
                              "(warm-start-capable backends only). A chain runs "
                              "serially: to keep a single-circuit sweep "
                              "parallel under --jobs, pass --no-warm-start")
+    parser.add_argument("--batch", action=argparse.BooleanOptionalAction,
+                        default=False,
+                        help="pack independent hint-free ILP solves into one "
+                             "block-diagonal compound model solved in a single "
+                             "backend call (exact: identical designs). Only "
+                             "solves outside warm-start chains batch, so pass "
+                             "--no-warm-start to batch a whole sweep; batched "
+                             "solves run in-process, bypassing --jobs workers")
     if jobs:
         parser.add_argument("--jobs", type=_positive_int_jobs, default=1,
                             help="worker processes for the independent solves")
@@ -323,6 +337,13 @@ def build_parser() -> argparse.ArgumentParser:
              "across requests)")
     daemon.add_argument("--quiet", action="store_true",
                         help="suppress progress lines (emit only results)")
+    daemon.add_argument("--concurrency", type=int_at_least(1, "concurrency"),
+                        default=1, metavar="N",
+                        help="job-executing threads; with N > 1 identical "
+                             "in-flight requests coalesce onto one solve via "
+                             "the session's shared scheduler (response order "
+                             "across requests is then unspecified; correlate "
+                             "by id)")
     _add_solver_arguments(daemon, jobs=True)
 
     return parser
@@ -341,6 +362,7 @@ def _session_from_args(args) -> Session:
         cache_dir=getattr(args, "cache_dir", None),
         presolve=getattr(args, "presolve", False),
         warm_start=getattr(args, "warm_start", True),
+        batch=getattr(args, "batch", False),
     )
 
 
@@ -668,6 +690,13 @@ def _cmd_cache(args) -> int:
             print(f"cache root: {info['root']}")
             print(f"entries:    {info['entries']}")
             print(f"size:       {info['bytes']} bytes")
+            memory = info.get("memory")
+            if memory:
+                print(f"memory tier: {memory['entries']} entries "
+                      f"(capacity {memory['capacity']})")
+                print(f"  hits/misses: {memory['hits']}/{memory['misses']}   "
+                      f"evictions: {memory['evictions']}   "
+                      f"single-flight waits: {memory['single_flight_waits']}")
         else:
             removed = session.cache_clear()
             print(f"removed {removed} cached designs")
@@ -676,7 +705,8 @@ def _cmd_cache(args) -> int:
 
 def _cmd_serve(args) -> int:
     with _session_from_args(args) as session:
-        serve(session, progress=not args.quiet)
+        serve(session, progress=not args.quiet,
+              concurrency=args.concurrency)
     try:
         sys.stdout.flush()
     except BrokenPipeError:

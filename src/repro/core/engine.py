@@ -1,27 +1,36 @@
-"""The parallel sweep engine: task grids, executors and the design cache.
+"""The parallel sweep engine: task grids, executors and chain building.
 
 The paper's evaluation is an embarrassingly parallel grid of independent ILP
 solves — one ADVBIST solve per (circuit, k-test-session) pair plus one
 reference solve per circuit, and one run per heuristic baseline in the
 Table 3 comparison.  :class:`SweepEngine` materialises that grid explicitly
-as :class:`SweepTask` objects and executes it through a pluggable executor:
+as :class:`SweepTask` objects, hands the list to a
+:class:`repro.sched.scheduler.TaskScheduler` (which serves cache hits,
+deduplicates identical tasks and coalesces with concurrent requests on a
+shared scheduler), and executes the remaining misses through a pluggable
+executor:
 
 * :class:`SerialExecutor` — in-process, deterministic order (the default);
 * :class:`ProcessExecutor` — a :class:`concurrent.futures.ProcessPoolExecutor`
   fan-out (``jobs`` workers).  Task results come back in grid order, so the
   assembled tables are identical to the serial path regardless of scheduling.
 
-Solved designs are memoised in an on-disk :class:`DesignCache` keyed by the
-content hash of (graph, cost model, k, formulation options, backend,
-presolve), so re-running a sweep — from the CLI, the benchmarks or a
-notebook — only pays for the solves it has not seen before, and toggling
-the acceleration pipeline can never serve a stale design.
+Solved designs are memoised in the two-tier
+:class:`repro.sched.cache.DesignCache` (re-exported here for backward
+compatibility) keyed by the content hash of (graph, cost model, k,
+formulation options, backend, presolve), so re-running a sweep — from the
+CLI, the benchmarks or a notebook — only pays for the solves it has not
+seen before, and toggling the acceleration pipeline can never serve a
+stale design.
 
 The engine cooperates with :mod:`repro.accel`: ``presolve=True`` reduces
 every ILP lowering before it reaches the backend, and with a warm-start
 capable backend (``bnb``, ``portfolio``) the ADVBIST tasks of each circuit
 run as one ascending-``k`` :class:`TaskChain` whose solves seed each other's
 incumbent cutoffs (a ``k``-session design embeds into the ``k + 1`` model).
+``batch=True`` additionally packs the hint-free singleton ILP misses into
+one block-diagonal compound model solved in a single backend call
+(:mod:`repro.sched.batching`).
 
 :meth:`AdvBistSynthesizer.sweep` and :func:`repro.reporting.compare_methods`
 are thin wrappers over this engine.
@@ -29,21 +38,17 @@ are thin wrappers over this engine.
 
 from __future__ import annotations
 
-import hashlib
-import json
-import os
-import pickle
 import time
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass
-from pathlib import Path
-from typing import Callable, Mapping, Sequence
+from typing import Callable, Sequence
 
 from ..cost.transistors import CostModel, PAPER_COST_MODEL
 from ..dfg.graph import DataFlowGraph
-from ..dfg.textio import to_dict as graph_to_dict
 from ..ilp.backends import backend_info, resolve_backend_name
 from ..ilp.solution import SolveStats
+from ..sched.cache import DesignCache
+from ..sched.scheduler import TaskScheduler, cacheable as _cacheable
 from .formulation import AdvBistFormulation, FormulationError, FormulationOptions
 from .reference import ReferenceFormulation
 from .result import (
@@ -53,6 +58,18 @@ from .result import (
     SweepResult,
     TaskReport,
 )
+
+__all__ = [
+    "DesignCache",
+    "EngineError",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "SweepEngine",
+    "SweepTask",
+    "TaskChain",
+    "TaskOutcome",
+    "TaskScheduler",
+]
 
 
 class EngineError(RuntimeError):
@@ -98,26 +115,19 @@ class SweepTask:
 
 @dataclass
 class TaskOutcome:
-    """Result of one executed (or cache-served) :class:`SweepTask`."""
+    """Result of one executed (or cache-/coalescing-served) :class:`SweepTask`.
+
+    ``cached`` marks outcomes served from the design cache; ``coalesced``
+    marks outcomes this request did not compute itself — it shared another
+    request's identical in-flight computation (or a duplicate within the
+    same submission) via the :class:`~repro.sched.scheduler.TaskScheduler`.
+    """
 
     design: BistDesign | ReferenceDesign
     stats: SolveStats | None = None
     wall_seconds: float = 0.0
     cached: bool = False
-
-
-def _cacheable(task: SweepTask, outcome: TaskOutcome) -> bool:
-    """Whether an outcome may enter the design cache.
-
-    Only proven-optimal ILP designs are stored: an optimum is independent of
-    the time limit that produced it, so the cache key can (deliberately) omit
-    ``time_limit``.  A feasible-but-unproven design from a short limit must
-    not shadow a later run with a bigger budget.  Heuristic baselines are
-    deterministic and always cacheable.
-    """
-    if task.kind == "baseline":
-        return True
-    return bool(getattr(outcome.design, "optimal", False))
+    coalesced: bool = False
 
 
 def _execute_task(task: SweepTask, incumbent_hint: float | None = None) -> TaskOutcome:
@@ -268,153 +278,6 @@ class ProcessExecutor:
 
 
 # ----------------------------------------------------------------------
-# the on-disk design cache
-# ----------------------------------------------------------------------
-class DesignCache:
-    """Content-addressed on-disk memoisation of solved designs.
-
-    Keys are SHA-256 hashes over a canonical JSON description of everything
-    that determines a task's outcome: the DFG (via :mod:`repro.dfg.textio`),
-    the cost model, the formulation options, k, the task kind/method, the
-    resolved backend name and the presolve toggle.  Values are pickled
-    :class:`TaskOutcome` objects.
-    ``time_limit`` is intentionally not part of the key — the engine only
-    stores proven-optimal designs (and deterministic baselines), and an
-    optimum does not depend on the time budget that found it.
-
-    The default root is ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-advbist``.
-    """
-
-    def __init__(self, root: str | Path | None = None):
-        if root is None:
-            root = os.environ.get("REPRO_CACHE_DIR", "~/.cache/repro-advbist")
-        self.root = Path(root).expanduser()
-
-    # -- keying --------------------------------------------------------
-    @staticmethod
-    def _cost_model_payload(cost_model: CostModel) -> dict:
-        return {
-            "bit_width": cost_model.bit_width,
-            "reference_width": cost_model.reference_width,
-            "register_costs": {kind.name: cost
-                               for kind, cost in sorted(cost_model.register_costs.items(),
-                                                        key=lambda item: item[0].name)},
-            "mux_costs": {str(n): cost for n, cost in sorted(cost_model.mux_costs.items())},
-            "mux_extrapolation_step": cost_model.mux_extrapolation_step,
-            "constant_tpg_weight": cost_model.constant_tpg_weight,
-        }
-
-    @staticmethod
-    def _options_payload(options: FormulationOptions | None) -> dict:
-        options = options or FormulationOptions()
-        fixed = options.fixed_register_assignment
-        return {
-            "num_registers": options.num_registers,
-            "allow_commutative_swap": options.allow_commutative_swap,
-            "symmetry_reduction": options.symmetry_reduction,
-            "adverse_path_constraints": options.adverse_path_constraints,
-            "fixed_register_assignment": (sorted(fixed.items())
-                                          if isinstance(fixed, Mapping) else None),
-            "primary_input_policy": options.primary_input_policy,
-        }
-
-    def key_for(self, task: SweepTask) -> str | None:
-        """Cache key of a task, or None when the task is not cacheable."""
-        if not isinstance(task.backend, str):
-            return None  # object backends have no stable identity
-        payload = {
-            "schema": 2,
-            "graph": graph_to_dict(task.graph),
-            "cost_model": self._cost_model_payload(task.cost_model),
-            "options": self._options_payload(task.options),
-            "kind": task.kind,
-            "k": task.k,
-            "method": task.method,
-            # Heuristic baselines never touch the ILP backend or the
-            # acceleration pipeline, so their cached results stay valid
-            # across --backend / --presolve changes.
-            "backend": (None if task.kind == "baseline"
-                        else resolve_backend_name(task.backend)),
-            "presolve": (False if task.kind == "baseline" else task.presolve),
-        }
-        blob = json.dumps(payload, sort_keys=True, default=str).encode("utf-8")
-        return hashlib.sha256(blob).hexdigest()
-
-    # -- storage -------------------------------------------------------
-    def _path(self, key: str) -> Path:
-        return self.root / key[:2] / f"{key}.pkl"
-
-    def get(self, key: str | None) -> TaskOutcome | None:
-        if key is None:
-            return None
-        path = self._path(key)
-        if not path.exists():
-            return None
-        try:
-            with path.open("rb") as handle:
-                outcome = pickle.load(handle)
-        except Exception:
-            # Corrupt or stale (older-version) entries must read as misses,
-            # never crash a sweep; pickle raises whatever the mangled byte
-            # stream implies (UnpicklingError, ValueError, ImportError, ...).
-            # Evict the bad file so the miss is paid once, not on every
-            # subsequent sweep; the fresh solve then re-publishes the key.
-            self._evict(path)
-            return None
-        if not isinstance(outcome, TaskOutcome):
-            self._evict(path)
-            return None
-        outcome.cached = True
-        return outcome
-
-    @staticmethod
-    def _evict(path: Path) -> None:
-        """Best-effort removal of an unusable cache entry."""
-        try:
-            path.unlink(missing_ok=True)
-        except OSError:  # pragma: no cover - racing unlink / read-only store
-            pass
-
-    def put(self, key: str | None, outcome: TaskOutcome) -> None:
-        if key is None:
-            return
-        path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        with tmp.open("wb") as handle:
-            pickle.dump(outcome, handle, protocol=pickle.HIGHEST_PROTOCOL)
-        tmp.replace(path)  # atomic publish; concurrent writers converge
-
-    def info(self) -> dict:
-        """Summary of the cache store: root path, entry count, total bytes."""
-        entries = 0
-        size = 0
-        if self.root.exists():
-            for path in self.root.glob("*/*.pkl"):
-                try:
-                    size += path.stat().st_size
-                except OSError:  # pragma: no cover - racing eviction
-                    continue
-                entries += 1
-        return {"root": str(self.root), "entries": entries, "bytes": size}
-
-    def clear(self) -> int:
-        """Delete every cached entry; returns the number removed.
-
-        Also sweeps ``*.tmp.*`` leftovers from interrupted :meth:`put` calls
-        (they are not counted — they were never published entries).
-        """
-        removed = 0
-        if self.root.exists():
-            for path in self.root.glob("*/*.pkl"):
-                path.unlink(missing_ok=True)
-                removed += 1
-            for path in self.root.glob("*/*.tmp.*"):
-                path.unlink(missing_ok=True)
-        return removed
-
-
-# ----------------------------------------------------------------------
 # the engine
 # ----------------------------------------------------------------------
 class SweepEngine:
@@ -448,6 +311,18 @@ class SweepEngine:
         one *serial* execution unit: a single-circuit sweep with ``jobs > 1``
         trades its parallel fan-out for the incumbents, so pass
         ``warm_start=False`` (CLI ``--no-warm-start``) to keep the fan-out.
+    batch:
+        Pack the hint-free singleton ILP misses of each :meth:`run` into one
+        block-diagonal compound model solved in a single backend call
+        (:mod:`repro.sched.batching`).  Exact — objectives and designs match
+        the serial path.  Warm-start chains (ascending-``k`` incumbent
+        threading) and ``jobs > 1`` fan-out keep their own paths: only tasks
+        that would have run as isolated hint-free solves are batched.
+    scheduler:
+        A :class:`~repro.sched.scheduler.TaskScheduler` shared across
+        engines (one per :class:`repro.api.Session`) so identical tasks of
+        *concurrent* requests coalesce onto a single computation.  ``None``
+        creates a private scheduler (dedup within each :meth:`run` only).
     """
 
     def __init__(
@@ -462,6 +337,8 @@ class SweepEngine:
         cache: DesignCache | bool | None = None,
         presolve: bool = False,
         warm_start: bool = True,
+        batch: bool = False,
+        scheduler: TaskScheduler | None = None,
     ):
         if isinstance(backend, str):
             resolve_backend_name(backend)  # fail fast on unknown names
@@ -476,6 +353,8 @@ class SweepEngine:
         self.options = options
         self.presolve = presolve
         self.warm_start = warm_start
+        self.batch = batch
+        self.scheduler = scheduler if scheduler is not None else TaskScheduler()
         if executor is not None:
             self.executor = executor
         elif jobs > 1:
@@ -579,34 +458,59 @@ class SweepEngine:
             ))
         return chains
 
-    def run(self, tasks: Sequence[SweepTask]) -> tuple[list[TaskOutcome], list[TaskReport]]:
-        """Execute a task list (cache-first), preserving task order."""
-        outcomes: list[TaskOutcome | None] = [None] * len(tasks)
-        misses: list[int] = []
-        keys: list[str | None] = [None] * len(tasks)
-        for i, task in enumerate(tasks):
-            if self.cache is not None:
-                keys[i] = self.cache.key_for(task)
-                hit = self.cache.get(keys[i])
-                if hit is not None:
-                    outcomes[i] = hit
-                    continue
-            misses.append(i)
+    def _solve_misses(self, tasks: Sequence[SweepTask], misses: Sequence[int],
+                      outcomes: Sequence[TaskOutcome | None]) -> list[TaskOutcome]:
+        """Solve the scheduler's cache misses; one outcome per miss, in order.
 
-        if misses:
-            chains = self._build_chains(tasks, misses, outcomes)
+        Misses are grouped into warm-start chains (seeded from any cached
+        smaller-``k`` objectives already present in ``outcomes``); with
+        ``batch=True`` the hint-free singleton ILP chains are peeled off and
+        solved as one compound backend call, everything else goes through
+        the executor.
+        """
+        chains = self._build_chains(tasks, misses, outcomes)
+        solved: dict[int, TaskOutcome] = {}
+
+        if self.batch and isinstance(self.backend, str):
+            from ..sched.batching import batchable_chain, solve_task_batch
+
+            batched = [entry for entry in chains if batchable_chain(entry[0])]
+            if len(batched) >= 2:  # a "batch" of one is just overhead
+                taken = {id(entry) for entry in batched}
+                chains = [entry for entry in chains if id(entry) not in taken]
+                batch_outcomes = solve_task_batch(
+                    [chain.tasks[0] for chain, _ in batched])
+                for (chain, indices), outcome in zip(batched, batch_outcomes):
+                    solved[indices[0]] = outcome
+
+        if chains:
             solved_chains = self.executor.run(_execute_chain,
                                               [chain for chain, _ in chains])
-            for (chain, indices), solved in zip(chains, solved_chains):
-                for i, outcome in zip(indices, solved):
-                    outcomes[i] = outcome
-                    if self.cache is not None and _cacheable(tasks[i], outcome):
-                        self.cache.put(keys[i], outcome)
+            for (chain, indices), chain_outcomes in zip(chains, solved_chains):
+                for i, outcome in zip(indices, chain_outcomes):
+                    solved[i] = outcome
+        return [solved[i] for i in misses]
 
+    def run(self, tasks: Sequence[SweepTask]) -> tuple[list[TaskOutcome], list[TaskReport]]:
+        """Execute a task list (cache-first, deduped, coalesced), in task order.
+
+        The heavy lifting happens in the :class:`TaskScheduler`: it serves
+        cache hits, collapses duplicates inside ``tasks``, joins identical
+        in-flight computations of concurrent requests on the same scheduler,
+        and hands only the genuinely new work to :meth:`_solve_misses`.
+        """
+        tasks = list(tasks)
+
+        def runner(misses: Sequence[int],
+                   outcomes: Sequence[TaskOutcome | None]) -> list[TaskOutcome]:
+            return self._solve_misses(tasks, misses, outcomes)
+
+        outcomes = self.scheduler.execute(tasks, runner, cache=self.cache)
         reports = [
             TaskReport(
                 circuit=task.circuit, kind=task.kind, k=task.k,
                 method=task.method or task.kind, cached=outcome.cached,
+                coalesced=outcome.coalesced,
                 wall_seconds=outcome.wall_seconds, stats=outcome.stats,
             )
             for task, outcome in zip(tasks, outcomes)

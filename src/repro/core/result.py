@@ -133,6 +133,7 @@ class TaskReport:
     k: int | None = None
     method: str = ""
     cached: bool = False
+    coalesced: bool = False        # served by another request's in-flight solve
     wall_seconds: float = 0.0
     stats: SolveStats | None = None
 
@@ -142,11 +143,14 @@ class TaskReport:
             "task": self.method or self.kind,
             "k": "-" if self.k is None else self.k,
             "cached": self.cached,
+            "coalesced": self.coalesced,
             "wall_s": round(self.wall_seconds, 3),
         }
         if self.stats is not None:
             row.update({"backend": self.stats.backend, "nnz": self.stats.nnz,
                         "nodes": self.stats.nodes})
+            if self.stats.batch:
+                row["batch_size"] = self.stats.batch["size"]
             if self.stats.presolve:
                 # Flat per-layer attribution: the sweep/envelope reports are
                 # what repro.bench aggregates to explain where a speed-up

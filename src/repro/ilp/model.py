@@ -394,6 +394,173 @@ class _TripletBuilder:
         return np.asarray(self.rhs, dtype=float)
 
 
+# ----------------------------------------------------------------------
+# compound batched solving (the block-diagonal burst model)
+# ----------------------------------------------------------------------
+def combine_matrix_forms(forms: Sequence[MatrixForm]) -> MatrixForm:
+    """Pack independent lowerings into one block-diagonal compound form.
+
+    The constraint matrices are stacked block-diagonally (CSR), the
+    objective/bounds/integrality vectors concatenated and the offsets
+    summed, so a single backend call solves every block at once.  Because
+    the blocks share no variables, the compound optimum minimises each
+    block's objective independently — a proven-optimal compound solution
+    is a proven-optimal solution of every block.
+
+    Block variables are re-indexed into the compound space and renamed
+    ``b{j}:{name}`` (``Variable`` is hashed by all of its fields, so two
+    blocks containing structurally identical variables must not collide).
+    """
+    if not forms:
+        raise ModelError("combine_matrix_forms() needs at least one form")
+    variables: list[Variable] = []
+    bounds: list[tuple[float, float]] = []
+    for j, form in enumerate(forms):
+        base = len(variables)
+        variables.extend(
+            replace(var, index=base + var.index, name=f"b{j}:{var.name}")
+            for var in form.variables
+        )
+        bounds.extend(form.bounds)
+    return MatrixForm(
+        c=np.concatenate([form.c for form in forms]),
+        A_ub=sparse.block_diag(
+            [sparse.csr_matrix(form.A_ub) for form in forms], format="csr"),
+        b_ub=np.concatenate([form.b_ub for form in forms]),
+        A_eq=sparse.block_diag(
+            [sparse.csr_matrix(form.A_eq) for form in forms], format="csr"),
+        b_eq=np.concatenate([form.b_eq for form in forms]),
+        bounds=bounds,
+        integrality=np.concatenate([form.integrality for form in forms]),
+        variables=variables,
+        offset=float(sum(form.offset for form in forms)),
+    )
+
+
+def split_compound_solution(compound: MatrixForm, solution: Solution,
+                            forms: Sequence[MatrixForm]) -> list[Solution]:
+    """Lift a compound solution back into one :class:`Solution` per block.
+
+    Each block's values are re-keyed onto its original variables and its
+    objective recomputed as ``c_j @ x_j + offset_j`` (exact: the block
+    objectives sum to the compound objective by construction).  A compound
+    ``OPTIMAL`` proves every block optimal (the blocks are independent);
+    every other status is propagated unchanged — an infeasible compound
+    cannot name the offending block, so all blocks report it.
+    """
+    if not solution.status.has_solution:
+        return [Solution(status=solution.status, message=solution.message)
+                for _ in forms]
+    x = np.array([solution.values.get(var, 0.0) for var in compound.variables])
+    split: list[Solution] = []
+    base = 0
+    for form in forms:
+        width = len(form.variables)
+        block_x = x[base:base + width]
+        values = {var: float(block_x[var.index]) for var in form.variables}
+        objective = float(form.c @ block_x) + form.offset
+        split.append(Solution(
+            status=solution.status,
+            objective=objective,
+            values=values,
+            message=solution.message,
+        ))
+        base += width
+    return split
+
+
+def solve_models(models: Sequence["Model"], backend: str | object = "auto",
+                 time_limit: float | None = None, mip_gap: float = 1e-6,
+                 presolve: bool = False) -> list[Solution]:
+    """Solve independent models through one compound backend call.
+
+    The batched equivalent of calling :meth:`Model.solve` on each model:
+    lowerings are (optionally) presolved per block — blocks presolve
+    proves infeasible or solves outright never reach the backend — and the
+    remaining blocks are combined with :func:`combine_matrix_forms`,
+    solved in a single call, and split back per model with exact per-model
+    objectives, statuses and :class:`SolveStats` (each stamped with a
+    ``batch`` summary).  ``time_limit`` caps the one compound call, so it
+    is a *shared* budget across the batch.
+
+    Incumbent hints do not compose across blocks, so batched solves are
+    always hint-free — the engine keeps warm-start chains out of batches.
+    """
+    if not models:
+        return []
+    start = time.perf_counter()
+    solver = _resolve_backend(backend)
+    wants_sparse = getattr(solver, "supports_sparse", False)
+    forms = [model.to_matrix_form(sparse_form=True) for model in models]
+    presolved: list = [None] * len(models)
+    solutions: list[Solution | None] = [None] * len(models)
+    pending: list[tuple[int, MatrixForm]] = []
+
+    if presolve:
+        from ..accel.presolve import presolve_form  # lazy: accel imports ilp
+
+        for j, form in enumerate(forms):
+            reduced = presolve_form(form)
+            presolved[j] = reduced
+            if reduced.infeasible:
+                solutions[j] = reduced.infeasible_solution()
+            elif reduced.solved:
+                solutions[j] = reduced.fixed_solution()
+            else:
+                pending.append((j, reduced.reduced))
+    else:
+        pending = list(enumerate(forms))
+
+    batch_info: dict | None = None
+    if len(pending) == 1:
+        j, form = pending[0]
+        sub = _backend_solve(solver, form if wants_sparse else form.to_dense(),
+                             time_limit, mip_gap, None)
+        solutions[j] = (presolved[j].lift_solution(sub)
+                        if presolved[j] is not None else sub)
+    elif pending:
+        compound = combine_matrix_forms([form for _, form in pending])
+        batch_info = {
+            "size": len(pending),
+            "compound_variables": len(compound.variables),
+            "compound_nnz": compound.nnz,
+        }
+        sub = _backend_solve(solver,
+                             compound if wants_sparse else compound.to_dense(),
+                             time_limit, mip_gap, None)
+        blocks = split_compound_solution(compound, sub,
+                                         [form for _, form in pending])
+        for (j, _), block in zip(pending, blocks):
+            solutions[j] = (presolved[j].lift_solution(block)
+                            if presolved[j] is not None else block)
+
+    wall = time.perf_counter() - start
+    if batch_info is not None:
+        batch_info["wall_seconds"] = round(wall, 6)
+    share = wall / len(models)
+    results: list[Solution] = []
+    for j, (model, form, solution) in enumerate(zip(models, forms, solutions)):
+        if solution.status.has_solution and model.sense == "max" \
+                and solution.objective is not None:
+            solution.objective = -solution.objective
+        # The backend call is shared: attribute an equal share of the wall
+        # to each model so aggregate timings stay additive.
+        solution.solve_seconds = share
+        stats = solution.stats if solution.stats is not None else SolveStats()
+        stats.backend = stats.backend or getattr(solver, "name", type(solver).__name__)
+        stats.wall_seconds = share
+        stats.nnz = form.nnz
+        stats.num_variables = model.num_variables
+        stats.num_constraints = model.num_constraints
+        if presolved[j] is not None:
+            stats.presolve = presolved[j].stats.as_dict()
+        if batch_info is not None and any(j == idx for idx, _ in pending):
+            stats.batch = dict(batch_info)
+        solution.stats = stats
+        results.append(solution)
+    return results
+
+
 def _backend_solve(solver, form: MatrixForm, time_limit: float | None,
                    mip_gap: float, incumbent_hint: float | None) -> Solution:
     """Invoke a backend, forwarding the hint only where it is understood."""

@@ -53,6 +53,11 @@ class SolveStats:
     presolve:
         Summary of the :mod:`repro.accel.presolve` reductions applied before
         the backend ran (``None`` when presolve was off).
+    batch:
+        Summary of the compound batched solve this model travelled in
+        (see :func:`repro.ilp.model.solve_models`): the batch size, the
+        compound model's dimensions and the shared backend-call wall time.
+        ``None`` when the model was solved individually.
     """
 
     backend: str = ""
@@ -64,6 +69,7 @@ class SolveStats:
     num_constraints: int = 0
     gap: float | None = None
     presolve: dict | None = None
+    batch: dict | None = None
 
     def as_row(self) -> dict:
         """Flat dict used by the reporting tables."""

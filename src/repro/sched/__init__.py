@@ -1,0 +1,33 @@
+"""The cross-request scheduling layer: dedup, two-tier caching, batching.
+
+Carved out of the execution path so every front end — the CLI, the
+:class:`repro.api.Session`, the ``repro serve`` daemon and the benchmark
+harness — shares one :class:`TaskScheduler` per session:
+
+* :mod:`repro.sched.cache` — the two-tier :class:`DesignCache` (in-memory
+  LRU in front of the on-disk store) with per-key :class:`SingleFlight`
+  locks, keyed by the content hash :func:`task_key`;
+* :mod:`repro.sched.scheduler` — :class:`TaskScheduler`, which
+  deduplicates identical tasks within and *across* concurrent requests
+  (in-flight coalescing with fan-out of the single outcome to all
+  waiters);
+* :mod:`repro.sched.batching` — compound batched solving: independent
+  pending ILPs packed into one block-diagonal model solved in a single
+  backend call (:func:`solve_task_batch`).
+"""
+
+from .cache import DesignCache, MemoryTier, SingleFlight, task_key
+from .scheduler import SchedulerStats, TaskScheduler, cacheable
+from .batching import batchable_chain, solve_task_batch
+
+__all__ = [
+    "DesignCache",
+    "MemoryTier",
+    "SchedulerStats",
+    "SingleFlight",
+    "TaskScheduler",
+    "batchable_chain",
+    "cacheable",
+    "solve_task_batch",
+    "task_key",
+]

@@ -1,0 +1,87 @@
+"""Compound batched task solving: many small ILPs, one backend call.
+
+The DRMT "burst" idiom applied to the evaluation grid: the engine's cache
+misses are mostly small independent ILPs (one reference or ADVBIST model
+per task), and launching a backend per model wastes most of the wall on
+per-call overhead.  :func:`solve_task_batch` packs a list of such tasks
+into one block-diagonal compound model via
+:func:`repro.ilp.model.solve_models`, solves it in a single backend call
+and lifts the per-task designs and stats back exactly.
+
+What may batch (:func:`batchable_chain`): singleton warm-start chains of
+ILP tasks carrying no incumbent hint.  Heuristic baselines never touch a
+backend, multi-task chains thread incumbents serially (hints do not
+compose across independent blocks), and hinted singletons would lose
+their cutoff — all of those keep the ordinary executor path.  Batching is
+exact: per-task objectives, optimality proofs and decoded designs are
+identical to the serial path.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..ilp.model import solve_models
+
+#: Task kinds lowered to an ILP model (batchable); baselines are not.
+_ILP_KINDS = ("reference", "advbist")
+
+
+def batchable_chain(chain) -> bool:
+    """Whether a :class:`~repro.core.engine.TaskChain` may join a batch.
+
+    True exactly for singleton, hint-free ILP chains: the compound solve
+    is hint-free and unordered, so anything relying on chain order or
+    incumbent threading must stay on the executor path.
+    """
+    return (len(chain.tasks) == 1
+            and chain.hints[0] is None
+            and chain.tasks[0].kind in _ILP_KINDS)
+
+
+def _formulation_for(task):
+    from ..core.formulation import AdvBistFormulation
+    from ..core.reference import ReferenceFormulation
+
+    if task.kind == "reference":
+        return ReferenceFormulation(task.graph, task.cost_model, task.options)
+    if task.kind == "advbist":
+        return AdvBistFormulation(task.graph, task.k, task.cost_model,
+                                  task.options)
+    from ..core.engine import EngineError
+
+    raise EngineError(f"task {task.label()!r} is not batchable "
+                      f"(kind {task.kind!r})")
+
+
+def solve_task_batch(tasks: Sequence) -> list:
+    """Solve ILP tasks as one compound backend call; one outcome per task.
+
+    Every task must share the engine's backend / time limit / presolve
+    configuration (the engine guarantees this — tasks are materialised
+    with the configuration baked in).  Failure semantics match the serial
+    :func:`~repro.core.engine._execute_task`: a task whose block came back
+    without a usable design raises :class:`~repro.core.formulation.FormulationError`.
+    """
+    from ..core.engine import TaskOutcome  # lazy: core imports sched
+    from ..core.formulation import FormulationError
+
+    if not tasks:
+        return []
+    formulations = [_formulation_for(task) for task in tasks]
+    first = tasks[0]
+    solutions = solve_models([f.model for f in formulations],
+                             backend=first.backend,
+                             time_limit=first.time_limit,
+                             presolve=first.presolve)
+    outcomes = []
+    for task, formulation, solution in zip(tasks, formulations, solutions):
+        design = (formulation.extract_design(solution)
+                  if solution.status.has_solution else None)
+        if design is None:
+            raise FormulationError(
+                f"batched synthesis of {task.label()!r} failed: "
+                f"{solution.status.value}")
+        outcomes.append(TaskOutcome(design=design, stats=solution.stats,
+                                    wall_seconds=solution.solve_seconds))
+    return outcomes

@@ -1,0 +1,371 @@
+"""The two-tier design cache: an in-memory LRU in front of the disk store.
+
+This module is the storage half of :mod:`repro.sched`.  It carries the
+content-addressed :class:`DesignCache` (historically defined in
+:mod:`repro.core.engine`, which still re-exports it) extended with:
+
+* a **memory tier** — a thread-safe :class:`MemoryTier` LRU consulted
+  before the on-disk pickle store, so a warm session serves repeated keys
+  without touching the filesystem;
+* a **single-flight registry** — :class:`SingleFlight` hands exactly one
+  caller per missing key the *leader* role while concurrent callers wait
+  for that one computation, making cache stampedes structurally
+  impossible (the :class:`repro.sched.scheduler.TaskScheduler` drives it);
+* the module-level :func:`task_key` identity function, usable without a
+  cache instance — the scheduler keys in-flight coalescing on it even
+  when caching is disabled.
+
+Keys deliberately omit ``time_limit``: only proven-optimal ILP designs
+(and deterministic heuristic baselines) are stored, and an optimum does
+not depend on the time budget that found it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import threading
+from collections import OrderedDict
+from dataclasses import replace
+from pathlib import Path
+from typing import Mapping
+
+from ..cost.transistors import CostModel
+from ..dfg.textio import to_dict as graph_to_dict
+from ..ilp.backends import resolve_backend_name
+
+#: Default capacity of the in-memory tier (entries, not bytes — outcomes
+#: for the paper's circuits are a few kilobytes each).
+DEFAULT_MEMORY_ENTRIES = 256
+
+
+# ----------------------------------------------------------------------
+# task identity
+# ----------------------------------------------------------------------
+def _cost_model_payload(cost_model: CostModel) -> dict:
+    return {
+        "bit_width": cost_model.bit_width,
+        "reference_width": cost_model.reference_width,
+        "register_costs": {kind.name: cost
+                           for kind, cost in sorted(cost_model.register_costs.items(),
+                                                    key=lambda item: item[0].name)},
+        "mux_costs": {str(n): cost for n, cost in sorted(cost_model.mux_costs.items())},
+        "mux_extrapolation_step": cost_model.mux_extrapolation_step,
+        "constant_tpg_weight": cost_model.constant_tpg_weight,
+    }
+
+
+def _options_payload(options) -> dict:
+    from ..core.formulation import FormulationOptions  # lazy: core imports sched
+
+    options = options or FormulationOptions()
+    fixed = options.fixed_register_assignment
+    return {
+        "num_registers": options.num_registers,
+        "allow_commutative_swap": options.allow_commutative_swap,
+        "symmetry_reduction": options.symmetry_reduction,
+        "adverse_path_constraints": options.adverse_path_constraints,
+        "fixed_register_assignment": (sorted(fixed.items())
+                                      if isinstance(fixed, Mapping) else None),
+        "primary_input_policy": options.primary_input_policy,
+    }
+
+
+def task_key(task) -> str | None:
+    """Content hash identifying a :class:`~repro.core.engine.SweepTask`.
+
+    The same function keys the disk store, the memory tier and the
+    scheduler's in-flight coalescing: two tasks with equal keys are
+    guaranteed to produce the same outcome.  Returns ``None`` for tasks
+    with object backends (no stable identity — never deduplicated).
+    """
+    if not isinstance(task.backend, str):
+        return None  # object backends have no stable identity
+    payload = {
+        "schema": 2,
+        "graph": graph_to_dict(task.graph),
+        "cost_model": _cost_model_payload(task.cost_model),
+        "options": _options_payload(task.options),
+        "kind": task.kind,
+        "k": task.k,
+        "method": task.method,
+        # Heuristic baselines never touch the ILP backend or the
+        # acceleration pipeline, so their cached results stay valid
+        # across --backend / --presolve changes.
+        "backend": (None if task.kind == "baseline"
+                    else resolve_backend_name(task.backend)),
+        "presolve": (False if task.kind == "baseline" else task.presolve),
+    }
+    blob = json.dumps(payload, sort_keys=True, default=str).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# the memory tier
+# ----------------------------------------------------------------------
+class MemoryTier:
+    """A thread-safe LRU of recently served outcomes (the hot tier).
+
+    ``capacity`` bounds the entry count; inserting beyond it evicts the
+    least recently *used* key.  ``capacity <= 0`` disables the tier (every
+    get is a miss), which keeps :class:`DesignCache` purely disk-backed.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_MEMORY_ENTRIES):
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, object] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: str):
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return self._entries[key]
+            self.misses += 1
+            return None
+
+    def put(self, key: str, value) -> None:
+        if self.capacity <= 0:
+            return
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def discard(self, key: str) -> None:
+        with self._lock:
+            self._entries.pop(key, None)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def info(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+
+# ----------------------------------------------------------------------
+# single-flight
+# ----------------------------------------------------------------------
+class _Flight:
+    """One in-progress computation: an event plus its eventual result."""
+
+    __slots__ = ("event", "outcome", "error")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.outcome = None
+        self.error: BaseException | None = None
+
+
+class SingleFlight:
+    """Per-key computation registry: one leader computes, others wait.
+
+    :meth:`claim` atomically either registers the caller as the key's
+    *leader* (it must later :meth:`fulfill` or :meth:`fail` the key) or
+    hands back the existing flight to :meth:`wait` on.  ``waits`` counts
+    how many callers were spared a duplicate computation.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._flights: dict[str, _Flight] = {}
+        self.waits = 0
+
+    def claim(self, key: str) -> tuple[str, _Flight | None]:
+        """``("leader", None)`` when the caller must compute ``key``;
+        ``("waiter", flight)`` when someone else already is."""
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is None:
+                self._flights[key] = _Flight()
+                return "leader", None
+            self.waits += 1
+            return "waiter", flight
+
+    def fulfill(self, key: str, outcome) -> None:
+        """Publish the leader's result and release every waiter."""
+        with self._lock:
+            flight = self._flights.pop(key, None)
+        if flight is not None:
+            flight.outcome = outcome
+            flight.event.set()
+
+    def fail(self, key: str, error: BaseException) -> None:
+        """Propagate the leader's failure to every waiter."""
+        with self._lock:
+            flight = self._flights.pop(key, None)
+        if flight is not None:
+            flight.error = error
+            flight.event.set()
+
+    @staticmethod
+    def wait(flight: _Flight):
+        """Block until the flight resolves; re-raise the leader's error."""
+        flight.event.wait()
+        if flight.error is not None:
+            raise flight.error
+        return flight.outcome
+
+
+# ----------------------------------------------------------------------
+# the two-tier design cache
+# ----------------------------------------------------------------------
+class DesignCache:
+    """Content-addressed memoisation of solved designs, in two tiers.
+
+    Keys are SHA-256 hashes over a canonical JSON description of everything
+    that determines a task's outcome: the DFG (via :mod:`repro.dfg.textio`),
+    the cost model, the formulation options, k, the task kind/method, the
+    resolved backend name and the presolve toggle (see :func:`task_key`).
+    Values are :class:`~repro.core.engine.TaskOutcome` objects — pickled in
+    the on-disk tier, held live in the in-memory LRU tier consulted first.
+    ``time_limit`` is intentionally not part of the key — the engine only
+    stores proven-optimal designs (and deterministic baselines), and an
+    optimum does not depend on the time budget that found it.
+
+    The cache also owns a :class:`SingleFlight` registry (``flights``) the
+    :class:`~repro.sched.scheduler.TaskScheduler` uses so concurrent
+    requests for one missing key trigger exactly one computation.
+
+    The default root is ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-advbist``.
+    """
+
+    def __init__(self, root: str | Path | None = None,
+                 memory_entries: int = DEFAULT_MEMORY_ENTRIES):
+        if root is None:
+            root = os.environ.get("REPRO_CACHE_DIR", "~/.cache/repro-advbist")
+        self.root = Path(root).expanduser()
+        self.memory = MemoryTier(memory_entries)
+        self.flights = SingleFlight()
+
+    # -- keying --------------------------------------------------------
+    _cost_model_payload = staticmethod(_cost_model_payload)
+    _options_payload = staticmethod(_options_payload)
+
+    def key_for(self, task) -> str | None:
+        """Cache key of a task, or None when the task is not cacheable."""
+        return task_key(task)
+
+    # -- storage -------------------------------------------------------
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def _served(self, outcome):
+        """A cache-hit copy: the stored outcome is shared (memory tier), so
+        the served object must be a fresh instance with ``cached=True``."""
+        return replace(outcome, cached=True)
+
+    def get(self, key: str | None):
+        if key is None:
+            return None
+        hot = self.memory.get(key)
+        if hot is not None:
+            return self._served(hot)
+        path = self._path(key)
+        if not path.exists():
+            return None
+        try:
+            with path.open("rb") as handle:
+                outcome = pickle.load(handle)
+            served = self._validated(outcome)
+        except Exception:
+            # Corrupt or stale (older-version) entries must read as misses,
+            # never crash a sweep; pickle raises whatever the mangled byte
+            # stream implies (UnpicklingError, ValueError, ImportError, ...).
+            # Evict the bad file so the miss is paid once, not on every
+            # subsequent sweep; the fresh solve then re-publishes the key.
+            served = None
+        if served is None:
+            self._evict(path)
+            return None
+        self.memory.put(key, outcome)
+        return served
+
+    def _validated(self, outcome):
+        from ..core.engine import TaskOutcome  # lazy: core imports sched
+
+        if not isinstance(outcome, TaskOutcome):
+            return None
+        # replace() also rejects pre-refactor pickles missing newer fields.
+        return self._served(outcome)
+
+    @staticmethod
+    def _evict(path: Path) -> None:
+        """Best-effort removal of an unusable cache entry."""
+        try:
+            path.unlink(missing_ok=True)
+        except OSError:  # pragma: no cover - racing unlink / read-only store
+            pass
+
+    def put(self, key: str | None, outcome) -> None:
+        if key is None:
+            return
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with tmp.open("wb") as handle:
+            pickle.dump(outcome, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        tmp.replace(path)  # atomic publish; concurrent writers converge
+        self.memory.put(key, outcome)
+
+    def info(self) -> dict:
+        """Summary of both tiers: the disk store plus the memory LRU.
+
+        The top-level ``root`` / ``entries`` / ``bytes`` keys describe the
+        on-disk tier (unchanged shape for existing consumers); ``memory``
+        adds the hot tier's entry count, hit/miss/eviction counters and the
+        number of single-flight waits the cache's flight registry absorbed.
+        """
+        entries = 0
+        size = 0
+        if self.root.exists():
+            for path in self.root.glob("*/*.pkl"):
+                try:
+                    size += path.stat().st_size
+                except OSError:  # pragma: no cover - racing eviction
+                    continue
+                entries += 1
+        return {
+            "root": str(self.root),
+            "entries": entries,
+            "bytes": size,
+            "memory": {**self.memory.info(),
+                       "single_flight_waits": self.flights.waits},
+        }
+
+    def clear(self) -> int:
+        """Delete every cached entry (both tiers); returns the number of
+        disk entries removed.
+
+        Also sweeps ``*.tmp.*`` leftovers from interrupted :meth:`put` calls
+        (they are not counted — they were never published entries).
+        """
+        removed = 0
+        if self.root.exists():
+            for path in self.root.glob("*/*.pkl"):
+                path.unlink(missing_ok=True)
+                removed += 1
+            for path in self.root.glob("*/*.tmp.*"):
+                path.unlink(missing_ok=True)
+        self.memory.clear()
+        return removed

@@ -1,0 +1,186 @@
+"""The cross-request task scheduler: coalescing in front of the solvers.
+
+:class:`TaskScheduler` sits between every job front end and the solver
+stack.  Jobs hand it their full :class:`~repro.core.engine.SweepTask`
+lists; the scheduler resolves each task by, in order:
+
+1. **intra-request dedup** — identical tasks within one submission share
+   a single computation (so a grid containing duplicates never re-solves
+   them, even with caching disabled);
+2. **cache probe** — the attached two-tier :class:`~repro.sched.cache.DesignCache`;
+3. **in-flight coalescing** — if another request is already computing the
+   key, this one waits for that single computation's
+   :class:`~repro.core.engine.TaskOutcome` instead of starting its own
+   (single-flight: stampedes on a cold key are structurally impossible);
+4. **execution** — remaining misses go to the caller-supplied runner
+   (the engine's chain builder + executor + compound batcher), and the
+   results fan out to every coalesced waiter and into the cache.
+
+One scheduler is shared per :class:`repro.api.Session` (and therefore per
+``repro serve`` daemon), which is what makes the dedup *cross-request*:
+N concurrent near-identical jobs perform the unique solves once.
+Identity is :func:`repro.sched.cache.task_key` — the same content hash
+that keys the design cache.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, replace
+from typing import Callable, Sequence
+
+from .cache import DesignCache, SingleFlight, task_key
+
+
+def cacheable(task, outcome) -> bool:
+    """Whether an outcome may enter the design cache (or fan out via it).
+
+    Only proven-optimal ILP designs are stored: an optimum is independent of
+    the time limit that produced it, so the cache key can (deliberately) omit
+    ``time_limit``.  A feasible-but-unproven design from a short limit must
+    not shadow a later run with a bigger budget.  Heuristic baselines are
+    deterministic and always cacheable.
+    """
+    if task.kind == "baseline":
+        return True
+    return bool(getattr(outcome.design, "optimal", False))
+
+
+@dataclass
+class SchedulerStats:
+    """Counters of one scheduler's lifetime (cumulative, thread-safe via
+    the owning scheduler's lock).
+
+    ``submitted`` counts every task handed to :meth:`TaskScheduler.execute`;
+    ``executed`` counts the tasks that actually reached a solver runner —
+    the difference is work the scheduler absorbed (``cache_hits`` +
+    ``deduped`` intra-request duplicates + ``coalesced`` joins of another
+    request's in-flight computation).
+    """
+
+    submitted: int = 0
+    cache_hits: int = 0
+    deduped: int = 0
+    coalesced: int = 0
+    executed: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "cache_hits": self.cache_hits,
+            "deduped": self.deduped,
+            "coalesced": self.coalesced,
+            "executed": self.executed,
+        }
+
+
+#: Runner signature: ``runner(miss_indices, partial_outcomes)`` returns one
+#: outcome per miss index (aligned).  The full partial outcome list is
+#: passed so the engine can seed warm-start hints from cache hits.
+Runner = Callable[[Sequence[int], Sequence[object]], Sequence[object]]
+
+
+class TaskScheduler:
+    """Coalesce, cache and dispatch task lists across concurrent requests.
+
+    Thread-safe: any number of threads may call :meth:`execute`
+    concurrently (the :class:`repro.api.Session` shares one scheduler
+    across all of its jobs).  When a ``cache`` is attached, its
+    :class:`~repro.sched.cache.SingleFlight` registry carries the
+    in-flight table so the cache's ``info()`` reports the waits; without a
+    cache the scheduler falls back to a private registry — in-flight
+    coalescing works even with caching disabled.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._flights = SingleFlight()
+        self.stats = SchedulerStats()
+
+    def _count(self, field: str, amount: int = 1) -> None:
+        with self._lock:
+            setattr(self.stats, field, getattr(self.stats, field) + amount)
+
+    def stats_snapshot(self) -> dict:
+        with self._lock:
+            return self.stats.as_dict()
+
+    def execute(self, tasks: Sequence, runner: Runner,
+                cache: DesignCache | None = None) -> list:
+        """Resolve every task, returning outcomes in task order.
+
+        ``runner`` is only invoked for the tasks this request must compute
+        itself (cache misses it leads); its failures propagate to this
+        caller *and* to every request coalesced onto those keys.
+        """
+        flights = cache.flights if cache is not None else self._flights
+        n = len(tasks)
+        outcomes: list = [None] * n
+        keys: list[str | None] = [None] * n
+        misses: list[int] = []            # leader + unkeyable indices
+        leader_for: dict[str, int] = {}   # key -> leading index (this request)
+        followers: list[tuple[int, str]] = []
+        waiters: list[tuple[int, object]] = []
+        self._count("submitted", n)
+
+        for i, task in enumerate(tasks):
+            keys[i] = key = task_key(task)
+            if key is None:
+                misses.append(i)  # object backends: never deduplicated
+                continue
+            if key in leader_for:
+                followers.append((i, key))
+                self._count("deduped")
+                continue
+            if cache is not None:
+                hit = cache.get(key)
+                if hit is not None:
+                    outcomes[i] = hit
+                    self._count("cache_hits")
+                    continue
+            role, flight = flights.claim(key)
+            if role == "waiter":
+                waiters.append((i, flight))
+                self._count("coalesced")
+                continue
+            if cache is not None:
+                # Double-check: a previous leader may have fulfilled (and
+                # cached) between our probe miss and the claim.  Release the
+                # claim by publishing the hit to any waiters that raced in.
+                hit = cache.get(key)
+                if hit is not None:
+                    flights.fulfill(key, hit)
+                    outcomes[i] = hit
+                    self._count("cache_hits")
+                    continue
+            leader_for[key] = i
+            misses.append(i)
+
+        pending = dict(leader_for)  # keys this request still owes an answer
+        try:
+            if misses:
+                solved = list(runner(misses, outcomes))
+                if len(solved) != len(misses):
+                    raise RuntimeError(
+                        f"scheduler runner returned {len(solved)} outcomes "
+                        f"for {len(misses)} tasks")
+                self._count("executed", len(misses))
+                for i, outcome in zip(misses, solved):
+                    outcomes[i] = outcome
+                    key = keys[i]
+                    if key is None:
+                        continue
+                    if cache is not None and cacheable(tasks[i], outcome):
+                        cache.put(key, outcome)
+                    flights.fulfill(key, outcome)
+                    pending.pop(key, None)
+        except BaseException as exc:
+            for key in pending:
+                flights.fail(key, exc)
+            raise
+
+        for i, key in followers:
+            outcomes[i] = replace(outcomes[leader_for[key]], coalesced=True)
+        for i, flight in waiters:
+            outcomes[i] = replace(flights.wait(flight), coalesced=True)
+        return outcomes

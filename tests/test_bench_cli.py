@@ -93,9 +93,9 @@ def test_bench_compare_flags_regressions_with_nonzero_exit(
     assert "regressed past 1.5x" in output
 
 
-def test_bench_compare_gates_against_the_legacy_checked_in_report(
+def test_bench_compare_gates_against_the_checked_in_report(
         fresh_report_path, capsys):
-    """The migration shim makes the schema-1 baseline comparable."""
+    """The committed baseline stays comparable with fresh runs."""
     from pathlib import Path
 
     legacy = Path(__file__).resolve().parent.parent / "BENCH_regress.json"
@@ -115,7 +115,7 @@ def test_bench_history_renders_trajectory(fresh_report_path, capsys):
                  str(legacy)]) == 0
     output = capsys.readouterr().out
     assert "Benchmark history" in output
-    assert "table2" in output and "table3" in output
+    assert "solver-micro" in output and "cold_batched" in output
 
 
 def test_bench_run_unknown_suite_exits_2(capsys):

@@ -15,7 +15,7 @@ from repro.bench import (
     validate_report,
 )
 from repro.bench.compare import flatten_timings, load_report
-from repro.bench.schema import BENCH_SCHEMA, LEGACY_BENCH_SCHEMA
+from repro.bench.schema import BENCH_SCHEMA
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 CHECKED_IN_REPORT = REPO_ROOT / "BENCH_regress.json"
@@ -24,19 +24,21 @@ CHECKED_IN_REPORT = REPO_ROOT / "BENCH_regress.json"
 # ----------------------------------------------------------------------
 # the checked-in perf baseline
 # ----------------------------------------------------------------------
-def test_checked_in_report_is_legacy_schema_1():
+def test_checked_in_report_is_current_schema_2():
     data = json.loads(CHECKED_IN_REPORT.read_text(encoding="utf-8"))
-    assert data["schema"] == LEGACY_BENCH_SCHEMA
-    assert data["bench"] == "bench_regress"
+    assert data["schema"] == BENCH_SCHEMA
+    assert data["bench"] == "repro.bench"
 
 
-def test_checked_in_report_migrates_and_validates():
-    """The committed baseline must stay loadable through the shim."""
+def test_checked_in_report_validates():
+    """The committed baseline must stay loadable without migration."""
     report = load_report(CHECKED_IN_REPORT)
     assert report["schema"] == BENCH_SCHEMA
     validate_report(report)  # raises on any malformation
-    assert set(report["suites"]) == {"table2", "table3"}
-    assert report["migrated_from"]["schema"] == LEGACY_BENCH_SCHEMA
+    assert set(report["suites"]) == {"solver-micro"}
+    # the CI gate's batched scenario is part of the committed baseline
+    scenarios = report["suites"]["solver-micro"]["scenarios"]
+    assert scenarios["cold_batched"]["batch"] is True
 
 
 def test_checked_in_report_asserts_parity():
@@ -49,12 +51,13 @@ def test_checked_in_report_asserts_parity():
 
 
 def test_checked_in_report_keeps_comparable_unit_keys():
-    """The CI gate matches on scenario/unit keys; the legacy baseline
-    must expose the labels the live suites produce."""
+    """The CI gate matches on scenario/unit keys; the baseline must
+    expose the labels the live solver-micro suite produces."""
     flat = flatten_timings(load_report(CHECKED_IN_REPORT))
-    assert "cold_baseline/sweep:fig1" in flat
-    assert "cold_baseline/compare:fig1" in flat
-    assert "cold_accel/sweep:tseng" in flat
+    for scenario in ("cold_baseline", "cold_accel", "cold_batched",
+                     "warm_cache"):
+        assert f"{scenario}/sweep:fig1" in flat
+        assert f"{scenario}/compare:fig1" in flat
     assert all(seconds >= 0 for seconds in flat.values())
 
 

@@ -9,9 +9,10 @@ from repro.bench.suites import PAPER_CIRCUITS
 from repro.circuits import list_circuits
 
 
-def test_the_five_built_in_suites_exist():
-    assert list_suites() == ["fuzz-throughput", "solver-micro",
-                             "sweep-scaling", "table2", "table3"]
+def test_the_six_built_in_suites_exist():
+    assert list_suites() == ["dedup-throughput", "fuzz-throughput",
+                             "solver-micro", "sweep-scaling",
+                             "table2", "table3"]
 
 
 def test_paper_suites_cover_every_builtin_circuit():

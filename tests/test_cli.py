@@ -298,7 +298,8 @@ def test_synthesize_json_emits_envelope(capsys):
     assert envelope["job"] == {"job": "synthesize", "schema": 1,
                                "circuit": "fig1", "graph": None, "k": 2,
                                "backend": None, "time_limit": None,
-                               "use_cache": None, "presolve": None}
+                               "use_cache": None, "presolve": None,
+                               "batch": None}
     assert envelope["payload"]["verified"] is True
 
 

@@ -191,6 +191,9 @@ def test_corrupt_cache_entry_is_resolved_and_republished(tmp_path, fig1_graph):
     path = cache._path(key)
     original = path.read_bytes()
     path.write_bytes(b"mangled bytes")
+    # Drop the memory tier: this models a *fresh process* finding a corrupt
+    # disk entry (in-process, the LRU would legitimately serve the design).
+    cache.memory.clear()
 
     result = engine.sweep(fig1_graph)
     corrupted = [r for r in result.reports if r.kind == "advbist" and r.k == 1]
@@ -380,7 +383,9 @@ def test_non_persistent_executor_keeps_no_pool(fig1_graph):
 def test_cache_info_counts_entries_and_bytes(tmp_path, fig1_graph):
     cache = DesignCache(tmp_path / "cache")
     empty = cache.info()
-    assert empty == {"root": str(tmp_path / "cache"), "entries": 0, "bytes": 0}
+    assert (empty["root"], empty["entries"], empty["bytes"]) == \
+        (str(tmp_path / "cache"), 0, 0)
+    assert empty["memory"]["entries"] == 0
     engine = SweepEngine(time_limit=TIME_LIMIT, cache=cache)
     engine.sweep(fig1_graph, max_k=1)
     info = cache.info()

@@ -1,0 +1,269 @@
+"""The cross-request scheduler: coalescing, two-tier cache, batching."""
+
+import threading
+
+import pytest
+
+from repro.circuits import fig1
+from repro.core.engine import DesignCache, SweepEngine, TaskOutcome, TaskScheduler
+from repro.ilp.backends import register_backend
+from repro.sched.cache import MemoryTier, SingleFlight
+from repro.sched.batching import batchable_chain
+
+TIME_LIMIT = 60.0
+
+
+# ----------------------------------------------------------------------
+# memory tier + single flight primitives
+# ----------------------------------------------------------------------
+def test_memory_tier_is_lru_and_reports_info():
+    tier = MemoryTier(capacity=2)
+    tier.put("a", 1)
+    tier.put("b", 2)
+    assert tier.get("a") == 1          # refreshes a's recency
+    tier.put("c", 3)                   # evicts b, the least recent
+    assert tier.get("b") is None
+    assert tier.get("a") == 1 and tier.get("c") == 3
+    info = tier.info()
+    assert info["entries"] == 2 and info["capacity"] == 2
+    assert info["evictions"] == 1
+    assert info["hits"] == 3 and info["misses"] == 1
+
+
+def test_memory_tier_capacity_zero_disables_storage():
+    tier = MemoryTier(capacity=0)
+    tier.put("a", 1)
+    assert tier.get("a") is None and len(tier) == 0
+
+
+def test_single_flight_waiter_receives_leader_outcome():
+    flights = SingleFlight()
+    role, flight = flights.claim("k")
+    assert role == "leader" and flight is None
+    role, flight = flights.claim("k")
+    assert role == "waiter" and flight is not None
+    flights.fulfill("k", "result")
+    assert SingleFlight.wait(flight) == "result"
+    assert flights.waits == 1
+    # the key is released: the next claim leads again
+    assert flights.claim("k")[0] == "leader"
+
+
+def test_single_flight_waiter_reraises_leader_error():
+    flights = SingleFlight()
+    flights.claim("k")
+    _, flight = flights.claim("k")
+    flights.fail("k", RuntimeError("leader died"))
+    with pytest.raises(RuntimeError, match="leader died"):
+        SingleFlight.wait(flight)
+
+
+# ----------------------------------------------------------------------
+# counting backend helper
+# ----------------------------------------------------------------------
+def _register_counting_backend(name="counting-test"):
+    """A registry backend that counts solves and delegates to the default."""
+    from repro.ilp.model import _resolve_backend
+
+    @register_backend(name, supports_sparse=True,
+                      description="counts backend calls (test only)")
+    class CountingBackend:
+        calls = 0
+        lock = threading.Lock()
+
+        def solve(self, form, time_limit=None, mip_gap=1e-6):
+            with CountingBackend.lock:
+                CountingBackend.calls += 1
+            return _resolve_backend("auto").solve(form, time_limit=time_limit,
+                                                  mip_gap=mip_gap)
+
+    return CountingBackend
+
+
+# ----------------------------------------------------------------------
+# coalescing + dedup through the engine
+# ----------------------------------------------------------------------
+def test_stampede_executes_exactly_one_solve(tmp_path, fig1_graph,
+                                             backend_registry_snapshot):
+    """8 threads racing the same task: one compute, everyone served."""
+    counting = _register_counting_backend()
+    cache = DesignCache(tmp_path / "cache")
+    scheduler = TaskScheduler()
+    barrier = threading.Barrier(8)
+    results: list[TaskOutcome] = [None] * 8
+    errors: list[BaseException] = []
+
+    def worker(i):
+        try:
+            engine = SweepEngine(backend="counting-test",
+                                 time_limit=TIME_LIMIT, cache=cache,
+                                 scheduler=scheduler)
+            barrier.wait()
+            outcomes, _ = engine.run([engine.task(fig1_graph, "advbist", k=1)])
+            results[i] = outcomes[0]
+        except BaseException as exc:  # pragma: no cover - diagnostics only
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    assert not errors
+    assert counting.calls == 1
+    stats = scheduler.stats_snapshot()
+    assert stats["executed"] == 1
+    assert stats["coalesced"] + stats["cache_hits"] == 7
+    objectives = {r.design.objective for r in results}
+    assert len(objectives) == 1
+
+
+def test_intra_run_dedup_without_cache(fig1_graph, backend_registry_snapshot):
+    """Duplicate tasks inside one run collapse even with caching disabled."""
+    counting = _register_counting_backend()
+    engine = SweepEngine(backend="counting-test", time_limit=TIME_LIMIT,
+                         cache=False)
+    task = engine.task(fig1_graph, "advbist", k=1)
+    outcomes, reports = engine.run([task, task, task])
+    assert counting.calls == 1
+    assert [o.coalesced for o in outcomes] == [False, True, True]
+    assert [r.coalesced for r in reports] == [False, True, True]
+    assert engine.scheduler.stats_snapshot()["deduped"] == 2
+
+
+def test_sweep_many_dedups_duplicate_graphs(fig1_graph,
+                                            backend_registry_snapshot):
+    """sweep_many over the same circuit twice solves its grid once."""
+    counting = _register_counting_backend()
+    engine = SweepEngine(backend="counting-test", time_limit=TIME_LIMIT,
+                         cache=False, warm_start=False)
+    results = engine.sweep_many([fig1_graph, fig1_graph], max_k=2)
+    assert counting.calls == 3  # reference + k=1 + k=2, each exactly once
+    stats = engine.scheduler.stats_snapshot()
+    assert stats["submitted"] == 6 and stats["deduped"] == 3
+    assert results[fig1_graph.name].entries
+
+
+def test_leader_failure_propagates_to_waiters(fig1_graph,
+                                              backend_registry_snapshot):
+    """A failing leader fails its waiters too — nobody deadlocks."""
+    @register_backend("failing-test", supports_sparse=True,
+                      description="always raises (test only)")
+    class FailingBackend:
+        def solve(self, form, time_limit=None, mip_gap=1e-6):
+            raise RuntimeError("backend exploded")
+
+    scheduler = TaskScheduler()
+    barrier = threading.Barrier(2)
+    failures: list[BaseException] = []
+
+    def worker():
+        engine = SweepEngine(backend="failing-test", time_limit=TIME_LIMIT,
+                             cache=False, scheduler=scheduler)
+        barrier.wait()
+        try:
+            engine.run([engine.task(fig1_graph, "advbist", k=1)])
+        except RuntimeError as exc:
+            failures.append(exc)
+
+    threads = [threading.Thread(target=worker) for _ in range(2)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=TIME_LIMIT)
+    assert len(failures) == 2
+
+
+# ----------------------------------------------------------------------
+# two-tier cache semantics
+# ----------------------------------------------------------------------
+def test_cache_hits_are_copies_of_the_stored_outcome(tmp_path, fig1_graph):
+    cache = DesignCache(tmp_path / "cache")
+    engine = SweepEngine(time_limit=TIME_LIMIT, cache=cache)
+    engine.run([engine.task(fig1_graph, "advbist", k=1)])
+    key = cache.key_for(engine.task(fig1_graph, "advbist", k=1))
+    first = cache.get(key)
+    second = cache.get(key)
+    assert first is not second           # served copies, never the stored object
+    assert first.cached and second.cached
+    # memory tier was populated by the put and hit on both reads
+    assert cache.memory.info()["hits"] >= 1
+
+
+def test_memory_tier_serves_after_disk_eviction(tmp_path, fig1_graph):
+    """An in-process reader survives losing the disk entry under it."""
+    cache = DesignCache(tmp_path / "cache")
+    engine = SweepEngine(time_limit=TIME_LIMIT, cache=cache)
+    task = engine.task(fig1_graph, "advbist", k=1)
+    engine.run([task])
+    key = cache.key_for(task)
+    cache._path(key).unlink()            # disk tier gone, memory tier intact
+    assert cache.get(key) is not None
+
+
+def test_cache_clear_drops_both_tiers(tmp_path, fig1_graph):
+    cache = DesignCache(tmp_path / "cache")
+    engine = SweepEngine(time_limit=TIME_LIMIT, cache=cache)
+    engine.run([engine.task(fig1_graph, "advbist", k=1)])
+    assert cache.clear() == 1
+    assert len(cache.memory) == 0
+    assert cache.info()["entries"] == 0
+
+
+# ----------------------------------------------------------------------
+# compound batched solving
+# ----------------------------------------------------------------------
+def test_batched_run_uses_one_backend_call(fig1_graph,
+                                           backend_registry_snapshot):
+    counting = _register_counting_backend()
+    engine = SweepEngine(backend="counting-test", time_limit=TIME_LIMIT,
+                         cache=False, warm_start=False, batch=True)
+    tasks = [engine.task(fig1_graph, "reference"),
+             engine.task(fig1_graph, "advbist", k=1),
+             engine.task(fig1_graph, "advbist", k=2)]
+    outcomes, reports = engine.run(tasks)
+    assert counting.calls == 1           # one compound call for all three
+    assert all(o.stats.batch["size"] == 3 for o in outcomes)
+    assert all(r.as_row()["batch_size"] == 3 for r in reports)
+
+
+def test_batchable_chain_excludes_hinted_and_multi_task_chains(fig1_graph):
+    from repro.core.engine import TaskChain
+
+    engine = SweepEngine(time_limit=TIME_LIMIT, cache=False)
+    ilp = engine.task(fig1_graph, "advbist", k=1)
+    baseline = engine.task(fig1_graph, "baseline", k=1, method="ADVAN")
+    assert batchable_chain(TaskChain(tasks=(ilp,), hints=(None,)))
+    assert not batchable_chain(TaskChain(tasks=(ilp,), hints=(100.0,)))
+    assert not batchable_chain(TaskChain(tasks=(ilp, ilp), hints=(None, None)))
+    assert not batchable_chain(TaskChain(tasks=(baseline,), hints=(None,)))
+
+
+@pytest.mark.parametrize("seed", [0, 7])
+def test_batched_matches_serial_objectives_on_random_dfgs(seed, fig1_graph):
+    """Property: compound batched solves reproduce serial objectives.
+
+    Random graphs contribute reference models (ADVBIST can be genuinely
+    infeasible on generated circuits — the fuzzer treats that as a valid
+    outcome); fig1 contributes ADVBIST blocks so the compound model mixes
+    both formulation kinds.
+    """
+    from repro.dfg.generate import generate_corpus
+
+    graphs = list(generate_corpus(3, seed=seed, num_operations=5))
+    serial = SweepEngine(time_limit=TIME_LIMIT, cache=False,
+                         warm_start=False, batch=False)
+    batched = SweepEngine(time_limit=TIME_LIMIT, cache=False,
+                          warm_start=False, batch=True)
+    tasks_of = lambda engine: (
+        [engine.task(graph, "reference") for graph in graphs]
+        + [engine.task(fig1_graph, "advbist", k=k) for k in (1, 2)]
+    )
+    serial_outcomes, _ = serial.run(tasks_of(serial))
+    batched_outcomes, _ = batched.run(tasks_of(batched))
+    for s, b in zip(serial_outcomes, batched_outcomes):
+        assert s.design.optimal and b.design.optimal
+        assert s.design.objective == pytest.approx(b.design.objective)
+    # the batched engine really took the compound path
+    assert any(o.stats is not None and o.stats.batch for o in batched_outcomes)
