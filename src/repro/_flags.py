@@ -122,6 +122,37 @@ def speedup_threshold(text: str) -> float:
     return value
 
 
+def host_port(text: str) -> tuple[str, int]:
+    """Parse a ``HOST:PORT`` endpoint for ``repro serve --tcp``.
+
+    The host part may be empty (bind all interfaces is spelled
+    ``0.0.0.0:PORT`` explicitly; a bare ``:PORT`` means localhost) and
+    port 0 asks the OS for an ephemeral port.
+
+    >>> host_port("127.0.0.1:7333")
+    ('127.0.0.1', 7333)
+    >>> host_port(":0")
+    ('127.0.0.1', 0)
+    >>> host_port("7333")
+    Traceback (most recent call last):
+        ...
+    argparse.ArgumentTypeError: --tcp must look like HOST:PORT, got '7333'
+    """
+    host, sep, port_text = text.rpartition(":")
+    if not sep:
+        raise argparse.ArgumentTypeError(
+            f"--tcp must look like HOST:PORT, got {text!r}")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--tcp port must be an integer, got {port_text!r}")
+    if not 0 <= port <= 65535:
+        raise argparse.ArgumentTypeError(
+            f"--tcp port must be in [0, 65535], got {port}")
+    return (host.strip() or "127.0.0.1", port)
+
+
 def resource_limits(text: str) -> dict[str, int]:
     """Parse ``--resources alu=1,mult=2`` into a class → count mapping.
 

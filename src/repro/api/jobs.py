@@ -284,7 +284,7 @@ class BenchJob(JobSpec):
     >>> BenchJob(suite="not-a-suite")
     Traceback (most recent call last):
         ...
-    repro.api.jobs.JobSpecError: unknown benchmark suite 'not-a-suite'; expected one of ['dedup-throughput', 'fuzz-throughput', 'solver-micro', 'sweep-scaling', 'table2', 'table3']
+    repro.api.jobs.JobSpecError: unknown benchmark suite 'not-a-suite'; expected one of ['dedup-throughput', 'fuzz-throughput', 'serve-load', 'solver-micro', 'sweep-scaling', 'table2', 'table3']
     """
 
     kind: ClassVar[str] = "bench"

@@ -1,10 +1,16 @@
-"""``repro serve`` — a JSON-lines batch daemon over stdin/stdout.
+"""``repro serve`` — the pipe transport of the serve protocol.
 
-The first traffic-shaped interface of the reproduction: a client writes
-one JSON document per line and reads JSON lines back, all through a
-single warm :class:`~repro.api.session.Session` (so the design cache and
-the worker pool persist across requests — a repeated job spec comes back
-with ``"cached": true``).
+A JSON-lines daemon over stdin/stdout: a client writes one JSON document
+per line and reads JSON lines back, all through a single warm
+:class:`~repro.api.session.Session` (so the design cache and the worker
+pool persist across requests — a repeated job spec comes back with
+``"cached": true``).
+
+The request grammar, control operations and response documents are
+defined once in :mod:`repro.net.protocol` and shared with the asyncio
+TCP transport (:mod:`repro.net.server`, ``repro serve --tcp``); this
+module only owns the pipe-specific plumbing: reading stdin, the response
+write lock, and the thread pool of ``--concurrency N``.
 
 Wire protocol
 -------------
@@ -16,8 +22,8 @@ Requests (one JSON object per line):
   ``"id"`` field (any JSON scalar) is echoed on every response line for
   that request; without one, the 1-based request sequence number is used.
 * a control message — ``{"op": "ping"}``, ``{"op": "cache_info"}``,
-  ``{"op": "cache_clear"}``, ``{"op": "scheduler_stats"}`` or
-  ``{"op": "shutdown"}``.
+  ``{"op": "cache_clear"}``, ``{"op": "scheduler_stats"}``,
+  ``{"op": "stats"}`` or ``{"op": "shutdown"}``.
 
 Responses (one JSON object per line, flushed immediately):
 
@@ -41,29 +47,45 @@ different clients coalesce on the session's shared
 :class:`~repro.sched.scheduler.TaskScheduler` (one solve, every request
 answered).  Response lines stay whole — writes are serialised by a lock —
 but *ordering across requests* is no longer guaranteed; clients must
-correlate by ``id``.  Control messages are always answered inline, and
-``shutdown`` / EOF waits for in-flight jobs before the daemon exits.
+correlate by ``id``.  The reader runs at most ``2 × concurrency``
+requests ahead of the workers (a semaphore, so a fast producer cannot
+enqueue unbounded work), control messages are always answered inline,
+and ``shutdown`` / EOF waits for in-flight jobs before the daemon exits.
+A worker hitting ``BrokenPipeError`` (the client went away) stops the
+reader at its next request and cancels the queued backlog instead of
+solving jobs nobody will read.
 """
 
 from __future__ import annotations
 
-import json
 import sys
 import threading
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import CancelledError, ThreadPoolExecutor
 from typing import IO
 
-from .envelope import ResultEnvelope
-from .jobs import JobSpecError, job_from_dict
+from ..net.protocol import (
+    CONTROL_OPS,
+    ProtocolError,
+    decode_request,
+    error_doc,
+    handle_control,
+    parse_job,
+    run_job,
+    shutdown_doc,
+)
+from .jobs import JobSpecError
 from .session import Session
 
-#: Control operations the daemon answers besides job specs.
-CONTROL_OPS = ("ping", "cache_info", "cache_clear", "scheduler_stats",
-               "shutdown")
+__all__ = ["CONTROL_OPS", "serve"]
+
+#: The reader may run this many requests ahead of the workers, per worker.
+_QUEUE_AHEAD = 2
 
 
 def _write_line(stream: IO[str], document: dict,
                 lock: threading.Lock | None = None) -> None:
+    import json
+
     payload = json.dumps(document, sort_keys=True) + "\n"
     if lock is None:
         stream.write(payload)
@@ -108,84 +130,66 @@ def _serve_loop(session: Session, stdin: IO[str], stdout: IO[str],
     pool = (ThreadPoolExecutor(max_workers=concurrency)
             if concurrency > 1 else None)
     futures: list = []
+    # Backpressure: the reader blocks once `concurrency * _QUEUE_AHEAD`
+    # jobs are queued or running, instead of reading stdin unboundedly
+    # ahead of the workers.
+    slots = threading.BoundedSemaphore(concurrency * _QUEUE_AHEAD)
+    # Set by a worker whose response write hit BrokenPipeError: the client
+    # is gone, so the reader stops promptly and the backlog is cancelled.
+    client_gone = threading.Event()
 
-    def run_job(job, request_id) -> None:
-        def stream_event(event: dict, _id=request_id) -> None:
-            _write_line(stdout, {"type": "progress", "id": _id, **event}, lock)
+    def emit(document: dict) -> None:
+        _write_line(stdout, document, lock)
 
-        envelope: ResultEnvelope = session.run(
-            job, progress=stream_event if progress else None)
-        _write_line(stdout, {"type": "result", "id": request_id,
-                             "envelope": envelope.to_dict()}, lock)
+    def run_pooled(job, request_id) -> None:
+        try:
+            run_job(session, job, request_id, emit, progress)
+        except BrokenPipeError:
+            client_gone.set()
+        finally:
+            slots.release()
 
     try:
         for sequence, line in enumerate(stdin, start=1):
+            if client_gone.is_set():
+                raise BrokenPipeError("client disconnected mid-batch")
             line = line.strip()
             if not line:
                 continue
-            request_id = sequence
             try:
-                data = json.loads(line)
-            except json.JSONDecodeError as exc:
-                _write_line(stdout, {
-                    "type": "error", "id": request_id,
-                    "error": {"type": "ProtocolError",
-                              "message": f"request is not valid JSON: {exc}"},
-                }, lock)
+                request = decode_request(line, sequence)
+            except ProtocolError as exc:
+                emit(error_doc(sequence, "ProtocolError", str(exc)))
                 continue
-            if isinstance(data, dict) and "id" in data:
-                request_id = data.pop("id")  # protocol field, not the spec
             handled += 1
 
             # -- control messages (always answered inline) -------------
-            if isinstance(data, dict) and "op" in data:
-                op = data["op"]
-                if op == "shutdown":
+            if request.kind == "control":
+                if request.op == "shutdown":
                     _drain(futures)
-                    _write_line(stdout, {"type": "control", "id": request_id,
-                                         "op": "shutdown", "ok": True}, lock)
+                    emit(shutdown_doc(request.id))
                     break
-                if op == "ping":
-                    _write_line(stdout, {"type": "control", "id": request_id,
-                                         "op": "ping", "ok": True}, lock)
-                elif op == "cache_info":
-                    _write_line(stdout, {"type": "control", "id": request_id,
-                                         "op": "cache_info", "ok": True,
-                                         "cache": session.cache_info()}, lock)
-                elif op == "cache_clear":
-                    _write_line(stdout, {"type": "control", "id": request_id,
-                                         "op": "cache_clear", "ok": True,
-                                         "removed": session.cache_clear()},
-                                lock)
-                elif op == "scheduler_stats":
-                    _write_line(stdout, {"type": "control", "id": request_id,
-                                         "op": "scheduler_stats", "ok": True,
-                                         "scheduler": session.scheduler_stats()},
-                                lock)
-                else:
-                    _write_line(stdout, {
-                        "type": "error", "id": request_id,
-                        "error": {"type": "ProtocolError",
-                                  "message": f"unknown op {op!r}; "
-                                             f"expected one of {CONTROL_OPS}"},
-                    }, lock)
+                emit(handle_control(session, request))
                 continue
 
             # -- job specs ---------------------------------------------
             try:
-                job = job_from_dict(data)
+                job = parse_job(request.data)
             except JobSpecError as exc:
-                _write_line(stdout, {
-                    "type": "error", "id": request_id,
-                    "error": {"type": "JobSpecError", "message": str(exc)},
-                }, lock)
+                emit(error_doc(request.id, "JobSpecError", str(exc)))
                 continue
 
             if pool is None:
-                run_job(job, request_id)
+                run_job(session, job, request.id, emit, progress)
             else:
-                futures.append(pool.submit(run_job, job, request_id))
+                slots.acquire()
+                futures.append(pool.submit(run_pooled, job, request.id))
     finally:
+        if client_gone.is_set() and pool is not None:
+            # Nobody is reading: cancel the queued backlog and only join
+            # the jobs already running, instead of solving the rest.
+            pool.shutdown(wait=True, cancel_futures=True)
+            futures.clear()
         _drain(futures)
         if pool is not None:
             pool.shutdown()
@@ -193,8 +197,11 @@ def _serve_loop(session: Session, stdin: IO[str], stdout: IO[str],
 
 
 def _drain(futures: list) -> None:
-    """Wait for every dispatched job; surfaces nothing (run_job writes
-    its own result/error lines and session.run never raises for job
-    errors)."""
+    """Wait for every dispatched job; surfaces nothing (run_pooled writes
+    its own result/error lines, swallows client disconnects and
+    session.run never raises for job errors)."""
     while futures:
-        futures.pop().result()
+        try:
+            futures.pop().result()
+        except CancelledError:
+            pass

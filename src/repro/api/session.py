@@ -19,6 +19,7 @@ once and sees warm cache hits across requests.
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import BrokenExecutor
 from typing import Callable, Iterable, Mapping, Sequence
@@ -150,6 +151,10 @@ class Session:
         self._executor = (ProcessExecutor(jobs, persistent=True) if jobs > 1
                           else SerialExecutor())
         self._pending: list[JobSpec] = []
+        # Runtime job counters behind {"op": "stats"} / Session.stats():
+        # per-kind ok/error/cached tallies, guarded for concurrent run().
+        self._counters_lock = threading.Lock()
+        self._job_counters: dict[str, dict[str, int]] = {}
         # Fail fast on an unknown default backend (per-job overrides are
         # validated when their engine is built).
         SweepEngine(backend=backend, cache=None)
@@ -188,6 +193,12 @@ class Session:
         except _JOB_ERRORS as exc:
             envelope = ResultEnvelope.failure(job.kind, job_dict, exc)
         envelope.wall_seconds = round(time.perf_counter() - start, 6)
+        with self._counters_lock:
+            counters = self._job_counters.setdefault(
+                job.kind, {"ok": 0, "error": 0, "cached": 0})
+            counters["ok" if envelope.ok else "error"] += 1
+            if envelope.cached:
+                counters["cached"] += 1
         _emit(progress, {
             "event": "job_finished", "kind": job.kind, "status": envelope.status,
             "cached": envelope.cached, "wall_seconds": envelope.wall_seconds,
@@ -254,6 +265,45 @@ class Session:
         """Lifetime tallies of this session's shared task scheduler:
         submitted, cache_hits, deduped, coalesced and executed counts."""
         return self._scheduler.stats_snapshot()
+
+    def stats(self) -> dict:
+        """One runtime-counters snapshot for a long-running daemon.
+
+        The first slice of live observability, answered by the serve
+        transports' ``{"op": "stats"}`` control operation: per-kind job
+        tallies from :meth:`run` (ok / error / cached), the memory-tier
+        cache hit rate derived from :meth:`cache_info`, and the scheduler
+        coalescing counters of :meth:`scheduler_stats`.
+
+        >>> from repro.api import Session, SynthesizeJob
+        >>> with Session(cache=False) as session:
+        ...     _ = session.run(SynthesizeJob(circuit="fig1", k=1))
+        ...     snapshot = session.stats()
+        >>> snapshot["jobs"]["synthesize"]["ok"], snapshot["total_jobs"]
+        (1, 1)
+        >>> sorted(snapshot["scheduler"])
+        ['cache_hits', 'coalesced', 'deduped', 'executed', 'submitted']
+        """
+        with self._counters_lock:
+            jobs = {kind: dict(counters)
+                    for kind, counters in sorted(self._job_counters.items())}
+        cache = self.cache_info()
+        memory = cache.get("memory") or {}
+        hits = memory.get("hits", 0)
+        misses = memory.get("misses", 0)
+        return {
+            "jobs": jobs,
+            "total_jobs": sum(c["ok"] + c["error"] for c in jobs.values()),
+            "cache": {
+                "enabled": cache.get("enabled", False),
+                "entries": cache.get("entries", 0),
+                "memory_hits": hits,
+                "memory_misses": misses,
+                "hit_rate": (round(hits / (hits + misses), 4)
+                             if hits + misses else None),
+            },
+            "scheduler": self.scheduler_stats(),
+        }
 
     # ------------------------------------------------------------------
     # dispatch

@@ -80,6 +80,16 @@ def _unit_jobs(suite: BenchSuite, circuits: Sequence[str], max_k: int | None,
                 label = (f"dedup:{circuit}:"
                          f"c{suite.dedup_clients}x{suite.dedup_repeat}")
                 yield label, SweepJob(circuit=circuit, max_k=max_k)
+        elif kind == "serve":
+            # N concurrent TCP clients against an in-process daemon; the
+            # unit's "job" is the duplicate-heavy spec pool the clients
+            # cycle (see repro.net.load.run_load_test).
+            from ..net.load import default_spec_pool
+
+            for circuit in circuits:
+                label = (f"serve:{circuit}:"
+                         f"c{suite.serve_clients}x{suite.serve_requests}")
+                yield label, default_spec_pool(circuit, max_k)
         else:  # pragma: no cover - BenchSuite.__post_init__ rejects these
             raise BenchError(f"suite {suite.name!r}: unknown job kind {kind!r}")
 
@@ -178,6 +188,61 @@ def _attribute(attribution: dict, reports: Iterable[Mapping]) -> None:
 # ----------------------------------------------------------------------
 # scenario execution
 # ----------------------------------------------------------------------
+def _run_serve_unit(session, suite: BenchSuite, scenario: ScenarioSpec,
+                    label: str, spec_pool: list, scheduler: dict,
+                    ) -> tuple[float, dict]:
+    """N concurrent TCP clients against an in-process serve daemon.
+
+    Runs :func:`repro.net.load.run_load_test` over the scenario's warm
+    session, records the coalescing delta under ``scheduler[label]`` and
+    returns ``(unit_seconds, throughput_block)``.  The suite's contract is
+    zero lost requests under concurrent load: any dropped, unanswered or
+    errored request — or a graceful-drain probe that went unanswered — is
+    a :class:`BenchError`, not a number in the report.
+    """
+    from ..net.load import run_load_test
+
+    started = time.perf_counter()
+    load = run_load_test(session, clients=suite.serve_clients,
+                         requests_per_client=suite.serve_requests,
+                         spec_pool=spec_pool, progress=False)
+    seconds = round(time.perf_counter() - started, 3)
+    problems = []
+    if load["answered"] != load["requests"]:
+        problems.append(f"{load['requests'] - load['answered']} of "
+                        f"{load['requests']} requests unanswered")
+    if load["dropped"]:
+        problems.append(f"{load['dropped']} requests dropped")
+    if load["errors"]:
+        problems.append(f"{load['errors']} error responses")
+    if not load["drain"]["probe_answered"]:
+        problems.append("graceful-drain probe went unanswered")
+    if problems:
+        raise BenchError(f"{suite.name}/{scenario.name}/{label}: "
+                         + "; ".join(problems))
+    delta = load["scheduler"]
+    scheduler[label] = {
+        "clients": load["clients"],
+        "requests_per_client": load["requests_per_client"],
+        "requests": load["requests"],
+        "answered": load["answered"],
+        "cached_results": load["cached_results"],
+        "submitted": delta["submitted"],
+        "cache_hits": delta["cache_hits"],
+        "deduped": delta["deduped"],
+        "coalesced": delta["coalesced"],
+        "solver_tasks": delta["executed"],
+        "dedup_ratio": load["dedup_ratio"],
+        "drain": load["drain"],
+    }
+    throughput = {
+        "requests": load["requests"],
+        "requests_per_second": load["requests_per_second"],
+        "latency": load["latency"],
+    }
+    return seconds, throughput
+
+
 def _run_dedup_unit(session, job, clients: int, repeat: int) -> list:
     """M client threads × K identical submissions through one session.
 
@@ -241,6 +306,15 @@ def _run_scenario(suite: BenchSuite, scenario: ScenarioSpec,
             _emit(progress, {"event": "unit_started", "suite": suite.name,
                              "scenario": scenario.name, "unit": label})
             unit_started = time.perf_counter()
+            if label.startswith("serve:"):
+                seconds, throughput = _run_serve_unit(
+                    session, suite, scenario, label, job, scheduler)
+                per_unit[label] = seconds
+                _emit(progress, {"event": "unit_finished",
+                                 "suite": suite.name,
+                                 "scenario": scenario.name, "unit": label,
+                                 "seconds": seconds})
+                continue
             if label.startswith("dedup:"):
                 stats_before = session.scheduler_stats()
                 envelopes = _run_dedup_unit(session, job,

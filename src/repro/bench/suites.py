@@ -22,6 +22,10 @@ The built-in suites:
 ``dedup-throughput`` M concurrent clients submitting identical sweeps
                    through one shared session — proves the scheduler
                    coalesces them onto a single set of solves
+``serve-load``     N concurrent TCP clients hammering a real
+                   ``repro serve --tcp`` daemon with a duplicate-heavy
+                   job mix, ending in a graceful-drain probe — reports
+                   throughput, latency percentiles and the dedup ratio
 =================  ====================================================
 
 Suites are intentionally *specs*, not functions: they serialise into the
@@ -43,9 +47,9 @@ from typing import Iterator
 #: The seven built-in circuits (fig1 plus the Table 2/3 evaluation set).
 PAPER_CIRCUITS = ("fig1", "tseng", "paulin", "fir6", "iir3", "dct4", "wavelet6")
 
-#: Job kinds a suite may fan out per circuit (plus the special "fuzz" kind
-#: and the concurrent-clients "dedup" kind).
-SUITE_JOB_KINDS = ("sweep", "compare", "fuzz", "dedup")
+#: Job kinds a suite may fan out per circuit (plus the special "fuzz" kind,
+#: the concurrent-clients "dedup" kind and the TCP-daemon "serve" kind).
+SUITE_JOB_KINDS = ("sweep", "compare", "fuzz", "dedup", "serve")
 
 #: Cache policies a scenario may request.
 CACHE_NONE = "none"        # run without a design cache
@@ -137,6 +141,10 @@ class BenchSuite:
     #: identical job K times through one shared session
     dedup_clients: int = 4
     dedup_repeat: int = 2
+    #: serve-kind knobs: N concurrent TCP connections to an in-process
+    #: ``repro serve --tcp`` daemon, each sending K duplicate-heavy jobs
+    serve_clients: int = 8
+    serve_requests: int = 6
 
     def __post_init__(self):
         if not self.job_kinds:
@@ -168,6 +176,10 @@ class BenchSuite:
                 for circuit in circuits:
                     yield (f"dedup:{circuit}:"
                            f"c{self.dedup_clients}x{self.dedup_repeat}")
+            elif kind == "serve":
+                for circuit in circuits:
+                    yield (f"serve:{circuit}:"
+                           f"c{self.serve_clients}x{self.serve_requests}")
             else:
                 for circuit in circuits:
                     yield f"{kind}:{circuit}"
@@ -269,6 +281,19 @@ SUITES: dict[str, BenchSuite] = {
             ),
         ),
         BenchSuite(
+            name="serve-load",
+            description="N concurrent TCP clients hammering an in-process "
+                        "repro serve --tcp daemon with a duplicate-heavy "
+                        "mix, ending in a graceful-drain probe — reports "
+                        "throughput, latency percentiles and dedup ratio",
+            job_kinds=("serve",),
+            circuits=("fig1",),
+            max_k=2,
+            serve_clients=8,
+            serve_requests=6,
+            scenarios=(ScenarioSpec("tcp"),),
+        ),
+        BenchSuite(
             name="fuzz-throughput",
             description="seeded random-DFG backend-parity sweep measured "
                         "as circuits per second",
@@ -286,7 +311,7 @@ def list_suites() -> list[str]:
     """The registered suite names, sorted.
 
     >>> list_suites()
-    ['dedup-throughput', 'fuzz-throughput', 'solver-micro', 'sweep-scaling', 'table2', 'table3']
+    ['dedup-throughput', 'fuzz-throughput', 'serve-load', 'solver-micro', 'sweep-scaling', 'table2', 'table3']
     """
     return sorted(SUITES)
 
@@ -299,7 +324,7 @@ def get_suite(name: str) -> BenchSuite:
     >>> get_suite("nope")
     Traceback (most recent call last):
         ...
-    KeyError: "unknown benchmark suite 'nope'; expected one of ['dedup-throughput', 'fuzz-throughput', 'solver-micro', 'sweep-scaling', 'table2', 'table3']"
+    KeyError: "unknown benchmark suite 'nope'; expected one of ['dedup-throughput', 'fuzz-throughput', 'serve-load', 'solver-micro', 'sweep-scaling', 'table2', 'table3']"
     """
     try:
         return SUITES[name]

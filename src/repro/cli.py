@@ -56,6 +56,7 @@ import sys
 from typing import Sequence
 
 from ._flags import (
+    host_port,
     int_at_least,
     nonnegative_float,
     positive_float,
@@ -344,6 +345,36 @@ def build_parser() -> argparse.ArgumentParser:
                              "the session's shared scheduler (response order "
                              "across requests is then unspecified; correlate "
                              "by id)")
+    daemon.add_argument("--tcp", type=host_port, default=None,
+                        metavar="HOST:PORT",
+                        help="listen on a TCP socket instead of stdin/stdout "
+                             "(same wire protocol; port 0 picks an ephemeral "
+                             "port, announced on a 'listening' control line)")
+    daemon.add_argument("--max-client-jobs",
+                        type=int_at_least(1, "--max-client-jobs"), default=8,
+                        metavar="N",
+                        help="TCP quota: jobs one connection may have in "
+                             "flight before submissions are answered with a "
+                             "QuotaExceeded error (default: 8)")
+    daemon.add_argument("--max-time-limit",
+                        type=positive_float("--max-time-limit",
+                                            "a number of seconds"),
+                        default=None, metavar="S",
+                        help="TCP quota: cap each job's solver time_limit; "
+                             "specs without one are pinned to the cap, specs "
+                             "over it are rejected (default: uncapped)")
+    daemon.add_argument("--drain-seconds",
+                        type=nonnegative_float("--drain-seconds"),
+                        default=10.0, metavar="S",
+                        help="TCP graceful-shutdown budget: how long to wait "
+                             "for in-flight jobs before closing connections "
+                             "(default: 10)")
+    daemon.add_argument("--max-line-bytes",
+                        type=int_at_least(1024, "--max-line-bytes"),
+                        default=None, metavar="BYTES",
+                        help="TCP request-line size cap; oversized lines are "
+                             "rejected with a ProtocolError and the "
+                             "connection survives (default: 1 MiB)")
     _add_solver_arguments(daemon, jobs=True)
 
     return parser
@@ -704,6 +735,19 @@ def _cmd_cache(args) -> int:
 
 
 def _cmd_serve(args) -> int:
+    if args.tcp is not None:
+        from .net import MAX_LINE_BYTES, ClientQuota, serve_tcp
+
+        host, port = args.tcp
+        quota = ClientQuota(max_jobs=args.max_client_jobs,
+                            max_time_limit=args.max_time_limit)
+        with _session_from_args(args) as session:
+            serve_tcp(session, host, port, quota=quota,
+                      concurrency=args.concurrency,
+                      progress=not args.quiet,
+                      max_line_bytes=args.max_line_bytes or MAX_LINE_BYTES,
+                      drain_seconds=args.drain_seconds)
+        return 0
     with _session_from_args(args) as session:
         serve(session, progress=not args.quiet,
               concurrency=args.concurrency)

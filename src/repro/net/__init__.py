@@ -1,0 +1,60 @@
+"""repro.net — the multi-client network serving layer.
+
+The :mod:`repro.api.serve` pipe daemon and the asyncio TCP daemon of
+this package are two *transports* over one protocol engine
+(:mod:`repro.net.protocol`): the same newline-delimited JSON request
+grammar, the same response documents, the same control operations.  The
+TCP transport (:mod:`repro.net.server`) multiplexes many concurrent
+connections over a single warm :class:`repro.api.Session`, so
+near-identical jobs from different clients coalesce on the session's
+shared :class:`~repro.sched.scheduler.TaskScheduler`.
+
+The pieces:
+
+* :mod:`repro.net.protocol` — request decoding (with oversized-line
+  rejection), control-op dispatch and blocking job execution, shared by
+  both transports;
+* :mod:`repro.net.quotas` — per-client admission limits
+  (:class:`ClientQuota`: max concurrent jobs, per-job time-limit cap)
+  answered with structured ``QuotaExceeded`` errors;
+* :mod:`repro.net.server` — the asyncio TCP daemon
+  (``repro serve --tcp HOST:PORT``): per-connection request scoping,
+  bounded in-flight jobs, ``writer.drain()`` backpressure and graceful
+  drain on SIGINT / ``{"op": "shutdown"}``;
+* :mod:`repro.net.client` — an asyncio client (connect / submit /
+  iterate responses) used by the load harness and the tests;
+* :mod:`repro.net.load` — the multi-client load-test harness behind the
+  ``serve-load`` benchmark suite.
+"""
+
+from .client import ServeClient
+from .protocol import (
+    CONTROL_OPS,
+    MAX_LINE_BYTES,
+    ProtocolError,
+    Request,
+    decode_request,
+    handle_control,
+    parse_job,
+    run_job,
+)
+from .quotas import ClientQuota, QuotaError
+from .server import ServeServer, serve_tcp
+from .load import run_load_test
+
+__all__ = [
+    "CONTROL_OPS",
+    "MAX_LINE_BYTES",
+    "ClientQuota",
+    "ProtocolError",
+    "QuotaError",
+    "Request",
+    "ServeClient",
+    "ServeServer",
+    "decode_request",
+    "handle_control",
+    "parse_job",
+    "run_job",
+    "run_load_test",
+    "serve_tcp",
+]

@@ -1,0 +1,181 @@
+"""An asyncio client for the TCP serve daemon.
+
+:class:`ServeClient` speaks the newline-delimited JSON wire protocol
+(`docs/wire-protocol.md`): connect, submit job specs, await results.  A
+background reader task demultiplexes response lines by their echoed
+``id``, so any number of jobs may be in flight on one connection and
+awaited in any order::
+
+    client = await ServeClient.connect(host, port)
+    pending = await client.submit({"job": "sweep", "circuit": "fig1",
+                                   "max_k": 2})
+    async for event in pending.events():      # progress documents
+        ...
+    result = await pending.result()           # the terminal document
+    await client.close()
+
+Both the load-test harness (:mod:`repro.net.load`) and the protocol
+tests drive the daemon through this module, so the client is exercised
+against every server behaviour the suite asserts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, AsyncIterator
+
+#: Document types that terminate a request (anything non-progress).
+_TERMINAL_TYPES = ("result", "error", "control")
+
+
+class ServeClientError(ConnectionError):
+    """The connection died while requests were outstanding."""
+
+
+class PendingJob:
+    """One submitted request: a queue of its response documents."""
+
+    def __init__(self, request_id: Any):
+        self.id = request_id
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._terminal: dict | None = None
+
+    def _deliver(self, doc: dict) -> None:
+        self._queue.put_nowait(doc)
+
+    async def events(self) -> AsyncIterator[dict]:
+        """Yield progress documents until the terminal one (not yielded)."""
+        while self._terminal is None:
+            doc = await self._queue.get()
+            if doc.get("type") in _TERMINAL_TYPES:
+                self._terminal = doc
+                return
+            yield doc
+
+    async def result(self) -> dict:
+        """The terminal document (``result``/``error``), skipping progress."""
+        async for _ in self.events():
+            pass
+        assert self._terminal is not None
+        if self._terminal.get("type") == "error" and \
+                self._terminal["error"]["type"] == "ConnectionClosed":
+            raise ServeClientError(self._terminal["error"]["message"])
+        return self._terminal
+
+
+class ServeClient:
+    """One connection to a serve daemon; demultiplexes responses by id."""
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+        self._pending: dict[Any, PendingJob] = {}
+        self._broadcast: list[dict] = []
+        self._sequence = 0
+        self._closed = False
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServeClient":
+        """Open a connection to a listening daemon."""
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def __aenter__(self) -> "ServeClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+    async def submit(self, spec: dict, request_id: Any = None) -> PendingJob:
+        """Send one job spec; returns the handle its responses arrive on.
+
+        ``request_id`` defaults to a connection-unique ``"q<n>"`` string;
+        pass an explicit id to mirror another client's numbering (ids are
+        scoped per connection by the server, so collisions across
+        connections are safe).
+        """
+        if request_id is None:
+            self._sequence += 1
+            request_id = f"q{self._sequence}"
+        pending = PendingJob(request_id)
+        self._pending[request_id] = pending
+        await self._send({**spec, "id": request_id})
+        return pending
+
+    async def request(self, spec: dict, request_id: Any = None) -> dict:
+        """Submit one spec and await its terminal document."""
+        pending = await self.submit(spec, request_id)
+        return await pending.result()
+
+    async def control(self, op: str, **fields) -> dict:
+        """Send one control op and await its reply document."""
+        return await self.request({"op": op, **fields})
+
+    async def _send(self, document: dict) -> None:
+        if self._closed:
+            raise ServeClientError("client is closed")
+        self._writer.write((json.dumps(document) + "\n").encode("utf-8"))
+        await self._writer.drain()
+
+    # ------------------------------------------------------------------
+    # receiving
+    # ------------------------------------------------------------------
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                doc = json.loads(line)
+                pending = self._pending.get(doc.get("id"))
+                if pending is None:
+                    # Unaddressed documents (e.g. the server_shutdown
+                    # broadcast) are kept for inspection.
+                    self._broadcast.append(doc)
+                    continue
+                pending._deliver(doc)
+                if doc.get("type") in _TERMINAL_TYPES:
+                    del self._pending[doc["id"]]
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            self._fail_pending("connection closed by the server")
+
+    def _fail_pending(self, message: str) -> None:
+        for pending in list(self._pending.values()):
+            pending._deliver({"type": "error", "id": pending.id,
+                              "error": {"type": "ConnectionClosed",
+                                        "message": message}})
+        self._pending.clear()
+
+    @property
+    def broadcasts(self) -> list[dict]:
+        """Documents that arrived without a matching pending request."""
+        return list(self._broadcast)
+
+    async def wait_closed(self) -> None:
+        """Wait until the server closes the connection (EOF on the reader).
+
+        Useful after requesting ``{"op": "shutdown"}``: the terminal
+        ``server_shutdown`` broadcast is only guaranteed to be in
+        :attr:`broadcasts` once the server has closed the stream.
+        """
+        await asyncio.gather(self._reader_task, return_exceptions=True)
+
+    async def close(self) -> None:
+        """Close the connection (idempotent); fails outstanding requests."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionError, RuntimeError):
+            pass
+        await asyncio.gather(self._reader_task, return_exceptions=True)

@@ -1,0 +1,163 @@
+"""The multi-client load-test harness behind the ``serve-load`` suite.
+
+:func:`run_load_test` spins up a real :class:`~repro.net.server.ServeServer`
+on an ephemeral port, hammers it with N concurrent
+:class:`~repro.net.client.ServeClient` connections sending a
+duplicate-heavy job mix, then finishes with a *drain probe*: one last
+client submits a job and immediately requests ``{"op": "shutdown"}``, so
+every run also proves the graceful drain answers in-flight work before
+closing.  The report carries throughput, latency percentiles and the
+scheduler-stats delta (how many submitted tasks coalesced onto how few
+actual solves) — the numbers the ``serve-load`` benchmark suite and the
+CI smoke assert on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import time
+
+from .client import ServeClient, ServeClientError
+from .quotas import ClientQuota
+from .server import ServeServer
+
+
+def default_spec_pool(circuit: str = "fig1", max_k: int | None = 2) -> list[dict]:
+    """The duplicate-heavy job mix: two distinct specs, endlessly repeated.
+
+    Every client cycles this pool, so with N clients the daemon sees the
+    same two jobs from all directions at once — exactly the traffic shape
+    the cross-request scheduler exists for.
+    """
+    return [
+        {"job": "sweep", "circuit": circuit, "max_k": max_k},
+        {"job": "synthesize", "circuit": circuit, "k": 1},
+    ]
+
+
+def _percentile(sorted_values: list[float], q: float) -> float | None:
+    if not sorted_values:
+        return None
+    index = max(0, math.ceil(q / 100.0 * len(sorted_values)) - 1)
+    return sorted_values[min(index, len(sorted_values) - 1)]
+
+
+def _latency_block(latencies: list[float]) -> dict:
+    ordered = sorted(latencies)
+    as_ms = lambda s: round(s * 1000.0, 3) if s is not None else None  # noqa: E731
+    return {
+        "p50_ms": as_ms(_percentile(ordered, 50)),
+        "p90_ms": as_ms(_percentile(ordered, 90)),
+        "p99_ms": as_ms(_percentile(ordered, 99)),
+        "max_ms": as_ms(ordered[-1] if ordered else None),
+        "mean_ms": as_ms(sum(ordered) / len(ordered) if ordered else None),
+    }
+
+
+async def _run_load(session, clients: int, requests_per_client: int,
+                    spec_pool: list[dict], quota: ClientQuota | None,
+                    concurrency: int, progress: bool,
+                    drain_seconds: float) -> dict:
+    server = ServeServer(session, port=0, quota=quota,
+                         concurrency=concurrency, progress=progress,
+                         drain_seconds=drain_seconds)
+    host, port = await server.start()
+    stats_before = session.scheduler_stats()
+    latencies: list[float] = []
+    answered = ok = errors = dropped = cached = 0
+
+    async def one_client(index: int) -> None:
+        nonlocal answered, ok, errors, dropped, cached
+        client = await ServeClient.connect(host, port)
+        try:
+            for round_ in range(requests_per_client):
+                spec = spec_pool[(index + round_) % len(spec_pool)]
+                started = time.perf_counter()
+                try:
+                    doc = await client.request(spec)
+                except ServeClientError:
+                    dropped += 1
+                    continue
+                latencies.append(time.perf_counter() - started)
+                answered += 1
+                if doc.get("type") == "result" and \
+                        doc["envelope"]["status"] == "ok":
+                    ok += 1
+                    if doc["envelope"].get("cached"):
+                        cached += 1
+                else:
+                    # an error envelope or a protocol/quota error document
+                    errors += 1
+        finally:
+            await client.close()
+
+    started = time.perf_counter()
+    await asyncio.gather(*(one_client(i) for i in range(clients)))
+    burst_wall = time.perf_counter() - started
+
+    # Drain probe: one in-flight job must survive a graceful shutdown.
+    probe = await ServeClient.connect(host, port)
+    pending = await probe.submit(spec_pool[0])
+    ack = await probe.control("shutdown")
+    try:
+        outcome = await pending.result()
+        probe_answered = outcome.get("type") == "result"
+    except ServeClientError:
+        probe_answered = False
+    await probe.wait_closed()  # the terminal broadcast lands before EOF
+    terminal = [doc for doc in probe.broadcasts
+                if doc.get("event") == "server_shutdown"]
+    await probe.close()
+    await server.serve_until_shutdown()
+
+    requests = clients * requests_per_client
+    stats_after = session.scheduler_stats()
+    delta = {key: stats_after[key] - stats_before[key] for key in stats_after}
+    return {
+        "clients": clients,
+        "requests_per_client": requests_per_client,
+        "requests": requests,
+        "answered": answered,
+        "ok": ok,
+        "errors": errors,
+        "dropped": dropped,
+        "cached_results": cached,
+        "wall_seconds": round(burst_wall, 3),
+        "requests_per_second": (round(answered / burst_wall, 3)
+                                if burst_wall else None),
+        "latency": _latency_block(latencies),
+        "scheduler": delta,
+        "dedup_ratio": (round(delta["submitted"] / delta["executed"], 3)
+                        if delta.get("executed") else None),
+        "drain": {
+            "acknowledged": bool(ack.get("ok")),
+            "probe_answered": probe_answered,
+            "drained": bool(terminal and terminal[0].get("drained")),
+        },
+    }
+
+
+def run_load_test(session, *, clients: int = 8, requests_per_client: int = 6,
+                  spec_pool: list[dict] | None = None,
+                  quota: ClientQuota | None = None, concurrency: int = 8,
+                  progress: bool = False,
+                  drain_seconds: float = 30.0) -> dict:
+    """Hammer an in-process TCP daemon with N concurrent clients.
+
+    Blocking (owns its own event loop): starts a daemon over ``session``,
+    runs ``clients`` concurrent connections each sending
+    ``requests_per_client`` jobs from the duplicate-heavy ``spec_pool``,
+    finishes with the shutdown drain probe and returns the metrics block
+    described in :mod:`repro.net.load`.  The caller's session keeps all
+    warm state, so the scheduler delta in the report isolates exactly
+    this run's traffic.
+    """
+    if clients < 1 or requests_per_client < 1:
+        raise ValueError("clients and requests_per_client must be >= 1")
+    pool = spec_pool if spec_pool is not None else default_spec_pool()
+    if not pool:
+        raise ValueError("spec_pool must not be empty")
+    return asyncio.run(_run_load(session, clients, requests_per_client,
+                                 pool, quota, concurrency, progress,
+                                 drain_seconds))

@@ -1,0 +1,166 @@
+"""The transport-agnostic serve protocol engine.
+
+One request grammar, two transports: the stdin/stdout pipe daemon
+(:mod:`repro.api.serve`) and the asyncio TCP server
+(:mod:`repro.net.server`) both decode lines with :func:`decode_request`,
+answer control operations with :func:`handle_control` and execute job
+specs with :func:`run_job` — so every wire-visible behaviour (error
+documents, progress streaming, the response shapes documented in
+``docs/wire-protocol.md``) is defined exactly once, here.
+
+The division of labour:
+
+* :func:`decode_request` — line → :class:`Request`, raising
+  :class:`ProtocolError` for invalid JSON or an oversized line (bounded
+  buffering: a client cannot make the daemon hold an arbitrarily large
+  request line in memory);
+* :func:`handle_control` — answer ``ping`` / ``cache_info`` /
+  ``cache_clear`` / ``scheduler_stats`` / ``stats`` (a shutdown request
+  is acknowledged by the transport itself, which owns the drain);
+* :func:`parse_job` / :func:`run_job` — spec dict → envelope, with
+  progress documents streamed through the transport-supplied ``emit``
+  callable.  ``run_job`` is blocking; the TCP transport runs it in a
+  thread pool via ``run_in_executor`` so concurrent clients coalesce on
+  the session's shared scheduler.
+
+Response documents are plain dicts; the transports own serialisation,
+write locking and flushing.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Callable
+
+#: Control operations both transports answer besides job specs.
+CONTROL_OPS = ("ping", "cache_info", "cache_clear", "scheduler_stats",
+               "stats", "shutdown")
+
+#: Default cap on one request line (bytes of UTF-8).  A line above the
+#: cap is rejected with a ``ProtocolError`` document instead of being
+#: buffered — the daemon's memory use per connection stays bounded.
+MAX_LINE_BYTES = 1 << 20
+
+
+class ProtocolError(ValueError):
+    """A request line the protocol refuses: invalid JSON or oversized."""
+
+
+@dataclass(frozen=True)
+class Request:
+    """One decoded request line.
+
+    ``id`` is the client-chosen correlation id (or the transport's
+    sequence number when the request carried none); ``kind`` is
+    ``"control"`` or ``"job"``; ``data`` is the op/spec payload with the
+    protocol-level ``"id"`` field already stripped.
+    """
+
+    id: Any
+    kind: str
+    data: Any
+
+    @property
+    def op(self) -> str | None:
+        """The control operation name (``None`` for job requests)."""
+        return self.data.get("op") if self.kind == "control" else None
+
+
+def error_doc(request_id: Any, error_type: str, message: str) -> dict:
+    """The wire shape of a protocol-level failure (one response line)."""
+    return {"type": "error", "id": request_id,
+            "error": {"type": error_type, "message": message}}
+
+
+def control_doc(request_id: Any, op: str, **fields) -> dict:
+    """The wire shape of a control-op reply (one response line)."""
+    return {"type": "control", "id": request_id, "op": op, "ok": True,
+            **fields}
+
+
+def decode_request(line: str, default_id: Any,
+                   max_line_bytes: int | None = MAX_LINE_BYTES) -> Request:
+    """Decode one stripped request line into a :class:`Request`.
+
+    Raises :class:`ProtocolError` when the line exceeds
+    ``max_line_bytes`` (UTF-8 length) or is not valid JSON.  A JSON
+    object with an ``"op"`` key is a control request, anything else a
+    job request (non-object payloads are passed through so the job
+    parser can reject them with a structured ``JobSpecError``).
+    """
+    if max_line_bytes is not None and len(line.encode("utf-8", "replace")) \
+            > max_line_bytes:
+        raise ProtocolError(
+            f"request line exceeds the {max_line_bytes}-byte limit "
+            f"({len(line)} characters); split the job or raise "
+            f"--max-line-bytes")
+    try:
+        data = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"request is not valid JSON: {exc}") from exc
+    request_id = default_id
+    if isinstance(data, dict) and "id" in data:
+        request_id = data.pop("id")  # protocol field, not part of the spec
+    kind = "control" if isinstance(data, dict) and "op" in data else "job"
+    return Request(id=request_id, kind=kind, data=data)
+
+
+def handle_control(session, request: Request,
+                   extra_stats: dict | None = None) -> dict:
+    """Answer one control request (everything except the shutdown ack).
+
+    ``extra_stats`` lets a transport merge its own counters (open
+    connections, rejected jobs, ...) into the ``stats`` reply under a
+    ``"server"`` key.  An unknown op comes back as a ``ProtocolError``
+    document; the caller keeps serving.
+    """
+    op = request.op
+    if op == "ping":
+        return control_doc(request.id, "ping")
+    if op == "cache_info":
+        return control_doc(request.id, "cache_info",
+                           cache=session.cache_info())
+    if op == "cache_clear":
+        return control_doc(request.id, "cache_clear",
+                           removed=session.cache_clear())
+    if op == "scheduler_stats":
+        return control_doc(request.id, "scheduler_stats",
+                           scheduler=session.scheduler_stats())
+    if op == "stats":
+        stats = session.stats()
+        if extra_stats:
+            stats = {**stats, "server": dict(extra_stats)}
+        return control_doc(request.id, "stats", stats=stats)
+    return error_doc(request.id, "ProtocolError",
+                     f"unknown op {op!r}; expected one of {CONTROL_OPS}")
+
+
+def shutdown_doc(request_id: Any, **fields) -> dict:
+    """The acknowledgement / terminal line of a shutdown."""
+    return control_doc(request_id, "shutdown", **fields)
+
+
+def parse_job(data: Any):
+    """Spec dict → :class:`repro.api.jobs.JobSpec` (raises ``JobSpecError``)."""
+    from ..api.jobs import job_from_dict  # lazy: breaks the api↔net cycle
+
+    return job_from_dict(data)
+
+
+def run_job(session, job, request_id: Any, emit: Callable[[dict], None],
+            progress: bool = True) -> None:
+    """Execute one parsed job spec, emitting response documents.
+
+    Streams ``{"type": "progress", ...}`` documents while the job runs
+    (unless ``progress`` is false) and always ends with exactly one
+    ``{"type": "result", "envelope": ...}`` document — job failures are
+    structured error *envelopes*, never exceptions.  Blocking: the
+    caller picks the thread (inline for the pipe transport, an executor
+    for TCP).
+    """
+    def stream_event(event: dict) -> None:
+        emit({"type": "progress", "id": request_id, **event})
+
+    envelope = session.run(job, progress=stream_event if progress else None)
+    emit({"type": "result", "id": request_id, "envelope": envelope.to_dict()})

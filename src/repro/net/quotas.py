@@ -1,0 +1,87 @@
+"""Per-client admission quotas for the multi-client serve daemon.
+
+A single greedy client must not starve every other connection of the
+shared session's solver capacity.  :class:`ClientQuota` bounds, per
+connection, (a) how many jobs may be in flight at once and (b) how much
+solver wall clock one job may request.  Violations are answered with a
+structured ``QuotaExceeded`` error *document* — the connection stays
+open, only the offending request is refused.
+
+    >>> from repro.api.jobs import SweepJob
+    >>> quota = ClientQuota(max_jobs=2, max_time_limit=30.0)
+    >>> quota.admit(inflight=1)          # one slot left: admitted
+    >>> quota.cap_time_limit(SweepJob(circuit="fig1")).time_limit
+    30.0
+    >>> quota.admit(inflight=2)
+    Traceback (most recent call last):
+        ...
+    repro.net.quotas.QuotaError: connection already has 2 jobs in flight (max_jobs=2); await a result before submitting more
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+#: The structured error type quota violations are answered with.
+QUOTA_ERROR_TYPE = "QuotaExceeded"
+
+
+class QuotaError(ValueError):
+    """A request refused by a per-client quota (wire type ``QuotaExceeded``)."""
+
+
+@dataclass(frozen=True)
+class ClientQuota:
+    """Per-connection admission limits.
+
+    Attributes
+    ----------
+    max_jobs:
+        Maximum jobs one connection may have in flight concurrently.
+        This doubles as the bounded in-flight queue of the backpressure
+        story: a client that does not read results cannot pile up
+        unbounded work.
+    max_time_limit:
+        Cap in seconds on any job's requested ``time_limit``.  Jobs that
+        ask for more are refused; jobs that ask for nothing (deferring
+        to the session default) are pinned *to* the cap, so no request
+        can exceed it by omission.  ``None`` leaves time limits to the
+        session.
+    """
+
+    max_jobs: int = 8
+    max_time_limit: float | None = None
+
+    def __post_init__(self):
+        if self.max_jobs < 1:
+            raise ValueError(f"max_jobs must be >= 1, got {self.max_jobs}")
+        if self.max_time_limit is not None and self.max_time_limit <= 0:
+            raise ValueError(
+                f"max_time_limit must be positive, got {self.max_time_limit}")
+
+    def admit(self, inflight: int) -> None:
+        """Raise :class:`QuotaError` when a new job would exceed ``max_jobs``."""
+        if inflight >= self.max_jobs:
+            raise QuotaError(
+                f"connection already has {inflight} jobs in flight "
+                f"(max_jobs={self.max_jobs}); await a result before "
+                f"submitting more")
+
+    def cap_time_limit(self, job):
+        """Return ``job`` with its ``time_limit`` held under the cap.
+
+        A job requesting more than ``max_time_limit`` raises
+        :class:`QuotaError`; a job requesting nothing is pinned to the
+        cap (the session default could be larger).  Job specs are
+        frozen, so a capped spec is a new instance.
+        """
+        if self.max_time_limit is None:
+            return job
+        requested = getattr(job, "time_limit", None)
+        if requested is None:
+            return replace(job, time_limit=self.max_time_limit)
+        if requested > self.max_time_limit:
+            raise QuotaError(
+                f"job requests time_limit={requested}s but this client is "
+                f"capped at {self.max_time_limit}s")
+        return job

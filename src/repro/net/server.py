@@ -1,0 +1,429 @@
+"""The asyncio TCP serve daemon: many clients, one warm session.
+
+``repro serve --tcp HOST:PORT`` runs a :class:`ServeServer`: an asyncio
+TCP server speaking the same newline-delimited JSON protocol as the
+stdin/stdout pipe daemon (:mod:`repro.net.protocol` defines both), but
+multiplexing any number of concurrent connections over one shared
+:class:`repro.api.Session`.  Job execution is bridged from the event
+loop into a thread pool with ``run_in_executor``, so near-identical jobs
+from different clients coalesce on the session's shared
+:class:`~repro.sched.scheduler.TaskScheduler` — the whole point of
+serving many clients from one process.
+
+Guarantees per connection:
+
+* **request scoping** — ids are echoed per connection; two clients may
+  both use ``"id": 1`` without ever seeing each other's responses;
+* **errors never kill the connection** — malformed JSON, unknown ops,
+  bad job specs and quota refusals are answered with structured
+  ``error`` documents and the read loop keeps going;
+* **backpressure** — request lines above ``max_line_bytes`` are
+  rejected without buffering them, the per-connection in-flight job
+  count is bounded by the :class:`~repro.net.quotas.ClientQuota` (excess
+  submissions get ``QuotaExceeded``), and every response write awaits
+  ``writer.drain()`` so a slow reader throttles its own producer instead
+  of growing the daemon's buffers;
+* **graceful drain** — SIGINT or a client ``{"op": "shutdown"}`` stops
+  accepting connections, lets in-flight jobs finish (up to
+  ``drain_seconds``, after which stragglers are answered with a
+  ``ServerShutdown`` error), writes a terminal
+  ``{"type": "control", "op": "shutdown", "event": "server_shutdown"}``
+  line to every connection and closes them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any
+
+from .protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    Request,
+    decode_request,
+    error_doc,
+    handle_control,
+    parse_job,
+    run_job,
+    shutdown_doc,
+)
+from .quotas import QUOTA_ERROR_TYPE, ClientQuota, QuotaError
+
+#: Sentinel closing a connection's outbound queue.
+_CLOSE = object()
+
+
+class _OversizedLine(Exception):
+    """Raised by the line reader for a request above the byte cap."""
+
+
+class _LineReader:
+    """Newline-delimited reading with a hard per-line byte cap.
+
+    ``asyncio.StreamReader.readline`` cannot recover cleanly from an
+    over-limit line, so this wrapper owns its own buffer: an oversized
+    line is *discarded* (never held in memory beyond one read chunk past
+    the cap) and reported via :class:`_OversizedLine`, after which the
+    stream is resynchronised at the next newline and reading continues.
+    """
+
+    _CHUNK = 1 << 16
+
+    def __init__(self, reader: asyncio.StreamReader, max_bytes: int):
+        self._reader = reader
+        self._buffer = bytearray()
+        self._max = max_bytes
+
+    async def next_line(self) -> str | None:
+        """The next request line (``None`` on EOF)."""
+        discarding = False
+        while True:
+            newline = self._buffer.find(b"\n")
+            if newline >= 0:
+                raw = bytes(self._buffer[:newline])
+                del self._buffer[:newline + 1]
+                if discarding or len(raw) > self._max:
+                    raise _OversizedLine()
+                return raw.decode("utf-8", errors="replace")
+            if len(self._buffer) > self._max:
+                # Too long without a newline: drop what we hold and keep
+                # discarding until the line ends.
+                self._buffer.clear()
+                discarding = True
+            chunk = await self._reader.read(self._CHUNK)
+            if not chunk:
+                if discarding:
+                    raise _OversizedLine()
+                if self._buffer:  # final line without a trailing newline
+                    raw = bytes(self._buffer)
+                    self._buffer.clear()
+                    if len(raw) > self._max:
+                        raise _OversizedLine()
+                    return raw.decode("utf-8", errors="replace")
+                return None
+            self._buffer += chunk
+
+
+class _Connection:
+    """Per-connection state: line reader, outbound queue, in-flight jobs."""
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter, max_line_bytes: int):
+        self.lines = _LineReader(reader, max_line_bytes)
+        self.writer = writer
+        self.queue: asyncio.Queue = asyncio.Queue()
+        self.inflight: dict[object, tuple[Any, asyncio.Future]] = {}
+        self.task: asyncio.Task | None = None     # the read-loop task
+        self.writer_task: asyncio.Task | None = None
+        self.closed = False
+
+    def enqueue(self, doc: dict) -> None:
+        """Queue one response document (dropped once the connection closed)."""
+        if not self.closed:
+            self.queue.put_nowait(doc)
+
+    def close_queue(self) -> None:
+        if not self.closed:
+            self.closed = True
+            self.queue.put_nowait(_CLOSE)
+
+
+class ServeServer:
+    """The asyncio multi-client TCP daemon over one warm session.
+
+    Parameters
+    ----------
+    session:
+        The shared :class:`repro.api.Session`; its scheduler and cache
+        are what make concurrent clients coalesce.
+    host / port:
+        Bind address; port ``0`` picks a free port (reported by
+        :meth:`start`).
+    quota:
+        Per-connection :class:`~repro.net.quotas.ClientQuota`.
+    concurrency:
+        Job-executing threads shared by all connections.
+    progress:
+        Stream ``progress`` documents while jobs run.
+    max_line_bytes:
+        Per-request-line byte cap (oversized lines are rejected, not
+        buffered).
+    drain_seconds:
+        Graceful-shutdown deadline for in-flight jobs.
+    """
+
+    def __init__(self, session, host: str = "127.0.0.1", port: int = 0, *,
+                 quota: ClientQuota | None = None, concurrency: int = 8,
+                 progress: bool = True,
+                 max_line_bytes: int = MAX_LINE_BYTES,
+                 drain_seconds: float = 10.0):
+        if concurrency < 1:
+            raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+        self.session = session
+        self.host = host
+        self.port = port
+        self.quota = quota if quota is not None else ClientQuota()
+        self.concurrency = concurrency
+        self.progress = progress
+        self.max_line_bytes = max_line_bytes
+        self.drain_seconds = drain_seconds
+        self._server: asyncio.AbstractServer | None = None
+        self._pool: ThreadPoolExecutor | None = None
+        self._connections: set[_Connection] = set()
+        self._stopped = asyncio.Event()
+        self._draining = False
+        self._handled = 0
+        self._counters = {"connections_total": 0, "jobs_started": 0,
+                          "jobs_rejected": 0, "protocol_errors": 0}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting; returns the effective ``(host, port)``."""
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.concurrency,
+            thread_name_prefix="repro-serve")
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        return self.host, self.port
+
+    async def serve_until_shutdown(self) -> int:
+        """Block until a drain completes; returns requests handled."""
+        await self._stopped.wait()
+        return self._handled
+
+    @property
+    def draining(self) -> bool:
+        """Whether a graceful drain has begun (no new connections/requests)."""
+        return self._draining
+
+    def server_stats(self) -> dict:
+        """The transport-level counters merged into ``{"op": "stats"}``."""
+        return {
+            **self._counters,
+            "connections_open": len(self._connections),
+            "requests": self._handled,
+            "draining": self._draining,
+            "quota": {"max_jobs": self.quota.max_jobs,
+                      "max_time_limit": self.quota.max_time_limit},
+        }
+
+    async def shutdown(self) -> None:
+        """Graceful drain: finish in-flight jobs, notify and close clients.
+
+        Idempotent.  Stops accepting, interrupts every connection's read
+        loop, waits up to ``drain_seconds`` for in-flight jobs (jobs past
+        the deadline are answered with a ``ServerShutdown`` error
+        document), writes the terminal shutdown line everywhere and
+        closes the connections.
+        """
+        if self._draining:
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+        current = asyncio.current_task()
+        for conn in list(self._connections):
+            if conn.task is not None and conn.task is not current:
+                conn.task.cancel()
+
+        jobs = [future for conn in self._connections
+                for _, future in conn.inflight.values()]
+        drained = True
+        if jobs:
+            _, pending = await asyncio.wait(jobs, timeout=self.drain_seconds)
+            if pending:
+                drained = False
+                for conn in list(self._connections):
+                    for request_id, future in conn.inflight.values():
+                        if future in pending:
+                            conn.enqueue(error_doc(
+                                request_id, "ServerShutdown",
+                                f"server draining: job still running after "
+                                f"the {self.drain_seconds}s drain deadline"))
+
+        for conn in list(self._connections):
+            conn.enqueue(shutdown_doc(None, event="server_shutdown",
+                                      drained=drained))
+        await asyncio.gather(
+            *(self._teardown(conn) for conn in list(self._connections)),
+            return_exceptions=True)
+        if self._server is not None:
+            await self._server.wait_closed()
+        if self._pool is not None:
+            # Deadline stragglers keep their worker thread until they hit
+            # their own solver time limit; nothing new is accepted.
+            self._pool.shutdown(wait=False, cancel_futures=True)
+        self._stopped.set()
+
+    # ------------------------------------------------------------------
+    # per-connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        if self._draining:
+            writer.close()
+            return
+        conn = _Connection(reader, writer, self.max_line_bytes)
+        conn.task = asyncio.current_task()
+        conn.writer_task = asyncio.ensure_future(self._writer_loop(conn))
+        self._connections.add(conn)
+        self._counters["connections_total"] += 1
+        try:
+            await self._read_loop(conn)
+        except asyncio.CancelledError:
+            # The drain interrupted our pending read; shutdown() owns the
+            # rest of this connection's life cycle.
+            pass
+        except ConnectionError:
+            pass  # client vanished mid-read
+        finally:
+            if not self._draining:
+                await self._teardown(conn)
+
+    async def _read_loop(self, conn: _Connection) -> None:
+        sequence = 0
+        while not self._draining:
+            try:
+                line = await conn.lines.next_line()
+            except _OversizedLine:
+                sequence += 1
+                self._counters["protocol_errors"] += 1
+                conn.enqueue(error_doc(
+                    sequence, "ProtocolError",
+                    f"request line exceeds the {self.max_line_bytes}-byte "
+                    f"limit and was discarded"))
+                continue
+            if line is None:
+                break
+            sequence += 1
+            if not line.strip():
+                continue
+            try:
+                request = decode_request(line.strip(), sequence,
+                                         max_line_bytes=None)
+            except ProtocolError as exc:
+                self._counters["protocol_errors"] += 1
+                conn.enqueue(error_doc(sequence, "ProtocolError", str(exc)))
+                continue
+            self._handled += 1
+            if request.kind == "control":
+                if request.op == "shutdown":
+                    conn.enqueue(shutdown_doc(request.id))
+                    await self.shutdown()
+                    return
+                conn.enqueue(handle_control(self.session, request,
+                                            extra_stats=self.server_stats()))
+                continue
+            self._dispatch_job(conn, request)
+
+    def _dispatch_job(self, conn: _Connection, request: Request) -> None:
+        from ..api.jobs import JobSpecError  # lazy: breaks the api↔net cycle
+
+        try:
+            self.quota.admit(len(conn.inflight))
+            job = self.quota.cap_time_limit(parse_job(request.data))
+        except QuotaError as exc:
+            self._counters["jobs_rejected"] += 1
+            conn.enqueue(error_doc(request.id, QUOTA_ERROR_TYPE, str(exc)))
+            return
+        except JobSpecError as exc:
+            conn.enqueue(error_doc(request.id, "JobSpecError", str(exc)))
+            return
+
+        loop = asyncio.get_running_loop()
+
+        def emit(doc: dict) -> None:  # called from the worker thread
+            loop.call_soon_threadsafe(conn.enqueue, doc)
+
+        self._counters["jobs_started"] += 1
+        token = object()
+        future = loop.run_in_executor(
+            self._pool, run_job, self.session, job, request.id, emit,
+            self.progress)
+        conn.inflight[token] = (request.id, future)
+        future.add_done_callback(
+            lambda fut, _token=token: self._job_done(conn, _token, fut))
+
+    def _job_done(self, conn: _Connection, token: object,
+                  future: asyncio.Future) -> None:
+        conn.inflight.pop(token, None)
+        if future.cancelled():
+            return
+        exc = future.exception()
+        if exc is not None:
+            # run_job converts job failures to error envelopes, so an
+            # exception here is a genuine bug — surface it to the client
+            # without taking the connection (or the daemon) down.
+            request_id = None
+            conn.enqueue(error_doc(request_id, type(exc).__name__, str(exc)))
+
+    async def _writer_loop(self, conn: _Connection) -> None:
+        while True:
+            doc = await conn.queue.get()
+            if doc is _CLOSE:
+                return
+            try:
+                payload = json.dumps(doc, sort_keys=True) + "\n"
+                conn.writer.write(payload.encode("utf-8"))
+                await conn.writer.drain()  # backpressure: pace the producer
+            except (ConnectionError, RuntimeError):
+                conn.closed = True  # client gone: drop the rest silently
+                return
+
+    async def _teardown(self, conn: _Connection) -> None:
+        self._connections.discard(conn)
+        conn.close_queue()
+        if conn.writer_task is not None:
+            try:
+                await conn.writer_task
+            except asyncio.CancelledError:  # pragma: no cover - defensive
+                pass
+        try:
+            conn.writer.close()
+            await conn.writer.wait_closed()
+        except (ConnectionError, RuntimeError):  # pragma: no cover
+            pass
+
+
+async def _serve_tcp_async(session, host: str, port: int,
+                           install_signal_handlers: bool,
+                           **server_kwargs) -> int:
+    server = ServeServer(session, host, port, **server_kwargs)
+    bound_host, bound_port = await server.start()
+    print(json.dumps({"type": "control", "op": "listening", "ok": True,
+                      "host": bound_host, "port": bound_port}), flush=True)
+    if install_signal_handlers:
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(
+                    signum, lambda: asyncio.ensure_future(server.shutdown()))
+            except (NotImplementedError, ValueError):  # pragma: no cover
+                pass  # non-main thread or unsupported platform
+    return await server.serve_until_shutdown()
+
+
+def serve_tcp(session, host: str = "127.0.0.1", port: int = 0, *,
+              quota: ClientQuota | None = None, concurrency: int = 8,
+              progress: bool = True, max_line_bytes: int = MAX_LINE_BYTES,
+              drain_seconds: float = 10.0,
+              install_signal_handlers: bool = True) -> int:
+    """Run the TCP daemon until a graceful shutdown; returns requests handled.
+
+    The blocking entry point behind ``repro serve --tcp HOST:PORT``: it
+    owns the event loop, announces the bound address as a one-line
+    ``{"type": "control", "op": "listening", ...}`` document on stdout
+    (port ``0`` binds a free port) and installs SIGINT/SIGTERM handlers
+    that trigger the graceful drain.
+    """
+    return asyncio.run(_serve_tcp_async(
+        session, host, port, install_signal_handlers, quota=quota,
+        concurrency=concurrency, progress=progress,
+        max_line_bytes=max_line_bytes, drain_seconds=drain_seconds))

@@ -9,9 +9,9 @@ from repro.bench.suites import PAPER_CIRCUITS
 from repro.circuits import list_circuits
 
 
-def test_the_six_built_in_suites_exist():
+def test_the_seven_built_in_suites_exist():
     assert list_suites() == ["dedup-throughput", "fuzz-throughput",
-                             "solver-micro", "sweep-scaling",
+                             "serve-load", "solver-micro", "sweep-scaling",
                              "table2", "table3"]
 
 
@@ -27,6 +27,7 @@ def test_suite_unit_labels_are_stable():
     assert list(get_suite("sweep-scaling").unit_labels()) == \
         ["sweep:tseng", "sweep:fir6"]
     assert list(get_suite("fuzz-throughput").unit_labels()) == ["fuzz:c12:s0"]
+    assert list(get_suite("serve-load").unit_labels()) == ["serve:fig1:c8x6"]
     # narrowing circuits narrows the labels the same way the runner does
     assert list(get_suite("table2").unit_labels(("fig1",))) == ["sweep:fig1"]
 

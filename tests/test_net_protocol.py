@@ -1,0 +1,209 @@
+"""One wire protocol, two transports: the same request lines must come
+back with the same response documents whether they travel over the
+stdin/stdout pipe daemon or the asyncio TCP daemon.  Every test here is
+parametrized over both transports, plus direct unit tests of the shared
+protocol engine (:mod:`repro.net.protocol`)."""
+
+import asyncio
+import io
+import json
+
+import pytest
+
+from repro.api import Session, serve
+from repro.net import MAX_LINE_BYTES, ProtocolError, ServeServer
+from repro.net.protocol import control_doc, decode_request, error_doc, handle_control
+
+TRANSPORTS = ("pipe", "tcp")
+
+
+def run_wire(transport, requests, tmp_path, progress=True, step=False):
+    """Feed request lines through one transport; return the response docs.
+
+    For TCP a trailing shutdown request drains the daemon so every job
+    response is flushed before EOF; its ack and the terminal broadcast
+    are filtered out, so both transports return comparable documents.
+    ``step=True`` awaits each request's terminal document before sending
+    the next — needed on TCP when a later request (e.g. ``stats``) must
+    observe an earlier job's completion, because jobs run in the
+    executor while control ops are answered inline.
+    """
+    cache_dir = str(tmp_path / "wire-cache")
+    if transport == "pipe":
+        # The single-threaded pipe loop is strictly ordered, so stepping
+        # is implicit.
+        stdin = io.StringIO("".join(line + "\n" for line in requests))
+        stdout = io.StringIO()
+        with Session(time_limit=60.0, cache_dir=cache_dir) as session:
+            serve(session, stdin=stdin, stdout=stdout, progress=progress)
+        return [json.loads(line) for line in stdout.getvalue().splitlines()]
+
+    async def send_stepped(requests, reader, writer, docs):
+        for sequence, line in enumerate(requests, start=1):
+            writer.write((line + "\n").encode("utf-8"))
+            await writer.drain()
+            request_id = json.loads(line).get("id", sequence)
+            while True:
+                doc = json.loads(await reader.readline())
+                docs.append(doc)
+                if doc.get("id") == request_id and \
+                        doc["type"] in ("result", "error", "control"):
+                    break
+
+    async def over_tcp(session):
+        server = ServeServer(session, port=0, progress=progress,
+                             drain_seconds=60.0)
+        host, port = await server.start()
+        reader, writer = await asyncio.open_connection(host, port,
+                                                       limit=1 << 22)
+        docs = []
+        if step:
+            await send_stepped(requests, reader, writer, docs)
+            payload = '{"op": "shutdown", "id": "__drain"}\n'
+        else:
+            payload = "".join(line + "\n" for line in requests)
+            payload += '{"op": "shutdown", "id": "__drain"}\n'
+        writer.write(payload.encode("utf-8"))
+        await writer.drain()
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            docs.append(json.loads(line))
+        writer.close()
+        await server.serve_until_shutdown()
+        return docs
+
+    with Session(time_limit=60.0, cache_dir=cache_dir) as session:
+        docs = asyncio.run(over_tcp(session))
+    return [doc for doc in docs
+            if doc.get("id") != "__drain"
+            and doc.get("event") != "server_shutdown"]
+
+
+def by_id(responses, request_id):
+    return [doc for doc in responses if doc.get("id") == request_id]
+
+
+# ----------------------------------------------------------------------
+# the same lines through both transports
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("transport", TRANSPORTS)
+def test_malformed_json_is_an_error_line_and_serving_continues(
+        transport, tmp_path):
+    responses = run_wire(transport, [
+        "this is not json",
+        '{"op": "ping", "id": "after"}',
+    ], tmp_path)
+    [bad] = by_id(responses, 1)  # sequence number of the garbage line
+    assert bad["type"] == "error"
+    assert bad["error"]["type"] == "ProtocolError"
+    [pong] = by_id(responses, "after")
+    assert (pong["type"], pong["op"], pong["ok"]) == ("control", "ping", True)
+
+
+@pytest.mark.parametrize("transport", TRANSPORTS)
+def test_unknown_op_names_the_valid_ones(transport, tmp_path):
+    responses = run_wire(transport, ['{"op": "dance", "id": "d"}'], tmp_path)
+    [doc] = by_id(responses, "d")
+    assert doc["type"] == "error"
+    assert "dance" in doc["error"]["message"]
+    assert "ping" in doc["error"]["message"]
+
+
+@pytest.mark.parametrize("transport", TRANSPORTS)
+def test_oversized_line_is_rejected_without_killing_the_connection(
+        transport, tmp_path):
+    huge = '{"job": "sweep", "padding": "' + "x" * MAX_LINE_BYTES + '"}'
+    responses = run_wire(transport, [
+        huge,
+        '{"op": "ping", "id": "still-here"}',
+    ], tmp_path)
+    [bad] = by_id(responses, 1)
+    assert bad["type"] == "error"
+    assert bad["error"]["type"] == "ProtocolError"
+    assert "limit" in bad["error"]["message"]
+    [pong] = by_id(responses, "still-here")
+    assert pong["ok"] is True
+
+
+@pytest.mark.parametrize("transport", TRANSPORTS)
+def test_unknown_job_kind_is_a_job_spec_error(transport, tmp_path):
+    responses = run_wire(transport, ['{"job": "teleport", "id": "t"}'],
+                         tmp_path)
+    [doc] = by_id(responses, "t")
+    assert doc["type"] == "error"
+    assert doc["error"]["type"] in ("JobSpecError", "QuotaExceeded")
+    assert "teleport" in doc["error"]["message"]
+
+
+@pytest.mark.parametrize("transport", TRANSPORTS)
+def test_job_runs_and_echoes_the_client_id(transport, tmp_path):
+    responses = run_wire(transport, [
+        '{"job": "synthesize", "circuit": "fig1", "k": 1, "id": "job-1"}',
+    ], tmp_path, progress=False)
+    [doc] = by_id(responses, "job-1")
+    assert doc["type"] == "result"
+    assert doc["envelope"]["status"] == "ok"
+
+
+@pytest.mark.parametrize("transport", TRANSPORTS)
+def test_stats_op_reports_per_kind_job_counters(transport, tmp_path):
+    responses = run_wire(transport, [
+        '{"job": "synthesize", "circuit": "fig1", "k": 1, "id": "warm"}',
+        '{"op": "stats", "id": "s"}',
+    ], tmp_path, progress=False, step=True)
+    [doc] = by_id(responses, "s")
+    stats = doc["stats"]
+    assert stats["jobs"]["synthesize"]["ok"] == 1
+    assert stats["total_jobs"] == 1
+    assert sorted(stats["scheduler"]) == [
+        "cache_hits", "coalesced", "deduped", "executed", "submitted"]
+    assert stats["cache"]["enabled"] is True
+    if transport == "tcp":  # the TCP transport merges its own counters
+        assert stats["server"]["connections_open"] == 1
+        assert stats["server"]["quota"]["max_jobs"] >= 1
+    else:
+        assert "server" not in stats
+
+
+# ----------------------------------------------------------------------
+# the protocol engine, unit level
+# ----------------------------------------------------------------------
+def test_decode_request_strips_the_protocol_id():
+    request = decode_request('{"job": "sweep", "id": 7}', default_id=1)
+    assert (request.id, request.kind) == (7, "job")
+    assert "id" not in request.data
+    assert request.op is None
+
+
+def test_decode_request_defaults_to_the_sequence_id():
+    request = decode_request('{"op": "ping"}', default_id=42)
+    assert (request.id, request.kind, request.op) == (42, "control", "ping")
+
+
+def test_decode_request_passes_non_object_payloads_to_the_job_parser():
+    request = decode_request("[1, 2, 3]", default_id=1)
+    assert (request.kind, request.data) == ("job", [1, 2, 3])
+
+
+def test_decode_request_rejects_oversized_and_invalid_lines():
+    with pytest.raises(ProtocolError, match="exceeds the 10-byte limit"):
+        decode_request('{"op": "ping"}', 1, max_line_bytes=10)
+    with pytest.raises(ProtocolError, match="not valid JSON"):
+        decode_request("{nope", 1)
+
+
+def test_handle_control_answers_unknown_ops_with_an_error_doc():
+    request = decode_request('{"op": "levitate", "id": "x"}', 1)
+    doc = handle_control(None, request)  # unknown op never touches session
+    assert doc == error_doc("x", "ProtocolError", doc["error"]["message"])
+    assert "levitate" in doc["error"]["message"]
+
+
+def test_document_shapes_are_stable():
+    assert control_doc("a", "ping") == \
+        {"type": "control", "id": "a", "op": "ping", "ok": True}
+    assert error_doc(3, "Boom", "went boom") == \
+        {"type": "error", "id": 3,
+         "error": {"type": "Boom", "message": "went boom"}}

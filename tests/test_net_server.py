@@ -1,0 +1,221 @@
+"""Behaviours of the asyncio TCP daemon that only show up with real
+concurrent connections: id scoping, cross-client coalescing, quotas,
+mid-job disconnects and the graceful drain."""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.api import Session
+from repro.net import ClientQuota, ServeClient, ServeServer
+from repro.net.load import run_load_test
+
+SPEC = {"job": "synthesize", "circuit": "fig1", "k": 1}
+
+
+def make_session(tmp_path, **kwargs):
+    kwargs.setdefault("time_limit", 60.0)
+    kwargs.setdefault("cache_dir", str(tmp_path / "net-cache"))
+    return Session(**kwargs)
+
+
+def slow_down(session, seconds):
+    """Wrap ``session.run`` so every job takes at least ``seconds``."""
+    real_run = session.run
+
+    def slow_run(job, progress=None):
+        time.sleep(seconds)
+        return real_run(job, progress=progress)
+
+    session.run = slow_run
+
+
+async def start_server(session, **kwargs):
+    kwargs.setdefault("progress", False)
+    server = ServeServer(session, port=0, **kwargs)
+    host, port = await server.start()
+    return server, host, port
+
+
+async def finish(server):
+    if not server.draining:
+        await server.shutdown()
+    await server.serve_until_shutdown()
+
+
+def test_duplicate_ids_across_connections_stay_isolated_and_coalesce(
+        tmp_path):
+    async def scenario(session):
+        server, host, port = await start_server(session, concurrency=4)
+        try:
+            async with await ServeClient.connect(host, port) as one, \
+                    await ServeClient.connect(host, port) as two:
+                before = session.scheduler_stats()
+                doc_one, doc_two = await asyncio.gather(
+                    one.request(SPEC, request_id=1),
+                    two.request(SPEC, request_id=1))
+                delta = {key: value - before[key]
+                         for key, value in session.scheduler_stats().items()}
+            # both clients used id=1 and each got exactly its own answer
+            for doc in (doc_one, doc_two):
+                assert doc["type"] == "result"
+                assert doc["id"] == 1
+                assert doc["envelope"]["status"] == "ok"
+            assert doc_one["envelope"]["payload"] == doc_two["envelope"]["payload"]
+            # ...while the scheduler solved the shared work only once
+            assert delta["submitted"] > delta["executed"]
+        finally:
+            await finish(server)
+
+    with make_session(tmp_path) as session:
+        asyncio.run(scenario(session))
+
+
+def test_quota_rejects_excess_in_flight_jobs_with_a_structured_error(
+        tmp_path):
+    async def scenario(session):
+        slow_down(session, 0.4)
+        server, host, port = await start_server(
+            session, concurrency=4, quota=ClientQuota(max_jobs=2))
+        try:
+            async with await ServeClient.connect(host, port) as client:
+                first = await client.submit(SPEC)
+                second = await client.submit(SPEC)
+                rejected = await client.request(SPEC)
+                assert rejected["type"] == "error"
+                assert rejected["error"]["type"] == "QuotaExceeded"
+                assert "max_jobs=2" in rejected["error"]["message"]
+                # the two admitted jobs still complete normally
+                for pending in (first, second):
+                    doc = await pending.result()
+                    assert doc["envelope"]["status"] == "ok"
+            assert server.server_stats()["jobs_rejected"] == 1
+        finally:
+            await finish(server)
+
+    with make_session(tmp_path) as session:
+        asyncio.run(scenario(session))
+
+
+def test_quota_caps_and_pins_the_job_time_limit(tmp_path):
+    async def scenario(session):
+        seen = []
+        real_run = session.run
+
+        def capture_run(job, progress=None):
+            seen.append(job)
+            return real_run(job, progress=progress)
+
+        session.run = capture_run
+        server, host, port = await start_server(
+            session, quota=ClientQuota(max_jobs=4, max_time_limit=5.0))
+        try:
+            async with await ServeClient.connect(host, port) as client:
+                ok = await client.request(SPEC)  # no time_limit: pinned
+                over = await client.request({**SPEC, "time_limit": 99.0})
+            assert ok["envelope"]["status"] == "ok"
+            assert seen[0].time_limit == 5.0
+            assert over["type"] == "error"
+            assert over["error"]["type"] == "QuotaExceeded"
+            assert "99" in over["error"]["message"]
+        finally:
+            await finish(server)
+
+    with make_session(tmp_path) as session:
+        asyncio.run(scenario(session))
+
+
+def test_client_disconnect_mid_job_leaves_the_daemon_serving(tmp_path):
+    async def scenario(session):
+        slow_down(session, 0.3)
+        server, host, port = await start_server(session, concurrency=2)
+        try:
+            rude = await ServeClient.connect(host, port)
+            await rude.submit(SPEC)
+            await rude.close()  # vanish with the job still running
+            async with await ServeClient.connect(host, port) as polite:
+                pong = await polite.control("ping")
+                assert pong["ok"] is True
+                doc = await polite.request(SPEC)
+                assert doc["envelope"]["status"] == "ok"
+                assert server.server_stats()["connections_open"] == 1
+        finally:
+            await finish(server)
+
+    with make_session(tmp_path) as session:
+        asyncio.run(scenario(session))
+
+
+def test_graceful_drain_answers_in_flight_jobs_before_closing(tmp_path):
+    async def scenario(session):
+        slow_down(session, 0.3)
+        server, host, port = await start_server(session, concurrency=2,
+                                                drain_seconds=30.0)
+        worker = await ServeClient.connect(host, port)
+        pending = await worker.submit(SPEC)
+        async with await ServeClient.connect(host, port) as boss:
+            ack = await boss.control("shutdown")
+            assert ack["ok"] is True
+        outcome = await pending.result()
+        assert outcome["type"] == "result"
+        assert outcome["envelope"]["status"] == "ok"
+        await worker.wait_closed()
+        terminal = [doc for doc in worker.broadcasts
+                    if doc.get("event") == "server_shutdown"]
+        assert terminal and terminal[0]["drained"] is True
+        await worker.close()
+        await server.serve_until_shutdown()
+        assert server.draining
+
+    with make_session(tmp_path) as session:
+        asyncio.run(scenario(session))
+
+
+def test_drain_deadline_answers_stragglers_with_server_shutdown(tmp_path):
+    async def scenario(session):
+        slow_down(session, 0.6)
+        server, host, port = await start_server(session, concurrency=2,
+                                                drain_seconds=0.05)
+        worker = await ServeClient.connect(host, port)
+        pending = await worker.submit(SPEC)
+        await asyncio.sleep(0.1)  # let the job reach the executor
+        async with await ServeClient.connect(host, port) as boss:
+            await boss.control("shutdown")
+        outcome = await pending.result()
+        assert outcome["type"] == "error"
+        assert outcome["error"]["type"] == "ServerShutdown"
+        await worker.wait_closed()
+        terminal = [doc for doc in worker.broadcasts
+                    if doc.get("event") == "server_shutdown"]
+        assert terminal and terminal[0]["drained"] is False
+        await worker.close()
+        await server.serve_until_shutdown()
+        # let the straggler thread finish before the loop closes, so its
+        # final (dropped) emit has a live loop to be ignored by
+        await asyncio.sleep(0.7)
+
+    with make_session(tmp_path) as session:
+        asyncio.run(scenario(session))
+
+
+def test_load_harness_answers_every_request_and_proves_dedup(tmp_path):
+    with make_session(tmp_path) as session:
+        report = run_load_test(session, clients=3, requests_per_client=2)
+    assert report["requests"] == 6
+    assert report["answered"] == 6
+    assert report["ok"] == 6
+    assert report["dropped"] == 0
+    assert report["errors"] == 0
+    assert report["dedup_ratio"] is None or report["dedup_ratio"] > 1.0
+    assert report["drain"]["acknowledged"] is True
+    assert report["drain"]["probe_answered"] is True
+    assert report["latency"]["p50_ms"] is not None
+
+
+def test_load_harness_rejects_degenerate_parameters(tmp_path):
+    with make_session(tmp_path) as session:
+        with pytest.raises(ValueError, match="must be >= 1"):
+            run_load_test(session, clients=0)
+        with pytest.raises(ValueError, match="spec_pool"):
+            run_load_test(session, spec_pool=[])

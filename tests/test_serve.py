@@ -8,14 +8,16 @@ import pytest
 from repro.api import Session, serve
 
 
-def run_daemon(requests, tmp_path, progress=True, **session_kwargs):
+def run_daemon(requests, tmp_path, progress=True, concurrency=1,
+               **session_kwargs):
     """Feed request lines through one warm session; return parsed responses."""
     session_kwargs.setdefault("time_limit", 60.0)
     session_kwargs.setdefault("cache_dir", str(tmp_path / "serve-cache"))
     stdin = io.StringIO("".join(line + "\n" for line in requests))
     stdout = io.StringIO()
     with Session(**session_kwargs) as session:
-        handled = serve(session, stdin=stdin, stdout=stdout, progress=progress)
+        handled = serve(session, stdin=stdin, stdout=stdout,
+                        progress=progress, concurrency=concurrency)
     lines = stdout.getvalue().splitlines()
     return handled, [json.loads(line) for line in lines]
 
@@ -114,6 +116,20 @@ def test_control_ops(tmp_path):
     assert clear["removed"] > 0
 
 
+def test_stats_op_counts_jobs_and_reports_cache_hit_rate(tmp_path):
+    _, responses = run_daemon([
+        '{"job": "sweep", "circuit": "fig1", "max_k": 1}',
+        '{"job": "sweep", "circuit": "fig1", "max_k": 1}',
+        '{"op": "stats"}',
+    ], tmp_path, progress=False)
+    stats = next(r for r in responses if r.get("op") == "stats")["stats"]
+    assert stats["jobs"]["sweep"] == {"ok": 2, "error": 0, "cached": 1}
+    assert stats["total_jobs"] == 2
+    assert stats["cache"]["enabled"] is True
+    assert sorted(stats["scheduler"]) == [
+        "cache_hits", "coalesced", "deduped", "executed", "submitted"]
+
+
 def test_unknown_op_is_a_protocol_error(tmp_path):
     _, responses = run_daemon(['{"op": "dance"}'], tmp_path)
     assert responses[0]["type"] == "error"
@@ -152,6 +168,39 @@ def test_client_disconnect_ends_the_daemon_cleanly(tmp_path):
     with Session(time_limit=60.0, cache_dir=str(tmp_path / "c")) as session:
         serve(session, stdin=stdin, stdout=stdout, progress=False)  # no raise
     # only the first response line made it out before the pipe broke
+    assert len(stdout.getvalue().splitlines()) == 1
+
+
+def test_concurrent_mode_answers_every_request_exactly_once(tmp_path):
+    requests = [
+        f'{{"job": "sweep", "circuit": "fig1", "max_k": 1, "id": {i}}}'
+        for i in range(6)
+    ]
+    handled, responses = run_daemon(requests, tmp_path, progress=False,
+                                    concurrency=3)
+    assert handled == 6
+    results = results_of(responses)
+    assert sorted(r["id"] for r in results) == list(range(6))
+    assert all(r["envelope"]["status"] == "ok" for r in results)
+
+
+def test_concurrent_mode_stops_promptly_after_client_disconnect(tmp_path):
+    """With workers in flight, a broken pipe must cancel the queued
+    backlog instead of solving jobs nobody will read."""
+
+    class OneLinePipe(io.StringIO):
+        def write(self, text):
+            if self.getvalue():
+                raise BrokenPipeError("client went away")
+            return super().write(text)
+
+    spec = '{"job": "sweep", "circuit": "fig1", "max_k": 1}\n'
+    stdin = io.StringIO(spec * 8)
+    stdout = OneLinePipe()
+    with Session(time_limit=60.0, cache_dir=str(tmp_path / "c")) as session:
+        serve(session, stdin=stdin, stdout=stdout, progress=False,
+              concurrency=2)  # no raise
+    # only the first response made it out; the rest were dropped/cancelled
     assert len(stdout.getvalue().splitlines()) == 1
 
 
