@@ -37,6 +37,7 @@ from queue import Queue
 
 from ..ilp.model import MatrixForm
 from ..ilp.solution import Solution, SolveStats, SolveStatus
+from ..obs.metrics import record_portfolio_win
 from ..ilp.backends.registry import BackendRegistryError, backend_info, register_backend
 
 #: Statuses that settle the race: nothing a slower racer returns can differ.
@@ -213,6 +214,7 @@ class PortfolioBackend:
                errors: list[tuple[str, Exception]]) -> Solution:
         """The winning solution annotated with the merged race statistics."""
         name, solution = winner
+        record_portfolio_win(name)
         stats = solution.stats if solution.stats is not None else SolveStats()
         stats.backend = f"portfolio[{name}]"
         stats.nodes = sum(_nodes_of(result) for _, result in finished)

@@ -37,6 +37,8 @@ from ..core.engine import (
 from ..core.formulation import FormulationError, FormulationOptions
 from ..cost.transistors import CostModel, PAPER_COST_MODEL
 from ..dfg.graph import DataFlowGraph, DFGError
+from ..obs.metrics import get_registry, record_job
+from ..obs.trace import Tracer
 from ..reporting.netlist import design_to_dict
 from .envelope import STATUS_OK, ResultEnvelope
 from .jobs import (
@@ -97,6 +99,11 @@ class Session:
         pack each request's hint-free singleton ILP misses into one
         block-diagonal model solved in a single backend call.  Exact —
         objectives and designs match the serial path.
+    trace_file:
+        Optional path; when set, every finished scheduler task is appended
+        as one JSON line (after a header carrying the bench schema-2
+        environment fingerprint).  Independent of the always-on bounded
+        in-memory trace ring (:meth:`trace_events`).
 
     Every engine the session builds shares one
     :class:`~repro.sched.scheduler.TaskScheduler`, so identical tasks of
@@ -129,6 +136,7 @@ class Session:
         presolve: bool = False,
         warm_start: bool = True,
         batch: bool = False,
+        trace_file: str | None = None,
     ):
         if jobs < 1:
             raise EngineError(f"jobs must be >= 1, got {jobs}")
@@ -142,6 +150,12 @@ class Session:
         self.warm_start = warm_start
         self.batch = batch
         self._scheduler = TaskScheduler()
+        # Live observability: the process-global metrics registry (shared
+        # with every other session in the process) and a per-session trace
+        # ring attached to the scheduler so every finished task is traced.
+        self.metrics = get_registry()
+        self.tracer = Tracer(sink=trace_file)
+        self._scheduler.tracer = self.tracer
         if isinstance(cache, DesignCache):
             self.cache: DesignCache | None = cache
         elif cache:
@@ -163,10 +177,11 @@ class Session:
     # lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Release the persistent worker pool (idempotent)."""
+        """Release the worker pool and the trace sink (idempotent)."""
         close = getattr(self._executor, "close", None)
         if close is not None:
             close()
+        self.tracer.close()
 
     def __enter__(self) -> "Session":
         return self
@@ -199,6 +214,8 @@ class Session:
             counters["ok" if envelope.ok else "error"] += 1
             if envelope.cached:
                 counters["cached"] += 1
+        record_job(job.kind, envelope.status, envelope.wall_seconds,
+                   envelope.cached)
         _emit(progress, {
             "event": "job_finished", "kind": job.kind, "status": envelope.status,
             "cached": envelope.cached, "wall_seconds": envelope.wall_seconds,
@@ -269,11 +286,16 @@ class Session:
     def stats(self) -> dict:
         """One runtime-counters snapshot for a long-running daemon.
 
-        The first slice of live observability, answered by the serve
-        transports' ``{"op": "stats"}`` control operation: per-kind job
-        tallies from :meth:`run` (ok / error / cached), the memory-tier
-        cache hit rate derived from :meth:`cache_info`, and the scheduler
-        coalescing counters of :meth:`scheduler_stats`.
+        The point-in-time slice of live observability, answered by the
+        serve transports' ``{"op": "stats"}`` control operation: per-kind
+        job tallies from :meth:`run` (ok / error / cached), the *combined*
+        two-tier cache hit rate derived from :meth:`cache_info` (every
+        lookup probes the memory LRU first, so
+        ``(memory_hits + disk_hits) / (memory_hits + memory_misses)``
+        counts each lookup once whichever tier answered), and the
+        scheduler coalescing counters of :meth:`scheduler_stats`.
+        Histograms live in the metrics registry instead — see
+        :meth:`metrics_text` and the ``{"op": "metrics"}`` control op.
 
         >>> from repro.api import Session, SynthesizeJob
         >>> with Session(cache=False) as session:
@@ -291,6 +313,8 @@ class Session:
         memory = cache.get("memory") or {}
         hits = memory.get("hits", 0)
         misses = memory.get("misses", 0)
+        disk_hits = cache.get("disk_hits", 0)
+        lookups = hits + misses  # every lookup probes the memory tier first
         return {
             "jobs": jobs,
             "total_jobs": sum(c["ok"] + c["error"] for c in jobs.values()),
@@ -299,11 +323,28 @@ class Session:
                 "entries": cache.get("entries", 0),
                 "memory_hits": hits,
                 "memory_misses": misses,
-                "hit_rate": (round(hits / (hits + misses), 4)
-                             if hits + misses else None),
+                "disk_hits": disk_hits,
+                "hit_rate": (round((hits + disk_hits) / lookups, 4)
+                             if lookups else None),
             },
             "scheduler": self.scheduler_stats(),
         }
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def metrics_text(self) -> str:
+        """Prometheus-style exposition of the process-global registry
+        (the payload behind the ``{"op": "metrics"}`` control op)."""
+        return self.metrics.render()
+
+    def metrics_snapshot(self) -> dict:
+        """JSON-serialisable dump of the metrics registry."""
+        return self.metrics.snapshot()
+
+    def trace_events(self) -> list:
+        """The retained per-solve trace ring, oldest event first."""
+        return self.tracer.events()
 
     # ------------------------------------------------------------------
     # dispatch

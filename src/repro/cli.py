@@ -17,6 +17,8 @@ writing any Python::
     python -m repro bench run --suite table2     # timed, parity-guarded grid
     python -m repro bench compare NEW.json OLD.json   # regression gate
     python -m repro cache info                   # design-cache statistics
+    python -m repro obs dump                     # one-shot metrics snapshot
+    python -m repro bench history --drift B.json # distribution walk-off gate
     python -m repro serve                        # JSON-lines batch daemon
 
 Every command builds a declarative job spec, hands it to a
@@ -142,6 +144,10 @@ def _add_solver_arguments(parser: argparse.ArgumentParser,
                              "solves outside warm-start chains batch, so pass "
                              "--no-warm-start to batch a whole sweep; batched "
                              "solves run in-process, bypassing --jobs workers")
+    parser.add_argument("--trace-file", default=None, metavar="PATH",
+                        help="append one JSON line per finished solver task "
+                             "(after an environment-fingerprint header) to "
+                             "this file — the repro.obs per-solve trace sink")
     if jobs:
         parser.add_argument("--jobs", type=_positive_int_jobs, default=1,
                             help="worker processes for the independent solves")
@@ -315,9 +321,43 @@ def build_parser() -> argparse.ArgumentParser:
     bench_history = bench_actions.add_parser(
         "history",
         help="summarise a series of BENCH_*.json reports as a trajectory "
-             "table")
+             "table, or (--drift) flag distributions walking off a baseline")
     bench_history.add_argument("reports", nargs="+",
                                help="report files, oldest first")
+    bench_history.add_argument("--drift", action="store_true",
+                               help="instead of the trajectory table, judge "
+                                    "the most recent observations per timing "
+                                    "key against the baseline and exit 1 on "
+                                    "a consistent walk-off (repro.obs.drift)")
+    bench_history.add_argument("--baseline", default=None, metavar="PATH",
+                               help="baseline BENCH_*.json for --drift "
+                                    "(default: the first/oldest report)")
+    bench_history.add_argument("--window", type=int_at_least(1, "--window"),
+                               default=None, metavar="N",
+                               help="most-recent observations judged per key "
+                                    "(default: 3)")
+    bench_history.add_argument("--drift-ratio", type=speedup_threshold,
+                               default=None, metavar="RATIO",
+                               help="consistent slowdown ratio that counts as "
+                                    "drift, e.g. 1.25x (default: 1.25x)")
+    bench_history.add_argument("--min-seconds",
+                               type=_nonnegative_float_min_seconds,
+                               default=DEFAULT_MIN_SECONDS, metavar="S",
+                               help="noise floor: baseline timings below this "
+                                    "are never judged "
+                                    f"(default: {DEFAULT_MIN_SECONDS})")
+    bench_history.add_argument("--metrics", action="append", default=None,
+                               metavar="SNAP.json", dest="metrics_snapshots",
+                               help="live metrics-registry snapshot JSON "
+                                    "(repro obs dump --json) appended to the "
+                                    "observation series as histogram means "
+                                    "(repeatable; --drift only)")
+    bench_history.add_argument("--drift-out", default=None, metavar="PATH",
+                               help="also write the drift verdicts as JSON "
+                                    "(--drift only)")
+    bench_history.add_argument("--verbose", action="store_true",
+                               help="with --drift, print every judged key, "
+                                    "not only drifting/improved/new ones")
 
     bench_actions.add_parser("suites", help="list the built-in suites")
 
@@ -329,6 +369,26 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--cache-dir", default=None, metavar="DIR",
                        help="design-cache root (default: $REPRO_CACHE_DIR "
                             "or ~/.cache/repro-advbist)")
+
+    obs = subparsers.add_parser(
+        "obs",
+        help="live-observability snapshots: run a small workload in an "
+             "isolated metrics registry and print the exposition")
+    obs_actions = obs.add_subparsers(dest="obs_command", required=True)
+    obs_dump = obs_actions.add_parser(
+        "dump",
+        help="run one sweep in a private registry and print its "
+             "Prometheus-style metrics text (or --json for the structured "
+             "snapshot plus the per-solve trace)")
+    obs_dump.add_argument("--circuit", default="fig1",
+                          help="circuit to sweep (default: fig1)")
+    obs_dump.add_argument("--max-k", type=_positive_int_max_k, default=2,
+                          help="cap the sweep at this many test sessions "
+                               "(default: 2)")
+    _add_solver_arguments(obs_dump, jobs=True)
+    obs_dump.add_argument("--json", action="store_true",
+                          help="emit {metrics, trace, environment} JSON "
+                               "instead of the exposition text")
 
     daemon = subparsers.add_parser(
         "serve",
@@ -394,6 +454,7 @@ def _session_from_args(args) -> Session:
         presolve=getattr(args, "presolve", False),
         warm_start=getattr(args, "warm_start", True),
         batch=getattr(args, "batch", False),
+        trace_file=getattr(args, "trace_file", None),
     )
 
 
@@ -683,8 +744,70 @@ def _cmd_bench_history(args) -> int:
     except BenchSchemaError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.drift:
+        return _bench_drift(args, reports)
     print(render_history(reports))
     return 0
+
+
+def _bench_drift(args, reports) -> int:
+    """The ``repro bench history --drift`` walk-off gate (exit 1 on drift)."""
+    from pathlib import Path
+
+    from .bench import load_report
+    from .bench.compare import flatten_timings
+    from .bench.schema import BenchSchemaError
+    from .obs.drift import (DEFAULT_DRIFT_RATIO, DEFAULT_WINDOW, detect_drift,
+                            render_drift, series_from_metrics,
+                            series_from_reports)
+
+    if args.baseline is not None:
+        try:
+            baseline_flat = flatten_timings(load_report(args.baseline))
+        except BenchSchemaError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        baseline_source = args.baseline
+        series = series_from_reports(reports)
+    else:
+        # No explicit baseline: the oldest report anchors the series.  A
+        # single report then judges against itself (all ratios 1.0) — a
+        # deliberate no-op that makes the committed baseline self-verify.
+        baseline_source, baseline_report = reports[0]
+        baseline_flat = flatten_timings(baseline_report)
+        series = series_from_reports(reports[1:] if len(reports) > 1
+                                     else reports)
+    if args.metrics_snapshots:
+        snapshots = []
+        for path in args.metrics_snapshots:
+            try:
+                snapshots.append(
+                    (path, json.loads(Path(path).read_text(encoding="utf-8"))))
+            except (OSError, json.JSONDecodeError) as exc:
+                print(f"error: {path}: cannot read metrics snapshot: {exc}",
+                      file=sys.stderr)
+                return 2
+        live = series_from_metrics(snapshots)
+        # Live histogram means have no bench baseline; the first snapshot
+        # anchors its own series so later snapshots can drift against it.
+        if live:
+            first_source, first_flat = live[0]
+            for key, value in first_flat.items():
+                baseline_flat.setdefault(key, value)
+            series = list(series) + live[1:] if len(live) > 1 \
+                else list(series) + live
+    report = detect_drift(
+        baseline_flat, series,
+        drift_ratio=(args.drift_ratio if args.drift_ratio is not None
+                     else DEFAULT_DRIFT_RATIO),
+        window=args.window if args.window is not None else DEFAULT_WINDOW,
+        min_seconds=args.min_seconds, baseline_source=baseline_source)
+    print(render_drift(report, verbose=args.verbose))
+    if args.drift_out:
+        Path(args.drift_out).write_text(
+            json.dumps(report.as_dict(), indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {args.drift_out}")
+    return 0 if report.ok else 1
 
 
 def _cmd_bench_suites(_args) -> int:
@@ -734,6 +857,34 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _cmd_obs(args) -> int:
+    handlers = {"dump": _cmd_obs_dump}
+    return handlers[args.obs_command](args)
+
+
+def _cmd_obs_dump(args) -> int:
+    """One-shot local metrics snapshot: run a sweep in a private registry."""
+    from .bench.schema import environment_fingerprint
+    from .obs.metrics import MetricsRegistry, use_registry
+
+    with use_registry(MetricsRegistry()) as registry:
+        with _session_from_args(args) as session:
+            envelope = session.run(SweepJob(circuit=args.circuit,
+                                            max_k=args.max_k))
+            if not envelope.ok:
+                print(f"error: {envelope.error['message']}", file=sys.stderr)
+                return _exit_code(envelope)
+            if args.json:
+                print(json.dumps({
+                    "environment": environment_fingerprint(),
+                    "metrics": registry.snapshot(),
+                    "trace": session.tracer.snapshot(),
+                }, indent=2, sort_keys=True))
+            else:
+                print(registry.render())
+    return 0
+
+
 def _cmd_serve(args) -> int:
     if args.tcp is not None:
         from .net import MAX_LINE_BYTES, ClientQuota, serve_tcp
@@ -772,6 +923,7 @@ _HANDLERS = {
     "fuzz": _cmd_fuzz,
     "bench": _cmd_bench,
     "cache": _cmd_cache,
+    "obs": _cmd_obs,
     "serve": _cmd_serve,
 }
 

@@ -21,6 +21,7 @@ from typing import Iterable, Sequence
 import numpy as np
 from scipy import sparse
 
+from ..obs.metrics import record_solve
 from .expr import Constraint, LinExpr, Sense, Variable, VarType
 from .solution import Solution, SolveStats, SolveStatus
 
@@ -324,6 +325,7 @@ class Model:
         if presolved is not None:
             stats.presolve = presolved.stats.as_dict()
         solution.stats = stats
+        record_solve(stats.backend, stats.wall_seconds, stats.presolve)
         return solution
 
     # ------------------------------------------------------------------
@@ -557,6 +559,7 @@ def solve_models(models: Sequence["Model"], backend: str | object = "auto",
         if batch_info is not None and any(j == idx for idx, _ in pending):
             stats.batch = dict(batch_info)
         solution.stats = stats
+        record_solve(stats.backend, stats.wall_seconds, stats.presolve)
         results.append(solution)
     return results
 

@@ -37,10 +37,23 @@ def default_spec_pool(circuit: str = "fig1", max_k: int | None = 2) -> list[dict
 
 
 def _percentile(sorted_values: list[float], q: float) -> float | None:
+    """Linear-interpolated percentile of an ascending sample list.
+
+    Uses the standard ``rank = q/100 * (n - 1)`` definition (numpy's
+    default): p50 of ``[1, 2, 3, 4]`` is 2.5, not 2 or 3.  An empty
+    sample — every request rejected by quota, say — is ``None`` rather
+    than a crash, and a singleton returns its only value for every ``q``.
+    """
     if not sorted_values:
         return None
-    index = max(0, math.ceil(q / 100.0 * len(sorted_values)) - 1)
-    return sorted_values[min(index, len(sorted_values) - 1)]
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    rank = q / 100.0 * (len(sorted_values) - 1)
+    lower = math.floor(rank)
+    upper = min(lower + 1, len(sorted_values) - 1)
+    fraction = rank - lower
+    return (sorted_values[lower]
+            + (sorted_values[upper] - sorted_values[lower]) * fraction)
 
 
 def _latency_block(latencies: list[float]) -> dict:

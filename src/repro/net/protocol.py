@@ -15,8 +15,9 @@ The division of labour:
   buffering: a client cannot make the daemon hold an arbitrarily large
   request line in memory);
 * :func:`handle_control` — answer ``ping`` / ``cache_info`` /
-  ``cache_clear`` / ``scheduler_stats`` / ``stats`` (a shutdown request
-  is acknowledged by the transport itself, which owns the drain);
+  ``cache_clear`` / ``scheduler_stats`` / ``stats`` / ``metrics`` (a
+  shutdown request is acknowledged by the transport itself, which owns
+  the drain);
 * :func:`parse_job` / :func:`run_job` — spec dict → envelope, with
   progress documents streamed through the transport-supplied ``emit``
   callable.  ``run_job`` is blocking; the TCP transport runs it in a
@@ -35,7 +36,7 @@ from typing import Any, Callable
 
 #: Control operations both transports answer besides job specs.
 CONTROL_OPS = ("ping", "cache_info", "cache_clear", "scheduler_stats",
-               "stats", "shutdown")
+               "stats", "metrics", "shutdown")
 
 #: Default cap on one request line (bytes of UTF-8).  A line above the
 #: cap is rejected with a ``ProtocolError`` document instead of being
@@ -132,6 +133,13 @@ def handle_control(session, request: Request,
         if extra_stats:
             stats = {**stats, "server": dict(extra_stats)}
         return control_doc(request.id, "stats", stats=stats)
+    if op == "metrics":
+        # Prometheus-style exposition of the process-global registry;
+        # ``snapshot`` carries the same data JSON-structured for clients
+        # that would rather not parse the text format.
+        return control_doc(request.id, "metrics",
+                           text=session.metrics_text(),
+                           snapshot=session.metrics_snapshot())
     return error_doc(request.id, "ProtocolError",
                      f"unknown op {op!r}; expected one of {CONTROL_OPS}")
 

@@ -36,9 +36,12 @@ from __future__ import annotations
 import asyncio
 import json
 import signal
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any
 
+from ..obs.metrics import (record_connection_job, record_server,
+                           set_connections_open)
 from .protocol import (
     MAX_LINE_BYTES,
     ProtocolError,
@@ -115,7 +118,8 @@ class _Connection:
         self.lines = _LineReader(reader, max_line_bytes)
         self.writer = writer
         self.queue: asyncio.Queue = asyncio.Queue()
-        self.inflight: dict[object, tuple[Any, asyncio.Future]] = {}
+        #: token -> (request_id, future, dispatch time) of running jobs.
+        self.inflight: dict[object, tuple[Any, asyncio.Future, float]] = {}
         self.task: asyncio.Task | None = None     # the read-loop task
         self.writer_task: asyncio.Task | None = None
         self.closed = False
@@ -179,6 +183,10 @@ class ServeServer:
         self._counters = {"connections_total": 0, "jobs_started": 0,
                           "jobs_rejected": 0, "protocol_errors": 0}
 
+    def _count(self, event: str) -> None:
+        self._counters[event] += 1
+        record_server(event)
+
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
@@ -234,14 +242,14 @@ class ServeServer:
                 conn.task.cancel()
 
         jobs = [future for conn in self._connections
-                for _, future in conn.inflight.values()]
+                for _, future, _ in conn.inflight.values()]
         drained = True
         if jobs:
             _, pending = await asyncio.wait(jobs, timeout=self.drain_seconds)
             if pending:
                 drained = False
                 for conn in list(self._connections):
-                    for request_id, future in conn.inflight.values():
+                    for request_id, future, _ in conn.inflight.values():
                         if future in pending:
                             conn.enqueue(error_doc(
                                 request_id, "ServerShutdown",
@@ -274,7 +282,8 @@ class ServeServer:
         conn.task = asyncio.current_task()
         conn.writer_task = asyncio.ensure_future(self._writer_loop(conn))
         self._connections.add(conn)
-        self._counters["connections_total"] += 1
+        self._count("connections_total")
+        set_connections_open(len(self._connections))
         try:
             await self._read_loop(conn)
         except asyncio.CancelledError:
@@ -294,7 +303,7 @@ class ServeServer:
                 line = await conn.lines.next_line()
             except _OversizedLine:
                 sequence += 1
-                self._counters["protocol_errors"] += 1
+                self._count("protocol_errors")
                 conn.enqueue(error_doc(
                     sequence, "ProtocolError",
                     f"request line exceeds the {self.max_line_bytes}-byte "
@@ -309,7 +318,7 @@ class ServeServer:
                 request = decode_request(line.strip(), sequence,
                                          max_line_bytes=None)
             except ProtocolError as exc:
-                self._counters["protocol_errors"] += 1
+                self._count("protocol_errors")
                 conn.enqueue(error_doc(sequence, "ProtocolError", str(exc)))
                 continue
             self._handled += 1
@@ -330,7 +339,7 @@ class ServeServer:
             self.quota.admit(len(conn.inflight))
             job = self.quota.cap_time_limit(parse_job(request.data))
         except QuotaError as exc:
-            self._counters["jobs_rejected"] += 1
+            self._count("jobs_rejected")
             conn.enqueue(error_doc(request.id, QUOTA_ERROR_TYPE, str(exc)))
             return
         except JobSpecError as exc:
@@ -342,18 +351,20 @@ class ServeServer:
         def emit(doc: dict) -> None:  # called from the worker thread
             loop.call_soon_threadsafe(conn.enqueue, doc)
 
-        self._counters["jobs_started"] += 1
+        self._count("jobs_started")
         token = object()
         future = loop.run_in_executor(
             self._pool, run_job, self.session, job, request.id, emit,
             self.progress)
-        conn.inflight[token] = (request.id, future)
+        conn.inflight[token] = (request.id, future, time.monotonic())
         future.add_done_callback(
             lambda fut, _token=token: self._job_done(conn, _token, fut))
 
     def _job_done(self, conn: _Connection, token: object,
                   future: asyncio.Future) -> None:
-        conn.inflight.pop(token, None)
+        entry = conn.inflight.pop(token, None)
+        if entry is not None:
+            record_connection_job(time.monotonic() - entry[2])
         if future.cancelled():
             return
         exc = future.exception()
@@ -379,6 +390,7 @@ class ServeServer:
 
     async def _teardown(self, conn: _Connection) -> None:
         self._connections.discard(conn)
+        set_connections_open(len(self._connections))
         conn.close_queue()
         if conn.writer_task is not None:
             try:

@@ -1,0 +1,25 @@
+"""Live observability: metrics, per-solve tracing, and drift detection.
+
+The execution stack's choke points (scheduler, two-tier cache, ILP
+solve, portfolio racer, TCP server, session envelopes) record into one
+process-global :class:`~repro.obs.metrics.MetricsRegistry`; the scheduler
+additionally streams finished tasks through an optional
+:class:`~repro.obs.trace.Tracer`.  Exposition: the ``{"op": "metrics"}``
+control op on both serve transports, ``repro obs dump`` for one-shot
+snapshots, and ``repro bench history --drift`` for
+:mod:`~repro.obs.drift` walk-off analysis against the committed
+baseline.  See ``docs/observability.md`` for the metric catalogue.
+"""
+
+from .metrics import (MetricsRegistry, get_registry, set_registry,
+                      use_registry)
+from .trace import TraceEvent, Tracer
+
+__all__ = [
+    "MetricsRegistry",
+    "TraceEvent",
+    "Tracer",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+]

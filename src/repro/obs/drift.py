@@ -1,0 +1,253 @@
+"""Drift detection: flag distributions walking away from the baseline.
+
+The ``repro bench compare`` gate answers one question — "is this single
+run more than ``threshold`` times slower than the best prior?" — which
+misses the slow-boil failure mode: a timing that creeps 10% per week
+never trips a 1.5x gate yet doubles in two months.  This module looks at
+a *series* of observations per timing key (chronologically ordered bench
+reports, and/or live histogram summaries from
+:meth:`repro.obs.metrics.MetricsRegistry.snapshot`) and compares the most
+recent ``window`` values against a committed baseline:
+
+* ``drifting`` — the geometric mean of the window's ratios exceeds
+  ``drift_ratio`` **and** every ratio in the window is above 1.0 (the
+  walk-off is consistent, not one noisy sample);
+* ``improved`` — the mirror image (gmean below ``1/drift_ratio``, every
+  ratio below 1.0);
+* ``noise`` — the baseline is under the ``min_seconds`` floor, so ratios
+  are scheduler jitter;
+* ``new`` — the baseline never recorded this key;
+* ``ok`` — everything else.
+
+With a single report in the series the check degenerates to a plain
+ratio test (a window of one), which still catches a step change.
+
+>>> from repro.obs.drift import detect_drift
+>>> baseline = {"cold/sweep:fig1": 1.0, "cold/sweep:fig2": 1.0}
+>>> series = [("r1", {"cold/sweep:fig1": 1.3, "cold/sweep:fig2": 0.9}),
+...           ("r2", {"cold/sweep:fig1": 1.4, "cold/sweep:fig2": 1.2}),
+...           ("r3", {"cold/sweep:fig1": 1.5, "cold/sweep:fig2": 0.8})]
+>>> report = detect_drift(baseline, series, drift_ratio=1.25, window=3)
+>>> {row.unit: row.verdict for row in report.rows}
+{'cold/sweep:fig1': 'drifting', 'cold/sweep:fig2': 'ok'}
+>>> report.ok
+False
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..bench.compare import DEFAULT_MIN_SECONDS, flatten_timings
+
+#: Default consistent-walk-off ratio: gentler than the 1.5x step gate
+#: because drift requires *every* window sample to lean the same way.
+DEFAULT_DRIFT_RATIO = 1.25
+
+#: Default number of most-recent observations examined per key.
+DEFAULT_WINDOW = 3
+
+#: Verdicts a drift row can carry.
+DRIFT_VERDICTS = ("ok", "drifting", "improved", "noise", "new")
+
+
+@dataclass(frozen=True)
+class DriftRow:
+    """One timing key's walk-off verdict."""
+
+    unit: str
+    baseline_seconds: float | None
+    window: tuple[float, ...]        # most recent values, oldest first
+    ratios: tuple[float, ...]        # window / baseline
+    gmean_ratio: float | None
+    verdict: str                     # one of DRIFT_VERDICTS
+
+    def as_dict(self) -> dict:
+        return {
+            "unit": self.unit,
+            "baseline_s": self.baseline_seconds,
+            "window": list(self.window),
+            "ratios": list(self.ratios),
+            "gmean_ratio": self.gmean_ratio,
+            "verdict": self.verdict,
+        }
+
+
+@dataclass
+class DriftReport:
+    """Outcome of a drift sweep over every observed timing key."""
+
+    drift_ratio: float
+    window: int
+    min_seconds: float
+    baseline_source: str
+    sources: list[str] = field(default_factory=list)
+    rows: list[DriftRow] = field(default_factory=list)
+
+    @property
+    def drifting(self) -> list[DriftRow]:
+        return [row for row in self.rows if row.verdict == "drifting"]
+
+    @property
+    def ok(self) -> bool:
+        """True when no key is consistently walking off — the CI gate."""
+        return not self.drifting
+
+    def as_dict(self) -> dict:
+        return {
+            "drift_ratio": self.drift_ratio,
+            "window": self.window,
+            "min_seconds": self.min_seconds,
+            "baseline": self.baseline_source,
+            "sources": list(self.sources),
+            "ok": self.ok,
+            "drifting": [row.unit for row in self.drifting],
+            "rows": [row.as_dict() for row in self.rows],
+        }
+
+
+def series_from_reports(
+        pairs: Sequence[tuple[str, Mapping]]) -> list[tuple[str, dict[str, float]]]:
+    """Flatten (source, schema-2 report) pairs into per-key timing maps.
+
+    Pairs must already be in chronological order (``repro bench history``
+    passes them in argument order); each becomes one observation per key.
+    """
+    return [(str(source), flatten_timings(report)) for source, report in pairs]
+
+
+def series_from_metrics(
+        snapshots: Sequence[tuple[str, Mapping]]) -> list[tuple[str, dict[str, float]]]:
+    """Turn registry snapshots into timing maps keyed ``metrics/<name><labels>``.
+
+    Each histogram series contributes its *mean* sample (``sum/count``) —
+    the summary a live daemon can ship without retaining raw samples.
+    Counter/gauge instruments are skipped; drift over monotone counters
+    is meaningless.
+
+    >>> snap = {"metrics": [{"name": "repro_solve_wall_seconds",
+    ...                      "type": "histogram",
+    ...                      "series": [{"labels": {"backend": "bnb"},
+    ...                                  "sum": 4.0, "count": 8}]}]}
+    >>> series_from_metrics([("live", snap)])
+    [('live', {'metrics/repro_solve_wall_seconds{backend=bnb}': 0.5})]
+    """
+    series = []
+    for source, snapshot in snapshots:
+        flat: dict[str, float] = {}
+        for metric in snapshot.get("metrics", []):
+            if metric.get("type") != "histogram":
+                continue
+            for entry in metric.get("series", []):
+                count = entry.get("count") or 0
+                if not count:
+                    continue
+                labels = entry.get("labels") or {}
+                suffix = ""
+                if isinstance(labels, Mapping) and labels:
+                    inner = ",".join(f"{k}={v}"
+                                     for k, v in sorted(labels.items()))
+                    suffix = "{" + inner + "}"
+                key = f"metrics/{metric['name']}{suffix}"
+                flat[key] = float(entry["sum"]) / count
+        series.append((str(source), flat))
+    return series
+
+
+def detect_drift(baseline: Mapping[str, float],
+                 series: Sequence[tuple[str, Mapping[str, float]]],
+                 drift_ratio: float = DEFAULT_DRIFT_RATIO,
+                 window: int = DEFAULT_WINDOW,
+                 min_seconds: float = DEFAULT_MIN_SECONDS,
+                 baseline_source: str = "baseline") -> DriftReport:
+    """Judge every key seen in ``series`` against ``baseline``.
+
+    ``series`` pairs a source name with a flat ``{key: seconds}`` map,
+    oldest first; only the last ``window`` observations per key are
+    judged.  A key must appear in at least one series entry to produce a
+    row — baseline keys nobody re-measured are silently ignored (they
+    cannot have drifted).
+    """
+    if drift_ratio <= 1.0:
+        raise ValueError("drift_ratio must be > 1.0")
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    report = DriftReport(drift_ratio=drift_ratio, window=window,
+                         min_seconds=min_seconds,
+                         baseline_source=baseline_source,
+                         sources=[source for source, _ in series])
+    observed: dict[str, list[float]] = {}
+    for _, flat in series:
+        for key, seconds in flat.items():
+            observed.setdefault(key, []).append(float(seconds))
+    for key in sorted(observed):
+        recent = tuple(observed[key][-window:])
+        base = baseline.get(key)
+        if base is None:
+            report.rows.append(DriftRow(
+                unit=key, baseline_seconds=None, window=recent,
+                ratios=(), gmean_ratio=None, verdict="new"))
+            continue
+        base = float(base)
+        if base <= 0 or base < min_seconds:
+            report.rows.append(DriftRow(
+                unit=key, baseline_seconds=base, window=recent,
+                ratios=(), gmean_ratio=None, verdict="noise"))
+            continue
+        ratios = tuple(value / base for value in recent)
+        gmean = math.exp(sum(math.log(max(r, 1e-12)) for r in ratios)
+                         / len(ratios))
+        if gmean > drift_ratio and all(r > 1.0 for r in ratios):
+            verdict = "drifting"
+        elif gmean < 1.0 / drift_ratio and all(r < 1.0 for r in ratios):
+            verdict = "improved"
+        else:
+            verdict = "ok"
+        report.rows.append(DriftRow(
+            unit=key, baseline_seconds=base, window=recent, ratios=ratios,
+            gmean_ratio=round(gmean, 4), verdict=verdict))
+    return report
+
+
+def render_drift(report: DriftReport, verbose: bool = False) -> str:
+    """The drift table ``repro bench history --drift`` prints.
+
+    Non-verbose output shows only drifting/improved/new rows plus a
+    summary line; ``verbose`` includes every judged key.
+    """
+    from ..reporting.tables import format_table
+
+    interesting = ("drifting", "improved", "new")
+    rows = [row for row in report.rows
+            if verbose or row.verdict in interesting]
+    rendered: list[str] = []
+    if rows:
+        rendered.append(format_table(
+            [{
+                "unit": row.unit,
+                "baseline_s": ("-" if row.baseline_seconds is None
+                               else f"{row.baseline_seconds:.3f}"),
+                "window": " ".join(f"{value:.3f}" for value in row.window),
+                "gmean": ("-" if row.gmean_ratio is None
+                          else f"{row.gmean_ratio:.2f}x"),
+                "verdict": (row.verdict.upper() if row.verdict == "drifting"
+                            else row.verdict),
+            } for row in rows],
+            ["unit", "baseline_s", "window", "gmean", "verdict"],
+            title=f"Drift vs {report.baseline_source} (ratio "
+                  f"{report.drift_ratio:g}x over window {report.window})"))
+    counts = {verdict: sum(1 for row in report.rows if row.verdict == verdict)
+              for verdict in DRIFT_VERDICTS}
+    summary = ", ".join(f"{count} {verdict}"
+                        for verdict, count in counts.items() if count)
+    rendered.append(f"judged {len(report.rows)} series over "
+                    f"{len(report.sources)} observation set(s): "
+                    f"{summary or 'nothing observed'}")
+    if report.drifting:
+        rendered.append(f"{len(report.drifting)} series walking off the "
+                        f"{report.baseline_source} baseline")
+    else:
+        rendered.append("no drift")
+    return "\n".join(rendered)

@@ -1,0 +1,524 @@
+"""Live metrics: a thread-safe registry of counters, gauges and histograms.
+
+This is the measurement substrate of :mod:`repro.obs`.  A
+:class:`MetricsRegistry` holds named :class:`Counter` / :class:`Gauge` /
+:class:`Histogram` instruments, each fanned out over label values, and
+renders them as Prometheus-style exposition text (:meth:`MetricsRegistry.render`)
+or a JSON-serialisable snapshot (:meth:`MetricsRegistry.snapshot`).  No
+third-party client library is involved — the text format is implemented
+here directly so the daemon stays dependency-free.
+
+One *process-global* registry (``get_registry()``) is the default sink:
+the choke points instrumented across the stack — the scheduler, the
+two-tier cache, ``Model.solve``, the portfolio backend, the TCP server —
+all record into it through the ``record_*`` helpers at the bottom of this
+module, so a :class:`repro.api.Session` and both serve transports expose
+one coherent view of the process.  Tests (and `repro obs dump`) isolate
+themselves with :func:`use_registry`.  Worker *processes* of a
+``jobs > 1`` sweep record into their own interpreter's registry, which is
+discarded with the worker — histograms describe the in-process execution
+paths (the serve daemon runs jobs in threads, so daemon traffic is fully
+covered).
+
+Instrumentation can be disabled globally (``REPRO_METRICS=0`` in the
+environment, or :meth:`MetricsRegistry.disable`): every ``record_*``
+helper then returns before touching a lock, which is what the CI
+overhead gate compares against.
+
+>>> from repro.obs.metrics import MetricsRegistry
+>>> registry = MetricsRegistry()
+>>> jobs = registry.counter("demo_jobs_total", "jobs by kind", labels=("kind",))
+>>> jobs.inc(kind="sweep"); jobs.inc(kind="sweep"); jobs.value(kind="sweep")
+2.0
+>>> wall = registry.histogram("demo_wall_seconds", "solve wall time",
+...                           buckets=(0.1, 1.0), labels=("backend",))
+>>> wall.observe(0.25, backend="bnb")
+>>> print(registry.render())  # doctest: +NORMALIZE_WHITESPACE
+# HELP demo_jobs_total jobs by kind
+# TYPE demo_jobs_total counter
+demo_jobs_total{kind="sweep"} 2
+# HELP demo_wall_seconds solve wall time
+# TYPE demo_wall_seconds histogram
+demo_wall_seconds_bucket{backend="bnb",le="0.1"} 0
+demo_wall_seconds_bucket{backend="bnb",le="1"} 1
+demo_wall_seconds_bucket{backend="bnb",le="+Inf"} 1
+demo_wall_seconds_sum{backend="bnb"} 0.25
+demo_wall_seconds_count{backend="bnb"} 1
+"""
+
+from __future__ import annotations
+
+import bisect
+import os
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Mapping, Sequence
+
+#: Wall-clock buckets (seconds) shared by the solve/job/latency histograms:
+#: sub-millisecond cache hits up to the 120 s default solver time limit.
+WALL_BUCKETS = (0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+                1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0)
+
+#: Fraction buckets for the presolve reduction-ratio histogram.
+RATIO_BUCKETS = (0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95)
+
+#: Environment switch: ``REPRO_METRICS=0`` (or ``false``/``off``/``no``)
+#: starts the process-global registry disabled.
+_ENV_FLAG = "REPRO_METRICS"
+
+_DISABLED_VALUES = {"0", "false", "off", "no"}
+
+
+class MetricsError(ValueError):
+    """Raised for inconsistent metric declarations (name/type/label clashes)."""
+
+
+def _format_value(value: float) -> str:
+    """Integral samples render without a trailing ``.0`` (Prometheus idiom)."""
+    return str(int(value)) if float(value).is_integer() else repr(float(value))
+
+
+def _label_suffix(names: tuple[str, ...], values: tuple[str, ...],
+                  extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = [*zip(names, values), *extra]
+    if not pairs:
+        return ""
+    return "{" + ",".join(f'{name}="{value}"' for name, value in pairs) + "}"
+
+
+class _Metric:
+    """Shared bookkeeping of one named instrument fanned out over labels."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str,
+                 label_names: Sequence[str] = ()):
+        self.name = name
+        self.help = help_text
+        self.label_names = tuple(label_names)
+        self._lock = threading.Lock()
+        self._series: dict[tuple[str, ...], object] = {}
+
+    def _labels_key(self, labels: Mapping[str, object]) -> tuple[str, ...]:
+        if set(labels) != set(self.label_names):
+            raise MetricsError(
+                f"metric {self.name!r} expects labels {self.label_names}, "
+                f"got {tuple(sorted(labels))}")
+        return tuple(str(labels[name]) for name in self.label_names)
+
+
+class Counter(_Metric):
+    """A monotonically increasing tally (per label combination)."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        """Add ``amount`` (must be >= 0) to the labelled series."""
+        if amount < 0:
+            raise MetricsError(f"counter {self.name!r} cannot decrease")
+        key = self._labels_key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        """Current tally of one labelled series (0 when never incremented)."""
+        key = self._labels_key(labels)
+        with self._lock:
+            return float(self._series.get(key, 0.0))
+
+    def total(self) -> float:
+        """Sum over every labelled series."""
+        with self._lock:
+            return float(sum(self._series.values()))
+
+    def _rows(self) -> list[tuple[str, float]]:
+        with self._lock:
+            return [(_label_suffix(self.label_names, key), value)
+                    for key, value in sorted(self._series.items())]
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (open connections, queue depth)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels) -> None:
+        """Set the labelled series to ``value``."""
+        key = self._labels_key(labels)
+        with self._lock:
+            self._series[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        """Adjust the labelled series by ``amount`` (may be negative)."""
+        key = self._labels_key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels) -> None:
+        """Shorthand for ``inc(-amount)``."""
+        self.inc(-amount, **labels)
+
+    def value(self, **labels) -> float:
+        """Current value of one labelled series (0 when never set)."""
+        key = self._labels_key(labels)
+        with self._lock:
+            return float(self._series.get(key, 0.0))
+
+    _rows = Counter._rows
+
+
+class Histogram(_Metric):
+    """Fixed-bucket distribution of observed samples (per label combination).
+
+    Buckets are cumulative upper bounds in the Prometheus sense: rendering
+    emits one ``_bucket{le="..."}`` row per bound plus ``+Inf``, a ``_sum``
+    and a ``_count`` — enough to derive rates, means and quantile
+    estimates downstream without storing samples.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help_text: str,
+                 buckets: Sequence[float] = WALL_BUCKETS,
+                 label_names: Sequence[str] = ()):
+        super().__init__(name, help_text, label_names)
+        ordered = tuple(sorted(float(b) for b in buckets))
+        if not ordered:
+            raise MetricsError(f"histogram {self.name!r} needs >= 1 bucket")
+        self.buckets = ordered
+
+    def observe(self, value: float, **labels) -> None:
+        """Record one sample into the labelled series."""
+        key = self._labels_key(labels)
+        index = bisect.bisect_left(self.buckets, float(value))
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = {
+                    "counts": [0] * (len(self.buckets) + 1),
+                    "sum": 0.0, "count": 0}
+            series["counts"][index] += 1
+            series["sum"] += float(value)
+            series["count"] += 1
+
+    def count(self, **labels) -> int:
+        """Number of samples observed in one labelled series."""
+        key = self._labels_key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            return int(series["count"]) if series else 0
+
+    def total_count(self) -> int:
+        """Samples observed across every labelled series."""
+        with self._lock:
+            return sum(int(series["count"]) for series in self._series.values())
+
+    def _snapshot_series(self) -> list[tuple[tuple[str, ...], dict]]:
+        with self._lock:
+            return [(key, {"counts": list(series["counts"]),
+                           "sum": series["sum"], "count": series["count"]})
+                    for key, series in sorted(self._series.items())]
+
+
+class MetricsRegistry:
+    """A named set of instruments with one coherent exposition.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create: the first
+    call declares the instrument, later calls return the same object (and
+    a name reused with a different type or label set raises
+    :class:`MetricsError` — the exposition would be ambiguous).
+    """
+
+    def __init__(self, enabled: bool = True):
+        self._lock = threading.Lock()
+        self._metrics: dict[str, _Metric] = {}
+        self.enabled = enabled
+
+    # -- lifecycle -----------------------------------------------------
+    def enable(self) -> None:
+        """Turn the ``record_*`` fast-path back on."""
+        self.enabled = True
+
+    def disable(self) -> None:
+        """No-op every ``record_*`` helper (the overhead-gate baseline)."""
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop every instrument (tests; live registries only ever grow)."""
+        with self._lock:
+            self._metrics.clear()
+
+    # -- declaration ---------------------------------------------------
+    def _get_or_create(self, cls, name: str, help_text: str, **kwargs):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if type(existing) is not cls:
+                    raise MetricsError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {cls.kind}")
+                wanted = tuple(kwargs.get("label_names", ()))
+                if existing.label_names != wanted:
+                    raise MetricsError(
+                        f"metric {name!r} already registered with labels "
+                        f"{existing.label_names}, not {wanted}")
+                return existing
+            metric = cls(name, help_text, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help_text: str,
+                labels: Sequence[str] = ()) -> Counter:
+        """Get or create a :class:`Counter`."""
+        return self._get_or_create(Counter, name, help_text,
+                                   label_names=tuple(labels))
+
+    def gauge(self, name: str, help_text: str,
+              labels: Sequence[str] = ()) -> Gauge:
+        """Get or create a :class:`Gauge`."""
+        return self._get_or_create(Gauge, name, help_text,
+                                   label_names=tuple(labels))
+
+    def histogram(self, name: str, help_text: str,
+                  buckets: Sequence[float] = WALL_BUCKETS,
+                  labels: Sequence[str] = ()) -> Histogram:
+        """Get or create a :class:`Histogram` with fixed ``buckets``."""
+        return self._get_or_create(Histogram, name, help_text,
+                                   buckets=buckets, label_names=tuple(labels))
+
+    def get(self, name: str) -> _Metric | None:
+        """The registered instrument called ``name`` (``None`` if absent)."""
+        with self._lock:
+            return self._metrics.get(name)
+
+    def __iter__(self) -> Iterator[_Metric]:
+        with self._lock:
+            metrics = list(self._metrics.values())
+        return iter(sorted(metrics, key=lambda metric: metric.name))
+
+    # -- exposition ----------------------------------------------------
+    def render(self) -> str:
+        """Prometheus-style text exposition of every instrument."""
+        lines: list[str] = []
+        for metric in self:
+            lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            if isinstance(metric, Histogram):
+                for key, series in metric._snapshot_series():
+                    cumulative = 0
+                    for bound, count in zip(metric.buckets, series["counts"]):
+                        cumulative += count
+                        suffix = _label_suffix(metric.label_names, key,
+                                               (("le", f"{bound:g}"),))
+                        lines.append(f"{metric.name}_bucket{suffix} {cumulative}")
+                    suffix = _label_suffix(metric.label_names, key,
+                                           (("le", "+Inf"),))
+                    lines.append(f"{metric.name}_bucket{suffix} {series['count']}")
+                    plain = _label_suffix(metric.label_names, key)
+                    lines.append(f"{metric.name}_sum{plain} "
+                                 f"{_format_value(series['sum'])}")
+                    lines.append(f"{metric.name}_count{plain} {series['count']}")
+            else:
+                for suffix, value in metric._rows():
+                    lines.append(f"{metric.name}{suffix} {_format_value(value)}")
+        return "\n".join(lines)
+
+    def snapshot(self) -> dict:
+        """A JSON-serialisable dump (the ``repro obs dump --json`` shape).
+
+        Histogram series carry per-bucket counts keyed by their upper
+        bound plus ``sum`` / ``count`` / ``mean`` — the summary
+        :mod:`repro.obs.drift` folds into its walk-off analysis.
+        """
+        metrics = []
+        for metric in self:
+            entry: dict = {"name": metric.name, "type": metric.kind,
+                           "help": metric.help,
+                           "labels": list(metric.label_names), "series": []}
+            if isinstance(metric, Histogram):
+                for key, series in metric._snapshot_series():
+                    count = series["count"]
+                    entry["series"].append({
+                        "labels": dict(zip(metric.label_names, key)),
+                        "buckets": {f"{bound:g}": count_
+                                    for bound, count_ in
+                                    zip(metric.buckets, series["counts"])},
+                        "overflow": series["counts"][-1],
+                        "sum": round(series["sum"], 9),
+                        "count": count,
+                        "mean": (round(series["sum"] / count, 9)
+                                 if count else None),
+                    })
+            else:
+                for suffix, value in metric._rows():  # suffix keys stay stable
+                    entry["series"].append({"labels": suffix, "value": value})
+            metrics.append(entry)
+        return {"enabled": self.enabled, "metrics": metrics}
+
+
+# ----------------------------------------------------------------------
+# the process-global registry
+# ----------------------------------------------------------------------
+def _env_enabled() -> bool:
+    return os.environ.get(_ENV_FLAG, "1").strip().lower() not in _DISABLED_VALUES
+
+
+_REGISTRY = MetricsRegistry(enabled=_env_enabled())
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global registry every ``record_*`` helper writes to."""
+    return _REGISTRY
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-global registry; returns the previous one."""
+    global _REGISTRY
+    previous, _REGISTRY = _REGISTRY, registry
+    return previous
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry):
+    """Scope the process-global registry to a block (test isolation).
+
+    >>> from repro.obs.metrics import (MetricsRegistry, get_registry,
+    ...                                record_scheduler, use_registry)
+    >>> private = MetricsRegistry()
+    >>> with use_registry(private):
+    ...     record_scheduler("submitted", 3)
+    ...     get_registry() is private
+    True
+    >>> private.get("repro_scheduler_tasks_total").value(event="submitted")
+    3.0
+    """
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)
+
+
+# ----------------------------------------------------------------------
+# instrumentation façade — the stack's choke points call these one-liners,
+# so metric names, labels and buckets live here and nowhere else.
+# ----------------------------------------------------------------------
+def record_solve(backend: str, wall_seconds: float,
+                 presolve: Mapping | None = None) -> None:
+    """One logical ILP solve: wall time by backend, presolve shrinkage.
+
+    Called by ``Model.solve`` / ``solve_models`` after stats are stamped,
+    so the ``backend`` label carries the resolved name (a portfolio win
+    shows up as ``portfolio[scipy]``).
+    """
+    registry = _REGISTRY
+    if not registry.enabled:
+        return
+    registry.histogram(
+        "repro_solve_wall_seconds",
+        "ILP solve wall time by resolved backend",
+        labels=("backend",)).observe(wall_seconds, backend=backend)
+    if presolve:
+        original = presolve.get("original_variables") or 0
+        reduced = presolve.get("reduced_variables") or 0
+        if original > 0:
+            registry.histogram(
+                "repro_presolve_reduction_ratio",
+                "fraction of variables removed by the presolve pipeline",
+                buckets=RATIO_BUCKETS).observe(1.0 - reduced / original)
+
+
+def record_scheduler(event: str, amount: int = 1) -> None:
+    """Mirror one :class:`~repro.sched.scheduler.SchedulerStats` tick."""
+    registry = _REGISTRY
+    if not registry.enabled:
+        return
+    registry.counter(
+        "repro_scheduler_tasks_total",
+        "scheduler task dispositions (submitted/cache_hits/deduped/"
+        "coalesced/executed)",
+        labels=("event",)).inc(amount, event=event)
+
+
+def record_flight(delta: int) -> None:
+    """Adjust the in-flight leader gauge (the scheduler queue depth)."""
+    registry = _REGISTRY
+    if not registry.enabled:
+        return
+    registry.gauge(
+        "repro_scheduler_inflight",
+        "single-flight computations currently led (scheduler queue depth)",
+    ).inc(delta)
+
+
+def record_cache(tier: str, outcome: str) -> None:
+    """One design-cache probe against ``tier`` (``memory``/``disk``)."""
+    registry = _REGISTRY
+    if not registry.enabled:
+        return
+    registry.counter(
+        "repro_cache_requests_total",
+        "design-cache probes by tier and outcome",
+        labels=("tier", "outcome")).inc(tier=tier, outcome=outcome)
+
+
+def record_portfolio_win(backend: str) -> None:
+    """The racer that settled one portfolio solve."""
+    registry = _REGISTRY
+    if not registry.enabled:
+        return
+    registry.counter(
+        "repro_portfolio_wins_total",
+        "portfolio races settled, by winning racer",
+        labels=("backend",)).inc(backend=backend)
+
+
+def record_job(kind: str, status: str, wall_seconds: float,
+               cached: bool) -> None:
+    """One :meth:`repro.api.Session.run` envelope."""
+    registry = _REGISTRY
+    if not registry.enabled:
+        return
+    registry.counter(
+        "repro_jobs_total", "session jobs by kind and envelope status",
+        labels=("kind", "status")).inc(kind=kind, status=status)
+    if cached:
+        registry.counter(
+            "repro_jobs_cached_total", "session jobs served fully from cache",
+            labels=("kind",)).inc(kind=kind)
+    registry.histogram(
+        "repro_job_wall_seconds", "session job wall time by kind",
+        labels=("kind",)).observe(wall_seconds, kind=kind)
+
+
+def record_server(event: str, amount: int = 1) -> None:
+    """One TCP-transport counter tick (connections, rejections, ...)."""
+    registry = _REGISTRY
+    if not registry.enabled:
+        return
+    registry.counter(
+        "repro_server_events_total",
+        "TCP transport events (connections_total/jobs_started/"
+        "jobs_rejected/protocol_errors)",
+        labels=("event",)).inc(amount, event=event)
+
+
+def set_connections_open(count: int) -> None:
+    """Publish the TCP daemon's open-connection gauge."""
+    registry = _REGISTRY
+    if not registry.enabled:
+        return
+    registry.gauge(
+        "repro_server_connections_open",
+        "currently open TCP serve connections").set(count)
+
+
+def record_connection_job(wall_seconds: float) -> None:
+    """Dispatch-to-completion latency of one TCP-submitted job."""
+    registry = _REGISTRY
+    if not registry.enabled:
+        return
+    registry.histogram(
+        "repro_server_job_wall_seconds",
+        "per-connection job latency (dispatch to completion)",
+    ).observe(wall_seconds)

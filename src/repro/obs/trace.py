@@ -1,0 +1,166 @@
+"""Structured per-solve trace events with a bounded ring and JSONL sink.
+
+Where :mod:`repro.obs.metrics` aggregates, this module *enumerates*: the
+scheduler hands every finished task to a :class:`Tracer`, which turns it
+into one :class:`TraceEvent` — task key, circuit, formulation, ``k``,
+resolved backend, presolve shrinkage, outcome and wall time.  Events land
+in a thread-safe bounded ring (newest ``capacity`` kept) and, when a sink
+path is configured (``Session(trace_file=...)`` or ``--trace-file`` on
+the CLI), are appended as JSON lines.  The sink's first line is a header
+carrying the bench schema-2 environment fingerprint, so a trace file is
+self-describing the same way a ``BENCH_*.json`` report is.
+
+``Tracer.record`` never raises: tracing must not be able to fail a solve,
+so a sink that starts erroring (disk full, permission lost) is dropped
+and the ring keeps running.
+
+>>> from repro.obs.trace import Tracer
+>>> tracer = Tracer(capacity=2)
+>>> for k in (1, 2, 3):
+...     tracer.record(task_key="deadbeef" * 8, circuit="fig1",
+...                   kind="advbist", k=k, backend="bnb", status="ok",
+...                   wall_seconds=0.01, cached=False, coalesced=False)
+>>> [event.k for event in tracer.events()]  # ring kept the newest two
+[2, 3]
+>>> tracer.events()[-1].task_key  # keys are shortened for display
+'deadbeefdead'
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import IO, Mapping
+
+#: Characters of the 64-hex task key kept on events — enough to join
+#: against cache paths while keeping traces skimmable.
+KEY_DIGITS = 12
+
+#: Presolve counters copied onto events (the full dict is on the stats).
+_PRESOLVE_FIELDS = ("original_variables", "reduced_variables",
+                    "removed_rows", "fixed_variables", "rounds")
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One finished scheduler task, flattened for telemetry."""
+
+    seq: int
+    task_key: str
+    circuit: str
+    kind: str
+    k: int
+    backend: str
+    status: str
+    wall_seconds: float
+    cached: bool
+    coalesced: bool
+    presolve: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """A JSON-serialisable view (the JSONL sink's line shape)."""
+        doc = {
+            "seq": self.seq,
+            "task_key": self.task_key,
+            "circuit": self.circuit,
+            "kind": self.kind,
+            "k": self.k,
+            "backend": self.backend,
+            "status": self.status,
+            "wall_seconds": round(self.wall_seconds, 9),
+            "cached": self.cached,
+            "coalesced": self.coalesced,
+        }
+        if self.presolve:
+            doc["presolve"] = dict(self.presolve)
+        return doc
+
+
+class Tracer:
+    """Thread-safe bounded event ring with an optional JSONL sink."""
+
+    def __init__(self, capacity: int = 256, sink: str | None = None):
+        if capacity < 1:
+            raise ValueError("trace ring capacity must be >= 1")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._ring: deque[TraceEvent] = deque(maxlen=capacity)
+        self._seq = 0
+        self._sink_path = sink
+        self._sink: IO[str] | None = None
+        if sink is not None:
+            self._open_sink(sink)
+
+    def _open_sink(self, path: str) -> None:
+        try:
+            handle = open(path, "a", encoding="utf-8")
+            header = {"trace_schema": 1,
+                      "environment": self._environment()}
+            handle.write(json.dumps(header, sort_keys=True) + "\n")
+            handle.flush()
+        except OSError:
+            self._sink = None
+            return
+        self._sink = handle
+
+    @staticmethod
+    def _environment() -> dict:
+        # lazy: repro.bench.schema pulls in platform probing we only need
+        # when a sink is actually opened.
+        from ..bench.schema import environment_fingerprint
+        return environment_fingerprint()
+
+    def record(self, *, task_key: str, circuit: str, kind: str, k: int,
+               backend: str, status: str, wall_seconds: float,
+               cached: bool, coalesced: bool,
+               presolve: Mapping | None = None) -> None:
+        """Append one event; never raises (a failing sink is dropped)."""
+        summary = {}
+        if presolve:
+            summary = {name: presolve[name] for name in _PRESOLVE_FIELDS
+                       if presolve.get(name) is not None}
+        with self._lock:
+            self._seq += 1
+            event = TraceEvent(
+                seq=self._seq,
+                task_key=(task_key or "")[:KEY_DIGITS],
+                circuit=circuit, kind=kind, k=k, backend=backend,
+                status=status, wall_seconds=wall_seconds,
+                cached=cached, coalesced=coalesced, presolve=summary)
+            self._ring.append(event)
+            sink = self._sink
+        if sink is not None:
+            try:
+                sink.write(json.dumps(event.as_dict(), sort_keys=True) + "\n")
+                sink.flush()
+            except (OSError, ValueError):
+                with self._lock:
+                    self._sink = None
+
+    def events(self) -> list[TraceEvent]:
+        """The retained events, oldest first."""
+        with self._lock:
+            return list(self._ring)
+
+    def snapshot(self) -> dict:
+        """JSON-serialisable view of the ring (``repro obs dump`` shape)."""
+        with self._lock:
+            events = list(self._ring)
+            recorded = self._seq
+        return {"capacity": self.capacity,
+                "recorded": recorded,
+                "retained": len(events),
+                "sink": self._sink_path if self._sink else None,
+                "events": [event.as_dict() for event in events]}
+
+    def close(self) -> None:
+        """Flush and release the JSONL sink, if any."""
+        with self._lock:
+            sink, self._sink = self._sink, None
+        if sink is not None:
+            try:
+                sink.close()
+            except OSError:
+                pass

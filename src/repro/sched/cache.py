@@ -35,6 +35,7 @@ from typing import Mapping
 from ..cost.transistors import CostModel
 from ..dfg.textio import to_dict as graph_to_dict
 from ..ilp.backends import resolve_backend_name
+from ..obs.metrics import record_cache, record_flight
 
 #: Default capacity of the in-memory tier (entries, not bytes — outcomes
 #: for the paper's circuits are a few kilobytes each).
@@ -130,9 +131,12 @@ class MemoryTier:
             if key in self._entries:
                 self._entries.move_to_end(key)
                 self.hits += 1
-                return self._entries[key]
-            self.misses += 1
-            return None
+                value = self._entries[key]
+            else:
+                self.misses += 1
+                value = None
+        record_cache("memory", "hit" if value is not None else "miss")
+        return value
 
     def put(self, key: str, value) -> None:
         if self.capacity <= 0:
@@ -198,15 +202,21 @@ class SingleFlight:
             flight = self._flights.get(key)
             if flight is None:
                 self._flights[key] = _Flight()
-                return "leader", None
-            self.waits += 1
-            return "waiter", flight
+                lead = True
+            else:
+                self.waits += 1
+                lead = False
+        if lead:
+            record_flight(+1)  # queue-depth gauge: one more led computation
+            return "leader", None
+        return "waiter", flight
 
     def fulfill(self, key: str, outcome) -> None:
         """Publish the leader's result and release every waiter."""
         with self._lock:
             flight = self._flights.pop(key, None)
         if flight is not None:
+            record_flight(-1)
             flight.outcome = outcome
             flight.event.set()
 
@@ -215,6 +225,7 @@ class SingleFlight:
         with self._lock:
             flight = self._flights.pop(key, None)
         if flight is not None:
+            record_flight(-1)
             flight.error = error
             flight.event.set()
 
@@ -257,6 +268,9 @@ class DesignCache:
         self.root = Path(root).expanduser()
         self.memory = MemoryTier(memory_entries)
         self.flights = SingleFlight()
+        self._counter_lock = threading.Lock()
+        self.disk_hits = 0
+        self.disk_misses = 0
 
     # -- keying --------------------------------------------------------
     _cost_model_payload = staticmethod(_cost_model_payload)
@@ -275,6 +289,14 @@ class DesignCache:
         the served object must be a fresh instance with ``cached=True``."""
         return replace(outcome, cached=True)
 
+    def _disk_probe(self, hit: bool) -> None:
+        with self._counter_lock:
+            if hit:
+                self.disk_hits += 1
+            else:
+                self.disk_misses += 1
+        record_cache("disk", "hit" if hit else "miss")
+
     def get(self, key: str | None):
         if key is None:
             return None
@@ -283,6 +305,7 @@ class DesignCache:
             return self._served(hot)
         path = self._path(key)
         if not path.exists():
+            self._disk_probe(hit=False)
             return None
         try:
             with path.open("rb") as handle:
@@ -297,7 +320,9 @@ class DesignCache:
             served = None
         if served is None:
             self._evict(path)
+            self._disk_probe(hit=False)
             return None
+        self._disk_probe(hit=True)
         self.memory.put(key, outcome)
         return served
 
@@ -332,9 +357,10 @@ class DesignCache:
         """Summary of both tiers: the disk store plus the memory LRU.
 
         The top-level ``root`` / ``entries`` / ``bytes`` keys describe the
-        on-disk tier (unchanged shape for existing consumers); ``memory``
-        adds the hot tier's entry count, hit/miss/eviction counters and the
-        number of single-flight waits the cache's flight registry absorbed.
+        on-disk tier, with ``disk_hits`` / ``disk_misses`` counting probes
+        that fell through the memory LRU; ``memory`` adds the hot tier's
+        entry count, hit/miss/eviction counters and the number of
+        single-flight waits the cache's flight registry absorbed.
         """
         entries = 0
         size = 0
@@ -345,10 +371,14 @@ class DesignCache:
                 except OSError:  # pragma: no cover - racing eviction
                     continue
                 entries += 1
+        with self._counter_lock:
+            disk_hits, disk_misses = self.disk_hits, self.disk_misses
         return {
             "root": str(self.root),
             "entries": entries,
             "bytes": size,
+            "disk_hits": disk_hits,
+            "disk_misses": disk_misses,
             "memory": {**self.memory.info(),
                        "single_flight_waits": self.flights.waits},
         }

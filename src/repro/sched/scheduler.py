@@ -29,6 +29,7 @@ import threading
 from dataclasses import dataclass, replace
 from typing import Callable, Sequence
 
+from ..obs.metrics import record_scheduler
 from .cache import DesignCache, SingleFlight, task_key
 
 
@@ -96,10 +97,14 @@ class TaskScheduler:
         self._lock = threading.Lock()
         self._flights = SingleFlight()
         self.stats = SchedulerStats()
+        #: Optional :class:`repro.obs.trace.Tracer`; when attached, every
+        #: finished task produces one trace event (jobs in == events out).
+        self.tracer = None
 
     def _count(self, field: str, amount: int = 1) -> None:
         with self._lock:
             setattr(self.stats, field, getattr(self.stats, field) + amount)
+        record_scheduler(field, amount)
 
     def stats_snapshot(self) -> dict:
         with self._lock:
@@ -183,4 +188,22 @@ class TaskScheduler:
             outcomes[i] = replace(outcomes[leader_for[key]], coalesced=True)
         for i, flight in waiters:
             outcomes[i] = replace(flights.wait(flight), coalesced=True)
+        tracer = self.tracer
+        if tracer is not None:
+            for task, outcome, key in zip(tasks, outcomes, keys):
+                stats = outcome.stats
+                tracer.record(
+                    task_key=key or "",
+                    circuit=getattr(task, "circuit", "?"),
+                    kind=task.kind,
+                    k=task.k if task.k is not None else 0,
+                    backend=(getattr(stats, "backend", None)
+                             or str(task.backend)),
+                    status=("cached" if outcome.cached
+                            else "coalesced" if outcome.coalesced
+                            else "executed"),
+                    wall_seconds=outcome.wall_seconds,
+                    cached=outcome.cached,
+                    coalesced=outcome.coalesced,
+                    presolve=getattr(stats, "presolve", None))
         return outcomes

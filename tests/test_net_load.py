@@ -1,0 +1,58 @@
+"""Percentile math behind the serve-load latency report."""
+
+import pytest
+
+from repro.net.load import _latency_block, _percentile, default_spec_pool
+
+
+def test_percentile_empty_sample_is_none():
+    assert _percentile([], 50) is None
+    assert _percentile([], 99) is None
+
+
+def test_percentile_singleton_returns_its_value():
+    for q in (0, 50, 90, 99, 100):
+        assert _percentile([0.25], q) == 0.25
+
+
+def test_percentile_interpolates_between_ranks():
+    values = [1.0, 2.0, 3.0, 4.0]
+    assert _percentile(values, 50) == pytest.approx(2.5)
+    assert _percentile(values, 0) == 1.0
+    assert _percentile(values, 100) == 4.0
+    assert _percentile(values, 25) == pytest.approx(1.75)
+    assert _percentile([0.0, 10.0], 90) == pytest.approx(9.0)
+
+
+def test_percentile_exact_ranks_need_no_interpolation():
+    values = [1.0, 2.0, 3.0]
+    assert _percentile(values, 50) == 2.0
+    assert _percentile(values, 100) == 3.0
+
+
+def test_percentiles_are_monotone():
+    values = sorted([0.004, 0.001, 0.09, 0.02, 0.3, 0.015, 0.007])
+    p50 = _percentile(values, 50)
+    p90 = _percentile(values, 90)
+    p99 = _percentile(values, 99)
+    assert p50 <= p90 <= p99 <= values[-1]
+
+
+def test_latency_block_handles_no_samples():
+    block = _latency_block([])
+    assert block == {"p50_ms": None, "p90_ms": None, "p99_ms": None,
+                     "max_ms": None, "mean_ms": None}
+
+
+def test_latency_block_reports_milliseconds():
+    block = _latency_block([0.001, 0.002, 0.003, 0.004])
+    assert block["p50_ms"] == pytest.approx(2.5)
+    assert block["max_ms"] == pytest.approx(4.0)
+    assert block["mean_ms"] == pytest.approx(2.5)
+    assert block["p50_ms"] <= block["p90_ms"] <= block["p99_ms"]
+
+
+def test_default_spec_pool_is_duplicate_heavy():
+    pool = default_spec_pool(circuit="fig2", max_k=3)
+    assert len(pool) == 2
+    assert all(spec["circuit"] == "fig2" for spec in pool)

@@ -1,0 +1,378 @@
+"""repro.obs: metrics registry, per-solve traces, drift detection."""
+
+import json
+import threading
+
+import pytest
+
+from repro.core.engine import DesignCache, SweepEngine, TaskScheduler
+from repro.obs.drift import (
+    DriftReport,
+    detect_drift,
+    render_drift,
+    series_from_metrics,
+    series_from_reports,
+)
+from repro.obs.metrics import (
+    MetricsRegistry,
+    MetricsError,
+    get_registry,
+    record_cache,
+    record_scheduler,
+    record_solve,
+    use_registry,
+)
+from repro.obs.trace import Tracer
+
+TIME_LIMIT = 60.0
+
+
+# ----------------------------------------------------------------------
+# registry primitives
+# ----------------------------------------------------------------------
+def test_counter_labels_and_totals():
+    registry = MetricsRegistry()
+    jobs = registry.counter("jobs_total", "jobs", labels=("kind",))
+    jobs.inc(kind="sweep")
+    jobs.inc(2, kind="compare")
+    assert jobs.value(kind="sweep") == 1.0
+    assert jobs.value(kind="compare") == 2.0
+    assert jobs.total() == 3.0
+    with pytest.raises(MetricsError):
+        jobs.inc(-1, kind="sweep")          # counters are monotone
+    with pytest.raises(MetricsError):
+        jobs.inc(wrong_label="x")
+
+
+def test_gauge_moves_both_ways():
+    registry = MetricsRegistry()
+    depth = registry.gauge("depth", "queue depth")
+    depth.inc(3)
+    depth.dec()
+    assert depth.value() == 2.0
+    depth.set(7)
+    assert depth.value() == 7.0
+
+
+def test_histogram_bucket_math():
+    registry = MetricsRegistry()
+    wall = registry.histogram("wall", "seconds", buckets=(0.1, 1.0, 10.0))
+    for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+        wall.observe(value)
+    assert wall.count() == 5
+    text = registry.render()
+    assert 'wall_bucket{le="0.1"} 1' in text
+    assert 'wall_bucket{le="1"} 3' in text          # cumulative
+    assert 'wall_bucket{le="10"} 4' in text
+    assert 'wall_bucket{le="+Inf"} 5' in text
+    assert "wall_count 5" in text
+    snap = registry.snapshot()["metrics"][0]["series"][0]
+    assert snap["count"] == 5 and snap["overflow"] == 1
+    assert snap["mean"] == pytest.approx(56.05 / 5)
+
+
+def test_registry_get_or_create_and_type_clash():
+    registry = MetricsRegistry()
+    a = registry.counter("x_total", "x")
+    assert registry.counter("x_total", "x") is a
+    with pytest.raises(MetricsError):
+        registry.gauge("x_total", "x")              # name reuse across types
+    with pytest.raises(MetricsError):
+        registry.counter("x_total", "x", labels=("kind",))  # label clash
+
+
+def test_render_exposition_shape():
+    registry = MetricsRegistry()
+    registry.counter("c_total", "help text", labels=("a",)).inc(a="1")
+    text = registry.render()
+    assert "# HELP c_total help text" in text
+    assert "# TYPE c_total counter" in text
+    assert 'c_total{a="1"} 1' in text               # integral: no ".0"
+
+
+def test_disabled_registry_records_nothing():
+    registry = MetricsRegistry(enabled=False)
+    with use_registry(registry):
+        record_scheduler("submitted", 5)
+        record_solve("bnb", 0.1, None)
+        record_cache("memory", "hit")
+    assert registry.snapshot()["metrics"] == []
+
+
+def test_use_registry_scopes_and_restores():
+    outer = get_registry()
+    private = MetricsRegistry()
+    with use_registry(private):
+        assert get_registry() is private
+        record_scheduler("submitted")
+    assert get_registry() is outer
+    assert private.get("repro_scheduler_tasks_total").total() == 1.0
+
+
+def test_record_solve_presolve_ratio():
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        record_solve("scipy", 0.2, {"original_variables": 100,
+                                    "reduced_variables": 40})
+    ratio = registry.get("repro_presolve_reduction_ratio")
+    assert ratio is not None and ratio.count() == 1
+    snap = [m for m in registry.snapshot()["metrics"]
+            if m["name"] == "repro_presolve_reduction_ratio"][0]
+    assert snap["series"][0]["mean"] == pytest.approx(0.6)
+
+
+# ----------------------------------------------------------------------
+# the trace ring + JSONL sink
+# ----------------------------------------------------------------------
+def _event(tracer, **overrides):
+    fields = dict(task_key="ab" * 32, circuit="fig1", kind="advbist", k=1,
+                  backend="bnb", status="executed", wall_seconds=0.01,
+                  cached=False, coalesced=False)
+    fields.update(overrides)
+    tracer.record(**fields)
+
+
+def test_trace_ring_is_bounded_and_sequenced():
+    tracer = Tracer(capacity=3)
+    for k in range(5):
+        _event(tracer, k=k)
+    events = tracer.events()
+    assert [e.k for e in events] == [2, 3, 4]
+    assert [e.seq for e in events] == [3, 4, 5]
+    snap = tracer.snapshot()
+    assert snap["recorded"] == 5 and snap["retained"] == 3
+    assert snap["sink"] is None
+
+
+def test_trace_jsonl_sink_writes_header_and_events(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    tracer = Tracer(capacity=8, sink=str(path))
+    _event(tracer, presolve={"original_variables": 10,
+                             "reduced_variables": 4, "rounds": 1})
+    _event(tracer, status="cached", cached=True)
+    tracer.close()
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    assert lines[0]["trace_schema"] == 1
+    assert "python" in lines[0]["environment"]       # bench schema-2 fingerprint
+    assert lines[1]["kind"] == "advbist"
+    assert lines[1]["presolve"]["original_variables"] == 10
+    assert lines[2]["cached"] is True
+    assert lines[1]["task_key"] == "ab" * 6          # shortened key
+
+
+def test_trace_record_survives_closed_sink(tmp_path):
+    tracer = Tracer(capacity=4, sink=str(tmp_path / "t.jsonl"))
+    tracer.close()
+    _event(tracer)                                   # must not raise
+    assert len(tracer.events()) == 1
+
+
+# ----------------------------------------------------------------------
+# metrics under concurrency: the 8-thread stampede must stay consistent
+# ----------------------------------------------------------------------
+def test_stampede_metrics_exactly_consistent(tmp_path, fig1_graph,
+                                             backend_registry_snapshot):
+    """Counter totals after a coalescing stampede partition exactly:
+    submitted == cache_hits + deduped + coalesced + executed, the solve
+    histogram holds one observation per executed task, and the tracer saw
+    every job."""
+    from test_sched import _register_counting_backend
+
+    counting = _register_counting_backend(name="counting-obs")
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        cache = DesignCache(tmp_path / "cache")
+        scheduler = TaskScheduler()
+        scheduler.tracer = Tracer(capacity=64)
+        barrier = threading.Barrier(8)
+        errors = []
+
+        def worker():
+            try:
+                engine = SweepEngine(backend="counting-obs",
+                                     time_limit=TIME_LIMIT, cache=cache,
+                                     scheduler=scheduler)
+                barrier.wait()
+                engine.run([engine.task(fig1_graph, "advbist", k=1)])
+            except BaseException as exc:  # pragma: no cover - diagnostics
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    assert not errors
+    assert counting.calls == 1
+    tasks = registry.get("repro_scheduler_tasks_total")
+    submitted = tasks.value(event="submitted")
+    assert submitted == 8.0
+    parts = sum(tasks.value(event=event) for event in
+                ("cache_hits", "deduped", "coalesced", "executed"))
+    assert parts == submitted                        # exact partition
+    assert tasks.value(event="executed") == 1.0
+    solves = registry.get("repro_solve_wall_seconds")
+    assert solves.total_count() == 1                 # jobs in == observations
+    assert registry.get("repro_scheduler_inflight").value() == 0.0
+    events = scheduler.tracer.events()
+    assert len(events) == 8                          # every job traced
+    computed = [e for e in events if not e.cached and not e.coalesced]
+    assert len(computed) == 1
+    # and the scheduler's own stats agree with the mirrored counters
+    stats = scheduler.stats_snapshot()
+    assert stats["submitted"] == 8 and stats["executed"] == 1
+
+
+# ----------------------------------------------------------------------
+# the cache tiers feed both the registry and Session.stats()
+# ----------------------------------------------------------------------
+def test_two_tier_counters_and_combined_hit_rate(tmp_path,
+                                                 backend_registry_snapshot):
+    from repro.api import Session, SynthesizeJob
+
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        cache_dir = str(tmp_path / "cache")
+        with Session(cache_dir=cache_dir, time_limit=TIME_LIMIT) as session:
+            assert session.run(SynthesizeJob(circuit="fig1", k=1)).ok
+            assert session.run(SynthesizeJob(circuit="fig1", k=1)).ok
+            stats = session.stats()
+        # run 1: each leader probes twice (miss + post-claim double-check)
+        # → 4 memory misses; run 2: 2 memory hits
+        cache_stats = stats["cache"]
+        assert cache_stats["memory_hits"] == 2
+        assert cache_stats["memory_misses"] == 4
+        assert cache_stats["disk_hits"] == 0
+        assert cache_stats["hit_rate"] == pytest.approx(2 / 6, abs=1e-4)
+
+        # A fresh session over the same disk store: cold memory, warm disk.
+        with Session(cache_dir=cache_dir, time_limit=TIME_LIMIT) as session:
+            assert session.run(SynthesizeJob(circuit="fig1", k=1)).ok
+            stats = session.stats()
+        assert stats["cache"]["disk_hits"] == 2
+        assert stats["cache"]["memory_hits"] == 0
+        assert stats["cache"]["hit_rate"] == 1.0     # disk answered them all
+
+    requests = registry.get("repro_cache_requests_total")
+    assert requests.value(tier="memory", outcome="miss") == 6.0
+    assert requests.value(tier="memory", outcome="hit") == 2.0
+    assert requests.value(tier="disk", outcome="miss") == 4.0
+    assert requests.value(tier="disk", outcome="hit") == 2.0
+
+
+# ----------------------------------------------------------------------
+# the {"op": "metrics"} control operation
+# ----------------------------------------------------------------------
+def test_metrics_control_op(backend_registry_snapshot):
+    from repro.api import Session, SynthesizeJob
+    from repro.net.protocol import Request, handle_control
+
+    with use_registry(MetricsRegistry()):
+        with Session(cache=False, time_limit=TIME_LIMIT) as session:
+            assert session.run(SynthesizeJob(circuit="fig1", k=1)).ok
+            doc = handle_control(
+                session, Request(id=7, kind="control",
+                                 data={"op": "metrics"}))
+    assert doc["type"] == "control" and doc["op"] == "metrics"
+    assert doc["id"] == 7 and doc["ok"] is True
+    assert "repro_solve_wall_seconds_count" in doc["text"]
+    assert "repro_jobs_total" in doc["text"]
+    names = {metric["name"] for metric in doc["snapshot"]["metrics"]}
+    assert "repro_solve_wall_seconds" in names
+    json.dumps(doc)                                  # wire-serialisable
+
+
+# ----------------------------------------------------------------------
+# drift detection
+# ----------------------------------------------------------------------
+def test_detect_drift_requires_consistent_walkoff():
+    baseline = {"cold/a": 1.0}
+    # One noisy spike inside the window is NOT drift.
+    noisy = [("r1", {"cold/a": 2.0}), ("r2", {"cold/a": 0.9}),
+             ("r3", {"cold/a": 2.0})]
+    report = detect_drift(baseline, noisy, drift_ratio=1.25, window=3)
+    assert report.rows[0].verdict == "ok" and report.ok
+    # A consistent creep past the ratio IS drift.
+    creep = [("r1", {"cold/a": 1.3}), ("r2", {"cold/a": 1.35}),
+             ("r3", {"cold/a": 1.4})]
+    report = detect_drift(baseline, creep, drift_ratio=1.25, window=3)
+    assert report.rows[0].verdict == "drifting" and not report.ok
+
+
+def test_detect_drift_verdict_edges():
+    baseline = {"cold/known": 1.0, "cold/tiny": 0.001}
+    series = [("r", {"cold/known": 0.5, "cold/tiny": 0.1,
+                     "cold/unseen": 3.0})]
+    report = detect_drift(baseline, series, drift_ratio=1.25, window=3)
+    verdicts = {row.unit: row.verdict for row in report.rows}
+    assert verdicts == {"cold/known": "improved", "cold/tiny": "noise",
+                        "cold/unseen": "new"}
+    assert report.ok                                 # only "drifting" gates
+    rendered = render_drift(report, verbose=True)
+    assert "improved" in rendered and "no drift" in rendered
+    json.dumps(report.as_dict())
+
+
+def test_detect_drift_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        detect_drift({}, [], drift_ratio=1.0)
+    with pytest.raises(ValueError):
+        detect_drift({}, [], window=0)
+
+
+def test_series_from_reports_and_metrics():
+    report = {"suites": {"s": {"scenarios": {"cold": {
+        "per_unit_seconds": {"sweep:fig1": 0.4}}}}}}
+    assert series_from_reports([("a.json", report)]) == \
+        [("a.json", {"cold/sweep:fig1": 0.4})]
+    snapshot = {"metrics": [
+        {"name": "repro_solve_wall_seconds", "type": "histogram",
+         "series": [{"labels": {"backend": "bnb"}, "sum": 2.0, "count": 4},
+                    {"labels": {"backend": "scipy"}, "sum": 0.0, "count": 0}]},
+        {"name": "repro_jobs_total", "type": "counter",
+         "series": [{"labels": 'kind="sweep"', "value": 3}]},
+    ]}
+    series = series_from_metrics([("live", snapshot)])
+    # counters skipped, empty histogram series skipped, mean = sum/count
+    assert series == [("live", {
+        "metrics/repro_solve_wall_seconds{backend=bnb}": 0.5})]
+
+
+def test_drift_cli_gate(tmp_path):
+    """history --drift: exit 0 on the committed baseline vs itself, exit 1
+    against a synthetically walked-off series."""
+    from pathlib import Path
+
+    from repro.cli import main
+
+    baseline_path = Path(__file__).resolve().parent.parent / "BENCH_regress.json"
+    baseline = json.loads(baseline_path.read_text())
+    assert main(["bench", "history", "--drift", str(baseline_path)]) == 0
+
+    perturbed_paths = []
+    for i, factor in enumerate((1.6, 1.7, 1.8)):
+        doc = json.loads(json.dumps(baseline))
+        for suite in doc["suites"].values():
+            for scenario in suite["scenarios"].values():
+                scenario["per_unit_seconds"] = {
+                    unit: seconds * factor
+                    for unit, seconds in scenario["per_unit_seconds"].items()}
+        path = tmp_path / f"perturbed{i}.json"
+        path.write_text(json.dumps(doc))
+        perturbed_paths.append(str(path))
+
+    out = tmp_path / "drift.json"
+    code = main(["bench", "history", "--drift",
+                 "--baseline", str(baseline_path), *perturbed_paths,
+                 "--drift-out", str(out)])
+    assert code == 1
+    summary = json.loads(out.read_text())
+    assert summary["ok"] is False and summary["drifting"]
+    assert all(len(row["ratios"]) <= 3 for row in summary["rows"])
+
+
+def test_drift_report_dataclass_roundtrip():
+    report = DriftReport(drift_ratio=1.25, window=3, min_seconds=0.05,
+                         baseline_source="b.json")
+    assert report.ok and report.as_dict()["drifting"] == []
