@@ -1,26 +1,32 @@
-"""Solver acceleration: presolve, the racing portfolio backend, warm starts.
+"""Solver acceleration: presolve, cuts, portfolio backends, warm starts.
 
-Three cooperating pieces, all exact (they change wall-clock, never results):
+Cooperating pieces, all exact (they change wall-clock, never results):
 
 * :mod:`repro.accel.presolve` — rewrites a lowered
   :class:`~repro.ilp.model.MatrixForm` before it reaches a backend (variable
   fixing, bound tightening, duplicate/dominated-row elimination) and lifts
   solutions of the reduced model back losslessly;
+* :mod:`repro.accel.strategies` — the ``scipy-cuts`` (root cutting planes
+  from :mod:`repro.ilp.cuts`) and ``scipy-ws`` (incumbent-hint objective
+  cutoff with an exactness-preserving gap) strategy backends;
 * :mod:`repro.accel.portfolio` — the ``portfolio`` registry backend racing
-  scipy/HiGHS against the pure-Python branch and bound with first-wins
-  cancellation;
-* warm-start plumbing — the branch and bound accepts an ``incumbent_hint``
-  objective cutoff, and :class:`repro.core.engine.SweepEngine` executes the
-  ADVBIST tasks of a sweep in ascending ``k`` so each solve seeds the next
-  one's incumbent (a design for ``k`` sessions embeds into the ``k + 1``
-  model, so its objective is a valid bound).
+  backends with first-wins cancellation, and the ``adaptive`` backend that
+  predicts the winner from :mod:`repro.accel.history` and runs it alone
+  (plus one delayed challenger) instead of racing;
+* warm-start plumbing — the branch and bound and ``scipy-ws`` accept an
+  ``incumbent_hint`` objective cutoff, and
+  :class:`repro.core.engine.SweepEngine` executes the ADVBIST tasks of a
+  sweep in ascending ``k`` so each solve seeds the next one's incumbent (a
+  design for ``k`` sessions embeds into the ``k + 1`` model, so its
+  objective is a valid bound).
 
 Enable presolve per solve (``Model.solve(presolve=True)``), per engine
 (``SweepEngine(presolve=True)``), per job (``SweepJob(presolve=True)``) or
 from the CLI (``repro sweep tseng --presolve``).
 """
 
-from .portfolio import PortfolioBackend
+from .history import WinHistory, bucket_keys, bucket_of, get_history, reset_history
+from .portfolio import AdaptivePortfolioBackend, PortfolioBackend
 from .presolve import (
     PassStats,
     PresolveError,
@@ -28,12 +34,21 @@ from .presolve import (
     PresolvedModel,
     presolve_form,
 )
+from .strategies import ScipyCutsBackend, ScipyWarmStartBackend
 
 __all__ = [
+    "AdaptivePortfolioBackend",
     "PassStats",
     "PortfolioBackend",
     "PresolveError",
     "PresolveStats",
     "PresolvedModel",
+    "ScipyCutsBackend",
+    "ScipyWarmStartBackend",
+    "WinHistory",
+    "bucket_keys",
+    "bucket_of",
+    "get_history",
     "presolve_form",
+    "reset_history",
 ]

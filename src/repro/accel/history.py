@@ -1,0 +1,288 @@
+"""Win history powering the adaptive portfolio's backend prediction.
+
+Racing every backend on one core is pure overhead: ``N`` arms contending for
+the same CPU slow the eventual winner down ``~N``-fold.  The adaptive
+portfolio instead predicts the winning arm per model *bucket* — the
+power-of-two size class of ``(constraint rows, variables, sweep k)``,
+specialised per circuit tag when one is stamped (:func:`bucket_keys`) — and
+runs it alone, starting a single challenger only if the leader overruns its
+expected wall time.
+
+Three knowledge sources feed one :class:`WinHistory`:
+
+* **committed priors** (``priors.json`` next to this module): calibration
+  wins recorded on the paper circuits, regenerated with
+  ``python -m repro.accel.history`` whenever the arms change;
+* **live wins** recorded by every adaptive/racing solve in this process;
+* **bench/obs ingestion** — :meth:`WinHistory.ingest` accepts the
+  ``{"buckets": {...}}`` payload embedded in priors files and any external
+  history dump (e.g. harvested from ``repro bench`` runs), merging the win
+  counts and wall-time averages.
+
+Prediction is deliberately conservative: a bucket with fewer than
+``min_samples`` recorded wins predicts nothing, and callers must treat a
+``None`` prediction (or a predicted arm that no longer exists) as "race
+everything" — unknown territory falls back to the always-correct racing
+portfolio, so a poisoned or stale history can cost time but never answers.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from threading import Lock
+
+from ..ilp.model import MatrixForm
+
+_PRIORS_PATH = Path(__file__).with_name("priors.json")
+_PRIORS_SCHEMA = 1
+
+
+def bucket_of(form: MatrixForm) -> str:
+    """The (rows, cols, k) size-class bucket of a lowering.
+
+    Rows and columns are bucketed by bit length (power-of-two classes), so
+    models of similar scale share a bucket; ``k`` comes from the
+    formulation-stamped ``tags`` and is ``?`` when unknown (e.g. compound
+    batched forms).
+    """
+    rows = int(form.A_ub.shape[0]) + int(form.A_eq.shape[0])
+    cols = len(form.variables)
+    k = (form.tags or {}).get("k", "?")
+    return f"r{rows.bit_length()}c{cols.bit_length()}k{k}"
+
+
+def bucket_keys(form: MatrixForm) -> tuple[str, ...]:
+    """History keys for ``form``, most specific first.
+
+    Two models can share a size class yet want different arms — presolved
+    tseng and paulin both land in ``r10c10k3``, where plain HiGHS wins one
+    and the warm-start arm the other — so a circuit-tagged key is consulted
+    before the generic size bucket.  Wins are recorded under *every* key:
+    the tagged entry gives repeat workloads an exact answer, the generic
+    entry keeps covering circuits the history has never seen.
+    """
+    generic = bucket_of(form)
+    circuit = (form.tags or {}).get("circuit")
+    if circuit:
+        return (f"{generic}@{circuit}", generic)
+    return (generic,)
+
+
+@dataclass
+class ArmRecord:
+    """Accumulated results of one backend inside one bucket."""
+
+    wins: int = 0
+    total_wall: float = 0.0
+
+    @property
+    def mean_wall(self) -> float:
+        return self.total_wall / self.wins if self.wins else 0.0
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """The history's verdict for one bucket."""
+
+    leader: str
+    expected_wall: float
+    challenger: str | None = None
+    samples: int = 0
+
+
+@dataclass
+class WinHistory:
+    """Per-bucket win counts and wall times with a conservative predictor."""
+
+    min_samples: int = 2
+    _buckets: dict[str, dict[str, ArmRecord]] = field(default_factory=dict)
+    _lock: Lock = field(default_factory=Lock, repr=False)
+
+    def record(self, bucket: str, backend: str, wall_seconds: float) -> None:
+        """Record that ``backend`` won ``bucket`` in ``wall_seconds``."""
+        with self._lock:
+            arms = self._buckets.setdefault(bucket, {})
+            arm = arms.setdefault(backend, ArmRecord())
+            arm.wins += 1
+            arm.total_wall += max(0.0, float(wall_seconds))
+
+    def predict(self, bucket: str) -> Prediction | None:
+        """The likely winner of ``bucket``, or ``None`` on thin history.
+
+        The leader is the most-winning arm (mean wall time breaking ties);
+        the challenger is the runner-up, when one exists.  Buckets with
+        fewer than ``min_samples`` total wins predict nothing — the caller
+        falls back to racing everything.
+        """
+        with self._lock:
+            arms = self._buckets.get(bucket)
+            if not arms:
+                return None
+            samples = sum(arm.wins for arm in arms.values())
+            if samples < self.min_samples:
+                return None
+            ranked = sorted(arms.items(),
+                            key=lambda item: (-item[1].wins, item[1].mean_wall))
+            leader, record = ranked[0]
+            challenger = ranked[1][0] if len(ranked) > 1 else None
+            return Prediction(leader=leader, expected_wall=record.mean_wall,
+                              challenger=challenger, samples=samples)
+
+    # ------------------------------------------------------------------
+    # persistence / ingestion
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict:
+        with self._lock:
+            return {
+                "schema": _PRIORS_SCHEMA,
+                "buckets": {
+                    bucket: {name: {"wins": arm.wins,
+                                    "total_wall": round(arm.total_wall, 6)}
+                             for name, arm in arms.items()}
+                    for bucket, arms in self._buckets.items()
+                },
+            }
+
+    def ingest(self, payload: dict) -> int:
+        """Merge a ``{"buckets": ...}`` payload; returns records ingested.
+
+        Malformed entries are skipped rather than raised — history is a
+        performance hint, and a corrupt priors file must never break a
+        solve.
+        """
+        ingested = 0
+        buckets = payload.get("buckets")
+        if not isinstance(buckets, dict):
+            return 0
+        for bucket, arms in buckets.items():
+            if not isinstance(arms, dict):
+                continue
+            for backend, entry in arms.items():
+                try:
+                    wins = int(entry["wins"])
+                    wall = float(entry.get("total_wall", 0.0))
+                except (KeyError, TypeError, ValueError):
+                    continue
+                if wins <= 0:
+                    continue
+                with self._lock:
+                    records = self._buckets.setdefault(str(bucket), {})
+                    arm = records.setdefault(str(backend), ArmRecord())
+                    arm.wins += wins
+                    arm.total_wall += max(0.0, wall)
+                ingested += wins
+        return ingested
+
+    def load_priors(self, path: Path | None = None) -> int:
+        """Ingest the committed priors file (missing/corrupt ⇒ no-op)."""
+        path = path or _PRIORS_PATH
+        try:
+            payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return 0
+        return self.ingest(payload)
+
+
+_GLOBAL: WinHistory | None = None
+_GLOBAL_LOCK = Lock()
+
+
+def get_history() -> WinHistory:
+    """The process-wide history, with the committed priors pre-loaded."""
+    global _GLOBAL
+    with _GLOBAL_LOCK:
+        if _GLOBAL is None:
+            _GLOBAL = WinHistory()
+            _GLOBAL.load_priors()
+        return _GLOBAL
+
+
+def reset_history(history: WinHistory | None = None) -> WinHistory:
+    """Swap in a fresh (or supplied) history — the test/calibration hook."""
+    global _GLOBAL
+    with _GLOBAL_LOCK:
+        _GLOBAL = history if history is not None else WinHistory()
+        return _GLOBAL
+
+
+# ----------------------------------------------------------------------
+# priors calibration (python -m repro.accel.history)
+# ----------------------------------------------------------------------
+def calibrate(arms: tuple[str, ...] = ("scipy", "scipy-cuts", "scipy-ws", "bnb"),
+              circuits: tuple[str, ...] = ("fig1", "tseng", "paulin"),
+              max_k: int = 3, time_limit: float = 30.0,
+              weight: int = 2, presolve: bool = True,
+              rounds: int = 2) -> WinHistory:
+    """Run every arm serially per (circuit, k) and record the fastest.
+
+    Serial timing (not racing) on purpose: on a single core a race measures
+    contention, not solver speed.  Warm-start-capable arms receive the
+    previous k's objective, mirroring how the sweep engine will call them.
+    Each measured winner is recorded ``weight`` times (default: the
+    predictor's ``min_samples``) so a committed prior is decisive on its
+    own — the whole point of shipping priors is skipping the cold race.
+
+    ``presolve=True`` times (and buckets) the *presolved* lowerings,
+    because that is the form the adaptive backend sees on the accelerated
+    path — presolve can shrink a model across a bucket boundary, and a
+    prior for the raw bucket would then never be consulted.
+
+    Each arm runs ``rounds`` times and is judged on its best wall —
+    single-shot timings carry enough allocator/cache noise to crown the
+    wrong winner.  Arms that failed, hit the limit, or came in over 3x
+    the current best are not re-run: they cannot win, so repeat rounds
+    only re-measure the contenders.
+    """
+    import time as _time
+
+    from ..circuits import get_circuit
+    from ..core.formulation import AdvBistFormulation
+    from ..ilp.backends.registry import backend_info
+
+    history = WinHistory()
+    for name in circuits:
+        hint: float | None = None
+        for k in range(1, max_k + 1):
+            graph = get_circuit(name)
+            form = AdvBistFormulation(graph, k).model.to_matrix_form()
+            if presolve:
+                from .presolve import presolve_form
+                reduced = presolve_form(form)
+                if reduced.infeasible or reduced.solved:
+                    continue  # nothing left for a backend to race on
+                form = reduced.reduced
+            keys = bucket_keys(form)
+            walls: dict[str, float] = {}
+            for round_index in range(max(1, rounds)):
+                for arm in arms:
+                    prior = walls.get(arm)
+                    front = min(walls.values(), default=None)
+                    if round_index and prior is None:
+                        continue  # failed or limited out in round one
+                    if round_index and front is not None and prior > 3.0 * front:
+                        continue  # cannot win; don't pay for it again
+                    info = backend_info(arm)
+                    solver = info.create()
+                    kwargs = {}
+                    if hint is not None and info.supports_warm_start:
+                        kwargs["incumbent_hint"] = hint
+                    t0 = _time.perf_counter()
+                    solution = solver.solve(form, time_limit=time_limit, **kwargs)
+                    wall = _time.perf_counter() - t0
+                    if solution.status.has_solution:
+                        walls[arm] = wall if prior is None else min(wall, prior)
+                    if (round_index == 0 and arm == arms[0]
+                            and solution.objective is not None):
+                        hint = solution.objective
+            if walls:
+                winner, wall = min(walls.items(), key=lambda item: item[1])
+                for key in keys:
+                    for _ in range(max(1, weight)):
+                        history.record(key, winner, wall)
+    return history
+
+
+if __name__ == "__main__":  # pragma: no cover - calibration utility
+    print(json.dumps(calibrate().as_dict(), indent=2, sort_keys=True))

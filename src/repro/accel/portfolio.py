@@ -1,31 +1,46 @@
-"""The racing portfolio backend: run several solvers, keep the first winner.
+"""The portfolio backends: race solvers, or predict the winner and run it alone.
 
-The two bundled backends have complementary profiles — scipy/HiGHS is fast
-on the large ADVBIST models, the pure-Python branch and bound often wins on
-tiny models (no process-external solver start-up) and is the only backend
-that exploits warm-start incumbents.  :class:`PortfolioBackend` races them
-concurrently on the same :class:`MatrixForm`:
+The bundled backends have complementary profiles — scipy/HiGHS is fast on
+the large ADVBIST models, the pure-Python branch and bound often wins on
+tiny models (no process-external solver start-up), the cut/warm-start
+strategy arms (:mod:`repro.accel.strategies`) win on specific shapes.  Two
+composition backends pick among them:
 
-* each racer runs in its own daemon thread (HiGHS releases the GIL during
-  the native solve, so the race genuinely overlaps);
-* the first *conclusive* result (proven optimal, infeasible or unbounded)
-  wins; the cooperative racers are cancelled through their ``stop_check``
-  hook (scipy cannot be interrupted mid-solve — its orphaned thread is
-  abandoned, bounded by the shared ``time_limit``, or by
-  ``_UNCANCELLABLE_FALLBACK_LIMIT`` when the caller passed no limit, so an
-  orphan can never run forever; beyond ``_ORPHAN_LIMIT``
-  lingering orphans the next race briefly waits for the oldest, a *bounded*
-  pause of ``_ORPHAN_JOIN_TIMEOUT`` seconds each, so chained quick wins
-  cannot stack unbounded background solves yet a caller is never stalled
-  for a full abandoned solve);
-* if no racer is conclusive (both hit a limit), the best incumbent wins;
-* the winner's :class:`SolveStats` are merged with the losers': ``backend``
-  records the winning racer, ``nodes`` sums every finished racer's search.
+* :class:`PortfolioBackend` (``portfolio`` / ``race``) races its racers
+  concurrently on the same :class:`MatrixForm`:
 
-Registered as ``portfolio`` (alias ``race``) — ``repro sweep --backend
-portfolio`` and ``Session(backend="portfolio")`` select it like any other
-registry backend.  It advertises warm-start support and forwards incumbent
-hints to every racer that can use them.
+  - each racer runs in its own daemon thread (HiGHS releases the GIL during
+    the native solve, so the race genuinely overlaps);
+  - the first *conclusive* result (proven optimal, infeasible or unbounded)
+    wins; the cooperative racers are cancelled through their ``stop_check``
+    hook (scipy cannot be interrupted mid-solve — its orphaned thread is
+    abandoned, bounded by the shared ``time_limit``, or by
+    ``_UNCANCELLABLE_FALLBACK_LIMIT`` when the caller passed no limit, so an
+    orphan can never run forever; beyond ``_ORPHAN_LIMIT`` lingering orphans
+    the next race briefly waits for the oldest, a *bounded* pause of
+    ``_ORPHAN_JOIN_TIMEOUT`` seconds each, so chained quick wins cannot
+    stack unbounded background solves yet a caller is never stalled for a
+    full abandoned solve);
+  - if no racer is conclusive (both hit a limit), the best incumbent wins;
+  - the winner's :class:`SolveStats` are merged with the losers':
+    ``backend`` records the winning racer, ``nodes`` sums every finished
+    racer's search.
+
+* :class:`AdaptivePortfolioBackend` (``adaptive``) consults the
+  :mod:`repro.accel.history` win table for the model's circuit-tagged
+  bucket first, then its generic (rows, cols, k) size bucket.  On a confident prediction it starts *only* the predicted
+  arm — racing N solvers on one core slows the winner ~N-fold, so the best
+  race is no race — and releases a single challenger only if the leader
+  overruns its expected wall time.  Unknown buckets, thin history, or a
+  predicted arm that no longer resolves (a poisoned history) all fall back
+  to racing everything, so prediction can cost time but never answers.
+  Every outcome is recorded back into the history, and the decision trail
+  lands in ``SolveStats.portfolio``.
+
+Both register as ordinary registry backends — ``repro sweep --backend
+adaptive`` and ``Session(backend="adaptive")`` select them like any other.
+Both advertise warm-start support and forward incumbent hints to every
+racer that can use them.
 """
 
 from __future__ import annotations
@@ -33,11 +48,11 @@ from __future__ import annotations
 import atexit
 import threading
 import time
-from queue import Queue
+from queue import Empty, Queue
 
 from ..ilp.model import MatrixForm
 from ..ilp.solution import Solution, SolveStats, SolveStatus
-from ..obs.metrics import record_portfolio_win
+from ..obs.metrics import record_portfolio_prediction, record_portfolio_win
 from ..ilp.backends.registry import BackendRegistryError, backend_info, register_backend
 
 #: Statuses that settle the race: nothing a slower racer returns can differ.
@@ -111,6 +126,52 @@ def _drain_orphans() -> None:
 atexit.register(_drain_orphans)
 
 
+#: One racer's report: ``(name, solution, error, wall_seconds)``.
+_Outcome = tuple[str, Solution | None, Exception | None, float]
+
+
+def _spawn_racer(name: str, form: MatrixForm, time_limit: float | None,
+                 mip_gap: float, incumbent_hint: float | None,
+                 stop: threading.Event, results: "Queue[_Outcome]") -> threading.Thread:
+    """Start one racer thread; it always reports exactly one outcome."""
+
+    def race() -> None:
+        # The collection loop blocks on exactly one queue entry per racer,
+        # so the put lives in a ``finally``: even a racer killed by a
+        # non-Exception (SystemExit, KeyboardInterrupt) reports an outcome
+        # instead of hanging the solve forever.
+        started = time.perf_counter()
+        outcome: _Outcome = (
+            name, None,
+            RuntimeError(f"racer {name!r} exited without reporting a result"), 0.0)
+        try:
+            solver = backend_info(name).create()
+            # Cooperative cancellation: racers exposing a ``stop_check``
+            # attribute (the branch and bound does) poll it and stop as
+            # soon as the race is decided.  Racers without one cannot be
+            # interrupted once abandoned, so they never run without a
+            # finite time limit.
+            racer_limit = time_limit
+            if hasattr(solver, "stop_check"):
+                solver.stop_check = stop.is_set
+            elif racer_limit is None:
+                racer_limit = _UNCANCELLABLE_FALLBACK_LIMIT
+            kwargs = {}
+            if incumbent_hint is not None and getattr(solver, "supports_warm_start", False):
+                kwargs["incumbent_hint"] = incumbent_hint
+            solution = solver.solve(form, time_limit=racer_limit,
+                                    mip_gap=mip_gap, **kwargs)
+            outcome = (name, solution, None, time.perf_counter() - started)
+        except Exception as exc:  # surfaced below, never swallowed
+            outcome = (name, None, exc, time.perf_counter() - started)
+        finally:
+            results.put(outcome)
+
+    thread = threading.Thread(target=race, daemon=True, name=f"portfolio-{name}")
+    thread.start()
+    return thread
+
+
 @register_backend(
     "portfolio",
     aliases=("race",),
@@ -129,7 +190,7 @@ class PortfolioBackend:
         resolved = []
         for name in racers:
             info = backend_info(name)
-            if info.cls is PortfolioBackend:
+            if issubclass(info.cls, PortfolioBackend):
                 raise BackendRegistryError("a portfolio cannot race itself")
             resolved.append(info.name)
         if len(set(resolved)) != len(resolved):
@@ -141,55 +202,20 @@ class PortfolioBackend:
     def solve(self, form: MatrixForm, time_limit: float | None = None,
               mip_gap: float = 1e-6, incumbent_hint: float | None = None) -> Solution:
         stop = threading.Event()
-        results: Queue[tuple[str, Solution | None, Exception | None]] = Queue()
-
-        def race(name: str) -> None:
-            # The collection loop blocks on exactly one queue entry per
-            # racer, so the put lives in a ``finally``: even a racer killed
-            # by a non-Exception (SystemExit, KeyboardInterrupt) reports an
-            # outcome instead of hanging the solve forever.
-            outcome: tuple[str, Solution | None, Exception | None] = (
-                name, None,
-                RuntimeError(f"racer {name!r} exited without reporting a result"))
-            try:
-                solver = backend_info(name).create()
-                # Cooperative cancellation: racers exposing a ``stop_check``
-                # attribute (the branch and bound does) poll it and stop as
-                # soon as the race is decided.  Racers without one cannot be
-                # interrupted once abandoned, so they never run without a
-                # finite time limit.
-                racer_limit = time_limit
-                if hasattr(solver, "stop_check"):
-                    solver.stop_check = stop.is_set
-                elif racer_limit is None:
-                    racer_limit = _UNCANCELLABLE_FALLBACK_LIMIT
-                kwargs = {}
-                if incumbent_hint is not None and getattr(solver, "supports_warm_start", False):
-                    kwargs["incumbent_hint"] = incumbent_hint
-                outcome = (name, solver.solve(form, time_limit=racer_limit,
-                                              mip_gap=mip_gap, **kwargs), None)
-            except Exception as exc:  # surfaced below, never swallowed
-                outcome = (name, None, exc)
-            finally:
-                results.put(outcome)
-
-        threads = [
-            threading.Thread(target=race, args=(name,), daemon=True,
-                             name=f"portfolio-{name}")
-            for name in self.racers
-        ]
+        results: Queue[_Outcome] = Queue()
         # Instant by which every racer's own time limit has expired — the
         # orphan bookkeeping's bound on an abandoned solve.
         deadline = time.monotonic() + (
             time_limit if time_limit is not None else _UNCANCELLABLE_FALLBACK_LIMIT)
-        for thread in threads:
-            thread.start()
+        threads = [_spawn_racer(name, form, time_limit, mip_gap, incumbent_hint,
+                                stop, results)
+                   for name in self.racers]
 
         finished: list[tuple[str, Solution]] = []
         errors: list[tuple[str, Exception]] = []
         winner: tuple[str, Solution] | None = None
         for _ in range(len(threads)):
-            name, solution, error = results.get()
+            name, solution, error, _wall = results.get()
             if error is not None:
                 errors.append((name, error))
                 continue
@@ -206,22 +232,23 @@ class PortfolioBackend:
                 # inventing an ERROR solution nothing upstream expects.
                 raise errors[0][1]
             winner = min(finished, key=_race_rank)
-        return self._merge(winner, finished, errors)
+        return self._merge(winner, finished, errors, started=self.racers)
 
     # ------------------------------------------------------------------
     def _merge(self, winner: tuple[str, Solution],
                finished: list[tuple[str, Solution]],
-               errors: list[tuple[str, Exception]]) -> Solution:
+               errors: list[tuple[str, Exception]],
+               started: tuple[str, ...] = ()) -> Solution:
         """The winning solution annotated with the merged race statistics."""
         name, solution = winner
         record_portfolio_win(name)
         stats = solution.stats if solution.stats is not None else SolveStats()
-        stats.backend = f"portfolio[{name}]"
+        stats.backend = f"{self.name}[{name}]"
         stats.nodes = sum(_nodes_of(result) for _, result in finished)
         solution.stats = stats
         solution.nodes = stats.nodes
-        parts = [f"portfolio winner: {name}"]
-        losers = [racer for racer in self.racers
+        parts = [f"{self.name} winner: {name}"]
+        losers = [racer for racer in started
                   if racer != name and racer not in {n for n, _ in finished}
                   and racer not in {n for n, _ in errors}]
         if losers:
@@ -233,6 +260,171 @@ class PortfolioBackend:
             parts.append(solution.message)
         solution.message = "; ".join(parts)
         return solution
+
+
+@register_backend(
+    "adaptive",
+    aliases=("portfolio-adaptive",),
+    supports_sparse=True,
+    supports_time_limit=True,
+    supports_warm_start=True,
+    description="history-guided portfolio: predicted arm runs alone, challenger on overrun",
+)
+class AdaptivePortfolioBackend(PortfolioBackend):
+    """Predict the winning arm from history; race only when unsure.
+
+    ``arms`` are the candidate backends.  ``history`` defaults to the
+    process-global :func:`repro.accel.history.get_history` (committed
+    priors plus live wins).  The challenger delay is twice the predicted
+    wall time, clamped to ``[min_challenger_delay, max_challenger_delay]``
+    — a confident, accurate prediction therefore never starts a second
+    solver at all.  The upper clamp is deliberately generous: it only
+    exists to bound the wait when the history promises an absurd wall
+    time, not to second-guess ordinary multi-second solves (a challenger
+    released mid-solve *contends* with the leader on a single core, so a
+    spurious release makes the solve slower, not safer).
+    """
+
+    #: Default arm set: plain HiGHS, the two strategy arms, branch and bound.
+    DEFAULT_ARMS = ("scipy", "scipy-ws", "scipy-cuts", "bnb")
+
+    def __init__(self, arms: tuple[str, ...] = DEFAULT_ARMS, history=None,
+                 min_challenger_delay: float = 0.05,
+                 max_challenger_delay: float = 60.0):
+        super().__init__(racers=arms)
+        self.history = history
+        self.min_challenger_delay = float(min_challenger_delay)
+        self.max_challenger_delay = float(max_challenger_delay)
+
+    # ------------------------------------------------------------------
+    def solve(self, form: MatrixForm, time_limit: float | None = None,
+              mip_gap: float = 1e-6, incumbent_hint: float | None = None) -> Solution:
+        from .history import bucket_keys, get_history  # lazy: history imports ilp
+
+        history = self.history if self.history is not None else get_history()
+        # Most-specific key first: a circuit-tagged entry beats the generic
+        # size bucket (two circuits can share a size class yet want
+        # different arms), which in turn covers circuits never seen before.
+        keys = bucket_keys(form)
+        bucket = keys[-1]
+        prediction = None
+        for key in keys:
+            prediction = history.predict(key)
+            if prediction is not None:
+                bucket = key
+                break
+
+        leader: str | None = None
+        if prediction is not None:
+            # A poisoned or stale history may predict an arm that no longer
+            # resolves or is not in this portfolio: treat it as no
+            # prediction rather than dead-ending the solve.
+            try:
+                resolved = backend_info(prediction.leader).name
+            except BackendRegistryError:
+                resolved = None
+            if resolved in self.racers:
+                leader = resolved
+
+        stop = threading.Event()
+        results: Queue[_Outcome] = Queue()
+        deadline = time.monotonic() + (
+            time_limit if time_limit is not None else _UNCANCELLABLE_FALLBACK_LIMIT)
+
+        def spawn(name: str) -> threading.Thread:
+            return _spawn_racer(name, form, time_limit, mip_gap, incumbent_hint,
+                                stop, results)
+
+        mode = "solo" if leader is not None else "race"
+        started: list[str] = [leader] if leader is not None else list(self.racers)
+        threads = [spawn(name) for name in started]
+
+        finished: list[tuple[str, Solution]] = []
+        errors: list[tuple[str, Exception]] = []
+        walls: dict[str, float] = {}
+        winner: tuple[str, Solution] | None = None
+        pending = len(threads)
+        challenger_released = False
+        while pending:
+            timeout = None
+            if mode == "solo" and not challenger_released and prediction is not None:
+                timeout = min(self.max_challenger_delay,
+                              max(self.min_challenger_delay,
+                                  2.0 * prediction.expected_wall))
+            try:
+                name, solution, error, wall = results.get(timeout=timeout)
+            except Empty:
+                # The leader overran its budget: release one challenger and
+                # keep collecting.  The history said the leader should have
+                # finished by now, so a second opinion is worth one core.
+                challenger_released = True
+                mode = "challenger"
+                challenger = self._pick_challenger(leader, prediction)
+                if challenger is not None:
+                    started.append(challenger)
+                    threads.append(spawn(challenger))
+                    pending += 1
+                continue
+            pending -= 1
+            walls[name] = wall
+            if error is not None:
+                errors.append((name, error))
+            else:
+                finished.append((name, solution))
+                if solution.status in _CONCLUSIVE:
+                    winner = (name, solution)
+                    break
+            if pending == 0 and winner is None and not finished:
+                # Everything started so far failed.  Escalate to the arms
+                # not yet running (poisoned-history safety: a bad leader
+                # prediction must never dead-end the solve).
+                remaining = [arm for arm in self.racers if arm not in started]
+                if remaining:
+                    mode = "race"
+                    started.extend(remaining)
+                    fresh = [spawn(arm) for arm in remaining]
+                    threads.extend(fresh)
+                    pending += len(fresh)
+        stop.set()
+        _park_orphans(threads, deadline)
+
+        if winner is None:
+            if not finished:
+                raise errors[0][1]
+            winner = min(finished, key=_race_rank)
+
+        solution = self._merge(winner, finished, errors, started=tuple(started))
+        winner_name = winner[0]
+        winner_wall = walls.get(winner_name, 0.0)
+        for key in keys:
+            history.record(key, winner_name, winner_wall)
+        record_portfolio_prediction(leader or "(none)", winner_name, mode)
+        stats = solution.stats  # _merge always populates it
+        stats.portfolio = {
+            "bucket": bucket,
+            "predicted": leader,
+            "winner": winner_name,
+            "mode": mode,
+            "started": list(started),
+            "samples": prediction.samples if prediction is not None else 0,
+        }
+        return solution
+
+    # ------------------------------------------------------------------
+    def _pick_challenger(self, leader: str | None, prediction) -> str | None:
+        """The runner-up from history when valid, else the first other arm."""
+        candidates = []
+        if prediction is not None and prediction.challenger:
+            candidates.append(prediction.challenger)
+        candidates.extend(self.racers)
+        for name in candidates:
+            try:
+                resolved = backend_info(name).name
+            except BackendRegistryError:
+                continue
+            if resolved != leader and resolved in self.racers:
+                return resolved
+        return None
 
 
 def _race_rank(entry: tuple[str, Solution]) -> tuple:

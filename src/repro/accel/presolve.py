@@ -325,19 +325,36 @@ def _pass_fix_variables(work: _Work, stats: PassStats) -> None:
     # equals its right-hand side, every variable in the row must sit at the
     # bound achieving that minimum (coeff > 0 at its lower, coeff < 0 at its
     # upper).  This is what turns `z1 + z2 <= 0` into two fixings.
+    #
+    # Candidate detection is one vectorised pass over the CSR nonzeros — the
+    # per-nonzero minimum contribution scattered into per-row sums with
+    # ``np.bincount`` — and only the handful of flagged rows are then
+    # re-examined one by one.  The re-examination uses the *current* bounds:
+    # a fixing made by an earlier forcing row changes later rows'
+    # activities, and a stale value could fix variables a row no longer
+    # forces — or miss the infeasibility those fixings created.  Fixings
+    # only ever raise a row's minimum activity, so the snapshot can only
+    # under-flag (a row *becoming* forcing mid-pass is caught by the next
+    # fixpoint round) while every flagged row is re-verified exactly.
     if not work.A_ub.shape[0]:
         return
+    coo = work.A_ub.tocoo()
+    with np.errstate(invalid="ignore"):
+        contrib = np.where(coo.data > 0,
+                           coo.data * work.lower[coo.col],
+                           coo.data * work.upper[coo.col])
+    minact = np.bincount(coo.row, weights=contrib, minlength=work.A_ub.shape[0])
+    finite = np.isfinite(minact)
+    if np.any(finite & (minact > work.b_ub + 1e-6)):
+        work.infeasible = True
+        return
+    candidates = np.nonzero(finite & (np.abs(minact - work.b_ub) <= _TOL))[0]
     drop_ub: set[int] = set()
-    for row in range(work.A_ub.shape[0]):
+    for row in candidates:
+        row = int(row)
         cols, data = work._row_entries(work.A_ub, row)
         if len(cols) == 0:
             continue
-        # The minimum activity must come from the *current* bounds: a fixing
-        # made by an earlier forcing row in this very loop changes later
-        # rows' activities, and a stale value could fix variables a row no
-        # longer forces — or miss the infeasibility those fixings created
-        # (fixings only ever raise a row's minimum activity, so a stale
-        # "forcing" row is either still forcing or now proves infeasibility).
         with np.errstate(invalid="ignore"):
             terms = np.where(data > 0, data * work.lower[cols],
                              data * work.upper[cols])
@@ -399,19 +416,33 @@ def _pass_remove_redundant_rows(work: _Work, stats: PassStats) -> None:
     # scale preserves <=), then rows sharing a coefficient pattern keep only
     # the smallest normalised right-hand side.
     drop_ub: set[int] = set()
-    best_rhs: dict[tuple, tuple[float, int]] = {}
+    best_rhs: dict[bytes, tuple[float, int]] = {}
+    # Normalise every row in one vectorised sweep (per-row max |coefficient|
+    # via ``np.maximum.reduceat``, one division, one rounding); the Python
+    # loop below only slices precomputed arrays into hashable keys.
+    A = work.A_ub
+    nnz_ub = work._row_nnz(A)
+    if A.shape[0]:
+        starts = A.indptr[:-1]
+        scales = np.ones(A.shape[0])
+        occupied = nnz_ub > 0
+        if A.indices.size:
+            scales[occupied] = np.maximum.reduceat(
+                np.abs(A.data), starts[occupied])
+        normalised = np.round(A.data / np.repeat(scales, nnz_ub),
+                              _ROW_KEY_DECIMALS)
+        rhs_norm = work.b_ub / scales
     for row in range(work.A_ub.shape[0]):
-        cols, data = work._row_entries(work.A_ub, row)
-        if len(cols) == 0:
+        if nnz_ub[row] == 0:
             if work.b_ub[row] < -1e-6:
                 work.infeasible = True
                 return
             drop_ub.add(row)
             continue
-        scale = float(np.max(np.abs(data)))
-        key = tuple(zip(map(int, cols),
-                        np.round(data / scale, _ROW_KEY_DECIMALS)))
-        rhs = float(work.b_ub[row]) / scale
+        start, end = A.indptr[row], A.indptr[row + 1]
+        key = (A.indices[start:end].tobytes()
+               + normalised[start:end].tobytes())
+        rhs = float(rhs_norm[row])
         seen = best_rhs.get(key)
         if seen is None:
             best_rhs[key] = (rhs, row)
@@ -427,19 +458,28 @@ def _pass_remove_redundant_rows(work: _Work, stats: PassStats) -> None:
     # preserves ==); identical patterns with matching right-hand sides are
     # duplicates, with different right-hand sides they prove infeasibility.
     drop_eq: set[int] = set()
-    seen_eq: dict[tuple, float] = {}
+    seen_eq: dict[bytes, float] = {}
+    E = work.A_eq
+    nnz_eq = work._row_nnz(E)
+    if E.shape[0]:
+        eq_scales = np.ones(E.shape[0])
+        eq_occupied = nnz_eq > 0
+        if E.indices.size:
+            eq_scales[eq_occupied] = E.data[E.indptr[:-1][eq_occupied]]
+        eq_normalised = np.round(E.data / np.repeat(eq_scales, nnz_eq),
+                                 _ROW_KEY_DECIMALS)
+        eq_rhs_norm = work.b_eq / eq_scales
     for row in range(work.A_eq.shape[0]):
-        cols, data = work._row_entries(work.A_eq, row)
-        if len(cols) == 0:
+        if nnz_eq[row] == 0:
             if abs(work.b_eq[row]) > 1e-6:
                 work.infeasible = True
                 return
             drop_eq.add(row)
             continue
-        scale = float(data[0])
-        key = tuple(zip(map(int, cols),
-                        np.round(data / scale, _ROW_KEY_DECIMALS)))
-        rhs = float(work.b_eq[row]) / scale
+        start, end = E.indptr[row], E.indptr[row + 1]
+        key = (E.indices[start:end].tobytes()
+               + eq_normalised[start:end].tobytes())
+        rhs = float(eq_rhs_norm[row])
         if key in seen_eq:
             if abs(seen_eq[key] - rhs) > 1e-6:
                 work.infeasible = True
@@ -541,4 +581,5 @@ def _reduced_form(form: MatrixForm, work: _Work) -> MatrixForm | None:
         integrality=work.integrality.astype(int),
         variables=variables,
         offset=work.offset,
+        tags=form.tags,
     )

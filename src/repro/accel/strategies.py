@@ -1,0 +1,109 @@
+"""Strategy backends composing HiGHS with cuts and warm-start cutoffs.
+
+Two additional registry backends, both exact wrappers around
+:class:`~repro.ilp.backends.scipy_milp.ScipyMilpBackend`:
+
+* ``scipy-cuts`` — runs the :mod:`repro.ilp.cuts` root cutting-plane loop
+  (implication / clique / cover cuts over the ADVBIST packing structure)
+  and hands the strengthened lowering to HiGHS.  Cuts only append valid
+  rows, so the optimum is untouched; on formulations with weak aggregated
+  OR rows the tightened root LP saves most of the branch-and-cut tree.
+* ``scipy-ws`` — exploits a known-achievable ``incumbent_hint`` (the
+  previous ``k``'s design in an ascending sweep) the way the branch and
+  bound does: the hint becomes an explicit objective-cutoff row, and for
+  integral objectives the MIP gap is loosened to just under one objective
+  quantum — provably still exact (see :func:`repro.ilp.cuts.safe_hint_gap`)
+  but the solver stops as soon as the bound is within one unit instead of
+  grinding it fully closed.  A cutoff that turns out to be unachievable
+  (the hint was wrong) triggers one clean re-solve without it, so a bad
+  hint can cost time, never answers.
+
+These are the non-trivial arms of the adaptive portfolio: which of plain
+HiGHS, cuts, warm-start cutoff or the pure-Python branch and bound wins is
+strongly (rows, cols, k)-dependent, which is exactly what
+:class:`~repro.accel.portfolio.AdaptivePortfolioBackend` learns.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..ilp.cuts import objective_cutoff_form, root_cut_loop, safe_hint_gap
+from ..ilp.model import MatrixForm
+from ..ilp.solution import Solution, SolveStats, SolveStatus
+from ..ilp.backends.registry import register_backend
+from ..ilp.backends.scipy_milp import ScipyMilpBackend
+
+
+def _remaining(time_limit: float | None, start: float) -> float | None:
+    if time_limit is None:
+        return None
+    return max(0.01, time_limit - (time.perf_counter() - start))
+
+
+@register_backend(
+    "scipy-cuts",
+    aliases=("highs-cuts",),
+    supports_sparse=True,
+    supports_time_limit=True,
+    description="HiGHS on a root-cut-strengthened lowering (implication/clique/cover cuts)",
+)
+class ScipyCutsBackend:
+    """HiGHS preceded by the root cutting-plane loop (exact)."""
+
+    def solve(self, form: MatrixForm, time_limit: float | None = None,
+              mip_gap: float = 1e-6) -> Solution:
+        start = time.perf_counter()
+        strengthened, info = root_cut_loop(form)
+        solution = ScipyMilpBackend().solve(
+            strengthened, time_limit=_remaining(time_limit, start), mip_gap=mip_gap)
+        stats = solution.stats if solution.stats is not None else SolveStats()
+        stats.backend = self.name
+        stats.cuts = info
+        solution.stats = stats
+        return solution
+
+
+@register_backend(
+    "scipy-ws",
+    aliases=("highs-ws",),
+    supports_sparse=True,
+    supports_time_limit=True,
+    supports_warm_start=True,
+    description="HiGHS with an incumbent-hint objective cutoff and exactness-preserving gap",
+)
+class ScipyWarmStartBackend:
+    """HiGHS exploiting a known-achievable incumbent hint (exact)."""
+
+    def solve(self, form: MatrixForm, time_limit: float | None = None,
+              mip_gap: float = 1e-6, incumbent_hint: float | None = None) -> Solution:
+        start = time.perf_counter()
+        if incumbent_hint is None:
+            solution = ScipyMilpBackend().solve(form, time_limit=time_limit,
+                                                mip_gap=mip_gap)
+            self._restamp(solution)
+            return solution
+
+        # Hints arrive offset-included (the sweep's previous objective);
+        # the cutoff row lives in the offset-free matrix space.
+        internal_hint = float(incumbent_hint) - form.offset
+        constrained = objective_cutoff_form(form, internal_hint)
+        gap = safe_hint_gap(form, internal_hint, mip_gap)
+        solution = ScipyMilpBackend().solve(
+            constrained, time_limit=_remaining(time_limit, start), mip_gap=gap)
+
+        if solution.status is SolveStatus.INFEASIBLE:
+            # Nothing at or below the hint exists: the hint was wrong (or the
+            # model is genuinely infeasible — only a cutoff-free solve can
+            # tell).  Re-solve without the cutoff on the remaining budget.
+            solution = ScipyMilpBackend().solve(
+                form, time_limit=_remaining(time_limit, start), mip_gap=mip_gap)
+            solution.message = ("incumbent hint was unachievable; re-solved cold"
+                                + (f"; {solution.message}" if solution.message else ""))
+        self._restamp(solution)
+        return solution
+
+    def _restamp(self, solution: Solution) -> None:
+        stats = solution.stats if solution.stats is not None else SolveStats()
+        stats.backend = self.name
+        solution.stats = stats

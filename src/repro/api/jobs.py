@@ -20,7 +20,7 @@ as ``None`` defer to the owning session's defaults.
 
     >>> job = job_from_json('{"job": "sweep", "circuit": "tseng", "max_k": 4}')
     >>> job
-    SweepJob(backend=None, time_limit=None, use_cache=None, presolve=None, batch=None, circuit='tseng', graph=None, max_k=4)
+    SweepJob(backend=None, time_limit=None, use_cache=None, presolve=None, cuts=None, batch=None, circuit='tseng', graph=None, max_k=4)
     >>> job_from_dict(job.to_dict()) == job
     True
     >>> job_from_json('{"job": "sweep"}')
@@ -55,18 +55,20 @@ BASELINE_METHODS = ("ADVAN", "RALLOC", "BITS")
 class JobSpec:
     """Base of every job spec: the solver knobs shared by all job kinds.
 
-    ``backend`` / ``time_limit`` / ``use_cache`` / ``presolve`` / ``batch``
-    override the session defaults for this one job when set (``None`` defers
-    to the session).  ``presolve`` selects the :mod:`repro.accel.presolve`
-    reductions and ``batch`` the compound batched solving of
-    :mod:`repro.sched.batching` — both exact, so payloads are identical
-    either way.
+    ``backend`` / ``time_limit`` / ``use_cache`` / ``presolve`` / ``cuts``
+    / ``batch`` override the session defaults for this one job when set
+    (``None`` defers to the session).  ``presolve`` selects the
+    :mod:`repro.accel.presolve` reductions, ``cuts`` the
+    :mod:`repro.ilp.cuts` root cutting-plane loop and ``batch`` the
+    compound batched solving of :mod:`repro.sched.batching` — all exact,
+    so payloads are identical either way.
     """
 
     backend: str | None = None
     time_limit: float | None = None
     use_cache: bool | None = None
     presolve: bool | None = None
+    cuts: bool | None = None
     batch: bool | None = None
 
     #: Wire-format discriminator; each concrete subclass overrides it.
@@ -78,6 +80,9 @@ class JobSpec:
         if self.presolve is not None and not isinstance(self.presolve, bool):
             raise JobSpecError(
                 f"presolve must be true, false or null, got {self.presolve!r}")
+        if self.cuts is not None and not isinstance(self.cuts, bool):
+            raise JobSpecError(
+                f"cuts must be true, false or null, got {self.cuts!r}")
         if self.batch is not None and not isinstance(self.batch, bool):
             raise JobSpecError(
                 f"batch must be true, false or null, got {self.batch!r}")
@@ -244,6 +249,10 @@ class FuzzJob(JobSpec):
             raise JobSpecError(
                 "fuzz jobs cross-check the raw backend lowerings; "
                 "'presolve' is not applicable")
+        if self.cuts is not None:
+            raise JobSpecError(
+                "fuzz jobs cross-check the raw backend lowerings; "
+                "'cuts' is not applicable")
         if self.batch is not None:
             raise JobSpecError(
                 "fuzz jobs solve each case individually by design; "
@@ -271,7 +280,7 @@ class BenchJob(JobSpec):
 
     The suite's scenario grid owns its solver configuration (that is the
     point of a benchmark), so the per-job ``backend`` / ``use_cache`` /
-    ``presolve`` / ``batch`` knobs are rejected; ``time_limit`` still caps every
+    ``presolve`` / ``cuts`` / ``batch`` knobs are rejected; ``time_limit`` still caps every
     individual solve.  ``circuits`` / ``max_k`` / ``seed`` narrow the grid
     the same way the ``repro bench run`` flags do, and ``warmup`` controls
     the throwaway warm-up solve (leave it on for real measurements).
@@ -297,7 +306,7 @@ class BenchJob(JobSpec):
 
     def __post_init__(self):
         super().__post_init__()
-        for knob in ("backend", "use_cache", "presolve", "batch"):
+        for knob in ("backend", "use_cache", "presolve", "cuts", "batch"):
             if getattr(self, knob) is not None:
                 raise JobSpecError(
                     f"bench jobs run each suite's own scenario grid; "

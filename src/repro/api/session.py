@@ -89,6 +89,9 @@ class Session:
     presolve:
         Default for the :mod:`repro.accel.presolve` reductions (jobs may
         override per spec).  Exact — results never change.
+    cuts:
+        Default for the :mod:`repro.ilp.cuts` root cutting-plane loop (jobs
+        may override per spec).  Also exact.
     warm_start:
         Let warm-start-capable backends chain each circuit's ADVBIST solves
         in ascending ``k``, seeding each incumbent from the previous one.
@@ -134,6 +137,7 @@ class Session:
         cost_model: CostModel = PAPER_COST_MODEL,
         options: FormulationOptions | None = None,
         presolve: bool = False,
+        cuts: bool = False,
         warm_start: bool = True,
         batch: bool = False,
         trace_file: str | None = None,
@@ -147,6 +151,7 @@ class Session:
         self.cost_model = cost_model
         self.options = options
         self.presolve = presolve
+        self.cuts = cuts
         self.warm_start = warm_start
         self.batch = batch
         self._scheduler = TaskScheduler()
@@ -379,6 +384,7 @@ class Session:
             cache=cache,
             presolve=(job.presolve if job.presolve is not None
                       else self.presolve),
+            cuts=(job.cuts if job.cuts is not None else self.cuts),
             warm_start=self.warm_start,
             batch=(job.batch if job.batch is not None else self.batch),
             scheduler=self._scheduler,

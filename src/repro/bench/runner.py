@@ -40,7 +40,8 @@ from .suites import CACHE_NONE, BenchSuite, ScenarioSpec, get_suite
 #: Progress callback signature: one flat event dict per call.
 ProgressCallback = Callable[[dict], None]
 
-_PORTFOLIO_BACKEND = re.compile(r"portfolio\[([^\]]+)\]")
+# Winner-annotated backend labels: "portfolio[scipy]", "adaptive[scipy-ws]".
+_PORTFOLIO_BACKEND = re.compile(r"[\w-]+\[([^\]]+)\]")
 
 
 class BenchError(ValueError):
@@ -300,6 +301,7 @@ def _run_scenario(suite: BenchSuite, scenario: ScenarioSpec,
     with Session(backend=scenario.backend, time_limit=time_limit,
                  jobs=effective_jobs, cache=cache, cache_dir=cache_dir,
                  presolve=scenario.presolve,
+                 cuts=scenario.cuts,
                  warm_start=scenario.warm_start,
                  batch=scenario.batch) as session:
         for label, job in _unit_jobs(suite, circuits, max_k, seed):

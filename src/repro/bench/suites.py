@@ -36,7 +36,7 @@ comparable by construction.
     >>> from repro.bench.suites import get_suite
     >>> suite = get_suite("solver-micro")
     >>> (suite.circuits, suite.job_kinds, suite.max_k)
-    (('fig1',), ('sweep', 'compare'), 3)
+    (('fig1', 'paulin'), ('sweep',), 3)
 """
 
 from __future__ import annotations
@@ -66,9 +66,10 @@ class ScenarioSpec:
     name:
         Stable scenario label; timings are diffed across runs by
         ``scenario/unit`` key, so renaming a scenario orphans its history.
-    presolve / warm_start / batch / backend / jobs:
+    presolve / cuts / warm_start / batch / backend / jobs:
         The :class:`repro.api.Session` knobs of this configuration
-        (``batch`` selects the compound batched solving of
+        (``cuts`` selects the :mod:`repro.ilp.cuts` root cutting-plane
+        loop, ``batch`` the compound batched solving of
         :mod:`repro.sched.batching`).
     cache:
         ``"none"`` (no design cache), ``"fresh"`` (empty per-scenario
@@ -81,6 +82,7 @@ class ScenarioSpec:
 
     name: str
     presolve: bool = False
+    cuts: bool = False
     warm_start: bool = False
     batch: bool = False
     backend: str = "auto"
@@ -106,6 +108,7 @@ class ScenarioSpec:
             "scenario": self.name,
             "backend": self.backend,
             "presolve": self.presolve,
+            "cuts": self.cuts,
             "warm_start": self.warm_start,
             "batch": self.batch,
             "jobs": self.jobs,
@@ -202,11 +205,14 @@ class BenchSuite:
 #: The four acceleration scenarios of the historical bench_regress grid.
 _ACCEL_SCENARIOS = (
     ScenarioSpec("cold_baseline", presolve=False, warm_start=False),
-    ScenarioSpec("cold_accel", presolve=True, warm_start=True),
+    # The adaptive portfolio predicts the winning arm per size bucket and
+    # runs it alone — on one core that beats racing by roughly the arm count.
+    ScenarioSpec("cold_accel", presolve=True, warm_start=True,
+                 backend="adaptive"),
     ScenarioSpec("cold_portfolio", presolve=True, warm_start=True,
                  backend="portfolio"),
     ScenarioSpec("warm_cache", presolve=True, warm_start=True,
-                 cache="reuse:cold_accel"),
+                 backend="adaptive", cache="reuse:cold_accel"),
 )
 
 SUITES: dict[str, BenchSuite] = {
@@ -245,21 +251,29 @@ SUITES: dict[str, BenchSuite] = {
         ),
         BenchSuite(
             name="solver-micro",
-            description="fig1-only sweep + compare micro grid — the fast "
+            # paulin rides along so the gate sees a model where the accel
+            # stack has real headroom — on fig1 the solver wall is too
+            # small for presolve/portfolio wins to clear measurement noise.
+            description="fig1 + paulin sweep micro grid — the fast "
                         "CI regression gate",
-            job_kinds=("sweep", "compare"),
-            circuits=("fig1",),
+            job_kinds=("sweep",),
+            circuits=("fig1", "paulin"),
             max_k=3,
             scenarios=(
                 ScenarioSpec("cold_baseline", presolve=False, warm_start=False),
-                ScenarioSpec("cold_accel", presolve=True, warm_start=True),
+                ScenarioSpec("cold_accel", presolve=True, warm_start=True,
+                             backend="adaptive"),
+                # Same grid with root cutting planes — the parity guard
+                # proves the cut loop never changes an objective.
+                ScenarioSpec("cold_cuts", presolve=True, cuts=True,
+                             warm_start=False),
                 # Same grid through the compound batched path — the
                 # cross-scenario parity guard then proves batched
                 # objectives match the serial scenarios exactly.
                 ScenarioSpec("cold_batched", presolve=False, warm_start=False,
                              batch=True),
                 ScenarioSpec("warm_cache", presolve=True, warm_start=True,
-                             cache="reuse:cold_accel"),
+                             backend="adaptive", cache="reuse:cold_accel"),
             ),
         ),
         BenchSuite(

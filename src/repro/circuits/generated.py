@@ -1,0 +1,52 @@
+"""Large generated regression circuits: ``gen100`` / ``gen120`` / ``gen140``.
+
+The seven paper circuits top out at a dozen operations, so they never
+stress the vectorised solver paths (bound propagation, cut separation,
+presolve batching) the way a real datapath would.  These three circuits
+are frozen draws of the :mod:`repro.dfg.generate` fuzz generator — 100 to
+140 operations each, different sharing pressures — promoted to named
+registry entries so sweeps, fuzz replays and benchmarks can refer to them
+stably.  The generator is deterministic per config, so the graphs are
+reproduced bit-identically from the configs below rather than stored.
+
+They are *regression workloads*, not paper rows: ``in_paper_table`` stays
+false and no Table 2/3 comparison includes them.
+"""
+
+from __future__ import annotations
+
+from ..dfg.generate import (
+    GeneratorConfig,
+    generate_behavioral,
+    generate_scheduled,
+    resource_limits_for,
+)
+from ..dfg.graph import DataFlowGraph
+
+#: The frozen generator configs.  Never change these: the whole point of a
+#: named regression workload is that every checkout builds the same graph.
+CONFIGS: dict[str, GeneratorConfig] = {
+    "gen100": GeneratorConfig(num_operations=100, seed=11,
+                              sharing_pressure=0.85, name="gen100"),
+    "gen120": GeneratorConfig(num_operations=120, seed=23,
+                              sharing_pressure=0.70, name="gen120"),
+    "gen140": GeneratorConfig(num_operations=140, seed=37,
+                              sharing_pressure=0.90, name="gen140"),
+}
+
+
+def build_behavioral(name: str) -> DataFlowGraph:
+    """The unscheduled behavioural DFG of one generated circuit."""
+    return generate_behavioral(CONFIGS[name])
+
+
+def build(name: str) -> DataFlowGraph:
+    """The scheduled, module-bound DFG of one generated circuit."""
+    return generate_scheduled(CONFIGS[name])
+
+
+def resource_limits(name: str) -> dict[str, int]:
+    """The functional-unit budget the generator's elaboration used."""
+    config = CONFIGS[name]
+    return resource_limits_for(generate_behavioral(config),
+                               config.sharing_pressure)

@@ -20,9 +20,11 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Mapping
 
+from functools import partial
+
 from ..dfg.graph import DataFlowGraph, DFGError
 from ..dfg import textio
-from . import dct4, fig1, fir6, iir3, paulin, tseng, wavelet6
+from . import dct4, fig1, fir6, generated, iir3, paulin, tseng, wavelet6
 
 
 @dataclass(frozen=True)
@@ -111,6 +113,23 @@ _REGISTRY: dict[str, CircuitSpec] = {
         in_paper_table=True,
     ),
 }
+
+# The frozen fuzz-generator regression workloads (100+ operations each) —
+# deterministic draws of repro.dfg.generate, see repro.circuits.generated.
+_REGISTRY.update({
+    name: CircuitSpec(
+        name=name,
+        description=(f"generated regression workload "
+                     f"({config.num_operations} operations, seed "
+                     f"{config.seed}, sharing {config.sharing_pressure:g})"),
+        builder=partial(generated.build, name),
+        behavioral_builder=partial(generated.build_behavioral, name),
+        resource_limits=generated.resource_limits(name),
+        paper_max_sessions=None,
+        in_paper_table=False,
+    )
+    for name, config in generated.CONFIGS.items()
+})
 
 
 #: Names of the built-in benchmark circuits (never unregistered).

@@ -34,6 +34,9 @@ The solver knobs shared by the ILP-backed commands:
   comparison (the grid is embarrassingly parallel);
 * ``--presolve/--no-presolve`` — run the :mod:`repro.accel.presolve`
   reductions on every ILP before solving (exact, off by default);
+* ``--cuts/--no-cuts`` — run the :mod:`repro.ilp.cuts` root cutting-plane
+  loop (implication/clique/cover cuts) on every ILP before solving
+  (exact, off by default);
 * ``--warm-start/--no-warm-start`` — with a warm-start-capable backend,
   chain each circuit's ADVBIST solves in ascending ``k`` so every solve
   seeds the next incumbent (on by default; a chain is one serial unit, so
@@ -129,6 +132,12 @@ def _add_solver_arguments(parser: argparse.ArgumentParser,
                         help="run the repro.accel presolve reductions on every "
                              "ILP before solving (exact: identical designs, "
                              "smaller models)")
+    parser.add_argument("--cuts", action=argparse.BooleanOptionalAction,
+                        default=False,
+                        help="run the repro.ilp.cuts root cutting-plane loop "
+                             "(implication, clique and cover cuts) on every "
+                             "ILP before solving (exact: identical designs, "
+                             "tighter root LP bounds)")
     parser.add_argument("--warm-start", action=argparse.BooleanOptionalAction,
                         default=True,
                         help="chain each circuit's ADVBIST solves in ascending "
@@ -452,6 +461,7 @@ def _session_from_args(args) -> Session:
         cache=not getattr(args, "no_cache", False),
         cache_dir=getattr(args, "cache_dir", None),
         presolve=getattr(args, "presolve", False),
+        cuts=getattr(args, "cuts", False),
         warm_start=getattr(args, "warm_start", True),
         batch=getattr(args, "batch", False),
         trace_file=getattr(args, "trace_file", None),

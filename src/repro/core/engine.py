@@ -88,7 +88,9 @@ class SweepTask:
     ``"baseline"`` (one heuristic ``method`` for ``k`` sessions).
 
     ``presolve`` runs the :mod:`repro.accel.presolve` reductions on the ILP
-    lowering before the backend sees it (ignored by heuristic baselines).
+    lowering before the backend sees it and ``cuts`` the
+    :mod:`repro.ilp.cuts` root cutting-plane loop (both ignored by
+    heuristic baselines).
     """
 
     graph: DataFlowGraph
@@ -100,6 +102,7 @@ class SweepTask:
     backend: str | object = "auto"
     time_limit: float | None = None
     presolve: bool = False
+    cuts: bool = False
 
     @property
     def circuit(self) -> str:
@@ -136,7 +139,7 @@ def _execute_task(task: SweepTask, incumbent_hint: float | None = None) -> TaskO
     if task.kind == "reference":
         formulation = ReferenceFormulation(task.graph, task.cost_model, task.options)
         result = formulation.solve(backend=task.backend, time_limit=task.time_limit,
-                                   presolve=task.presolve)
+                                   presolve=task.presolve, cuts=task.cuts)
         if result.design is None:
             raise FormulationError(
                 f"reference synthesis of {task.circuit!r} failed: "
@@ -147,7 +150,7 @@ def _execute_task(task: SweepTask, incumbent_hint: float | None = None) -> TaskO
     elif task.kind == "advbist":
         formulation = AdvBistFormulation(task.graph, task.k, task.cost_model, task.options)
         result = formulation.solve(backend=task.backend, time_limit=task.time_limit,
-                                   presolve=task.presolve,
+                                   presolve=task.presolve, cuts=task.cuts,
                                    incumbent_hint=incumbent_hint)
         if result.design is None:
             raise FormulationError(
@@ -303,6 +306,10 @@ class SweepEngine:
         Run the :mod:`repro.accel.presolve` reductions on every ILP lowering
         before solving (exact: designs are identical, solves are faster).
         Part of the cache key — toggling it never serves a stale design.
+    cuts:
+        Run the :mod:`repro.ilp.cuts` root cutting-plane loop on every ILP
+        lowering (after presolve when both are on).  Exact, and part of the
+        cache key like ``presolve``.
     warm_start:
         When the backend declares ``supports_warm_start``, execute the
         ADVBIST tasks of each circuit as one ascending-``k`` chain so every
@@ -336,6 +343,7 @@ class SweepEngine:
         executor: object | None = None,
         cache: DesignCache | bool | None = None,
         presolve: bool = False,
+        cuts: bool = False,
         warm_start: bool = True,
         batch: bool = False,
         scheduler: TaskScheduler | None = None,
@@ -352,6 +360,7 @@ class SweepEngine:
         self.cost_model = cost_model
         self.options = options
         self.presolve = presolve
+        self.cuts = cuts
         self.warm_start = warm_start
         self.batch = batch
         self.scheduler = scheduler if scheduler is not None else TaskScheduler()
@@ -377,7 +386,7 @@ class SweepEngine:
             graph=graph, kind=kind, k=k, method=method,
             cost_model=self.cost_model, options=self.options,
             backend=self.backend, time_limit=self.time_limit,
-            presolve=self.presolve,
+            presolve=self.presolve, cuts=self.cuts,
         )
 
     _task = task  # historical private name, used throughout this module

@@ -138,6 +138,8 @@ class AdvBistFormulation:
         self.constant_ports: ConstantPortAnalysis = analyse_constant_ports(graph)
 
         self.model = Model(name=f"advbist_{graph.name}_k{k}")
+        # Size-class provenance for the adaptive portfolio's win buckets.
+        self.model.tags = {"k": k, "circuit": graph.name}
         # variable families, keyed as in the paper
         self.x: dict[tuple[int, int], Variable] = {}
         self.s_perm: dict[tuple[int, int, int], Variable] = {}
@@ -537,17 +539,18 @@ class AdvBistFormulation:
     # solving and decoding
     # ==================================================================
     def solve(self, backend: str | object = "auto", time_limit: float | None = None,
-              mip_gap: float = 1e-6, presolve: bool = False,
+              mip_gap: float = 1e-6, presolve: bool = False, cuts: bool = False,
               incumbent_hint: float | None = None) -> AdvBistSolveResult:
         """Solve the ILP and decode the resulting BIST design.
 
         ``presolve`` runs the :mod:`repro.accel.presolve` reductions first;
+        ``cuts`` the :mod:`repro.ilp.cuts` root cutting-plane loop;
         ``incumbent_hint`` warm-starts backends that support it with a
         known-achievable objective (e.g. the previous ``k``'s design of a
-        sweep).  Both are exact — they change speed, never the design.
+        sweep).  All are exact — they change speed, never the design.
         """
         solution = self.model.solve(backend=backend, time_limit=time_limit,
-                                    mip_gap=mip_gap, presolve=presolve,
+                                    mip_gap=mip_gap, presolve=presolve, cuts=cuts,
                                     incumbent_hint=incumbent_hint)
         design = self.extract_design(solution) if solution.status.has_solution else None
         return AdvBistSolveResult(solution=solution, design=design,

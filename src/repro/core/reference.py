@@ -208,14 +208,16 @@ class ReferenceFormulation:
 
     # ------------------------------------------------------------------
     def solve(self, backend: str | object = "auto", time_limit: float | None = None,
-              mip_gap: float = 1e-6, presolve: bool = False) -> ReferenceSolveResult:
+              mip_gap: float = 1e-6, presolve: bool = False,
+              cuts: bool = False) -> ReferenceSolveResult:
         """Solve the reference ILP and decode the data path.
 
         ``presolve`` runs the :mod:`repro.accel.presolve` reductions on the
-        lowering first; the decoded design is identical either way.
+        lowering first and ``cuts`` the :mod:`repro.ilp.cuts` root
+        cutting-plane loop; the decoded design is identical either way.
         """
         solution = self.model.solve(backend=backend, time_limit=time_limit,
-                                    mip_gap=mip_gap, presolve=presolve)
+                                    mip_gap=mip_gap, presolve=presolve, cuts=cuts)
         design = None
         if solution.status.has_solution:
             design = self.extract_design(solution)

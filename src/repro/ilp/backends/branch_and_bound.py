@@ -13,17 +13,25 @@ self-contained solver so that
 
 The implementation is a classic LP-relaxation branch-and-bound:
 
-1. solve the LP relaxation with :func:`scipy.optimize.linprog`,
-2. if the relaxation is integral, update the incumbent,
-3. otherwise branch on the most fractional integer variable, exploring the
+1. propagate the node's variable bounds through ``A_ub`` (vectorised over
+   the CSR nonzeros — see :class:`_Propagator`), pruning rows-infeasible
+   nodes before any LP is solved,
+2. solve the LP relaxation with :func:`scipy.optimize.linprog`,
+3. if the relaxation is integral, update the incumbent,
+4. otherwise branch on the most fractional integer variable, exploring the
    child whose bound looks more promising first (best-first on the parent
    relaxation value, depth-first tie-break to find incumbents early).
 
 The CSR constraint matrices of the sparse lowering are handed straight to
-``linprog`` (HiGHS accepts them natively), so each node solve stays sparse.
+``linprog`` (HiGHS accepts them natively), so each node solve stays sparse;
+all per-node state updates are numpy array operations — no Python loops over
+variables or constraint entries anywhere on the node path.
 
-It is intentionally straightforward rather than clever — the point is
-correctness and testability, not raw speed.
+``cuts=True`` runs the :mod:`repro.ilp.cuts` root cutting-plane loop before
+the search; ``node_cuts=True`` additionally re-separates globally valid cuts
+against node LP optima during the dive (local separation, global validity —
+the generated inequalities hold for every integer point of the model, so
+they strengthen the whole remaining tree, not just the current subtree).
 """
 
 from __future__ import annotations
@@ -34,6 +42,7 @@ import time
 from dataclasses import dataclass, field
 
 import numpy as np
+from scipy import sparse
 from scipy.optimize import linprog
 
 from ..model import MatrixForm
@@ -41,6 +50,8 @@ from ..solution import Solution, SolveStats, SolveStatus
 from .registry import register_backend
 
 _INTEGRALITY_TOL = 1e-6
+#: Node interval at which ``node_cuts`` re-runs separation.
+_NODE_CUT_INTERVAL = 64
 
 
 @dataclass(order=True)
@@ -52,6 +63,80 @@ class _Node:
     lower: np.ndarray = field(compare=False, default=None)
     upper: np.ndarray = field(compare=False, default=None)
     depth: int = field(compare=False, default=0)
+
+
+class _Propagator:
+    """Vectorised bound propagation over the ``A_ub`` block.
+
+    Precomputes the COO triplet view once per solve; each call to
+    :meth:`tighten` is pure numpy over the nonzeros:
+
+    * minimum activity per row — ``sum_j min(a_ij * lo_j, a_ij * up_j)`` via
+      a masked triplet product and one :func:`numpy.bincount`;
+    * rows whose minimum activity already exceeds ``b`` prove the node
+      infeasible with no LP solved;
+    * per-nonzero bound tightening ``x_j <= lo_j + slack_r / a_rj`` (and the
+      mirror for negative coefficients) scattered back with
+      ``np.minimum.at`` / ``np.maximum.at``;
+    * integral rounding of the tightened bounds for integer variables.
+
+    Every derived bound is implied by ``A_ub x <= b_ub`` plus the node
+    bounds, so propagation never excludes a feasible point of the node's
+    subproblem — it only shrinks the LP and exposes infeasibility early.
+    """
+
+    def __init__(self, form: MatrixForm):
+        A = sparse.csr_matrix(form.A_ub)
+        coo = A.tocoo()
+        keep = coo.data != 0.0
+        self.rows = coo.row[keep]
+        self.cols = coo.col[keep]
+        self.data = coo.data[keep].astype(float)
+        self.nrows = A.shape[0]
+        self.b = np.asarray(form.b_ub, dtype=float)
+        self.positive = self.data > 0.0
+        self.integer = form.integrality.astype(bool)
+
+    def tighten(self, lower: np.ndarray, upper: np.ndarray,
+                max_passes: int = 3) -> tuple[np.ndarray, np.ndarray] | None:
+        """Tightened ``(lower, upper)`` copies, or ``None`` when infeasible."""
+        if self.nrows == 0 or self.rows.size == 0:
+            return lower, upper
+        lower = lower.copy()
+        upper = upper.copy()
+        for _ in range(max_passes):
+            # Minimum activity per row.  Selected contributions are either
+            # finite or -inf (a positive coefficient on an unbounded-below
+            # variable / negative on unbounded-above), so row sums are never
+            # NaN and a -inf row simply yields infinite slack (no pruning).
+            contrib = np.where(self.positive,
+                               self.data * lower[self.cols],
+                               self.data * upper[self.cols])
+            minact = np.bincount(self.rows, weights=contrib, minlength=self.nrows)
+            slack = self.b - minact
+            if np.any(slack < -1e-9):
+                return None
+            finite = np.isfinite(slack[self.rows])
+            shift = np.where(finite, slack[self.rows] / self.data, 0.0)
+            new_upper = upper.copy()
+            pos = self.positive & finite
+            np.minimum.at(new_upper, self.cols[pos],
+                          lower[self.cols[pos]] + shift[pos])
+            new_lower = lower.copy()
+            neg = ~self.positive & finite
+            np.maximum.at(new_lower, self.cols[neg],
+                          upper[self.cols[neg]] + shift[neg])
+            # Integer variables live on the integer lattice: round the
+            # propagated bounds inward before comparing.
+            new_upper[self.integer] = np.floor(new_upper[self.integer] + 1e-6)
+            new_lower[self.integer] = np.ceil(new_lower[self.integer] - 1e-6)
+            if np.any(new_lower > new_upper + 1e-9):
+                return None
+            if (np.all(new_upper >= upper - 1e-9)
+                    and np.all(new_lower <= lower + 1e-9)):
+                return new_lower, new_upper
+            lower, upper = new_lower, new_upper
+        return lower, upper
 
 
 @register_backend(
@@ -76,12 +161,21 @@ class BranchAndBoundBackend:
     ``stop_check`` (a zero-argument callable) is polled once per node; when
     it returns True the search stops as if a time limit had struck.  The
     portfolio backend uses it for first-wins cancellation.
+
+    ``propagate`` toggles the vectorised per-node bound propagation (exact;
+    on by default).  ``cuts`` runs the root cutting-plane loop before the
+    search and ``node_cuts`` re-separates during it — both only append
+    valid inequalities, so every knob combination returns the same optimum.
     """
 
     def __init__(self, node_limit: int = 200_000,
-                 stop_check=None):
+                 stop_check=None, propagate: bool = True,
+                 cuts: bool = False, node_cuts: bool = False):
         self.node_limit = node_limit
         self.stop_check = stop_check
+        self.propagate = propagate
+        self.cuts = cuts
+        self.node_cuts = node_cuts
 
     def solve(self, form: MatrixForm, time_limit: float | None = None,
               mip_gap: float = 1e-6, incumbent_hint: float | None = None) -> Solution:
@@ -90,6 +184,15 @@ class BranchAndBoundBackend:
 
         lower0 = np.array([lo for lo, _ in form.bounds], dtype=float)
         upper0 = np.array([hi for _, hi in form.bounds], dtype=float)
+
+        cut_pool = None
+        if self.cuts or self.node_cuts:
+            from ..cuts import CutPool, root_cut_loop
+
+            cut_pool = CutPool()
+        if self.cuts:
+            form, _ = root_cut_loop(form)
+        propagator = _Propagator(form) if self.propagate else None
 
         # When every objective coefficient is an integer over integer
         # variables (true for the transistor-count objectives of this repo),
@@ -165,7 +268,13 @@ class BranchAndBoundBackend:
                     break  # bounded out before solving
                 nodes_explored += 1
 
-                relaxation = self._solve_relaxation(form, node.lower, node.upper)
+                node_lower, node_upper = node.lower, node.upper
+                if propagator is not None:
+                    tightened = propagator.tighten(node_lower, node_upper)
+                    if tightened is None:
+                        break  # propagation proved the subproblem infeasible
+                    node_lower, node_upper = tightened
+                relaxation = self._solve_relaxation(form, node_lower, node_upper)
                 if relaxation is None:
                     break  # infeasible subproblem
                 obj, x = relaxation
@@ -192,19 +301,32 @@ class BranchAndBoundBackend:
                 if tighten(obj) >= best_obj - 1e-9:
                     break  # bounded out
 
+                if (self.node_cuts and cut_pool is not None
+                        and nodes_explored % _NODE_CUT_INTERVAL == 0):
+                    # Local separation, global validity: cuts separated at a
+                    # node LP optimum hold for every integer point of the
+                    # model, so they strengthen the whole remaining tree.
+                    from ..cuts import apply_cuts, generate_cuts
+
+                    fresh = generate_cuts(form, x, cut_pool)
+                    if fresh:
+                        form = apply_cuts(form, fresh)
+                        if propagator is not None:
+                            propagator = _Propagator(form)
+
                 value = x[frac_index]
                 floor_val = math.floor(value + _INTEGRALITY_TOL)
                 ceil_val = floor_val + 1
 
-                down_upper = node.upper.copy()
+                down_upper = node_upper.copy()
                 down_upper[frac_index] = min(down_upper[frac_index], floor_val)
-                up_lower = node.lower.copy()
+                up_lower = node_lower.copy()
                 up_lower[frac_index] = max(up_lower[frac_index], ceil_val)
 
-                down = _Node(bound=tighten(obj), order=0, lower=node.lower,
+                down = _Node(bound=tighten(obj), order=0, lower=node_lower,
                              upper=down_upper, depth=node.depth + 1)
                 up = _Node(bound=tighten(obj), order=0, lower=up_lower,
-                           upper=node.upper, depth=node.depth + 1)
+                           upper=node_upper, depth=node.depth + 1)
                 # Dive towards the branch the fractional value is closer to.
                 dive, sibling = ((up, down) if value - floor_val > 0.5
                                  else (down, up))
@@ -303,18 +425,15 @@ class BranchAndBoundBackend:
     def _solve_relaxation(self, form: MatrixForm, lower: np.ndarray,
                           upper: np.ndarray) -> tuple[float, np.ndarray] | None:
         """Solve the LP relaxation with the given bounds; None if infeasible."""
-        finite_upper = np.where(np.isinf(upper), None, upper)
-        bounds = [
-            (float(lo), None if hi is None else float(hi))
-            for lo, hi in zip(lower, finite_upper)
-        ]
         result = linprog(
             c=form.c,
             A_ub=form.A_ub if form.A_ub.shape[0] else None,
             b_ub=form.b_ub if form.A_ub.shape[0] else None,
             A_eq=form.A_eq if form.A_eq.shape[0] else None,
             b_eq=form.b_eq if form.A_eq.shape[0] else None,
-            bounds=bounds,
+            # linprog accepts an (n, 2) array with +/-inf entries natively —
+            # no per-node Python list building.
+            bounds=np.column_stack((lower, upper)),
             method="highs",
         )
         if not result.success:

@@ -1,0 +1,412 @@
+"""Cutting planes for the ADVBIST packing structure.
+
+The lowering in :mod:`repro.ilp.model` produces three row families that
+classical cutting planes exploit:
+
+* **set-packing rows** ``sum(x_i) <= 1`` (register/MISR sharing exclusivity) —
+  the conflict-graph edges from which *clique cuts* are lifted;
+* **aggregated OR rows** ``sum(x_i) - n*y <= 0`` (the paper's equation (14)
+  ``or_force_up`` linearisation) — each disaggregates into ``n`` *implication
+  cuts* ``x_i <= y`` that are individually much tighter in the LP relaxation;
+* **knapsack-like rows** (resource limits, compatibility big-Ms) — the source
+  of *cover cuts* ``sum_{j in C} x_j <= |C| - 1``.
+
+Every cut produced here is valid for **all** integer-feasible points of the
+original model (never merely for the optimum), so appending cuts to ``A_ub``
+preserves the feasible set and the optimal objective exactly — lift-back and
+solution decoding are untouched.  :func:`root_cut_loop` separates violated
+cuts against successive LP relaxation optima, the classic root cutting-plane
+loop; :func:`static_strengthening_cuts` emits the x*-independent family
+(implications) without solving any LP.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import linprog
+
+from .model import MatrixForm
+
+#: Minimum LP violation for a cut to enter the pool during separation.
+_MIN_VIOLATION = 1e-4
+_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class Cut:
+    """One valid inequality ``sum(coeffs[i] * x[cols[i]]) <= rhs``."""
+
+    cols: tuple[int, ...]
+    coeffs: tuple[float, ...]
+    rhs: float
+    kind: str = "cut"
+
+    def violation(self, x: np.ndarray) -> float:
+        """How far ``x`` violates the cut (<= 0 means satisfied)."""
+        return float(sum(c * x[j] for j, c in zip(self.cols, self.coeffs)) - self.rhs)
+
+    def _key(self) -> tuple:
+        order = np.argsort(np.asarray(self.cols))
+        return (tuple(self.cols[i] for i in order),
+                tuple(round(self.coeffs[i], 9) for i in order),
+                round(self.rhs, 9))
+
+
+class CutPool:
+    """A deduplicating pool of generated cuts.
+
+    Cuts are identified by their (sorted) support, coefficients and rhs, so
+    re-separating the same inequality in a later round is a no-op — the loop
+    in :func:`root_cut_loop` terminates as soon as separation runs dry.
+    """
+
+    def __init__(self):
+        self._cuts: list[Cut] = []
+        self._seen: set[tuple] = set()
+
+    def __len__(self) -> int:
+        return len(self._cuts)
+
+    def __iter__(self):
+        return iter(self._cuts)
+
+    def add(self, cut: Cut) -> bool:
+        """Add ``cut`` unless an identical one is already pooled."""
+        key = cut._key()
+        if key in self._seen:
+            return False
+        self._seen.add(key)
+        self._cuts.append(cut)
+        return True
+
+    def counts(self) -> dict[str, int]:
+        """Pooled cuts per kind, for stats reporting."""
+        out: dict[str, int] = {}
+        for cut in self._cuts:
+            out[cut.kind] = out.get(cut.kind, 0) + 1
+        return out
+
+
+# ----------------------------------------------------------------------
+# row-structure recognition
+# ----------------------------------------------------------------------
+def _binary_mask(form: MatrixForm) -> np.ndarray:
+    """Variables that are integer with bounds inside ``[0, 1]``."""
+    lower = np.array([lo for lo, _ in form.bounds], dtype=float)
+    upper = np.array([hi for _, hi in form.bounds], dtype=float)
+    return (form.integrality.astype(bool) & (lower >= -_TOL) & (upper <= 1.0 + _TOL))
+
+
+def _csr_rows(form: MatrixForm):
+    """Iterate ``(row, cols, coeffs, rhs)`` over the ``A_ub`` block."""
+    A = sparse.csr_matrix(form.A_ub)
+    for r in range(A.shape[0]):
+        lo, hi = A.indptr[r], A.indptr[r + 1]
+        yield r, A.indices[lo:hi], A.data[lo:hi], float(form.b_ub[r])
+
+
+def packing_rows(form: MatrixForm) -> list[tuple[int, ...]]:
+    """Supports of the set-packing rows ``sum(x_i) <= 1`` over binaries."""
+    binary = _binary_mask(form)
+    rows: list[tuple[int, ...]] = []
+    for _, cols, coeffs, rhs in _csr_rows(form):
+        if len(cols) < 2 or abs(rhs - 1.0) > _TOL:
+            continue
+        if np.all(np.abs(coeffs - 1.0) <= _TOL) and np.all(binary[cols]):
+            rows.append(tuple(int(j) for j in cols))
+    return rows
+
+
+def or_indicator_rows(form: MatrixForm) -> list[tuple[tuple[int, ...], int]]:
+    """Aggregated OR rows ``sum(x_i) - n*y <= 0`` as ``(operands, indicator)``.
+
+    Matches the ``or_force_up`` rows the equation-(14) lowering produces:
+    rhs 0, exactly one negative coefficient ``-n`` on a binary indicator where
+    ``n`` equals the number of unit-coefficient binary operands (``n >= 2`` —
+    a single operand is already the implication itself).
+    """
+    binary = _binary_mask(form)
+    found: list[tuple[tuple[int, ...], int]] = []
+    for _, cols, coeffs, rhs in _csr_rows(form):
+        if abs(rhs) > _TOL or len(cols) < 3:
+            continue
+        neg = coeffs < -_TOL
+        if np.count_nonzero(neg) != 1:
+            continue
+        pos_cols, pos_coeffs = cols[~neg], coeffs[~neg]
+        indicator = int(cols[neg][0])
+        n = -float(coeffs[neg][0])
+        if (abs(n - len(pos_cols)) <= _TOL and len(pos_cols) >= 2
+                and np.all(np.abs(pos_coeffs - 1.0) <= _TOL)
+                and binary[indicator] and np.all(binary[pos_cols])):
+            found.append((tuple(int(j) for j in pos_cols), indicator))
+    return found
+
+
+# ----------------------------------------------------------------------
+# cut families
+# ----------------------------------------------------------------------
+def implication_cuts(form: MatrixForm, xstar: np.ndarray | None = None,
+                     min_violation: float = _MIN_VIOLATION) -> list[Cut]:
+    """Disaggregate each OR row into implications ``x_i - y <= 0``.
+
+    Valid because an OR indicator is 1 whenever any operand is: for every
+    0/1 point of the model, ``x_i = 1`` forces ``sum >= 1`` hence ``y = 1``.
+    With ``xstar`` given, only implications the LP point violates are
+    returned (separation mode); without it, all of them (static mode).
+    """
+    cuts = []
+    for operands, indicator in or_indicator_rows(form):
+        for j in operands:
+            if xstar is not None and xstar[j] - xstar[indicator] <= min_violation:
+                continue
+            cuts.append(Cut(cols=(j, indicator), coeffs=(1.0, -1.0),
+                            rhs=0.0, kind="implication"))
+    return cuts
+
+
+def clique_cuts(form: MatrixForm, xstar: np.ndarray,
+                min_violation: float = _MIN_VIOLATION,
+                max_cuts: int = 64) -> list[Cut]:
+    """Lift packing rows into maximal-clique inequalities.
+
+    Two binaries conflict when some packing row contains both.  A clique in
+    that graph admits at most one member set to 1 in any integer point, so
+    ``sum_{j in clique} x_j <= 1`` is valid.  Each packing row is greedily
+    extended by variables (highest LP value first) adjacent to every current
+    member; only strict extensions violated by ``xstar`` are emitted — the
+    original row already bounds the un-extended clique.
+    """
+    base_rows = packing_rows(form)
+    if not base_rows:
+        return []
+    adjacency: dict[int, set[int]] = {}
+    for row in base_rows:
+        for j in row:
+            adjacency.setdefault(j, set()).update(row)
+    for j, neigh in adjacency.items():
+        neigh.discard(j)
+
+    candidates = sorted(adjacency, key=lambda j: -xstar[j])
+    cuts: list[Cut] = []
+    for row in base_rows:
+        clique = set(row)
+        common = set.intersection(*(adjacency[j] for j in row)) - clique
+        for j in candidates:
+            if j in common:
+                clique.add(j)
+                common &= adjacency[j]
+                if not common:
+                    break
+        if len(clique) <= len(row):
+            continue
+        members = tuple(sorted(clique))
+        if sum(xstar[j] for j in members) - 1.0 > min_violation:
+            cuts.append(Cut(cols=members, coeffs=(1.0,) * len(members),
+                            rhs=1.0, kind="clique"))
+            if len(cuts) >= max_cuts:
+                break
+    return cuts
+
+
+def cover_cuts(form: MatrixForm, xstar: np.ndarray,
+               min_violation: float = _MIN_VIOLATION,
+               max_cuts: int = 64) -> list[Cut]:
+    """Greedy minimal-cover separation over the binary knapsack rows.
+
+    A row ``sum a_j x_j <= b`` over binaries (negative coefficients handled
+    by complementing ``x_j -> 1 - x_j``) with a *cover* ``C`` (a set whose
+    weights exceed the capacity) admits at most ``|C| - 1`` members at 1, so
+    ``sum_{j in C} x_j <= |C| - 1`` is valid for every integer point.  The
+    separation heuristic packs the items the LP sets closest to 1 first
+    (classic ``(1 - x*_j)/a_j`` order) and emits only violated covers.
+    """
+    binary = _binary_mask(form)
+    cuts: list[Cut] = []
+    for _, cols, coeffs, rhs in _csr_rows(form):
+        if len(cols) < 2 or not np.all(binary[cols]):
+            continue
+        # Complement negative-coefficient variables into knapsack form.
+        flip = coeffs < -_TOL
+        a = np.abs(coeffs)
+        b = rhs + float(np.sum(a[flip]))
+        if b <= _TOL or np.all(a <= _TOL):
+            continue
+        # Pure packing rows produce only covers weaker than the row itself.
+        if abs(b - 1.0) <= _TOL and np.all(np.abs(a - 1.0) <= _TOL):
+            continue
+        xbar = np.where(flip, 1.0 - xstar[cols], xstar[cols])
+        order = np.argsort((1.0 - xbar) / np.maximum(a, _TOL))
+        weight, cover = 0.0, []
+        for idx in order:
+            cover.append(int(idx))
+            weight += float(a[idx])
+            if weight > b + _TOL:
+                break
+        else:
+            continue  # the whole row cannot exceed capacity: no cover
+        if float(np.sum(xbar[cover])) - (len(cover) - 1) <= min_violation:
+            continue
+        # Map the complemented cover back to original-variable space:
+        # sum_{C+} x_j + sum_{C-} (1 - x_j) <= |C| - 1.
+        signs = np.where(flip[cover], -1.0, 1.0)
+        shift = float(np.sum(flip[cover]))
+        cut_cols = tuple(int(cols[idx]) for idx in cover)
+        cuts.append(Cut(cols=cut_cols, coeffs=tuple(float(s) for s in signs),
+                        rhs=float(len(cover) - 1) - shift, kind="cover"))
+        if len(cuts) >= max_cuts:
+            break
+    return cuts
+
+
+def generate_cuts(form: MatrixForm, xstar: np.ndarray, pool: CutPool,
+                  min_violation: float = _MIN_VIOLATION) -> list[Cut]:
+    """Separate every cut family against ``xstar``; pool and return the new ones."""
+    fresh: list[Cut] = []
+    for cut in (implication_cuts(form, xstar, min_violation)
+                + clique_cuts(form, xstar, min_violation)
+                + cover_cuts(form, xstar, min_violation)):
+        if pool.add(cut):
+            fresh.append(cut)
+    return fresh
+
+
+def static_strengthening_cuts(form: MatrixForm) -> list[Cut]:
+    """The x*-independent cuts (implications), without solving any LP."""
+    return implication_cuts(form, xstar=None)
+
+
+# ----------------------------------------------------------------------
+# applying cuts and the root loop
+# ----------------------------------------------------------------------
+def apply_cuts(form: MatrixForm, cuts: list[Cut]) -> MatrixForm:
+    """Append ``cuts`` as extra ``A_ub`` rows; variables/objective untouched."""
+    if not cuts:
+        return form
+    nvar = len(form.variables)
+    rows, cols, data, rhs = [], [], [], []
+    for r, cut in enumerate(cuts):
+        rows.extend([r] * len(cut.cols))
+        cols.extend(cut.cols)
+        data.extend(cut.coeffs)
+        rhs.append(cut.rhs)
+    extra = sparse.coo_matrix((data, (rows, cols)), shape=(len(cuts), nvar)).tocsr()
+    A_ub = sparse.vstack([sparse.csr_matrix(form.A_ub), extra], format="csr")
+    return replace(form, A_ub=A_ub,
+                   b_ub=np.concatenate([form.b_ub, np.asarray(rhs, dtype=float)]))
+
+
+def _lp_optimum(form: MatrixForm) -> tuple[float, np.ndarray] | None:
+    """Optimum of the LP relaxation, or ``None`` when it has none."""
+    bounds = np.array(form.bounds, dtype=float)
+    result = linprog(
+        c=form.c,
+        A_ub=form.A_ub if form.A_ub.shape[0] else None,
+        b_ub=form.b_ub if form.A_ub.shape[0] else None,
+        A_eq=form.A_eq if form.A_eq.shape[0] else None,
+        b_eq=form.b_eq if form.A_eq.shape[0] else None,
+        bounds=bounds,
+        method="highs",
+    )
+    if not result.success:
+        return None
+    return float(result.fun), np.asarray(result.x, dtype=float)
+
+
+def root_cut_loop(form: MatrixForm, max_rounds: int = 4,
+                  min_violation: float = _MIN_VIOLATION) -> tuple[MatrixForm, dict]:
+    """The classic root cutting-plane loop.
+
+    Solves the LP relaxation, separates violated cuts, appends them and
+    repeats until no family finds a violated inequality (or ``max_rounds``).
+    Returns the strengthened form — same variables, extra ``A_ub`` rows, so
+    the MILP optimum and solution decoding are unchanged — and a stats dict
+    (rounds run, cuts per kind, LP bound before and after).
+    """
+    pool = CutPool()
+    info: dict = {"rounds": 0, "cuts": {}, "lp_before": None, "lp_after": None}
+    current = form
+    for _ in range(max_rounds):
+        optimum = _lp_optimum(current)
+        if optimum is None:
+            break  # infeasible/unbounded relaxation: leave that to the backend
+        bound, xstar = optimum
+        if info["lp_before"] is None:
+            info["lp_before"] = bound + form.offset
+        info["lp_after"] = bound + form.offset
+        fresh = generate_cuts(current, xstar, pool, min_violation)
+        if not fresh:
+            break
+        info["rounds"] += 1
+        current = apply_cuts(current, fresh)
+    if info["rounds"] and info["lp_before"] is not None:
+        final = _lp_optimum(current)
+        if final is not None:
+            info["lp_after"] = final[0] + form.offset
+    info["cuts"] = pool.counts()
+    info["total"] = len(pool)
+    return current, info
+
+
+# ----------------------------------------------------------------------
+# warm-start cutoff helpers (shared by the scipy-ws backend)
+# ----------------------------------------------------------------------
+def objective_is_integral(form: MatrixForm) -> bool:
+    """Whether every feasible point has an integer objective value.
+
+    True when the objective touches only integer variables and every
+    coefficient is an integer — the transistor-count objectives of the
+    ADVBIST lowering qualify.
+    """
+    c = np.asarray(form.c, dtype=float)
+    active = np.nonzero(c)[0]
+    integer = form.integrality.astype(bool)
+    return bool(np.all(integer[active]) and np.allclose(c[active], np.round(c[active])))
+
+
+def objective_cutoff_form(form: MatrixForm, internal_hint: float) -> MatrixForm:
+    """Append the cutoff row ``c @ x <= hint + slack`` to the lowering.
+
+    ``internal_hint`` is an offset-free, known-achievable objective value;
+    the slack keeps equal-value solutions feasible while pruning strictly
+    worse ones (one objective quantum for integral objectives, a relative
+    epsilon otherwise) — the same policy the branch and bound applies to its
+    warm-start cutoff.
+    """
+    if objective_is_integral(form):
+        slack = 0.5
+    else:
+        slack = max(1e-6, 1e-9 * abs(internal_hint))
+    active = np.nonzero(form.c)[0]
+    cut = Cut(cols=tuple(int(j) for j in active),
+              coeffs=tuple(float(form.c[j]) for j in active),
+              rhs=float(internal_hint) + slack, kind="cutoff")
+    return apply_cuts(form, [cut])
+
+
+def safe_hint_gap(form: MatrixForm, internal_hint: float, mip_gap: float) -> float:
+    """A loosened-but-exact MIP gap for a cutoff-constrained solve.
+
+    With the cutoff row in place every incumbent satisfies
+    ``obj <= hint``; when the objective is integral and provably nonnegative
+    over the variable box (``c >= 0`` with nonnegative lower bounds — the
+    transistor-count objectives qualify) any incumbent has ``|obj| <= hint``,
+    so a relative gap of ``0.9 / hint`` implies an absolute gap below one
+    objective quantum — which proves optimality outright.  The solver stops
+    as soon as exactness is certain instead of grinding the dual bound
+    closed.  When the preconditions fail the gap is returned unchanged.
+    """
+    if not objective_is_integral(form):
+        return mip_gap
+    hint = float(internal_hint)
+    if hint < 1.0 or not math.isfinite(hint):
+        return mip_gap
+    c = np.asarray(form.c, dtype=float)
+    lower = np.array([lo for lo, _ in form.bounds], dtype=float)
+    if np.any(c < 0.0) or np.any(lower[np.nonzero(c)[0]] < 0.0):
+        return mip_gap
+    return max(mip_gap, 0.9 / hint)

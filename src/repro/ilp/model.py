@@ -54,6 +54,10 @@ class MatrixForm:
     integrality: np.ndarray
     variables: list[Variable]
     offset: float = 0.0
+    #: Free-form provenance labels (e.g. the sweep's ``k``) stamped by the
+    #: formulation layer; the adaptive portfolio buckets on them.  Never
+    #: consulted by the exact solve path.
+    tags: dict | None = None
 
     @property
     def is_sparse(self) -> bool:
@@ -102,6 +106,8 @@ class Model:
         self.constraints: list[Constraint] = []
         self.objective: LinExpr = LinExpr()
         self._names: set[str] = set()
+        #: Provenance labels copied onto every lowering (see MatrixForm.tags).
+        self.tags: dict | None = None
 
     # ------------------------------------------------------------------
     # variables
@@ -251,11 +257,12 @@ class Model:
             ),
             variables=list(self.variables),
             offset=offset,
+            tags=dict(self.tags) if self.tags else None,
         )
         return form if sparse_form else form.to_dense()
 
     def solve(self, backend: str | object = "auto", time_limit: float | None = None,
-              mip_gap: float = 1e-6, presolve: bool = False,
+              mip_gap: float = 1e-6, presolve: bool = False, cuts: bool = False,
               incumbent_hint: float | None = None) -> Solution:
         """Solve the model and return a :class:`Solution`.
 
@@ -275,6 +282,11 @@ class Model:
             Run the :mod:`repro.accel.presolve` pipeline on the lowering and
             solve the reduced model instead; the solution is lifted back to
             this model's variables exactly, so results never change.
+        cuts:
+            Run the :mod:`repro.ilp.cuts` root cutting-plane loop on the
+            (possibly presolved) lowering before the backend solves it.
+            Cuts only append valid inequalities — rows every integer point
+            satisfies — so the optimum and decoding are unchanged.
         incumbent_hint:
             A known-achievable objective value (in this model's sense) used
             as a warm-start cutoff by backends declaring
@@ -292,6 +304,19 @@ class Model:
                          else -incumbent_hint)
 
         presolved = None
+        cut_info: dict | None = None
+
+        def strengthen(lowering: MatrixForm) -> MatrixForm:
+            # Root cutting planes: extra valid rows on A_ub, nothing else
+            # touched, so presolve lift-back and decoding stay exact.
+            nonlocal cut_info
+            if not cuts:
+                return lowering
+            from .cuts import root_cut_loop
+
+            strengthened, cut_info = root_cut_loop(lowering)
+            return strengthened
+
         if presolve:
             from ..accel.presolve import presolve_form  # lazy: accel imports ilp
 
@@ -301,11 +326,12 @@ class Model:
             elif presolved.solved:
                 solution = presolved.fixed_solution()
             else:
-                solution = _backend_solve(solver, presolved.reduced, time_limit,
-                                          mip_gap, internal_hint)
+                solution = _backend_solve(solver, strengthen(presolved.reduced),
+                                          time_limit, mip_gap, internal_hint)
                 solution = presolved.lift_solution(solution)
         else:
-            solution = _backend_solve(solver, form, time_limit, mip_gap, internal_hint)
+            solution = _backend_solve(solver, strengthen(form), time_limit,
+                                      mip_gap, internal_hint)
 
         if solution.status.has_solution and self.sense == "max" and solution.objective is not None:
             solution.objective = -solution.objective
@@ -324,6 +350,8 @@ class Model:
             stats.lp_relaxation = -stats.lp_relaxation
         if presolved is not None:
             stats.presolve = presolved.stats.as_dict()
+        if cut_info is not None:
+            stats.cuts = cut_info
         solution.stats = stats
         record_solve(stats.backend, stats.wall_seconds, stats.presolve)
         return solution
@@ -473,7 +501,7 @@ def split_compound_solution(compound: MatrixForm, solution: Solution,
 
 def solve_models(models: Sequence["Model"], backend: str | object = "auto",
                  time_limit: float | None = None, mip_gap: float = 1e-6,
-                 presolve: bool = False) -> list[Solution]:
+                 presolve: bool = False, cuts: bool = False) -> list[Solution]:
     """Solve independent models through one compound backend call.
 
     The batched equivalent of calling :meth:`Model.solve` on each model:
@@ -487,6 +515,9 @@ def solve_models(models: Sequence["Model"], backend: str | object = "auto",
 
     Incumbent hints do not compose across blocks, so batched solves are
     always hint-free — the engine keeps warm-start chains out of batches.
+    ``cuts`` runs the root cutting-plane loop per block *before* combining
+    (cuts only ever reference one block's variables, so validity is
+    per-block exact).
     """
     if not models:
         return []
@@ -512,6 +543,11 @@ def solve_models(models: Sequence["Model"], backend: str | object = "auto",
                 pending.append((j, reduced.reduced))
     else:
         pending = list(enumerate(forms))
+
+    if cuts and pending:
+        from .cuts import root_cut_loop  # lazy: cuts imports this module
+
+        pending = [(j, root_cut_loop(form)[0]) for j, form in pending]
 
     batch_info: dict | None = None
     if len(pending) == 1:

@@ -58,6 +58,15 @@ class SolveStats:
         (see :func:`repro.ilp.model.solve_models`): the batch size, the
         compound model's dimensions and the shared backend-call wall time.
         ``None`` when the model was solved individually.
+    cuts:
+        Summary of the :mod:`repro.ilp.cuts` root cutting-plane loop
+        (rounds, cuts per kind, LP bound before/after); ``None`` when the
+        cuts knob was off.
+    portfolio:
+        The adaptive portfolio's decision record: the (rows, cols, k)
+        bucket, the predicted backend, which arms actually started, the
+        mode (``solo``/``challenger``/``race``) and the actual winner.
+        ``None`` outside portfolio solves.
     """
 
     backend: str = ""
@@ -70,6 +79,8 @@ class SolveStats:
     gap: float | None = None
     presolve: dict | None = None
     batch: dict | None = None
+    cuts: dict | None = None
+    portfolio: dict | None = None
 
     def as_row(self) -> dict:
         """Flat dict used by the reporting tables."""

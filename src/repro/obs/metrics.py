@@ -473,6 +473,19 @@ def record_portfolio_win(backend: str) -> None:
         labels=("backend",)).inc(backend=backend)
 
 
+def record_portfolio_prediction(predicted: str, winner: str,
+                                mode: str) -> None:
+    """One adaptive-portfolio decision: was the predicted arm the winner?"""
+    registry = _REGISTRY
+    if not registry.enabled:
+        return
+    registry.counter(
+        "repro_portfolio_predictions_total",
+        "adaptive portfolio predictions by mode and outcome",
+        labels=("mode", "outcome")).inc(
+            mode=mode, outcome="hit" if predicted == winner else "miss")
+
+
 def record_job(kind: str, status: str, wall_seconds: float,
                cached: bool) -> None:
     """One :meth:`repro.api.Session.run` envelope."""

@@ -73,7 +73,8 @@ def solve_task_batch(tasks: Sequence) -> list:
     solutions = solve_models([f.model for f in formulations],
                              backend=first.backend,
                              time_limit=first.time_limit,
-                             presolve=first.presolve)
+                             presolve=first.presolve,
+                             cuts=first.cuts)
     outcomes = []
     for task, formulation, solution in zip(tasks, formulations, solutions):
         design = (formulation.extract_design(solution)

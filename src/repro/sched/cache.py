@@ -85,7 +85,7 @@ def task_key(task) -> str | None:
     if not isinstance(task.backend, str):
         return None  # object backends have no stable identity
     payload = {
-        "schema": 2,
+        "schema": 3,
         "graph": graph_to_dict(task.graph),
         "cost_model": _cost_model_payload(task.cost_model),
         "options": _options_payload(task.options),
@@ -98,6 +98,7 @@ def task_key(task) -> str | None:
         "backend": (None if task.kind == "baseline"
                     else resolve_backend_name(task.backend)),
         "presolve": (False if task.kind == "baseline" else task.presolve),
+        "cuts": (False if task.kind == "baseline" else task.cuts),
     }
     blob = json.dumps(payload, sort_keys=True, default=str).encode("utf-8")
     return hashlib.sha256(blob).hexdigest()
@@ -247,7 +248,7 @@ class DesignCache:
     Keys are SHA-256 hashes over a canonical JSON description of everything
     that determines a task's outcome: the DFG (via :mod:`repro.dfg.textio`),
     the cost model, the formulation options, k, the task kind/method, the
-    resolved backend name and the presolve toggle (see :func:`task_key`).
+    resolved backend name and the presolve/cuts toggles (see :func:`task_key`).
     Values are :class:`~repro.core.engine.TaskOutcome` objects — pickled in
     the on-disk tier, held live in the in-memory LRU tier consulted first.
     ``time_limit`` is intentionally not part of the key — the engine only

@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
-from repro.accel import PortfolioBackend
+from repro.accel import AdaptivePortfolioBackend, PortfolioBackend, WinHistory
 from repro.ilp import LinExpr, Model, SolveStatus
 from repro.ilp.backends import (
     BackendRegistryError,
@@ -133,6 +135,215 @@ def test_portfolio_merges_nodes_across_finished_racers():
     solution = knapsack_model().solve(backend="portfolio")
     # Whichever racer won, nodes is the sum over every finished racer.
     assert solution.nodes == solution.stats.nodes >= 0
+
+
+# ----------------------------------------------------------------------
+# the adaptive portfolio
+# ----------------------------------------------------------------------
+def _primed_history(bucket: str, backend: str, wins: int = 3,
+                    wall: float = 1.0) -> WinHistory:
+    history = WinHistory()
+    for _ in range(wins):
+        history.record(bucket, backend, wall)
+    return history
+
+
+def _bucket(model: Model) -> str:
+    from repro.accel import bucket_of
+
+    return bucket_of(model.to_matrix_form())
+
+
+def test_adaptive_is_registered_with_capabilities():
+    info = backend_info("adaptive")
+    assert info.cls is AdaptivePortfolioBackend
+    assert info.supports_sparse
+    assert info.supports_warm_start
+    assert resolve_backend_name("portfolio-adaptive") == "adaptive"
+
+
+def test_adaptive_empty_history_races_every_arm():
+    backend = AdaptivePortfolioBackend(arms=("scipy", "bnb"),
+                                       history=WinHistory())
+    reference = knapsack_model().solve(backend="scipy")
+    solution = knapsack_model().solve(backend=backend)
+    assert solution.status is SolveStatus.OPTIMAL
+    assert solution.objective == pytest.approx(reference.objective)
+    portfolio = solution.stats.portfolio
+    assert portfolio["mode"] == "race"
+    assert portfolio["predicted"] is None
+    assert sorted(portfolio["started"]) == ["bnb", "scipy"]
+
+
+def test_adaptive_thin_history_still_races():
+    # One recorded win is below min_samples: no prediction, full race.
+    history = _primed_history(_bucket(knapsack_model()), "scipy", wins=1)
+    backend = AdaptivePortfolioBackend(arms=("scipy", "bnb"), history=history)
+    solution = knapsack_model().solve(backend=backend)
+    assert solution.status is SolveStatus.OPTIMAL
+    assert solution.stats.portfolio["mode"] == "race"
+
+
+def test_adaptive_confident_history_runs_the_leader_alone():
+    history = _primed_history(_bucket(knapsack_model()), "scipy")
+    backend = AdaptivePortfolioBackend(arms=("scipy", "bnb"), history=history)
+    reference = knapsack_model().solve(backend="scipy")
+    solution = knapsack_model().solve(backend=backend)
+    assert solution.status is SolveStatus.OPTIMAL
+    assert solution.objective == pytest.approx(reference.objective)
+    portfolio = solution.stats.portfolio
+    assert portfolio["mode"] == "solo"
+    assert portfolio["predicted"] == "scipy"
+    assert portfolio["winner"] == "scipy"
+    assert portfolio["started"] == ["scipy"]
+    assert portfolio["samples"] == 3
+    # The win flowed back into the history: next prediction is stronger.
+    assert history.predict(portfolio["bucket"]).samples == 4
+
+
+def test_adaptive_prefers_the_circuit_tagged_bucket():
+    # Two circuits can share a size class yet want different arms: the
+    # circuit-tagged history entry must shadow the generic size bucket.
+    from repro.accel.history import bucket_keys
+
+    model = knapsack_model()
+    model.tags = {"k": 1, "circuit": "widget"}
+    tagged, generic = bucket_keys(model.to_matrix_form())
+    assert tagged == f"{generic}@widget"
+    history = _primed_history(generic, "bnb")
+    for _ in range(3):
+        history.record(tagged, "scipy", 1.0)
+    backend = AdaptivePortfolioBackend(arms=("scipy", "bnb"), history=history)
+    solution = model.solve(backend=backend)
+    assert solution.status is SolveStatus.OPTIMAL
+    portfolio = solution.stats.portfolio
+    assert portfolio["mode"] == "solo"
+    assert portfolio["predicted"] == "scipy"
+    assert portfolio["bucket"] == tagged
+    # The win is recorded under both keys, so each tier keeps learning.
+    assert history.predict(tagged).samples == 4
+    assert history.predict(generic).samples == 4
+
+
+def test_adaptive_untagged_model_uses_the_generic_bucket_only():
+    from repro.accel.history import bucket_keys
+
+    keys = bucket_keys(knapsack_model().to_matrix_form())
+    assert len(keys) == 1 and "@" not in keys[0]
+
+
+def test_adaptive_poisoned_history_falls_back_to_racing():
+    # The predicted arm does not exist: the solve must race, not dead-end.
+    history = _primed_history(_bucket(knapsack_model()), "no-such-backend")
+    backend = AdaptivePortfolioBackend(arms=("scipy", "bnb"), history=history)
+    solution = knapsack_model().solve(backend=backend)
+    assert solution.status is SolveStatus.OPTIMAL
+    portfolio = solution.stats.portfolio
+    assert portfolio["mode"] == "race"
+    assert portfolio["predicted"] is None
+
+
+def test_adaptive_crashing_leader_escalates_to_the_other_arms(
+        backend_registry_snapshot):
+    @register_backend("adaptive-crash", supports_sparse=True,
+                      description="always raises")
+    class CrashingBackend:
+        def solve(self, form, time_limit=None, mip_gap=1e-6):
+            raise RuntimeError("boom")
+
+    history = _primed_history(_bucket(knapsack_model()), "adaptive-crash")
+    backend = AdaptivePortfolioBackend(arms=("adaptive-crash", "scipy"),
+                                       history=history)
+    solution = knapsack_model().solve(backend=backend)
+    assert solution.status is SolveStatus.OPTIMAL
+    portfolio = solution.stats.portfolio
+    assert portfolio["predicted"] == "adaptive-crash"
+    assert portfolio["winner"] == "scipy"
+    assert portfolio["mode"] == "race"  # escalated after the leader died
+    assert "scipy" in portfolio["started"]
+
+
+def test_adaptive_overrunning_leader_gets_a_challenger(
+        backend_registry_snapshot):
+    @register_backend("adaptive-slow", supports_sparse=True,
+                      description="sleeps before solving")
+    class SlowBackend:
+        def solve(self, form, time_limit=None, mip_gap=1e-6):
+            time.sleep(1.0)
+            from repro.ilp.backends.scipy_milp import ScipyMilpBackend
+
+            return ScipyMilpBackend().solve(form, time_limit, mip_gap)
+
+    # History promises millisecond solves, so the sleeping leader overruns
+    # its challenger delay and the runner-up is released mid-flight.
+    history = _primed_history(_bucket(knapsack_model()), "adaptive-slow",
+                              wall=0.001)
+    backend = AdaptivePortfolioBackend(arms=("adaptive-slow", "scipy"),
+                                       history=history)
+    solution = knapsack_model().solve(backend=backend)
+    assert solution.status is SolveStatus.OPTIMAL
+    portfolio = solution.stats.portfolio
+    assert portfolio["mode"] == "challenger"
+    assert portfolio["winner"] == "scipy"
+    assert portfolio["started"] == ["adaptive-slow", "scipy"]
+
+
+def test_adaptive_settles_infeasible_models():
+    solution = infeasible_model().solve(backend="adaptive")
+    assert solution.status is SolveStatus.INFEASIBLE
+
+
+def test_adaptive_forwards_incumbent_hints():
+    optimum = knapsack_model().solve(backend="scipy").objective
+    hinted = knapsack_model().solve(
+        backend=AdaptivePortfolioBackend(history=WinHistory()),
+        incumbent_hint=optimum)
+    assert hinted.status is SolveStatus.OPTIMAL
+    assert hinted.objective == pytest.approx(optimum)
+
+
+def test_adaptive_cannot_be_raced_inside_a_portfolio():
+    with pytest.raises(BackendRegistryError):
+        PortfolioBackend(racers=("scipy", "adaptive"))
+
+
+def test_win_history_predict_and_ingest_round_trip():
+    history = WinHistory()
+    assert history.predict("r4c4k1") is None
+    history.record("r4c4k1", "scipy", 0.5)
+    assert history.predict("r4c4k1") is None  # below min_samples
+    history.record("r4c4k1", "scipy", 0.7)
+    history.record("r4c4k1", "bnb", 0.1)
+    prediction = history.predict("r4c4k1")
+    assert prediction.leader == "scipy"
+    assert prediction.challenger == "bnb"
+    assert prediction.expected_wall == pytest.approx(0.6)
+    clone = WinHistory()
+    assert clone.ingest(history.as_dict()) == 3
+    assert clone.predict("r4c4k1") == prediction
+
+
+def test_win_history_ignores_malformed_payloads():
+    history = WinHistory()
+    assert history.ingest({"buckets": "nope"}) == 0
+    assert history.ingest({"buckets": {"b": {"scipy": {"wins": "x"}}}}) == 0
+    assert history.ingest({"buckets": {"b": {"scipy": {"wins": -2}}}}) == 0
+    assert history.ingest({"buckets": {"b": "nope"}}) == 0
+    assert history.predict("b") is None
+
+
+def test_committed_priors_file_is_loadable():
+    history = WinHistory()
+    assert history.load_priors() > 0, "committed priors.json should not be empty"
+    assert history.as_dict()["buckets"]
+
+
+def test_missing_priors_file_is_a_noop(tmp_path):
+    history = WinHistory()
+    assert history.load_priors(tmp_path / "absent.json") == 0
+    corrupt = tmp_path / "corrupt.json"
+    corrupt.write_text("{not json", encoding="utf-8")
+    assert history.load_priors(corrupt) == 0
 
 
 # ----------------------------------------------------------------------

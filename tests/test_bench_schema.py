@@ -54,10 +54,10 @@ def test_checked_in_report_keeps_comparable_unit_keys():
     """The CI gate matches on scenario/unit keys; the baseline must
     expose the labels the live solver-micro suite produces."""
     flat = flatten_timings(load_report(CHECKED_IN_REPORT))
-    for scenario in ("cold_baseline", "cold_accel", "cold_batched",
-                     "warm_cache"):
+    for scenario in ("cold_baseline", "cold_accel", "cold_cuts",
+                     "cold_batched", "warm_cache"):
         assert f"{scenario}/sweep:fig1" in flat
-        assert f"{scenario}/compare:fig1" in flat
+        assert f"{scenario}/sweep:paulin" in flat
     assert all(seconds >= 0 for seconds in flat.values())
 
 

@@ -6,7 +6,7 @@ import pytest
 
 from repro.bench import SUITES, BenchSuite, ScenarioSpec, get_suite, list_suites
 from repro.bench.suites import PAPER_CIRCUITS
-from repro.circuits import list_circuits
+from repro.circuits import get_spec, list_circuits
 
 
 def test_the_seven_built_in_suites_exist():
@@ -15,15 +15,19 @@ def test_the_seven_built_in_suites_exist():
                              "table2", "table3"]
 
 
-def test_paper_suites_cover_every_builtin_circuit():
-    assert set(PAPER_CIRCUITS) == set(list_circuits())
+def test_paper_suites_cover_every_paper_circuit():
+    # The generated regression workloads (gen100/gen120/gen140) are built
+    # in but not part of the paper's evaluation grid.
+    paper = {name for name in list_circuits()
+             if get_spec(name).paper_max_sessions is not None}
+    assert set(PAPER_CIRCUITS) == paper
     assert get_suite("table2").circuits == PAPER_CIRCUITS
     assert get_suite("table3").circuits == PAPER_CIRCUITS
 
 
 def test_suite_unit_labels_are_stable():
     assert list(get_suite("solver-micro").unit_labels()) == \
-        ["sweep:fig1", "compare:fig1"]
+        ["sweep:fig1", "sweep:paulin"]
     assert list(get_suite("sweep-scaling").unit_labels()) == \
         ["sweep:tseng", "sweep:fir6"]
     assert list(get_suite("fuzz-throughput").unit_labels()) == ["fuzz:c12:s0"]

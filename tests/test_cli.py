@@ -299,7 +299,7 @@ def test_synthesize_json_emits_envelope(capsys):
                                "circuit": "fig1", "graph": None, "k": 2,
                                "backend": None, "time_limit": None,
                                "use_cache": None, "presolve": None,
-                               "batch": None}
+                               "cuts": None, "batch": None}
     assert envelope["payload"]["verified"] is True
 
 

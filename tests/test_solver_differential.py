@@ -1,0 +1,200 @@
+"""The differential-testing wall of the solver acceleration stack.
+
+Every acceleration layer — presolve, root cutting planes, branch-and-bound
+bound propagation, the strategy backends, the adaptive portfolio — claims
+exactness.  This suite locks that in by fuzzing random scheduled DFGs
+through the full (presolve × cuts × pruning × backend) grid and asserting
+objective parity against the *untouched* scipy/HiGHS reference (plain
+``Model.solve(backend="scipy")`` with every acceleration knob off).
+
+Failures are written as replayable JSON artefacts in the same shape as
+``repro fuzz`` failure files: the embedded ``graph`` dictionary replays
+through ``repro.dfg.textio`` / ``repro synth``, and ``combo`` names the
+exact configuration that disagreed.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import get_circuit
+from repro.core.formulation import AdvBistFormulation
+from repro.dfg import textio
+from repro.dfg.generate import generate_scheduled
+from repro.ilp import SolveStatus
+from repro.ilp.backends import BranchAndBoundBackend
+
+TIME_LIMIT = 60.0
+
+#: Node budget for the branch-and-bound arms of the grid.  A pure-Python
+#: search cannot close the big root gaps of the harder models inside a
+#: test suite; a capped run returns an honest FEASIBLE/TIME_LIMIT outcome
+#: which the parity check treats as inconclusive (exactly like ``repro
+#: fuzz`` does) — but any *proof* it emits must still match the reference.
+_BNB_NODE_LIMIT = 20_000
+
+#: Where disagreement artefacts land; printed in the assertion message.
+FAILURE_DIR = Path(tempfile.mkdtemp(prefix="repro-differential-"))
+
+#: The exact-solver grid.  ``bnb-noprune`` is branch and bound with the
+#: vectorised bound propagation disabled — the "pruning" axis of the grid.
+BACKENDS = ("scipy", "bnb", "bnb-noprune")
+
+#: The strategy/portfolio arms, exercised at the two knob corners only
+#: (their inner machinery already covers the cut/presolve paths).
+STRATEGY_BACKENDS = ("scipy-cuts", "scipy-ws", "adaptive")
+
+
+def _combos():
+    for backend in BACKENDS:
+        for presolve in (False, True):
+            for cuts in (False, True):
+                yield {"backend": backend, "presolve": presolve, "cuts": cuts}
+    for backend in STRATEGY_BACKENDS:
+        yield {"backend": backend, "presolve": False, "cuts": False}
+        yield {"backend": backend, "presolve": True, "cuts": True}
+
+
+COMBOS = tuple(_combos())
+
+
+def _solve(model, combo, incumbent_hint=None):
+    backend = combo["backend"]
+    if backend == "bnb":
+        backend = BranchAndBoundBackend(node_limit=_BNB_NODE_LIMIT)
+    elif backend == "bnb-noprune":
+        backend = BranchAndBoundBackend(node_limit=_BNB_NODE_LIMIT,
+                                        propagate=False)
+    return model.solve(backend=backend, time_limit=TIME_LIMIT,
+                       presolve=combo["presolve"], cuts=combo["cuts"],
+                       incumbent_hint=incumbent_hint)
+
+
+def _record_failure(graph, k, combo, reference, got) -> Path:
+    label = "-".join(f"{key}={value}" for key, value in sorted(combo.items()))
+    payload = {
+        "kind": "repro-differential-failure",
+        "circuit": graph.name,
+        "k": k,
+        "combo": combo,
+        "reference": {"status": reference.status.value,
+                      "objective": reference.objective},
+        "got": {"status": got.status.value, "objective": got.objective},
+        "graph": textio.to_dict(graph),
+    }
+    path = FAILURE_DIR / f"{graph.name}_k{k}_{label}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True),
+                    encoding="utf-8")
+    return path
+
+
+def _objectives_match(a, b) -> bool:
+    # Objectives carry float noise from c @ x accumulation order, so
+    # parity is approximate, not bit-exact.
+    if a is None or b is None:
+        return a is None and b is None
+    return abs(a - b) <= 1e-6 * max(1.0, abs(b))
+
+
+def _parity_holds(reference, got) -> bool:
+    """The ``repro fuzz`` parity semantic: proofs must agree, limits may not.
+
+    A run stopped by a node/time limit proved nothing, so it is
+    inconclusive — *unless* it contradicts the reference proof: an
+    incumbent strictly better than a proven optimum, or any incumbent
+    against proven infeasibility, is a real bug either way.
+    """
+    if got.status is SolveStatus.OPTIMAL:
+        return (reference.status is SolveStatus.OPTIMAL
+                and _objectives_match(got.objective, reference.objective))
+    if got.status is SolveStatus.INFEASIBLE:
+        return reference.status is SolveStatus.INFEASIBLE
+    # Inconclusive (FEASIBLE / TIME_LIMIT / ...): no contradiction allowed.
+    if reference.status is SolveStatus.INFEASIBLE:
+        return got.objective is None
+    if got.objective is None:
+        return True
+    return got.objective >= reference.objective - 1e-6 * max(
+        1.0, abs(reference.objective))
+
+
+def _assert_differential_parity(graph, k):
+    """Every combo must agree with the untouched scipy reference."""
+    model = AdvBistFormulation(graph, k).model
+    reference = model.solve(backend="scipy", time_limit=TIME_LIMIT)
+    for combo in COMBOS:
+        got = _solve(AdvBistFormulation(graph, k).model, combo)
+        if _parity_holds(reference, got):
+            continue
+        path = _record_failure(graph, k, combo, reference, got)
+        raise AssertionError(
+            f"{combo} disagrees with the scipy reference on "
+            f"{graph.name} (k={k}): reference "
+            f"{reference.status.value}/{reference.objective}, got "
+            f"{got.status.value}/{got.objective}; replayable artefact: {path}")
+
+
+# ----------------------------------------------------------------------
+# the wall
+# ----------------------------------------------------------------------
+def test_differential_wall_on_fig1():
+    _assert_differential_parity(get_circuit("fig1"), 2)
+
+
+@settings(max_examples=5, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       ops=st.integers(min_value=3, max_value=6))
+def test_differential_wall_on_random_circuits(seed, ops):
+    graph = generate_scheduled(seed=seed, num_operations=ops)
+    k = max(1, len(graph.module_ids) - 1)
+    _assert_differential_parity(graph, k)
+
+
+@settings(max_examples=3, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_differential_wall_with_incumbent_hints(seed):
+    """Warm-start hints (achievable and unachievable) never change results."""
+    graph = generate_scheduled(seed=seed, num_operations=5)
+    k = max(1, len(graph.module_ids) - 1)
+    reference = AdvBistFormulation(graph, k).model.solve(
+        backend="scipy", time_limit=TIME_LIMIT)
+    if reference.status is not SolveStatus.OPTIMAL:
+        return  # hint semantics only defined against a solvable model
+    for backend in ("bnb", "scipy-ws", "adaptive"):
+        for hint in (reference.objective,        # exactly achievable
+                     reference.objective + 50.0,  # loose
+                     reference.objective - 50.0):  # unachievable
+            got = AdvBistFormulation(graph, k).model.solve(
+                backend=backend, time_limit=TIME_LIMIT, incumbent_hint=hint)
+            assert got.status is SolveStatus.OPTIMAL, (backend, hint)
+            assert got.objective == pytest.approx(reference.objective), \
+                (backend, hint)
+
+
+# ----------------------------------------------------------------------
+# the artefact machinery itself
+# ----------------------------------------------------------------------
+def test_failure_artefacts_are_replayable():
+    graph = get_circuit("fig1")
+    model = AdvBistFormulation(graph, 1).model
+    reference = model.solve(backend="scipy", time_limit=TIME_LIMIT)
+    path = _record_failure(graph, 1, {"backend": "scipy", "presolve": False,
+                                      "cuts": False},
+                           reference, reference)
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    assert payload["kind"] == "repro-differential-failure"
+    replayed = textio.from_dict(payload["graph"])
+    assert textio.to_dict(replayed) == payload["graph"]
+    # The replayed graph reproduces the recorded objective, so the artefact
+    # alone is enough to chase the disagreement.
+    again = AdvBistFormulation(replayed, payload["k"]).model.solve(
+        backend="scipy", time_limit=TIME_LIMIT)
+    assert again.objective == pytest.approx(payload["reference"]["objective"])
